@@ -1,0 +1,166 @@
+//! DVB-S2 outer BCH code parameters and construction.
+//!
+//! DVB-S2 concatenates an outer BCH code with the inner LDPC code: the
+//! BCH codeword of length `N_bch = K_ldpc` becomes the LDPC information
+//! block, and the BCH code cleans the residual errors of the iterative
+//! LDPC decoder (removing its error floor). Normal frames use a shortened
+//! BCH over GF(2^16), short frames over GF(2^14).
+
+use crate::gf::GaloisField;
+use crate::poly::generator_polynomial;
+use dvbs2_ldpc::{CodeError, CodeParams, CodeRate, FrameSize};
+use std::sync::Arc;
+
+/// Parameters of one DVB-S2 outer BCH code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BchParams {
+    /// Code rate of the concatenated FEC frame this BCH code belongs to.
+    pub rate: CodeRate,
+    /// Frame size.
+    pub frame: FrameSize,
+    /// BCH message length `K_bch`.
+    pub k: usize,
+    /// BCH codeword length `N_bch` (= `K_ldpc`).
+    pub n: usize,
+    /// Correctable errors `t`.
+    pub t: usize,
+    /// Field extension degree `m` (16 normal, 14 short).
+    pub m: u32,
+}
+
+/// `t` per rate for normal frames, from the standard (`K_bch` follows as
+/// `K_ldpc - m·t`).
+const NORMAL_T: [(CodeRate, usize); 11] = [
+    (CodeRate::R1_4, 12),
+    (CodeRate::R1_3, 12),
+    (CodeRate::R2_5, 12),
+    (CodeRate::R1_2, 12),
+    (CodeRate::R3_5, 12),
+    (CodeRate::R2_3, 10),
+    (CodeRate::R3_4, 12),
+    (CodeRate::R4_5, 12),
+    (CodeRate::R5_6, 10),
+    (CodeRate::R8_9, 8),
+    (CodeRate::R9_10, 8),
+];
+
+impl BchParams {
+    /// Looks up the outer-code parameters for a rate/frame combination.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::UnsupportedCombination`] if the LDPC inner code
+    /// is undefined (9/10 short).
+    pub fn new(rate: CodeRate, frame: FrameSize) -> Result<Self, CodeError> {
+        let ldpc = CodeParams::new(rate, frame)?;
+        let (t, m) = match frame {
+            FrameSize::Normal => {
+                let &(_, t) = NORMAL_T.iter().find(|row| row.0 == rate).expect("all rates");
+                (t, 16)
+            }
+            // Short frames: t = 12 over GF(2^14) for every rate.
+            FrameSize::Short => (12, 14),
+        };
+        let n = ldpc.k;
+        let parity = m as usize * t;
+        Ok(BchParams { rate, frame, k: n - parity, n, t, m })
+    }
+
+    /// Parity bits `m·t`.
+    pub fn parity_bits(&self) -> usize {
+        self.m as usize * self.t
+    }
+
+    /// Overall concatenated FEC rate `K_bch / N_ldpc`.
+    pub fn concatenated_rate(&self) -> f64 {
+        let ldpc = CodeParams::new(self.rate, self.frame).expect("validated in new");
+        self.k as f64 / ldpc.n as f64
+    }
+}
+
+/// A constructed BCH code: parameters, field and generator polynomial.
+#[derive(Debug, Clone)]
+pub struct BchCode {
+    params: BchParams,
+    field: Arc<GaloisField>,
+    /// Generator coefficients (0/1, index = power of x), degree `m·t`.
+    generator: Vec<u8>,
+}
+
+impl BchCode {
+    /// Builds the outer BCH code for a rate/frame combination.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BchParams::new`].
+    pub fn new(rate: CodeRate, frame: FrameSize) -> Result<Self, CodeError> {
+        let params = BchParams::new(rate, frame)?;
+        let field = Arc::new(match frame {
+            FrameSize::Normal => GaloisField::gf2_16(),
+            FrameSize::Short => GaloisField::gf2_14(),
+        });
+        let generator = generator_polynomial(&field, params.t as u32);
+        debug_assert_eq!(generator.len() - 1, params.parity_bits());
+        Ok(BchCode { params, field, generator })
+    }
+
+    /// The code parameters.
+    pub fn params(&self) -> &BchParams {
+        &self.params
+    }
+
+    /// The underlying field.
+    pub fn field(&self) -> &GaloisField {
+        &self.field
+    }
+
+    /// Generator polynomial coefficients (0/1, ascending powers).
+    pub fn generator(&self) -> &[u8] {
+        &self.generator
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_frame_parameters_match_standard() {
+        // Spot values from EN 302 307 Table 5a.
+        let p = BchParams::new(CodeRate::R1_2, FrameSize::Normal).unwrap();
+        assert_eq!((p.k, p.n, p.t), (32_208, 32_400, 12));
+        let p = BchParams::new(CodeRate::R2_3, FrameSize::Normal).unwrap();
+        assert_eq!((p.k, p.n, p.t), (43_040, 43_200, 10));
+        let p = BchParams::new(CodeRate::R9_10, FrameSize::Normal).unwrap();
+        assert_eq!((p.k, p.n, p.t), (58_192, 58_320, 8));
+    }
+
+    #[test]
+    fn short_frames_use_t12_over_gf14() {
+        let p = BchParams::new(CodeRate::R1_2, FrameSize::Short).unwrap();
+        assert_eq!((p.k, p.n, p.t, p.m), (7_032, 7_200, 12, 14));
+    }
+
+    #[test]
+    fn concatenated_rate_is_slightly_below_nominal() {
+        let p = BchParams::new(CodeRate::R1_2, FrameSize::Normal).unwrap();
+        let r = p.concatenated_rate();
+        assert!(r < 0.5 && r > 0.49, "{r}");
+    }
+
+    #[test]
+    fn code_constructs_with_expected_generator_degree() {
+        let code = BchCode::new(CodeRate::R8_9, FrameSize::Normal).unwrap();
+        assert_eq!(code.generator().len() - 1, 128);
+        assert_eq!(*code.generator().last().unwrap(), 1);
+        assert_eq!(code.generator()[0], 1);
+    }
+
+    #[test]
+    fn shortened_length_fits_the_field() {
+        for rate in CodeRate::ALL {
+            let p = BchParams::new(rate, FrameSize::Normal).unwrap();
+            assert!(p.n < (1 << p.m), "{rate}");
+        }
+    }
+}

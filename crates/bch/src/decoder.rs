@@ -1,0 +1,276 @@
+//! Algebraic BCH decoding: syndromes → Berlekamp–Massey → Chien search.
+//!
+//! This is the hard-decision outer decoder that follows the LDPC inner
+//! decoder in the DVB-S2 receive chain, correcting up to `t` residual bit
+//! errors per frame and thereby removing the LDPC error floor.
+
+use crate::code::BchCode;
+use dvbs2_ldpc::BitVec;
+use std::fmt;
+
+/// Outcome of a successful BCH decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BchDecodeOutcome {
+    /// The corrected codeword.
+    pub codeword: BitVec,
+    /// Number of bit errors corrected (0 ≤ `corrected` ≤ `t`).
+    pub corrected: usize,
+}
+
+/// The received word had more than `t` errors (or an error pattern outside
+/// the shortened code), so it cannot be corrected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UncorrectableError {
+    /// Degree of the error-locator polynomial that failed.
+    pub locator_degree: usize,
+}
+
+impl fmt::Display for UncorrectableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "uncorrectable BCH word (locator degree {} has no consistent root set)",
+            self.locator_degree
+        )
+    }
+}
+
+impl std::error::Error for UncorrectableError {}
+
+/// Berlekamp–Massey BCH decoder.
+#[derive(Debug, Clone)]
+pub struct BchDecoder {
+    code: BchCode,
+}
+
+impl BchDecoder {
+    /// Builds the decoder.
+    pub fn new(code: BchCode) -> Self {
+        BchDecoder { code }
+    }
+
+    /// The code this decoder serves.
+    pub fn code(&self) -> &BchCode {
+        &self.code
+    }
+
+    /// Computes the `2t` syndromes `S_i = r(α^i)` (bit 0 of `received` is
+    /// the highest-degree coefficient, matching the encoder).
+    pub fn syndromes(&self, received: &BitVec) -> Vec<u16> {
+        let field = self.code.field();
+        let n = received.len() as u32;
+        let t = self.code.params().t as u32;
+        let mut syndromes = vec![0u16; 2 * t as usize];
+        for j in 0..n as usize {
+            if received.get(j) {
+                let degree = n - 1 - j as u32;
+                for (i, s) in syndromes.iter_mut().enumerate() {
+                    *s ^= field.alpha_pow((i as u32 + 1) * (degree % field.order()));
+                }
+            }
+        }
+        syndromes
+    }
+
+    /// Decodes a received hard-decision word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UncorrectableError`] if more than `t` errors are present
+    /// (detected via an inconsistent error locator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `received.len() != N_bch`.
+    pub fn decode(&self, received: &BitVec) -> Result<BchDecodeOutcome, UncorrectableError> {
+        let p = *self.code.params();
+        assert_eq!(received.len(), p.n, "received word length mismatch");
+        let syndromes = self.syndromes(received);
+        if syndromes.iter().all(|&s| s == 0) {
+            return Ok(BchDecodeOutcome { codeword: received.clone(), corrected: 0 });
+        }
+        let locator = self.berlekamp_massey(&syndromes);
+        let degree = locator.len() - 1;
+        if degree > p.t {
+            return Err(UncorrectableError { locator_degree: degree });
+        }
+        let error_degrees = self.chien_search(&locator, p.n as u32);
+        if error_degrees.len() != degree {
+            return Err(UncorrectableError { locator_degree: degree });
+        }
+        let mut codeword = received.clone();
+        for &d in &error_degrees {
+            codeword.toggle(p.n - 1 - d as usize);
+        }
+        // Safety net: the corrected word must have zero syndromes.
+        if self.syndromes(&codeword).iter().any(|&s| s != 0) {
+            return Err(UncorrectableError { locator_degree: degree });
+        }
+        Ok(BchDecodeOutcome { codeword, corrected: degree })
+    }
+
+    /// Berlekamp–Massey: the minimal LFSR (error-locator polynomial Λ,
+    /// ascending coefficients, `Λ[0] = 1`) generating the syndromes.
+    fn berlekamp_massey(&self, syndromes: &[u16]) -> Vec<u16> {
+        let field = self.code.field();
+        let mut c: Vec<u16> = vec![1];
+        let mut b: Vec<u16> = vec![1];
+        let mut l = 0usize;
+        let mut shift = 1usize;
+        let mut b_disc = 1u16;
+        for n in 0..syndromes.len() {
+            let mut d = syndromes[n];
+            for i in 1..=l.min(c.len() - 1) {
+                d ^= field.mul(c[i], syndromes[n - i]);
+            }
+            if d == 0 {
+                shift += 1;
+            } else if 2 * l <= n {
+                let t = c.clone();
+                let scale = field.div(d, b_disc);
+                if c.len() < b.len() + shift {
+                    c.resize(b.len() + shift, 0);
+                }
+                for (i, &bi) in b.iter().enumerate() {
+                    c[i + shift] ^= field.mul(scale, bi);
+                }
+                l = n + 1 - l;
+                b = t;
+                b_disc = d;
+                shift = 1;
+            } else {
+                let scale = field.div(d, b_disc);
+                if c.len() < b.len() + shift {
+                    c.resize(b.len() + shift, 0);
+                }
+                for (i, &bi) in b.iter().enumerate() {
+                    c[i + shift] ^= field.mul(scale, bi);
+                }
+                shift += 1;
+            }
+        }
+        while c.len() > 1 && *c.last().expect("non-empty") == 0 {
+            c.pop();
+        }
+        c
+    }
+
+    /// Chien search over the shortened length: returns the error *degrees*
+    /// `d` (positions in polynomial terms, `0 ≤ d < n`) where
+    /// `Λ(α^{-d}) = 0`.
+    fn chien_search(&self, locator: &[u16], n: u32) -> Vec<u32> {
+        let field = self.code.field();
+        let order = field.order();
+        // terms[i] = Λ_i · α^{-i·d}, updated incrementally over d.
+        let mut terms: Vec<u16> = locator.to_vec();
+        let steps: Vec<u16> =
+            (0..locator.len()).map(|i| field.alpha_pow(order - (i as u32 % order))).collect();
+        let mut roots = Vec::new();
+        for d in 0..n {
+            let mut val = 0u16;
+            for &t in &terms {
+                val ^= t;
+            }
+            if val == 0 {
+                roots.push(d);
+            }
+            for (t, &s) in terms.iter_mut().zip(&steps) {
+                *t = field.mul(*t, s);
+            }
+        }
+        roots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::BchEncoder;
+    use dvbs2_ldpc::{CodeRate, FrameSize};
+    use rand::seq::index::sample;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    fn setup() -> (BchEncoder, BchDecoder) {
+        let code = BchCode::new(CodeRate::R1_2, FrameSize::Short).unwrap();
+        (BchEncoder::new(code.clone()), BchDecoder::new(code))
+    }
+
+    #[test]
+    fn clean_codeword_decodes_with_zero_corrections() {
+        let (enc, dec) = setup();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let cw = enc.encode(&enc.random_message(&mut rng)).unwrap();
+        let out = dec.decode(&cw).unwrap();
+        assert_eq!(out.corrected, 0);
+        assert_eq!(out.codeword, cw);
+    }
+
+    #[test]
+    fn corrects_up_to_t_errors_anywhere() {
+        let (enc, dec) = setup();
+        let t = dec.code().params().t;
+        let n = dec.code().params().n;
+        let mut rng = SmallRng::seed_from_u64(2);
+        let cw = enc.encode(&enc.random_message(&mut rng)).unwrap();
+        for errors in [1usize, 2, 5, t] {
+            let mut corrupted = cw.clone();
+            for idx in sample(&mut rng, n, errors) {
+                corrupted.toggle(idx);
+            }
+            let out = dec.decode(&corrupted).unwrap();
+            assert_eq!(out.corrected, errors, "{errors} errors");
+            assert_eq!(out.codeword, cw, "{errors} errors");
+        }
+    }
+
+    #[test]
+    fn error_bursts_at_the_edges_are_corrected() {
+        let (enc, dec) = setup();
+        let n = dec.code().params().n;
+        let mut rng = SmallRng::seed_from_u64(3);
+        let cw = enc.encode(&enc.random_message(&mut rng)).unwrap();
+        let mut corrupted = cw.clone();
+        for i in [0usize, 1, 2, n - 3, n - 2, n - 1] {
+            corrupted.toggle(i);
+        }
+        let out = dec.decode(&corrupted).unwrap();
+        assert_eq!(out.corrected, 6);
+        assert_eq!(out.codeword, cw);
+    }
+
+    #[test]
+    fn more_than_t_errors_is_flagged() {
+        let (enc, dec) = setup();
+        let t = dec.code().params().t;
+        let n = dec.code().params().n;
+        let mut rng = SmallRng::seed_from_u64(4);
+        let cw = enc.encode(&enc.random_message(&mut rng)).unwrap();
+        // t+1 errors: either flagged uncorrectable (typical) or, rarely,
+        // miscorrected into a *different* valid codeword — never silently
+        // returned with <= t corrections to the transmitted word.
+        let mut corrupted = cw.clone();
+        for idx in sample(&mut rng, n, t + 1) {
+            corrupted.toggle(idx);
+        }
+        match dec.decode(&corrupted) {
+            Err(_) => {}
+            Ok(out) => assert_ne!(out.codeword, cw, "t+1 errors cannot be corrected back"),
+        }
+    }
+
+    #[test]
+    fn normal_frame_t8_code_corrects() {
+        let code = BchCode::new(CodeRate::R9_10, FrameSize::Normal).unwrap();
+        let enc = BchEncoder::new(code.clone());
+        let dec = BchDecoder::new(code);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let cw = enc.encode(&enc.random_message(&mut rng)).unwrap();
+        let mut corrupted = cw.clone();
+        for idx in sample(&mut rng, cw.len(), 8) {
+            corrupted.toggle(idx);
+        }
+        let out = dec.decode(&corrupted).unwrap();
+        assert_eq!(out.corrected, 8);
+        assert_eq!(out.codeword, cw);
+    }
+}

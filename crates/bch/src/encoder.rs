@@ -1,0 +1,171 @@
+//! Systematic BCH encoding by polynomial division (the LFSR a hardware
+//! outer encoder implements).
+//!
+//! With message polynomial `m(x)` (first message bit = highest power), the
+//! codeword is `m(x)·x^p + (m(x)·x^p mod g(x))`, `p = deg g = m·t` — the
+//! message followed by the division remainder.
+
+use crate::code::BchCode;
+use dvbs2_ldpc::{BitVec, CodeError};
+
+/// Systematic encoder for one BCH code.
+#[derive(Debug, Clone)]
+pub struct BchEncoder {
+    code: BchCode,
+    /// Feedback taps: the generator without its leading term, packed into
+    /// words (bit `i` of the register = coefficient of `x^i`).
+    feedback: Vec<u64>,
+    parity_bits: usize,
+}
+
+impl BchEncoder {
+    /// Builds the encoder (packs the generator into LFSR taps).
+    pub fn new(code: BchCode) -> Self {
+        let parity_bits = code.params().parity_bits();
+        let mut feedback = vec![0u64; parity_bits.div_ceil(64)];
+        for (i, &c) in code.generator()[..parity_bits].iter().enumerate() {
+            if c == 1 {
+                feedback[i / 64] |= 1 << (i % 64);
+            }
+        }
+        BchEncoder { code, feedback, parity_bits }
+    }
+
+    /// The code this encoder serves.
+    pub fn code(&self) -> &BchCode {
+        &self.code
+    }
+
+    /// Encodes a `K_bch`-bit message into an `N_bch`-bit systematic
+    /// codeword (message first, parity last).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::MessageLength`] on a wrong-length message.
+    pub fn encode(&self, message: &BitVec) -> Result<BitVec, CodeError> {
+        let p = self.code.params();
+        if message.len() != p.k {
+            return Err(CodeError::MessageLength { expected: p.k, actual: message.len() });
+        }
+        let mut register = vec![0u64; self.feedback.len()];
+        let top_word = (self.parity_bits - 1) / 64;
+        let top_bit = (self.parity_bits - 1) % 64;
+        for bit in message.iter() {
+            let feedback_bit = bit ^ ((register[top_word] >> top_bit) & 1 == 1);
+            // Shift the whole register left by one.
+            let mut carry = 0u64;
+            for word in register.iter_mut() {
+                let next_carry = *word >> 63;
+                *word = (*word << 1) | carry;
+                carry = next_carry;
+            }
+            // Clear bits above the register width (no-op when the width is
+            // an exact multiple of 64).
+            if top_bit < 63 {
+                register[top_word] &= (1u64 << (top_bit + 1)) - 1;
+            }
+            if feedback_bit {
+                for (r, &f) in register.iter_mut().zip(&self.feedback) {
+                    *r ^= f;
+                }
+            }
+        }
+        let mut codeword = BitVec::zeros(p.n);
+        for (i, bit) in message.iter().enumerate() {
+            codeword.set(i, bit);
+        }
+        // Parity bits, highest register bit first (coefficient of x^{p-1}).
+        for i in 0..self.parity_bits {
+            let reg_index = self.parity_bits - 1 - i;
+            let bit = (register[reg_index / 64] >> (reg_index % 64)) & 1 == 1;
+            codeword.set(p.k + i, bit);
+        }
+        Ok(codeword)
+    }
+
+    /// Draws a uniformly random message.
+    pub fn random_message<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> BitVec {
+        (0..self.code.params().k).map(|_| rng.random::<bool>()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gf::GaloisField;
+    use dvbs2_ldpc::{CodeRate, FrameSize};
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    fn short_encoder() -> BchEncoder {
+        BchEncoder::new(BchCode::new(CodeRate::R1_2, FrameSize::Short).unwrap())
+    }
+
+    /// Evaluates the received word as a polynomial at α^i (bit 0 = highest
+    /// power), the defining parity check of a BCH code.
+    fn eval_at_alpha_pow(field: &GaloisField, word: &BitVec, i: u32) -> u16 {
+        let n = word.len();
+        let mut val = 0u16;
+        for j in 0..n {
+            if word.get(j) {
+                val ^= field.alpha_pow(i * ((n - 1 - j) as u32 % field.order()));
+            }
+        }
+        val
+    }
+
+    #[test]
+    fn codewords_have_zero_syndromes() {
+        let enc = short_encoder();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let cw = enc.encode(&enc.random_message(&mut rng)).unwrap();
+        let field = enc.code().field();
+        let t = enc.code().params().t as u32;
+        for i in 1..=2 * t {
+            assert_eq!(eval_at_alpha_pow(field, &cw, i), 0, "syndrome {i}");
+        }
+    }
+
+    #[test]
+    fn encoding_is_systematic_and_linear() {
+        let enc = short_encoder();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let a = enc.random_message(&mut rng);
+        let b = enc.random_message(&mut rng);
+        let ca = enc.encode(&a).unwrap();
+        for i in 0..a.len() {
+            assert_eq!(ca.get(i), a.get(i));
+        }
+        let mut ab = a.clone();
+        ab ^= &b;
+        let mut sum = ca.clone();
+        sum ^= &enc.encode(&b).unwrap();
+        assert_eq!(enc.encode(&ab).unwrap(), sum);
+    }
+
+    #[test]
+    fn zero_message_encodes_to_zero() {
+        let enc = short_encoder();
+        let cw = enc.encode(&BitVec::zeros(enc.code().params().k)).unwrap();
+        assert_eq!(cw.count_ones(), 0);
+    }
+
+    #[test]
+    fn wrong_length_is_rejected() {
+        let enc = short_encoder();
+        assert!(matches!(
+            enc.encode(&BitVec::zeros(10)),
+            Err(CodeError::MessageLength { .. })
+        ));
+    }
+
+    #[test]
+    fn normal_frame_codeword_also_checks() {
+        let enc = BchEncoder::new(BchCode::new(CodeRate::R9_10, FrameSize::Normal).unwrap());
+        let mut rng = SmallRng::seed_from_u64(7);
+        let cw = enc.encode(&enc.random_message(&mut rng)).unwrap();
+        let field = enc.code().field();
+        for i in 1..=4u32 {
+            assert_eq!(eval_at_alpha_pow(field, &cw, i), 0, "syndrome {i}");
+        }
+    }
+}

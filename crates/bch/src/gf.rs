@@ -1,0 +1,214 @@
+//! Arithmetic in the binary extension fields GF(2^m) used by the DVB-S2
+//! outer BCH codes (m = 16 for normal frames, m = 14 for short frames).
+//!
+//! Implemented with exponent/logarithm tables over a primitive element α;
+//! construction *verifies* primitivity of the supplied polynomial, so a
+//! wrong constant fails loudly instead of silently producing a non-field.
+
+/// A Galois field GF(2^m) with precomputed exp/log tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaloisField {
+    m: u32,
+    /// Field size minus one (the multiplicative order of α).
+    n: u32,
+    exp: Vec<u16>,
+    log: Vec<u16>,
+}
+
+impl GaloisField {
+    /// Builds GF(2^m) from a primitive polynomial given as a bit mask
+    /// (bit `i` = coefficient of `x^i`, including the leading `x^m` term).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= m <= 16`, the polynomial has degree `m`, and it
+    /// is primitive (i.e. `x` generates the full multiplicative group).
+    pub fn new(m: u32, primitive_poly: u32) -> Self {
+        assert!((2..=16).contains(&m), "m must be in 2..=16, got {m}");
+        assert_eq!(primitive_poly >> m, 1, "polynomial must have degree {m}");
+        let n = (1u32 << m) - 1;
+        let mut exp = vec![0u16; 2 * n as usize];
+        let mut log = vec![u16::MAX; (n + 1) as usize];
+        let mut value = 1u32;
+        for i in 0..n {
+            assert!(
+                log[value as usize] == u16::MAX,
+                "polynomial {primitive_poly:#x} is not primitive for m = {m}"
+            );
+            exp[i as usize] = value as u16;
+            log[value as usize] = i as u16;
+            value <<= 1;
+            if value >> m == 1 {
+                value ^= primitive_poly;
+            }
+        }
+        assert_eq!(value, 1, "polynomial {primitive_poly:#x} is not primitive for m = {m}");
+        // Duplicate the table so products of logs need no modulo.
+        for i in 0..n {
+            exp[(n + i) as usize] = exp[i as usize];
+        }
+        GaloisField { m, n, exp, log }
+    }
+
+    /// GF(2^16) with the primitive polynomial `x^16 + x^5 + x^3 + x^2 + 1`
+    /// (normal-frame BCH field).
+    pub fn gf2_16() -> Self {
+        GaloisField::new(16, (1 << 16) | 0b10_1101)
+    }
+
+    /// GF(2^14) with the primitive polynomial `x^14 + x^5 + x^3 + x + 1`
+    /// (short-frame BCH field).
+    pub fn gf2_14() -> Self {
+        GaloisField::new(14, (1 << 14) | 0b10_1011)
+    }
+
+    /// Field extension degree `m`.
+    pub fn degree(&self) -> u32 {
+        self.m
+    }
+
+    /// Multiplicative group order `2^m - 1`.
+    pub fn order(&self) -> u32 {
+        self.n
+    }
+
+    /// α raised to `power` (any non-negative exponent).
+    #[inline]
+    pub fn alpha_pow(&self, power: u32) -> u16 {
+        self.exp[(power % self.n) as usize]
+    }
+
+    /// Discrete logarithm of a nonzero element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x == 0` (zero has no logarithm).
+    #[inline]
+    pub fn log(&self, x: u16) -> u32 {
+        assert!(x != 0, "log of zero");
+        self.log[x as usize] as u32
+    }
+
+    /// Field addition (XOR).
+    #[inline]
+    pub fn add(&self, a: u16, b: u16) -> u16 {
+        a ^ b
+    }
+
+    /// Field multiplication.
+    #[inline]
+    pub fn mul(&self, a: u16, b: u16) -> u16 {
+        if a == 0 || b == 0 {
+            0
+        } else {
+            self.exp[(self.log[a as usize] as usize) + (self.log[b as usize] as usize)]
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x == 0`.
+    #[inline]
+    pub fn inv(&self, x: u16) -> u16 {
+        assert!(x != 0, "inverse of zero");
+        self.exp[(self.n - self.log[x as usize] as u32) as usize]
+    }
+
+    /// Division `a / b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b == 0`.
+    #[inline]
+    pub fn div(&self, a: u16, b: u16) -> u16 {
+        if a == 0 { 0 } else { self.mul(a, self.inv(b)) }
+    }
+
+    /// `x` raised to an arbitrary exponent.
+    pub fn pow(&self, x: u16, e: u32) -> u16 {
+        if x == 0 {
+            return if e == 0 { 1 } else { 0 };
+        }
+        self.exp[((self.log[x as usize] as u64 * e as u64) % self.n as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small field for exhaustive checks.
+    fn gf16() -> GaloisField {
+        GaloisField::new(4, 0b1_0011) // x^4 + x + 1
+    }
+
+    #[test]
+    fn exhaustive_field_axioms_gf16() {
+        let f = gf16();
+        for a in 0..16u16 {
+            for b in 0..16u16 {
+                assert_eq!(f.mul(a, b), f.mul(b, a));
+                if b != 0 {
+                    assert_eq!(f.mul(f.div(a, b), b), a, "a={a} b={b}");
+                }
+                for c in 0..16u16 {
+                    assert_eq!(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+                    assert_eq!(f.mul(a, f.mul(b, c)), f.mul(f.mul(a, b), c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_is_total_on_nonzero() {
+        let f = gf16();
+        for a in 1..16u16 {
+            assert_eq!(f.mul(a, f.inv(a)), 1);
+        }
+    }
+
+    #[test]
+    fn alpha_generates_the_group() {
+        let f = gf16();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..15 {
+            seen.insert(f.alpha_pow(i));
+        }
+        assert_eq!(seen.len(), 15);
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        let f = gf16();
+        for x in 1..16u16 {
+            let mut acc = 1u16;
+            for e in 0..20u32 {
+                assert_eq!(f.pow(x, e), acc, "x={x} e={e}");
+                acc = f.mul(acc, x);
+            }
+        }
+        assert_eq!(f.pow(0, 0), 1);
+        assert_eq!(f.pow(0, 5), 0);
+    }
+
+    #[test]
+    fn dvbs2_fields_construct() {
+        // Construction itself proves primitivity of the constants.
+        let f16 = GaloisField::gf2_16();
+        assert_eq!(f16.order(), 65_535);
+        let f14 = GaloisField::gf2_14();
+        assert_eq!(f14.order(), 16_383);
+        // Frobenius sanity: (a+b)^2 = a^2 + b^2.
+        let (a, b) = (0x1234u16, 0x0abc);
+        assert_eq!(f16.pow(f16.add(a, b), 2), f16.add(f16.pow(a, 2), f16.pow(b, 2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "not primitive")]
+    fn reducible_polynomial_is_rejected() {
+        // x^4 + 1 = (x+1)^4 is not even irreducible.
+        let _ = GaloisField::new(4, 0b1_0001);
+    }
+}

@@ -1,0 +1,50 @@
+//! DVB-S2 outer BCH codes.
+//!
+//! The DVB-S2 FEC frame concatenates an outer BCH code with the inner LDPC
+//! code the paper's IP core decodes: `K_bch` data bits → BCH codeword of
+//! `N_bch = K_ldpc` bits → LDPC codeword of `N_ldpc` bits. After the
+//! iterative LDPC decoder, the algebraic BCH decoder corrects up to `t`
+//! residual errors, removing the LDPC error floor. The paper treats the
+//! BCH stage as part of the surrounding standard; this crate implements it
+//! so the repository covers the complete FEC chain.
+//!
+//! * [`GaloisField`] — GF(2^16)/GF(2^14) arithmetic (tables, verified
+//!   primitive polynomials);
+//! * [`BchCode`]/[`BchParams`] — per-rate parameters and generator
+//!   polynomials (via cyclotomic cosets and minimal polynomials);
+//! * [`BchEncoder`] — systematic LFSR encoding;
+//! * [`BchDecoder`] — syndromes, Berlekamp–Massey, Chien search.
+//!
+//! # Example
+//!
+//! ```
+//! use dvbs2_bch::{BchCode, BchDecoder, BchEncoder};
+//! use dvbs2_ldpc::{BitVec, CodeRate, FrameSize};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let code = BchCode::new(CodeRate::R1_2, FrameSize::Short)?;
+//! let encoder = BchEncoder::new(code.clone());
+//! let decoder = BchDecoder::new(code);
+//!
+//! let message = BitVec::zeros(encoder.code().params().k);
+//! let mut word = encoder.encode(&message)?;
+//! word.toggle(123); // a residual error from the LDPC stage
+//! word.toggle(4567);
+//! let fixed = decoder.decode(&word)?;
+//! assert_eq!(fixed.corrected, 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod code;
+mod decoder;
+mod encoder;
+mod gf;
+mod poly;
+
+pub use code::{BchCode, BchParams};
+pub use decoder::{BchDecodeOutcome, BchDecoder, UncorrectableError};
+pub use encoder::BchEncoder;
+pub use gf::GaloisField;
+pub use poly::{cyclotomic_coset, generator_polynomial, minimal_polynomial, multiply_binary};

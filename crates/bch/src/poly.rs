@@ -1,0 +1,153 @@
+//! Generator-polynomial construction for BCH codes: cyclotomic cosets,
+//! minimal polynomials and their product.
+
+use crate::gf::GaloisField;
+
+/// The cyclotomic coset of `j` modulo `2^m - 1`: `{j, 2j, 4j, ...}`.
+pub fn cyclotomic_coset(field: &GaloisField, j: u32) -> Vec<u32> {
+    let n = field.order();
+    let mut coset = Vec::new();
+    let mut x = j % n;
+    loop {
+        coset.push(x);
+        x = (x * 2) % n;
+        if x == j % n {
+            break;
+        }
+    }
+    coset
+}
+
+/// Minimal polynomial of `α^j` over GF(2), returned as 0/1 coefficients
+/// (index = power of `x`). Its degree equals the coset size.
+///
+/// # Panics
+///
+/// Panics if the product's coefficients fail to collapse into GF(2) —
+/// which would indicate a broken field, not bad input.
+pub fn minimal_polynomial(field: &GaloisField, j: u32) -> Vec<u8> {
+    let coset = cyclotomic_coset(field, j);
+    // Product of (x + α^k) over the coset, in GF(2^m)[x].
+    let mut poly: Vec<u16> = vec![1];
+    for &k in &coset {
+        let root = field.alpha_pow(k);
+        let mut next = vec![0u16; poly.len() + 1];
+        for (i, &c) in poly.iter().enumerate() {
+            next[i + 1] ^= c; // c * x
+            next[i] ^= field.mul(c, root); // c * root
+        }
+        poly = next;
+    }
+    poly.iter()
+        .map(|&c| {
+            assert!(c <= 1, "minimal polynomial has a non-binary coefficient");
+            c as u8
+        })
+        .collect()
+}
+
+/// The narrow-sense BCH generator polynomial for error-correcting
+/// capability `t`: the product of the distinct minimal polynomials of
+/// `α^1, α^3, …, α^(2t-1)`. Returned as 0/1 coefficients; its degree is
+/// `m·t` for the DVB-S2 parameters.
+pub fn generator_polynomial(field: &GaloisField, t: u32) -> Vec<u8> {
+    let mut seen_cosets: Vec<u32> = Vec::new();
+    let mut gen: Vec<u8> = vec![1];
+    for i in 0..t {
+        let j = 2 * i + 1;
+        let representative = *cyclotomic_coset(field, j).iter().min().expect("non-empty coset");
+        if seen_cosets.contains(&representative) {
+            continue;
+        }
+        seen_cosets.push(representative);
+        let min_poly = minimal_polynomial(field, j);
+        gen = multiply_binary(&gen, &min_poly);
+    }
+    gen
+}
+
+/// Product of two GF(2) polynomials.
+pub fn multiply_binary(a: &[u8], b: &[u8]) -> Vec<u8> {
+    let mut out = vec![0u8; a.len() + b.len() - 1];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 1 {
+            for (j, &bj) in b.iter().enumerate() {
+                out[i + j] ^= bj;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gf16() -> GaloisField {
+        GaloisField::new(4, 0b1_0011)
+    }
+
+    #[test]
+    fn cosets_partition_and_close_under_doubling() {
+        let f = gf16();
+        let c = cyclotomic_coset(&f, 1);
+        assert_eq!(c, vec![1, 2, 4, 8]);
+        let c3 = cyclotomic_coset(&f, 3);
+        assert_eq!(c3, vec![3, 6, 12, 9]);
+        let c5 = cyclotomic_coset(&f, 5);
+        assert_eq!(c5, vec![5, 10]);
+    }
+
+    #[test]
+    fn minimal_polynomials_of_gf16_match_textbook() {
+        // Classic table for GF(16) with x^4 + x + 1.
+        let f = gf16();
+        assert_eq!(minimal_polynomial(&f, 1), vec![1, 1, 0, 0, 1]); // x^4+x+1
+        assert_eq!(minimal_polynomial(&f, 3), vec![1, 1, 1, 1, 1]); // x^4+x^3+x^2+x+1
+        assert_eq!(minimal_polynomial(&f, 5), vec![1, 1, 1]); // x^2+x+1
+    }
+
+    #[test]
+    fn minimal_polynomial_annihilates_its_root() {
+        let f = gf16();
+        for j in [1u32, 3, 5, 7] {
+            let p = minimal_polynomial(&f, j);
+            let root = f.alpha_pow(j);
+            let mut val = 0u16;
+            for (i, &c) in p.iter().enumerate() {
+                if c == 1 {
+                    val = f.add(val, f.pow(root, i as u32));
+                }
+            }
+            assert_eq!(val, 0, "j = {j}");
+        }
+    }
+
+    #[test]
+    fn bch_15_7_generator() {
+        // The (15,7) t=2 BCH generator is x^8+x^7+x^6+x^4+1.
+        let f = gf16();
+        let g = generator_polynomial(&f, 2);
+        assert_eq!(g, vec![1, 0, 0, 0, 1, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn dvbs2_generator_degrees() {
+        // Degree must be m*t for the DVB-S2 parameters (all the involved
+        // cosets are full-size and distinct).
+        let f16 = GaloisField::gf2_16();
+        for t in [8u32, 10, 12] {
+            let g = generator_polynomial(&f16, t);
+            assert_eq!(g.len() - 1, (16 * t) as usize, "t = {t}");
+        }
+        let f14 = GaloisField::gf2_14();
+        let g = generator_polynomial(&f14, 12);
+        assert_eq!(g.len() - 1, 168);
+    }
+
+    #[test]
+    fn multiply_binary_matches_convolution() {
+        // (x+1)(x+1) = x^2 + 1 over GF(2).
+        assert_eq!(multiply_binary(&[1, 1], &[1, 1]), vec![1, 0, 1]);
+    }
+}

@@ -1,0 +1,70 @@
+//! Property tests for the BCH substrate.
+
+use dvbs2_bch::{BchCode, BchDecoder, BchEncoder, GaloisField};
+use dvbs2_ldpc::{BitVec, CodeRate, FrameSize};
+use proptest::prelude::*;
+use rand::seq::index::sample;
+use rand::{rngs::SmallRng, SeedableRng};
+
+fn short_code() -> (BchEncoder, BchDecoder) {
+    let code = BchCode::new(CodeRate::R1_2, FrameSize::Short).unwrap();
+    (BchEncoder::new(code.clone()), BchDecoder::new(code))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any error pattern of weight <= t is corrected exactly.
+    #[test]
+    fn corrects_any_pattern_up_to_t(seed in any::<u64>(), errors in 0usize..=12) {
+        let (enc, dec) = short_code();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let cw = enc.encode(&enc.random_message(&mut rng)).unwrap();
+        let mut corrupted = cw.clone();
+        for idx in sample(&mut rng, cw.len(), errors) {
+            corrupted.toggle(idx);
+        }
+        let out = dec.decode(&corrupted).unwrap();
+        prop_assert_eq!(out.corrected, errors);
+        prop_assert_eq!(out.codeword, cw);
+    }
+
+    /// Syndromes of encoder outputs are identically zero.
+    #[test]
+    fn codeword_syndromes_vanish(seed in any::<u64>()) {
+        let (enc, dec) = short_code();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let cw = enc.encode(&enc.random_message(&mut rng)).unwrap();
+        prop_assert!(dec.syndromes(&cw).iter().all(|&s| s == 0));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Field laws hold on random elements of the big DVB-S2 fields.
+    #[test]
+    fn gf14_field_laws(a in 1u16..16_383, b in 1u16..16_383, c in 0u16..16_383) {
+        let f = GaloisField::gf2_14();
+        prop_assert_eq!(f.mul(a, b), f.mul(b, a));
+        prop_assert_eq!(f.mul(a, f.inv(a)), 1);
+        prop_assert_eq!(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+        prop_assert_eq!(f.div(f.mul(a, b), b), a);
+        // Frobenius: squaring is additive in characteristic 2.
+        prop_assert_eq!(f.pow(f.add(b, c), 2), f.add(f.pow(b, 2), f.pow(c, 2)));
+    }
+
+    /// log/exp are inverse bijections.
+    #[test]
+    fn gf16_log_exp_round_trip(a in 1u16..=65_534) {
+        let f = GaloisField::gf2_16();
+        prop_assert_eq!(f.alpha_pow(f.log(a)), a);
+    }
+}
+
+#[test]
+fn all_zero_received_word_is_a_codeword() {
+    let (_, dec) = short_code();
+    let out = dec.decode(&BitVec::zeros(dec.code().params().n)).unwrap();
+    assert_eq!(out.corrected, 0);
+}

@@ -1,0 +1,38 @@
+//! Criterion micro-benchmarks of code construction and encoding — the
+//! "linear encoding complexity" of IRA codes the paper highlights.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dvbs2::ldpc::{CodeRate, DvbS2Code, FrameSize};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+
+    group.bench_function("build_code_r12_normal", |b| {
+        b.iter(|| DvbS2Code::new(CodeRate::R1_2, FrameSize::Normal).unwrap())
+    });
+
+    let code = DvbS2Code::new(CodeRate::R1_2, FrameSize::Normal).unwrap();
+    group.bench_function("build_tanner_graph_r12_normal", |b| b.iter(|| code.tanner_graph()));
+
+    let encoder = code.encoder().unwrap();
+    let mut rng = SmallRng::seed_from_u64(5);
+    let msg = encoder.random_message(&mut rng);
+    group.bench_function("ira_encode_r12_normal", |b| {
+        b.iter(|| encoder.encode(std::hint::black_box(&msg)).unwrap())
+    });
+
+    let h = code.parity_check_matrix();
+    let cw = encoder.encode(&msg).unwrap();
+    group.bench_function("syndrome_check_r12_normal", |b| {
+        b.iter(|| h.is_codeword(std::hint::black_box(&cw)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

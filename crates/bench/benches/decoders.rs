@@ -1,0 +1,65 @@
+//! Criterion micro-benchmarks of the decoding algorithms (one short frame
+//! per iteration; fixed 10 decoder iterations so runs are comparable).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dvbs2::decoder::{
+    Decoder, DecoderConfig, FloodingDecoder, LayeredDecoder, Quantizer,
+    QuantizedZigzagDecoder, ZigzagDecoder,
+};
+use dvbs2::ldpc::{CodeRate, FrameSize};
+use dvbs2::{Dvbs2System, SystemConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_decoders(c: &mut Criterion) {
+    let system = Dvbs2System::new(SystemConfig {
+        rate: CodeRate::R1_2,
+        frame: FrameSize::Short,
+        ..SystemConfig::default()
+    })
+    .unwrap();
+    let graph = Arc::clone(system.graph());
+    let mut rng = SmallRng::seed_from_u64(77);
+    let frame = system.transmit_frame(&mut rng, 2.0);
+    let config = DecoderConfig::default().with_max_iterations(10).with_early_stop(false);
+
+    let mut group = c.benchmark_group("decode_short_r12_10iters");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+
+    let mut flooding = FloodingDecoder::new(Arc::clone(&graph), config);
+    group.bench_function("flooding_sum_product", |b| {
+        b.iter(|| flooding.decode(std::hint::black_box(&frame.llrs)))
+    });
+
+    let mut zigzag = ZigzagDecoder::new(Arc::clone(&graph), config);
+    group.bench_function("zigzag_sum_product", |b| {
+        b.iter(|| zigzag.decode(std::hint::black_box(&frame.llrs)))
+    });
+
+    let mut layered = LayeredDecoder::new(Arc::clone(&graph), config);
+    group.bench_function("layered_sum_product", |b| {
+        b.iter(|| layered.decode(std::hint::black_box(&frame.llrs)))
+    });
+
+    let mut minsum = FloodingDecoder::new(
+        Arc::clone(&graph),
+        config.with_rule(dvbs2::decoder::CheckRule::NormalizedMinSum(0.8)),
+    );
+    group.bench_function("flooding_min_sum", |b| {
+        b.iter(|| minsum.decode(std::hint::black_box(&frame.llrs)))
+    });
+
+    let mut quantized =
+        QuantizedZigzagDecoder::new(Arc::clone(&graph), Quantizer::paper_6bit(), config);
+    let channel = quantized.quantize_channel(&frame.llrs);
+    group.bench_function("quantized_zigzag_6bit", |b| {
+        b.iter(|| quantized.decode_quantized(std::hint::black_box(&channel)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_decoders);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion micro-benchmarks of the hardware model: the cycle-accurate
+//! core, the golden model, the shuffle network and the schedule annealer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dvbs2::hardware::{
+    optimize_schedule, AnnealOptions, CnSchedule, ConnectivityRom, CoreConfig, GoldenModel,
+    HardwareDecoder, MemoryConfig, ShuffleNetwork,
+};
+use dvbs2::ldpc::{CodeRate, DvbS2Code, FrameSize, PARALLELISM};
+use dvbs2::{Dvbs2System, SystemConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_hardware(c: &mut Criterion) {
+    let code = DvbS2Code::new(CodeRate::R1_2, FrameSize::Short).unwrap();
+    let system = Dvbs2System::new(SystemConfig {
+        rate: CodeRate::R1_2,
+        frame: FrameSize::Short,
+        ..SystemConfig::default()
+    })
+    .unwrap();
+    let mut rng = SmallRng::seed_from_u64(3);
+    let tx = system.transmit_frame(&mut rng, 2.0);
+    let rom = ConnectivityRom::build(code.params(), code.table());
+    let config = CoreConfig { max_iterations: 5, ..CoreConfig::default() };
+
+    let mut group = c.benchmark_group("hardware_model");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+
+    let mut hw = HardwareDecoder::with_natural_schedule(&code, config);
+    let channel = hw.quantize_channel(&tx.llrs);
+    group.bench_function("cycle_accurate_core_5iters", |b| {
+        b.iter(|| hw.decode_quantized(std::hint::black_box(&channel)))
+    });
+
+    let mut golden = GoldenModel::new(
+        &code,
+        CnSchedule::natural(&rom),
+        config.quantizer,
+        config.max_iterations,
+        false,
+    );
+    group.bench_function("golden_model_5iters", |b| {
+        b.iter(|| golden.decode_quantized(std::hint::black_box(&channel)))
+    });
+
+    let net = ShuffleNetwork::new(PARALLELISM);
+    let data: Vec<i32> = (0..PARALLELISM as i32).collect();
+    let mut out = vec![0i32; PARALLELISM];
+    group.bench_function("shuffle_rotate_360", |b| {
+        b.iter(|| net.rotate(std::hint::black_box(&data), 123, &mut out))
+    });
+
+    group.bench_function("anneal_500_moves", |b| {
+        b.iter(|| {
+            optimize_schedule(
+                &rom,
+                MemoryConfig::default(),
+                AnnealOptions { moves: 500, ..AnnealOptions::default() },
+            )
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_hardware);
+criterion_main!(benches);

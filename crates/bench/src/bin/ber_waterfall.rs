@@ -1,0 +1,57 @@
+//! Regenerates the **"≈ 0.7 dB to Shannon" framing** of the paper's
+//! introduction: BER waterfalls for selected rates against the binary-input
+//! AWGN Shannon limit of each true code rate.
+//!
+//! Run: `cargo run --release -p dvbs2-bench --bin ber_waterfall [--normal] [--frames N]`
+
+use dvbs2::channel::shannon_limit_biawgn_db;
+use dvbs2::ldpc::{CodeRate, FrameSize};
+use dvbs2::DecoderKind;
+use dvbs2_bench::{ber_point, sci, system};
+
+fn main() {
+    let normal = std::env::args().any(|a| a == "--normal");
+    let frames: usize = std::env::args()
+        .skip_while(|a| a != "--frames")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if normal { 15 } else { 80 });
+    let frame = if normal { FrameSize::Normal } else { FrameSize::Short };
+
+    println!("Gap to Shannon, {frame} frames, zigzag sum-product, 30 iterations");
+    println!("({frames} frames per point)\n");
+
+    let rates = [CodeRate::R1_4, CodeRate::R1_2, CodeRate::R3_4];
+    for rate in rates {
+        let sys = system(rate, frame, DecoderKind::Zigzag, 30);
+        let p = sys.params();
+        let true_rate = p.k as f64 / p.n as f64;
+        let limit = shannon_limit_biawgn_db(true_rate);
+        println!(
+            "rate {rate} (true {true_rate:.3}), Shannon limit {limit:+.3} dB:"
+        );
+        println!(
+            "{:>9} {:>9} {:>12} {:>12} {:>8}",
+            "Eb/N0[dB]", "gap[dB]", "BER", "FER", "iters"
+        );
+        // Points straddling the waterfall: start near the limit.
+        let offsets = if normal { [0.4, 0.6, 0.8, 1.0] } else { [0.4, 0.8, 1.2, 1.6] };
+        for off in offsets {
+            let ebn0 = limit + off;
+            let pt = ber_point(&sys, ebn0, frames, 25);
+            println!(
+                "{:>9.2} {:>9.2} {:>12} {:>12} {:>8.1}",
+                ebn0,
+                off,
+                sci(pt.ber),
+                sci(pt.fer),
+                pt.avg_iterations
+            );
+        }
+        println!();
+    }
+    println!(
+        "Paper framing: the N = 64800 codes operate ≈ 0.7 dB from the Shannon limit; short \
+         frames (our fast default) sit slightly further out, as expected from block length."
+    );
+}

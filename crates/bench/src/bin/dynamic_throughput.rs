@@ -1,0 +1,51 @@
+//! Effective throughput with syndrome-based early termination — the
+//! operational gain the paper's fixed-30-iteration accounting leaves on
+//! the table. Measures the mean iteration count of the zigzag decoder per
+//! Eb/N0 and feeds it into the Eq. 8 cycle model.
+//!
+//! Run: `cargo run --release -p dvbs2-bench --bin dynamic_throughput`
+
+use dvbs2::hardware::{ThroughputModel, ST_0_13_UM};
+use dvbs2::ldpc::{CodeParams, CodeRate, FrameSize};
+use dvbs2::DecoderKind;
+use dvbs2_bench::{ber_point, system};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let rate = CodeRate::R1_2;
+    // Normal-frame parameters price the hardware; the iteration statistics
+    // come from the (much faster) short-frame simulation — iteration
+    // counts at matched distance-to-threshold are nearly length-invariant.
+    let hw_params = CodeParams::new(rate, FrameSize::Normal)?;
+    let model = ThroughputModel::paper(&ST_0_13_UM);
+    let fixed = model.throughput_mbps(&hw_params);
+
+    println!(
+        "Early-termination throughput, rate {rate} @ {} MHz (fixed 30 iterations: \
+         {fixed:.1} Mbit/s)\n",
+        model.clock_mhz
+    );
+    println!(
+        "{:>9} {:>12} {:>14} {:>14} {:>8}",
+        "Eb/N0[dB]", "iters/frame", "T_eff [Mbit/s]", "gain vs fixed", "FER"
+    );
+    for ebn0 in [1.2f64, 1.6, 2.0, 2.5, 3.0, 4.0] {
+        let sys = system(rate, FrameSize::Short, DecoderKind::Zigzag, 30);
+        let pt = ber_point(&sys, ebn0, 40, 0);
+        let cycles = model.cycles_at_iterations(&hw_params, pt.avg_iterations);
+        let t_eff = hw_params.k as f64 / cycles * model.clock_mhz;
+        println!(
+            "{:>9.2} {:>12.1} {:>14.1} {:>13.2}x {:>8.2}",
+            ebn0,
+            pt.avg_iterations,
+            t_eff,
+            t_eff / fixed,
+            pt.fer
+        );
+    }
+    println!(
+        "\nWith overlapped frame I/O (double-buffered channel RAM) the fixed-iteration \
+         figure itself rises to {:.1} Mbit/s.",
+        model.throughput_overlapped_mbps(&hw_params)
+    );
+    Ok(())
+}

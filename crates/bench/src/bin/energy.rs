@@ -1,0 +1,41 @@
+//! Energy estimates per code rate (extension — the paper reports no power
+//! numbers; the model prices the architectural activity the cycle-accurate
+//! core determines, at representative 0.13 µm per-event energies).
+//!
+//! Run: `cargo run --release -p dvbs2-bench --bin energy`
+
+use dvbs2::hardware::{EnergyModel, MemoryConfig, Technology};
+use dvbs2::ldpc::{CodeParams, CodeRate, FrameSize};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = EnergyModel::default_0_13um();
+    let tech = Technology::default();
+    println!("Energy model (0.13 um, 6-bit messages, 30 iterations) — extension\n");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12}",
+        "rate", "frame [uJ]", "nJ/bit", "power [mW]", "RAM share"
+    );
+    for rate in CodeRate::ALL {
+        let p = CodeParams::new(rate, FrameSize::Normal)?;
+        let report = model.frame_energy(&p, 30);
+        let power = model.average_power_mw(&p, 30, &tech, MemoryConfig::default());
+        let ram_share = (report.message_ram_nj + report.side_ram_nj) / report.total_nj();
+        println!(
+            "{:>6} {:>12.1} {:>12.2} {:>12.0} {:>11.0}%",
+            rate.to_string(),
+            report.total_nj() / 1e3,
+            report.nj_per_bit(),
+            power,
+            ram_share * 100.0
+        );
+    }
+    println!("\nBreakdown for the paper's R = 1/2 reference point:");
+    let p = CodeParams::new(CodeRate::R1_2, FrameSize::Normal)?;
+    println!("{}", model.frame_energy(&p, 30));
+    println!(
+        "\nEarly termination leverage: at high SNR the zigzag decoder converges in far\n\
+         fewer than 30 iterations (see ber_waterfall's iteration column), and energy\n\
+         scales linearly with iterations."
+    );
+    Ok(())
+}

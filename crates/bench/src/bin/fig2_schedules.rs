@@ -1,0 +1,80 @@
+//! Regenerates the **Figure 2 / Section 2.2** result: the optimized zigzag
+//! parity update reaches the same BER as the conventional two-phase
+//! schedule with ~10 fewer iterations ("30 iterations instead of 40").
+//!
+//! Sweeps the iteration cap for both schedules at a fixed near-threshold
+//! Eb/N0 and reports BER and the iteration cap at which each schedule
+//! reaches the clean-frame regime.
+//!
+//! Run: `cargo run --release -p dvbs2-bench --bin fig2_schedules [--normal]`
+
+use dvbs2::ldpc::{CodeRate, FrameSize};
+use dvbs2::DecoderKind;
+use dvbs2_bench::{ber_point, system};
+
+fn main() {
+    let normal = std::env::args().any(|a| a == "--normal");
+    let frame = if normal { FrameSize::Normal } else { FrameSize::Short };
+    let (ebn0, frames) = if normal { (1.0, 12) } else { (1.0, 40) };
+    let caps: &[usize] = &[5, 10, 15, 20, 25, 30, 40, 50];
+
+    println!("Figure 2: conventional (flooding) vs optimized (zigzag) schedule");
+    println!("Rate 1/2 {frame} frames at Eb/N0 = {ebn0} dB, {frames} frames per point\n");
+    println!(
+        "{:>6} {:>14} {:>14} {:>12} {:>12}",
+        "iters", "flooding BER", "zigzag BER", "flood iters", "zig iters"
+    );
+
+    let mut crossover: Option<(usize, usize)> = None;
+    let mut flood_clean = None;
+    let mut zig_clean = None;
+    for &cap in caps {
+        let flood = ber_point(
+            &system(CodeRate::R1_2, frame, DecoderKind::Flooding, cap),
+            ebn0,
+            frames,
+            0,
+        );
+        let zig = ber_point(
+            &system(CodeRate::R1_2, frame, DecoderKind::Zigzag, cap),
+            ebn0,
+            frames,
+            0,
+        );
+        println!(
+            "{:>6} {:>14} {:>14} {:>12.1} {:>12.1}",
+            cap,
+            dvbs2_bench::sci(flood.ber),
+            dvbs2_bench::sci(zig.ber),
+            flood.avg_iterations,
+            zig.avg_iterations
+        );
+        if flood_clean.is_none() && flood.ber == 0.0 {
+            flood_clean = Some(cap);
+        }
+        if zig_clean.is_none() && zig.ber == 0.0 {
+            zig_clean = Some(cap);
+        }
+        if let (Some(z), Some(f)) = (zig_clean, flood_clean) {
+            crossover.get_or_insert((z, f));
+        }
+    }
+
+    match (zig_clean, flood_clean) {
+        (Some(z), Some(f)) => {
+            println!(
+                "\nClean-frame regime reached at {z} iterations (zigzag) vs {f} (flooding): \
+                 {} iterations saved.",
+                f.saturating_sub(z)
+            );
+            println!("Paper claim: 30 iterations with the optimized schedule match 40 without.");
+        }
+        _ => println!(
+            "\nIncrease frames/SNR to reach the clean regime; partial data printed above."
+        ),
+    }
+    println!(
+        "\nMemory payoff (Section 2.2): only backward messages stored — E_PN/2 ≈ N-K values \
+         instead of E_PN."
+    );
+}

@@ -1,0 +1,87 @@
+//! Girth-conditioning ablation: the table generator's 4-cycle avoidance
+//! (on by default, matching the standard's tables) versus plain random
+//! tables — sampled local-girth histograms and the BER consequence.
+//!
+//! Run: `cargo run --release -p dvbs2-bench --bin girth`
+
+use dvbs2::channel::StopRule;
+use dvbs2::decoder::{Decoder, DecoderConfig, ZigzagDecoder};
+use dvbs2::ldpc::{AddressTable, CodeParams, CodeRate, DvbS2Code, FrameSize, TableOptions, TannerGraph};
+use dvbs2::{Dvbs2System, SystemConfig};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn girth_histogram(graph: &TannerGraph, samples: usize) -> BTreeMap<usize, usize> {
+    let stride = (graph.var_count() / samples).max(1);
+    let mut hist = BTreeMap::new();
+    for v in (0..graph.var_count()).step_by(stride) {
+        let g = graph.local_girth(v, 10).unwrap_or(12);
+        *hist.entry(g).or_insert(0usize) += 1;
+    }
+    hist
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let rate = CodeRate::R1_2;
+    let frame = FrameSize::Short;
+    let params = CodeParams::new(rate, frame)?;
+
+    println!("Girth-conditioning ablation, rate {rate} {frame} frames\n");
+    for conditioned in [true, false] {
+        let table = AddressTable::generate(
+            &params,
+            TableOptions { avoid_girth4: conditioned, ..TableOptions::default() },
+        );
+        let graph = TannerGraph::for_code(&params, &table);
+        let hist = girth_histogram(&graph, 400);
+        let label = if conditioned { "conditioned (default)" } else { "unconditioned" };
+        println!("{label}: sampled local-girth histogram (12 = none found up to 10):");
+        for (g, count) in &hist {
+            println!("  girth {g:>2}: {count}");
+        }
+        let four: usize = hist.get(&4).copied().unwrap_or(0);
+        println!("  4-cycles through sampled nodes: {four}\n");
+    }
+
+    // BER consequence at one near-threshold point.
+    println!("BER at Eb/N0 = 1.1 dB (zigzag, 30 iterations, 60 frames):");
+    let system = Dvbs2System::new(SystemConfig { rate, frame, ..SystemConfig::default() })?;
+    let est = system.simulate_ber(1.1, StopRule::frames(60), dvbs2::channel::default_threads());
+    println!("  conditioned:   BER {:.2e}  FER {:.2e}", est.ber(), est.fer());
+
+    // Unconditioned code, same channel realizations are not directly
+    // comparable through the facade; measure with a local loop.
+    let table = AddressTable::generate(
+        &params,
+        TableOptions { avoid_girth4: false, ..TableOptions::default() },
+    );
+    let code = DvbS2Code::from_table(rate, frame, table.rows().to_vec())?;
+    let graph = Arc::new(code.tanner_graph());
+    let enc = code.encoder()?;
+    let mut dec = ZigzagDecoder::new(graph, DecoderConfig::default());
+    let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(99);
+    let sigma = dvbs2::channel::noise_sigma(1.1, params.k as f64 / params.n as f64);
+    let mut bit_errors = 0usize;
+    let mut frame_errors = 0usize;
+    let frames = 60;
+    for _ in 0..frames {
+        let cw = enc.encode(&enc.random_message(&mut rng))?;
+        let mut samples = dvbs2::channel::Modulation::Bpsk.modulate(&cw);
+        dvbs2::channel::AwgnChannel::new(sigma).corrupt(&mut rng, &mut samples);
+        let llrs = dvbs2::channel::Modulation::Bpsk.demap(&samples, sigma);
+        let out = dec.decode(&llrs);
+        let errs = out.info_bit_errors(&cw, params.k);
+        bit_errors += errs;
+        frame_errors += usize::from(errs > 0);
+    }
+    println!(
+        "  unconditioned: BER {:.2e}  FER {:.2e}",
+        bit_errors as f64 / (frames * params.k) as f64,
+        frame_errors as f64 / frames as f64
+    );
+    println!(
+        "\n4-cycles feed a message back to its sender after two iterations; avoiding them \
+         is\nstandard code-construction hygiene and the DVB-S2 annex tables satisfy it."
+    );
+    Ok(())
+}

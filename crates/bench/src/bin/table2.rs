@@ -1,0 +1,62 @@
+//! Regenerates **Table 2** of the paper (code-rate dependent parameters:
+//! `q`, `E_PN`, `E_IN`, `Addr`) and the **Figure 3** mapping statistics:
+//! how information and check nodes map onto the 360 functional units, and
+//! how many `(shift, address)` ROM entries store the whole connectivity.
+//!
+//! Run: `cargo run --release -p dvbs2-bench --bin table2`
+
+use dvbs2::hardware::ConnectivityRom;
+use dvbs2::ldpc::{CodeRate, DvbS2Code, FrameSize, PARALLELISM};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Table 2: code-rate dependent parameters (N = 64800)\n");
+    println!(
+        "{:>6} {:>5} {:>8} {:>8} {:>6} {:>10}",
+        "Rate", "q", "E_PN", "E_IN", "Addr", "ROM bits"
+    );
+    for rate in CodeRate::ALL {
+        let code = DvbS2Code::new(rate, FrameSize::Normal)?;
+        let p = code.params();
+        let rom = ConnectivityRom::build(p, code.table());
+        assert_eq!(rom.words(), p.addr_entries());
+        println!(
+            "{:>6} {:>5} {:>8} {:>8} {:>6} {:>10}",
+            rate.to_string(),
+            p.q,
+            p.e_pn(),
+            p.e_in(),
+            p.addr_entries(),
+            rom.storage_bits()
+        );
+    }
+
+    // Figure 3: the R = 1/2 mapping the paper illustrates.
+    let code = DvbS2Code::new(CodeRate::R1_2, FrameSize::Normal)?;
+    let p = code.params();
+    let rom = ConnectivityRom::build(p, code.table());
+    println!("\nFigure 3 mapping check (R = 1/2):");
+    println!("  {} information nodes -> {} functional units,", p.k, PARALLELISM);
+    println!("  {} nodes per unit ({} groups of 360),", p.groups(), p.groups());
+    println!("  {} check nodes -> {} per unit (q = {}),", p.n_check, p.q, p.q);
+    println!(
+        "  message RAM: {} words x 360 lanes x 6 bit = {} bits,",
+        rom.words(),
+        rom.words() * PARALLELISM * 6
+    );
+    println!(
+        "  connectivity ROM: {} entries ({} bits total) — the paper stores 450 for R = 1/2.",
+        rom.words(),
+        rom.storage_bits()
+    );
+
+    // Each residue row must contain exactly k-2 entries: the guarantee that
+    // every functional unit processes the same number of edges (Eq. 6).
+    for r in 0..rom.row_count() {
+        assert_eq!(rom.row(r).len(), p.check_degree - 2);
+    }
+    println!(
+        "  Eq. 6 verified: every unit processes q(k-2) = {} edges per half-iteration.",
+        p.q * (p.check_degree - 2)
+    );
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Regenerates **Table 3** of the paper: the synthesis-area breakdown of
+//! the multi-rate decoder on the (calibrated) ST 0.13 µm node, side by side
+//! with the paper's published values.
+//!
+//! Run: `cargo run --release -p dvbs2-bench --bin table3_area`
+
+use dvbs2::hardware::{AreaModel, ST_0_13_UM};
+use dvbs2::ldpc::FrameSize;
+
+/// The paper's Table 3 (channel-RAM row inferred as the remainder of the
+/// published 22.74 mm² total; the other rows are printed in the paper).
+const PAPER: &[(&str, f64)] = &[
+    ("Channel LLR RAMs", 2.00),
+    ("Message RAMs", 9.12),
+    ("Address/Shuffling ROM", 0.075),
+    ("Functional units (logic)", 10.8),
+    ("Control logic", 0.2),
+    ("Shuffling network", 0.55),
+];
+
+fn main() {
+    let report = AreaModel::paper().report(FrameSize::Normal);
+    println!(
+        "Table 3: area of the DVB-S2 LDPC decoder, {} (6-bit messages)\n",
+        ST_0_13_UM.name
+    );
+    println!(
+        "{:<28} {:>11} {:>11} {:>8}   derivation",
+        "component", "model [mm2]", "paper [mm2]", "ratio"
+    );
+    for item in &report.items {
+        let paper = PAPER
+            .iter()
+            .find(|&&(name, _)| name == item.name)
+            .map(|&(_, v)| v)
+            .unwrap_or(f64::NAN);
+        println!(
+            "{:<28} {:>11.3} {:>11.3} {:>8.2}   {}",
+            item.name,
+            item.mm2,
+            paper,
+            item.mm2 / paper,
+            item.detail
+        );
+    }
+    let total = report.total_mm2();
+    println!("{:<28} {:>11.2} {:>11.2} {:>8.2}", "Total", total, 22.74, total / 22.74);
+    println!(
+        "\nMax clock (worst case): {} MHz; throughput requirement 255 Mbit/s (see throughput_eq8).",
+        ST_0_13_UM.max_clock_mhz
+    );
+    println!(
+        "Sizing rationale: PN memories sized by R = 1/4 (largest parity set), IN message"
+    );
+    println!(
+        "banks by R = 3/5 (most information edges), FU datapath by R = 2/3 / 9/10 degrees."
+    );
+}

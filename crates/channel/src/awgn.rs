@@ -1,0 +1,133 @@
+//! Additive white Gaussian noise generation.
+//!
+//! A self-contained Box–Muller Gaussian source keeps the workspace free of
+//! extra dependencies and makes noise realizations a pure function of the
+//! seed, which the Monte-Carlo harness relies on for reproducibility.
+
+use rand::Rng;
+
+/// A standard-normal sample source using the Box–Muller transform.
+///
+/// ```
+/// use dvbs2_channel::GaussianSource;
+/// use rand::{SeedableRng, rngs::SmallRng};
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let mut gauss = GaussianSource::new();
+/// let x: f64 = gauss.sample(&mut rng);
+/// assert!(x.is_finite());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GaussianSource {
+    spare: Option<f64>,
+}
+
+impl GaussianSource {
+    /// Creates a source with no cached spare sample.
+    pub fn new() -> Self {
+        GaussianSource { spare: None }
+    }
+
+    /// Draws one `N(0, 1)` sample.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Box–Muller: u1 in (0,1] avoids ln(0).
+        let u1: f64 = 1.0 - rng.random::<f64>();
+        let u2: f64 = rng.random::<f64>();
+        let radius = (-2.0 * u1.ln()).sqrt();
+        let (sin, cos) = (std::f64::consts::TAU * u2).sin_cos();
+        self.spare = Some(radius * sin);
+        radius * cos
+    }
+}
+
+/// An AWGN channel with fixed noise standard deviation per real dimension.
+#[derive(Debug, Clone)]
+pub struct AwgnChannel {
+    sigma: f64,
+    gauss: GaussianSource,
+}
+
+impl AwgnChannel {
+    /// Creates a channel adding `N(0, sigma^2)` noise to each sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is not positive and finite.
+    pub fn new(sigma: f64) -> Self {
+        assert!(sigma > 0.0 && sigma.is_finite(), "sigma must be positive, got {sigma}");
+        AwgnChannel { sigma, gauss: GaussianSource::new() }
+    }
+
+    /// The noise standard deviation.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Adds noise to `samples` in place.
+    pub fn corrupt<R: Rng + ?Sized>(&mut self, rng: &mut R, samples: &mut [f64]) {
+        for s in samples {
+            *s += self.sigma * self.gauss.sample(rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_moments_are_close() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut g = GaussianSource::new();
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| g.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn gaussian_tail_mass_is_reasonable() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut g = GaussianSource::new();
+        let n = 100_000;
+        let beyond_2: usize = (0..n).filter(|_| g.sample(&mut rng).abs() > 2.0).count();
+        let frac = beyond_2 as f64 / n as f64;
+        // P(|Z| > 2) = 4.55 %.
+        assert!((frac - 0.0455).abs() < 0.005, "tail fraction {frac}");
+    }
+
+    #[test]
+    fn channel_noise_has_requested_power() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut ch = AwgnChannel::new(0.5);
+        let mut samples = vec![1.0f64; 100_000];
+        ch.corrupt(&mut rng, &mut samples);
+        let var =
+            samples.iter().map(|y| (y - 1.0) * (y - 1.0)).sum::<f64>() / samples.len() as f64;
+        assert!((var - 0.25).abs() < 0.01, "noise var {var}");
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let run = || {
+            let mut rng = SmallRng::seed_from_u64(9);
+            let mut ch = AwgnChannel::new(1.0);
+            let mut s = vec![0.0f64; 16];
+            ch.corrupt(&mut rng, &mut s);
+            s
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be positive")]
+    fn rejects_nonpositive_sigma() {
+        let _ = AwgnChannel::new(0.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Channel capacity and Shannon limits for the binary-input AWGN channel.
+//!
+//! The paper quotes the DVB-S2 LDPC codes as operating "≈ 0.7 dB to
+//! Shannon". This module computes the reference point: the minimum `Eb/N0`
+//! at which a rate-`R` code over binary-input AWGN can be error free.
+
+use crate::llr::noise_sigma;
+
+/// Capacity in bits/dimension of the binary-input AWGN channel with
+/// unit-amplitude signaling and noise deviation `sigma`.
+///
+/// `C = 1 - E[ log2(1 + e^{-L}) ]` with `L = 2(1+n)/sigma^2`,
+/// `n ~ N(0, sigma^2)`, evaluated by Simpson integration over `±10 sigma`.
+///
+/// ```
+/// use dvbs2_channel::biawgn_capacity;
+/// let c = biawgn_capacity(1.0); // Eb/N0 = 0 dB at R = 1/2
+/// assert!(c > 0.48 && c < 0.52);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `sigma` is not positive.
+pub fn biawgn_capacity(sigma: f64) -> f64 {
+    assert!(sigma > 0.0, "sigma must be positive, got {sigma}");
+    let steps = 4000usize;
+    let lo = -10.0 * sigma;
+    let hi = 10.0 * sigma;
+    let h = (hi - lo) / steps as f64;
+    let integrand = |n: f64| -> f64 {
+        let pdf = (-n * n / (2.0 * sigma * sigma)).exp()
+            / (sigma * (2.0 * std::f64::consts::PI).sqrt());
+        let l = 2.0 * (1.0 + n) / (sigma * sigma);
+        // log2(1 + e^{-l}), numerically stable for large |l|.
+        let log_term = if l > 40.0 {
+            (-l).exp() / std::f64::consts::LN_2
+        } else if l < -40.0 {
+            -l / std::f64::consts::LN_2
+        } else {
+            (1.0 + (-l).exp()).ln() / std::f64::consts::LN_2
+        };
+        pdf * log_term
+    };
+    // Simpson's rule.
+    let mut sum = integrand(lo) + integrand(hi);
+    for i in 1..steps {
+        let w = if i % 2 == 1 { 4.0 } else { 2.0 };
+        sum += w * integrand(lo + i as f64 * h);
+    }
+    1.0 - sum * h / 3.0
+}
+
+/// Minimum `Eb/N0` in dB for reliable rate-`rate` transmission over
+/// binary-input AWGN (the "Shannon limit" the paper measures against).
+///
+/// ```
+/// use dvbs2_channel::shannon_limit_biawgn_db;
+/// let limit = shannon_limit_biawgn_db(0.5);
+/// assert!((limit - 0.188).abs() < 0.05); // classic R = 1/2 BPSK threshold
+/// ```
+///
+/// # Panics
+///
+/// Panics if `rate` is not in `(0, 1)`.
+pub fn shannon_limit_biawgn_db(rate: f64) -> f64 {
+    assert!(rate > 0.0 && rate < 1.0, "rate must be in (0,1), got {rate}");
+    let capacity_at = |ebn0_db: f64| biawgn_capacity(noise_sigma(ebn0_db, rate));
+    let (mut lo, mut hi) = (-3.0f64, 20.0f64);
+    debug_assert!(capacity_at(lo) < rate && capacity_at(hi) > rate);
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if capacity_at(mid) < rate {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Minimum `Eb/N0` in dB over the *unconstrained* real AWGN channel,
+/// `Eb/N0 = (2^{2R} - 1) / (2R)`.
+///
+/// # Panics
+///
+/// Panics if `rate` is not positive.
+pub fn shannon_limit_unconstrained_db(rate: f64) -> f64 {
+    assert!(rate > 0.0, "rate must be positive, got {rate}");
+    let linear = (2f64.powf(2.0 * rate) - 1.0) / (2.0 * rate);
+    10.0 * linear.log10()
+}
+
+/// The ultimate (rate → 0) Shannon limit, `ln 2` = −1.59 dB, useful as a
+/// sanity floor in reports.
+pub fn ultimate_shannon_limit_db() -> f64 {
+    10.0 * std::f64::consts::LN_2.log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_increases_with_snr() {
+        assert!(biawgn_capacity(0.5) > biawgn_capacity(1.0));
+        assert!(biawgn_capacity(1.0) > biawgn_capacity(2.0));
+    }
+
+    #[test]
+    fn capacity_saturates_at_one_bit() {
+        let c = biawgn_capacity(0.05);
+        assert!(c > 0.999 && c <= 1.0 + 1e-9, "c = {c}");
+    }
+
+    #[test]
+    fn capacity_vanishes_at_low_snr() {
+        assert!(biawgn_capacity(20.0) < 0.01);
+    }
+
+    #[test]
+    fn r12_limit_matches_literature() {
+        // Known value: 0.187 dB for rate 1/2 on BI-AWGN.
+        let l = shannon_limit_biawgn_db(0.5);
+        assert!((l - 0.187).abs() < 0.03, "limit {l}");
+    }
+
+    #[test]
+    fn constrained_limit_dominates_unconstrained() {
+        for rate in [0.25, 0.5, 0.75, 0.9] {
+            let bi = shannon_limit_biawgn_db(rate);
+            let un = shannon_limit_unconstrained_db(rate);
+            assert!(bi >= un - 1e-6, "rate {rate}: {bi} < {un}");
+        }
+    }
+
+    #[test]
+    fn limits_increase_with_rate() {
+        let limits: Vec<f64> =
+            [0.25, 0.4, 0.5, 0.6, 0.75, 0.9].iter().map(|&r| shannon_limit_biawgn_db(r)).collect();
+        for pair in limits.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+    }
+
+    #[test]
+    fn ultimate_limit_value() {
+        assert!((ultimate_shannon_limit_db() + 1.592).abs() < 0.01);
+    }
+}

@@ -1,0 +1,146 @@
+//! The DVB-S2 block bit interleaver.
+//!
+//! For 8PSK (and higher orders) the standard interleaves each FEC frame
+//! through a column-wise block interleaver before mapping, so that the
+//! unequal bit reliabilities of one symbol spread across the codeword.
+//! Bits are written column by column into `columns` columns of
+//! `rows = N / columns` and read row by row.
+
+/// A rows × columns block interleaver.
+///
+/// ```
+/// use dvbs2_channel::BlockInterleaver;
+/// let il = BlockInterleaver::new(12, 3);
+/// let data: Vec<u32> = (0..12).collect();
+/// let mixed = il.interleave(&data);
+/// let back = il.deinterleave(&mixed);
+/// assert_eq!(back, data);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockInterleaver {
+    len: usize,
+    rows: usize,
+    columns: usize,
+}
+
+impl BlockInterleaver {
+    /// Creates an interleaver for blocks of `len` items in `columns`
+    /// columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `columns >= 1` divides `len`.
+    pub fn new(len: usize, columns: usize) -> Self {
+        assert!(columns >= 1, "need at least one column");
+        assert_eq!(len % columns, 0, "{columns} columns must divide block length {len}");
+        BlockInterleaver { len, rows: len / columns, columns }
+    }
+
+    /// The DVB-S2 interleaver for 8PSK frames of `frame_len` bits
+    /// (3 columns).
+    pub fn dvbs2_8psk(frame_len: usize) -> Self {
+        BlockInterleaver::new(frame_len, 3)
+    }
+
+    /// Block length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` for a zero-length block (never for DVB-S2 frames).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Output index of input position `i`: written down column `i / rows`
+    /// at row `i % rows`, read out row-major.
+    #[inline]
+    pub fn output_index(&self, i: usize) -> usize {
+        debug_assert!(i < self.len);
+        let column = i / self.rows;
+        let row = i % self.rows;
+        row * self.columns + column
+    }
+
+    /// Permutes a block (codeword bits before mapping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.len()`.
+    pub fn interleave<T: Copy + Default>(&self, data: &[T]) -> Vec<T> {
+        assert_eq!(data.len(), self.len, "block length mismatch");
+        let mut out = vec![T::default(); self.len];
+        for (i, &v) in data.iter().enumerate() {
+            out[self.output_index(i)] = v;
+        }
+        out
+    }
+
+    /// Inverse permutation (received LLRs after demapping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.len()`.
+    pub fn deinterleave<T: Copy + Default>(&self, data: &[T]) -> Vec<T> {
+        assert_eq!(data.len(), self.len, "block length mismatch");
+        let mut out = vec![T::default(); self.len];
+        for i in 0..self.len {
+            out[i] = data[self.output_index(i)];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_any_block() {
+        let il = BlockInterleaver::new(64_800, 3);
+        let data: Vec<u32> = (0..64_800).collect();
+        assert_eq!(il.deinterleave(&il.interleave(&data)), data);
+    }
+
+    #[test]
+    fn is_a_permutation() {
+        let il = BlockInterleaver::new(30, 3);
+        let mut seen = [false; 30];
+        for i in 0..30 {
+            let o = il.output_index(i);
+            assert!(!seen[o], "index {o} hit twice");
+            seen[o] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn column_write_row_read_layout() {
+        // 6 items, 3 columns, 2 rows: columns are [0,1], [2,3], [4,5];
+        // rows read as 0,2,4 then 1,3,5.
+        let il = BlockInterleaver::new(6, 3);
+        let mixed = il.interleave(&[0u8, 1, 2, 3, 4, 5]);
+        assert_eq!(mixed, vec![0, 2, 4, 1, 3, 5]);
+    }
+
+    #[test]
+    fn consecutive_bits_land_in_different_symbols() {
+        // The purpose of the interleaver: the 3 bits of one 8PSK symbol
+        // (consecutive output positions) come from distant input positions.
+        let il = BlockInterleaver::dvbs2_8psk(16_200);
+        let rows = 16_200 / 3;
+        for symbol in [0usize, 100, 5_000] {
+            let inputs: Vec<usize> =
+                (0..3).map(|b| (0..16_200).find(|&i| il.output_index(i) == symbol * 3 + b).unwrap()).collect();
+            for pair in inputs.windows(2) {
+                assert!(pair[1].abs_diff(pair[0]) >= rows, "{inputs:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn rejects_nondividing_columns() {
+        let _ = BlockInterleaver::new(10, 3);
+    }
+}

@@ -1,0 +1,105 @@
+//! Log-likelihood-ratio conventions and SNR conversions.
+//!
+//! Throughout this workspace an LLR is `ln(P(bit = 0) / P(bit = 1))`:
+//! positive values favour bit 0 (BPSK symbol `+1`), negative values favour
+//! bit 1 (symbol `-1`). For a BPSK symbol received as `y = x + n`,
+//! `n ~ N(0, sigma^2)`, the channel LLR is `2 y / sigma^2`.
+
+/// Converts decibels to a linear power ratio.
+///
+/// ```
+/// use dvbs2_channel::db_to_linear;
+/// assert!((db_to_linear(3.0) - 1.9953).abs() < 1e-4);
+/// ```
+pub fn db_to_linear(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// Converts a linear power ratio to decibels.
+///
+/// # Panics
+///
+/// Panics if `linear <= 0`.
+pub fn linear_to_db(linear: f64) -> f64 {
+    assert!(linear > 0.0, "power ratio must be positive, got {linear}");
+    10.0 * linear.log10()
+}
+
+/// Converts `Eb/N0` (per information bit) to `Es/N0` (per channel symbol)
+/// for a code of rate `rate` and a modulation carrying `bits_per_symbol`.
+///
+/// `Es/N0 = Eb/N0 * rate * bits_per_symbol`.
+pub fn ebn0_to_esn0_db(ebn0_db: f64, rate: f64, bits_per_symbol: usize) -> f64 {
+    ebn0_db + linear_to_db(rate * bits_per_symbol as f64)
+}
+
+/// Noise standard deviation per real dimension at a given `Eb/N0` in dB.
+///
+/// The modems in this workspace put one coded bit of amplitude 1 on each
+/// real dimension (BPSK: `±1`; Gray QPSK: `±1` on I and Q independently).
+/// With `N0 = 2 sigma^2`, the energy per information bit is `1/rate`, so
+/// `sigma^2 = 1 / (2 * rate * Eb/N0)` for every such modulation.
+///
+/// # Panics
+///
+/// Panics if `rate` is not in `(0, 1]`.
+pub fn noise_sigma(ebn0_db: f64, rate: f64) -> f64 {
+    assert!(rate > 0.0 && rate <= 1.0, "rate must be in (0,1], got {rate}");
+    let ebn0 = db_to_linear(ebn0_db);
+    (1.0 / (2.0 * rate * ebn0)).sqrt()
+}
+
+/// Channel LLR of a received BPSK sample `y` (amplitude `a`, noise `sigma`).
+#[inline]
+pub fn bpsk_llr(y: f64, amplitude: f64, sigma: f64) -> f64 {
+    2.0 * amplitude * y / (sigma * sigma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn db_round_trip() {
+        for db in [-10.0, 0.0, 0.5, 3.0, 20.0] {
+            assert!((linear_to_db(db_to_linear(db)) - db).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_db_is_unity() {
+        assert!((db_to_linear(0.0) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn esn0_accounts_for_rate_and_order() {
+        // R = 1/2, QPSK: Es/N0 = Eb/N0 + 10log10(1) = Eb/N0.
+        let esn0 = ebn0_to_esn0_db(2.0, 0.5, 2);
+        assert!((esn0 - 2.0).abs() < 1e-12);
+        // R = 1/2, BPSK: Es/N0 = Eb/N0 - 3.01 dB.
+        let esn0 = ebn0_to_esn0_db(2.0, 0.5, 1);
+        assert!((esn0 - (2.0 - 3.0103)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sigma_decreases_with_snr() {
+        let lo = noise_sigma(0.0, 0.5);
+        let hi = noise_sigma(6.0, 0.5);
+        assert!(hi < lo);
+        // At Eb/N0 = 0 dB, R = 1/2: sigma^2 = 1/(2*0.5*1) = 1.
+        assert!((lo - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn llr_sign_follows_sample_sign() {
+        assert!(bpsk_llr(0.7, 1.0, 0.8) > 0.0);
+        assert!(bpsk_llr(-0.7, 1.0, 0.8) < 0.0);
+        assert_eq!(bpsk_llr(0.0, 1.0, 0.8), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be in (0,1]")]
+    fn sigma_rejects_bad_rate() {
+        let _ = noise_sigma(1.0, 1.5);
+    }
+}

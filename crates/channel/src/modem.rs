@@ -1,0 +1,222 @@
+//! Bit-to-symbol mapping and LLR demapping.
+//!
+//! DVB-S2 transmits LDPC codewords over QPSK, 8PSK, 16APSK or 32APSK. For
+//! decoder evaluation the paper's experiments reduce to the per-dimension
+//! AWGN behaviour, so BPSK and Gray QPSK place one coded bit of amplitude 1
+//! on each real dimension (bit 0 → `+1`, bit 1 → `-1`, matching
+//! [`crate::bpsk_llr`]). Gray-mapped 8PSK with max-log demapping is
+//! included as the standard's next modulation step (used together with the
+//! [`crate::BlockInterleaver`]).
+
+use crate::llr::{bpsk_llr, db_to_linear};
+use dvbs2_ldpc::BitVec;
+
+/// Gray ordering of 3-bit labels around the 8PSK circle.
+const GRAY8: [u8; 8] = [0b000, 0b001, 0b011, 0b010, 0b110, 0b111, 0b101, 0b100];
+
+/// Supported modulations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Modulation {
+    /// One bit per real sample.
+    #[default]
+    Bpsk,
+    /// Gray-mapped QPSK: even bits on I, odd bits on Q; equivalent to two
+    /// independent BPSK channels.
+    Qpsk,
+    /// Gray-mapped 8PSK (unit-radius circle), max-log demapping.
+    Psk8,
+}
+
+impl Modulation {
+    /// Coded bits per complex symbol.
+    pub fn bits_per_symbol(self) -> usize {
+        match self {
+            Modulation::Bpsk => 1,
+            Modulation::Qpsk => 2,
+            Modulation::Psk8 => 3,
+        }
+    }
+
+    /// Noise standard deviation per real dimension at `Eb/N0` (dB) for a
+    /// code of (true) rate `rate` under this modulation's normalization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not in `(0, 1]`.
+    pub fn noise_sigma(self, ebn0_db: f64, rate: f64) -> f64 {
+        assert!(rate > 0.0 && rate <= 1.0, "rate must be in (0,1], got {rate}");
+        let ebn0 = db_to_linear(ebn0_db);
+        match self {
+            // Unit amplitude per dimension: energy 1 per coded bit.
+            Modulation::Bpsk | Modulation::Qpsk => (1.0 / (2.0 * rate * ebn0)).sqrt(),
+            // Unit-energy symbols carrying 3 coded bits.
+            Modulation::Psk8 => (1.0 / (6.0 * rate * ebn0)).sqrt(),
+        }
+    }
+
+    /// Maps a codeword to real-dimension samples.
+    ///
+    /// BPSK/QPSK yield one `±1` sample per bit; 8PSK yields an (I, Q) pair
+    /// per 3 bits on the unit circle.
+    ///
+    /// # Panics
+    ///
+    /// For 8PSK, panics unless the bit count is divisible by 3.
+    pub fn modulate(self, bits: &BitVec) -> Vec<f64> {
+        match self {
+            Modulation::Bpsk | Modulation::Qpsk => {
+                bits.iter().map(|b| if b { -1.0 } else { 1.0 }).collect()
+            }
+            Modulation::Psk8 => {
+                assert_eq!(bits.len() % 3, 0, "8PSK needs a multiple of 3 bits");
+                let mut out = Vec::with_capacity(bits.len() / 3 * 2);
+                for s in 0..bits.len() / 3 {
+                    let label = (u8::from(bits.get(3 * s)) << 2)
+                        | (u8::from(bits.get(3 * s + 1)) << 1)
+                        | u8::from(bits.get(3 * s + 2));
+                    let (i, q) = Self::psk8_point(label);
+                    out.push(i);
+                    out.push(q);
+                }
+                out
+            }
+        }
+    }
+
+    /// Constellation point of a 3-bit Gray label.
+    fn psk8_point(label: u8) -> (f64, f64) {
+        let k = GRAY8.iter().position(|&g| g == label).expect("3-bit label") as f64;
+        let phase = (2.0 * k + 1.0) * std::f64::consts::PI / 8.0;
+        (phase.cos(), phase.sin())
+    }
+
+    /// Demaps noisy samples into channel LLRs (positive favours bit 0).
+    ///
+    /// BPSK/QPSK use the exact per-dimension LLR `2y/σ²`; 8PSK uses the
+    /// max-log approximation over the eight candidate symbols.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is not positive, or (8PSK) on an odd sample count.
+    pub fn demap(self, samples: &[f64], sigma: f64) -> Vec<f64> {
+        assert!(sigma > 0.0, "sigma must be positive, got {sigma}");
+        match self {
+            Modulation::Bpsk | Modulation::Qpsk => {
+                samples.iter().map(|&y| bpsk_llr(y, 1.0, sigma)).collect()
+            }
+            Modulation::Psk8 => {
+                assert_eq!(samples.len() % 2, 0, "8PSK samples come in (I, Q) pairs");
+                let inv_2s2 = 1.0 / (2.0 * sigma * sigma);
+                let mut out = Vec::with_capacity(samples.len() / 2 * 3);
+                for pair in samples.chunks_exact(2) {
+                    let (yi, yq) = (pair[0], pair[1]);
+                    // Metric per candidate label: -|y - s|^2 / (2 sigma^2).
+                    let mut metric = [0.0f64; 8];
+                    for label in 0..8u8 {
+                        let (si, sq) = Self::psk8_point(label);
+                        let d2 = (yi - si) * (yi - si) + (yq - sq) * (yq - sq);
+                        metric[label as usize] = -d2 * inv_2s2;
+                    }
+                    for bit in 0..3 {
+                        let mask = 1 << (2 - bit);
+                        let best = |want_one: bool| -> f64 {
+                            (0..8u8)
+                                .filter(|&l| ((l & mask) != 0) == want_one)
+                                .map(|l| metric[l as usize])
+                                .fold(f64::NEG_INFINITY, f64::max)
+                        };
+                        out.push(best(false) - best(true));
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapping_convention_zero_is_plus_one() {
+        let bits = BitVec::from_bools([false, true, true, false]);
+        let s = Modulation::Bpsk.modulate(&bits);
+        assert_eq!(s, vec![1.0, -1.0, -1.0, 1.0]);
+    }
+
+    #[test]
+    fn demap_recovers_hard_decisions_noiselessly() {
+        let bits = BitVec::from_bools([false, true, false, true, true, false]);
+        for modem in [Modulation::Bpsk, Modulation::Qpsk, Modulation::Psk8] {
+            let s = modem.modulate(&bits);
+            let llrs = modem.demap(&s, 0.3);
+            assert_eq!(llrs.len(), bits.len(), "{modem:?}");
+            for (i, &l) in llrs.iter().enumerate() {
+                assert_eq!(l < 0.0, bits.get(i), "{modem:?} bit {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn llr_magnitude_scales_with_snr() {
+        let bits = BitVec::from_bools([false]);
+        let s = Modulation::Bpsk.modulate(&bits);
+        let strong = Modulation::Bpsk.demap(&s, 0.5)[0];
+        let weak = Modulation::Bpsk.demap(&s, 1.5)[0];
+        assert!(strong > weak);
+    }
+
+    #[test]
+    fn bits_per_symbol() {
+        assert_eq!(Modulation::Bpsk.bits_per_symbol(), 1);
+        assert_eq!(Modulation::Qpsk.bits_per_symbol(), 2);
+        assert_eq!(Modulation::Psk8.bits_per_symbol(), 3);
+    }
+
+    #[test]
+    fn psk8_symbols_have_unit_energy() {
+        for label in 0..8u8 {
+            let (i, q) = Modulation::psk8_point(label);
+            assert!((i * i + q * q - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn psk8_gray_neighbours_differ_in_one_bit() {
+        for k in 0..8 {
+            let a = GRAY8[k];
+            let b = GRAY8[(k + 1) % 8];
+            assert_eq!((a ^ b).count_ones(), 1, "{a:03b} vs {b:03b}");
+        }
+    }
+
+    #[test]
+    fn psk8_mapping_is_a_bijection() {
+        let mut points: Vec<(i64, i64)> = (0..8u8)
+            .map(|l| {
+                let (i, q) = Modulation::psk8_point(l);
+                ((i * 1e9) as i64, (q * 1e9) as i64)
+            })
+            .collect();
+        points.sort_unstable();
+        points.dedup();
+        assert_eq!(points.len(), 8);
+    }
+
+    #[test]
+    fn noise_sigma_orders_by_spectral_efficiency() {
+        // At the same Eb/N0 and rate, denser modulations tolerate less
+        // noise per dimension under these normalizations.
+        let bpsk = Modulation::Bpsk.noise_sigma(2.0, 0.5);
+        let psk8 = Modulation::Psk8.noise_sigma(2.0, 0.5);
+        assert!(psk8 < bpsk);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 3")]
+    fn psk8_rejects_ragged_blocks() {
+        let bits = BitVec::from_bools([false, true]);
+        let _ = Modulation::Psk8.modulate(&bits);
+    }
+}

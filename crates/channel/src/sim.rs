@@ -1,0 +1,220 @@
+//! Multi-threaded Monte-Carlo BER/FER estimation.
+//!
+//! The harness is decoder-agnostic: callers provide a factory that builds a
+//! per-thread frame simulator (encode → modulate → corrupt → decode →
+//! count errors). Results are exact counts, reproducible given per-thread
+//! seeds derived from the caller's seed.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The result of simulating one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FrameOutcome {
+    /// Information-bit errors after decoding.
+    pub bit_errors: usize,
+    /// Information bits carried by the frame (`K`).
+    pub info_bits: usize,
+    /// Whether the frame decoded incorrectly.
+    pub frame_error: bool,
+    /// Decoder iterations spent on this frame.
+    pub iterations: usize,
+}
+
+/// Stopping rule for a Monte-Carlo run: stop at `max_frames`, or earlier
+/// once `target_frame_errors` frame errors have been observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StopRule {
+    /// Hard cap on simulated frames.
+    pub max_frames: usize,
+    /// Early-out threshold on accumulated frame errors (0 disables).
+    pub target_frame_errors: usize,
+}
+
+impl StopRule {
+    /// A rule with only a frame cap.
+    pub fn frames(max_frames: usize) -> Self {
+        StopRule { max_frames, target_frame_errors: 0 }
+    }
+}
+
+/// Accumulated error statistics of a Monte-Carlo run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BerEstimate {
+    /// Frames simulated.
+    pub frames: usize,
+    /// Total information-bit errors.
+    pub bit_errors: usize,
+    /// Total frame errors.
+    pub frame_errors: usize,
+    /// Total information bits simulated.
+    pub info_bits: usize,
+    /// Total decoder iterations.
+    pub total_iterations: usize,
+}
+
+impl BerEstimate {
+    /// Bit error rate; 0 when nothing was simulated.
+    pub fn ber(&self) -> f64 {
+        if self.info_bits == 0 { 0.0 } else { self.bit_errors as f64 / self.info_bits as f64 }
+    }
+
+    /// Frame error rate.
+    pub fn fer(&self) -> f64 {
+        if self.frames == 0 { 0.0 } else { self.frame_errors as f64 / self.frames as f64 }
+    }
+
+    /// Mean decoder iterations per frame.
+    pub fn avg_iterations(&self) -> f64 {
+        if self.frames == 0 { 0.0 } else { self.total_iterations as f64 / self.frames as f64 }
+    }
+
+    /// Merges another estimate into this one.
+    pub fn merge(&mut self, other: &BerEstimate) {
+        self.frames += other.frames;
+        self.bit_errors += other.bit_errors;
+        self.frame_errors += other.frame_errors;
+        self.info_bits += other.info_bits;
+        self.total_iterations += other.total_iterations;
+    }
+
+    /// Records one frame outcome.
+    pub fn record(&mut self, outcome: FrameOutcome) {
+        self.frames += 1;
+        self.bit_errors += outcome.bit_errors;
+        self.info_bits += outcome.info_bits;
+        self.total_iterations += outcome.iterations;
+        if outcome.frame_error {
+            self.frame_errors += 1;
+        }
+    }
+}
+
+/// Runs frames across `threads` worker threads until the stop rule fires.
+///
+/// `make_worker(thread_index)` is called once inside each thread and must
+/// return a closure simulating one frame per call. Derive per-thread RNG
+/// seeds from `thread_index` for reproducibility.
+///
+/// ```
+/// use dvbs2_channel::{monte_carlo, FrameOutcome, StopRule};
+/// let est = monte_carlo(2, StopRule::frames(100), |_t| {
+///     move || FrameOutcome { bit_errors: 1, info_bits: 100, frame_error: true, iterations: 5 }
+/// });
+/// assert_eq!(est.frames, 100);
+/// assert!((est.ber() - 0.01).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or `stop.max_frames == 0`.
+pub fn monte_carlo<W, F>(threads: usize, stop: StopRule, make_worker: W) -> BerEstimate
+where
+    W: Fn(usize) -> F + Sync,
+    F: FnMut() -> FrameOutcome,
+{
+    assert!(threads > 0, "need at least one thread");
+    assert!(stop.max_frames > 0, "max_frames must be positive");
+    let claimed = AtomicUsize::new(0);
+    let frame_errors = AtomicUsize::new(0);
+    let total = Mutex::new(BerEstimate::default());
+
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let claimed = &claimed;
+            let frame_errors = &frame_errors;
+            let total = &total;
+            let make_worker = &make_worker;
+            scope.spawn(move || {
+                let mut simulate = make_worker(t);
+                let mut local = BerEstimate::default();
+                loop {
+                    if stop.target_frame_errors > 0
+                        && frame_errors.load(Ordering::Relaxed) >= stop.target_frame_errors
+                    {
+                        break;
+                    }
+                    if claimed.fetch_add(1, Ordering::Relaxed) >= stop.max_frames {
+                        break;
+                    }
+                    let outcome = simulate();
+                    if outcome.frame_error {
+                        frame_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    local.record(outcome);
+                }
+                total.lock().expect("no panics hold the lock").merge(&local);
+            });
+        }
+    });
+    total.into_inner().expect("all workers joined")
+}
+
+/// Default worker-thread count: the available parallelism, capped at 16.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(4, |n| n.get().min(16))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_counts_with_frame_cap() {
+        let est = monte_carlo(4, StopRule::frames(1000), |_| {
+            move || FrameOutcome { bit_errors: 2, info_bits: 50, frame_error: false, iterations: 3 }
+        });
+        assert_eq!(est.frames, 1000);
+        assert_eq!(est.bit_errors, 2000);
+        assert_eq!(est.info_bits, 50_000);
+        assert_eq!(est.frame_errors, 0);
+        assert!((est.avg_iterations() - 3.0).abs() < 1e-12);
+        assert_eq!(est.fer(), 0.0);
+    }
+
+    #[test]
+    fn early_stop_on_frame_errors() {
+        let stop = StopRule { max_frames: 1_000_000, target_frame_errors: 50 };
+        let est = monte_carlo(4, stop, |_| {
+            move || FrameOutcome { bit_errors: 10, info_bits: 100, frame_error: true, iterations: 1 }
+        });
+        assert!(est.frame_errors >= 50);
+        // Overshoot bounded by in-flight frames.
+        assert!(est.frames < 50 + 4 * 16 + 64, "frames {}", est.frames);
+    }
+
+    #[test]
+    fn single_thread_is_supported() {
+        let est = monte_carlo(1, StopRule::frames(10), |_| {
+            let mut count = 0usize;
+            move || {
+                count += 1;
+                FrameOutcome {
+                    bit_errors: count % 2,
+                    info_bits: 10,
+                    frame_error: count % 2 == 1,
+                    iterations: count,
+                }
+            }
+        });
+        assert_eq!(est.frames, 10);
+        assert_eq!(est.frame_errors, 5);
+        assert_eq!(est.bit_errors, 5);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = BerEstimate { frames: 1, bit_errors: 2, frame_errors: 1, info_bits: 10, total_iterations: 4 };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.frames, 2);
+        assert_eq!(a.bit_errors, 4);
+        assert_eq!(a.info_bits, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let _ = monte_carlo(0, StopRule::frames(1), |_| move || FrameOutcome::default());
+    }
+}

@@ -1,0 +1,144 @@
+//! Hard-decision bit-flipping decoding (Gallager-B) — the historical
+//! baseline that calibrates how much the soft message-passing decoders of
+//! the paper actually buy (several dB on AWGN).
+
+use crate::stopping::syndrome_ok;
+use crate::{DecodeResult, Decoder, DecoderConfig};
+use dvbs2_ldpc::{BitVec, TannerGraph};
+use std::sync::Arc;
+
+/// Gallager-B bit-flipping decoder over any Tanner graph.
+///
+/// Each iteration evaluates all parity checks on the current hard
+/// decisions and flips every variable whose unsatisfied-check count
+/// strictly exceeds half its degree.
+#[derive(Debug, Clone)]
+pub struct BitFlippingDecoder {
+    graph: Arc<TannerGraph>,
+    max_iterations: usize,
+    unsatisfied: Vec<u8>,
+}
+
+impl BitFlippingDecoder {
+    /// Creates a decoder; only `config.max_iterations` is used (there are
+    /// no soft messages to schedule).
+    pub fn new(graph: Arc<TannerGraph>, config: DecoderConfig) -> Self {
+        BitFlippingDecoder {
+            unsatisfied: vec![0; graph.var_count()],
+            max_iterations: config.max_iterations,
+            graph,
+        }
+    }
+}
+
+impl Decoder for BitFlippingDecoder {
+    fn decode(&mut self, channel_llrs: &[f64]) -> DecodeResult {
+        let graph = Arc::clone(&self.graph);
+        assert_eq!(channel_llrs.len(), graph.var_count(), "LLR length mismatch");
+        let mut bits: BitVec = channel_llrs.iter().map(|&l| l < 0.0).collect();
+        let mut iterations = 0;
+        let mut converged = syndrome_ok(&graph, &bits);
+
+        while !converged && iterations < self.max_iterations {
+            iterations += 1;
+            self.unsatisfied.fill(0);
+            for c in 0..graph.check_count() {
+                let parity = graph
+                    .check_edges(c)
+                    .filter(|&e| bits.get(graph.var_of_edge(e)))
+                    .count()
+                    % 2;
+                if parity == 1 {
+                    for e in graph.check_edges(c) {
+                        self.unsatisfied[graph.var_of_edge(e)] += 1;
+                    }
+                }
+            }
+            let mut flipped = 0usize;
+            for v in 0..graph.var_count() {
+                if usize::from(self.unsatisfied[v]) * 2 > graph.var_degree(v) {
+                    bits.toggle(v);
+                    flipped += 1;
+                }
+            }
+            converged = syndrome_ok(&graph, &bits);
+            if flipped == 0 && !converged {
+                break; // stuck: no variable has a flipping majority
+            }
+        }
+        DecodeResult { bits, iterations, converged }
+    }
+
+    fn name(&self) -> &'static str {
+        "bit flipping (Gallager-B)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{noisy_llrs, small_code};
+    use crate::ZigzagDecoder;
+
+    #[test]
+    fn clean_frame_needs_no_iterations() {
+        let (code, graph) = small_code();
+        let (cw, llrs) = noisy_llrs(&code, 12.0, 1);
+        let mut dec = BitFlippingDecoder::new(Arc::new(graph), DecoderConfig::default());
+        let out = dec.decode(&llrs);
+        assert!(out.converged);
+        assert_eq!(out.iterations, 0);
+        assert_eq!(out.bits, cw);
+    }
+
+    #[test]
+    fn corrects_scattered_injected_errors() {
+        use crate::test_support::llrs_for_codeword;
+        let (code, graph) = small_code();
+        let enc = code.encoder().unwrap();
+        let msg: dvbs2_ldpc::BitVec =
+            (0..code.params().k).map(|i| i % 5 == 0).collect();
+        let cw = enc.encode(&msg).unwrap();
+        let mut llrs = llrs_for_codeword(&cw, 4.0);
+        // A handful of well-separated hard errors.
+        for &i in &[10usize, 3000, 7777, 12000, 15999] {
+            llrs[i] = -llrs[i];
+        }
+        let mut dec = BitFlippingDecoder::new(Arc::new(graph), DecoderConfig::default());
+        let out = dec.decode(&llrs);
+        assert!(out.converged, "bit flipping should fix 5 scattered errors");
+        assert_eq!(out.bits, cw);
+        assert!(out.iterations >= 1);
+    }
+
+    #[test]
+    fn soft_decoding_beats_bit_flipping_by_decibels() {
+        // At 3 dB the zigzag decoder is comfortable; Gallager-B is lost.
+        let (code, graph) = small_code();
+        let graph = Arc::new(graph);
+        let mut hard = BitFlippingDecoder::new(Arc::clone(&graph), DecoderConfig::default());
+        let mut soft = ZigzagDecoder::new(Arc::clone(&graph), DecoderConfig::default());
+        let mut hard_fails = 0;
+        let mut soft_fails = 0;
+        for seed in 0..4 {
+            let (cw, llrs) = noisy_llrs(&code, 3.0, 40 + seed);
+            if hard.decode(&llrs).bits != cw {
+                hard_fails += 1;
+            }
+            if soft.decode(&llrs).bits != cw {
+                soft_fails += 1;
+            }
+        }
+        assert_eq!(soft_fails, 0);
+        assert!(hard_fails >= 3, "bit flipping should fail at 3 dB ({hard_fails}/4)");
+    }
+
+    #[test]
+    fn reports_stuck_state_honestly() {
+        let (code, graph) = small_code();
+        let (_, llrs) = noisy_llrs(&code, 0.0, 9);
+        let mut dec = BitFlippingDecoder::new(Arc::new(graph), DecoderConfig::default());
+        let out = dec.decode(&llrs);
+        assert!(!out.converged);
+    }
+}

@@ -1,0 +1,273 @@
+//! Core LLR arithmetic for check-node updates.
+//!
+//! The check-node rule of Eq. 5, `tanh(out/2) = prod tanh(in_l/2)`, is
+//! evaluated pairwise with the numerically stable "boxplus" form
+//!
+//! ```text
+//! a ⊞ b = sign(a) sign(b) min(|a|,|b|)
+//!         + ln(1 + e^{-|a+b|}) - ln(1 + e^{-|a-b|})
+//! ```
+//!
+//! Min-sum keeps only the first term; normalized/offset min-sum apply a
+//! scalar correction. All check-node rules implement [`CheckRule`] so the
+//! decoders can be generic over them.
+
+/// Exact pairwise boxplus (Eq. 5), numerically stable for any finite inputs.
+///
+/// ```
+/// use dvbs2_decoder::boxplus;
+/// let out = boxplus(2.0, 3.0);
+/// // Exact value: 2 atanh(tanh(1) tanh(1.5)).
+/// let exact = 2.0 * ((2.0f64 / 2.0).tanh() * (3.0f64 / 2.0).tanh()).atanh();
+/// assert!((out - exact).abs() < 1e-12);
+/// ```
+#[inline]
+pub fn boxplus(a: f64, b: f64) -> f64 {
+    let sign_min = a.abs().min(b.abs()).copysign(a) * b.signum();
+    sign_min + ln_1p_exp_neg((a + b).abs()) - ln_1p_exp_neg((a - b).abs())
+}
+
+/// `ln(1 + e^{-x})` for `x >= 0`, stable against overflow.
+#[inline]
+fn ln_1p_exp_neg(x: f64) -> f64 {
+    debug_assert!(x >= 0.0);
+    if x > 40.0 { 0.0 } else { (-x).exp().ln_1p() }
+}
+
+/// Pairwise min-sum approximation of boxplus.
+#[inline]
+pub fn boxplus_min(a: f64, b: f64) -> f64 {
+    a.abs().min(b.abs()).copysign(a) * b.signum()
+}
+
+/// A check-node update rule: how the magnitudes of incoming messages
+/// combine. Decoders are generic over this to compare sum-product against
+/// min-sum variants (one of the ablations called out in DESIGN.md).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
+pub enum CheckRule {
+    /// Exact sum-product (Eq. 5).
+    #[default]
+    SumProduct,
+    /// Min-sum with multiplicative normalization `alpha` in `(0, 1]`.
+    NormalizedMinSum(f64),
+    /// Min-sum with additive offset `beta >= 0` subtracted from magnitudes.
+    OffsetMinSum(f64),
+}
+
+
+impl CheckRule {
+    /// Computes the extrinsic output for every edge of one check node:
+    /// `out[i] = boxplus over all in[j], j != i` under this rule.
+    ///
+    /// Uses an `O(d)` forward/backward sweep for sum-product and the
+    /// two-minima trick for the min-sum rules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != incoming.len()`.
+    pub fn extrinsic(&self, incoming: &[f64], out: &mut [f64]) {
+        assert_eq!(incoming.len(), out.len(), "length mismatch");
+        let d = incoming.len();
+        match d {
+            0 => {}
+            // Degree 1: the extrinsic of the only edge is "no information".
+            1 => out[0] = 0.0,
+            2 => {
+                out[0] = self.degrade(incoming[1]);
+                out[1] = self.degrade(incoming[0]);
+            }
+            _ => match self {
+                CheckRule::SumProduct => sum_product_extrinsic(incoming, out),
+                CheckRule::NormalizedMinSum(alpha) => {
+                    min_sum_extrinsic(incoming, out, |m| m * alpha)
+                }
+                CheckRule::OffsetMinSum(beta) => {
+                    min_sum_extrinsic(incoming, out, |m| (m - beta).max(0.0))
+                }
+            },
+        }
+    }
+
+    /// Applies this rule's magnitude correction to a single pass-through
+    /// message (degree-2 check node).
+    fn degrade(&self, x: f64) -> f64 {
+        match *self {
+            CheckRule::SumProduct => x,
+            CheckRule::NormalizedMinSum(alpha) => x * alpha,
+            CheckRule::OffsetMinSum(beta) => (x.abs() - beta).max(0.0).copysign(x),
+        }
+    }
+}
+
+/// Forward/backward sum-product extrinsic for `d >= 3`.
+fn sum_product_extrinsic(incoming: &[f64], out: &mut [f64]) {
+    let d = incoming.len();
+    // out[i] currently unused; reuse it as the suffix accumulator store.
+    // suffix[i] = incoming[i+1] ⊞ ... ⊞ incoming[d-1]
+    out[d - 1] = incoming[d - 1];
+    for i in (0..d - 1).rev() {
+        out[i] = boxplus(incoming[i], out[i + 1]);
+    }
+    let mut prefix = incoming[0];
+    let total_suffix = out[1];
+    out[0] = total_suffix;
+    for i in 1..d {
+        let suffix = if i + 1 < d { out[i + 1] } else { 0.0 };
+        out[i] = if i + 1 < d { boxplus(prefix, suffix) } else { prefix };
+        prefix = boxplus(prefix, incoming[i]);
+    }
+}
+
+/// Two-minima min-sum extrinsic for `d >= 3` with a magnitude correction.
+fn min_sum_extrinsic(incoming: &[f64], out: &mut [f64], correct: impl Fn(f64) -> f64) {
+    let mut min1 = f64::INFINITY;
+    let mut min2 = f64::INFINITY;
+    let mut min_idx = 0usize;
+    let mut sign_product = 1.0f64;
+    for (i, &x) in incoming.iter().enumerate() {
+        let mag = x.abs();
+        if mag < min1 {
+            min2 = min1;
+            min1 = mag;
+            min_idx = i;
+        } else if mag < min2 {
+            min2 = mag;
+        }
+        if x < 0.0 {
+            sign_product = -sign_product;
+        }
+    }
+    for (i, o) in out.iter_mut().enumerate() {
+        let mag = correct(if i == min_idx { min2 } else { min1 });
+        let self_sign = if incoming[i] < 0.0 { -1.0 } else { 1.0 };
+        *o = sign_product * self_sign * mag;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_boxplus(a: f64, b: f64) -> f64 {
+        2.0 * ((a / 2.0).tanh() * (b / 2.0).tanh()).atanh()
+    }
+
+    #[test]
+    fn boxplus_matches_tanh_formula() {
+        for &(a, b) in &[(0.3, 0.7), (-1.2, 2.5), (4.0, -4.0), (0.01, 8.0), (-3.0, -3.0)] {
+            assert!((boxplus(a, b) - exact_boxplus(a, b)).abs() < 1e-10, "({a},{b})");
+        }
+    }
+
+    #[test]
+    fn boxplus_is_commutative_and_bounded() {
+        for &(a, b) in &[(1.0, 2.0), (-0.5, 3.0), (10.0, -0.1)] {
+            assert!((boxplus(a, b) - boxplus(b, a)).abs() < 1e-14);
+            assert!(boxplus(a, b).abs() <= a.abs().min(b.abs()) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn boxplus_zero_annihilates() {
+        assert_eq!(boxplus(0.0, 5.0), 0.0);
+        assert_eq!(boxplus(-7.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn boxplus_large_inputs_behave_like_min() {
+        // The correction terms decay as e^{-|a-b|}: 4.5e-5 at gap 10.
+        let out = boxplus(50.0, -60.0);
+        assert!((out + 50.0).abs() < 1e-4, "{out}");
+    }
+
+    #[test]
+    fn min_sum_upper_bounds_sum_product_magnitude() {
+        for &(a, b) in &[(1.0, 2.0), (-0.5, 3.0), (2.2, -1.1)] {
+            assert!(boxplus_min(a, b).abs() >= boxplus(a, b).abs());
+            assert_eq!(boxplus_min(a, b).signum(), boxplus(a, b).signum());
+        }
+    }
+
+    /// Brute-force reference: extrinsic for edge i is the fold of all others.
+    fn reference_extrinsic(rule: &CheckRule, incoming: &[f64]) -> Vec<f64> {
+        let fold = |vals: Vec<f64>| -> f64 {
+            match rule {
+                CheckRule::SumProduct => {
+                    vals.into_iter().reduce(boxplus).unwrap_or(0.0)
+                }
+                CheckRule::NormalizedMinSum(alpha) => {
+                    let sign: f64 =
+                        vals.iter().map(|v| if *v < 0.0 { -1.0 } else { 1.0 }).product();
+                    let mag = vals.iter().map(|v| v.abs()).fold(f64::INFINITY, f64::min);
+                    if mag.is_infinite() { 0.0 } else { sign * mag * alpha }
+                }
+                CheckRule::OffsetMinSum(beta) => {
+                    let sign: f64 =
+                        vals.iter().map(|v| if *v < 0.0 { -1.0 } else { 1.0 }).product();
+                    let mag = vals.iter().map(|v| v.abs()).fold(f64::INFINITY, f64::min);
+                    if mag.is_infinite() { 0.0 } else { sign * (mag - beta).max(0.0) }
+                }
+            }
+        };
+        (0..incoming.len())
+            .map(|i| {
+                let others: Vec<f64> = incoming
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, &v)| v)
+                    .collect();
+                fold(others)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sum_product_extrinsic_matches_brute_force() {
+        let incoming = [1.5, -0.7, 2.2, 0.3, -4.0, 1.1];
+        let mut out = [0.0; 6];
+        CheckRule::SumProduct.extrinsic(&incoming, &mut out);
+        let want = reference_extrinsic(&CheckRule::SumProduct, &incoming);
+        for (o, w) in out.iter().zip(&want) {
+            assert!((o - w).abs() < 1e-10, "{o} vs {w}");
+        }
+    }
+
+    #[test]
+    fn min_sum_extrinsic_matches_brute_force() {
+        let incoming = [1.5, -0.7, 2.2, 0.3, -4.0];
+        for rule in [CheckRule::NormalizedMinSum(0.75), CheckRule::OffsetMinSum(0.3)] {
+            let mut out = [0.0; 5];
+            rule.extrinsic(&incoming, &mut out);
+            let want = reference_extrinsic(&rule, &incoming);
+            for (o, w) in out.iter().zip(&want) {
+                assert!((o - w).abs() < 1e-12, "{rule:?}: {o} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn degree_two_passes_messages_across() {
+        let incoming = [3.0, -1.0];
+        let mut out = [0.0; 2];
+        CheckRule::SumProduct.extrinsic(&incoming, &mut out);
+        assert_eq!(out, [-1.0, 3.0]);
+    }
+
+    #[test]
+    fn degree_one_outputs_zero() {
+        let mut out = [123.0];
+        CheckRule::SumProduct.extrinsic(&[5.0], &mut out);
+        assert_eq!(out, [0.0]);
+    }
+
+    #[test]
+    fn duplicate_minima_are_handled() {
+        // Both minima equal: every extrinsic magnitude must be that minimum.
+        let incoming = [2.0, -2.0, 5.0];
+        let mut out = [0.0; 3];
+        CheckRule::NormalizedMinSum(1.0).extrinsic(&incoming, &mut out);
+        assert_eq!(out.map(f64::abs), [2.0, 2.0, 2.0]);
+    }
+}

@@ -1,0 +1,278 @@
+//! The paper's optimized message-update schedule — Figure 2b / Section 2.2.
+//!
+//! DVB-S2 parity nodes all have degree 2 and connect consecutive check nodes
+//! in a zigzag chain (the encoder's accumulator). Processing check nodes
+//! sequentially lets the freshly updated message of check `j-1` flow into
+//! check `j` *within the same iteration* (the "forward update"); messages
+//! back down the chain use the previous iteration (the "parallel backward
+//! update"). The paper's two payoffs, both reproduced by `fig2_schedules`:
+//!
+//! * the same BER needs ≈ 10 fewer iterations (30 instead of 40);
+//! * only the backward messages must be stored — `E_PN / 2` values instead
+//!   of `E_PN` — halving the parity-message memory.
+
+#![allow(clippy::needless_range_loop)] // one index drives several parallel slices
+
+use crate::llr_ops::CheckRule;
+use crate::stopping::{hard_decisions, syndrome_ok};
+use crate::{DecodeResult, Decoder, DecoderConfig};
+use dvbs2_ldpc::TannerGraph;
+use std::sync::Arc;
+
+/// Zigzag-schedule decoder for DVB-S2 (IRA) Tanner graphs.
+///
+/// Requires a graph built by [`TannerGraph::for_code`]: variables
+/// `info_len()..var_count()` must form the accumulator chain, and each
+/// check's parity edges must come last in its edge range.
+#[derive(Debug, Clone)]
+pub struct ZigzagDecoder {
+    graph: Arc<TannerGraph>,
+    config: DecoderConfig,
+    /// Variable-to-check messages for information edges (indexed by graph
+    /// edge id; parity-edge slots unused).
+    v2c: Vec<f64>,
+    /// Check-to-variable messages for information edges.
+    c2v: Vec<f64>,
+    /// Backward messages `b[j] = CN_{j+1} -> PN_j` (the only stored parity
+    /// messages — the hardware memory-saving the paper describes).
+    backward: Vec<f64>,
+    /// Forward messages `f[j] = CN_j -> PN_j`. In hardware these live only
+    /// in the functional unit's pipeline register; the model keeps them for
+    /// the a-posteriori parity decisions.
+    forward: Vec<f64>,
+    totals: Vec<f64>,
+    scratch_in: Vec<f64>,
+    scratch_out: Vec<f64>,
+}
+
+impl ZigzagDecoder {
+    /// Creates a decoder for a DVB-S2 Tanner graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has no parity chain (`info_len == var_count`).
+    pub fn new(graph: Arc<TannerGraph>, config: DecoderConfig) -> Self {
+        let n_check = graph.check_count();
+        assert!(
+            graph.info_len() < graph.var_count(),
+            "zigzag schedule needs a parity chain; use TannerGraph::for_code"
+        );
+        assert_eq!(
+            graph.var_count() - graph.info_len(),
+            n_check,
+            "IRA structure requires one parity variable per check"
+        );
+        let edges = graph.edge_count();
+        let max_degree =
+            (0..n_check).map(|c| graph.check_degree(c)).max().unwrap_or(0);
+        ZigzagDecoder {
+            graph,
+            config,
+            v2c: vec![0.0; edges],
+            c2v: vec![0.0; edges],
+            backward: vec![0.0; n_check],
+            forward: vec![0.0; n_check],
+            totals: vec![0.0; 0],
+            scratch_in: vec![0.0; max_degree],
+            scratch_out: vec![0.0; max_degree],
+        }
+    }
+
+    /// The decoder configuration.
+    pub fn config(&self) -> &DecoderConfig {
+        &self.config
+    }
+
+    /// Number of information edges of check `c` (its edge range minus the
+    /// trailing parity edges).
+    #[inline]
+    fn info_degree(&self, c: usize) -> usize {
+        self.graph.check_degree(c) - if c == 0 { 1 } else { 2 }
+    }
+}
+
+impl Decoder for ZigzagDecoder {
+    fn decode(&mut self, channel_llrs: &[f64]) -> DecodeResult {
+        let graph = Arc::clone(&self.graph);
+        assert_eq!(channel_llrs.len(), graph.var_count(), "LLR length mismatch");
+        let k = graph.info_len();
+        let n_check = graph.check_count();
+
+        self.c2v.fill(0.0);
+        self.backward.fill(0.0);
+        self.totals = vec![0.0; graph.var_count()];
+        let mut iterations = 0;
+        let mut converged = false;
+
+        for _ in 0..self.config.max_iterations {
+            iterations += 1;
+
+            // Information variable-node phase (parallel, Eq. 4).
+            for v in 0..k {
+                let edges = graph.var_edges(v);
+                let total: f64 =
+                    channel_llrs[v] + edges.iter().map(|&e| self.c2v[e as usize]).sum::<f64>();
+                self.totals[v] = total;
+                for &e in edges {
+                    self.v2c[e as usize] = total - self.c2v[e as usize];
+                }
+            }
+
+            // Sequential check-node sweep with immediate forward update.
+            let mut fwd_prev = 0.0; // f_{j-1}, fresh from this sweep
+            for c in 0..n_check {
+                let info_d = self.info_degree(c);
+                let range = graph.check_edges(c);
+                let start = range.start;
+                for i in 0..info_d {
+                    self.scratch_in[i] = self.v2c[start + i];
+                }
+                let mut d = info_d;
+                // Left parity input: PN_{c-1} -> CN_c, using this sweep's
+                // fresh forward message (the paper's key optimization).
+                let left_pos = if c > 0 {
+                    self.scratch_in[d] = channel_llrs[k + c - 1] + fwd_prev;
+                    d += 1;
+                    Some(d - 1)
+                } else {
+                    None
+                };
+                // Right parity input: PN_c -> CN_c, using last iteration's
+                // backward message (parallel backward update).
+                self.scratch_in[d] = channel_llrs[k + c]
+                    + if c + 1 < n_check { self.backward[c] } else { 0.0 };
+                let right_pos = d;
+                d += 1;
+
+                self.config.rule.extrinsic(&self.scratch_in[..d], &mut self.scratch_out[..d]);
+
+                for i in 0..info_d {
+                    self.c2v[start + i] = self.scratch_out[i];
+                }
+                if let Some(p) = left_pos {
+                    // CN_c -> PN_{c-1}: the new backward message, consumed by
+                    // CN_{c-1} only in the *next* iteration.
+                    self.backward[c - 1] = self.scratch_out[p];
+                }
+                fwd_prev = self.scratch_out[right_pos];
+                self.forward[c] = fwd_prev;
+            }
+
+            // A-posteriori totals and early termination.
+            for v in 0..k {
+                self.totals[v] = channel_llrs[v]
+                    + graph.var_edges(v).iter().map(|&e| self.c2v[e as usize]).sum::<f64>();
+            }
+            for j in 0..n_check {
+                self.totals[k + j] = channel_llrs[k + j]
+                    + self.forward[j]
+                    + if j + 1 < n_check { self.backward[j] } else { 0.0 };
+            }
+            if self.config.early_stop && syndrome_ok(&graph, &hard_decisions(&self.totals)) {
+                converged = true;
+                break;
+            }
+        }
+        if !converged {
+            converged = syndrome_ok(&graph, &hard_decisions(&self.totals));
+        }
+        DecodeResult { bits: hard_decisions(&self.totals), iterations, converged }
+    }
+
+    fn name(&self) -> &'static str {
+        match self.config.rule {
+            CheckRule::SumProduct => "zigzag sum-product",
+            CheckRule::NormalizedMinSum(_) => "zigzag normalized min-sum",
+            CheckRule::OffsetMinSum(_) => "zigzag offset min-sum",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flooding::FloodingDecoder;
+    use crate::test_support::{llrs_for_codeword, noisy_llrs, small_code, SplitMix64};
+    use dvbs2_ldpc::BitVec;
+
+    #[test]
+    fn noiseless_codeword_converges_immediately() {
+        let (code, graph) = small_code();
+        let enc = code.encoder().unwrap();
+        let mut rng = SplitMix64(2);
+        let msg: BitVec = (0..code.params().k).map(|_| rng.next_bool()).collect();
+        let cw = enc.encode(&msg).unwrap();
+        let llrs = llrs_for_codeword(&cw, 5.0);
+        let mut dec = ZigzagDecoder::new(Arc::new(graph), DecoderConfig::default());
+        let out = dec.decode(&llrs);
+        assert!(out.converged);
+        assert_eq!(out.iterations, 1);
+        assert_eq!(out.bits, cw);
+    }
+
+    #[test]
+    fn corrects_noisy_frame() {
+        let (code, graph) = small_code();
+        let (cw, llrs) = noisy_llrs(&code, 3.2, 42);
+        let mut dec = ZigzagDecoder::new(Arc::new(graph), DecoderConfig::default());
+        let out = dec.decode(&llrs);
+        assert!(out.converged);
+        assert_eq!(out.bits, cw);
+    }
+
+    #[test]
+    fn converges_in_fewer_iterations_than_flooding() {
+        // The paper's central claim for the schedule (Fig. 2b): across noisy
+        // frames the sequential forward update converges faster.
+        let (code, graph) = small_code();
+        let graph = Arc::new(graph);
+        let config = DecoderConfig { max_iterations: 60, ..DecoderConfig::default() };
+        let mut zigzag = ZigzagDecoder::new(Arc::clone(&graph), config);
+        let mut flooding = FloodingDecoder::new(Arc::clone(&graph), config);
+        let mut zig_total = 0usize;
+        let mut flood_total = 0usize;
+        for seed in 0..8 {
+            let (_, llrs) = noisy_llrs(&code, 2.4, 1000 + seed);
+            zig_total += zigzag.decode(&llrs).iterations;
+            flood_total += flooding.decode(&llrs).iterations;
+        }
+        assert!(
+            zig_total < flood_total,
+            "zigzag {zig_total} iters vs flooding {flood_total}"
+        );
+    }
+
+    #[test]
+    fn agrees_with_flooding_on_decoded_words() {
+        let (code, graph) = small_code();
+        let graph = Arc::new(graph);
+        let mut zigzag = ZigzagDecoder::new(Arc::clone(&graph), DecoderConfig::default());
+        let mut flooding = FloodingDecoder::new(Arc::clone(&graph), DecoderConfig::default());
+        for seed in 0..4 {
+            let (cw, llrs) = noisy_llrs(&code, 3.0, 500 + seed);
+            let z = zigzag.decode(&llrs);
+            let f = flooding.decode(&llrs);
+            assert_eq!(z.bits, cw, "seed {seed}");
+            assert_eq!(f.bits, cw, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn works_with_min_sum_rule() {
+        let (code, graph) = small_code();
+        let (cw, llrs) = noisy_llrs(&code, 3.6, 77);
+        let mut dec = ZigzagDecoder::new(
+            Arc::new(graph),
+            DecoderConfig { rule: CheckRule::NormalizedMinSum(0.8), ..DecoderConfig::default() },
+        );
+        let out = dec.decode(&llrs);
+        assert_eq!(out.bits, cw);
+    }
+
+    #[test]
+    #[should_panic(expected = "parity chain")]
+    fn rejects_graph_without_parity_chain() {
+        let g = dvbs2_ldpc::TannerGraph::from_edges(2, 1, &[(0, 0), (0, 1)]);
+        let _ = ZigzagDecoder::new(Arc::new(g), DecoderConfig::default());
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for decoder arithmetic.
+
+#![allow(clippy::needless_range_loop)] // one index drives several parallel slices
+
+use dvbs2_decoder::{boxplus, boxplus_min, CheckRule, QBoxplus, Quantizer};
+use proptest::prelude::*;
+
+fn finite_llr() -> impl Strategy<Value = f64> {
+    -25.0..25.0f64
+}
+
+proptest! {
+    /// Boxplus is commutative.
+    #[test]
+    fn boxplus_commutative(a in finite_llr(), b in finite_llr()) {
+        prop_assert!((boxplus(a, b) - boxplus(b, a)).abs() < 1e-12);
+    }
+
+    /// Boxplus is associative (within numerical tolerance).
+    #[test]
+    fn boxplus_associative(a in finite_llr(), b in finite_llr(), c in finite_llr()) {
+        let left = boxplus(boxplus(a, b), c);
+        let right = boxplus(a, boxplus(b, c));
+        prop_assert!((left - right).abs() < 1e-9, "{left} vs {right}");
+    }
+
+    /// |a ⊞ b| <= min(|a|, |b|) and sign(a ⊞ b) = sign(a) sign(b).
+    #[test]
+    fn boxplus_contracts_and_multiplies_signs(a in finite_llr(), b in finite_llr()) {
+        let out = boxplus(a, b);
+        prop_assert!(out.abs() <= a.abs().min(b.abs()) + 1e-12);
+        if a != 0.0 && b != 0.0 && out != 0.0 {
+            prop_assert_eq!(out.signum(), a.signum() * b.signum());
+        }
+    }
+
+    /// Min-sum magnitude dominates sum-product magnitude.
+    #[test]
+    fn min_sum_dominates(a in finite_llr(), b in finite_llr()) {
+        prop_assert!(boxplus_min(a, b).abs() + 1e-12 >= boxplus(a, b).abs());
+    }
+
+    /// Quantizer is monotone and saturating.
+    #[test]
+    fn quantizer_monotone(x in -100.0..100.0f64, y in -100.0..100.0f64) {
+        let q = Quantizer::paper_6bit();
+        let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+        prop_assert!(q.quantize(lo) <= q.quantize(hi));
+        prop_assert!(q.quantize(x).abs() <= q.max_mag());
+    }
+
+    /// Dequantize(quantize(x)) is within half a step for in-range x
+    /// (the paper 6-bit quantizer spans ±7.75).
+    #[test]
+    fn quantizer_round_trip(x in -7.5..7.5f64) {
+        let q = Quantizer::paper_6bit();
+        let back = q.dequantize(q.quantize(x));
+        prop_assert!((back - x).abs() <= q.step() / 2.0 + 1e-12);
+    }
+
+    /// Integer boxplus matches the float rule within one step.
+    #[test]
+    fn qboxplus_tracks_float(a in -31i32..=31, b in -31i32..=31) {
+        let q = Quantizer::paper_6bit();
+        let bp = QBoxplus::new(q);
+        let exact = boxplus(q.dequantize(a), q.dequantize(b));
+        let approx = q.dequantize(bp.combine(a, b));
+        prop_assert!((exact - approx).abs() <= q.step() + 1e-9,
+            "a={a} b={b}: exact {exact}, approx {approx}");
+    }
+
+    /// Integer boxplus is commutative and sign-correct.
+    #[test]
+    fn qboxplus_commutative(a in -31i32..=31, b in -31i32..=31) {
+        let bp = QBoxplus::new(Quantizer::paper_6bit());
+        prop_assert_eq!(bp.combine(a, b), bp.combine(b, a));
+        let out = bp.combine(a, b);
+        if a != 0 && b != 0 && out != 0 {
+            prop_assert_eq!(out.signum(), a.signum() * b.signum());
+        }
+    }
+
+    /// Check-rule extrinsic outputs never exceed the smallest other input
+    /// magnitude for min-sum with alpha = 1.
+    #[test]
+    fn extrinsic_bounded(values in prop::collection::vec(finite_llr(), 3..12)) {
+        let mut out = vec![0.0; values.len()];
+        CheckRule::NormalizedMinSum(1.0).extrinsic(&values, &mut out);
+        for i in 0..values.len() {
+            let min_other = values
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, v)| v.abs())
+                .fold(f64::INFINITY, f64::min);
+            prop_assert!(out[i].abs() <= min_other + 1e-12);
+        }
+    }
+}

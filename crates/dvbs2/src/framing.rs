@@ -1,0 +1,248 @@
+//! Stream adaptation: BBFRAMEs (EN 302 307 §5.1–5.2).
+//!
+//! Upstream of the FEC chain, DVB-S2 packs user data into baseband frames:
+//! an 80-bit BBHEADER (mode/stream fields protected by CRC-8) followed by
+//! the data field and zero padding up to `K_bch`. This module implements
+//! the header, its CRC, and frame assembly/extraction, completing the
+//! transmit path from user bits to the LDPC codeword the paper's decoder
+//! receives.
+
+use dvbs2_ldpc::BitVec;
+use std::fmt;
+
+/// The DVB-S2 CRC-8 generator `x^8 + x^7 + x^6 + x^4 + x^2 + 1`
+/// (feedback taps 0xD5), MSB-first over the 72 header bits.
+pub fn crc8_dvbs2(bits: impl IntoIterator<Item = bool>) -> u8 {
+    let mut crc = 0u8;
+    for bit in bits {
+        let msb = (crc >> 7) & 1 == 1;
+        crc <<= 1;
+        if msb ^ bit {
+            crc ^= 0xD5;
+        }
+    }
+    crc
+}
+
+/// Errors from BBFRAME parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FramingError {
+    /// The header CRC-8 check failed (the frame was corrupted).
+    HeaderCrc {
+        /// CRC computed over the received header fields.
+        computed: u8,
+        /// CRC carried in the received header.
+        received: u8,
+    },
+    /// The declared data-field length exceeds the frame capacity.
+    DataFieldTooLong {
+        /// Declared length in bits.
+        dfl: usize,
+        /// Frame capacity in bits.
+        capacity: usize,
+    },
+    /// The frame is shorter than one BBHEADER.
+    FrameTooShort,
+}
+
+impl fmt::Display for FramingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FramingError::HeaderCrc { computed, received } => {
+                write!(f, "BBHEADER CRC mismatch: computed {computed:#04x}, received {received:#04x}")
+            }
+            FramingError::DataFieldTooLong { dfl, capacity } => {
+                write!(f, "data field of {dfl} bits exceeds frame capacity {capacity}")
+            }
+            FramingError::FrameTooShort => write!(f, "frame shorter than one BBHEADER"),
+        }
+    }
+}
+
+impl std::error::Error for FramingError {}
+
+/// The 80-bit baseband header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BbHeader {
+    /// MATYPE: stream/mode flags (16 bits).
+    pub matype: u16,
+    /// User-packet length in bits (16 bits).
+    pub upl: u16,
+    /// Data-field length in bits (16 bits).
+    pub dfl: u16,
+    /// SYNC byte of the user packets (8 bits).
+    pub sync: u8,
+    /// Distance to the first user-packet start in the data field (16 bits).
+    pub syncd: u16,
+}
+
+/// Bits of the BBHEADER including CRC.
+pub const BBHEADER_BITS: usize = 80;
+
+impl BbHeader {
+    /// Serializes to 80 bits (72 field bits + CRC-8), MSB-first per field.
+    pub fn to_bits(&self) -> BitVec {
+        let mut bits = BitVec::zeros(0);
+        push_u16(&mut bits, self.matype);
+        push_u16(&mut bits, self.upl);
+        push_u16(&mut bits, self.dfl);
+        push_u8(&mut bits, self.sync);
+        push_u16(&mut bits, self.syncd);
+        let crc = crc8_dvbs2(bits.iter());
+        push_u8(&mut bits, crc);
+        debug_assert_eq!(bits.len(), BBHEADER_BITS);
+        bits
+    }
+
+    /// Parses and CRC-checks the first 80 bits of a frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FramingError::FrameTooShort`] or [`FramingError::HeaderCrc`].
+    pub fn parse(frame: &BitVec) -> Result<Self, FramingError> {
+        if frame.len() < BBHEADER_BITS {
+            return Err(FramingError::FrameTooShort);
+        }
+        let field = |start: usize, width: usize| -> u32 {
+            (0..width).fold(0u32, |acc, i| (acc << 1) | u32::from(frame.get(start + i)))
+        };
+        let computed = crc8_dvbs2((0..72).map(|i| frame.get(i)));
+        let received = field(72, 8) as u8;
+        if computed != received {
+            return Err(FramingError::HeaderCrc { computed, received });
+        }
+        Ok(BbHeader {
+            matype: field(0, 16) as u16,
+            upl: field(16, 16) as u16,
+            dfl: field(32, 16) as u16,
+            sync: field(48, 8) as u8,
+            syncd: field(56, 16) as u16,
+        })
+    }
+}
+
+fn push_u16(bits: &mut BitVec, v: u16) {
+    for i in (0..16).rev() {
+        bits.push((v >> i) & 1 == 1);
+    }
+}
+
+fn push_u8(bits: &mut BitVec, v: u8) {
+    for i in (0..8).rev() {
+        bits.push((v >> i) & 1 == 1);
+    }
+}
+
+/// Assembles a BBFRAME of exactly `k_bch` bits: header, data field, zero
+/// padding. The header's `dfl` is set to the payload length.
+///
+/// # Errors
+///
+/// Returns [`FramingError::DataFieldTooLong`] if the payload does not fit.
+pub fn assemble_bbframe(
+    mut header: BbHeader,
+    payload: &BitVec,
+    k_bch: usize,
+) -> Result<BitVec, FramingError> {
+    let capacity = k_bch - BBHEADER_BITS;
+    if payload.len() > capacity || payload.len() > u16::MAX as usize {
+        return Err(FramingError::DataFieldTooLong { dfl: payload.len(), capacity });
+    }
+    header.dfl = payload.len() as u16;
+    let mut frame = header.to_bits();
+    frame.extend(payload.iter());
+    while frame.len() < k_bch {
+        frame.push(false);
+    }
+    Ok(frame)
+}
+
+/// Extracts the header and data field from a received BBFRAME.
+///
+/// # Errors
+///
+/// Returns [`FramingError`] on CRC failure or an impossible `dfl`.
+pub fn extract_bbframe(frame: &BitVec) -> Result<(BbHeader, BitVec), FramingError> {
+    let header = BbHeader::parse(frame)?;
+    let dfl = header.dfl as usize;
+    if BBHEADER_BITS + dfl > frame.len() {
+        return Err(FramingError::DataFieldTooLong {
+            dfl,
+            capacity: frame.len() - BBHEADER_BITS,
+        });
+    }
+    let payload = (0..dfl).map(|i| frame.get(BBHEADER_BITS + i)).collect();
+    Ok((header, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> BbHeader {
+        BbHeader { matype: 0xF000, upl: 1504, dfl: 0, sync: 0x47, syncd: 42 }
+    }
+
+    #[test]
+    fn header_round_trips() {
+        let h = header();
+        let bits = h.to_bits();
+        assert_eq!(bits.len(), BBHEADER_BITS);
+        let parsed = BbHeader::parse(&bits).unwrap();
+        assert_eq!(parsed.matype, h.matype);
+        assert_eq!(parsed.sync, 0x47);
+        assert_eq!(parsed.syncd, 42);
+    }
+
+    #[test]
+    fn corrupted_header_fails_crc() {
+        let mut bits = header().to_bits();
+        bits.toggle(5);
+        assert!(matches!(BbHeader::parse(&bits), Err(FramingError::HeaderCrc { .. })));
+    }
+
+    #[test]
+    fn crc8_known_properties() {
+        // All-zero input gives zero; a single leading 1 gives the generator
+        // remainder pattern.
+        assert_eq!(crc8_dvbs2(std::iter::repeat(false).take(72)), 0);
+        assert_ne!(crc8_dvbs2(std::iter::once(true).chain(std::iter::repeat(false).take(71))), 0);
+        // Linearity over GF(2): crc(a ^ b) = crc(a) ^ crc(b).
+        let a: Vec<bool> = (0..72).map(|i| i % 3 == 0).collect();
+        let b: Vec<bool> = (0..72).map(|i| i % 5 == 0).collect();
+        let ab: Vec<bool> = a.iter().zip(&b).map(|(&x, &y)| x ^ y).collect();
+        assert_eq!(
+            crc8_dvbs2(ab),
+            crc8_dvbs2(a.iter().copied()) ^ crc8_dvbs2(b.iter().copied())
+        );
+    }
+
+    #[test]
+    fn bbframe_assembles_and_extracts() {
+        let payload: BitVec = (0..1000).map(|i| i % 7 == 0).collect();
+        let frame = assemble_bbframe(header(), &payload, 7032).unwrap();
+        assert_eq!(frame.len(), 7032);
+        let (h, data) = extract_bbframe(&frame).unwrap();
+        assert_eq!(h.dfl, 1000);
+        assert_eq!(data, payload);
+    }
+
+    #[test]
+    fn oversized_payload_is_rejected() {
+        let payload = BitVec::zeros(7032);
+        assert!(matches!(
+            assemble_bbframe(header(), &payload, 7032),
+            Err(FramingError::DataFieldTooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn padding_is_zero() {
+        let payload: BitVec = (0..100).map(|_| true).collect();
+        let frame = assemble_bbframe(header(), &payload, 7032).unwrap();
+        for i in BBHEADER_BITS + 100..7032 {
+            assert!(!frame.get(i), "padding bit {i} set");
+        }
+    }
+}

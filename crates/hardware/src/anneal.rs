@@ -1,0 +1,170 @@
+//! Simulated-annealing optimization of the check-phase read schedule.
+//!
+//! The paper: "we used simulated annealing to minimize memory requirements
+//! and avoidance of RAM access conflicts … This optimization step ensures
+//! that only one buffer is required". The annealer permutes message reads
+//! within each residue row (the only legal freedom, see
+//! [`crate::CnSchedule`]) to minimize worst-case conflict-buffer occupancy
+//! and the write-drain tail.
+
+use crate::memory::{simulate_cn_phase, AccessStats, MemoryConfig};
+use crate::rom::ConnectivityRom;
+use crate::schedule::CnSchedule;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Annealer parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnealOptions {
+    /// Proposed moves to evaluate.
+    pub moves: usize,
+    /// Initial Metropolis temperature (in cost units).
+    pub initial_temp: f64,
+    /// Geometric cooling factor per move, in `(0, 1)`.
+    pub cooling: f64,
+    /// RNG seed; the optimization is deterministic given the seed.
+    pub seed: u64,
+}
+
+impl Default for AnnealOptions {
+    fn default() -> Self {
+        AnnealOptions { moves: 4000, initial_temp: 50.0, cooling: 0.999, seed: 2005 }
+    }
+}
+
+/// Result of one annealing run.
+#[derive(Debug, Clone)]
+pub struct AnnealResult {
+    /// The optimized schedule.
+    pub schedule: CnSchedule,
+    /// Memory statistics of the natural (unoptimized) schedule.
+    pub baseline: AccessStats,
+    /// Memory statistics of the optimized schedule.
+    pub optimized: AccessStats,
+    /// Moves accepted during the search.
+    pub accepted_moves: usize,
+}
+
+/// Cost: worst-case buffer depth dominates; drain cycles break ties.
+fn cost(stats: &AccessStats) -> f64 {
+    stats.max_buffer as f64 * 1000.0
+        + (stats.total_cycles - stats.read_cycles) as f64
+        + stats.delayed_writes as f64 * 0.01
+}
+
+/// Optimizes the read schedule of `rom` for a memory configuration.
+///
+/// ```
+/// use dvbs2_hardware::{optimize_schedule, AnnealOptions, ConnectivityRom, MemoryConfig};
+/// use dvbs2_ldpc::{CodeRate, DvbS2Code, FrameSize};
+/// # fn main() -> Result<(), dvbs2_ldpc::CodeError> {
+/// let code = DvbS2Code::new(CodeRate::R1_2, FrameSize::Short)?;
+/// let rom = ConnectivityRom::build(code.params(), code.table());
+/// let result = optimize_schedule(&rom, MemoryConfig::default(), AnnealOptions::default());
+/// assert!(result.optimized.max_buffer <= result.baseline.max_buffer);
+/// # Ok(())
+/// # }
+/// ```
+pub fn optimize_schedule(
+    rom: &ConnectivityRom,
+    memory: MemoryConfig,
+    options: AnnealOptions,
+) -> AnnealResult {
+    let mut rng = SmallRng::seed_from_u64(options.seed);
+    let mut schedule = CnSchedule::natural(rom);
+    let row_len = rom.row_len();
+    let baseline = simulate_cn_phase(memory, &schedule.read_sequence(), row_len);
+
+    let mut current = baseline;
+    let mut current_cost = cost(&baseline);
+    let mut best_schedule = schedule.clone();
+    let mut best_stats = baseline;
+    let mut best_cost = current_cost;
+    let mut temp = options.initial_temp;
+    let mut accepted_moves = 0usize;
+
+    if row_len >= 2 {
+        for _ in 0..options.moves {
+            let r = rng.random_range(0..rom.row_count());
+            let i = rng.random_range(0..row_len);
+            let mut j = rng.random_range(0..row_len - 1);
+            if j >= i {
+                j += 1;
+            }
+            schedule.swap_within_row(r, i, j);
+            let stats = simulate_cn_phase(memory, &schedule.read_sequence(), row_len);
+            let c = cost(&stats);
+            let accept = c <= current_cost
+                || rng.random::<f64>() < ((current_cost - c) / temp.max(1e-9)).exp();
+            if accept {
+                current = stats;
+                current_cost = c;
+                accepted_moves += 1;
+                if c < best_cost {
+                    best_cost = c;
+                    best_stats = stats;
+                    best_schedule = schedule.clone();
+                }
+            } else {
+                schedule.swap_within_row(r, i, j); // undo
+            }
+            temp *= options.cooling;
+        }
+    }
+    let _ = current;
+    debug_assert!(best_schedule.validate(rom).is_ok());
+    AnnealResult { schedule: best_schedule, baseline, optimized: best_stats, accepted_moves }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvbs2_ldpc::{CodeRate, DvbS2Code, FrameSize};
+
+    fn rom(rate: CodeRate, frame: FrameSize) -> ConnectivityRom {
+        let code = DvbS2Code::new(rate, frame).unwrap();
+        ConnectivityRom::build(code.params(), code.table())
+    }
+
+    #[test]
+    fn optimization_never_worsens_the_buffer() {
+        let rom = rom(CodeRate::R1_2, FrameSize::Short);
+        let result = optimize_schedule(&rom, MemoryConfig::default(), AnnealOptions::default());
+        assert!(result.optimized.max_buffer <= result.baseline.max_buffer);
+        result.schedule.validate(&rom).unwrap();
+    }
+
+    #[test]
+    fn annealing_is_deterministic_per_seed() {
+        let rom = rom(CodeRate::R3_4, FrameSize::Short);
+        let opts = AnnealOptions { moves: 500, ..AnnealOptions::default() };
+        let a = optimize_schedule(&rom, MemoryConfig::default(), opts);
+        let b = optimize_schedule(&rom, MemoryConfig::default(), opts);
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.optimized, b.optimized);
+    }
+
+    #[test]
+    fn optimized_buffer_is_small() {
+        // The reproduction target: a single small buffer suffices.
+        let rom = rom(CodeRate::R1_2, FrameSize::Short);
+        let result = optimize_schedule(&rom, MemoryConfig::default(), AnnealOptions::default());
+        assert!(
+            result.optimized.max_buffer <= 4,
+            "optimized buffer too large: {:?}",
+            result.optimized
+        );
+    }
+
+    #[test]
+    fn zero_move_budget_returns_baseline() {
+        let rom = rom(CodeRate::R2_3, FrameSize::Short);
+        let result = optimize_schedule(
+            &rom,
+            MemoryConfig::default(),
+            AnnealOptions { moves: 0, ..AnnealOptions::default() },
+        );
+        assert_eq!(result.baseline, result.optimized);
+        assert_eq!(result.accepted_moves, 0);
+    }
+}

@@ -1,0 +1,491 @@
+//! The cycle-accurate decoder core — Figure 4 of the paper, clocked.
+//!
+//! [`HardwareDecoder`] moves every message through the modeled memory
+//! subsystem: one wide read per cycle, functional-unit pipeline latency,
+//! write-back through the shuffling network into the 4-bank single-port
+//! RAMs, and the conflict buffer of Figure 5. Its decode results must be
+//! **bit-identical** to the untimed [`crate::GoldenModel`] (verified in the
+//! test suite and `tests/hw_equivalence.rs`), and its cycle counts are the
+//! measured side of the Eq. 8 throughput comparison.
+
+use crate::functional_unit::FunctionalUnitArray;
+use crate::golden::{compute_totals, syndrome_clean};
+use crate::memory::MemoryConfig;
+use crate::rom::ConnectivityRom;
+use crate::schedule::CnSchedule;
+use crate::shuffle::ShuffleNetwork;
+use dvbs2_decoder::{hard_decisions_int, DecodeResult, Quantizer};
+use dvbs2_ldpc::{CodeParams, DvbS2Code, PARALLELISM};
+use std::collections::VecDeque;
+
+/// Configuration of the cycle-accurate core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreConfig {
+    /// Message/channel quantizer (the paper: 6 bit).
+    pub quantizer: Quantizer,
+    /// Iterations per frame. The paper assumes a fixed 30.
+    pub max_iterations: usize,
+    /// Optional syndrome-based early termination (off in the paper's
+    /// throughput accounting).
+    pub early_stop: bool,
+    /// Memory subsystem parameters (banks, write ports, FU latency).
+    pub memory: MemoryConfig,
+    /// Channel values accepted per I/O cycle (the paper: 10).
+    pub p_io: usize,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig {
+            quantizer: Quantizer::paper_6bit(),
+            max_iterations: 30,
+            early_stop: false,
+            memory: MemoryConfig::default(),
+            p_io: 10,
+        }
+    }
+}
+
+/// Measured cycle counts of one decoded frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CycleBreakdown {
+    /// Frame I/O cycles, `ceil(N / P_IO)`.
+    pub io_cycles: usize,
+    /// Information-phase cycles summed over iterations.
+    pub info_phase_cycles: usize,
+    /// Check-phase cycles summed over iterations (includes write drains).
+    pub check_phase_cycles: usize,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Worst conflict-buffer occupancy observed (wide words).
+    pub max_buffer: usize,
+    /// `io + info + check` cycles.
+    pub total_cycles: usize,
+}
+
+impl CycleBreakdown {
+    /// Information throughput in Mbit/s at a given clock.
+    pub fn throughput_mbps(&self, clock_mhz: f64, info_bits: usize) -> f64 {
+        info_bits as f64 / self.total_cycles as f64 * clock_mhz
+    }
+}
+
+/// Result of a hardware decode: decisions plus measured cycles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HwDecodeOutput {
+    /// The decoding outcome (bit-identical to the golden model's).
+    pub result: DecodeResult,
+    /// Measured cycle counts.
+    pub cycles: CycleBreakdown,
+}
+
+/// A write-back in flight: committed to the RAM only when the memory
+/// subsystem grants it a bank.
+#[derive(Debug, Clone)]
+struct PendingWrite {
+    word: u32,
+    arrival: usize,
+    data: Vec<i32>,
+}
+
+/// Data-carrying model of the conflict buffer of Figure 5.
+#[derive(Debug, Default)]
+struct WriteQueue {
+    inflight: VecDeque<PendingWrite>,
+    buffer: VecDeque<PendingWrite>,
+    max_buffer: usize,
+}
+
+impl WriteQueue {
+    fn push(&mut self, word: u32, arrival: usize, data: Vec<i32>) {
+        debug_assert!(self.inflight.back().is_none_or(|w| w.arrival <= arrival));
+        self.inflight.push_back(PendingWrite { word, arrival, data });
+    }
+
+    /// One memory cycle: accept arrivals, issue up to `write_ports` writes
+    /// to distinct banks not being read, commit them into `ram`.
+    fn step(
+        &mut self,
+        cycle: usize,
+        read_bank: Option<u32>,
+        memory: MemoryConfig,
+        ram: &mut [i32],
+        write_pending: &mut [bool],
+    ) {
+        while self.inflight.front().is_some_and(|w| w.arrival <= cycle) {
+            let w = self.inflight.pop_front().expect("checked non-empty");
+            self.buffer.push_back(w);
+        }
+        let banks = memory.banks as u32;
+        let mut used: Vec<u32> = Vec::with_capacity(memory.write_ports);
+        let mut idx = 0;
+        while idx < self.buffer.len() && used.len() < memory.write_ports {
+            let bank = self.buffer[idx].word % banks;
+            if Some(bank) != read_bank && !used.contains(&bank) {
+                used.push(bank);
+                let w = self.buffer.remove(idx).expect("index in range");
+                let word = w.word as usize;
+                let p = w.data.len();
+                ram[word * p..(word + 1) * p].copy_from_slice(&w.data);
+                write_pending[word] = false;
+            } else {
+                idx += 1;
+            }
+        }
+        self.max_buffer = self.max_buffer.max(self.buffer.len());
+    }
+
+    fn is_empty(&self) -> bool {
+        self.inflight.is_empty() && self.buffer.is_empty()
+    }
+}
+
+/// The cycle-accurate IP core model.
+#[derive(Debug)]
+pub struct HardwareDecoder {
+    params: CodeParams,
+    rom: ConnectivityRom,
+    schedule: CnSchedule,
+    fu: FunctionalUnitArray,
+    shuffle: ShuffleNetwork,
+    config: CoreConfig,
+    ram: Vec<i32>,
+    write_pending: Vec<bool>,
+    totals: Vec<i32>,
+    block_in: Vec<i32>,
+    block_out: Vec<i32>,
+    rotated: Vec<i32>,
+}
+
+impl HardwareDecoder {
+    /// Builds the core for a code with an explicit check-phase schedule
+    /// (see [`crate::optimize_schedule`] for an annealed one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule does not match the code's ROM.
+    pub fn new(code: &DvbS2Code, schedule: CnSchedule, config: CoreConfig) -> Self {
+        let params = *code.params();
+        let rom = ConnectivityRom::build(&params, code.table());
+        schedule.validate(&rom).expect("schedule must match the code's ROM");
+        let words = rom.words();
+        let max_block = params.hi.degree.max(params.check_degree);
+        HardwareDecoder {
+            fu: FunctionalUnitArray::new(&params, config.quantizer),
+            shuffle: ShuffleNetwork::new(PARALLELISM),
+            ram: vec![0; words * PARALLELISM],
+            write_pending: vec![false; words],
+            totals: vec![0; params.n],
+            block_in: vec![0; max_block * PARALLELISM],
+            block_out: vec![0; max_block * PARALLELISM],
+            rotated: vec![0; PARALLELISM],
+            params,
+            rom,
+            schedule,
+            config,
+        }
+    }
+
+    /// Builds the core with the natural (unoptimized) schedule.
+    pub fn with_natural_schedule(code: &DvbS2Code, config: CoreConfig) -> Self {
+        let rom = ConnectivityRom::build(code.params(), code.table());
+        Self::new(code, CnSchedule::natural(&rom), config)
+    }
+
+    /// The code parameters.
+    pub fn params(&self) -> &CodeParams {
+        &self.params
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.config
+    }
+
+    /// The schedule driving the check phase.
+    pub fn schedule(&self) -> &CnSchedule {
+        &self.schedule
+    }
+
+    /// Quantizes float channel LLRs with the core's quantizer.
+    pub fn quantize_channel(&self, llrs: &[f64]) -> Vec<i32> {
+        llrs.iter().map(|&l| self.config.quantizer.quantize(l)).collect()
+    }
+
+    /// Decodes float channel LLRs (quantizing them first).
+    pub fn decode(&mut self, llrs: &[f64]) -> HwDecodeOutput {
+        let channel = self.quantize_channel(llrs);
+        self.decode_quantized(&channel)
+    }
+
+    /// Decodes one frame of quantized channel LLRs, cycle-accurately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel.len() != N`, or (a model invariant, not an input
+    /// error) if the memory schedule would ever read a word whose write-back
+    /// is still in flight.
+    pub fn decode_quantized(&mut self, channel: &[i32]) -> HwDecodeOutput {
+        assert_eq!(channel.len(), self.params.n, "LLR length mismatch");
+        self.ram.fill(0);
+        self.write_pending.fill(false);
+        self.fu.reset();
+
+        let mut cycles = CycleBreakdown {
+            io_cycles: self.params.n.div_ceil(self.config.p_io),
+            ..CycleBreakdown::default()
+        };
+        let mut converged = false;
+
+        for _ in 0..self.config.max_iterations {
+            cycles.iterations += 1;
+            let (info_cycles, info_buf) = self.information_phase_timed(channel);
+            let (check_cycles, check_buf) = self.check_phase_timed(channel);
+            cycles.info_phase_cycles += info_cycles;
+            cycles.check_phase_cycles += check_cycles;
+            cycles.max_buffer = cycles.max_buffer.max(info_buf).max(check_buf);
+            compute_totals(&self.params, &self.rom, &self.ram, &self.fu, channel, &mut self.totals);
+            if self.config.early_stop && syndrome_clean(&self.params, &self.rom, &self.totals) {
+                converged = true;
+                break;
+            }
+        }
+        if !converged {
+            converged = syndrome_clean(&self.params, &self.rom, &self.totals);
+        }
+        cycles.total_cycles = cycles.io_cycles + cycles.info_phase_cycles + cycles.check_phase_cycles;
+        HwDecodeOutput {
+            result: DecodeResult {
+                bits: hard_decisions_int(&self.totals),
+                iterations: cycles.iterations,
+                converged,
+            },
+            cycles,
+        }
+    }
+
+    /// Timed information phase: sequential word reads (one per cycle), node
+    /// outputs re-enter the RAM through the shuffle network and the write
+    /// queue. Returns (cycles, max buffer occupancy).
+    fn information_phase_timed(&mut self, channel: &[i32]) -> (usize, usize) {
+        let p = PARALLELISM;
+        let latency = self.config.memory.fu_latency;
+        let mut queue = WriteQueue::default();
+        let words = self.rom.words();
+        let mut cycle = 0usize;
+        let mut group = 0usize;
+        let mut word_in_group = 0usize;
+        // The functional unit's serial output port: one wide word per cycle,
+        // so a short group's outputs wait for the previous group's stream.
+        let mut output_free_at = 0usize;
+
+        while cycle < words || !queue.is_empty() {
+            let read_word = if cycle < words { Some(cycle) } else { None };
+            if let Some(w) = read_word {
+                assert!(!self.write_pending[w], "read-after-write hazard on word {w}");
+                let d = self.params.group_degree(group);
+                self.block_in[word_in_group * p..(word_in_group + 1) * p]
+                    .copy_from_slice(&self.ram[w * p..(w + 1) * p]);
+                word_in_group += 1;
+                if word_in_group == d {
+                    // Node complete: the functional units produce the
+                    // group's outputs, streaming out after the pipeline
+                    // latency, one (shifted) wide word per cycle.
+                    let base = self.rom.group_base(group);
+                    // Split borrows: block_in is read, block_out written.
+                    let (bi, bo) = (&self.block_in[..d * p], &mut self.block_out[..d * p]);
+                    self.fu.process_vn_group(
+                        d,
+                        &channel[group * p..(group + 1) * p],
+                        bi,
+                        bo,
+                        None,
+                    );
+                    let first_out = (cycle + 1 + latency).max(output_free_at);
+                    for i in 0..d {
+                        let shift = self.rom.entry(base + i).shift as usize;
+                        self.shuffle.rotate(
+                            &self.block_out[i * p..(i + 1) * p],
+                            shift,
+                            &mut self.rotated,
+                        );
+                        self.write_pending[base + i] = true;
+                        queue.push((base + i) as u32, first_out + i, self.rotated.clone());
+                    }
+                    output_free_at = first_out + d;
+                    group += 1;
+                    word_in_group = 0;
+                }
+            }
+            let read_bank = read_word.map(|w| (w % self.config.memory.banks) as u32);
+            queue.step(cycle, read_bank, self.config.memory, &mut self.ram, &mut self.write_pending);
+            cycle += 1;
+        }
+        (cycle, queue.max_buffer)
+    }
+
+    /// Timed check phase: the annealed read sequence, FU pipeline, inverse
+    /// shuffle on write-back, 4-bank conflict buffer. Returns
+    /// (cycles, max buffer occupancy).
+    fn check_phase_timed(&mut self, channel: &[i32]) -> (usize, usize) {
+        let p = PARALLELISM;
+        let row_len = self.rom.row_len();
+        let latency = self.config.memory.fu_latency;
+        let reads: Vec<u32> = self.schedule.read_sequence();
+        let mut queue = WriteQueue::default();
+        self.fu.begin_check_phase();
+
+        let mut cycle = 0usize;
+        while cycle < reads.len() || !queue.is_empty() {
+            let read_word = reads.get(cycle).map(|&w| w as usize);
+            if let Some(w) = read_word {
+                assert!(!self.write_pending[w], "read-after-write hazard on word {w}");
+                let i = cycle % row_len;
+                self.block_in[i * p..(i + 1) * p].copy_from_slice(&self.ram[w * p..(w + 1) * p]);
+                if i == row_len - 1 {
+                    let r = cycle / row_len;
+                    {
+                        let (bi, bo) =
+                            (&self.block_in[..row_len * p], &mut self.block_out[..row_len * p]);
+                        self.fu.process_cn_row(r, channel, bi, bo);
+                    }
+                    for (pos, &word) in self.schedule.row(r).iter().enumerate() {
+                        let shift = self.rom.entry(word as usize).shift as usize;
+                        let inv = self.shuffle.inverse_shift(shift);
+                        self.shuffle.rotate(
+                            &self.block_out[pos * p..(pos + 1) * p],
+                            inv,
+                            &mut self.rotated,
+                        );
+                        self.write_pending[word as usize] = true;
+                        queue.push(word, cycle + 1 + latency + pos, self.rotated.clone());
+                    }
+                }
+            }
+            let read_bank = read_word.map(|w| (w % self.config.memory.banks) as u32);
+            queue.step(cycle, read_bank, self.config.memory, &mut self.ram, &mut self.write_pending);
+            cycle += 1;
+        }
+        self.fu.end_check_phase();
+        (cycle, queue.max_buffer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anneal::{optimize_schedule, AnnealOptions};
+    use crate::golden::GoldenModel;
+    use dvbs2_decoder::test_support::noisy_llrs;
+    use dvbs2_ldpc::{CodeRate, FrameSize};
+
+    fn short_code() -> DvbS2Code {
+        DvbS2Code::new(CodeRate::R1_2, FrameSize::Short).unwrap()
+    }
+
+    fn core(code: &DvbS2Code, config: CoreConfig) -> HardwareDecoder {
+        HardwareDecoder::with_natural_schedule(code, config)
+    }
+
+    #[test]
+    fn bit_exact_against_golden_model() {
+        let code = short_code();
+        let config = CoreConfig { max_iterations: 10, ..CoreConfig::default() };
+        let mut hw = core(&code, config);
+        let rom = ConnectivityRom::build(code.params(), code.table());
+        let mut golden = GoldenModel::new(
+            &code,
+            CnSchedule::natural(&rom),
+            config.quantizer,
+            config.max_iterations,
+            config.early_stop,
+        );
+        for seed in 0..4 {
+            let (_, llrs) = noisy_llrs(&code, 2.2, 7000 + seed);
+            let channel = hw.quantize_channel(&llrs);
+            let hw_out = hw.decode_quantized(&channel);
+            let golden_out = golden.decode_quantized(&channel);
+            // Bit-exact, including frames that fail to converge.
+            assert_eq!(hw_out.result, golden_out, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn bit_exact_with_annealed_schedule_and_early_stop() {
+        let code = short_code();
+        let rom = ConnectivityRom::build(code.params(), code.table());
+        let schedule = optimize_schedule(
+            &rom,
+            MemoryConfig::default(),
+            AnnealOptions { moves: 200, ..AnnealOptions::default() },
+        )
+        .schedule;
+        let config = CoreConfig { early_stop: true, ..CoreConfig::default() };
+        let mut hw = HardwareDecoder::new(&code, schedule.clone(), config);
+        let mut golden =
+            GoldenModel::new(&code, schedule, config.quantizer, config.max_iterations, true);
+        let (cw, llrs) = noisy_llrs(&code, 3.2, 31);
+        let channel = hw.quantize_channel(&llrs);
+        let hw_out = hw.decode_quantized(&channel);
+        let golden_out = golden.decode_quantized(&channel);
+        assert_eq!(hw_out.result, golden_out);
+        assert_eq!(hw_out.result.bits, cw);
+    }
+
+    #[test]
+    fn cycle_counts_match_paper_structure() {
+        let code = short_code();
+        let config = CoreConfig { max_iterations: 30, ..CoreConfig::default() };
+        let mut hw = core(&code, config);
+        let (_, llrs) = noisy_llrs(&code, 3.2, 5);
+        let out = hw.decode(&llrs);
+        let p = code.params();
+        assert_eq!(out.cycles.io_cycles, p.n.div_ceil(10));
+        assert_eq!(out.cycles.iterations, 30);
+        // Each half-iteration reads E_IN/360 words plus a small drain tail.
+        let reads = p.addr_entries();
+        let per_phase_min = 30 * reads;
+        assert!(out.cycles.info_phase_cycles >= per_phase_min);
+        assert!(out.cycles.info_phase_cycles < per_phase_min + 30 * 64);
+        assert!(out.cycles.check_phase_cycles >= per_phase_min);
+        assert!(out.cycles.check_phase_cycles < per_phase_min + 30 * 64);
+        assert_eq!(
+            out.cycles.total_cycles,
+            out.cycles.io_cycles + out.cycles.info_phase_cycles + out.cycles.check_phase_cycles
+        );
+    }
+
+    #[test]
+    fn timed_stats_match_untimed_memory_simulation() {
+        // The data-carrying write queue and the fast schedule evaluator used
+        // by the annealer must agree on the cycle/buffer accounting.
+        use crate::memory::simulate_cn_phase;
+        let code = short_code();
+        let config = CoreConfig { max_iterations: 1, ..CoreConfig::default() };
+        let mut hw = core(&code, config);
+        let (_, llrs) = noisy_llrs(&code, 3.2, 9);
+        let out = hw.decode(&llrs);
+        let rom = ConnectivityRom::build(code.params(), code.table());
+        let stats = simulate_cn_phase(
+            config.memory,
+            &CnSchedule::natural(&rom).read_sequence(),
+            rom.row_len(),
+        );
+        assert_eq!(out.cycles.check_phase_cycles, stats.total_cycles);
+    }
+
+    #[test]
+    fn early_stop_reduces_cycles_on_clean_frames() {
+        let code = short_code();
+        let mut fixed = core(&code, CoreConfig { max_iterations: 30, ..CoreConfig::default() });
+        let mut stopping = core(
+            &code,
+            CoreConfig { max_iterations: 30, early_stop: true, ..CoreConfig::default() },
+        );
+        let (_, llrs) = noisy_llrs(&code, 4.0, 77);
+        let a = fixed.decode(&llrs);
+        let b = stopping.decode(&llrs);
+        assert!(b.cycles.iterations < a.cycles.iterations);
+        assert!(b.cycles.total_cycles < a.cycles.total_cycles);
+    }
+}

@@ -1,0 +1,292 @@
+//! The 360 functional units (Fig. 4).
+//!
+//! One functional unit serves both node types: in the information phase it
+//! is a variable node (Eq. 4 with saturating arithmetic), in the check phase
+//! a check node (Eq. 5 via the integer boxplus) that simultaneously runs the
+//! zigzag parity update of Section 2.2 — the forward message lives in a
+//! register, only backward messages are stored.
+//!
+//! [`FunctionalUnitArray`] models all 360 units in lockstep, operating on
+//! *wide blocks* (one value per lane). Both the untimed golden model and the
+//! cycle-accurate core drive this same arithmetic, so any mismatch between
+//! them isolates a defect in the memory/timing machinery.
+
+use dvbs2_decoder::{QBoxplus, Quantizer};
+use dvbs2_ldpc::{CodeParams, PARALLELISM};
+
+/// Lockstep model of the `P = 360` functional units.
+#[derive(Debug, Clone)]
+pub struct FunctionalUnitArray {
+    boxplus: QBoxplus,
+    k: usize,
+    n_check: usize,
+    q_rows: usize,
+    row_len: usize,
+    /// Stored backward messages `b[j] = CN_{j+1} -> PN_j`.
+    backward: Vec<i32>,
+    /// Forward messages of the current iteration (kept for parity totals;
+    /// hardware holds only the per-unit register plus chain boundaries).
+    forward: Vec<i32>,
+    /// Per-unit forward register.
+    fwd: Vec<i32>,
+    /// Chain-boundary forward values from the previous iteration.
+    boundary: Vec<i32>,
+    scratch_in: Vec<i32>,
+    scratch_out: Vec<i32>,
+}
+
+impl FunctionalUnitArray {
+    /// Creates the array for a code and message quantizer.
+    pub fn new(params: &CodeParams, quantizer: Quantizer) -> Self {
+        FunctionalUnitArray {
+            boxplus: QBoxplus::new(quantizer),
+            k: params.k,
+            n_check: params.n_check,
+            q_rows: params.q,
+            row_len: params.check_degree - 2,
+            backward: vec![0; params.n_check],
+            forward: vec![0; params.n_check],
+            fwd: vec![0; PARALLELISM],
+            boundary: vec![0; PARALLELISM],
+            scratch_in: vec![0; params.check_degree],
+            scratch_out: vec![0; params.check_degree],
+        }
+    }
+
+    /// The message quantizer.
+    pub fn quantizer(&self) -> &Quantizer {
+        self.boxplus.quantizer()
+    }
+
+    /// Clears all stored messages (start of a new frame).
+    pub fn reset(&mut self) {
+        self.backward.fill(0);
+        self.forward.fill(0);
+        self.fwd.fill(0);
+        self.boundary.fill(0);
+    }
+
+    /// Variable-node update for one 360-node information group.
+    ///
+    /// `block_in` holds the `d` incoming check messages per lane
+    /// (`block_in[i * 360 + t]`), `channel` the group's 360 channel LLRs.
+    /// Writes the `d` extrinsic outputs to `block_out` and, if given, the
+    /// a-posteriori totals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths disagree with `d`.
+    pub fn process_vn_group(
+        &self,
+        d: usize,
+        channel: &[i32],
+        block_in: &[i32],
+        block_out: &mut [i32],
+        totals: Option<&mut [i32]>,
+    ) {
+        let p = PARALLELISM;
+        assert_eq!(channel.len(), p, "channel block must be 360 wide");
+        assert_eq!(block_in.len(), d * p, "input block size mismatch");
+        assert_eq!(block_out.len(), d * p, "output block size mismatch");
+        let q = self.boxplus.quantizer();
+        let mut totals = totals;
+        for t in 0..p {
+            let mut total = channel[t];
+            for i in 0..d {
+                total += block_in[i * p + t];
+            }
+            for i in 0..d {
+                block_out[i * p + t] = q.saturate(total - block_in[i * p + t]);
+            }
+            if let Some(ts) = totals.as_deref_mut() {
+                ts[t] = total;
+            }
+        }
+    }
+
+    /// Loads the chain-boundary forward values into the per-unit registers
+    /// (start of every check phase).
+    pub fn begin_check_phase(&mut self) {
+        self.fwd.copy_from_slice(&self.boundary);
+    }
+
+    /// Check-node update for residue row `r` across all 360 units.
+    ///
+    /// `block_in[i * 360 + u]` is the `i`-th information message (in
+    /// schedule order) of unit `u`'s check `j = u·q + r`; `channel` is the
+    /// full quantized channel vector (parity LLRs are fetched from it).
+    /// Extrinsic information outputs land in `block_out`; parity messages
+    /// update the internal forward/backward state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= q` or block sizes disagree.
+    pub fn process_cn_row(
+        &mut self,
+        r: usize,
+        channel: &[i32],
+        block_in: &[i32],
+        block_out: &mut [i32],
+    ) {
+        let p = PARALLELISM;
+        assert!(r < self.q_rows, "row {r} out of range");
+        assert_eq!(block_in.len(), self.row_len * p, "input block size mismatch");
+        assert_eq!(block_out.len(), self.row_len * p, "output block size mismatch");
+        let q = *self.boxplus.quantizer();
+        for u in 0..p {
+            let j = u * self.q_rows + r;
+            for i in 0..self.row_len {
+                self.scratch_in[i] = block_in[i * p + u];
+            }
+            let mut d = self.row_len;
+            let left_pos = if j > 0 {
+                self.scratch_in[d] = q.sat_add(channel[self.k + j - 1], self.fwd[u]);
+                d += 1;
+                Some(d - 1)
+            } else {
+                None
+            };
+            self.scratch_in[d] = q.sat_add(
+                channel[self.k + j],
+                if j + 1 < self.n_check { self.backward[j] } else { 0 },
+            );
+            let right_pos = d;
+            d += 1;
+
+            self.boxplus.extrinsic(&self.scratch_in[..d], &mut self.scratch_out[..d]);
+
+            for i in 0..self.row_len {
+                block_out[i * p + u] = self.scratch_out[i];
+            }
+            if let Some(pos) = left_pos {
+                self.backward[j - 1] = self.scratch_out[pos];
+            }
+            self.fwd[u] = self.scratch_out[right_pos];
+            self.forward[j] = self.fwd[u];
+        }
+    }
+
+    /// Saves the chain-boundary forwards for the next iteration (end of
+    /// every check phase).
+    pub fn end_check_phase(&mut self) {
+        for u in (1..PARALLELISM).rev() {
+            self.boundary[u] = self.fwd[u - 1];
+        }
+        self.boundary[0] = 0;
+    }
+
+    /// Writes the parity a-posteriori totals into `totals[k..n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices are shorter than `N`.
+    pub fn parity_totals(&self, channel: &[i32], totals: &mut [i32]) {
+        for j in 0..self.n_check {
+            totals[self.k + j] = channel[self.k + j]
+                + self.forward[j]
+                + if j + 1 < self.n_check { self.backward[j] } else { 0 };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvbs2_ldpc::{CodeParams, CodeRate, FrameSize};
+
+    fn array() -> (CodeParams, FunctionalUnitArray) {
+        let p = CodeParams::new(CodeRate::R1_2, FrameSize::Short).unwrap();
+        let fu = FunctionalUnitArray::new(&p, Quantizer::paper_6bit());
+        (p, fu)
+    }
+
+    #[test]
+    fn vn_group_computes_extrinsic_totals() {
+        let (_, fu) = array();
+        let p = PARALLELISM;
+        let d = 3;
+        let channel = vec![2i32; p];
+        let mut block_in = vec![0i32; d * p];
+        for i in 0..d {
+            for t in 0..p {
+                block_in[i * p + t] = i as i32 + 1; // messages 1, 2, 3
+            }
+        }
+        let mut block_out = vec![0i32; d * p];
+        let mut totals = vec![0i32; p];
+        fu.process_vn_group(d, &channel, &block_in, &mut block_out, Some(&mut totals));
+        // total = 2 + 1 + 2 + 3 = 8; extrinsic_i = 8 - msg_i.
+        assert!(totals.iter().all(|&t| t == 8));
+        for t in 0..p {
+            assert_eq!(block_out[t], 7);
+            assert_eq!(block_out[p + t], 6);
+            assert_eq!(block_out[2 * p + t], 5);
+        }
+    }
+
+    #[test]
+    fn vn_outputs_saturate() {
+        let (_, fu) = array();
+        let p = PARALLELISM;
+        let channel = vec![31i32; p];
+        let block_in = vec![31i32; p];
+        let mut block_out = vec![0i32; p];
+        fu.process_vn_group(1, &channel, &block_in, &mut block_out, None);
+        assert!(block_out.iter().all(|&o| o == 31)); // 62 - 31 = 31, at rail
+    }
+
+    #[test]
+    fn cn_row_zero_has_no_left_input_on_unit_zero() {
+        // Check 0 (unit 0, row 0) must not consult a left parity message;
+        // feed strong inputs and confirm outputs are finite and sign-correct.
+        let (params, mut fu) = array();
+        fu.reset();
+        fu.begin_check_phase();
+        let p = PARALLELISM;
+        let row_len = params.check_degree - 2;
+        let channel = vec![4i32; params.n];
+        let block_in = vec![10i32; row_len * p];
+        let mut block_out = vec![0i32; row_len * p];
+        fu.process_cn_row(0, &channel, &block_in, &mut block_out);
+        // All inputs positive: no extrinsic may vote for bit 1 (zero is
+        // allowed — small magnitudes can quantize away), and the strong
+        // input consensus must keep most outputs strictly positive.
+        assert!(block_out.iter().all(|&o| o >= 0));
+        assert!(block_out.iter().filter(|&&o| o > 0).count() > block_out.len() / 2);
+    }
+
+    #[test]
+    fn boundary_propagates_between_iterations() {
+        let (params, mut fu) = array();
+        fu.reset();
+        let p = PARALLELISM;
+        let row_len = params.check_degree - 2;
+        let channel = vec![4i32; params.n];
+        let block_in = vec![10i32; row_len * p];
+        let mut block_out = vec![0i32; row_len * p];
+        fu.begin_check_phase();
+        for r in 0..params.q {
+            fu.process_cn_row(r, &channel, &block_in, &mut block_out);
+        }
+        fu.end_check_phase();
+        // After one full sweep with positive inputs, boundaries are positive
+        // forward messages (except unit 0's, which has no predecessor).
+        assert_eq!(fu.boundary[0], 0);
+        assert!(fu.boundary[1..].iter().all(|&b| b > 0));
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let (params, mut fu) = array();
+        let p = PARALLELISM;
+        let row_len = params.check_degree - 2;
+        let channel = vec![4i32; params.n];
+        let block_in = vec![10i32; row_len * p];
+        let mut block_out = vec![0i32; row_len * p];
+        fu.begin_check_phase();
+        fu.process_cn_row(0, &channel, &block_in, &mut block_out);
+        fu.reset();
+        assert!(fu.backward.iter().all(|&b| b == 0));
+        assert!(fu.forward.iter().all(|&f| f == 0));
+    }
+}

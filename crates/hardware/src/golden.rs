@@ -1,0 +1,363 @@
+//! Untimed golden model of the IP core's data flow.
+//!
+//! Executes exactly the arithmetic the hardware performs — same message RAM
+//! layout, same shuffle rotations, same functional-unit input ordering (the
+//! annealed schedule's order, not the Tanner graph's), same 360-way
+//! partitioned zigzag chains — but with no clocking, banking or buffering.
+//! The cycle-accurate [`crate::HardwareDecoder`] must match this model bit
+//! for bit; that equivalence is the repository's analogue of RTL-versus-
+//! golden-model verification.
+//!
+//! Two deliberate architectural deviations from the ideal sequential zigzag
+//! of `dvbs2_decoder::ZigzagDecoder` (both negligible at N = 64800, verified
+//! by the `fig2_schedules` bench):
+//!
+//! * the 360 functional units run 360 *parallel* forward chains; the forward
+//!   message crossing a chain boundary comes from the previous iteration;
+//! * the backward message at a chain boundary is written at row 0 and read
+//!   at row `q-1`, so it is one iteration fresher than in the ideal
+//!   schedule.
+
+use crate::functional_unit::FunctionalUnitArray;
+use crate::rom::ConnectivityRom;
+use crate::schedule::CnSchedule;
+use crate::shuffle::ShuffleNetwork;
+use dvbs2_decoder::{hard_decisions_int, DecodeResult, Quantizer};
+use dvbs2_ldpc::{CodeParams, DvbS2Code, PARALLELISM};
+
+/// The untimed functional model (see module docs).
+#[derive(Debug, Clone)]
+pub struct GoldenModel {
+    params: CodeParams,
+    rom: ConnectivityRom,
+    schedule: CnSchedule,
+    fu: FunctionalUnitArray,
+    shuffle: ShuffleNetwork,
+    max_iterations: usize,
+    early_stop: bool,
+    /// Message RAM, word-major: `ram[word * 360 + lane]`. Holds
+    /// check-to-variable messages in information layout between iterations.
+    ram: Vec<i32>,
+    totals: Vec<i32>,
+    block_in: Vec<i32>,
+    block_out: Vec<i32>,
+}
+
+impl GoldenModel {
+    /// Builds the model for a code with a given check-phase schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule does not match the code's ROM.
+    pub fn new(
+        code: &DvbS2Code,
+        schedule: CnSchedule,
+        quantizer: Quantizer,
+        max_iterations: usize,
+        early_stop: bool,
+    ) -> Self {
+        let params = *code.params();
+        let rom = ConnectivityRom::build(&params, code.table());
+        schedule.validate(&rom).expect("schedule must match the code's ROM");
+        let words = rom.words();
+        let max_block = params.hi.degree.max(params.check_degree);
+        GoldenModel {
+            fu: FunctionalUnitArray::new(&params, quantizer),
+            shuffle: ShuffleNetwork::new(PARALLELISM),
+            max_iterations,
+            early_stop,
+            ram: vec![0; words * PARALLELISM],
+            totals: vec![0; params.n],
+            block_in: vec![0; max_block * PARALLELISM],
+            block_out: vec![0; max_block * PARALLELISM],
+            params,
+            rom,
+            schedule,
+        }
+    }
+
+    /// The code parameters.
+    pub fn params(&self) -> &CodeParams {
+        &self.params
+    }
+
+    /// The connectivity ROM.
+    pub fn rom(&self) -> &ConnectivityRom {
+        &self.rom
+    }
+
+    /// The schedule in use.
+    pub fn schedule(&self) -> &CnSchedule {
+        &self.schedule
+    }
+
+    /// The message quantizer.
+    pub fn quantizer(&self) -> &Quantizer {
+        self.fu.quantizer()
+    }
+
+    /// Quantizes float channel LLRs with the model's quantizer.
+    pub fn quantize_channel(&self, llrs: &[f64]) -> Vec<i32> {
+        let q = self.fu.quantizer();
+        llrs.iter().map(|&l| q.quantize(l)).collect()
+    }
+
+    /// Decodes one frame of quantized channel LLRs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel.len() != N`.
+    pub fn decode_quantized(&mut self, channel: &[i32]) -> DecodeResult {
+        assert_eq!(channel.len(), self.params.n, "LLR length mismatch");
+        self.ram.fill(0);
+        self.fu.reset();
+        let mut iterations = 0;
+        let mut converged = false;
+
+        for _ in 0..self.max_iterations {
+            iterations += 1;
+            self.information_phase(channel);
+            self.check_phase(channel);
+            self.compute_totals(channel);
+            if self.early_stop && self.syndrome_clean() {
+                converged = true;
+                break;
+            }
+        }
+        if !converged {
+            converged = self.syndrome_clean();
+        }
+        DecodeResult { bits: hard_decisions_int(&self.totals), iterations, converged }
+    }
+
+    /// Variable-node half-iteration: sequential word reads, write-back with
+    /// the entry's cyclic shift (leaving the RAM in check layout).
+    fn information_phase(&mut self, channel: &[i32]) {
+        let p = PARALLELISM;
+        for g in 0..self.params.groups() {
+            let base = self.rom.group_base(g);
+            let d = self.params.group_degree(g);
+            self.block_in[..d * p].copy_from_slice(&self.ram[base * p..(base + d) * p]);
+            self.fu.process_vn_group(
+                d,
+                &channel[g * p..(g + 1) * p],
+                &self.block_in[..d * p],
+                &mut self.block_out[..d * p],
+                None,
+            );
+            for i in 0..d {
+                let shift = self.rom.entry(base + i).shift as usize;
+                let word = &mut self.ram[(base + i) * p..(base + i + 1) * p];
+                self.shuffle.rotate(&self.block_out[i * p..(i + 1) * p], shift, word);
+            }
+        }
+    }
+
+    /// Check-node half-iteration: ascending residue rows, 360 parallel
+    /// zigzag chains, write-back with the inverse shift (returning the RAM
+    /// to information layout).
+    fn check_phase(&mut self, channel: &[i32]) {
+        let p = PARALLELISM;
+        let row_len = self.rom.row_len();
+        self.fu.begin_check_phase();
+        for r in 0..self.params.q {
+            for i in 0..row_len {
+                let w = self.schedule.row(r)[i] as usize;
+                self.block_in[i * p..(i + 1) * p].copy_from_slice(&self.ram[w * p..(w + 1) * p]);
+            }
+            self.fu.process_cn_row(
+                r,
+                channel,
+                &self.block_in[..row_len * p],
+                &mut self.block_out[..row_len * p],
+            );
+            for i in 0..row_len {
+                let w = self.schedule.row(r)[i] as usize;
+                let shift = self.rom.entry(w).shift as usize;
+                let inv = self.shuffle.inverse_shift(shift);
+                let word = &mut self.ram[w * p..(w + 1) * p];
+                self.shuffle.rotate(&self.block_out[i * p..(i + 1) * p], inv, word);
+            }
+        }
+        self.fu.end_check_phase();
+    }
+
+    /// A-posteriori totals after a check phase (model-only sweep; hardware
+    /// folds this into the next information phase).
+    fn compute_totals(&mut self, channel: &[i32]) {
+        compute_totals(&self.params, &self.rom, &self.ram, &self.fu, channel, &mut self.totals);
+    }
+
+    /// Checks all parity equations on the current hard decisions using the
+    /// ROM structure directly (no Tanner graph needed).
+    fn syndrome_clean(&self) -> bool {
+        syndrome_clean(&self.params, &self.rom, &self.totals)
+    }
+}
+
+/// Computes all a-posteriori totals from an information-layout message RAM
+/// and the functional units' parity state. Shared by the golden and timed
+/// models.
+pub(crate) fn compute_totals(
+    params: &CodeParams,
+    rom: &ConnectivityRom,
+    ram: &[i32],
+    fu: &FunctionalUnitArray,
+    channel: &[i32],
+    totals: &mut [i32],
+) {
+    let p = PARALLELISM;
+    for g in 0..params.groups() {
+        let base = rom.group_base(g);
+        let d = params.group_degree(g);
+        for t in 0..p {
+            let m = g * p + t;
+            let mut total = channel[m];
+            for i in 0..d {
+                total += ram[(base + i) * p + t];
+            }
+            totals[m] = total;
+        }
+    }
+    fu.parity_totals(channel, totals);
+}
+
+/// Evaluates every parity equation on the hard decisions of `totals` using
+/// the ROM structure directly.
+pub(crate) fn syndrome_clean(params: &CodeParams, rom: &ConnectivityRom, totals: &[i32]) -> bool {
+    let p = PARALLELISM;
+    let k = params.k;
+    let q_rows = params.q;
+    for j in 0..params.n_check {
+        let r = j % q_rows;
+        let u = j / q_rows;
+        let mut parity = totals[k + j] < 0;
+        if j > 0 {
+            parity ^= totals[k + j - 1] < 0;
+        }
+        for &w in rom.row(r) {
+            let e = rom.entry(w as usize);
+            let t = (u + p - e.shift as usize) % p;
+            let m = e.group as usize * p + t;
+            parity ^= totals[m] < 0;
+        }
+        if parity {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvbs2_decoder::test_support::{llrs_for_codeword, noisy_llrs};
+    use dvbs2_decoder::{Decoder, DecoderConfig, QuantizedZigzagDecoder};
+    use dvbs2_ldpc::{BitVec, CodeRate, FrameSize};
+    use std::sync::Arc;
+
+    fn model(code: &DvbS2Code) -> GoldenModel {
+        let rom = ConnectivityRom::build(code.params(), code.table());
+        GoldenModel::new(code, CnSchedule::natural(&rom), Quantizer::paper_6bit(), 30, true)
+    }
+
+    fn short_code() -> DvbS2Code {
+        DvbS2Code::new(CodeRate::R1_2, FrameSize::Short).unwrap()
+    }
+
+    #[test]
+    fn noiseless_codeword_decodes_in_one_iteration() {
+        let code = short_code();
+        let mut m = model(&code);
+        let enc = code.encoder().unwrap();
+        let msg = BitVec::from_bools((0..code.params().k).map(|i| i % 3 == 0));
+        let cw = enc.encode(&msg).unwrap();
+        let channel = m.quantize_channel(&llrs_for_codeword(&cw, 5.0));
+        let out = m.decode_quantized(&channel);
+        assert!(out.converged);
+        assert_eq!(out.iterations, 1);
+        assert_eq!(out.bits, cw);
+    }
+
+    #[test]
+    fn corrects_noisy_frames() {
+        let code = short_code();
+        let mut m = model(&code);
+        for seed in 0..3 {
+            let (cw, llrs) = noisy_llrs(&code, 3.2, 900 + seed);
+            let channel = m.quantize_channel(&llrs);
+            let out = m.decode_quantized(&channel);
+            assert!(out.converged, "seed {seed}");
+            assert_eq!(out.bits, cw, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn matches_ideal_quantized_decoder_on_decoded_words() {
+        // The partitioned chains deviate from the ideal zigzag only at the
+        // 360 chain boundaries; decoded codewords must agree.
+        let code = short_code();
+        let mut m = model(&code);
+        let graph = Arc::new(code.tanner_graph());
+        let mut ideal = QuantizedZigzagDecoder::new(
+            graph,
+            Quantizer::paper_6bit(),
+            DecoderConfig::default(),
+        );
+        for seed in 0..3 {
+            let (cw, llrs) = noisy_llrs(&code, 3.4, 800 + seed);
+            let channel = m.quantize_channel(&llrs);
+            let golden_out = m.decode_quantized(&channel);
+            let ideal_out = ideal.decode(&llrs);
+            assert_eq!(golden_out.bits, cw, "seed {seed}");
+            assert_eq!(ideal_out.bits, cw, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn decode_is_deterministic_and_reusable() {
+        let code = short_code();
+        let mut m = model(&code);
+        let (_, llrs) = noisy_llrs(&code, 2.8, 55);
+        let channel = m.quantize_channel(&llrs);
+        let a = m.decode_quantized(&channel);
+        let b = m.decode_quantized(&channel);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn annealed_schedule_gives_same_result_as_natural() {
+        // Message order within a check changes only LSB rounding paths; the
+        // decoded word of a decodable frame must not change.
+        use crate::anneal::{optimize_schedule, AnnealOptions};
+        use crate::memory::MemoryConfig;
+        let code = short_code();
+        let rom = ConnectivityRom::build(code.params(), code.table());
+        let annealed = optimize_schedule(
+            &rom,
+            MemoryConfig::default(),
+            AnnealOptions { moves: 300, ..AnnealOptions::default() },
+        )
+        .schedule;
+        let mut natural = model(&code);
+        let mut optimized =
+            GoldenModel::new(&code, annealed, Quantizer::paper_6bit(), 30, true);
+        let (cw, llrs) = noisy_llrs(&code, 3.4, 321);
+        let channel = natural.quantize_channel(&llrs);
+        let a = natural.decode_quantized(&channel);
+        let b = optimized.decode_quantized(&channel);
+        assert_eq!(a.bits, cw);
+        assert_eq!(b.bits, cw);
+    }
+
+    #[test]
+    fn works_for_normal_frames() {
+        let code = DvbS2Code::new(CodeRate::R9_10, FrameSize::Normal).unwrap();
+        let mut m = model(&code);
+        let (cw, llrs) = noisy_llrs(&code, 4.6, 17);
+        let channel = m.quantize_channel(&llrs);
+        let out = m.decode_quantized(&channel);
+        assert!(out.converged);
+        assert_eq!(out.bits, cw);
+    }
+}

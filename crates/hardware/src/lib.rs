@@ -1,0 +1,49 @@
+//! Cycle-accurate model of the DVB-S2 LDPC decoder IP core (DATE 2005).
+//!
+//! This crate is the paper's primary contribution rendered as an executable
+//! model:
+//!
+//! * [`ConnectivityRom`] — the `(shift, address)` extraction that stores the
+//!   whole Tanner-graph connectivity in `E_IN/360` entries (Fig. 3);
+//! * [`ShuffleNetwork`] — the cyclic barrel rotator that replaces a general
+//!   permutation network;
+//! * [`simulate_cn_phase`] / [`MemoryConfig`] — the hierarchical single-port
+//!   4-bank message RAM with its write-conflict buffer (Fig. 5);
+//! * [`optimize_schedule`] — the simulated-annealing addressing optimization;
+//! * [`HardwareDecoder`] — the full cycle-accurate decoder core (Fig. 4),
+//!   bit-exact against its untimed [`GoldenModel`];
+//! * [`ThroughputModel`] — Eq. 8 and the 255 Mbit/s @ 270 MHz result;
+//! * [`AreaModel`] — the Table 3 area breakdown on the calibrated
+//!   [`Technology`] node.
+
+#![warn(missing_docs)]
+
+mod anneal;
+mod area;
+mod core;
+mod functional_unit;
+mod golden;
+mod memory;
+mod power;
+mod rom;
+mod schedule;
+mod shuffle;
+mod tech;
+mod testvec;
+mod throughput;
+mod vhdl;
+
+pub use anneal::{optimize_schedule, AnnealOptions, AnnealResult};
+pub use area::{AreaModel, AreaReport, FuGateModel};
+pub use core::{CoreConfig, CycleBreakdown, HardwareDecoder, HwDecodeOutput};
+pub use functional_unit::FunctionalUnitArray;
+pub use golden::GoldenModel;
+pub use memory::{simulate_cn_phase, AccessStats, MemoryConfig};
+pub use power::{EnergyCosts, EnergyModel, EnergyReport};
+pub use rom::{ConnectivityRom, RomEntry};
+pub use schedule::{CnSchedule, InvalidScheduleError};
+pub use shuffle::ShuffleNetwork;
+pub use tech::{Technology, ST_0_13_UM};
+pub use testvec::{ParseVectorError, TestVectorSet, VectorFrame};
+pub use throughput::ThroughputModel;
+pub use vhdl::VhdlGenerator;

@@ -1,0 +1,189 @@
+//! The hierarchical single-port message-RAM model — Figure 5 of the paper.
+//!
+//! Each of the 360 lanes is one logical RAM, partitioned into `banks`
+//! physical single-port SRAMs by the low address bits ("The two least
+//! significant bits of the addresses determines the assignment to a
+//! partition"). Because all 360 lanes operate in lockstep, the model tracks
+//! *wide words* (one address across all lanes):
+//!
+//! * every check-phase cycle reads one wide word (reads have priority);
+//! * a functional unit streams its outputs back `fu_latency` cycles after
+//!   its last input, one wide word per cycle;
+//! * a write may issue in a cycle only to a bank not being read, and at
+//!   most `write_ports` writes to distinct banks issue per cycle
+//!   ("we read data from one RAM, and write at most 2 data back to two
+//!   distinct RAMs");
+//! * writes that cannot issue wait in the conflict buffer whose worst-case
+//!   occupancy the simulated annealer minimizes.
+
+/// Memory-subsystem parameters (paper values as defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryConfig {
+    /// Physical banks per lane RAM (paper: 4).
+    pub banks: usize,
+    /// Wide writes that may issue per cycle (paper: 2).
+    pub write_ports: usize,
+    /// Functional-unit pipeline latency in cycles between consuming a check
+    /// node's last input message and producing its first output message.
+    pub fu_latency: usize,
+}
+
+impl Default for MemoryConfig {
+    fn default() -> Self {
+        MemoryConfig { banks: 4, write_ports: 2, fu_latency: 5 }
+    }
+}
+
+/// Statistics of one simulated check-phase memory trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AccessStats {
+    /// Read cycles (= number of schedule entries).
+    pub read_cycles: usize,
+    /// Total cycles including the write drain after the last read.
+    pub total_cycles: usize,
+    /// Worst-case conflict-buffer occupancy (wide words).
+    pub max_buffer: usize,
+    /// Writes that had to wait at least one cycle in the buffer.
+    pub delayed_writes: usize,
+    /// Writes that issued the cycle they arrived.
+    pub immediate_writes: usize,
+}
+
+/// Simulates the check-phase access pattern of a read schedule.
+///
+/// `reads` is the flattened word-address sequence (see
+/// [`crate::CnSchedule::read_sequence`]); `row_len` is the number of reads
+/// per check node. The write for the word read at cycle `r·row_len + i`
+/// arrives at cycle `(r+1)·row_len + fu_latency + i`.
+///
+/// # Panics
+///
+/// Panics if `row_len` is zero or does not divide `reads.len()`, or if the
+/// config has no banks or write ports.
+pub fn simulate_cn_phase(config: MemoryConfig, reads: &[u32], row_len: usize) -> AccessStats {
+    assert!(config.banks > 0 && config.write_ports > 0, "degenerate memory config");
+    assert!(row_len > 0, "row_len must be positive");
+    assert_eq!(reads.len() % row_len, 0, "reads must be whole rows");
+
+    let banks = config.banks as u32;
+    // Arrival cycle of each word's write-back, in arrival order.
+    let mut writes: Vec<(usize, u32)> = Vec::with_capacity(reads.len());
+    for (pos, &word) in reads.iter().enumerate() {
+        let row = pos / row_len;
+        let i = pos % row_len;
+        writes.push(((row + 1) * row_len + config.fu_latency + i, word));
+    }
+
+    let mut buffer: Vec<u32> = Vec::new();
+    let mut stats = AccessStats { read_cycles: reads.len(), ..AccessStats::default() };
+    let mut next_write = 0usize;
+    let mut cycle = 0usize;
+
+    while next_write < writes.len() || !buffer.is_empty() || cycle < reads.len() {
+        let read_bank = reads.get(cycle).map(|&w| w % banks);
+
+        // New write-backs from the shuffling network join the queue.
+        let arrivals_start = buffer.len();
+        while next_write < writes.len() && writes[next_write].0 == cycle {
+            buffer.push(writes[next_write].1);
+            next_write += 1;
+        }
+
+        // Issue up to `write_ports` buffered writes to distinct banks that
+        // are not being read this cycle (oldest first).
+        let mut used_banks: Vec<u32> = Vec::with_capacity(config.write_ports);
+        let mut idx = 0;
+        while idx < buffer.len() && used_banks.len() < config.write_ports {
+            let bank = buffer[idx] % banks;
+            if Some(bank) != read_bank && !used_banks.contains(&bank) {
+                used_banks.push(bank);
+                let was_fresh = idx >= arrivals_start;
+                if was_fresh {
+                    stats.immediate_writes += 1;
+                } else {
+                    stats.delayed_writes += 1;
+                }
+                buffer.remove(idx);
+            } else {
+                idx += 1;
+            }
+        }
+
+        stats.max_buffer = stats.max_buffer.max(buffer.len());
+        cycle += 1;
+    }
+    stats.total_cycles = cycle;
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MemoryConfig {
+        MemoryConfig::default()
+    }
+
+    #[test]
+    fn conflict_free_trace_needs_no_buffer_persistence() {
+        // Reads hit bank 0 only; writes (arriving later for the same words)
+        // target bank 0 too, but after reads end everything drains freely.
+        // With reads on bank 0 and writes on bank 0, every write waits while
+        // reads are in flight.
+        let reads = vec![0u32, 4, 8, 12, 16, 20];
+        let stats = simulate_cn_phase(cfg(), &reads, 3);
+        assert_eq!(stats.read_cycles, 6);
+        assert!(stats.total_cycles >= 6);
+        // All writes eventually issue.
+        assert_eq!(stats.delayed_writes + stats.immediate_writes, 6);
+    }
+
+    #[test]
+    fn alternating_banks_avoid_delays() {
+        // Reads walk banks 0,1,2,3 cyclically; each write arrives when the
+        // read is on a different bank, so everything issues immediately.
+        let reads: Vec<u32> = (0..16u32).collect();
+        let stats = simulate_cn_phase(cfg(), &reads, 4);
+        assert_eq!(stats.delayed_writes, 0, "{stats:?}");
+        assert_eq!(stats.immediate_writes, 16);
+        assert!(stats.max_buffer <= 1);
+    }
+
+    #[test]
+    fn same_bank_everything_forces_buffering() {
+        // Every read and write on bank 0: nothing can issue while reading.
+        let reads = vec![0u32, 4, 8, 12, 16, 20, 24, 28];
+        let stats = simulate_cn_phase(cfg(), &reads, 2);
+        assert!(stats.max_buffer >= 1, "{stats:?}");
+        assert!(stats.total_cycles > stats.read_cycles);
+    }
+
+    #[test]
+    fn write_count_is_conserved() {
+        let reads: Vec<u32> = (0..64u32).map(|i| (i * 7) % 32).collect();
+        let stats = simulate_cn_phase(cfg(), &reads, 8);
+        assert_eq!(stats.delayed_writes + stats.immediate_writes, 64);
+    }
+
+    #[test]
+    fn single_write_port_is_slower() {
+        let reads: Vec<u32> = (0..64u32).map(|i| (i * 5) % 16).collect();
+        let two = simulate_cn_phase(cfg(), &reads, 8);
+        let one = simulate_cn_phase(MemoryConfig { write_ports: 1, ..cfg() }, &reads, 8);
+        assert!(one.max_buffer >= two.max_buffer, "{one:?} vs {two:?}");
+    }
+
+    #[test]
+    fn more_banks_reduce_conflicts() {
+        let reads: Vec<u32> = (0..128u32).map(|i| (i * 13) % 64).collect();
+        let four = simulate_cn_phase(cfg(), &reads, 8);
+        let eight = simulate_cn_phase(MemoryConfig { banks: 8, ..cfg() }, &reads, 8);
+        assert!(eight.delayed_writes <= four.delayed_writes, "{eight:?} vs {four:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "whole rows")]
+    fn partial_rows_are_rejected() {
+        let _ = simulate_cn_phase(cfg(), &[0, 1, 2], 2);
+    }
+}

@@ -1,0 +1,241 @@
+//! Activity-based energy estimation (extension — the paper reports area
+//! and throughput but no power numbers; the companion work "Energy
+//! Consumption of Channel Decoders for OFDM-based UWB Systems" from the
+//! same group does, which motivates having the model here).
+//!
+//! Energy per decoded frame is accumulated from the architectural activity
+//! the cycle-accurate model already determines: wide RAM reads/writes per
+//! half-iteration, functional-unit message operations, and shuffle-network
+//! traversals, priced with representative 0.13 µm per-event energies.
+
+use crate::memory::MemoryConfig;
+use crate::tech::Technology;
+use dvbs2_ldpc::{CodeParams, PARALLELISM};
+use std::fmt;
+
+/// Per-event energies in picojoules for a 0.13 µm node (representative
+/// values for small single-port SRAM macros and standard-cell datapaths of
+/// that generation; clearly an *extension*, not a paper reproduction).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyCosts {
+    /// Energy per SRAM bit read, pJ.
+    pub sram_read_pj_per_bit: f64,
+    /// Energy per SRAM bit write, pJ.
+    pub sram_write_pj_per_bit: f64,
+    /// Energy per functional-unit message operation (one serial input or
+    /// output of one unit), pJ.
+    pub fu_op_pj: f64,
+    /// Energy per message bit through the shuffle network, pJ.
+    pub shuffle_pj_per_bit: f64,
+    /// Static + clock-tree power as a fraction of dynamic energy.
+    pub overhead_fraction: f64,
+}
+
+impl Default for EnergyCosts {
+    fn default() -> Self {
+        EnergyCosts {
+            sram_read_pj_per_bit: 0.2,
+            sram_write_pj_per_bit: 0.25,
+            fu_op_pj: 1.0,
+            shuffle_pj_per_bit: 0.08,
+            overhead_fraction: 0.25,
+        }
+    }
+}
+
+/// Energy breakdown for one decoded frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyReport {
+    /// Message-RAM access energy, nJ.
+    pub message_ram_nj: f64,
+    /// Channel/parity RAM access energy, nJ.
+    pub side_ram_nj: f64,
+    /// Functional-unit datapath energy, nJ.
+    pub functional_units_nj: f64,
+    /// Shuffle-network energy, nJ.
+    pub shuffle_nj: f64,
+    /// Static/clock overhead, nJ.
+    pub overhead_nj: f64,
+    /// Information bits per frame.
+    pub info_bits: usize,
+}
+
+impl EnergyReport {
+    /// Total energy per frame in nanojoules.
+    pub fn total_nj(&self) -> f64 {
+        self.message_ram_nj
+            + self.side_ram_nj
+            + self.functional_units_nj
+            + self.shuffle_nj
+            + self.overhead_nj
+    }
+
+    /// Energy per decoded information bit in nJ/bit — the figure of merit
+    /// decoder papers of the era compare.
+    pub fn nj_per_bit(&self) -> f64 {
+        self.total_nj() / self.info_bits as f64
+    }
+}
+
+impl fmt::Display for EnergyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<22} {:>10.1} nJ", "message RAMs", self.message_ram_nj)?;
+        writeln!(f, "{:<22} {:>10.1} nJ", "channel/parity RAMs", self.side_ram_nj)?;
+        writeln!(f, "{:<22} {:>10.1} nJ", "functional units", self.functional_units_nj)?;
+        writeln!(f, "{:<22} {:>10.1} nJ", "shuffle network", self.shuffle_nj)?;
+        writeln!(f, "{:<22} {:>10.1} nJ", "overhead", self.overhead_nj)?;
+        writeln!(f, "{:<22} {:>10.1} nJ", "total / frame", self.total_nj())?;
+        write!(f, "{:<22} {:>10.2} nJ/bit", "per information bit", self.nj_per_bit())
+    }
+}
+
+/// Activity-based energy model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    costs: EnergyCosts,
+    message_bits: usize,
+}
+
+impl EnergyModel {
+    /// Creates the model with explicit per-event costs.
+    pub fn new(costs: EnergyCosts, message_bits: usize) -> Self {
+        EnergyModel { costs, message_bits }
+    }
+
+    /// Default 0.13 µm costs with the paper's 6-bit messages.
+    pub fn default_0_13um() -> Self {
+        EnergyModel::new(EnergyCosts::default(), 6)
+    }
+
+    /// Estimates the energy of decoding one frame with `iterations`
+    /// iterations (activity counts follow from the architecture: each
+    /// half-iteration reads and writes every message once).
+    pub fn frame_energy(&self, params: &CodeParams, iterations: usize) -> EnergyReport {
+        let c = self.costs;
+        let w = self.message_bits as f64;
+        let words = params.addr_entries() as f64;
+        let wide_bits = w * PARALLELISM as f64;
+        let iters = iterations as f64;
+
+        // Message RAM: per iteration, each phase reads and writes every
+        // wide word once.
+        let message_accesses = 2.0 * iters * words;
+        let message_ram_nj = message_accesses
+            * wide_bits
+            * (c.sram_read_pj_per_bit + c.sram_write_pj_per_bit)
+            / 1e3;
+
+        // Channel RAM: one read per message operation side; parity RAM: one
+        // wide read + write per check row.
+        let channel_reads = iters * (params.k as f64 + 2.0 * params.n_check as f64);
+        let parity_accesses = 2.0 * iters * params.q as f64 * wide_bits;
+        let side_ram_nj = (channel_reads * w * c.sram_read_pj_per_bit
+            + parity_accesses * (c.sram_read_pj_per_bit + c.sram_write_pj_per_bit) / 2.0)
+            / 1e3;
+
+        // Functional units: each edge message is consumed and produced once
+        // per half-iteration by some unit.
+        let fu_ops = 2.0 * iters * 2.0 * (params.e_in() + params.e_pn()) as f64;
+        let functional_units_nj = fu_ops * c.fu_op_pj / 1e3;
+
+        // Shuffle network: every information-phase write and check-phase
+        // read/write traverses the rotator.
+        let shuffle_bits = 2.0 * iters * words * wide_bits;
+        let shuffle_nj = shuffle_bits * c.shuffle_pj_per_bit / 1e3;
+
+        let dynamic = message_ram_nj + side_ram_nj + functional_units_nj + shuffle_nj;
+        EnergyReport {
+            message_ram_nj,
+            side_ram_nj,
+            functional_units_nj,
+            shuffle_nj,
+            overhead_nj: dynamic * c.overhead_fraction,
+            info_bits: params.k,
+        }
+    }
+
+    /// Average power in milliwatts when decoding back-to-back frames at a
+    /// given clock (uses the Eq. 8 cycle count).
+    pub fn average_power_mw(
+        &self,
+        params: &CodeParams,
+        iterations: usize,
+        tech: &Technology,
+        memory: MemoryConfig,
+    ) -> f64 {
+        let energy_nj = self.frame_energy(params, iterations).total_nj();
+        let cycles = params.n.div_ceil(10)
+            + iterations * 2 * (params.e_in() / PARALLELISM + memory.fu_latency + 5);
+        let frame_time_us = cycles as f64 / tech.max_clock_mhz;
+        energy_nj / frame_time_us // nJ / µs = mW
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvbs2_ldpc::{CodeRate, FrameSize};
+
+    fn params(rate: CodeRate) -> CodeParams {
+        CodeParams::new(rate, FrameSize::Normal).unwrap()
+    }
+
+    #[test]
+    fn energy_scales_linearly_with_iterations() {
+        let model = EnergyModel::default_0_13um();
+        let p = params(CodeRate::R1_2);
+        let e30 = model.frame_energy(&p, 30);
+        let e15 = model.frame_energy(&p, 15);
+        let ratio = e30.total_nj() / e15.total_nj();
+        assert!((ratio - 2.0).abs() < 1e-9, "{ratio}");
+    }
+
+    #[test]
+    fn magnitude_is_era_plausible() {
+        // LDPC decoders of the 0.13 um era: a few nJ per decoded bit.
+        let model = EnergyModel::default_0_13um();
+        let nj = model.frame_energy(&params(CodeRate::R1_2), 30).nj_per_bit();
+        assert!((0.5..10.0).contains(&nj), "{nj} nJ/bit");
+    }
+
+    #[test]
+    fn rate_3_5_burns_the_most_message_energy() {
+        // Most edges -> most RAM and FU activity.
+        let model = EnergyModel::default_0_13um();
+        let max = CodeRate::ALL
+            .iter()
+            .max_by(|&&a, &&b| {
+                let ea = model.frame_energy(&params(a), 30).total_nj();
+                let eb = model.frame_energy(&params(b), 30).total_nj();
+                ea.partial_cmp(&eb).expect("finite")
+            })
+            .copied()
+            .unwrap();
+        assert_eq!(max, CodeRate::R3_5);
+    }
+
+    #[test]
+    fn power_is_sub_watt_at_paper_clock() {
+        // A 22.7 mm^2 0.13 um decoder at 270 MHz should be a few hundred mW
+        // (the 1024-bit decoder in [4] burned 690 mW at 1 Gbit/s).
+        let model = EnergyModel::default_0_13um();
+        let mw = model.average_power_mw(
+            &params(CodeRate::R1_2),
+            30,
+            &Technology::default(),
+            MemoryConfig::default(),
+        );
+        assert!((200.0..1200.0).contains(&mw), "{mw} mW");
+    }
+
+    #[test]
+    fn report_displays_all_rows() {
+        let model = EnergyModel::default_0_13um();
+        let report = model.frame_energy(&params(CodeRate::R1_2), 30);
+        let text = report.to_string();
+        for row in ["message RAMs", "functional units", "shuffle network", "per information bit"]
+        {
+            assert!(text.contains(row), "missing {row}");
+        }
+    }
+}

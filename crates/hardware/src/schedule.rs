@@ -1,0 +1,170 @@
+//! Check-phase read schedules.
+//!
+//! The check phase processes residue rows `r = 0 .. q-1` **in ascending
+//! order** — each functional unit's zigzag forward register chains its `q`
+//! consecutive check nodes, so rows cannot be reordered. Within a row,
+//! however, the `k-2` information messages of a check node are commutative
+//! (the paper exploits exactly this), so their read order is free: this is
+//! the degree of freedom the simulated-annealing optimizer searches to
+//! avoid RAM bank conflicts.
+
+use crate::rom::ConnectivityRom;
+use std::fmt;
+
+/// Error returned when a schedule does not match its ROM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidScheduleError {
+    detail: String,
+}
+
+impl fmt::Display for InvalidScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid check-phase schedule: {}", self.detail)
+    }
+}
+
+impl std::error::Error for InvalidScheduleError {}
+
+/// A check-phase read order: for each residue row, a permutation of that
+/// row's ROM entries (word addresses).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CnSchedule {
+    rows: Vec<Vec<u32>>,
+}
+
+impl CnSchedule {
+    /// The unoptimized baseline: rows in ROM order (group-major within each
+    /// residue class).
+    pub fn natural(rom: &ConnectivityRom) -> Self {
+        CnSchedule { rows: (0..rom.row_count()).map(|r| rom.row(r).to_vec()).collect() }
+    }
+
+    /// Builds a schedule from explicit rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidScheduleError`] unless each row `r` is a permutation
+    /// of the ROM's residue-`r` entries.
+    pub fn from_rows(
+        rom: &ConnectivityRom,
+        rows: Vec<Vec<u32>>,
+    ) -> Result<Self, InvalidScheduleError> {
+        let schedule = CnSchedule { rows };
+        schedule.validate(rom)?;
+        Ok(schedule)
+    }
+
+    /// Checks this schedule against a ROM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidScheduleError`] describing the first mismatch.
+    pub fn validate(&self, rom: &ConnectivityRom) -> Result<(), InvalidScheduleError> {
+        if self.rows.len() != rom.row_count() {
+            return Err(InvalidScheduleError {
+                detail: format!("expected {} rows, got {}", rom.row_count(), self.rows.len()),
+            });
+        }
+        for (r, row) in self.rows.iter().enumerate() {
+            let mut want: Vec<u32> = rom.row(r).to_vec();
+            let mut got = row.clone();
+            want.sort_unstable();
+            got.sort_unstable();
+            if want != got {
+                return Err(InvalidScheduleError {
+                    detail: format!("row {r} is not a permutation of the ROM row"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The per-row read orders.
+    pub fn rows(&self) -> &[Vec<u32>] {
+        &self.rows
+    }
+
+    /// Read order of residue row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn row(&self, r: usize) -> &[u32] {
+        &self.rows[r]
+    }
+
+    /// Messages read per row (`check_degree - 2`).
+    pub fn row_len(&self) -> usize {
+        self.rows.first().map_or(0, Vec::len)
+    }
+
+    /// The flattened word-address read sequence of the whole check phase.
+    pub fn read_sequence(&self) -> Vec<u32> {
+        self.rows.iter().flatten().copied().collect()
+    }
+
+    /// Swaps two positions within a row (the annealing move).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn swap_within_row(&mut self, r: usize, i: usize, j: usize) {
+        self.rows[r].swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvbs2_ldpc::{CodeRate, DvbS2Code, FrameSize};
+
+    fn rom() -> ConnectivityRom {
+        let code = DvbS2Code::new(CodeRate::R1_2, FrameSize::Short).unwrap();
+        ConnectivityRom::build(code.params(), code.table())
+    }
+
+    #[test]
+    fn natural_schedule_validates() {
+        let rom = rom();
+        let s = CnSchedule::natural(&rom);
+        s.validate(&rom).unwrap();
+        assert_eq!(s.read_sequence().len(), rom.words());
+    }
+
+    #[test]
+    fn swaps_keep_schedule_valid() {
+        let rom = rom();
+        let mut s = CnSchedule::natural(&rom);
+        s.swap_within_row(0, 0, 1);
+        s.swap_within_row(3, 2, 0);
+        s.validate(&rom).unwrap();
+    }
+
+    #[test]
+    fn cross_row_moves_are_rejected() {
+        let rom = rom();
+        let mut rows: Vec<Vec<u32>> = CnSchedule::natural(&rom).rows().to_vec();
+        let moved = rows[0].pop().unwrap();
+        rows[1].push(moved);
+        assert!(CnSchedule::from_rows(&rom, rows).is_err());
+    }
+
+    #[test]
+    fn duplicate_entries_are_rejected() {
+        let rom = rom();
+        let mut rows: Vec<Vec<u32>> = CnSchedule::natural(&rom).rows().to_vec();
+        rows[0][1] = rows[0][0];
+        assert!(CnSchedule::from_rows(&rom, rows).is_err());
+    }
+
+    #[test]
+    fn read_sequence_is_row_major() {
+        let rom = rom();
+        let s = CnSchedule::natural(&rom);
+        let seq = s.read_sequence();
+        let len = s.row_len();
+        for r in 0..rom.row_count() {
+            assert_eq!(&seq[r * len..(r + 1) * len], s.row(r));
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Golden test-vector generation for RTL verification.
+//!
+//! An IP core ships with stimulus/response vectors so an RTL implementation
+//! can be verified against the golden model without running the full system.
+//! [`TestVectorSet::generate`] produces frames of quantized channel LLRs
+//! together with the golden model's expected hard decisions and iteration
+//! counts, and serializes them to a simple line-oriented text format that a
+//! VHDL/Verilog testbench (or this crate's own parser) can consume.
+
+use crate::golden::GoldenModel;
+use crate::rom::ConnectivityRom;
+use crate::schedule::CnSchedule;
+use dvbs2_decoder::Quantizer;
+use dvbs2_ldpc::{BitVec, CodeRate, DvbS2Code, FrameSize};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// One stimulus/response pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VectorFrame {
+    /// Quantized channel LLRs (length `N`).
+    pub channel: Vec<i32>,
+    /// Expected hard decisions (length `N`).
+    pub expected_bits: BitVec,
+    /// Expected iteration count.
+    pub expected_iterations: usize,
+    /// Whether the golden model converged.
+    pub converged: bool,
+}
+
+/// A set of golden vectors for one code configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestVectorSet {
+    /// Code rate the vectors target.
+    pub rate: CodeRate,
+    /// Frame size.
+    pub frame: FrameSize,
+    /// Message quantizer width.
+    pub quantizer_bits: u32,
+    /// Generation seed (vectors are reproducible).
+    pub seed: u64,
+    /// The frames.
+    pub frames: Vec<VectorFrame>,
+}
+
+/// Error from [`TestVectorSet::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseVectorError {
+    line: usize,
+    detail: String,
+}
+
+impl fmt::Display for ParseVectorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "test-vector parse error at line {}: {}", self.line, self.detail)
+    }
+}
+
+impl std::error::Error for ParseVectorError {}
+
+impl TestVectorSet {
+    /// Generates `n_frames` vectors by passing random codewords through a
+    /// BPSK/AWGN channel at `ebn0_db` and running the golden model with the
+    /// natural schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the code cannot be constructed (9/10 short frames).
+    pub fn generate(
+        rate: CodeRate,
+        frame: FrameSize,
+        quantizer: Quantizer,
+        n_frames: usize,
+        ebn0_db: f64,
+        seed: u64,
+    ) -> Self {
+        let code = DvbS2Code::new(rate, frame).expect("valid rate/frame combination");
+        let params = *code.params();
+        let rom = ConnectivityRom::build(&params, code.table());
+        let mut golden = GoldenModel::new(&code, CnSchedule::natural(&rom), quantizer, 30, true);
+        let encoder = code.encoder().expect("encoder for generated table");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let rate_f = params.k as f64 / params.n as f64;
+        let sigma2 = 1.0 / (2.0 * rate_f * 10f64.powf(ebn0_db / 10.0));
+        let sigma = sigma2.sqrt();
+
+        let frames = (0..n_frames)
+            .map(|_| {
+                let msg = encoder.random_message(&mut rng);
+                let cw = encoder.encode(&msg).expect("message has length K");
+                let channel: Vec<i32> = cw
+                    .iter()
+                    .map(|b| {
+                        let x = if b { -1.0 } else { 1.0 };
+                        // Box–Muller, cosine branch.
+                        let u1: f64 = 1.0 - rng.random::<f64>();
+                        let u2: f64 = rng.random::<f64>();
+                        let noise =
+                            (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                        quantizer.quantize(2.0 * (x + sigma * noise) / sigma2)
+                    })
+                    .collect();
+                let out = golden.decode_quantized(&channel);
+                VectorFrame {
+                    channel,
+                    expected_bits: out.bits,
+                    expected_iterations: out.iterations,
+                    converged: out.converged,
+                }
+            })
+            .collect();
+        TestVectorSet { rate, frame, quantizer_bits: quantizer.bits(), seed, frames }
+    }
+
+    /// Serializes to the line-oriented interchange format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "dvbs2-vectors rate={} frame={} bits={} seed={}\n",
+            self.rate,
+            match self.frame {
+                FrameSize::Normal => "normal",
+                FrameSize::Short => "short",
+            },
+            self.quantizer_bits,
+            self.seed
+        ));
+        for f in &self.frames {
+            out.push_str("frame\n");
+            out.push_str("llr");
+            for &v in &f.channel {
+                out.push_str(&format!(" {v}"));
+            }
+            out.push('\n');
+            out.push_str("bits ");
+            out.extend(f.expected_bits.iter().map(|b| if b { '1' } else { '0' }));
+            out.push('\n');
+            out.push_str(&format!("iters {} converged {}\n", f.expected_iterations, f.converged));
+        }
+        out
+    }
+
+    /// Parses the interchange format back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseVectorError`] on any malformed line.
+    pub fn parse(text: &str) -> Result<Self, ParseVectorError> {
+        let err = |line: usize, detail: &str| ParseVectorError { line, detail: detail.into() };
+        let mut lines = text.lines().enumerate();
+        let (ln, header) = lines.next().ok_or_else(|| err(0, "empty input"))?;
+        let mut rate = None;
+        let mut frame = None;
+        let mut bits = None;
+        let mut seed = None;
+        for field in header.split_whitespace().skip(1) {
+            let (key, value) =
+                field.split_once('=').ok_or_else(|| err(ln + 1, "malformed header field"))?;
+            match key {
+                "rate" => rate = value.parse::<CodeRate>().ok(),
+                "frame" => {
+                    frame = match value {
+                        "normal" => Some(FrameSize::Normal),
+                        "short" => Some(FrameSize::Short),
+                        _ => None,
+                    }
+                }
+                "bits" => bits = value.parse::<u32>().ok(),
+                "seed" => seed = value.parse::<u64>().ok(),
+                _ => return Err(err(ln + 1, "unknown header field")),
+            }
+        }
+        let (rate, frame, bits, seed) = match (rate, frame, bits, seed) {
+            (Some(r), Some(f), Some(b), Some(s)) => (r, f, b, s),
+            _ => return Err(err(ln + 1, "incomplete header")),
+        };
+
+        let mut frames = Vec::new();
+        let mut current: Option<(Vec<i32>, Option<BitVec>)> = None;
+        for (ln, line) in lines {
+            let ln = ln + 1;
+            if line == "frame" {
+                if current.is_some() {
+                    return Err(err(ln, "unterminated previous frame"));
+                }
+                current = Some((Vec::new(), None));
+            } else if let Some(rest) = line.strip_prefix("llr") {
+                let cur = current.as_mut().ok_or_else(|| err(ln, "llr outside frame"))?;
+                cur.0 = rest
+                    .split_whitespace()
+                    .map(str::parse)
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| err(ln, "bad LLR value"))?;
+            } else if let Some(rest) = line.strip_prefix("bits ") {
+                let cur = current.as_mut().ok_or_else(|| err(ln, "bits outside frame"))?;
+                cur.1 = Some(rest.chars().map(|c| c == '1').collect());
+            } else if let Some(rest) = line.strip_prefix("iters ") {
+                let (channel, bits_vec) =
+                    current.take().ok_or_else(|| err(ln, "iters outside frame"))?;
+                let mut parts = rest.split_whitespace();
+                let iters: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(ln, "bad iteration count"))?;
+                let converged = match (parts.next(), parts.next()) {
+                    (Some("converged"), Some(v)) => {
+                        v.parse::<bool>().map_err(|_| err(ln, "bad converged flag"))?
+                    }
+                    _ => return Err(err(ln, "missing converged flag")),
+                };
+                frames.push(VectorFrame {
+                    channel,
+                    expected_bits: bits_vec.ok_or_else(|| err(ln, "missing bits line"))?,
+                    expected_iterations: iters,
+                    converged,
+                });
+            } else if !line.trim().is_empty() {
+                return Err(err(ln, "unrecognized line"));
+            }
+        }
+        if current.is_some() {
+            return Err(err(0, "unterminated final frame"));
+        }
+        Ok(TestVectorSet { rate, frame, quantizer_bits: bits, seed, frames })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::{CoreConfig, HardwareDecoder};
+
+    fn small_set() -> TestVectorSet {
+        TestVectorSet::generate(
+            CodeRate::R1_2,
+            FrameSize::Short,
+            Quantizer::paper_6bit(),
+            2,
+            3.2,
+            42,
+        )
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(small_set(), small_set());
+    }
+
+    #[test]
+    fn text_round_trips() {
+        let set = small_set();
+        let text = set.to_text();
+        let parsed = TestVectorSet::parse(&text).unwrap();
+        assert_eq!(parsed, set);
+    }
+
+    #[test]
+    fn vectors_replay_on_the_hardware_core() {
+        // The point of the vectors: an implementation must reproduce them.
+        let set = small_set();
+        let code = DvbS2Code::new(set.rate, set.frame).unwrap();
+        let mut hw = HardwareDecoder::with_natural_schedule(
+            &code,
+            CoreConfig { early_stop: true, ..CoreConfig::default() },
+        );
+        for (i, frame) in set.frames.iter().enumerate() {
+            let out = hw.decode_quantized(&frame.channel);
+            assert_eq!(out.result.bits, frame.expected_bits, "frame {i}");
+            assert_eq!(out.result.iterations, frame.expected_iterations, "frame {i}");
+            assert_eq!(out.result.converged, frame.converged, "frame {i}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(TestVectorSet::parse("").is_err());
+        assert!(TestVectorSet::parse("dvbs2-vectors rate=1/2\n").is_err());
+        let mut text = small_set().to_text();
+        text.push_str("junk line\n");
+        assert!(TestVectorSet::parse(&text).is_err());
+    }
+}

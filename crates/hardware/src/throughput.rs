@@ -1,0 +1,173 @@
+//! The analytic throughput model — Eq. 7/8 of the paper.
+//!
+//! ```text
+//! T = I / ( C/P_IO + It · 2 · (E_IN/P + T_latency) ) · f_clk        (Eq. 8)
+//! ```
+//!
+//! with `I = K` information bits, `C = N` channel values read at `P_IO = 10`
+//! per cycle, `It = 30` iterations, `P = 360` functional units, and
+//! `T_latency` the pipeline/drain overhead per half-iteration. The
+//! `throughput_eq8` bench tabulates this against the cycle counts measured
+//! by [`crate::HardwareDecoder`] and the paper's 255 Mbit/s requirement.
+
+use crate::tech::Technology;
+use dvbs2_ldpc::{CodeParams, PARALLELISM};
+
+/// Parameters of the Eq. 8 throughput computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputModel {
+    /// Clock frequency in MHz (paper: 270 MHz worst case).
+    pub clock_mhz: f64,
+    /// Decoder iterations (paper: 30).
+    pub iterations: usize,
+    /// Parallel functional units (360).
+    pub p: usize,
+    /// Channel values accepted per I/O cycle (10).
+    pub p_io: usize,
+    /// Per-half-iteration latency `T_latency` in cycles (functional-unit
+    /// pipeline depth plus the write-back drain).
+    pub latency: usize,
+}
+
+impl ThroughputModel {
+    /// The paper's operating point on a given technology.
+    pub fn paper(tech: &Technology) -> Self {
+        ThroughputModel {
+            clock_mhz: tech.max_clock_mhz,
+            iterations: 30,
+            p: PARALLELISM,
+            p_io: 10,
+            latency: 10,
+        }
+    }
+
+    /// Decoding cycles for one frame (the denominator of Eq. 8 without the
+    /// clock).
+    pub fn cycles(&self, params: &CodeParams) -> usize {
+        let half_iteration = params.e_in() / self.p + self.latency;
+        params.n.div_ceil(self.p_io) + self.iterations * 2 * half_iteration
+    }
+
+    /// Information throughput in Mbit/s (Eq. 8).
+    ///
+    /// ```
+    /// use dvbs2_hardware::{ThroughputModel, ST_0_13_UM};
+    /// use dvbs2_ldpc::{CodeParams, CodeRate, FrameSize};
+    /// # fn main() -> Result<(), dvbs2_ldpc::CodeError> {
+    /// let params = CodeParams::new(CodeRate::R1_2, FrameSize::Normal)?;
+    /// let model = ThroughputModel::paper(&ST_0_13_UM);
+    /// let t = model.throughput_mbps(&params);
+    /// assert!(t > 250.0, "paper claims 255 Mbit/s at R = 1/2: {t}");
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn throughput_mbps(&self, params: &CodeParams) -> f64 {
+        params.k as f64 / self.cycles(&params.clone()) as f64 * self.clock_mhz
+    }
+
+    /// Coded (channel-symbol) throughput in Mbit/s.
+    pub fn coded_throughput_mbps(&self, params: &CodeParams) -> f64 {
+        params.n as f64 / self.cycles(params) as f64 * self.clock_mhz
+    }
+
+    /// Cycles per frame when frame I/O fully overlaps decoding (a
+    /// double-buffered channel RAM loads frame `n+1` while frame `n`
+    /// decodes — the paper's Eq. 8 serializes the I/O term instead).
+    pub fn cycles_overlapped(&self, params: &CodeParams) -> usize {
+        let decode = self.iterations * 2 * (params.e_in() / self.p + self.latency);
+        decode.max(params.n.div_ceil(self.p_io))
+    }
+
+    /// Information throughput with overlapped I/O in Mbit/s.
+    pub fn throughput_overlapped_mbps(&self, params: &CodeParams) -> f64 {
+        params.k as f64 / self.cycles_overlapped(params) as f64 * self.clock_mhz
+    }
+
+    /// Cycles per frame at a *measured* mean iteration count (early
+    /// termination): the decoder spends `avg_iterations` on average, so
+    /// sustained throughput rises accordingly.
+    pub fn cycles_at_iterations(&self, params: &CodeParams, avg_iterations: f64) -> f64 {
+        params.n.div_ceil(self.p_io) as f64
+            + avg_iterations * 2.0 * (params.e_in() / self.p + self.latency) as f64
+    }
+
+    /// Frame decode time in microseconds.
+    pub fn frame_time_us(&self, params: &CodeParams) -> f64 {
+        self.cycles(params) as f64 / self.clock_mhz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tech::ST_0_13_UM;
+    use dvbs2_ldpc::{CodeRate, FrameSize};
+
+    fn model() -> ThroughputModel {
+        ThroughputModel::paper(&ST_0_13_UM)
+    }
+
+    fn params(rate: CodeRate) -> CodeParams {
+        CodeParams::new(rate, FrameSize::Normal).unwrap()
+    }
+
+    #[test]
+    fn r12_reaches_the_paper_requirement() {
+        // The 255 Mbit/s base-station requirement at R = 1/2, 30 iterations.
+        let t = model().throughput_mbps(&params(CodeRate::R1_2));
+        assert!((253.0..262.0).contains(&t), "throughput {t}");
+    }
+
+    #[test]
+    fn high_rates_exceed_low_rates() {
+        let lo = model().throughput_mbps(&params(CodeRate::R1_4));
+        let hi = model().throughput_mbps(&params(CodeRate::R9_10));
+        assert!(hi > lo);
+        assert!(hi > 400.0, "R 9/10 should exceed 400 Mbit/s: {hi}");
+    }
+
+    #[test]
+    fn cycles_are_dominated_by_iterations() {
+        let p = params(CodeRate::R1_2);
+        let m = model();
+        let io = p.n.div_ceil(m.p_io);
+        assert!(m.cycles(&p) > 4 * io);
+    }
+
+    #[test]
+    fn fewer_iterations_mean_proportionally_more_throughput() {
+        let p = params(CodeRate::R1_2);
+        let base = model();
+        let fast = ThroughputModel { iterations: 15, ..base };
+        // Sub-linear: the I/O cycles do not shrink with iterations.
+        let ratio = fast.throughput_mbps(&p) / base.throughput_mbps(&p);
+        assert!(ratio > 1.6 && ratio < 2.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn overlapped_io_raises_throughput() {
+        let p = params(CodeRate::R1_2);
+        let m = model();
+        assert!(m.cycles_overlapped(&p) < m.cycles(&p));
+        assert!(m.throughput_overlapped_mbps(&p) > m.throughput_mbps(&p));
+        // Decode dominates at 30 iterations, so the gain is the I/O term.
+        assert_eq!(m.cycles_overlapped(&p), m.cycles(&p) - p.n.div_ceil(m.p_io));
+    }
+
+    #[test]
+    fn early_termination_scales_cycles() {
+        let p = params(CodeRate::R1_2);
+        let m = model();
+        let full = m.cycles_at_iterations(&p, 30.0);
+        let half = m.cycles_at_iterations(&p, 15.0);
+        assert!((full - m.cycles(&p) as f64).abs() < 1e-9);
+        assert!(half < full);
+    }
+
+    #[test]
+    fn frame_time_is_microseconds_scale() {
+        // ~34000 cycles at 270 MHz is ~126 us.
+        let t = model().frame_time_us(&params(CodeRate::R1_2));
+        assert!((100.0..200.0).contains(&t), "{t}");
+    }
+}

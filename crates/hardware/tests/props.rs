@@ -1,0 +1,125 @@
+//! Property tests for the hardware model.
+
+use dvbs2_hardware::{
+    simulate_cn_phase, CnSchedule, ConnectivityRom, CoreConfig, GoldenModel, HardwareDecoder,
+    MemoryConfig, ShuffleNetwork,
+};
+use dvbs2_ldpc::{CodeRate, DvbS2Code, FrameSize};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn short_code() -> DvbS2Code {
+    DvbS2Code::new(CodeRate::R1_2, FrameSize::Short).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Rotation by `s` then by its inverse is the identity, for any width.
+    #[test]
+    fn shuffle_round_trips(lanes in 1usize..512, shift in 0usize..2048) {
+        let net = ShuffleNetwork::new(lanes);
+        let data: Vec<u32> = (0..lanes as u32).collect();
+        let mut mid = vec![0u32; lanes];
+        let mut back = vec![0u32; lanes];
+        net.rotate(&data, shift, &mut mid);
+        net.rotate(&mid, net.inverse_shift(shift), &mut back);
+        prop_assert_eq!(back, data);
+    }
+
+    /// Composition of rotations adds shifts modulo the lane count.
+    #[test]
+    fn shuffle_composes(lanes in 2usize..256, a in 0usize..512, b in 0usize..512) {
+        let net = ShuffleNetwork::new(lanes);
+        let data: Vec<u32> = (0..lanes as u32).map(|i| i * 3 + 1).collect();
+        let mut one = vec![0u32; lanes];
+        let mut two = vec![0u32; lanes];
+        let mut direct = vec![0u32; lanes];
+        net.rotate(&data, a, &mut one);
+        net.rotate(&one, b, &mut two);
+        net.rotate(&data, (a + b) % lanes, &mut direct);
+        prop_assert_eq!(two, direct);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any sequence of legal within-row swaps keeps the schedule valid, and
+    /// the memory simulation always conserves every write.
+    #[test]
+    fn fuzzed_schedules_stay_valid_and_conserve_writes(seed in any::<u64>()) {
+        let code = short_code();
+        let rom = ConnectivityRom::build(code.params(), code.table());
+        let mut schedule = CnSchedule::natural(&rom);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let row_len = rom.row_len();
+        for _ in 0..200 {
+            let r = rng.random_range(0..rom.row_count());
+            let i = rng.random_range(0..row_len);
+            let j = rng.random_range(0..row_len);
+            schedule.swap_within_row(r, i, j);
+        }
+        prop_assert!(schedule.validate(&rom).is_ok());
+        let stats = simulate_cn_phase(
+            MemoryConfig::default(),
+            &schedule.read_sequence(),
+            row_len,
+        );
+        prop_assert_eq!(
+            stats.delayed_writes + stats.immediate_writes,
+            rom.words(),
+            "every write must eventually commit"
+        );
+        prop_assert!(stats.total_cycles >= stats.read_cycles);
+    }
+
+    /// The timed core matches the golden model bit for bit on arbitrary
+    /// (even adversarial, non-codeword) quantized inputs.
+    #[test]
+    fn core_matches_golden_on_arbitrary_inputs(seed in any::<u64>()) {
+        let code = short_code();
+        let rom = ConnectivityRom::build(code.params(), code.table());
+        let schedule = CnSchedule::natural(&rom);
+        let config = CoreConfig { max_iterations: 3, ..CoreConfig::default() };
+        let mut hw = HardwareDecoder::new(&code, schedule.clone(), config);
+        let mut golden = GoldenModel::new(&code, schedule, config.quantizer, 3, false);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let channel: Vec<i32> =
+            (0..code.params().n).map(|_| rng.random_range(-31..=31)).collect();
+        prop_assert_eq!(hw.decode_quantized(&channel).result, golden.decode_quantized(&channel));
+    }
+}
+
+#[test]
+fn all_zero_llrs_are_handled_gracefully() {
+    // A total erasure: no information at all. The decoder must terminate
+    // and report non-convergence (the all-zero word satisfies H, but the
+    // model must not crash or loop).
+    let code = short_code();
+    let mut hw = HardwareDecoder::with_natural_schedule(
+        &code,
+        CoreConfig { max_iterations: 5, ..CoreConfig::default() },
+    );
+    let channel = vec![0i32; code.params().n];
+    let out = hw.decode_quantized(&channel);
+    assert_eq!(out.result.iterations, 5);
+    // All-zero LLRs decide the all-zero word, which is a codeword.
+    assert!(out.result.converged);
+    assert_eq!(out.result.bits.count_ones(), 0);
+}
+
+#[test]
+fn saturated_llrs_decode_instantly() {
+    let code = short_code();
+    let mut hw = HardwareDecoder::with_natural_schedule(
+        &code,
+        CoreConfig { early_stop: true, ..CoreConfig::default() },
+    );
+    let channel = vec![31i32; code.params().n]; // emphatic all-zero word
+    let out = hw.decode_quantized(&channel);
+    assert!(out.result.converged);
+    assert_eq!(out.result.iterations, 1);
+    assert_eq!(out.result.bits.count_ones(), 0);
+}

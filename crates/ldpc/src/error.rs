@@ -1,0 +1,80 @@
+//! Error types for DVB-S2 code construction.
+
+use std::fmt;
+
+/// Errors produced while constructing or validating DVB-S2 LDPC codes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodeError {
+    /// The requested code rate string could not be parsed.
+    ParseRate(String),
+    /// The rate/frame-size combination is not defined by the standard
+    /// (9/10 does not exist for short frames).
+    UnsupportedCombination {
+        /// Display form of the requested rate.
+        rate: String,
+        /// Display form of the requested frame size.
+        frame: String,
+    },
+    /// An address table does not match the code parameters it is used with.
+    TableShape {
+        /// What was wrong, e.g. "expected 90 rows, got 80".
+        detail: String,
+    },
+    /// A message block had the wrong length for the encoder.
+    MessageLength {
+        /// Expected number of information bits `K`.
+        expected: usize,
+        /// Length actually provided.
+        actual: usize,
+    },
+    /// A codeword had the wrong length.
+    CodewordLength {
+        /// Expected codeword length `N`.
+        expected: usize,
+        /// Length actually provided.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for CodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodeError::ParseRate(s) => write!(f, "unrecognized DVB-S2 code rate `{s}`"),
+            CodeError::UnsupportedCombination { rate, frame } => {
+                write!(f, "rate {rate} is not defined for {frame} frames")
+            }
+            CodeError::TableShape { detail } => {
+                write!(f, "address table does not match code parameters: {detail}")
+            }
+            CodeError::MessageLength { expected, actual } => {
+                write!(f, "message must have {expected} bits, got {actual}")
+            }
+            CodeError::CodewordLength { expected, actual } => {
+                write!(f, "codeword must have {expected} bits, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = CodeError::ParseRate("7/8".into());
+        let msg = e.to_string();
+        assert!(msg.contains("7/8"));
+        assert!(msg.starts_with(char::is_lowercase));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CodeError>();
+    }
+}

@@ -1,0 +1,226 @@
+//! Sparse parity-check matrix representation.
+//!
+//! `H` for DVB-S2 consists of a random part (information columns, defined by
+//! the address table) and a fixed staircase part (parity columns from the
+//! accumulator). This module materializes `H` in compressed sparse row form
+//! for syndrome computation and structural validation.
+
+use crate::bits::BitVec;
+use crate::params::CodeParams;
+use crate::tables::AddressTable;
+
+/// A binary parity-check matrix in CSR layout (rows = check equations).
+///
+/// ```
+/// use dvbs2_ldpc::{AddressTable, CodeParams, CodeRate, FrameSize, ParityCheckMatrix};
+/// # fn main() -> Result<(), dvbs2_ldpc::CodeError> {
+/// let params = CodeParams::new(CodeRate::R1_4, FrameSize::Normal)?;
+/// let table = AddressTable::generate(&params, Default::default());
+/// let h = ParityCheckMatrix::for_code(&params, &table);
+/// assert_eq!(h.rows(), params.n_check);
+/// assert_eq!(h.cols(), params.n);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParityCheckMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+}
+
+impl ParityCheckMatrix {
+    /// Builds `H` from explicit (row, col) entries.
+    ///
+    /// Entries may be given in any order; duplicates are kept (a duplicate
+    /// entry would mean a double edge, which [`Self::has_duplicate_entries`]
+    /// can detect).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an entry is out of range.
+    pub fn from_entries(rows: usize, cols: usize, entries: &[(u32, u32)]) -> Self {
+        let mut counts = vec![0usize; rows + 1];
+        for &(r, c) in entries {
+            assert!((r as usize) < rows && (c as usize) < cols, "entry ({r},{c}) out of range");
+            counts[r as usize + 1] += 1;
+        }
+        for i in 1..=rows {
+            counts[i] += counts[i - 1];
+        }
+        let row_ptr = counts.clone();
+        let mut fill = counts;
+        let mut col_idx = vec![0u32; entries.len()];
+        for &(r, c) in entries {
+            col_idx[fill[r as usize]] = c;
+            fill[r as usize] += 1;
+        }
+        for r in 0..rows {
+            col_idx[row_ptr[r]..row_ptr[r + 1]].sort_unstable();
+        }
+        ParityCheckMatrix { rows, cols, row_ptr, col_idx }
+    }
+
+    /// Builds the DVB-S2 parity-check matrix for a code: information columns
+    /// from the address table (Eq. 2) plus the staircase parity columns
+    /// (Eq. 3: column `K+j` has ones in rows `j` and `j+1`).
+    pub fn for_code(params: &CodeParams, table: &AddressTable) -> Self {
+        let mut entries = Vec::with_capacity(params.e_in() + params.e_pn());
+        for m in 0..params.k {
+            for j in table.check_indices(params, m) {
+                entries.push((j as u32, m as u32));
+            }
+        }
+        for j in 0..params.n_check {
+            entries.push((j as u32, (params.k + j) as u32));
+            if j + 1 < params.n_check {
+                entries.push(((j + 1) as u32, (params.k + j) as u32));
+            }
+        }
+        Self::from_entries(params.n_check, params.n, &entries)
+    }
+
+    /// Number of check equations (rows).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Codeword length (columns).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of nonzero entries.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Column indices of row `r`, sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row(&self, r: usize) -> &[u32] {
+        &self.col_idx[self.row_ptr[r]..self.row_ptr[r + 1]]
+    }
+
+    /// Computes the syndrome `H x^T` of a word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word.len() != self.cols()`.
+    pub fn syndrome(&self, word: &BitVec) -> BitVec {
+        assert_eq!(word.len(), self.cols, "word length mismatch");
+        let mut s = BitVec::zeros(self.rows);
+        for r in 0..self.rows {
+            let parity = self.row(r).iter().filter(|&&c| word.get(c as usize)).count();
+            if parity % 2 == 1 {
+                s.set(r, true);
+            }
+        }
+        s
+    }
+
+    /// `true` when `H x^T = 0` (Eq. 1 of the paper).
+    pub fn is_codeword(&self, word: &BitVec) -> bool {
+        assert_eq!(word.len(), self.cols, "word length mismatch");
+        (0..self.rows).all(|r| {
+            self.row(r).iter().filter(|&&c| word.get(c as usize)).count() % 2 == 0
+        })
+    }
+
+    /// Fraction of nonzero entries — LDPC matrices must be sparse.
+    pub fn density(&self) -> f64 {
+        self.nnz() as f64 / (self.rows as f64 * self.cols as f64)
+    }
+
+    /// `true` if any row contains the same column twice (a double edge).
+    pub fn has_duplicate_entries(&self) -> bool {
+        (0..self.rows).any(|r| self.row(r).windows(2).any(|w| w[0] == w[1]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rate::{CodeRate, FrameSize};
+    use crate::tables::TableOptions;
+
+    fn small_code() -> (CodeParams, AddressTable, ParityCheckMatrix) {
+        let p = CodeParams::new(CodeRate::R9_10, FrameSize::Normal).unwrap();
+        let t = AddressTable::generate(&p, TableOptions::default());
+        let h = ParityCheckMatrix::for_code(&p, &t);
+        (p, t, h)
+    }
+
+    #[test]
+    fn shape_and_edge_count() {
+        let (p, _, h) = small_code();
+        assert_eq!(h.rows(), p.n_check);
+        assert_eq!(h.cols(), p.n);
+        assert_eq!(h.nnz(), p.e_in() + p.e_pn());
+        assert!(!h.has_duplicate_entries());
+    }
+
+    #[test]
+    fn row_weights_are_constant_check_degree() {
+        let (p, _, h) = small_code();
+        // Check 0 is the accumulator head: one parity edge fewer.
+        assert_eq!(h.row(0).len(), p.check_degree - 1);
+        for r in 1..h.rows() {
+            assert_eq!(h.row(r).len(), p.check_degree, "row {r}");
+        }
+    }
+
+    #[test]
+    fn staircase_structure_present() {
+        let (p, _, h) = small_code();
+        // Row j must contain parity columns K+j and K+j-1.
+        for j in [1usize, 2, p.n_check / 2, p.n_check - 1] {
+            let row = h.row(j);
+            assert!(row.contains(&((p.k + j) as u32)));
+            assert!(row.contains(&((p.k + j - 1) as u32)));
+        }
+        assert!(h.row(0).contains(&(p.k as u32)));
+    }
+
+    #[test]
+    fn all_zero_word_is_codeword() {
+        let (p, _, h) = small_code();
+        assert!(h.is_codeword(&BitVec::zeros(p.n)));
+    }
+
+    #[test]
+    fn single_one_is_not_codeword() {
+        let (p, _, h) = small_code();
+        let mut w = BitVec::zeros(p.n);
+        w.set(0, true);
+        assert!(!h.is_codeword(&w));
+        assert!(h.syndrome(&w).count_ones() > 0);
+    }
+
+    #[test]
+    fn density_is_low() {
+        let (_, _, h) = small_code();
+        assert!(h.density() < 1e-2, "density {}", h.density());
+    }
+
+    #[test]
+    fn from_entries_tiny_matrix() {
+        // H = [1 1 0; 0 1 1]: codewords are the constant words.
+        let h = ParityCheckMatrix::from_entries(2, 3, &[(0, 0), (0, 1), (1, 1), (1, 2)]);
+        let w = BitVec::from_bools([true, true, true]);
+        assert!(h.is_codeword(&w));
+        let w = BitVec::from_bools([true, false, false]);
+        assert!(!h.is_codeword(&w));
+        let s = h.syndrome(&w);
+        assert!(s.get(0) && !s.get(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_entries_rejects_out_of_range() {
+        let _ = ParityCheckMatrix::from_entries(2, 3, &[(2, 0)]);
+    }
+}

@@ -1,0 +1,344 @@
+//! Code-rate dependent parameters of the DVB-S2 LDPC Tanner graph.
+//!
+//! [`CodeParams`] carries everything Table 1 and Table 2 of the paper list:
+//! the information/parity split, the two information-node degree classes, the
+//! constant check-node degree `k`, the group factor `q = (N-K)/360`, and the
+//! derived edge counts `E_IN`, `E_PN` and connectivity-storage size `Addr`.
+
+use crate::error::CodeError;
+use crate::rate::{CodeRate, FrameSize, PARALLELISM};
+
+/// One class of information nodes: `count` nodes of identical `degree`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DegreeClass {
+    /// Number of information nodes in this class (a multiple of 360).
+    pub count: usize,
+    /// Variable-node degree of every node in this class.
+    pub degree: usize,
+}
+
+/// Structural parameters of one DVB-S2 LDPC code (one row of Table 1).
+///
+/// The DVB-S2 information nodes split into exactly two degree classes: a
+/// high-degree class (degree `j` in the paper, 4–13 depending on rate) and a
+/// degree-3 class. Parity nodes are all degree 2 (zigzag), and check nodes
+/// all have the same degree `k` (the paper's `k`), except check 0 which has
+/// one fewer parity edge because the accumulator chain starts there.
+///
+/// ```
+/// use dvbs2_ldpc::{CodeParams, CodeRate, FrameSize};
+/// # fn main() -> Result<(), dvbs2_ldpc::CodeError> {
+/// let p = CodeParams::new(CodeRate::R1_2, FrameSize::Normal)?;
+/// assert_eq!(p.k, 32_400);
+/// assert_eq!(p.q, 90);
+/// assert_eq!(p.check_degree, 7);
+/// assert_eq!(p.addr_entries(), 450); // Table 2, R = 1/2
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CodeParams {
+    /// The nominal code rate.
+    pub rate: CodeRate,
+    /// Frame size this parameter set belongs to.
+    pub frame: FrameSize,
+    /// Codeword length `N` in bits.
+    pub n: usize,
+    /// Number of information bits `K`.
+    pub k: usize,
+    /// Number of parity bits = number of check nodes, `N - K`.
+    pub n_check: usize,
+    /// Group factor `q = (N-K)/360` from the DVB-S2 encoding rule.
+    pub q: usize,
+    /// Constant check-node degree (the paper's `k`).
+    pub check_degree: usize,
+    /// High-degree information-node class (the paper's `f_j` nodes of degree `j`).
+    pub hi: DegreeClass,
+    /// Degree-3 information-node class (the paper's `f_3`).
+    pub lo: DegreeClass,
+}
+
+/// Normal-frame parameters straight from the standard:
+/// (rate, K, high-degree count, high degree, check degree).
+/// The degree-3 count is `K - hi_count`.
+const NORMAL: [(CodeRate, usize, usize, usize, usize); 11] = [
+    (CodeRate::R1_4, 16_200, 5_400, 12, 4),
+    (CodeRate::R1_3, 21_600, 7_200, 12, 5),
+    (CodeRate::R2_5, 25_920, 8_640, 12, 6),
+    (CodeRate::R1_2, 32_400, 12_960, 8, 7),
+    (CodeRate::R3_5, 38_880, 12_960, 12, 11),
+    (CodeRate::R2_3, 43_200, 4_320, 13, 10),
+    (CodeRate::R3_4, 48_600, 5_400, 12, 14),
+    (CodeRate::R4_5, 51_840, 6_480, 11, 18),
+    (CodeRate::R5_6, 54_000, 5_400, 13, 22),
+    (CodeRate::R8_9, 57_600, 7_200, 4, 27),
+    (CodeRate::R9_10, 58_320, 6_480, 4, 30),
+];
+
+/// Short-frame information lengths from the standard (`K_ldpc`); 9/10 is not
+/// defined for short frames. The degree split for short frames is solved by
+/// [`solve_short_degrees`] (extension — the paper only covers normal frames).
+const SHORT_K: [(CodeRate, usize); 10] = [
+    (CodeRate::R1_4, 3_240),
+    (CodeRate::R1_3, 5_400),
+    (CodeRate::R2_5, 6_480),
+    (CodeRate::R1_2, 7_200),
+    (CodeRate::R3_5, 9_720),
+    (CodeRate::R2_3, 10_800),
+    (CodeRate::R3_4, 11_880),
+    (CodeRate::R4_5, 12_600),
+    (CodeRate::R5_6, 13_320),
+    (CodeRate::R8_9, 14_400),
+];
+
+/// Finds a `(hi_count, hi_degree, check_degree)` triple for a short frame
+/// such that `E_IN = hi_count * hi_degree + (k - hi_count) * 3` is exactly
+/// `n_check * (check_degree - 2)` and `hi_count` is a multiple of 360.
+///
+/// Preference order mirrors the normal-frame design: high degree 12 first,
+/// then 13, 11, 8, 4; smallest feasible check degree wins.
+fn solve_short_degrees(k: usize, n_check: usize) -> Option<(usize, usize, usize)> {
+    for &hi_degree in &[12usize, 13, 11, 8, 4] {
+        for check_degree in 4..=32usize {
+            let e_in = n_check * (check_degree - 2);
+            let base = 3 * k;
+            if e_in <= base {
+                continue;
+            }
+            let extra = e_in - base;
+            let per_group = (hi_degree - 3) * PARALLELISM;
+            if !extra.is_multiple_of(per_group) {
+                continue;
+            }
+            let hi_groups = extra / per_group;
+            let hi_count = hi_groups * PARALLELISM;
+            if hi_count > 0 && hi_count < k {
+                return Some((hi_count, hi_degree, check_degree));
+            }
+        }
+    }
+    None
+}
+
+impl CodeParams {
+    /// Looks up (normal frames) or derives (short frames) the parameters for
+    /// a rate/frame combination.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::UnsupportedCombination`] for rate 9/10 with short
+    /// frames, which the standard does not define.
+    pub fn new(rate: CodeRate, frame: FrameSize) -> Result<Self, CodeError> {
+        let n = frame.codeword_len();
+        match frame {
+            FrameSize::Normal => {
+                let &(_, k, hi_count, hi_degree, check_degree) = NORMAL
+                    .iter()
+                    .find(|row| row.0 == rate)
+                    .expect("all rates are defined for normal frames");
+                Ok(Self::assemble(rate, frame, n, k, hi_count, hi_degree, check_degree))
+            }
+            FrameSize::Short => {
+                let &(_, k) = SHORT_K.iter().find(|row| row.0 == rate).ok_or_else(|| {
+                    CodeError::UnsupportedCombination {
+                        rate: rate.to_string(),
+                        frame: frame.to_string(),
+                    }
+                })?;
+                let n_check = n - k;
+                let (hi_count, hi_degree, check_degree) = solve_short_degrees(k, n_check)
+                    .expect("a feasible short-frame degree split exists for every rate");
+                Ok(Self::assemble(rate, frame, n, k, hi_count, hi_degree, check_degree))
+            }
+        }
+    }
+
+    fn assemble(
+        rate: CodeRate,
+        frame: FrameSize,
+        n: usize,
+        k: usize,
+        hi_count: usize,
+        hi_degree: usize,
+        check_degree: usize,
+    ) -> Self {
+        let n_check = n - k;
+        let params = CodeParams {
+            rate,
+            frame,
+            n,
+            k,
+            n_check,
+            q: n_check / PARALLELISM,
+            check_degree,
+            hi: DegreeClass { count: hi_count, degree: hi_degree },
+            lo: DegreeClass { count: k - hi_count, degree: 3 },
+        };
+        debug_assert!(params.is_consistent());
+        params
+    }
+
+    /// Parameters for every rate of a frame size, in rate order.
+    pub fn all(frame: FrameSize) -> Vec<CodeParams> {
+        CodeRate::ALL
+            .iter()
+            .filter_map(|&rate| CodeParams::new(rate, frame).ok())
+            .collect()
+    }
+
+    /// Total number of edges between information and check nodes
+    /// (`E_IN` in Table 2 of the paper).
+    pub fn e_in(&self) -> usize {
+        self.hi.count * self.hi.degree + self.lo.count * self.lo.degree
+    }
+
+    /// Total number of edges between parity and check nodes
+    /// (`E_PN` in Table 2). The zigzag accumulator gives every parity node
+    /// degree 2 except the last, hence `2(N-K) - 1`.
+    pub fn e_pn(&self) -> usize {
+        2 * self.n_check - 1
+    }
+
+    /// Number of `(shift, address)` entries needed to store the Tanner-graph
+    /// connectivity for this rate (`Addr = E_IN / 360` in Table 2).
+    pub fn addr_entries(&self) -> usize {
+        self.e_in() / PARALLELISM
+    }
+
+    /// Number of 360-node information groups, `K / 360`.
+    pub fn groups(&self) -> usize {
+        self.k / PARALLELISM
+    }
+
+    /// Number of groups whose nodes have the high degree; the remaining
+    /// groups have degree 3.
+    pub fn hi_groups(&self) -> usize {
+        self.hi.count / PARALLELISM
+    }
+
+    /// Variable-node degree of information group `g` (groups are ordered
+    /// high-degree first, as in the standard's table layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g >= self.groups()`.
+    pub fn group_degree(&self, g: usize) -> usize {
+        assert!(g < self.groups(), "group index {g} out of range");
+        if g < self.hi_groups() {
+            self.hi.degree
+        } else {
+            self.lo.degree
+        }
+    }
+
+    /// Checks every structural identity the construction relies on:
+    /// `q*360 = N-K`, class counts are multiples of 360, counts sum to `K`,
+    /// and `E_IN = (N-K)(k-2)` (each check node has `k-2` information edges
+    /// plus 2 parity edges).
+    pub fn is_consistent(&self) -> bool {
+        self.n == self.k + self.n_check
+            && self.q * PARALLELISM == self.n_check
+            && self.k.is_multiple_of(PARALLELISM)
+            && self.hi.count.is_multiple_of(PARALLELISM)
+            && self.hi.count + self.lo.count == self.k
+            && self.lo.degree == 3
+            && self.e_in() == self.n_check * (self.check_degree - 2)
+            && self.e_in().is_multiple_of(PARALLELISM)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_frame_parameters_match_table1() {
+        // Spot values stated or implied by the paper.
+        let p = CodeParams::new(CodeRate::R1_2, FrameSize::Normal).unwrap();
+        assert_eq!(p.q, 90);
+        assert_eq!(p.e_in(), 162_000);
+        assert_eq!(p.addr_entries(), 450);
+
+        let p = CodeParams::new(CodeRate::R9_10, FrameSize::Normal).unwrap();
+        assert_eq!(p.check_degree, 30); // largest check degree
+
+        let p = CodeParams::new(CodeRate::R2_3, FrameSize::Normal).unwrap();
+        assert_eq!(p.hi.degree, 13); // largest information-node degree
+    }
+
+    #[test]
+    fn all_normal_rates_are_consistent() {
+        for p in CodeParams::all(FrameSize::Normal) {
+            assert!(p.is_consistent(), "inconsistent params for {}", p.rate);
+            assert_eq!(p.n, 64_800);
+        }
+    }
+
+    #[test]
+    fn all_short_rates_are_consistent() {
+        let all = CodeParams::all(FrameSize::Short);
+        assert_eq!(all.len(), 10, "9/10 must be excluded for short frames");
+        for p in all {
+            assert!(p.is_consistent(), "inconsistent params for {}", p.rate);
+            assert_eq!(p.n, 16_200);
+        }
+    }
+
+    #[test]
+    fn short_9_10_is_rejected() {
+        assert!(matches!(
+            CodeParams::new(CodeRate::R9_10, FrameSize::Short),
+            Err(CodeError::UnsupportedCombination { .. })
+        ));
+    }
+
+    #[test]
+    fn rate_3_5_has_most_information_edges() {
+        // The paper: "the rate R = 3/5 has the most edges to the information
+        // nodes and hence determines the size of the IN message memory banks".
+        let all = CodeParams::all(FrameSize::Normal);
+        let max = all.iter().max_by_key(|p| p.e_in()).unwrap();
+        assert_eq!(max.rate, CodeRate::R3_5);
+        assert_eq!(max.e_in(), 233_280);
+    }
+
+    #[test]
+    fn rate_1_4_has_largest_parity_set() {
+        // The paper: "R = 1/4 has the largest set of parity nodes and defines
+        // the size of the PN message memories".
+        let all = CodeParams::all(FrameSize::Normal);
+        let max = all.iter().max_by_key(|p| p.n_check).unwrap();
+        assert_eq!(max.rate, CodeRate::R1_4);
+        assert_eq!(max.n_check, 48_600);
+    }
+
+    #[test]
+    fn group_degree_is_hi_then_lo() {
+        let p = CodeParams::new(CodeRate::R1_2, FrameSize::Normal).unwrap();
+        assert_eq!(p.hi_groups(), 36);
+        assert_eq!(p.groups(), 90);
+        assert_eq!(p.group_degree(0), 8);
+        assert_eq!(p.group_degree(35), 8);
+        assert_eq!(p.group_degree(36), 3);
+        assert_eq!(p.group_degree(89), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn group_degree_panics_out_of_range() {
+        let p = CodeParams::new(CodeRate::R1_2, FrameSize::Normal).unwrap();
+        let _ = p.group_degree(90);
+    }
+
+    #[test]
+    fn total_message_count_matches_paper_magnitude() {
+        // "about 300000 messages are processed and reordered in each of the
+        // 30 iterations" — worst case across rates.
+        let max_edges = CodeParams::all(FrameSize::Normal)
+            .iter()
+            .map(|p| p.e_in() + p.e_pn())
+            .max()
+            .unwrap();
+        assert!((280_000..320_000).contains(&max_edges), "{max_edges}");
+    }
+}

@@ -1,0 +1,177 @@
+//! DVB-S2 code rates and frame sizes.
+//!
+//! The DVB-S2 standard (ETSI EN 302 307) defines eleven LDPC code rates for
+//! the normal 64 800-bit frame and ten for the short 16 200-bit frame. The
+//! paper evaluates the normal frame exclusively; short frames are supported
+//! here as a documented extension.
+
+use crate::error::CodeError;
+use std::fmt;
+use std::str::FromStr;
+
+/// Number of information/parity nodes processed in parallel by the decoder
+/// hardware, and the fundamental period of the DVB-S2 code construction.
+///
+/// Every structural quantity of the code (`K`, `N-K`) is a multiple of this
+/// value, which is what makes the 360-way partly-parallel architecture of the
+/// paper possible.
+pub const PARALLELISM: usize = 360;
+
+/// The eleven LDPC code rates defined by DVB-S2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum CodeRate {
+    R1_4,
+    R1_3,
+    R2_5,
+    R1_2,
+    R3_5,
+    R2_3,
+    R3_4,
+    R4_5,
+    R5_6,
+    R8_9,
+    R9_10,
+}
+
+impl CodeRate {
+    /// All rates, in increasing order, as listed in Table 1 of the paper.
+    pub const ALL: [CodeRate; 11] = [
+        CodeRate::R1_4,
+        CodeRate::R1_3,
+        CodeRate::R2_5,
+        CodeRate::R1_2,
+        CodeRate::R3_5,
+        CodeRate::R2_3,
+        CodeRate::R3_4,
+        CodeRate::R4_5,
+        CodeRate::R5_6,
+        CodeRate::R8_9,
+        CodeRate::R9_10,
+    ];
+
+    /// Numerator and denominator of the nominal rate, e.g. `(2, 3)`.
+    ///
+    /// ```
+    /// use dvbs2_ldpc::CodeRate;
+    /// assert_eq!(CodeRate::R2_3.fraction(), (2, 3));
+    /// ```
+    pub fn fraction(self) -> (u32, u32) {
+        match self {
+            CodeRate::R1_4 => (1, 4),
+            CodeRate::R1_3 => (1, 3),
+            CodeRate::R2_5 => (2, 5),
+            CodeRate::R1_2 => (1, 2),
+            CodeRate::R3_5 => (3, 5),
+            CodeRate::R2_3 => (2, 3),
+            CodeRate::R3_4 => (3, 4),
+            CodeRate::R4_5 => (4, 5),
+            CodeRate::R5_6 => (5, 6),
+            CodeRate::R8_9 => (8, 9),
+            CodeRate::R9_10 => (9, 10),
+        }
+    }
+
+    /// Nominal rate as a float, e.g. `0.5` for `R1_2`.
+    pub fn as_f64(self) -> f64 {
+        let (num, den) = self.fraction();
+        f64::from(num) / f64::from(den)
+    }
+}
+
+impl fmt::Display for CodeRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (num, den) = self.fraction();
+        write!(f, "{num}/{den}")
+    }
+}
+
+impl FromStr for CodeRate {
+    type Err = CodeError;
+
+    /// Parses `"1/2"`, `"9/10"`, etc.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        CodeRate::ALL
+            .iter()
+            .copied()
+            .find(|r| r.to_string() == s)
+            .ok_or_else(|| CodeError::ParseRate(s.to_owned()))
+    }
+}
+
+/// DVB-S2 LDPC frame (codeword) sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FrameSize {
+    /// The 64 800-bit normal frame evaluated by the paper.
+    #[default]
+    Normal,
+    /// The 16 200-bit short frame (extension; not evaluated by the paper).
+    Short,
+}
+
+impl FrameSize {
+    /// Codeword length `N` in bits.
+    ///
+    /// ```
+    /// use dvbs2_ldpc::FrameSize;
+    /// assert_eq!(FrameSize::Normal.codeword_len(), 64_800);
+    /// assert_eq!(FrameSize::Short.codeword_len(), 16_200);
+    /// ```
+    pub fn codeword_len(self) -> usize {
+        match self {
+            FrameSize::Normal => 64_800,
+            FrameSize::Short => 16_200,
+        }
+    }
+}
+
+impl fmt::Display for FrameSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameSize::Normal => write!(f, "normal (64800)"),
+            FrameSize::Short => write!(f, "short (16200)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_round_trip_through_strings() {
+        for rate in CodeRate::ALL {
+            let s = rate.to_string();
+            assert_eq!(s.parse::<CodeRate>().unwrap(), rate);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_unknown_rate() {
+        assert!(matches!(
+            "7/8".parse::<CodeRate>(),
+            Err(CodeError::ParseRate(_))
+        ));
+    }
+
+    #[test]
+    fn rates_are_strictly_increasing() {
+        for pair in CodeRate::ALL.windows(2) {
+            assert!(pair[0].as_f64() < pair[1].as_f64());
+        }
+    }
+
+    #[test]
+    fn rate_span_matches_paper() {
+        // "ranging from R = 1/4 up to 9/10"
+        assert_eq!(CodeRate::ALL.first(), Some(&CodeRate::R1_4));
+        assert_eq!(CodeRate::ALL.last(), Some(&CodeRate::R9_10));
+        assert_eq!(CodeRate::ALL.len(), 11);
+    }
+
+    #[test]
+    fn frame_sizes_are_multiples_of_parallelism() {
+        assert_eq!(FrameSize::Normal.codeword_len() % PARALLELISM, 0);
+        assert_eq!(FrameSize::Short.codeword_len() % PARALLELISM, 0);
+    }
+}

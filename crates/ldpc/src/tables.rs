@@ -1,0 +1,359 @@
+//! Address tables describing the random (information) part of the DVB-S2
+//! parity-check matrix.
+//!
+//! The standard's Annex B/C list, for each group of 360 consecutive
+//! information bits, a row of base check-node addresses `x`. Bit `m` of a
+//! group then connects to check nodes
+//!
+//! ```text
+//! j = (x + q * (m mod 360)) mod (N - K)          (Eq. 2 of the paper)
+//! ```
+//!
+//! We do not ship the copyrighted annex tables; instead [`AddressTable::generate`]
+//! draws structurally identical tables deterministically from a seed (see
+//! DESIGN.md §2 for why this preserves every behaviour the paper evaluates).
+//! Two structural properties of the standard's tables are enforced:
+//!
+//! * **residue balance** — exactly `k - 2` entries fall in every residue
+//!   class mod `q`, so every check node has constant degree `k` and every
+//!   functional unit of the hardware processes the same number of edges
+//!   (the paper's Eq. 6 constraint);
+//! * optionally **girth ≥ 6** (no length-4 cycles through information or
+//!   parity nodes).
+
+use crate::error::CodeError;
+use crate::params::CodeParams;
+use crate::rate::PARALLELISM;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Options controlling synthetic address-table generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TableOptions {
+    /// RNG seed; tables are a pure function of `(params, options)`.
+    pub seed: u64,
+    /// Reject base addresses that would create length-4 cycles in the
+    /// Tanner graph (through information or parity nodes).
+    pub avoid_girth4: bool,
+}
+
+impl Default for TableOptions {
+    fn default() -> Self {
+        TableOptions { seed: 0x5D_B5_2D_05, avoid_girth4: true }
+    }
+}
+
+/// Base-address table: one row per information-node group, `d_v` entries per
+/// row, each in `[0, N-K)`.
+///
+/// ```
+/// use dvbs2_ldpc::{AddressTable, CodeParams, CodeRate, FrameSize};
+/// # fn main() -> Result<(), dvbs2_ldpc::CodeError> {
+/// let params = CodeParams::new(CodeRate::R1_2, FrameSize::Normal)?;
+/// let table = AddressTable::generate(&params, Default::default());
+/// assert_eq!(table.rows().len(), params.groups());
+/// table.validate(&params)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddressTable {
+    rows: Vec<Vec<u32>>,
+}
+
+impl AddressTable {
+    /// Generates a table for `params` with the given options.
+    ///
+    /// Deterministic: the same `(params, options)` always yields the same
+    /// table. Each row `g` receives `params.group_degree(g)` distinct base
+    /// addresses; with `avoid_girth4` the resulting Tanner graph has girth
+    /// at least 6.
+    pub fn generate(params: &CodeParams, options: TableOptions) -> Self {
+        let n_check = params.n_check as u32;
+        let q = params.q as u32;
+        let mut rng = SmallRng::seed_from_u64(
+            options.seed ^ ((params.rate as u64) << 32) ^ ((params.n as u64) << 8),
+        );
+        // Keys of all ordered in-group pairs seen so far:
+        // (x_i mod q, (x_i - x_j) mod N_check). A new pair colliding with an
+        // existing key closes a length-4 cycle through two information nodes.
+        let mut pair_keys: HashSet<(u32, u32)> = HashSet::new();
+        // Residue balance: each residue class mod q may receive exactly
+        // `check_degree - 2` entries so every check node ends up with
+        // constant degree (Eq. 6 of the paper). `slots` lists residues with
+        // remaining capacity, one occurrence per free slot.
+        let per_class = (params.check_degree - 2) as u32;
+        let mut slots: Vec<u32> = (0..q).flat_map(|r| std::iter::repeat_n(r, per_class as usize)).collect();
+        let mut rows = Vec::with_capacity(params.groups());
+
+        for g in 0..params.groups() {
+            let degree = params.group_degree(g);
+            let mut row: Vec<u32> = Vec::with_capacity(degree);
+            while row.len() < degree {
+                let slot = rng.random_range(0..slots.len());
+                let shift = rng.random_range(0..super::rate::PARALLELISM as u32);
+                let x = shift * q + slots[slot];
+                if options.avoid_girth4 {
+                    if !Self::candidate_ok(x, &row, n_check, q, &pair_keys) {
+                        continue;
+                    }
+                } else if row.contains(&x) {
+                    continue;
+                }
+                for &y in &row {
+                    pair_keys.insert((x % q, (n_check + x - y) % n_check));
+                    pair_keys.insert((y % q, (n_check + y - x) % n_check));
+                }
+                row.push(x);
+                slots.swap_remove(slot);
+            }
+            rows.push(row);
+        }
+        debug_assert!(slots.is_empty());
+        AddressTable { rows }
+    }
+
+    /// Tests whether adding `x` to the partially-built `row` keeps the
+    /// graph free of length-4 cycles.
+    fn candidate_ok(
+        x: u32,
+        row: &[u32],
+        n_check: u32,
+        q: u32,
+        pair_keys: &HashSet<(u32, u32)>,
+    ) -> bool {
+        for &y in row {
+            if x == y {
+                return false;
+            }
+            let d = (n_check + x - y) % n_check;
+            // A node adjacent to two consecutive checks forms a 4-cycle with
+            // the parity node between them.
+            if d == 1 || d == n_check - 1 {
+                return false;
+            }
+            // Difference of exactly half the cycle length pairs node t with
+            // node t+180 on the same two checks.
+            if 2 * d == n_check {
+                return false;
+            }
+            // A repeated (residue, difference) pair closes a 4-cycle with an
+            // earlier information-node pair.
+            if pair_keys.contains(&(x % q, d))
+                || pair_keys.contains(&(y % q, (n_check - d) % n_check))
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Builds a table from explicit rows (e.g. the standard's own annex
+    /// values, if available to the user).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::TableShape`] if the rows do not match `params`
+    /// (wrong row count, wrong row degree, or out-of-range address).
+    pub fn from_rows(params: &CodeParams, rows: Vec<Vec<u32>>) -> Result<Self, CodeError> {
+        let table = AddressTable { rows };
+        table.validate(params)?;
+        Ok(table)
+    }
+
+    /// The base-address rows, one per 360-bit information group.
+    pub fn rows(&self) -> &[Vec<u32>] {
+        &self.rows
+    }
+
+    /// Base addresses of group `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn row(&self, g: usize) -> &[u32] {
+        &self.rows[g]
+    }
+
+    /// Total number of base-address entries, equal to `E_IN / 360`
+    /// (the `Addr` column of Table 2).
+    pub fn entry_count(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+
+    /// Check-node indices of information bit `m` under Eq. 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m >= params.k`.
+    pub fn check_indices<'a>(
+        &'a self,
+        params: &CodeParams,
+        m: usize,
+    ) -> impl Iterator<Item = usize> + 'a {
+        assert!(m < params.k, "information bit {m} out of range");
+        let n_check = params.n_check;
+        let offset = params.q * (m % PARALLELISM);
+        self.rows[m / PARALLELISM]
+            .iter()
+            .map(move |&x| (x as usize + offset) % n_check)
+    }
+
+    /// Verifies that the table matches `params`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::TableShape`] describing the first mismatch found.
+    pub fn validate(&self, params: &CodeParams) -> Result<(), CodeError> {
+        if self.rows.len() != params.groups() {
+            return Err(CodeError::TableShape {
+                detail: format!("expected {} rows, got {}", params.groups(), self.rows.len()),
+            });
+        }
+        for (g, row) in self.rows.iter().enumerate() {
+            let want = params.group_degree(g);
+            if row.len() != want {
+                return Err(CodeError::TableShape {
+                    detail: format!("row {g}: expected degree {want}, got {}", row.len()),
+                });
+            }
+            let mut seen = HashSet::new();
+            for &x in row {
+                if x as usize >= params.n_check {
+                    return Err(CodeError::TableShape {
+                        detail: format!("row {g}: address {x} >= {}", params.n_check),
+                    });
+                }
+                if !seen.insert(x) {
+                    return Err(CodeError::TableShape {
+                        detail: format!("row {g}: duplicate address {x}"),
+                    });
+                }
+            }
+        }
+        if self.entry_count() != params.addr_entries() {
+            return Err(CodeError::TableShape {
+                detail: format!(
+                    "expected {} entries, got {}",
+                    params.addr_entries(),
+                    self.entry_count()
+                ),
+            });
+        }
+        // Residue balance guarantees constant check degree (Eq. 6).
+        let mut per_class = vec![0usize; params.q];
+        for row in &self.rows {
+            for &x in row {
+                per_class[x as usize % params.q] += 1;
+            }
+        }
+        if let Some(r) = per_class.iter().position(|&c| c != params.check_degree - 2) {
+            return Err(CodeError::TableShape {
+                detail: format!(
+                    "residue class {r} has {} entries, expected {}",
+                    per_class[r],
+                    params.check_degree - 2
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rate::{CodeRate, FrameSize};
+
+    fn params(rate: CodeRate) -> CodeParams {
+        CodeParams::new(rate, FrameSize::Normal).unwrap()
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = params(CodeRate::R1_2);
+        let a = AddressTable::generate(&p, TableOptions::default());
+        let b = AddressTable::generate(&p, TableOptions::default());
+        assert_eq!(a, b);
+        let c = AddressTable::generate(&p, TableOptions { seed: 1, ..Default::default() });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generated_tables_validate_for_all_rates() {
+        for rate in CodeRate::ALL {
+            let p = params(rate);
+            let t = AddressTable::generate(&p, TableOptions::default());
+            t.validate(&p).unwrap();
+            assert_eq!(t.entry_count(), p.addr_entries(), "rate {rate}");
+        }
+    }
+
+    #[test]
+    fn entry_count_matches_table2_for_r12() {
+        let p = params(CodeRate::R1_2);
+        let t = AddressTable::generate(&p, TableOptions::default());
+        assert_eq!(t.entry_count(), 450);
+    }
+
+    #[test]
+    fn check_indices_follow_eq2() {
+        let p = params(CodeRate::R1_2);
+        let t = AddressTable::generate(&p, TableOptions::default());
+        // Bit 0 of group 0: the base addresses themselves.
+        let got: Vec<usize> = t.check_indices(&p, 0).collect();
+        let want: Vec<usize> = t.row(0).iter().map(|&x| x as usize).collect();
+        assert_eq!(got, want);
+        // Bit 1: shifted by q.
+        let got: Vec<usize> = t.check_indices(&p, 1).collect();
+        let want: Vec<usize> = t.row(0).iter().map(|&x| (x as usize + p.q) % p.n_check).collect();
+        assert_eq!(got, want);
+        // First bit of group 1 uses row 1 unshifted.
+        let got: Vec<usize> = t.check_indices(&p, 360).collect();
+        let want: Vec<usize> = t.row(1).iter().map(|&x| x as usize).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn no_adjacent_check_pairs_when_conditioned() {
+        let p = params(CodeRate::R9_10); // densest case
+        let t = AddressTable::generate(&p, TableOptions::default());
+        for row in t.rows() {
+            for (i, &x) in row.iter().enumerate() {
+                for &y in &row[i + 1..] {
+                    let d = (p.n_check as u32 + x - y) % p.n_check as u32;
+                    assert!(d != 1 && d != p.n_check as u32 - 1);
+                    assert_ne!(2 * d as usize, p.n_check);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_rows_rejects_bad_shapes() {
+        let p = params(CodeRate::R1_2);
+        let t = AddressTable::generate(&p, TableOptions::default());
+        let mut rows = t.rows().to_vec();
+        rows[0].pop();
+        assert!(matches!(
+            AddressTable::from_rows(&p, rows),
+            Err(CodeError::TableShape { .. })
+        ));
+
+        let mut rows = t.rows().to_vec();
+        rows[5][0] = p.n_check as u32; // out of range
+        assert!(AddressTable::from_rows(&p, rows).is_err());
+
+        let mut rows = t.rows().to_vec();
+        rows[3][1] = rows[3][0]; // duplicate
+        assert!(AddressTable::from_rows(&p, rows).is_err());
+    }
+
+    #[test]
+    fn short_frame_generation_works() {
+        let p = CodeParams::new(CodeRate::R1_2, FrameSize::Short).unwrap();
+        let t = AddressTable::generate(&p, TableOptions::default());
+        t.validate(&p).unwrap();
+    }
+}

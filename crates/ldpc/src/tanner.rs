@@ -1,0 +1,404 @@
+//! Tanner-graph representation optimized for message-passing decoders.
+//!
+//! Decoders index messages by *edge*. This module flattens the bipartite
+//! graph into two views over a single edge numbering:
+//!
+//! * check-side: edges grouped contiguously by check node (`check_edges`),
+//!   with the variable endpoint of each edge in `var_of_edge`;
+//! * variable-side: for each variable node, the list of its edge ids
+//!   (`var_edges`).
+//!
+//! For DVB-S2 codes, within each check the information edges come first and
+//! the (up to two) parity edges last, which the zigzag decoder relies on.
+
+use crate::params::CodeParams;
+use crate::tables::AddressTable;
+
+/// A bipartite variable/check graph with a flat edge numbering.
+///
+/// ```
+/// use dvbs2_ldpc::TannerGraph;
+/// // A tiny 3-variable, 2-check graph: c0–{v0,v1}, c1–{v1,v2}.
+/// let g = TannerGraph::from_edges(3, 2, &[(0, 0), (0, 1), (1, 1), (1, 2)]);
+/// assert_eq!(g.edge_count(), 4);
+/// assert_eq!(g.var_degree(1), 2);
+/// assert_eq!(g.check_degree(0), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TannerGraph {
+    n_vars: usize,
+    n_checks: usize,
+    /// Number of information (systematic) variables; variables `>= info_len`
+    /// are parity variables. Equal to `n_vars` for generic graphs.
+    info_len: usize,
+    check_ptr: Vec<u32>,
+    var_of_edge: Vec<u32>,
+    var_ptr: Vec<u32>,
+    edge_of_var: Vec<u32>,
+}
+
+impl TannerGraph {
+    /// Builds a graph from `(check, var)` edge pairs.
+    ///
+    /// Edge ids follow the order of `edges` after a stable grouping by check
+    /// node (within one check, edges keep their relative order from `edges`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn from_edges(n_vars: usize, n_checks: usize, edges: &[(u32, u32)]) -> Self {
+        let mut counts = vec![0u32; n_checks + 1];
+        for &(c, v) in edges {
+            assert!((c as usize) < n_checks && (v as usize) < n_vars, "edge ({c},{v}) out of range");
+            counts[c as usize + 1] += 1;
+        }
+        for i in 1..=n_checks {
+            counts[i] += counts[i - 1];
+        }
+        let check_ptr = counts.clone();
+        let mut fill = counts;
+        let mut var_of_edge = vec![0u32; edges.len()];
+        for &(c, v) in edges {
+            var_of_edge[fill[c as usize] as usize] = v;
+            fill[c as usize] += 1;
+        }
+
+        let mut vcounts = vec![0u32; n_vars + 1];
+        for &v in &var_of_edge {
+            vcounts[v as usize + 1] += 1;
+        }
+        for i in 1..=n_vars {
+            vcounts[i] += vcounts[i - 1];
+        }
+        let var_ptr = vcounts.clone();
+        let mut vfill = vcounts;
+        let mut edge_of_var = vec![0u32; edges.len()];
+        for (e, &v) in var_of_edge.iter().enumerate() {
+            edge_of_var[vfill[v as usize] as usize] = e as u32;
+            vfill[v as usize] += 1;
+        }
+
+        TannerGraph {
+            n_vars,
+            n_checks,
+            info_len: n_vars,
+            check_ptr,
+            var_of_edge,
+            var_ptr,
+            edge_of_var,
+        }
+    }
+
+    /// Builds the Tanner graph of a DVB-S2 code. Information edges of every
+    /// check precede its parity edges, and `info_len` is set to `K`.
+    pub fn for_code(params: &CodeParams, table: &AddressTable) -> Self {
+        let mut edges = Vec::with_capacity(params.e_in() + params.e_pn());
+        for m in 0..params.k {
+            for j in table.check_indices(params, m) {
+                edges.push((j as u32, m as u32));
+            }
+        }
+        // Parity edges appended last so the stable grouping puts them at the
+        // end of each check's edge range.
+        for j in 0..params.n_check {
+            edges.push((j as u32, (params.k + j) as u32));
+            if j + 1 < params.n_check {
+                edges.push(((j + 1) as u32, (params.k + j) as u32));
+            }
+        }
+        let mut graph = Self::from_edges(params.n, params.n_check, &edges);
+        graph.info_len = params.k;
+        graph
+    }
+
+    /// Number of variable nodes.
+    pub fn var_count(&self) -> usize {
+        self.n_vars
+    }
+
+    /// Number of check nodes.
+    pub fn check_count(&self) -> usize {
+        self.n_checks
+    }
+
+    /// Total number of edges (= messages per half-iteration direction).
+    pub fn edge_count(&self) -> usize {
+        self.var_of_edge.len()
+    }
+
+    /// Number of information (systematic) variables; for DVB-S2 graphs this
+    /// is `K` and variables `K..N` are parity nodes.
+    pub fn info_len(&self) -> usize {
+        self.info_len
+    }
+
+    /// Edge-id range of check node `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= self.check_count()`.
+    #[inline]
+    pub fn check_edges(&self, c: usize) -> std::ops::Range<usize> {
+        self.check_ptr[c] as usize..self.check_ptr[c + 1] as usize
+    }
+
+    /// Variable endpoint of edge `e`.
+    #[inline]
+    pub fn var_of_edge(&self, e: usize) -> usize {
+        self.var_of_edge[e] as usize
+    }
+
+    /// Edge ids incident to variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= self.var_count()`.
+    #[inline]
+    pub fn var_edges(&self, v: usize) -> &[u32] {
+        &self.edge_of_var[self.var_ptr[v] as usize..self.var_ptr[v + 1] as usize]
+    }
+
+    /// Degree of variable node `v`.
+    pub fn var_degree(&self, v: usize) -> usize {
+        self.var_edges(v).len()
+    }
+
+    /// Degree of check node `c`.
+    pub fn check_degree(&self, c: usize) -> usize {
+        self.check_edges(c).len()
+    }
+
+    /// Histogram of variable degrees as `(degree, count)` pairs, ascending.
+    pub fn var_degree_histogram(&self) -> Vec<(usize, usize)> {
+        let mut hist = std::collections::BTreeMap::new();
+        for v in 0..self.n_vars {
+            *hist.entry(self.var_degree(v)).or_insert(0usize) += 1;
+        }
+        hist.into_iter().collect()
+    }
+
+    /// `true` if some length-4 cycle passes through variable `v` (two of its
+    /// checks share another variable).
+    pub fn has_4cycle_through(&self, v: usize) -> bool {
+        let checks: Vec<usize> = self
+            .var_edges(v)
+            .iter()
+            .map(|&e| self.check_of_edge(e as usize))
+            .collect();
+        for (i, &c1) in checks.iter().enumerate() {
+            for &c2 in &checks[i + 1..] {
+                let vars1: std::collections::HashSet<u32> = self.check_edges(c1)
+                    .map(|e| self.var_of_edge[e])
+                    .filter(|&u| u as usize != v)
+                    .collect();
+                if self
+                    .check_edges(c2)
+                    .map(|e| self.var_of_edge[e])
+                    .any(|u| u as usize != v && vars1.contains(&u))
+                {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// BFS cycle estimate rooted at variable `v`: the length of the first
+    /// cycle the search closes, if at most `cap` (bipartite graphs only
+    /// have even cycles: 4, 6, 8, …).
+    ///
+    /// Exact for length-4 detection (a return of `Some(4)` iff a 4-cycle
+    /// passes through `v`); for longer cycles the value is an upper bound
+    /// on the graph girth (search paths may share a prefix). The minimum
+    /// over all roots is the exact girth — the standard LDPC girth
+    /// computation.
+    pub fn local_girth(&self, v: usize, cap: usize) -> Option<usize> {
+        let n_vars = self.n_vars;
+        let total = n_vars + self.n_checks;
+        let mut dist = vec![u32::MAX; total];
+        let mut entry_edge = vec![u32::MAX; total];
+        let mut queue = std::collections::VecDeque::new();
+        dist[v] = 0;
+        queue.push_back(v);
+        let mut best: Option<usize> = None;
+
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u] as usize;
+            if 2 * du >= best.unwrap_or(cap + 1) {
+                break;
+            }
+            // Neighbors of u with the edge used to reach them.
+            let neighbors: Vec<(usize, u32)> = if u < n_vars {
+                self.var_edges(u)
+                    .iter()
+                    .map(|&e| (n_vars + self.check_of_edge(e as usize), e))
+                    .collect()
+            } else {
+                self.check_edges(u - n_vars)
+                    .map(|e| (self.var_of_edge(e), e as u32))
+                    .collect()
+            };
+            for (w, e) in neighbors {
+                if e == entry_edge[u] {
+                    continue;
+                }
+                if dist[w] == u32::MAX {
+                    dist[w] = du as u32 + 1;
+                    entry_edge[w] = e;
+                    queue.push_back(w);
+                } else {
+                    let cycle = du + dist[w] as usize + 1;
+                    if cycle <= cap && best.is_none_or(|b| cycle < b) {
+                        best = Some(cycle);
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Check endpoint of edge `e` (binary search over the check ranges).
+    pub fn check_of_edge(&self, e: usize) -> usize {
+        debug_assert!(e < self.edge_count());
+        match self.check_ptr.binary_search(&(e as u32)) {
+            Ok(mut c) => {
+                // Skip empty checks that share the same offset.
+                while self.check_ptr[c + 1] as usize == e {
+                    c += 1;
+                }
+                c
+            }
+            Err(i) => i - 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rate::{CodeRate, FrameSize};
+    use crate::tables::TableOptions;
+
+    fn graph(rate: CodeRate) -> (CodeParams, TannerGraph) {
+        let p = CodeParams::new(rate, FrameSize::Normal).unwrap();
+        let t = AddressTable::generate(&p, TableOptions::default());
+        (p, TannerGraph::for_code(&p, &t))
+    }
+
+    #[test]
+    fn counts_match_params() {
+        let (p, g) = graph(CodeRate::R9_10);
+        assert_eq!(g.var_count(), p.n);
+        assert_eq!(g.check_count(), p.n_check);
+        assert_eq!(g.edge_count(), p.e_in() + p.e_pn());
+        assert_eq!(g.info_len(), p.k);
+    }
+
+    #[test]
+    fn degree_histogram_matches_table1() {
+        let (p, g) = graph(CodeRate::R9_10);
+        let hist = g.var_degree_histogram();
+        // Degree 1: the last parity node. Degree 2: the other parity nodes.
+        // Degree 3 and the high degree: information classes.
+        let lookup = |d: usize| hist.iter().find(|&&(deg, _)| deg == d).map_or(0, |&(_, c)| c);
+        assert_eq!(lookup(1), 1);
+        assert_eq!(lookup(2), p.n_check - 1);
+        assert_eq!(lookup(3), p.lo.count);
+        assert_eq!(lookup(p.hi.degree), p.hi.count);
+    }
+
+    #[test]
+    fn parity_edges_are_last_in_each_check() {
+        let (p, g) = graph(CodeRate::R8_9);
+        for c in [0usize, 1, p.n_check / 2, p.n_check - 1] {
+            let range = g.check_edges(c);
+            let vars: Vec<usize> = range.map(|e| g.var_of_edge(e)).collect();
+            let n_parity = vars.iter().filter(|&&v| v >= p.k).count();
+            assert_eq!(n_parity, if c == 0 { 1 } else { 2 }, "check {c}");
+            // Parity endpoints occupy the tail of the range.
+            for &v in &vars[vars.len() - n_parity..] {
+                assert!(v >= p.k);
+            }
+            for &v in &vars[..vars.len() - n_parity] {
+                assert!(v < p.k);
+            }
+        }
+    }
+
+    #[test]
+    fn check_of_edge_inverts_check_edges() {
+        let (_, g) = graph(CodeRate::R9_10);
+        for c in (0..g.check_count()).step_by(997) {
+            for e in g.check_edges(c) {
+                assert_eq!(g.check_of_edge(e), c);
+            }
+        }
+    }
+
+    #[test]
+    fn var_edges_are_consistent_with_check_side() {
+        let (_, g) = graph(CodeRate::R8_9);
+        for v in (0..g.var_count()).step_by(1009) {
+            for &e in g.var_edges(v) {
+                assert_eq!(g.var_of_edge(e as usize), v);
+            }
+        }
+    }
+
+    #[test]
+    fn conditioned_code_has_no_4cycles_sampled() {
+        let (_, g) = graph(CodeRate::R9_10);
+        for v in (0..g.var_count()).step_by(2003) {
+            assert!(!g.has_4cycle_through(v), "4-cycle through variable {v}");
+        }
+    }
+
+    #[test]
+    fn local_girth_agrees_with_pairwise_4cycle_check() {
+        let (_, g) = graph(CodeRate::R9_10);
+        for v in (0..g.var_count()).step_by(4001) {
+            assert_eq!(g.local_girth(v, 4).is_some(), g.has_4cycle_through(v), "var {v}");
+        }
+    }
+
+    #[test]
+    fn local_girth_finds_cycles_in_a_known_graph() {
+        // A 6-cycle: v0-c0-v1-c1-v2-c2-v0.
+        let g = TannerGraph::from_edges(
+            3,
+            3,
+            &[(0, 0), (0, 1), (1, 1), (1, 2), (2, 2), (2, 0)],
+        );
+        assert_eq!(g.local_girth(0, 10), Some(6));
+        assert_eq!(g.local_girth(0, 4), None);
+        // A tree has no cycles at all.
+        let tree = TannerGraph::from_edges(3, 2, &[(0, 0), (0, 1), (1, 1), (1, 2)]);
+        assert_eq!(tree.local_girth(0, 100), None);
+    }
+
+    #[test]
+    fn unconditioned_tables_contain_4cycles() {
+        use crate::tables::TableOptions;
+        let p = CodeParams::new(CodeRate::R9_10, FrameSize::Normal).unwrap();
+        let t = AddressTable::generate(
+            &p,
+            TableOptions { avoid_girth4: false, seed: 7 },
+        );
+        let g = TannerGraph::for_code(&p, &t);
+        let found = (0..g.var_count())
+            .step_by(431)
+            .any(|v| g.local_girth(v, 4) == Some(4));
+        assert!(found, "a dense unconditioned code should show sampled 4-cycles");
+    }
+
+    #[test]
+    fn generic_graph_from_edges() {
+        let g = TannerGraph::from_edges(4, 2, &[(0, 0), (0, 1), (1, 1), (1, 2), (1, 3)]);
+        assert_eq!(g.check_degree(0), 2);
+        assert_eq!(g.check_degree(1), 3);
+        assert_eq!(g.var_degree(1), 2);
+        assert_eq!(g.var_degree(0), 1);
+        assert_eq!(g.check_of_edge(0), 0);
+        assert_eq!(g.check_of_edge(4), 1);
+    }
+}

@@ -1,0 +1,78 @@
+//! Property-based tests for the DVB-S2 code construction.
+
+use dvbs2_ldpc::{
+    AddressTable, BitVec, CodeParams, CodeRate, DvbS2Code, Encoder, FrameSize, TableOptions,
+    PARALLELISM,
+};
+use proptest::prelude::*;
+
+fn any_rate() -> impl Strategy<Value = CodeRate> {
+    prop::sample::select(CodeRate::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every structural identity of Table 1/2 holds for every rate and both
+    /// frame sizes.
+    #[test]
+    fn params_identities(rate in any_rate(), short in any::<bool>()) {
+        let frame = if short { FrameSize::Short } else { FrameSize::Normal };
+        let Ok(p) = CodeParams::new(rate, frame) else {
+            // Only 9/10-short is undefined.
+            prop_assert!(short && rate == CodeRate::R9_10);
+            return Ok(());
+        };
+        prop_assert!(p.is_consistent());
+        prop_assert_eq!(p.e_in(), p.n_check * (p.check_degree - 2));
+        prop_assert_eq!(p.e_pn(), 2 * p.n_check - 1);
+        prop_assert_eq!(p.addr_entries() , p.q * (p.check_degree - 2));
+        prop_assert_eq!(p.groups() * PARALLELISM, p.k);
+    }
+
+    /// Table generation with arbitrary seeds always validates and stays
+    /// girth-4 free at the base-address level.
+    #[test]
+    fn tables_validate_for_any_seed(seed in any::<u64>()) {
+        let p = CodeParams::new(CodeRate::R9_10, FrameSize::Normal).unwrap();
+        let t = AddressTable::generate(&p, TableOptions { seed, avoid_girth4: true });
+        prop_assert!(t.validate(&p).is_ok());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Encoder linearity: encode(a ^ b) == encode(a) ^ encode(b), and every
+    /// output is a codeword of H.
+    #[test]
+    fn encoder_is_linear_and_valid(seed in any::<u64>()) {
+        use rand::{SeedableRng, rngs::SmallRng};
+        let code = DvbS2Code::new(CodeRate::R9_10, FrameSize::Normal).unwrap();
+        let enc: Encoder = code.encoder().unwrap();
+        let h = code.parity_check_matrix();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a = enc.random_message(&mut rng);
+        let b = enc.random_message(&mut rng);
+        let ca = enc.encode(&a).unwrap();
+        let cb = enc.encode(&b).unwrap();
+        prop_assert!(h.is_codeword(&ca));
+        prop_assert!(h.is_codeword(&cb));
+        let mut ab = a.clone();
+        ab ^= &b;
+        let mut sum = ca.clone();
+        sum ^= &cb;
+        prop_assert_eq!(enc.encode(&ab).unwrap(), sum);
+    }
+
+    /// BitVec push/get/count agree with a plain Vec<bool> model.
+    #[test]
+    fn bitvec_models_vec_of_bool(bits in prop::collection::vec(any::<bool>(), 0..300)) {
+        let v: BitVec = bits.iter().copied().collect();
+        prop_assert_eq!(v.len(), bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            prop_assert_eq!(v.get(i), b);
+        }
+        prop_assert_eq!(v.count_ones(), bits.iter().filter(|&&b| b).count());
+    }
+}

@@ -1,0 +1,61 @@
+//! The complete DVB-S2 FEC chain: outer BCH + inner LDPC, as the standard
+//! deploys the paper's decoder. Near the LDPC threshold, frames that leave
+//! the iterative decoder with a handful of residual bit errors are cleaned
+//! by the algebraic BCH stage.
+//!
+//! Run with: `cargo run --release --example fec_chain`
+
+use dvbs2::channel::{noise_sigma, AwgnChannel, Modulation};
+use dvbs2::ldpc::{CodeRate, FrameSize};
+use dvbs2::{FecChain, SystemConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut chain = FecChain::new(SystemConfig {
+        rate: CodeRate::R1_2,
+        frame: FrameSize::Short,
+        ..SystemConfig::default()
+    })?;
+    println!(
+        "DVB-S2 FEC chain: {} data bits -> BCH({}, {}) t={} -> LDPC({}, {})",
+        chain.data_len(),
+        chain.ldpc().params().k,
+        chain.data_len(),
+        12,
+        chain.frame_len(),
+        chain.ldpc().params().k,
+    );
+    println!("Overall rate: {:.4}\n", chain.rate());
+
+    let ebn0_db = 1.05; // just above the LDPC threshold
+    let mut rng = SmallRng::seed_from_u64(22);
+    let mut stats = (0usize, 0usize, 0usize, 0usize); // clean, bch-fixed, fail-flagged, wrong
+    let frames = 40;
+    for _ in 0..frames {
+        let data = chain.random_data(&mut rng);
+        let frame = chain.encode(&data)?;
+        let mut samples = Modulation::Bpsk.modulate(&frame);
+        let sigma = noise_sigma(ebn0_db, chain.rate());
+        AwgnChannel::new(sigma).corrupt(&mut rng, &mut samples);
+        let llrs = Modulation::Bpsk.demap(&samples, sigma);
+
+        let out = chain.decode(&llrs);
+        match out.bch_corrected {
+            Some(0) if out.data == data => stats.0 += 1,
+            Some(_) if out.data == data => stats.1 += 1,
+            None => stats.2 += 1,
+            _ => stats.3 += 1,
+        }
+    }
+    println!("At Eb/N0 = {ebn0_db} dB over {frames} frames:");
+    println!("  clean after LDPC:          {}", stats.0);
+    println!("  rescued by BCH (1..=12 errors): {}", stats.1);
+    println!("  flagged uncorrectable:     {}", stats.2);
+    println!("  undetected wrong:          {}", stats.3);
+    println!(
+        "\nThe outer BCH code converts near-threshold residual errors into either clean \
+         frames or flagged failures — the quasi-error-free behaviour DVB-S2 requires."
+    );
+    Ok(())
+}

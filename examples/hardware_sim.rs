@@ -1,0 +1,68 @@
+//! Drive the cycle-accurate IP-core model end to end: anneal the memory
+//! schedule, decode a noisy frame, and print the measured cycles against
+//! the paper's Eq. 8 model plus the Table 3 area report.
+//!
+//! Run with: `cargo run --release --example hardware_sim`
+
+use dvbs2::hardware::{
+    optimize_schedule, AnnealOptions, AreaModel, ConnectivityRom, CoreConfig, HardwareDecoder,
+    MemoryConfig, ThroughputModel, ST_0_13_UM,
+};
+use dvbs2::ldpc::{CodeRate, DvbS2Code, FrameSize};
+use dvbs2::{Dvbs2System, SystemConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let rate = CodeRate::R1_2;
+    let frame = FrameSize::Normal;
+    let code = DvbS2Code::new(rate, frame)?;
+    let params = *code.params();
+    println!("Cycle-accurate IP core, rate {} {} frame", rate, frame);
+
+    // 1. Anneal the check-phase schedule against the 4-bank memory.
+    let rom = ConnectivityRom::build(&params, code.table());
+    let anneal = optimize_schedule(&rom, MemoryConfig::default(), AnnealOptions::default());
+    println!(
+        "\nSchedule annealing:  buffer {} -> {} wide words, drain {} -> {} cycles",
+        anneal.baseline.max_buffer,
+        anneal.optimized.max_buffer,
+        anneal.baseline.total_cycles - anneal.baseline.read_cycles,
+        anneal.optimized.total_cycles - anneal.optimized.read_cycles,
+    );
+
+    // 2. Decode one noisy frame on the timed core.
+    let system = Dvbs2System::new(SystemConfig { rate, frame, ..SystemConfig::default() })?;
+    let mut rng = SmallRng::seed_from_u64(42);
+    let tx = system.transmit_frame(&mut rng, 1.4);
+    let mut hw = HardwareDecoder::new(&code, anneal.schedule, CoreConfig::default());
+    let out = hw.decode(&tx.llrs);
+    let errors = out.result.bits.hamming_distance(&tx.codeword);
+    println!(
+        "\nDecoded frame: {} iterations, {} bit errors, converged: {}",
+        out.result.iterations, errors, out.result.converged
+    );
+    println!(
+        "Measured cycles: {} total = {} I/O + {} info-phase + {} check-phase (max buffer {})",
+        out.cycles.total_cycles,
+        out.cycles.io_cycles,
+        out.cycles.info_phase_cycles,
+        out.cycles.check_phase_cycles,
+        out.cycles.max_buffer
+    );
+
+    // 3. Compare against the analytic Eq. 8 model at 270 MHz.
+    let model = ThroughputModel::paper(&ST_0_13_UM);
+    println!(
+        "\nThroughput @ {} MHz: measured {:.1} Mbit/s, Eq. 8 model {:.1} Mbit/s \
+         (paper requirement: 255 Mbit/s)",
+        model.clock_mhz,
+        out.cycles.throughput_mbps(model.clock_mhz, params.k),
+        model.throughput_mbps(&params)
+    );
+
+    // 4. Table 3: the area report of the multi-rate core.
+    println!("\nArea report ({}):", ST_0_13_UM.name);
+    print!("{}", AreaModel::paper().report(frame));
+    Ok(())
+}

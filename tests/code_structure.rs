@@ -1,0 +1,135 @@
+//! Figure 1 / Table 1 structural invariants across every code rate:
+//! the IN/PN split, degree classes, zigzag chain, and the consistency of
+//! matrix, graph and ROM views of the same code.
+
+use dvbs2::hardware::ConnectivityRom;
+use dvbs2::ldpc::{BitVec, CodeRate, DvbS2Code, FrameSize, PARALLELISM};
+
+#[test]
+fn all_normal_rates_build_and_validate() {
+    for rate in CodeRate::ALL {
+        let code = DvbS2Code::new(rate, FrameSize::Normal).unwrap();
+        let p = code.params();
+        assert!(p.is_consistent(), "{rate}");
+        code.table().validate(p).unwrap();
+    }
+}
+
+#[test]
+fn matrix_and_graph_agree_for_every_rate() {
+    for rate in CodeRate::ALL {
+        let code = DvbS2Code::new(rate, FrameSize::Normal).unwrap();
+        let p = code.params();
+        let h = code.parity_check_matrix();
+        let g = code.tanner_graph();
+        assert_eq!(h.nnz(), g.edge_count(), "{rate}");
+        assert_eq!(h.nnz(), p.e_in() + p.e_pn(), "{rate}");
+        assert!(!h.has_duplicate_entries(), "{rate}");
+        // Constant check degree (k), except the accumulator head.
+        assert_eq!(g.check_degree(0), p.check_degree - 1, "{rate}");
+        for c in [1, p.n_check / 3, p.n_check - 1] {
+            assert_eq!(g.check_degree(c), p.check_degree, "{rate} check {c}");
+        }
+    }
+}
+
+#[test]
+fn parity_chain_is_a_zigzag() {
+    let code = DvbS2Code::new(CodeRate::R3_4, FrameSize::Normal).unwrap();
+    let p = code.params();
+    let g = code.tanner_graph();
+    // Parity node j (variable K+j) connects exactly checks j and j+1.
+    for j in [0usize, 1, p.n_check / 2, p.n_check - 2] {
+        let v = p.k + j;
+        let checks: Vec<usize> = g
+            .var_edges(v)
+            .iter()
+            .map(|&e| g.check_of_edge(e as usize))
+            .collect();
+        assert_eq!(checks.len(), 2, "PN {j}");
+        assert!(checks.contains(&j) && checks.contains(&(j + 1)), "PN {j}: {checks:?}");
+    }
+    // The last parity node has degree 1.
+    assert_eq!(g.var_degree(p.n - 1), 1);
+}
+
+#[test]
+fn degree_classes_match_table1_exactly() {
+    for rate in [CodeRate::R1_4, CodeRate::R1_2, CodeRate::R2_3, CodeRate::R9_10] {
+        let code = DvbS2Code::new(rate, FrameSize::Normal).unwrap();
+        let p = code.params();
+        let g = code.tanner_graph();
+        let hist = g.var_degree_histogram();
+        let count = |d: usize| hist.iter().find(|&&(deg, _)| deg == d).map_or(0, |&(_, c)| c);
+        assert_eq!(count(p.hi.degree), p.hi.count, "{rate}");
+        assert_eq!(count(3), p.lo.count, "{rate}");
+        assert_eq!(count(2), p.n_check - 1, "{rate}");
+        assert_eq!(count(1), 1, "{rate}");
+    }
+}
+
+#[test]
+fn rom_reconstructs_the_tanner_graph() {
+    // Walking the ROM's (word, shift, residue) entries must produce exactly
+    // the information edges of the Tanner graph.
+    let code = DvbS2Code::new(CodeRate::R8_9, FrameSize::Normal).unwrap();
+    let p = code.params();
+    let rom = ConnectivityRom::build(p, code.table());
+    let g = code.tanner_graph();
+
+    let mut rom_edges = Vec::new();
+    for r in 0..rom.row_count() {
+        for &w in rom.row(r) {
+            let e = rom.entry(w as usize);
+            for u in 0..PARALLELISM {
+                let t = (u + PARALLELISM - e.shift as usize) % PARALLELISM;
+                let m = e.group as usize * PARALLELISM + t;
+                let check = u * p.q + r;
+                rom_edges.push((check as u32, m as u32));
+            }
+        }
+    }
+    let mut graph_edges = Vec::new();
+    for c in 0..g.check_count() {
+        for e in g.check_edges(c) {
+            let v = g.var_of_edge(e);
+            if v < p.k {
+                graph_edges.push((c as u32, v as u32));
+            }
+        }
+    }
+    rom_edges.sort_unstable();
+    graph_edges.sort_unstable();
+    assert_eq!(rom_edges, graph_edges);
+}
+
+#[test]
+fn encoded_words_satisfy_every_rate() {
+    use rand::{rngs::SmallRng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(99);
+    for rate in CodeRate::ALL {
+        let code = DvbS2Code::new(rate, FrameSize::Normal).unwrap();
+        let enc = code.encoder().unwrap();
+        let h = code.parity_check_matrix();
+        let cw = enc.encode(&enc.random_message(&mut rng)).unwrap();
+        assert!(h.is_codeword(&cw), "{rate}");
+    }
+}
+
+#[test]
+fn minimum_distance_smoke_no_tiny_codewords() {
+    // A girth-conditioned LDPC code must not have weight-1 or weight-2
+    // codewords; check via syndromes of all weight-1 and sampled weight-2
+    // words (exhaustive weight-2 would be N^2).
+    let code = DvbS2Code::new(CodeRate::R8_9, FrameSize::Short).unwrap();
+    let h = code.parity_check_matrix();
+    let n = code.params().n;
+    for i in (0..n).step_by(997) {
+        let mut w = BitVec::zeros(n);
+        w.set(i, true);
+        assert!(!h.is_codeword(&w), "weight-1 codeword at {i}");
+        let mut w2 = w.clone();
+        w2.set((i + 31) % n, true);
+        assert!(!h.is_codeword(&w2), "weight-2 codeword at {i}");
+    }
+}

@@ -1,0 +1,71 @@
+//! Cross-crate property tests: the full encode→channel→decode chain under
+//! randomized seeds, rates and SNRs.
+
+use dvbs2::decoder::Quantizer;
+use dvbs2::ldpc::{CodeRate, FrameSize};
+use dvbs2::{DecoderKind, Dvbs2System, SystemConfig};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn short_rates() -> impl Strategy<Value = CodeRate> {
+    prop::sample::select(vec![
+        CodeRate::R1_4,
+        CodeRate::R1_2,
+        CodeRate::R2_3,
+        CodeRate::R4_5,
+        CodeRate::R8_9,
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// At generous SNR every decoder recovers every random frame exactly.
+    #[test]
+    fn high_snr_frames_always_decode(rate in short_rates(), seed in any::<u64>()) {
+        let sys = Dvbs2System::new(SystemConfig {
+            rate,
+            frame: FrameSize::Short,
+            decoder: DecoderKind::Zigzag,
+            ..SystemConfig::default()
+        }).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let frame = sys.transmit_frame(&mut rng, 7.0);
+        let out = sys.make_decoder().decode(&frame.llrs);
+        prop_assert!(out.converged);
+        prop_assert_eq!(out.bits, frame.codeword);
+    }
+
+    /// Decoding is a pure function of the LLRs: two decoder instances give
+    /// identical results.
+    #[test]
+    fn decoding_is_deterministic(seed in any::<u64>()) {
+        let sys = Dvbs2System::new(SystemConfig {
+            frame: FrameSize::Short,
+            decoder: DecoderKind::Quantized(Quantizer::paper_6bit()),
+            ..SystemConfig::default()
+        }).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let frame = sys.transmit_frame(&mut rng, 1.5);
+        let a = sys.make_decoder().decode(&frame.llrs);
+        let b = sys.make_decoder().decode(&frame.llrs);
+        prop_assert_eq!(a, b);
+    }
+
+    /// A decoder reporting convergence always returns a valid codeword.
+    #[test]
+    fn converged_implies_codeword(seed in any::<u64>(), ebn0 in 0.0..4.0f64) {
+        let sys = Dvbs2System::new(SystemConfig {
+            frame: FrameSize::Short,
+            ..SystemConfig::default()
+        }).unwrap();
+        let h = sys.code().parity_check_matrix();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let frame = sys.transmit_frame(&mut rng, ebn0);
+        let out = sys.make_decoder().decode(&frame.llrs);
+        if out.converged {
+            prop_assert!(h.is_codeword(&out.bits));
+        }
+    }
+}

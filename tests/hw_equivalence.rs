@@ -1,0 +1,152 @@
+//! RTL-style verification of the cycle-accurate core: bit-exactness against
+//! the golden model under annealed schedules, non-default memory
+//! configurations, early stop, and across rates — plus agreement with the
+//! algorithmic fixed-point decoder on decodable frames.
+
+use dvbs2::decoder::{Decoder, DecoderConfig, Quantizer, QuantizedZigzagDecoder};
+use dvbs2::hardware::{
+    optimize_schedule, AnnealOptions, CnSchedule, ConnectivityRom, CoreConfig, GoldenModel,
+    HardwareDecoder, MemoryConfig, TestVectorSet,
+};
+use dvbs2::ldpc::{CodeRate, DvbS2Code, FrameSize};
+use dvbs2::{Dvbs2System, SystemConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn noisy_channel(code: &DvbS2Code, ebn0_db: f64, seed: u64) -> (dvbs2::ldpc::BitVec, Vec<f64>) {
+    let sys = Dvbs2System::new(SystemConfig {
+        rate: code.params().rate,
+        frame: code.params().frame,
+        ..SystemConfig::default()
+    })
+    .unwrap();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let frame = sys.transmit_frame(&mut rng, ebn0_db);
+    (frame.codeword, frame.llrs)
+}
+
+#[test]
+fn timed_core_is_bit_exact_for_every_short_rate() {
+    for rate in CodeRate::ALL.into_iter().filter(|&r| r != CodeRate::R9_10) {
+        let code = DvbS2Code::new(rate, FrameSize::Short).unwrap();
+        let rom = ConnectivityRom::build(code.params(), code.table());
+        let schedule = CnSchedule::natural(&rom);
+        let config = CoreConfig { max_iterations: 8, ..CoreConfig::default() };
+        let mut hw = HardwareDecoder::new(&code, schedule.clone(), config);
+        let mut golden = GoldenModel::new(&code, schedule, config.quantizer, 8, false);
+        let (_, llrs) = noisy_channel(&code, 2.0, 100 + rate as u64);
+        let channel = hw.quantize_channel(&llrs);
+        assert_eq!(hw.decode_quantized(&channel).result, golden.decode_quantized(&channel), "{rate}");
+    }
+}
+
+#[test]
+fn timed_core_is_bit_exact_on_a_normal_frame() {
+    let code = DvbS2Code::new(CodeRate::R1_2, FrameSize::Normal).unwrap();
+    let rom = ConnectivityRom::build(code.params(), code.table());
+    let schedule = optimize_schedule(
+        &rom,
+        MemoryConfig::default(),
+        AnnealOptions { moves: 300, ..AnnealOptions::default() },
+    )
+    .schedule;
+    let config =
+        CoreConfig { max_iterations: 30, early_stop: true, ..CoreConfig::default() };
+    let mut hw = HardwareDecoder::new(&code, schedule.clone(), config);
+    let mut golden = GoldenModel::new(&code, schedule, config.quantizer, 30, true);
+    let (cw, llrs) = noisy_channel(&code, 1.4, 77);
+    let channel = hw.quantize_channel(&llrs);
+    let hw_out = hw.decode_quantized(&channel);
+    assert_eq!(hw_out.result, golden.decode_quantized(&channel));
+    assert_eq!(hw_out.result.bits, cw);
+}
+
+#[test]
+fn bit_exact_under_unusual_memory_configurations() {
+    let code = DvbS2Code::new(CodeRate::R1_2, FrameSize::Short).unwrap();
+    let rom = ConnectivityRom::build(code.params(), code.table());
+    let schedule = CnSchedule::natural(&rom);
+    let (_, llrs) = noisy_channel(&code, 2.4, 5);
+    for memory in [
+        MemoryConfig { banks: 1, write_ports: 1, fu_latency: 3 },
+        MemoryConfig { banks: 2, write_ports: 1, fu_latency: 9 },
+        MemoryConfig { banks: 8, write_ports: 3, fu_latency: 1 },
+    ] {
+        let config = CoreConfig { memory, max_iterations: 6, ..CoreConfig::default() };
+        let mut hw = HardwareDecoder::new(&code, schedule.clone(), config);
+        let mut golden = GoldenModel::new(&code, schedule.clone(), config.quantizer, 6, false);
+        let channel = hw.quantize_channel(&llrs);
+        // Timing configuration must never change the data.
+        assert_eq!(
+            hw.decode_quantized(&channel).result,
+            golden.decode_quantized(&channel),
+            "{memory:?}"
+        );
+    }
+}
+
+#[test]
+fn fewer_banks_cost_more_buffer_and_cycles() {
+    let code = DvbS2Code::new(CodeRate::R1_2, FrameSize::Short).unwrap();
+    let (_, llrs) = noisy_channel(&code, 2.4, 8);
+    let run = |banks: usize| {
+        let config = CoreConfig {
+            memory: MemoryConfig { banks, ..MemoryConfig::default() },
+            max_iterations: 5,
+            ..CoreConfig::default()
+        };
+        let mut hw = HardwareDecoder::with_natural_schedule(&code, config);
+        hw.decode(&llrs).cycles
+    };
+    let one = run(1);
+    let four = run(4);
+    assert!(one.max_buffer >= four.max_buffer, "{one:?} vs {four:?}");
+    assert!(one.total_cycles >= four.total_cycles);
+}
+
+#[test]
+fn hardware_core_agrees_with_algorithmic_decoder_on_decoded_frames() {
+    let code = DvbS2Code::new(CodeRate::R1_2, FrameSize::Short).unwrap();
+    let graph = Arc::new(code.tanner_graph());
+    let mut ideal = QuantizedZigzagDecoder::new(
+        graph,
+        Quantizer::paper_6bit(),
+        DecoderConfig::default(),
+    );
+    let mut hw = HardwareDecoder::with_natural_schedule(
+        &code,
+        CoreConfig { early_stop: true, ..CoreConfig::default() },
+    );
+    for seed in 0..3 {
+        let (cw, llrs) = noisy_channel(&code, 3.2, 600 + seed);
+        let hw_bits = hw.decode(&llrs).result.bits;
+        let ideal_bits = ideal.decode(&llrs).bits;
+        assert_eq!(hw_bits, cw, "seed {seed}");
+        assert_eq!(ideal_bits, cw, "seed {seed}");
+    }
+}
+
+#[test]
+fn generated_test_vectors_replay_on_the_core() {
+    let set = TestVectorSet::generate(
+        CodeRate::R2_3,
+        FrameSize::Short,
+        Quantizer::paper_6bit(),
+        2,
+        4.2,
+        2024,
+    );
+    let code = DvbS2Code::new(set.rate, set.frame).unwrap();
+    let mut hw = HardwareDecoder::with_natural_schedule(
+        &code,
+        CoreConfig { early_stop: true, ..CoreConfig::default() },
+    );
+    let text = set.to_text();
+    let parsed = TestVectorSet::parse(&text).unwrap();
+    for (i, frame) in parsed.frames.iter().enumerate() {
+        let out = hw.decode_quantized(&frame.channel);
+        assert_eq!(out.result.bits, frame.expected_bits, "frame {i}");
+        assert_eq!(out.result.iterations, frame.expected_iterations, "frame {i}");
+    }
+}

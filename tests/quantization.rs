@@ -1,0 +1,58 @@
+//! Section 2.1 quantization behaviour: 6-bit messages track the float
+//! decoder closely; 5-bit messages degrade more. (The dB-level losses are
+//! measured by the `quantization` bench; these tests pin the ordering.)
+
+use dvbs2::channel::StopRule;
+use dvbs2::decoder::Quantizer;
+use dvbs2::ldpc::{CodeRate, FrameSize};
+use dvbs2::{DecoderKind, Dvbs2System, SystemConfig};
+
+fn system(decoder: DecoderKind) -> Dvbs2System {
+    Dvbs2System::new(SystemConfig {
+        rate: CodeRate::R1_2,
+        frame: FrameSize::Short,
+        decoder,
+        ..SystemConfig::default()
+    })
+    .unwrap()
+}
+
+#[test]
+fn six_bit_quantization_is_nearly_transparent() {
+    // At an SNR where the float decoder is reliable, the 6-bit decoder must
+    // also clear every frame ("total quantization loss is 0.1 dB").
+    let float_sys = system(DecoderKind::Zigzag);
+    let q6_sys = system(DecoderKind::Quantized(Quantizer::paper_6bit()));
+    let stop = StopRule::frames(12);
+    let f = float_sys.simulate_ber(2.8, stop, 2);
+    let q = q6_sys.simulate_ber(2.8, stop, 2);
+    assert_eq!(f.frame_errors, 0, "float baseline must be clean at 2.8 dB");
+    assert_eq!(q.frame_errors, 0, "6-bit decoder must match at 2.8 dB");
+}
+
+#[test]
+fn five_bit_loses_more_than_six_bit() {
+    // Near threshold the 5-bit decoder makes at least as many errors as the
+    // 6-bit decoder, and the gap shows in bit errors.
+    let q6 = system(DecoderKind::Quantized(Quantizer::paper_6bit()));
+    let q5 = system(DecoderKind::Quantized(Quantizer::paper_5bit()));
+    let stop = StopRule::frames(30);
+    // In the waterfall (1.1 dB) the ordering is unambiguous: the probe data
+    // behind Quantizer::paper_6bit shows ~16x BER between the two widths.
+    let ebn0 = 1.1;
+    let e6 = q6.simulate_ber(ebn0, stop, 2);
+    let e5 = q5.simulate_ber(ebn0, stop, 2);
+    assert!(
+        e5.bit_errors >= e6.bit_errors,
+        "5-bit ({}) should not beat 6-bit ({}) at {ebn0} dB",
+        e5.bit_errors,
+        e6.bit_errors
+    );
+}
+
+#[test]
+fn coarse_quantization_still_converges_at_high_snr() {
+    let q4 = system(DecoderKind::Quantized(Quantizer::new(4, 1.0)));
+    let est = q4.simulate_ber(5.0, StopRule::frames(5), 2);
+    assert_eq!(est.frame_errors, 0, "4-bit decoder should be fine at 5 dB");
+}
