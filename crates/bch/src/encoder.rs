@@ -152,10 +152,7 @@ mod tests {
     #[test]
     fn wrong_length_is_rejected() {
         let enc = short_encoder();
-        assert!(matches!(
-            enc.encode(&BitVec::zeros(10)),
-            Err(CodeError::MessageLength { .. })
-        ));
+        assert!(matches!(enc.encode(&BitVec::zeros(10)), Err(CodeError::MessageLength { .. })));
     }
 
     #[test]

@@ -123,7 +123,11 @@ impl GaloisField {
     /// Panics if `b == 0`.
     #[inline]
     pub fn div(&self, a: u16, b: u16) -> u16 {
-        if a == 0 { 0 } else { self.mul(a, self.inv(b)) }
+        if a == 0 {
+            0
+        } else {
+            self.mul(a, self.inv(b))
+        }
     }
 
     /// `x` raised to an arbitrary exponent.

@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dvbs2::decoder::{
-    Decoder, DecoderConfig, FloodingDecoder, LayeredDecoder, Quantizer,
-    QuantizedZigzagDecoder, ZigzagDecoder,
+    CheckRule, Decoder, DecoderConfig, FloodingDecoder, LayeredDecoder, Precision,
+    QuantizedZigzagDecoder, Quantizer, ZigzagDecoder,
 };
 use dvbs2::ldpc::{CodeRate, FrameSize};
 use dvbs2::{Dvbs2System, SystemConfig};
@@ -45,10 +45,31 @@ fn bench_decoders(c: &mut Criterion) {
 
     let mut minsum = FloodingDecoder::new(
         Arc::clone(&graph),
-        config.with_rule(dvbs2::decoder::CheckRule::NormalizedMinSum(0.8)),
+        config.with_rule(CheckRule::NormalizedMinSum(0.8)),
     );
     group.bench_function("flooding_min_sum", |b| {
         b.iter(|| minsum.decode(std::hint::black_box(&frame.llrs)))
+    });
+
+    // f32 fast path: same schedules on the single-precision message planes.
+    let mut flooding_f32 =
+        FloodingDecoder::new(Arc::clone(&graph), config.with_precision(Precision::F32));
+    group.bench_function("flooding_sum_product_f32", |b| {
+        b.iter(|| flooding_f32.decode(std::hint::black_box(&frame.llrs)))
+    });
+
+    let mut zigzag_f32 =
+        ZigzagDecoder::new(Arc::clone(&graph), config.with_precision(Precision::F32));
+    group.bench_function("zigzag_sum_product_f32", |b| {
+        b.iter(|| zigzag_f32.decode(std::hint::black_box(&frame.llrs)))
+    });
+
+    let mut minsum_f32 = FloodingDecoder::new(
+        Arc::clone(&graph),
+        config.with_rule(CheckRule::NormalizedMinSum(0.8)).with_precision(Precision::F32),
+    );
+    group.bench_function("flooding_min_sum_f32", |b| {
+        b.iter(|| minsum_f32.decode(std::hint::black_box(&frame.llrs)))
     });
 
     let mut quantized =

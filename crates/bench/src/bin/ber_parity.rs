@@ -1,0 +1,49 @@
+//! Verifies the f32 fast path's BER parity against the f64 reference:
+//! identical 500-frame seeded runs at Eb/N0 = 1.0 dB, reporting the
+//! relative BER difference (acceptance: within 5%).
+//!
+//! Run: `cargo run --release -p dvbs2-bench --bin ber_parity`
+
+use dvbs2::channel::StopRule;
+use dvbs2::decoder::{DecoderConfig, Precision};
+use dvbs2::ldpc::{CodeRate, FrameSize};
+use dvbs2::{DecoderKind, Dvbs2System, SystemConfig};
+
+fn run(precision: Precision, ebn0_db: f64, frames: usize) -> (f64, usize, usize) {
+    let system = Dvbs2System::new(SystemConfig {
+        rate: CodeRate::R1_2,
+        frame: FrameSize::Short,
+        decoder: DecoderKind::Zigzag,
+        decoder_config: DecoderConfig::default().with_precision(precision),
+        ..SystemConfig::default()
+    })
+    .expect("valid configuration");
+    let est = system.simulate_ber(
+        ebn0_db,
+        StopRule { max_frames: frames, target_frame_errors: 0 },
+        dvbs2::channel::default_threads(),
+    );
+    (est.ber(), est.bit_errors, est.frame_errors)
+}
+
+fn main() {
+    let ebn0_db = 1.0;
+    let frames = 500;
+    println!(
+        "zigzag sum-product, N = 16200 rate 1/2, Eb/N0 = {ebn0_db} dB, {frames} seeded frames\n"
+    );
+
+    let (ber64, bits64, fe64) = run(Precision::F64, ebn0_db, frames);
+    let (ber32, bits32, fe32) = run(Precision::F32, ebn0_db, frames);
+
+    println!("f64: BER {ber64:.4e}  ({bits64} bit errors, {fe64} frame errors)");
+    println!("f32: BER {ber32:.4e}  ({bits32} bit errors, {fe32} frame errors)");
+
+    let rel = if ber64 > 0.0 { (ber32 - ber64).abs() / ber64 } else { 0.0 };
+    println!("\nrelative BER difference: {:.2}%", rel * 100.0);
+    let ok = rel < 0.05;
+    println!("acceptance (< 5%): {}", if ok { "PASS" } else { "FAIL" });
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -27,13 +27,8 @@ fn main() {
         let p = sys.params();
         let true_rate = p.k as f64 / p.n as f64;
         let limit = shannon_limit_biawgn_db(true_rate);
-        println!(
-            "rate {rate} (true {true_rate:.3}), Shannon limit {limit:+.3} dB:"
-        );
-        println!(
-            "{:>9} {:>9} {:>12} {:>12} {:>8}",
-            "Eb/N0[dB]", "gap[dB]", "BER", "FER", "iters"
-        );
+        println!("rate {rate} (true {true_rate:.3}), Shannon limit {limit:+.3} dB:");
+        println!("{:>9} {:>9} {:>12} {:>12} {:>8}", "Eb/N0[dB]", "gap[dB]", "BER", "FER", "iters");
         // Points straddling the waterfall: start near the limit.
         let offsets = if normal { [0.4, 0.6, 0.8, 1.0] } else { [0.4, 0.8, 1.2, 1.6] };
         for off in offsets {

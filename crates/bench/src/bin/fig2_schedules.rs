@@ -29,18 +29,10 @@ fn main() {
     let mut flood_clean = None;
     let mut zig_clean = None;
     for &cap in caps {
-        let flood = ber_point(
-            &system(CodeRate::R1_2, frame, DecoderKind::Flooding, cap),
-            ebn0,
-            frames,
-            0,
-        );
-        let zig = ber_point(
-            &system(CodeRate::R1_2, frame, DecoderKind::Zigzag, cap),
-            ebn0,
-            frames,
-            0,
-        );
+        let flood =
+            ber_point(&system(CodeRate::R1_2, frame, DecoderKind::Flooding, cap), ebn0, frames, 0);
+        let zig =
+            ber_point(&system(CodeRate::R1_2, frame, DecoderKind::Zigzag, cap), ebn0, frames, 0);
         println!(
             "{:>6} {:>14} {:>14} {:>12.1} {:>12.1}",
             cap,
@@ -69,9 +61,9 @@ fn main() {
             );
             println!("Paper claim: 30 iterations with the optimized schedule match 40 without.");
         }
-        _ => println!(
-            "\nIncrease frames/SNR to reach the clean regime; partial data printed above."
-        ),
+        _ => {
+            println!("\nIncrease frames/SNR to reach the clean regime; partial data printed above.")
+        }
     }
     println!(
         "\nMemory payoff (Section 2.2): only backward messages stored — E_PN/2 ≈ N-K values \

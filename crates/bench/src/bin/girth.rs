@@ -6,7 +6,9 @@
 
 use dvbs2::channel::StopRule;
 use dvbs2::decoder::{Decoder, DecoderConfig, ZigzagDecoder};
-use dvbs2::ldpc::{AddressTable, CodeParams, CodeRate, DvbS2Code, FrameSize, TableOptions, TannerGraph};
+use dvbs2::ldpc::{
+    AddressTable, CodeParams, CodeRate, DvbS2Code, FrameSize, TableOptions, TannerGraph,
+};
 use dvbs2::{Dvbs2System, SystemConfig};
 use std::collections::BTreeMap;
 use std::sync::Arc;

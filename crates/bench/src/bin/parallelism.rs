@@ -30,8 +30,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let fu_mm2 = tech.logic_mm2(fu.gates() * p);
         // The rotator shrinks with lane count but needs the same total
         // bandwidth; stage count scales with log2(P).
-        let net_mm2 =
-            tech.logic_mm2(ShuffleNetwork::new(p.min(360)).gate_count(6)) * tech.shuffle_wiring_factor;
+        let net_mm2 = tech.logic_mm2(ShuffleNetwork::new(p.min(360)).gate_count(6))
+            * tech.shuffle_wiring_factor;
         let total = memory_mm2 + fu_mm2 + net_mm2 + 0.2;
         println!(
             "{:>5} {:>12.1} {:>12.2} {:>12.2} {:>12.2} {:>14.1}",

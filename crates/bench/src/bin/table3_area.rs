@@ -20,20 +20,14 @@ const PAPER: &[(&str, f64)] = &[
 
 fn main() {
     let report = AreaModel::paper().report(FrameSize::Normal);
-    println!(
-        "Table 3: area of the DVB-S2 LDPC decoder, {} (6-bit messages)\n",
-        ST_0_13_UM.name
-    );
+    println!("Table 3: area of the DVB-S2 LDPC decoder, {} (6-bit messages)\n", ST_0_13_UM.name);
     println!(
         "{:<28} {:>11} {:>11} {:>8}   derivation",
         "component", "model [mm2]", "paper [mm2]", "ratio"
     );
     for item in &report.items {
-        let paper = PAPER
-            .iter()
-            .find(|&&(name, _)| name == item.name)
-            .map(|&(_, v)| v)
-            .unwrap_or(f64::NAN);
+        let paper =
+            PAPER.iter().find(|&&(name, _)| name == item.name).map(|&(_, v)| v).unwrap_or(f64::NAN);
         println!(
             "{:<28} {:>11.3} {:>11.3} {:>8.2}   {}",
             item.name,
@@ -49,10 +43,6 @@ fn main() {
         "\nMax clock (worst case): {} MHz; throughput requirement 255 Mbit/s (see throughput_eq8).",
         ST_0_13_UM.max_clock_mhz
     );
-    println!(
-        "Sizing rationale: PN memories sized by R = 1/4 (largest parity set), IN message"
-    );
-    println!(
-        "banks by R = 3/5 (most information edges), FU datapath by R = 2/3 / 9/10 degrees."
-    );
+    println!("Sizing rationale: PN memories sized by R = 1/4 (largest parity set), IN message");
+    println!("banks by R = 3/5 (most information edges), FU datapath by R = 2/3 / 9/10 degrees.");
 }

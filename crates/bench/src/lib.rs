@@ -95,7 +95,11 @@ pub fn ebn0_at_ber(points: &[BerPoint], target_ber: f64) -> Option<f64> {
 
 /// Compact scientific formatting for tables.
 pub fn sci(x: f64) -> String {
-    if x == 0.0 { "<floor".to_owned() } else { format!("{x:.2e}") }
+    if x == 0.0 {
+        "<floor".to_owned()
+    } else {
+        format!("{x:.2e}")
+    }
 }
 
 #[cfg(test)]
@@ -105,8 +109,22 @@ mod tests {
     #[test]
     fn interpolation_finds_crossing() {
         let points = [
-            BerPoint { ebn0_db: 1.0, ber: 1e-2, fer: 0.0, frames: 1, info_bits: 1_000_000, avg_iterations: 0.0 },
-            BerPoint { ebn0_db: 2.0, ber: 1e-4, fer: 0.0, frames: 1, info_bits: 1_000_000, avg_iterations: 0.0 },
+            BerPoint {
+                ebn0_db: 1.0,
+                ber: 1e-2,
+                fer: 0.0,
+                frames: 1,
+                info_bits: 1_000_000,
+                avg_iterations: 0.0,
+            },
+            BerPoint {
+                ebn0_db: 2.0,
+                ber: 1e-4,
+                fer: 0.0,
+                frames: 1,
+                info_bits: 1_000_000,
+                avg_iterations: 0.0,
+            },
         ];
         let x = ebn0_at_ber(&points, 1e-3).unwrap();
         assert!((x - 1.5).abs() < 1e-9);
@@ -117,8 +135,22 @@ mod tests {
         // The zero point interpolates against its half-an-error floor
         // (0.5 / 1e6 = 5e-7), so the 1e-3 crossing lands inside the segment.
         let points = [
-            BerPoint { ebn0_db: 1.0, ber: 1e-2, fer: 0.0, frames: 1, info_bits: 1_000_000, avg_iterations: 0.0 },
-            BerPoint { ebn0_db: 2.0, ber: 0.0, fer: 0.0, frames: 1, info_bits: 1_000_000, avg_iterations: 0.0 },
+            BerPoint {
+                ebn0_db: 1.0,
+                ber: 1e-2,
+                fer: 0.0,
+                frames: 1,
+                info_bits: 1_000_000,
+                avg_iterations: 0.0,
+            },
+            BerPoint {
+                ebn0_db: 2.0,
+                ber: 0.0,
+                fer: 0.0,
+                frames: 1,
+                info_bits: 1_000_000,
+                avg_iterations: 0.0,
+            },
         ];
         let x = ebn0_at_ber(&points, 1e-3).unwrap();
         assert!(x > 1.0 && x < 1.5, "{x}");
@@ -127,8 +159,22 @@ mod tests {
     #[test]
     fn interpolation_rejects_unbracketed() {
         let points = [
-            BerPoint { ebn0_db: 1.0, ber: 1e-2, fer: 0.0, frames: 1, info_bits: 1_000_000, avg_iterations: 0.0 },
-            BerPoint { ebn0_db: 2.0, ber: 1e-3, fer: 0.0, frames: 1, info_bits: 1_000_000, avg_iterations: 0.0 },
+            BerPoint {
+                ebn0_db: 1.0,
+                ber: 1e-2,
+                fer: 0.0,
+                frames: 1,
+                info_bits: 1_000_000,
+                avg_iterations: 0.0,
+            },
+            BerPoint {
+                ebn0_db: 2.0,
+                ber: 1e-3,
+                fer: 0.0,
+                frames: 1,
+                info_bits: 1_000_000,
+                avg_iterations: 0.0,
+            },
         ];
         assert_eq!(ebn0_at_ber(&points, 1e-6), None);
     }

@@ -197,10 +197,7 @@ mod tests {
                 for b in a + 1..m {
                     let (ai, aq) = c.point(a);
                     let (bi, bq) = c.point(b);
-                    assert!(
-                        (ai - bi).abs() + (aq - bq).abs() > 1e-9,
-                        "labels {a} and {b} collide"
-                    );
+                    assert!((ai - bi).abs() + (aq - bq).abs() > 1e-9, "labels {a} and {b} collide");
                 }
             }
         }

@@ -108,8 +108,7 @@ mod tests {
         let mut ch = AwgnChannel::new(0.5);
         let mut samples = vec![1.0f64; 100_000];
         ch.corrupt(&mut rng, &mut samples);
-        let var =
-            samples.iter().map(|y| (y - 1.0) * (y - 1.0)).sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|y| (y - 1.0) * (y - 1.0)).sum::<f64>() / samples.len() as f64;
         assert!((var - 0.25).abs() < 0.01, "noise var {var}");
     }
 

@@ -28,8 +28,8 @@ pub fn biawgn_capacity(sigma: f64) -> f64 {
     let hi = 10.0 * sigma;
     let h = (hi - lo) / steps as f64;
     let integrand = |n: f64| -> f64 {
-        let pdf = (-n * n / (2.0 * sigma * sigma)).exp()
-            / (sigma * (2.0 * std::f64::consts::PI).sqrt());
+        let pdf =
+            (-n * n / (2.0 * sigma * sigma)).exp() / (sigma * (2.0 * std::f64::consts::PI).sqrt());
         let l = 2.0 * (1.0 + n) / (sigma * sigma);
         // log2(1 + e^{-l}), numerically stable for large |l|.
         let log_term = if l > 40.0 {

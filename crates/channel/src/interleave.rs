@@ -130,8 +130,9 @@ mod tests {
         let il = BlockInterleaver::dvbs2_8psk(16_200);
         let rows = 16_200 / 3;
         for symbol in [0usize, 100, 5_000] {
-            let inputs: Vec<usize> =
-                (0..3).map(|b| (0..16_200).find(|&i| il.output_index(i) == symbol * 3 + b).unwrap()).collect();
+            let inputs: Vec<usize> = (0..3)
+                .map(|b| (0..16_200).find(|&i| il.output_index(i) == symbol * 3 + b).unwrap())
+                .collect();
             for pair in inputs.windows(2) {
                 assert!(pair[1].abs_diff(pair[0]) >= rows, "{inputs:?}");
             }

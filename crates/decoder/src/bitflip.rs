@@ -43,11 +43,8 @@ impl Decoder for BitFlippingDecoder {
             iterations += 1;
             self.unsatisfied.fill(0);
             for c in 0..graph.check_count() {
-                let parity = graph
-                    .check_edges(c)
-                    .filter(|&e| bits.get(graph.var_of_edge(e)))
-                    .count()
-                    % 2;
+                let parity =
+                    graph.check_edges(c).filter(|&e| bits.get(graph.var_of_edge(e))).count() % 2;
                 if parity == 1 {
                     for e in graph.check_edges(c) {
                         self.unsatisfied[graph.var_of_edge(e)] += 1;
@@ -96,8 +93,7 @@ mod tests {
         use crate::test_support::llrs_for_codeword;
         let (code, graph) = small_code();
         let enc = code.encoder().unwrap();
-        let msg: dvbs2_ldpc::BitVec =
-            (0..code.params().k).map(|i| i % 5 == 0).collect();
+        let msg: dvbs2_ldpc::BitVec = (0..code.params().k).map(|i| i % 5 == 0).collect();
         let cw = enc.encode(&msg).unwrap();
         let mut llrs = llrs_for_codeword(&cw, 4.0);
         // A handful of well-separated hard errors.

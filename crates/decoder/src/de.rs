@@ -160,8 +160,8 @@ impl DensityEvolution {
             for b in 0..n {
                 let (la, lb) = (llr(a), llr(b));
                 let out = boxplus_exact(la, lb);
-                let idx = ((out / step).round() as isize + half as isize)
-                    .clamp(0, n as isize - 1) as usize;
+                let idx = ((out / step).round() as isize + half as isize).clamp(0, n as isize - 1)
+                    as usize;
                 table[a * n + b] = idx as u16;
             }
         }
@@ -305,8 +305,7 @@ mod tests {
     fn channel_density_is_normalized_with_correct_mean() {
         let d = Density::biawgn_channel(250, 0.1, 0.9);
         assert!((d.total_mass() - 1.0).abs() < 1e-9);
-        let mean: f64 =
-            d.mass.iter().enumerate().map(|(i, &p)| p * d.llr(i)).sum();
+        let mean: f64 = d.mass.iter().enumerate().map(|(i, &p)| p * d.llr(i)).sum();
         let expected = 2.0 / (0.9 * 0.9);
         assert!((mean - expected).abs() < 0.05, "mean {mean} vs {expected}");
     }
@@ -317,9 +316,8 @@ mod tests {
         let b = Density::biawgn_channel(250, 0.1, 1.5);
         let c = a.convolve(&b);
         assert!((c.total_mass() - 1.0).abs() < 1e-9);
-        let mean = |d: &Density| -> f64 {
-            d.mass.iter().enumerate().map(|(i, &p)| p * d.llr(i)).sum()
-        };
+        let mean =
+            |d: &Density| -> f64 { d.mass.iter().enumerate().map(|(i, &p)| p * d.llr(i)).sum() };
         assert!((mean(&c) - mean(&a) - mean(&b)).abs() < 0.1);
     }
 
@@ -346,8 +344,7 @@ mod tests {
     fn check_power_matches_sequential_combination() {
         let engine = small_engine();
         let ch = Density::biawgn_channel(120, 0.2, 1.0);
-        let sequential =
-            engine.check_combine(&engine.check_combine(&ch, &ch), &ch);
+        let sequential = engine.check_combine(&engine.check_combine(&ch, &ch), &ch);
         let powered = engine.check_power(&ch, 3);
         for (a, b) in sequential.mass.iter().zip(&powered.mass) {
             assert!((a - b).abs() < 1e-12);

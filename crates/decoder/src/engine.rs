@@ -1,0 +1,413 @@
+//! Shared plumbing of the structure-of-arrays message engine.
+//!
+//! All belief-propagation decoders store their messages in flat
+//! edge-indexed planes (`v2c`, `c2v`) using the Tanner graph's check-major
+//! edge numbering, so the check-node half-iteration streams each check's
+//! contiguous edge range and the variable-node half-iteration is a single
+//! scatter-add/gather pass over [`TannerGraph::edge_vars`]. The helpers
+//! here implement those passes generically over the message precision.
+//!
+//! Bit-compatibility contract: for `f64` messages every helper performs the
+//! same floating-point operations in the same order as the scalar loops
+//! they replaced. In particular `accumulate_totals` adds each variable's
+//! check messages in ascending edge-id order — exactly the order
+//! `TannerGraph::var_edges` yields — so a-posteriori totals are
+//! bit-identical to a per-variable gather.
+
+use crate::llr_ops::{CheckRule, LlrFloat};
+use dvbs2_ldpc::TannerGraph;
+
+/// Message precision of a belief-propagation decoder.
+///
+/// `F64` is the bit-compatible reference path (identical results to the
+/// original scalar decoders); `F32` halves the message-store footprint and
+/// memory traffic, trading ~1e-3 relative message accuracy, which leaves
+/// the decoded BER essentially unchanged (see the README performance notes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Double-precision messages: the reference path.
+    #[default]
+    F64,
+    /// Single-precision messages: the fast path.
+    F32,
+}
+
+/// Converts channel LLRs into the engine's message precision, reusing the
+/// destination buffer (no allocation once `dst` has been sized).
+#[inline]
+pub(crate) fn load_llrs<F: LlrFloat>(dst: &mut [F], src: &[f64]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = F::from_f64(s);
+    }
+}
+
+/// A-posteriori totals in one streaming pass: scatter-add the check
+/// messages in ascending edge order, then add the channel LLR on top.
+///
+/// The zero-seeded scatter followed by `llr + sum` reproduces the exact
+/// rounding of the per-variable `llr[v] + var_edges(v).map(..).sum::<f64>()`
+/// gather it replaces (an `llr`-seeded accumulator would associate the
+/// additions differently and drift in the last bit).
+#[inline]
+pub(crate) fn accumulate_totals<F: LlrFloat>(
+    edge_vars: &[u32],
+    llr: &[F],
+    c2v: &[F],
+    totals: &mut [F],
+) {
+    totals.fill(F::ZERO);
+    for (&v, &m) in edge_vars.iter().zip(c2v) {
+        totals[v as usize] += m;
+    }
+    for (t, &l) in totals.iter_mut().zip(llr) {
+        *t = l + *t;
+    }
+}
+
+/// One fused flooding iteration: for every check, gather its inputs
+/// (`v2c[e] = totals[var] - c2v[e]`) from the current totals, run the
+/// kernel in place on the planes, and scatter the fresh extrinsics into
+/// `totals_next` while the slice is still cache-hot — a single streaming
+/// pass over the edge planes instead of separate gather, kernel, and
+/// accumulate sweeps.
+///
+/// On return `totals_next` holds the a-posteriori totals implied by the
+/// fresh `c2v`, accumulated in ascending edge order with the channel LLR
+/// added last — bit-identical to [`accumulate_totals`] over the new `c2v`.
+#[inline]
+pub(crate) fn fused_check_pass<F: LlrFloat>(
+    graph: &TannerGraph,
+    rule: &CheckRule,
+    llr: &[F],
+    totals: &[F],
+    v2c: &mut [F],
+    c2v: &mut [F],
+    totals_next: &mut [F],
+) {
+    let offsets = graph.check_offsets();
+    let edge_vars = graph.edge_vars();
+    totals_next.fill(F::ZERO);
+    for c in 0..graph.check_count() {
+        let range = offsets[c] as usize..offsets[c + 1] as usize;
+        for e in range.clone() {
+            v2c[e] = totals[edge_vars[e] as usize] - c2v[e];
+        }
+        rule.extrinsic_t(&v2c[range.clone()], &mut c2v[range.clone()]);
+        for e in range {
+            totals_next[edge_vars[e] as usize] += c2v[e];
+        }
+    }
+    for (t, &l) in totals_next.iter_mut().zip(llr) {
+        *t = l + *t;
+    }
+}
+
+/// Transposed (column-major) layout of the check-message planes for the
+/// min-sum fast path: checks are grouped by degree, and within a degree
+/// class the planes are stored column by column — slot `base + j * m + i`
+/// holds the `j`-th message of the class's `i`-th check.
+///
+/// With this layout a fixed-`j` sweep over a class reads and writes the
+/// planes *contiguously*, turning the per-check minima recurrence into `m`
+/// independent per-lane recurrences over dense arrays — the shape the
+/// auto-vectorizer and the out-of-order core both want. The only
+/// non-contiguous access left in the check pass is the unavoidable
+/// `totals[var]` gather, served by the pre-transposed `slot_vars` table.
+///
+/// `edge_to_slot` maps the graph's check-major edge ids onto slots so the
+/// variable-node accumulation can still run in ascending *edge* order (the
+/// bit-compatibility contract for `f64` totals).
+#[derive(Debug, Clone)]
+pub(crate) struct BlockedChecks {
+    classes: Vec<DegreeClass>,
+    /// Variable index of each slot (edge_vars permuted into slot order).
+    slot_vars: Vec<u32>,
+    /// Slot of each edge (inverse of the edge→slot permutation).
+    edge_to_slot: Vec<u32>,
+}
+
+#[derive(Debug, Clone)]
+struct DegreeClass {
+    degree: usize,
+    /// First slot of the class's column-major plane region.
+    slot_base: usize,
+    checks: Vec<u32>,
+}
+
+impl BlockedChecks {
+    pub(crate) fn new(graph: &TannerGraph) -> Self {
+        let offsets = graph.check_offsets();
+        let edge_vars = graph.edge_vars();
+        let mut classes: Vec<DegreeClass> = Vec::new();
+        for c in 0..graph.check_count() {
+            let degree = (offsets[c + 1] - offsets[c]) as usize;
+            match classes.iter_mut().find(|k| k.degree == degree) {
+                Some(class) => class.checks.push(c as u32),
+                None => classes.push(DegreeClass { degree, slot_base: 0, checks: vec![c as u32] }),
+            }
+        }
+        let mut slot_vars = vec![0u32; graph.edge_count()];
+        let mut edge_to_slot = vec![0u32; graph.edge_count()];
+        let mut slot_base = 0usize;
+        for class in &mut classes {
+            class.slot_base = slot_base;
+            let m = class.checks.len();
+            for (i, &c) in class.checks.iter().enumerate() {
+                let start = offsets[c as usize] as usize;
+                for j in 0..class.degree {
+                    let slot = slot_base + j * m + i;
+                    let e = start + j;
+                    slot_vars[slot] = edge_vars[e];
+                    edge_to_slot[e] = slot as u32;
+                }
+            }
+            slot_base += m * class.degree;
+        }
+        BlockedChecks { classes, slot_vars, edge_to_slot }
+    }
+
+    /// Slot of each check-major edge id (for edge-order accumulation).
+    pub(crate) fn edge_to_slot(&self) -> &[u32] {
+        &self.edge_to_slot
+    }
+}
+
+/// A-posteriori totals from transposed-plane messages: identical to
+/// [`accumulate_totals`] — ascending edge order, channel LLR added last —
+/// reading each message through the edge→slot permutation.
+#[inline]
+pub(crate) fn accumulate_totals_slotted<F: LlrFloat>(
+    edge_vars: &[u32],
+    edge_to_slot: &[u32],
+    llr: &[F],
+    c2v_t: &[F],
+    totals: &mut [F],
+) {
+    totals.fill(F::ZERO);
+    for (&v, &slot) in edge_vars.iter().zip(edge_to_slot) {
+        totals[v as usize] += c2v_t[slot as usize];
+    }
+    for (t, &l) in totals.iter_mut().zip(llr) {
+        *t = l + *t;
+    }
+}
+
+/// Lane count of one kernel stripe: wide enough that contiguous column
+/// runs vectorize and the recurrence has abundant independent lanes, small
+/// enough that the stripe's state plus its plane columns stay L1-resident.
+const STRIPE: usize = 1024;
+
+/// Check-node half-iteration for the min-sum rules over the transposed
+/// planes (`v2c_t`/`c2v_t` in [`BlockedChecks`] slot order): gathers every
+/// input (`v2c_t[s] = totals[var] - c2v_t[s]`) and writes every extrinsic
+/// into `c2v_t`.
+///
+/// Each degree class is processed in stripes of [`STRIPE`] checks, column
+/// by column. All plane and state accesses are contiguous (the minimum's
+/// position is tracked as a *column* index, compared against the
+/// loop-invariant column number), so the inner loops are dense, branchless,
+/// and independent across lanes; only the `totals` gather is indexed.
+///
+/// Per check this performs exactly the arithmetic of
+/// [`CheckRule::extrinsic_t`] in the same within-check edge order (column
+/// `j` of a check *is* its edge `start + j`), so the `f64` instantiation
+/// stays bit-compatible with the scalar kernel. Totals are deliberately
+/// NOT accumulated here: scattering in column order would reorder each
+/// variable's sum; callers follow with [`accumulate_totals_slotted`],
+/// which adds in ascending edge order.
+pub(crate) fn blocked_min_sum_pass<F: LlrFloat>(
+    blocked: &BlockedChecks,
+    rule: &CheckRule,
+    totals: &[F],
+    v2c_t: &mut [F],
+    c2v_t: &mut [F],
+    correct: impl Fn(F) -> F,
+) {
+    let slot_vars = &blocked.slot_vars[..];
+    for class in &blocked.classes {
+        let d = class.degree;
+        let m = class.checks.len();
+        let base = class.slot_base;
+        if d < 3 {
+            // Degenerate checks take the rule's special-cased path.
+            let mut tmp_in = [F::ZERO; 2];
+            let mut tmp_out = [F::ZERO; 2];
+            for i in 0..m {
+                for (j, t) in tmp_in[..d].iter_mut().enumerate() {
+                    let s = base + j * m + i;
+                    *t = totals[slot_vars[s] as usize] - c2v_t[s];
+                }
+                rule.extrinsic_t(&tmp_in[..d], &mut tmp_out[..d]);
+                for (j, (&inp, &out)) in tmp_in[..d].iter().zip(&tmp_out[..d]).enumerate() {
+                    let s = base + j * m + i;
+                    v2c_t[s] = inp;
+                    c2v_t[s] = out;
+                }
+            }
+            continue;
+        }
+        let mut i0 = 0;
+        while i0 < m {
+            let b = STRIPE.min(m - i0);
+            let mut min1 = [F::INFINITY; STRIPE];
+            let mut min2 = [F::INFINITY; STRIPE];
+            let mut min_col = [0u32; STRIPE];
+            let mut negative_signs = [0u32; STRIPE];
+            for j in 0..d {
+                let col = base + j * m + i0;
+                let vars = &slot_vars[col..col + b];
+                let v2c_col = &mut v2c_t[col..col + b];
+                let c2v_col = &c2v_t[col..col + b];
+                let jj = j as u32;
+                // Gather first, reduce second: the indexed `totals` load
+                // cannot vectorize, so keeping it in its own dense loop
+                // lets the minima loop below run purely on contiguous
+                // arrays.
+                for i in 0..b {
+                    v2c_col[i] = totals[vars[i] as usize] - c2v_col[i];
+                }
+                for i in 0..b {
+                    let x = v2c_col[i];
+                    let mag = x.abs();
+                    // Two-smallest recurrence as min/max plus a mask blend
+                    // for the column index: the new second minimum is
+                    // min(min2, max(min1, mag)) — if `mag` beats min1, the
+                    // displaced min1 is the candidate, otherwise `mag`
+                    // itself is. Exact value selection, no data-dependent
+                    // branches.
+                    let smaller = mag < min1[i];
+                    min2[i] = min2[i].min(min1[i].max(mag));
+                    min1[i] = min1[i].min(mag);
+                    let mask = (smaller as u32).wrapping_neg();
+                    min_col[i] = (jj & mask) | (min_col[i] & !mask);
+                    negative_signs[i] += x.is_negative() as u32;
+                }
+            }
+            for j in 0..d {
+                let col = base + j * m + i0;
+                let v2c_col = &v2c_t[col..col + b];
+                let c2v_col = &mut c2v_t[col..col + b];
+                let jj = j as u32;
+                for i in 0..b {
+                    let mag = correct(F::select(min_col[i] == jj, min2[i], min1[i]));
+                    let flip = (negative_signs[i] + v2c_col[i].is_negative() as u32) & 1 == 1;
+                    c2v_col[i] = mag.flip_sign_if(flip);
+                }
+            }
+            i0 += b;
+        }
+    }
+}
+
+/// `true` when the hard decisions implied by the totals' signs satisfy
+/// every check equation. Equivalent to `syndrome_ok(graph,
+/// &hard_decisions(totals))` but streams the check-major edge layout
+/// without materialising a bit vector.
+pub(crate) fn syndrome_ok_totals<F: LlrFloat>(graph: &TannerGraph, totals: &[F]) -> bool {
+    let offsets = graph.check_offsets();
+    let edge_vars = graph.edge_vars();
+    for c in 0..graph.check_count() {
+        let range = offsets[c] as usize..offsets[c + 1] as usize;
+        let mut parity = 0u32;
+        for &v in &edge_vars[range] {
+            parity ^= totals[v as usize].is_negative() as u32;
+        }
+        if parity != 0 {
+            return false;
+        }
+    }
+    true
+}
+
+/// Writes the hard decisions (`total < 0` ⇒ bit 1) into a preallocated bit
+/// vector of matching length.
+///
+/// # Panics
+///
+/// Panics if `out.len() != totals.len()`.
+pub(crate) fn hard_decisions_into<F: LlrFloat>(totals: &[F], out: &mut dvbs2_ldpc::BitVec) {
+    assert_eq!(out.len(), totals.len(), "length mismatch");
+    for (i, &t) in totals.iter().enumerate() {
+        out.set(i, t.is_negative());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stopping::{hard_decisions, syndrome_ok};
+    use crate::test_support::small_code;
+
+    #[test]
+    fn accumulate_totals_matches_per_variable_gather() {
+        let (_, graph) = small_code();
+        let edges = graph.edge_count();
+        let mut rng = crate::test_support::SplitMix64(9);
+        let llr: Vec<f64> = (0..graph.var_count()).map(|_| rng.next_f64() - 0.5).collect();
+        let c2v: Vec<f64> = (0..edges).map(|_| rng.next_f64() - 0.5).collect();
+        let mut totals = vec![0.0f64; graph.var_count()];
+        accumulate_totals(graph.edge_vars(), &llr, &c2v, &mut totals);
+        for v in 0..graph.var_count() {
+            let want: f64 =
+                llr[v] + graph.var_edges(v).iter().map(|&e| c2v[e as usize]).sum::<f64>();
+            // Bit-identical, not approximately equal: same summation order.
+            assert_eq!(totals[v], want, "var {v}");
+        }
+    }
+
+    #[test]
+    fn fused_pass_matches_separate_gather_kernel_accumulate() {
+        let (_, graph) = small_code();
+        let edges = graph.edge_count();
+        let mut rng = crate::test_support::SplitMix64(11);
+        let llr: Vec<f64> = (0..graph.var_count()).map(|_| rng.next_f64() - 0.5).collect();
+        let c2v_start: Vec<f64> = (0..edges).map(|_| rng.next_f64() - 0.5).collect();
+        let mut totals = vec![0.0f64; graph.var_count()];
+        accumulate_totals(graph.edge_vars(), &llr, &c2v_start, &mut totals);
+
+        // Fused path.
+        let rule = CheckRule::SumProduct;
+        let mut v2c = vec![0.0f64; edges];
+        let mut c2v = c2v_start.clone();
+        let mut totals_next = vec![0.0f64; graph.var_count()];
+        fused_check_pass(&graph, &rule, &llr, &totals, &mut v2c, &mut c2v, &mut totals_next);
+
+        // Reference: explicit gather, per-check kernel, then accumulate.
+        let mut ref_v2c = vec![0.0f64; edges];
+        for (e, o) in ref_v2c.iter_mut().enumerate() {
+            *o = totals[graph.var_of_edge(e)] - c2v_start[e];
+        }
+        let mut ref_c2v = c2v_start;
+        for c in 0..graph.check_count() {
+            let range = graph.check_edges(c);
+            rule.extrinsic_t(&ref_v2c[range.clone()], &mut ref_c2v[range]);
+        }
+        let mut ref_totals = vec![0.0f64; graph.var_count()];
+        accumulate_totals(graph.edge_vars(), &llr, &ref_c2v, &mut ref_totals);
+
+        assert_eq!(c2v, ref_c2v);
+        assert_eq!(totals_next, ref_totals); // bit-identical summation order
+    }
+
+    #[test]
+    fn syndrome_and_decisions_agree_with_bitvec_path() {
+        let (_, graph) = small_code();
+        let mut rng = crate::test_support::SplitMix64(4);
+        for _ in 0..4 {
+            let totals: Vec<f64> = (0..graph.var_count()).map(|_| rng.next_f64() - 0.5).collect();
+            let bits = hard_decisions(&totals);
+            assert_eq!(syndrome_ok_totals(&graph, &totals), syndrome_ok(&graph, &bits));
+            let mut out = dvbs2_ldpc::BitVec::zeros(totals.len());
+            hard_decisions_into(&totals, &mut out);
+            assert_eq!(out, bits);
+        }
+    }
+
+    #[test]
+    fn f32_helpers_round_trip() {
+        let llr = [1.5f64, -2.0, 0.25];
+        let mut dst = [0.0f32; 3];
+        load_llrs(&mut dst, &llr);
+        assert_eq!(dst, [1.5f32, -2.0, 0.25]);
+    }
+}

@@ -5,9 +5,10 @@
 //! convergence speed over flooding. Included here as the natural
 //! "future work" of the paper's schedule and as an ablation point.
 
-use crate::stopping::{hard_decisions, syndrome_ok};
+use crate::engine::{hard_decisions_into, load_llrs, syndrome_ok_totals, Precision};
+use crate::llr_ops::LlrFloat;
 use crate::{DecodeResult, Decoder, DecoderConfig};
-use dvbs2_ldpc::TannerGraph;
+use dvbs2_ldpc::{BitVec, TannerGraph};
 use std::sync::Arc;
 
 /// Layered belief-propagation decoder over any Tanner graph.
@@ -19,25 +20,97 @@ use std::sync::Arc;
 pub struct LayeredDecoder {
     graph: Arc<TannerGraph>,
     config: DecoderConfig,
-    c2v: Vec<f64>,
-    totals: Vec<f64>,
-    scratch_in: Vec<f64>,
-    scratch_out: Vec<f64>,
+    core: Core,
+}
+
+#[derive(Debug, Clone)]
+enum Core {
+    F64(Engine<f64>),
+    F32(Engine<f32>),
+}
+
+/// Message planes and working buffers at one precision.
+///
+/// Unlike the two-phase schedules, the layered update must read a check's
+/// previous `c2v` while writing its fresh extrinsics, so each check keeps a
+/// small preallocated scratch pair instead of running in place.
+#[derive(Debug, Clone)]
+struct Engine<F> {
+    llr: Vec<F>,
+    c2v: Vec<F>,
+    totals: Vec<F>,
+    scratch_in: Vec<F>,
+    scratch_out: Vec<F>,
+    bits: BitVec,
+}
+
+impl<F: LlrFloat> Engine<F> {
+    fn new(graph: &TannerGraph) -> Self {
+        let vars = graph.var_count();
+        let max_degree = graph.max_check_degree();
+        Engine {
+            llr: vec![F::ZERO; vars],
+            c2v: vec![F::ZERO; graph.edge_count()],
+            totals: vec![F::ZERO; vars],
+            scratch_in: vec![F::ZERO; max_degree],
+            scratch_out: vec![F::ZERO; max_degree],
+            bits: BitVec::zeros(vars),
+        }
+    }
+
+    /// One full decode. Allocation-free except for the returned bit vector.
+    fn decode(
+        &mut self,
+        graph: &TannerGraph,
+        config: &DecoderConfig,
+        channel_llrs: &[f64],
+    ) -> DecodeResult {
+        load_llrs(&mut self.llr, channel_llrs);
+        let offsets = graph.check_offsets();
+        let edge_vars = graph.edge_vars();
+
+        self.c2v.fill(F::ZERO);
+        self.totals.copy_from_slice(&self.llr);
+        let mut iterations = 0;
+        let mut converged = false;
+
+        for _ in 0..config.max_iterations {
+            iterations += 1;
+            for c in 0..graph.check_count() {
+                let range = offsets[c] as usize..offsets[c + 1] as usize;
+                let d = range.len();
+                for (i, e) in range.clone().enumerate() {
+                    let v = edge_vars[e] as usize;
+                    self.scratch_in[i] = self.totals[v] - self.c2v[e];
+                }
+                config.rule.extrinsic_t(&self.scratch_in[..d], &mut self.scratch_out[..d]);
+                for (i, e) in range.enumerate() {
+                    let v = edge_vars[e] as usize;
+                    self.totals[v] += self.scratch_out[i] - self.c2v[e];
+                    self.c2v[e] = self.scratch_out[i];
+                }
+            }
+            if config.early_stop && syndrome_ok_totals(graph, &self.totals) {
+                converged = true;
+                break;
+            }
+        }
+        if !converged {
+            converged = syndrome_ok_totals(graph, &self.totals);
+        }
+        hard_decisions_into(&self.totals, &mut self.bits);
+        DecodeResult { bits: self.bits.clone(), iterations, converged }
+    }
 }
 
 impl LayeredDecoder {
     /// Creates a decoder for `graph`.
     pub fn new(graph: Arc<TannerGraph>, config: DecoderConfig) -> Self {
-        let max_degree =
-            (0..graph.check_count()).map(|c| graph.check_degree(c)).max().unwrap_or(0);
-        LayeredDecoder {
-            c2v: vec![0.0; graph.edge_count()],
-            totals: vec![0.0; graph.var_count()],
-            scratch_in: vec![0.0; max_degree],
-            scratch_out: vec![0.0; max_degree],
-            graph,
-            config,
-        }
+        let core = match config.precision {
+            Precision::F64 => Core::F64(Engine::new(&graph)),
+            Precision::F32 => Core::F32(Engine::new(&graph)),
+        };
+        LayeredDecoder { graph, config, core }
     }
 
     /// The decoder configuration.
@@ -48,39 +121,11 @@ impl LayeredDecoder {
 
 impl Decoder for LayeredDecoder {
     fn decode(&mut self, channel_llrs: &[f64]) -> DecodeResult {
-        let graph = Arc::clone(&self.graph);
-        assert_eq!(channel_llrs.len(), graph.var_count(), "LLR length mismatch");
-
-        self.c2v.fill(0.0);
-        self.totals.copy_from_slice(channel_llrs);
-        let mut iterations = 0;
-        let mut converged = false;
-
-        for _ in 0..self.config.max_iterations {
-            iterations += 1;
-            for c in 0..graph.check_count() {
-                let range = graph.check_edges(c);
-                let d = range.len();
-                for (i, e) in range.clone().enumerate() {
-                    let v = graph.var_of_edge(e);
-                    self.scratch_in[i] = self.totals[v] - self.c2v[e];
-                }
-                self.config.rule.extrinsic(&self.scratch_in[..d], &mut self.scratch_out[..d]);
-                for (i, e) in range.enumerate() {
-                    let v = graph.var_of_edge(e);
-                    self.totals[v] += self.scratch_out[i] - self.c2v[e];
-                    self.c2v[e] = self.scratch_out[i];
-                }
-            }
-            if self.config.early_stop && syndrome_ok(&graph, &hard_decisions(&self.totals)) {
-                converged = true;
-                break;
-            }
+        assert_eq!(channel_llrs.len(), self.graph.var_count(), "LLR length mismatch");
+        match &mut self.core {
+            Core::F64(e) => e.decode(&self.graph, &self.config, channel_llrs),
+            Core::F32(e) => e.decode(&self.graph, &self.config, channel_llrs),
         }
-        if !converged {
-            converged = syndrome_ok(&graph, &hard_decisions(&self.totals));
-        }
-        DecodeResult { bits: hard_decisions(&self.totals), iterations, converged }
     }
 
     fn name(&self) -> &'static str {
@@ -119,6 +164,20 @@ mod tests {
             flood_total += flooding.decode(&llrs).iterations;
         }
         assert!(lay_total < flood_total, "layered {lay_total} vs flooding {flood_total}");
+    }
+
+    #[test]
+    fn f32_fast_path_decodes_the_same_frames() {
+        let (code, graph) = small_code();
+        let graph = Arc::new(graph);
+        let (cw, llrs) = noisy_llrs(&code, 3.2, 19);
+        let mut fast = LayeredDecoder::new(
+            Arc::clone(&graph),
+            DecoderConfig::default().with_precision(Precision::F32),
+        );
+        let out = fast.decode(&llrs);
+        assert!(out.converged);
+        assert_eq!(out.bits, cw);
     }
 
     #[test]

@@ -38,6 +38,7 @@
 
 mod bitflip;
 mod de;
+mod engine;
 mod flooding;
 mod layered;
 mod llr_ops;
@@ -52,9 +53,10 @@ pub mod test_support;
 
 pub use bitflip::BitFlippingDecoder;
 pub use de::{Density, DensityEvolution};
+pub use engine::Precision;
 pub use flooding::FloodingDecoder;
 pub use layered::LayeredDecoder;
-pub use llr_ops::{boxplus, boxplus_min, CheckRule};
+pub use llr_ops::{boxplus, boxplus_min, boxplus_t, CheckRule, LlrFloat};
 pub use qdecoder::QuantizedZigzagDecoder;
 pub use quant::{QBoxplus, QCheckArithmetic, Quantizer};
 pub use stopping::{hard_decisions, hard_decisions_int, syndrome_ok};
@@ -75,11 +77,19 @@ pub struct DecoderConfig {
     pub early_stop: bool,
     /// Check-node update rule.
     pub rule: CheckRule,
+    /// Message precision. `F64` (the default) is bit-compatible with the
+    /// original double-precision decoders; `F32` is the fast path.
+    pub precision: Precision,
 }
 
 impl Default for DecoderConfig {
     fn default() -> Self {
-        DecoderConfig { max_iterations: 30, early_stop: true, rule: CheckRule::SumProduct }
+        DecoderConfig {
+            max_iterations: 30,
+            early_stop: true,
+            rule: CheckRule::SumProduct,
+            precision: Precision::F64,
+        }
     }
 }
 
@@ -104,6 +114,12 @@ impl DecoderConfig {
     /// Returns the config with early termination enabled or disabled.
     pub fn with_early_stop(mut self, early_stop: bool) -> Self {
         self.early_stop = early_stop;
+        self
+    }
+
+    /// Returns the config with a different message precision.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
         self
     }
 }
@@ -158,10 +174,13 @@ mod tests {
         let c = DecoderConfig::paper()
             .with_max_iterations(40)
             .with_rule(CheckRule::NormalizedMinSum(0.75))
-            .with_early_stop(false);
+            .with_early_stop(false)
+            .with_precision(Precision::F32);
         assert_eq!(c.max_iterations, 40);
         assert!(!c.early_stop);
         assert!(matches!(c.rule, CheckRule::NormalizedMinSum(_)));
+        assert_eq!(c.precision, Precision::F32);
+        assert_eq!(DecoderConfig::default().precision, Precision::F64);
     }
 
     #[test]

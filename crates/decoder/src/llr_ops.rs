@@ -11,6 +11,133 @@
 //! Min-sum keeps only the first term; normalized/offset min-sum apply a
 //! scalar correction. All check-node rules implement [`CheckRule`] so the
 //! decoders can be generic over them.
+//!
+//! Every kernel is generic over [`LlrFloat`] (`f32` or `f64`). The `f64`
+//! instantiation performs exactly the same floating-point operations in the
+//! same order as the original scalar code, so the double-precision reference
+//! path stays bit-identical across refactors; `f32` is the fast path with
+//! half the memory traffic.
+
+use std::fmt::Debug;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// Floating-point scalar usable as an LLR message (`f32` or `f64`).
+///
+/// The methods mirror the `std` float API one-to-one so generic kernels
+/// compile to the identical instruction sequence as hand-written scalar
+/// code. Sign tests intentionally use [`is_negative`](Self::is_negative)
+/// (`x < 0.0`) rather than `signum`, which would treat `-0.0` differently.
+pub trait LlrFloat:
+    Copy
+    + PartialOrd
+    + Debug
+    + Default
+    + Send
+    + Sync
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Positive infinity (min-sum accumulator seed).
+    const INFINITY: Self;
+
+    /// Converts from `f64` (rounding for `f32`).
+    fn from_f64(x: f64) -> Self;
+    /// Converts to `f64` (exact for both types).
+    fn to_f64(self) -> f64;
+    /// `self.abs()`.
+    fn abs(self) -> Self;
+    /// `self.min(other)` with `std` NaN semantics.
+    fn min(self, other: Self) -> Self;
+    /// `self.max(other)` with `std` NaN semantics.
+    fn max(self, other: Self) -> Self;
+    /// `self.copysign(sign)`.
+    fn copysign(self, sign: Self) -> Self;
+    /// `self.signum()`.
+    fn signum(self) -> Self;
+    /// `self.exp()`.
+    fn exp(self) -> Self;
+    /// `self.ln_1p()`.
+    fn ln_1p(self) -> Self;
+    /// `self < 0.0` (treats `-0.0` as non-negative, unlike `signum`).
+    #[inline]
+    fn is_negative(self) -> bool {
+        self < Self::ZERO
+    }
+    /// `if flip { -self } else { self }`, lowered to a sign-bit XOR.
+    ///
+    /// Exact for every input (negation only toggles the sign bit) and free
+    /// of data-dependent branches — in the decoder kernels `flip` is a
+    /// near-random parity bit, so a compare-and-branch here would
+    /// mispredict about every other message.
+    fn flip_sign_if(self, flip: bool) -> Self;
+    /// `if take_a { a } else { b }`, lowered to a bit-mask blend.
+    ///
+    /// Exact value selection with no data-dependent branch; used where the
+    /// condition is unpredictable (e.g. "is this the minimum edge?").
+    fn select(take_a: bool, a: Self, b: Self) -> Self;
+}
+
+macro_rules! impl_llr_float {
+    ($($t:ty => $b:ty),*) => {$(
+        impl LlrFloat for $t {
+            const ZERO: Self = 0.0;
+            const INFINITY: Self = <$t>::INFINITY;
+
+            #[inline]
+            fn from_f64(x: f64) -> Self {
+                x as $t
+            }
+            #[inline]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline]
+            fn abs(self) -> Self {
+                self.abs()
+            }
+            #[inline]
+            fn min(self, other: Self) -> Self {
+                self.min(other)
+            }
+            #[inline]
+            fn max(self, other: Self) -> Self {
+                self.max(other)
+            }
+            #[inline]
+            fn copysign(self, sign: Self) -> Self {
+                self.copysign(sign)
+            }
+            #[inline]
+            fn signum(self) -> Self {
+                self.signum()
+            }
+            #[inline]
+            fn exp(self) -> Self {
+                self.exp()
+            }
+            #[inline]
+            fn ln_1p(self) -> Self {
+                self.ln_1p()
+            }
+            #[inline]
+            fn flip_sign_if(self, flip: bool) -> Self {
+                <$t>::from_bits(self.to_bits() ^ ((flip as $b) << (<$b>::BITS - 1)))
+            }
+            #[inline]
+            fn select(take_a: bool, a: Self, b: Self) -> Self {
+                let mask = (take_a as $b).wrapping_neg();
+                <$t>::from_bits((a.to_bits() & mask) | (b.to_bits() & !mask))
+            }
+        }
+    )*};
+}
+impl_llr_float!(f32 => u32, f64 => u64);
 
 /// Exact pairwise boxplus (Eq. 5), numerically stable for any finite inputs.
 ///
@@ -23,15 +150,25 @@
 /// ```
 #[inline]
 pub fn boxplus(a: f64, b: f64) -> f64 {
+    boxplus_t(a, b)
+}
+
+/// [`boxplus`] generic over the message precision.
+#[inline]
+pub fn boxplus_t<F: LlrFloat>(a: F, b: F) -> F {
     let sign_min = a.abs().min(b.abs()).copysign(a) * b.signum();
     sign_min + ln_1p_exp_neg((a + b).abs()) - ln_1p_exp_neg((a - b).abs())
 }
 
 /// `ln(1 + e^{-x})` for `x >= 0`, stable against overflow.
 #[inline]
-fn ln_1p_exp_neg(x: f64) -> f64 {
-    debug_assert!(x >= 0.0);
-    if x > 40.0 { 0.0 } else { (-x).exp().ln_1p() }
+fn ln_1p_exp_neg<F: LlrFloat>(x: F) -> F {
+    debug_assert!(x >= F::ZERO);
+    if x > F::from_f64(40.0) {
+        F::ZERO
+    } else {
+        (-x).exp().ln_1p()
+    }
 }
 
 /// Pairwise min-sum approximation of boxplus.
@@ -43,8 +180,7 @@ pub fn boxplus_min(a: f64, b: f64) -> f64 {
 /// A check-node update rule: how the magnitudes of incoming messages
 /// combine. Decoders are generic over this to compare sum-product against
 /// min-sum variants (one of the ablations called out in DESIGN.md).
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum CheckRule {
     /// Exact sum-product (Eq. 5).
     #[default]
@@ -54,7 +190,6 @@ pub enum CheckRule {
     /// Min-sum with additive offset `beta >= 0` subtracted from magnitudes.
     OffsetMinSum(f64),
 }
-
 
 impl CheckRule {
     /// Computes the extrinsic output for every edge of one check node:
@@ -67,12 +202,26 @@ impl CheckRule {
     ///
     /// Panics if `out.len() != incoming.len()`.
     pub fn extrinsic(&self, incoming: &[f64], out: &mut [f64]) {
+        self.extrinsic_t(incoming, out);
+    }
+
+    /// [`extrinsic`](Self::extrinsic) generic over the message precision.
+    ///
+    /// The `incoming`/`out` slices may be disjoint views into a single
+    /// structure-of-arrays message store (one check node's contiguous edge
+    /// range of the v2c and c2v planes) — the kernels never read `out`
+    /// before writing it, so no per-check scratch copies are needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != incoming.len()`.
+    pub fn extrinsic_t<F: LlrFloat>(&self, incoming: &[F], out: &mut [F]) {
         assert_eq!(incoming.len(), out.len(), "length mismatch");
         let d = incoming.len();
         match d {
             0 => {}
             // Degree 1: the extrinsic of the only edge is "no information".
-            1 => out[0] = 0.0,
+            1 => out[0] = F::ZERO,
             2 => {
                 out[0] = self.degrade(incoming[1]);
                 out[1] = self.degrade(incoming[0]);
@@ -80,10 +229,12 @@ impl CheckRule {
             _ => match self {
                 CheckRule::SumProduct => sum_product_extrinsic(incoming, out),
                 CheckRule::NormalizedMinSum(alpha) => {
+                    let alpha = F::from_f64(*alpha);
                     min_sum_extrinsic(incoming, out, |m| m * alpha)
                 }
                 CheckRule::OffsetMinSum(beta) => {
-                    min_sum_extrinsic(incoming, out, |m| (m - beta).max(0.0))
+                    let beta = F::from_f64(*beta);
+                    min_sum_extrinsic(incoming, out, |m| (m - beta).max(F::ZERO))
                 }
             },
         }
@@ -91,57 +242,67 @@ impl CheckRule {
 
     /// Applies this rule's magnitude correction to a single pass-through
     /// message (degree-2 check node).
-    fn degrade(&self, x: f64) -> f64 {
+    fn degrade<F: LlrFloat>(&self, x: F) -> F {
         match *self {
             CheckRule::SumProduct => x,
-            CheckRule::NormalizedMinSum(alpha) => x * alpha,
-            CheckRule::OffsetMinSum(beta) => (x.abs() - beta).max(0.0).copysign(x),
+            CheckRule::NormalizedMinSum(alpha) => x * F::from_f64(alpha),
+            CheckRule::OffsetMinSum(beta) => (x.abs() - F::from_f64(beta)).max(F::ZERO).copysign(x),
         }
     }
 }
 
 /// Forward/backward sum-product extrinsic for `d >= 3`.
-fn sum_product_extrinsic(incoming: &[f64], out: &mut [f64]) {
+fn sum_product_extrinsic<F: LlrFloat>(incoming: &[F], out: &mut [F]) {
     let d = incoming.len();
     // out[i] currently unused; reuse it as the suffix accumulator store.
     // suffix[i] = incoming[i+1] ⊞ ... ⊞ incoming[d-1]
     out[d - 1] = incoming[d - 1];
     for i in (0..d - 1).rev() {
-        out[i] = boxplus(incoming[i], out[i + 1]);
+        out[i] = boxplus_t(incoming[i], out[i + 1]);
     }
     let mut prefix = incoming[0];
     let total_suffix = out[1];
     out[0] = total_suffix;
     for i in 1..d {
-        let suffix = if i + 1 < d { out[i + 1] } else { 0.0 };
-        out[i] = if i + 1 < d { boxplus(prefix, suffix) } else { prefix };
-        prefix = boxplus(prefix, incoming[i]);
+        let suffix = if i + 1 < d { out[i + 1] } else { F::ZERO };
+        out[i] = if i + 1 < d { boxplus_t(prefix, suffix) } else { prefix };
+        prefix = boxplus_t(prefix, incoming[i]);
     }
 }
 
 /// Two-minima min-sum extrinsic for `d >= 3` with a magnitude correction.
-fn min_sum_extrinsic(incoming: &[f64], out: &mut [f64], correct: impl Fn(f64) -> f64) {
-    let mut min1 = f64::INFINITY;
-    let mut min2 = f64::INFINITY;
+///
+/// The minima tracking is written with selects rather than an
+/// `if/else if` chain: on random LLRs the chain mispredicts constantly,
+/// and the selection logic is equivalent (`min2.min(mag)` covers the
+/// "between the minima" case exactly).
+fn min_sum_extrinsic<F: LlrFloat>(incoming: &[F], out: &mut [F], correct: impl Fn(F) -> F) {
+    let mut min1 = F::INFINITY;
+    let mut min2 = F::INFINITY;
     let mut min_idx = 0usize;
-    let mut sign_product = 1.0f64;
+    let mut negative_signs = 0u32;
     for (i, &x) in incoming.iter().enumerate() {
         let mag = x.abs();
-        if mag < min1 {
-            min2 = min1;
-            min1 = mag;
-            min_idx = i;
-        } else if mag < min2 {
-            min2 = mag;
-        }
-        if x < 0.0 {
-            sign_product = -sign_product;
-        }
+        // Two-smallest recurrence as min/max plus a mask blend for the
+        // index: the new second minimum is min(min2, max(min1, mag)) — if
+        // `mag` beats min1, the displaced min1 is the candidate, otherwise
+        // `mag` itself is. Exact value selection with no data-dependent
+        // branch; the comparison outcomes are near-random, so branching on
+        // them mispredicts on a large fraction of messages.
+        let smaller = mag < min1;
+        min2 = min2.min(min1.max(mag));
+        min1 = min1.min(mag);
+        let mask = (smaller as usize).wrapping_neg();
+        min_idx = (i & mask) | (min_idx & !mask);
+        negative_signs += x.is_negative() as u32;
     }
+    // sign_product * self_sign as one parity bit; toggling the sign bit is
+    // exact, so the result is bit-identical to the two-multiply
+    // formulation.
     for (i, o) in out.iter_mut().enumerate() {
-        let mag = correct(if i == min_idx { min2 } else { min1 });
-        let self_sign = if incoming[i] < 0.0 { -1.0 } else { 1.0 };
-        *o = sign_product * self_sign * mag;
+        let mag = correct(F::select(i == min_idx, min2, min1));
+        let flip = (negative_signs + incoming[i].is_negative() as u32) & 1 == 1;
+        *o = mag.flip_sign_if(flip);
     }
 }
 
@@ -193,31 +354,33 @@ mod tests {
     fn reference_extrinsic(rule: &CheckRule, incoming: &[f64]) -> Vec<f64> {
         let fold = |vals: Vec<f64>| -> f64 {
             match rule {
-                CheckRule::SumProduct => {
-                    vals.into_iter().reduce(boxplus).unwrap_or(0.0)
-                }
+                CheckRule::SumProduct => vals.into_iter().reduce(boxplus).unwrap_or(0.0),
                 CheckRule::NormalizedMinSum(alpha) => {
                     let sign: f64 =
                         vals.iter().map(|v| if *v < 0.0 { -1.0 } else { 1.0 }).product();
                     let mag = vals.iter().map(|v| v.abs()).fold(f64::INFINITY, f64::min);
-                    if mag.is_infinite() { 0.0 } else { sign * mag * alpha }
+                    if mag.is_infinite() {
+                        0.0
+                    } else {
+                        sign * mag * alpha
+                    }
                 }
                 CheckRule::OffsetMinSum(beta) => {
                     let sign: f64 =
                         vals.iter().map(|v| if *v < 0.0 { -1.0 } else { 1.0 }).product();
                     let mag = vals.iter().map(|v| v.abs()).fold(f64::INFINITY, f64::min);
-                    if mag.is_infinite() { 0.0 } else { sign * (mag - beta).max(0.0) }
+                    if mag.is_infinite() {
+                        0.0
+                    } else {
+                        sign * (mag - beta).max(0.0)
+                    }
                 }
             }
         };
         (0..incoming.len())
             .map(|i| {
-                let others: Vec<f64> = incoming
-                    .iter()
-                    .enumerate()
-                    .filter(|&(j, _)| j != i)
-                    .map(|(_, &v)| v)
-                    .collect();
+                let others: Vec<f64> =
+                    incoming.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, &v)| v).collect();
                 fold(others)
             })
             .collect()

@@ -58,8 +58,7 @@ impl QuantizedZigzagDecoder {
     ) -> Self {
         let n_check = graph.check_count();
         assert!(
-            graph.info_len() < graph.var_count()
-                && graph.var_count() - graph.info_len() == n_check,
+            graph.info_len() < graph.var_count() && graph.var_count() - graph.info_len() == n_check,
             "quantized zigzag decoder needs an IRA graph from TannerGraph::for_code"
         );
         let edges = graph.edge_count();
@@ -132,10 +131,8 @@ impl QuantizedZigzagDecoder {
                 } else {
                     None
                 };
-                self.scratch_in[d] = q.sat_add(
-                    channel[k + c],
-                    if c + 1 < n_check { self.backward[c] } else { 0 },
-                );
+                self.scratch_in[d] =
+                    q.sat_add(channel[k + c], if c + 1 < n_check { self.backward[c] } else { 0 });
                 let right_pos = d;
                 d += 1;
 

@@ -136,8 +136,7 @@ impl QBoxplus {
         let mag = a.abs().min(b.abs());
         // The correction adds to the *signed* value (Eq. 5's stable form);
         // rounding may not flip the sign, so clamp toward zero.
-        let raw = sign * mag
-            + self.corr[(a + b).unsigned_abs() as usize]
+        let raw = sign * mag + self.corr[(a + b).unsigned_abs() as usize]
             - self.corr[(a - b).unsigned_abs() as usize];
         if sign > 0 {
             raw.clamp(0, self.quantizer.max_mag())
@@ -359,12 +358,8 @@ mod tests {
         for i in 0..incoming.len() {
             // Reference: fold the other messages with the same
             // suffix-then-prefix association order used by `extrinsic`.
-            let others: Vec<i32> = incoming
-                .iter()
-                .enumerate()
-                .filter(|&(j, _)| j != i)
-                .map(|(_, &v)| v)
-                .collect();
+            let others: Vec<i32> =
+                incoming.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, &v)| v).collect();
             // extrinsic(i) = prefix(0..i) ⊞ suffix(i+1..), where prefix folds
             // left-to-right and suffix right-to-left.
             let prefix = incoming[..i].iter().copied().reduce(|a, b| bp.combine(a, b));

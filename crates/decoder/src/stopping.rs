@@ -20,14 +20,8 @@ pub fn hard_decisions_int(totals: &[i32]) -> BitVec {
 /// Panics if `bits.len() != graph.var_count()`.
 pub fn syndrome_ok(graph: &TannerGraph, bits: &BitVec) -> bool {
     assert_eq!(bits.len(), graph.var_count(), "word length mismatch");
-    (0..graph.check_count()).all(|c| {
-        graph
-            .check_edges(c)
-            .filter(|&e| bits.get(graph.var_of_edge(e)))
-            .count()
-            % 2
-            == 0
-    })
+    (0..graph.check_count())
+        .all(|c| graph.check_edges(c).filter(|&e| bits.get(graph.var_of_edge(e))).count() % 2 == 0)
 }
 
 #[cfg(test)]

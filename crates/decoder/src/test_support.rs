@@ -89,11 +89,7 @@ mod tests {
     fn noisy_llrs_mostly_agree_with_codeword_at_high_snr() {
         let (code, _) = small_code();
         let (cw, llrs) = noisy_llrs(&code, 8.0, 3);
-        let agreements = llrs
-            .iter()
-            .enumerate()
-            .filter(|&(i, &l)| (l < 0.0) == cw.get(i))
-            .count();
+        let agreements = llrs.iter().enumerate().filter(|&(i, &l)| (l < 0.0) == cw.get(i)).count();
         assert!(agreements as f64 / llrs.len() as f64 > 0.99);
     }
 }

@@ -116,8 +116,7 @@ pub fn ga_converges(dist: &DegreeDistribution, sigma: f64, max_iterations: usize
     let s = 2.0 / (sigma * sigma);
     let mut t = 0.0f64; // mean of check-to-variable messages
     for _ in 0..max_iterations {
-        let v_bar: f64 =
-            dist.var_edges.iter().map(|&(d, f)| f * phi(s + (d - 1) as f64 * t)).sum();
+        let v_bar: f64 = dist.var_edges.iter().map(|&(d, f)| f * phi(s + (d - 1) as f64 * t)).sum();
         // 1 - (1 - v)^(d-1) via ln_1p/exp_m1: plain arithmetic hits the
         // machine-epsilon floor near v ~ 1e-15 and falsely stalls.
         let u: f64 = dist

@@ -10,13 +10,21 @@
 //! * the same BER needs ≈ 10 fewer iterations (30 instead of 40);
 //! * only the backward messages must be stored — `E_PN / 2` values instead
 //!   of `E_PN` — halving the parity-message memory.
+//!
+//! The message store is the flat check-major layout of [`crate::engine`].
+//! Each check's parity edges sit at the tail of its contiguous edge range
+//! (left chain edge at `end - 2`, right at `end - 1`), so the sweep writes
+//! the two parity inputs straight into the v2c plane and runs the kernel in
+//! place: the forward message of check `c` *is* `c2v[end(c) - 1]` and the
+//! backward message to parity node `j` *is* `c2v[end(j + 1) - 2]` — no
+//! separate forward/backward arrays and no per-check scratch copies.
 
-#![allow(clippy::needless_range_loop)] // one index drives several parallel slices
-
-use crate::llr_ops::CheckRule;
-use crate::stopping::{hard_decisions, syndrome_ok};
+use crate::engine::{
+    accumulate_totals, hard_decisions_into, load_llrs, syndrome_ok_totals, Precision,
+};
+use crate::llr_ops::{CheckRule, LlrFloat};
 use crate::{DecodeResult, Decoder, DecoderConfig};
-use dvbs2_ldpc::TannerGraph;
+use dvbs2_ldpc::{BitVec, TannerGraph};
 use std::sync::Arc;
 
 /// Zigzag-schedule decoder for DVB-S2 (IRA) Tanner graphs.
@@ -28,21 +36,120 @@ use std::sync::Arc;
 pub struct ZigzagDecoder {
     graph: Arc<TannerGraph>,
     config: DecoderConfig,
-    /// Variable-to-check messages for information edges (indexed by graph
-    /// edge id; parity-edge slots unused).
-    v2c: Vec<f64>,
-    /// Check-to-variable messages for information edges.
-    c2v: Vec<f64>,
-    /// Backward messages `b[j] = CN_{j+1} -> PN_j` (the only stored parity
-    /// messages — the hardware memory-saving the paper describes).
-    backward: Vec<f64>,
-    /// Forward messages `f[j] = CN_j -> PN_j`. In hardware these live only
-    /// in the functional unit's pipeline register; the model keeps them for
-    /// the a-posteriori parity decisions.
-    forward: Vec<f64>,
-    totals: Vec<f64>,
-    scratch_in: Vec<f64>,
-    scratch_out: Vec<f64>,
+    core: Core,
+}
+
+#[derive(Debug, Clone)]
+enum Core {
+    F64(Engine<f64>),
+    F32(Engine<f32>),
+}
+
+/// Message planes and working buffers at one precision.
+#[derive(Debug, Clone)]
+struct Engine<F> {
+    llr: Vec<F>,
+    v2c: Vec<F>,
+    c2v: Vec<F>,
+    totals: Vec<F>,
+    totals_next: Vec<F>,
+    bits: BitVec,
+}
+
+impl<F: LlrFloat> Engine<F> {
+    fn new(graph: &TannerGraph) -> Self {
+        let edges = graph.edge_count();
+        let vars = graph.var_count();
+        Engine {
+            llr: vec![F::ZERO; vars],
+            v2c: vec![F::ZERO; edges],
+            c2v: vec![F::ZERO; edges],
+            totals: vec![F::ZERO; vars],
+            totals_next: vec![F::ZERO; vars],
+            bits: BitVec::zeros(vars),
+        }
+    }
+
+    /// One full decode. Allocation-free except for the returned bit vector.
+    fn decode(
+        &mut self,
+        graph: &TannerGraph,
+        config: &DecoderConfig,
+        channel_llrs: &[f64],
+    ) -> DecodeResult {
+        load_llrs(&mut self.llr, channel_llrs);
+        let k = graph.info_len();
+        let n_check = graph.check_count();
+        let offsets = graph.check_offsets();
+        let edge_vars = graph.edge_vars();
+
+        self.c2v.fill(F::ZERO);
+        // First-iteration gather sources: totals = llr plus all-zero messages.
+        accumulate_totals(edge_vars, &self.llr, &self.c2v, &mut self.totals);
+        let mut iterations = 0;
+        let mut converged = false;
+
+        for _ in 0..config.max_iterations {
+            iterations += 1;
+
+            // Sequential check-node sweep with immediate forward update,
+            // fused with both variable-node passes: each check gathers its
+            // information inputs from the previous totals (parallel, Eq. 4),
+            // runs the kernel in place, and scatters its fresh extrinsics
+            // into the next totals plane while the slice is cache-hot.
+            self.totals_next.fill(F::ZERO);
+            for c in 0..n_check {
+                let start = offsets[c] as usize;
+                let end = offsets[c + 1] as usize;
+                for ((x, &v), &m) in self.v2c[start..end]
+                    .iter_mut()
+                    .zip(&edge_vars[start..end])
+                    .zip(&self.c2v[start..end])
+                {
+                    *x = self.totals[v as usize] - m;
+                }
+                if c > 0 {
+                    // Left parity input PN_{c-1} -> CN_c: this sweep's fresh
+                    // forward message — the right-edge output of check c-1,
+                    // still warm at the tail of the previous range (the
+                    // paper's key optimization).
+                    self.v2c[end - 2] = self.llr[k + c - 1] + self.c2v[start - 1];
+                }
+                // Right parity input PN_c -> CN_c: last iteration's backward
+                // message — the left-edge slot of check c+1, not yet
+                // overwritten by this sweep (parallel backward update).
+                self.v2c[end - 1] = self.llr[k + c]
+                    + if c + 1 < n_check { self.c2v[offsets[c + 2] as usize - 2] } else { F::ZERO };
+                config.rule.extrinsic_t(&self.v2c[start..end], &mut self.c2v[start..end]);
+                for (&v, &m) in edge_vars[start..end].iter().zip(&self.c2v[start..end]) {
+                    self.totals_next[v as usize] += m;
+                }
+            }
+
+            // A-posteriori totals: channel LLR on top of the scattered sums
+            // for the information variables, the chain's forward + backward
+            // form for parity (overwriting the parity-edge scatter).
+            for (t, &l) in self.totals_next.iter_mut().zip(&self.llr) {
+                *t = l + *t;
+            }
+            for j in 0..n_check {
+                let forward = self.c2v[offsets[j + 1] as usize - 1];
+                let backward =
+                    if j + 1 < n_check { self.c2v[offsets[j + 2] as usize - 2] } else { F::ZERO };
+                self.totals_next[k + j] = self.llr[k + j] + forward + backward;
+            }
+            std::mem::swap(&mut self.totals, &mut self.totals_next);
+            if config.early_stop && syndrome_ok_totals(graph, &self.totals) {
+                converged = true;
+                break;
+            }
+        }
+        if !converged {
+            converged = syndrome_ok_totals(graph, &self.totals);
+        }
+        hard_decisions_into(&self.totals, &mut self.bits);
+        DecodeResult { bits: self.bits.clone(), iterations, converged }
+    }
 }
 
 impl ZigzagDecoder {
@@ -52,131 +159,35 @@ impl ZigzagDecoder {
     ///
     /// Panics if the graph has no parity chain (`info_len == var_count`).
     pub fn new(graph: Arc<TannerGraph>, config: DecoderConfig) -> Self {
-        let n_check = graph.check_count();
         assert!(
             graph.info_len() < graph.var_count(),
             "zigzag schedule needs a parity chain; use TannerGraph::for_code"
         );
         assert_eq!(
             graph.var_count() - graph.info_len(),
-            n_check,
+            graph.check_count(),
             "IRA structure requires one parity variable per check"
         );
-        let edges = graph.edge_count();
-        let max_degree =
-            (0..n_check).map(|c| graph.check_degree(c)).max().unwrap_or(0);
-        ZigzagDecoder {
-            graph,
-            config,
-            v2c: vec![0.0; edges],
-            c2v: vec![0.0; edges],
-            backward: vec![0.0; n_check],
-            forward: vec![0.0; n_check],
-            totals: vec![0.0; 0],
-            scratch_in: vec![0.0; max_degree],
-            scratch_out: vec![0.0; max_degree],
-        }
+        let core = match config.precision {
+            Precision::F64 => Core::F64(Engine::new(&graph)),
+            Precision::F32 => Core::F32(Engine::new(&graph)),
+        };
+        ZigzagDecoder { graph, config, core }
     }
 
     /// The decoder configuration.
     pub fn config(&self) -> &DecoderConfig {
         &self.config
     }
-
-    /// Number of information edges of check `c` (its edge range minus the
-    /// trailing parity edges).
-    #[inline]
-    fn info_degree(&self, c: usize) -> usize {
-        self.graph.check_degree(c) - if c == 0 { 1 } else { 2 }
-    }
 }
 
 impl Decoder for ZigzagDecoder {
     fn decode(&mut self, channel_llrs: &[f64]) -> DecodeResult {
-        let graph = Arc::clone(&self.graph);
-        assert_eq!(channel_llrs.len(), graph.var_count(), "LLR length mismatch");
-        let k = graph.info_len();
-        let n_check = graph.check_count();
-
-        self.c2v.fill(0.0);
-        self.backward.fill(0.0);
-        self.totals = vec![0.0; graph.var_count()];
-        let mut iterations = 0;
-        let mut converged = false;
-
-        for _ in 0..self.config.max_iterations {
-            iterations += 1;
-
-            // Information variable-node phase (parallel, Eq. 4).
-            for v in 0..k {
-                let edges = graph.var_edges(v);
-                let total: f64 =
-                    channel_llrs[v] + edges.iter().map(|&e| self.c2v[e as usize]).sum::<f64>();
-                self.totals[v] = total;
-                for &e in edges {
-                    self.v2c[e as usize] = total - self.c2v[e as usize];
-                }
-            }
-
-            // Sequential check-node sweep with immediate forward update.
-            let mut fwd_prev = 0.0; // f_{j-1}, fresh from this sweep
-            for c in 0..n_check {
-                let info_d = self.info_degree(c);
-                let range = graph.check_edges(c);
-                let start = range.start;
-                for i in 0..info_d {
-                    self.scratch_in[i] = self.v2c[start + i];
-                }
-                let mut d = info_d;
-                // Left parity input: PN_{c-1} -> CN_c, using this sweep's
-                // fresh forward message (the paper's key optimization).
-                let left_pos = if c > 0 {
-                    self.scratch_in[d] = channel_llrs[k + c - 1] + fwd_prev;
-                    d += 1;
-                    Some(d - 1)
-                } else {
-                    None
-                };
-                // Right parity input: PN_c -> CN_c, using last iteration's
-                // backward message (parallel backward update).
-                self.scratch_in[d] = channel_llrs[k + c]
-                    + if c + 1 < n_check { self.backward[c] } else { 0.0 };
-                let right_pos = d;
-                d += 1;
-
-                self.config.rule.extrinsic(&self.scratch_in[..d], &mut self.scratch_out[..d]);
-
-                for i in 0..info_d {
-                    self.c2v[start + i] = self.scratch_out[i];
-                }
-                if let Some(p) = left_pos {
-                    // CN_c -> PN_{c-1}: the new backward message, consumed by
-                    // CN_{c-1} only in the *next* iteration.
-                    self.backward[c - 1] = self.scratch_out[p];
-                }
-                fwd_prev = self.scratch_out[right_pos];
-                self.forward[c] = fwd_prev;
-            }
-
-            // A-posteriori totals and early termination.
-            for v in 0..k {
-                self.totals[v] = channel_llrs[v]
-                    + graph.var_edges(v).iter().map(|&e| self.c2v[e as usize]).sum::<f64>();
-            }
-            for j in 0..n_check {
-                self.totals[k + j] = channel_llrs[k + j]
-                    + self.forward[j]
-                    + if j + 1 < n_check { self.backward[j] } else { 0.0 };
-            }
-            if self.config.early_stop && syndrome_ok(&graph, &hard_decisions(&self.totals)) {
-                converged = true;
-                break;
-            }
+        assert_eq!(channel_llrs.len(), self.graph.var_count(), "LLR length mismatch");
+        match &mut self.core {
+            Core::F64(e) => e.decode(&self.graph, &self.config, channel_llrs),
+            Core::F32(e) => e.decode(&self.graph, &self.config, channel_llrs),
         }
-        if !converged {
-            converged = syndrome_ok(&graph, &hard_decisions(&self.totals));
-        }
-        DecodeResult { bits: hard_decisions(&self.totals), iterations, converged }
     }
 
     fn name(&self) -> &'static str {
@@ -236,10 +247,7 @@ mod tests {
             zig_total += zigzag.decode(&llrs).iterations;
             flood_total += flooding.decode(&llrs).iterations;
         }
-        assert!(
-            zig_total < flood_total,
-            "zigzag {zig_total} iters vs flooding {flood_total}"
-        );
+        assert!(zig_total < flood_total, "zigzag {zig_total} iters vs flooding {flood_total}");
     }
 
     #[test]
@@ -267,6 +275,22 @@ mod tests {
         );
         let out = dec.decode(&llrs);
         assert_eq!(out.bits, cw);
+    }
+
+    #[test]
+    fn f32_fast_path_decodes_the_same_frames() {
+        let (code, graph) = small_code();
+        let graph = Arc::new(graph);
+        for seed in 0..4 {
+            let (cw, llrs) = noisy_llrs(&code, 3.2, 700 + seed);
+            let mut fast = ZigzagDecoder::new(
+                Arc::clone(&graph),
+                DecoderConfig::default().with_precision(Precision::F32),
+            );
+            let out = fast.decode(&llrs);
+            assert!(out.converged, "seed {seed}");
+            assert_eq!(out.bits, cw, "seed {seed}");
+        }
     }
 
     #[test]

@@ -1,0 +1,87 @@
+//! Steady-state allocation audit for the message-passing decoders.
+//!
+//! The engines preallocate every message plane and working buffer in
+//! `new()`; after a warm-up decode, each subsequent `decode()` must perform
+//! exactly ONE heap allocation — the `BitVec` handed back in the result —
+//! and match it with one deallocation. A counting global allocator enforces
+//! this; the test lives in its own integration-test binary so no other
+//! test's allocations can leak into the counters.
+
+use dvbs2_decoder::test_support::{noisy_llrs, small_code};
+use dvbs2_decoder::{
+    CheckRule, Decoder, DecoderConfig, FloodingDecoder, LayeredDecoder, Precision, ZigzagDecoder,
+};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+static DEALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        DEALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// Runs `decode` on three frames after a warm-up and asserts that each call
+/// allocated exactly once (the returned bit vector) and freed exactly once
+/// (the previous result, dropped between calls).
+fn assert_single_allocation_per_decode(name: &str, decoder: &mut dyn Decoder, llrs: &[f64]) {
+    let mut results = vec![decoder.decode(llrs)]; // warm-up
+    for round in 0..3 {
+        let before_alloc = ALLOCATIONS.load(Ordering::SeqCst);
+        let before_dealloc = DEALLOCATIONS.load(Ordering::SeqCst);
+        let result = decoder.decode(llrs);
+        let allocated = ALLOCATIONS.load(Ordering::SeqCst) - before_alloc;
+        let deallocated = DEALLOCATIONS.load(Ordering::SeqCst) - before_dealloc;
+        assert_eq!(
+            allocated, 1,
+            "{name} round {round}: expected the result BitVec to be the only \
+             allocation, saw {allocated}"
+        );
+        assert_eq!(
+            deallocated, 0,
+            "{name} round {round}: decode freed {deallocated} buffers mid-flight"
+        );
+        results.push(result); // keep results alive outside the measured window
+    }
+    drop(results);
+}
+
+#[test]
+fn decoders_do_not_allocate_after_warm_up() {
+    let (code, graph) = small_code();
+    let graph = Arc::new(graph);
+    let (_, llrs) = noisy_llrs(&code, 1.4, 31);
+
+    let configs = [
+        ("sum-product f64", DecoderConfig::default()),
+        ("min-sum f64", DecoderConfig::default().with_rule(CheckRule::NormalizedMinSum(0.8))),
+        ("sum-product f32", DecoderConfig::default().with_precision(Precision::F32)),
+    ];
+    for (label, config) in configs {
+        let mut flooding = FloodingDecoder::new(Arc::clone(&graph), config);
+        assert_single_allocation_per_decode(&format!("flooding {label}"), &mut flooding, &llrs);
+        let mut zigzag = ZigzagDecoder::new(Arc::clone(&graph), config);
+        assert_single_allocation_per_decode(&format!("zigzag {label}"), &mut zigzag, &llrs);
+        let mut layered = LayeredDecoder::new(Arc::clone(&graph), config);
+        assert_single_allocation_per_decode(&format!("layered {label}"), &mut layered, &llrs);
+    }
+}

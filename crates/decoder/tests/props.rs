@@ -9,6 +9,29 @@ fn finite_llr() -> impl Strategy<Value = f64> {
     -25.0..25.0f64
 }
 
+/// One check node's inputs at a random degree in `2..=30` — the degree range
+/// DVB-S2 check nodes actually take (4..=30 in the standard, plus the
+/// degenerate degrees the kernels special-case).
+fn check_inputs() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(finite_llr(), 2..31)
+}
+
+/// Pairwise-fold reference for one extrinsic output: combines every input
+/// except `skip` with the rule's *pairwise* operator, applying the min-sum
+/// correction once at the end. This is the textbook definition the O(d)
+/// kernels (prefix/suffix boxplus, two-smallest min-sum) must reproduce.
+fn pairwise_fold(rule: &CheckRule, incoming: &[f64], skip: usize) -> f64 {
+    let others = incoming.iter().enumerate().filter(|&(j, _)| j != skip).map(|(_, &v)| v);
+    match *rule {
+        CheckRule::SumProduct => others.reduce(boxplus).unwrap_or(0.0),
+        CheckRule::NormalizedMinSum(alpha) => others.reduce(boxplus_min).unwrap_or(0.0) * alpha,
+        CheckRule::OffsetMinSum(beta) => {
+            let m = others.reduce(boxplus_min).unwrap_or(0.0);
+            (m.abs() - beta).max(0.0).copysign(m)
+        }
+    }
+}
+
 proptest! {
     /// Boxplus is commutative.
     #[test]
@@ -77,6 +100,75 @@ proptest! {
         let out = bp.combine(a, b);
         if a != 0 && b != 0 && out != 0 {
             prop_assert_eq!(out.signum(), a.signum() * b.signum());
+        }
+    }
+
+    /// The O(d) prefix/suffix sum-product kernel matches the pairwise
+    /// boxplus fold at every random degree in 2..=30. f64 tolerance 1e-9
+    /// absolute: the kernel and the fold associate the boxplus chain
+    /// differently, and boxplus is only associative up to rounding.
+    #[test]
+    fn sum_product_kernel_matches_pairwise_fold(incoming in check_inputs()) {
+        let mut out = vec![0.0; incoming.len()];
+        CheckRule::SumProduct.extrinsic(&incoming, &mut out);
+        for i in 0..incoming.len() {
+            let want = pairwise_fold(&CheckRule::SumProduct, &incoming, i);
+            prop_assert!(
+                (out[i] - want).abs() < 1e-9,
+                "degree {} edge {i}: kernel {} vs fold {want}",
+                incoming.len(),
+                out[i]
+            );
+        }
+    }
+
+    /// The two-smallest min-sum kernel matches the pairwise min-sum fold
+    /// *exactly* in f64: taking a minimum never rounds, and the single
+    /// final alpha/beta correction is the same operation in both.
+    #[test]
+    fn min_sum_kernel_matches_pairwise_fold(incoming in check_inputs()) {
+        for rule in [CheckRule::NormalizedMinSum(0.8), CheckRule::OffsetMinSum(0.15)] {
+            let mut out = vec![0.0; incoming.len()];
+            rule.extrinsic(&incoming, &mut out);
+            for i in 0..incoming.len() {
+                let want = pairwise_fold(&rule, &incoming, i);
+                prop_assert!(
+                    out[i] == want,
+                    "{rule:?} degree {} edge {i}: kernel {} vs fold {want}",
+                    incoming.len(),
+                    out[i]
+                );
+            }
+        }
+    }
+
+    /// The f32 fast-path kernels track the f64 kernels within 1e-3 relative
+    /// (plus a 1e-3 absolute floor near zero). Documented budget: each f32
+    /// boxplus carries ~1e-7 relative rounding error and a degree-30 check
+    /// chains at most 29 of them, so 1e-3 is two orders of margin; min-sum
+    /// is exact in both precisions apart from the final correction multiply.
+    #[test]
+    fn f32_kernels_track_f64_within_documented_tolerance(incoming in check_inputs()) {
+        let in32: Vec<f32> = incoming.iter().map(|&x| x as f32).collect();
+        for rule in [
+            CheckRule::SumProduct,
+            CheckRule::NormalizedMinSum(0.8),
+            CheckRule::OffsetMinSum(0.15),
+        ] {
+            let mut out64 = vec![0.0f64; incoming.len()];
+            let mut out32 = vec![0.0f32; incoming.len()];
+            rule.extrinsic_t(&incoming, &mut out64);
+            rule.extrinsic_t(&in32, &mut out32);
+            for i in 0..incoming.len() {
+                let err = (out32[i] as f64 - out64[i]).abs();
+                prop_assert!(
+                    err <= 1e-3 * (1.0 + out64[i].abs()),
+                    "{rule:?} degree {} edge {i}: f32 {} vs f64 {} (err {err:.3e})",
+                    incoming.len(),
+                    out32[i],
+                    out64[i]
+                );
+            }
         }
     }
 

@@ -155,6 +155,24 @@ fn cmd_vectors(args: &[String]) -> Option<()> {
     Some(())
 }
 
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        return usage();
+    };
+    let ok = match cmd.as_str() {
+        "info" => cmd_info(rest),
+        "ber" => cmd_ber(rest),
+        "hw" => cmd_hw(rest),
+        "vectors" => cmd_vectors(rest),
+        _ => None,
+    };
+    match ok {
+        Some(()) => ExitCode::SUCCESS,
+        None => usage(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,23 +206,5 @@ mod tests {
         assert!(cmd_info(&[]).is_some());
         assert!(cmd_info(&["1/2".into(), "--short".into()]).is_some());
         assert!(cmd_info(&["7/8".into()]).is_none());
-    }
-}
-
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some((cmd, rest)) = args.split_first() else {
-        return usage();
-    };
-    let ok = match cmd.as_str() {
-        "info" => cmd_info(rest),
-        "ber" => cmd_ber(rest),
-        "hw" => cmd_hw(rest),
-        "vectors" => cmd_vectors(rest),
-        _ => None,
-    };
-    match ok {
-        Some(()) => ExitCode::SUCCESS,
-        None => usage(),
     }
 }

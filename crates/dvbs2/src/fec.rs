@@ -73,11 +73,9 @@ impl FecChain {
             DecoderKind::Layered => {
                 Box::new(LayeredDecoder::new(Arc::clone(&graph), config.decoder_config))
             }
-            DecoderKind::Quantized(q) => Box::new(QuantizedZigzagDecoder::new(
-                Arc::clone(&graph),
-                q,
-                config.decoder_config,
-            )),
+            DecoderKind::Quantized(q) => {
+                Box::new(QuantizedZigzagDecoder::new(Arc::clone(&graph), q, config.decoder_config))
+            }
             DecoderKind::BitFlipping => Box::new(dvbs2_decoder::BitFlippingDecoder::new(
                 Arc::clone(&graph),
                 config.decoder_config,

@@ -50,7 +50,10 @@ impl fmt::Display for FramingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FramingError::HeaderCrc { computed, received } => {
-                write!(f, "BBHEADER CRC mismatch: computed {computed:#04x}, received {received:#04x}")
+                write!(
+                    f,
+                    "BBHEADER CRC mismatch: computed {computed:#04x}, received {received:#04x}"
+                )
             }
             FramingError::DataFieldTooLong { dfl, capacity } => {
                 write!(f, "data field of {dfl} bits exceeds frame capacity {capacity}")
@@ -167,10 +170,7 @@ pub fn extract_bbframe(frame: &BitVec) -> Result<(BbHeader, BitVec), FramingErro
     let header = BbHeader::parse(frame)?;
     let dfl = header.dfl as usize;
     if BBHEADER_BITS + dfl > frame.len() {
-        return Err(FramingError::DataFieldTooLong {
-            dfl,
-            capacity: frame.len() - BBHEADER_BITS,
-        });
+        return Err(FramingError::DataFieldTooLong { dfl, capacity: frame.len() - BBHEADER_BITS });
     }
     let payload = (0..dfl).map(|i| frame.get(BBHEADER_BITS + i)).collect();
     Ok((header, payload))
@@ -206,16 +206,13 @@ mod tests {
     fn crc8_known_properties() {
         // All-zero input gives zero; a single leading 1 gives the generator
         // remainder pattern.
-        assert_eq!(crc8_dvbs2(std::iter::repeat(false).take(72)), 0);
-        assert_ne!(crc8_dvbs2(std::iter::once(true).chain(std::iter::repeat(false).take(71))), 0);
+        assert_eq!(crc8_dvbs2(std::iter::repeat_n(false, 72)), 0);
+        assert_ne!(crc8_dvbs2(std::iter::once(true).chain(std::iter::repeat_n(false, 71))), 0);
         // Linearity over GF(2): crc(a ^ b) = crc(a) ^ crc(b).
         let a: Vec<bool> = (0..72).map(|i| i % 3 == 0).collect();
         let b: Vec<bool> = (0..72).map(|i| i % 5 == 0).collect();
         let ab: Vec<bool> = a.iter().zip(&b).map(|(&x, &y)| x ^ y).collect();
-        assert_eq!(
-            crc8_dvbs2(ab),
-            crc8_dvbs2(a.iter().copied()) ^ crc8_dvbs2(b.iter().copied())
-        );
+        assert_eq!(crc8_dvbs2(ab), crc8_dvbs2(a.iter().copied()) ^ crc8_dvbs2(b.iter().copied()));
     }
 
     #[test]

@@ -50,12 +50,12 @@ pub mod prelude {
     };
     pub use dvbs2_bch::{BchCode, BchDecoder, BchEncoder};
     pub use dvbs2_channel::{
-        monte_carlo, noise_sigma, shannon_limit_biawgn_db, AwgnChannel, BerEstimate,
-        FrameOutcome, Modulation, StopRule,
+        mix_seed, monte_carlo, monte_carlo_frames, noise_sigma, shannon_limit_biawgn_db,
+        AwgnChannel, BerEstimate, FrameOutcome, Modulation, StopRule,
     };
     pub use dvbs2_decoder::{
         CheckRule, DecodeResult, Decoder, DecoderConfig, FloodingDecoder, LayeredDecoder,
-        Quantizer, QuantizedZigzagDecoder, ZigzagDecoder,
+        Precision, QuantizedZigzagDecoder, Quantizer, ZigzagDecoder,
     };
     pub use dvbs2_hardware::{
         optimize_schedule, AnnealOptions, AreaModel, CnSchedule, ConnectivityRom, CoreConfig,
@@ -66,10 +66,12 @@ pub mod prelude {
 
 use dvbs2_channel::{AwgnChannel, FrameOutcome, Modulation};
 use dvbs2_decoder::{
-    Decoder, DecoderConfig, FloodingDecoder, LayeredDecoder, QuantizedZigzagDecoder,
-    Quantizer, ZigzagDecoder,
+    Decoder, DecoderConfig, FloodingDecoder, LayeredDecoder, QuantizedZigzagDecoder, Quantizer,
+    ZigzagDecoder,
 };
-use dvbs2_ldpc::{BitVec, CodeError, CodeParams, CodeRate, DvbS2Code, Encoder, FrameSize, TannerGraph};
+use dvbs2_ldpc::{
+    BitVec, CodeError, CodeParams, CodeRate, DvbS2Code, Encoder, FrameSize, TannerGraph,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -186,10 +188,9 @@ impl Dvbs2System {
             DecoderKind::Quantized(q) => {
                 Box::new(QuantizedZigzagDecoder::new(graph, q, self.config.decoder_config))
             }
-            DecoderKind::BitFlipping => Box::new(dvbs2_decoder::BitFlippingDecoder::new(
-                graph,
-                self.config.decoder_config,
-            )),
+            DecoderKind::BitFlipping => {
+                Box::new(dvbs2_decoder::BitFlippingDecoder::new(graph, self.config.decoder_config))
+            }
         }
     }
 
@@ -213,7 +214,9 @@ impl Dvbs2System {
         let interleaver = (self.config.modulation == Modulation::Psk8)
             .then(|| dvbs2_channel::BlockInterleaver::dvbs2_8psk(codeword.len()));
         let mapped: BitVec = match &interleaver {
-            Some(il) => il.interleave(&codeword.iter().collect::<Vec<bool>>()).into_iter().collect(),
+            Some(il) => {
+                il.interleave(&codeword.iter().collect::<Vec<bool>>()).into_iter().collect()
+            }
             None => codeword.clone(),
         };
         let mut samples = self.config.modulation.modulate(&mapped);
@@ -227,7 +230,22 @@ impl Dvbs2System {
         TransmittedFrame { codeword, llrs }
     }
 
-    /// Estimates BER/FER at one `Eb/N0` with the Monte-Carlo harness.
+    /// Frames per work-stealing chunk in [`simulate_ber`](Self::simulate_ber).
+    ///
+    /// Part of the run's deterministic identity: the early-out merges whole
+    /// chunks, so changing this value changes how many frames a
+    /// target-frame-errors run covers (never *which* noise realization a
+    /// frame sees — that depends only on the seed and the frame index).
+    pub const BER_CHUNK_FRAMES: usize = 8;
+
+    /// Estimates BER/FER at one `Eb/N0` with the chunked work-stealing
+    /// Monte-Carlo harness.
+    ///
+    /// Every global frame index gets its own RNG stream derived from the
+    /// configured seed, so the estimate is bit-reproducible for a given
+    /// seed regardless of `threads` or scheduling; with a
+    /// `target_frame_errors` early-out, at most one in-flight chunk per
+    /// thread is wasted.
     pub fn simulate_ber(
         &self,
         ebn0_db: f64,
@@ -235,15 +253,14 @@ impl Dvbs2System {
         threads: usize,
     ) -> dvbs2_channel::BerEstimate {
         let k = self.params().k;
-        dvbs2_channel::monte_carlo(threads, stop, |thread| {
-            let mut rng = SmallRng::seed_from_u64(
-                self.config.seed ^ (thread as u64) << 32 ^ ebn0_db.to_bits(),
-            );
+        let base = self.config.seed ^ ebn0_db.to_bits();
+        dvbs2_channel::monte_carlo_frames(threads, stop, Self::BER_CHUNK_FRAMES, |_thread| {
             let mut decoder = self.make_decoder();
-            move || {
-                let frame = self.transmit_frame(&mut rng, ebn0_db);
-                let out = decoder.decode(&frame.llrs);
-                let bit_errors = out.info_bit_errors(&frame.codeword, k);
+            move |frame: u64| {
+                let mut rng = SmallRng::seed_from_u64(dvbs2_channel::mix_seed(base, frame));
+                let tx = self.transmit_frame(&mut rng, ebn0_db);
+                let out = decoder.decode(&tx.llrs);
+                let bit_errors = out.info_bit_errors(&tx.codeword, k);
                 FrameOutcome {
                     bit_errors,
                     info_bits: k,
@@ -291,6 +308,16 @@ mod tests {
         let a = system.simulate_ber(2.0, StopRule::frames(4), 2);
         let b = system.simulate_ber(2.0, StopRule::frames(4), 2);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn simulate_ber_is_independent_of_thread_count() {
+        // Per-frame RNG streams + deterministic chunk-prefix early-out: the
+        // counts must be identical however the frames are scheduled.
+        let system = short_system(DecoderKind::Zigzag);
+        let one = system.simulate_ber(1.5, StopRule::frames(6), 1);
+        let four = system.simulate_ber(1.5, StopRule::frames(6), 4);
+        assert_eq!(one, four);
     }
 
     #[test]

@@ -253,7 +253,8 @@ impl HardwareDecoder {
         if !converged {
             converged = syndrome_clean(&self.params, &self.rom, &self.totals);
         }
-        cycles.total_cycles = cycles.io_cycles + cycles.info_phase_cycles + cycles.check_phase_cycles;
+        cycles.total_cycles =
+            cycles.io_cycles + cycles.info_phase_cycles + cycles.check_phase_cycles;
         HwDecodeOutput {
             result: DecodeResult {
                 bits: hard_decisions_int(&self.totals),
@@ -294,13 +295,7 @@ impl HardwareDecoder {
                     let base = self.rom.group_base(group);
                     // Split borrows: block_in is read, block_out written.
                     let (bi, bo) = (&self.block_in[..d * p], &mut self.block_out[..d * p]);
-                    self.fu.process_vn_group(
-                        d,
-                        &channel[group * p..(group + 1) * p],
-                        bi,
-                        bo,
-                        None,
-                    );
+                    self.fu.process_vn_group(d, &channel[group * p..(group + 1) * p], bi, bo, None);
                     let first_out = (cycle + 1 + latency).max(output_free_at);
                     for i in 0..d {
                         let shift = self.rom.entry(base + i).shift as usize;
@@ -318,7 +313,13 @@ impl HardwareDecoder {
                 }
             }
             let read_bank = read_word.map(|w| (w % self.config.memory.banks) as u32);
-            queue.step(cycle, read_bank, self.config.memory, &mut self.ram, &mut self.write_pending);
+            queue.step(
+                cycle,
+                read_bank,
+                self.config.memory,
+                &mut self.ram,
+                &mut self.write_pending,
+            );
             cycle += 1;
         }
         (cycle, queue.max_buffer)
@@ -363,7 +364,13 @@ impl HardwareDecoder {
                 }
             }
             let read_bank = read_word.map(|w| (w % self.config.memory.banks) as u32);
-            queue.step(cycle, read_bank, self.config.memory, &mut self.ram, &mut self.write_pending);
+            queue.step(
+                cycle,
+                read_bank,
+                self.config.memory,
+                &mut self.ram,
+                &mut self.write_pending,
+            );
             cycle += 1;
         }
         self.fu.end_check_phase();

@@ -299,11 +299,8 @@ mod tests {
         let code = short_code();
         let mut m = model(&code);
         let graph = Arc::new(code.tanner_graph());
-        let mut ideal = QuantizedZigzagDecoder::new(
-            graph,
-            Quantizer::paper_6bit(),
-            DecoderConfig::default(),
-        );
+        let mut ideal =
+            QuantizedZigzagDecoder::new(graph, Quantizer::paper_6bit(), DecoderConfig::default());
         for seed in 0..3 {
             let (cw, llrs) = noisy_llrs(&code, 3.4, 800 + seed);
             let channel = m.quantize_channel(&llrs);
@@ -340,8 +337,7 @@ mod tests {
         )
         .schedule;
         let mut natural = model(&code);
-        let mut optimized =
-            GoldenModel::new(&code, annealed, Quantizer::paper_6bit(), 30, true);
+        let mut optimized = GoldenModel::new(&code, annealed, Quantizer::paper_6bit(), 30, true);
         let (cw, llrs) = noisy_llrs(&code, 3.4, 321);
         let channel = natural.quantize_channel(&llrs);
         let a = natural.decode_quantized(&channel);

@@ -120,10 +120,8 @@ impl EnergyModel {
         // Message RAM: per iteration, each phase reads and writes every
         // wide word once.
         let message_accesses = 2.0 * iters * words;
-        let message_ram_nj = message_accesses
-            * wide_bits
-            * (c.sram_read_pj_per_bit + c.sram_write_pj_per_bit)
-            / 1e3;
+        let message_ram_nj =
+            message_accesses * wide_bits * (c.sram_read_pj_per_bit + c.sram_write_pj_per_bit) / 1e3;
 
         // Channel RAM: one read per message operation side; parity RAM: one
         // wide read + write per check row.
@@ -233,8 +231,7 @@ mod tests {
         let model = EnergyModel::default_0_13um();
         let report = model.frame_energy(&params(CodeRate::R1_2), 30);
         let text = report.to_string();
-        for row in ["message RAMs", "functional units", "shuffle network", "per information bit"]
-        {
+        for row in ["message RAMs", "functional units", "shuffle network", "per information bit"] {
             assert!(text.contains(row), "missing {row}");
         }
     }

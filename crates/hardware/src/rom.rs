@@ -124,8 +124,7 @@ impl ConnectivityRom {
     /// The residue is implicit in the schedule order and need not be stored.
     pub fn storage_bits(&self) -> usize {
         let shift_bits = usize::BITS as usize - (PARALLELISM - 1).leading_zeros() as usize;
-        let addr_bits =
-            usize::BITS as usize - (self.words().max(2) - 1).leading_zeros() as usize;
+        let addr_bits = usize::BITS as usize - (self.words().max(2) - 1).leading_zeros() as usize;
         self.entries.len() * (shift_bits + addr_bits)
     }
 }

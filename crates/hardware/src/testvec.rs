@@ -96,8 +96,7 @@ impl TestVectorSet {
                         // Box–Muller, cosine branch.
                         let u1: f64 = 1.0 - rng.random::<f64>();
                         let u2: f64 = rng.random::<f64>();
-                        let noise =
-                            (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                        let noise = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
                         quantizer.quantize(2.0 * (x + sigma * noise) / sigma2)
                     })
                     .collect();

@@ -92,11 +92,7 @@ impl BitVec {
     /// Panics if the lengths differ.
     pub fn hamming_distance(&self, other: &BitVec) -> usize {
         assert_eq!(self.len, other.len, "length mismatch");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a ^ b).count_ones() as usize)
-            .sum()
+        self.words.iter().zip(&other.words).map(|(a, b)| (a ^ b).count_ones() as usize).sum()
     }
 
     /// Iterates over the bits as booleans.

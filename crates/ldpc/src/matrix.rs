@@ -125,9 +125,8 @@ impl ParityCheckMatrix {
     /// `true` when `H x^T = 0` (Eq. 1 of the paper).
     pub fn is_codeword(&self, word: &BitVec) -> bool {
         assert_eq!(word.len(), self.cols, "word length mismatch");
-        (0..self.rows).all(|r| {
-            self.row(r).iter().filter(|&&c| word.get(c as usize)).count() % 2 == 0
-        })
+        (0..self.rows)
+            .all(|r| self.row(r).iter().filter(|&&c| word.get(c as usize)).count() % 2 == 0)
     }
 
     /// Fraction of nonzero entries — LDPC matrices must be sparse.

@@ -180,10 +180,7 @@ impl CodeParams {
 
     /// Parameters for every rate of a frame size, in rate order.
     pub fn all(frame: FrameSize) -> Vec<CodeParams> {
-        CodeRate::ALL
-            .iter()
-            .filter_map(|&rate| CodeParams::new(rate, frame).ok())
-            .collect()
+        CodeRate::ALL.iter().filter_map(|&rate| CodeParams::new(rate, frame).ok()).collect()
     }
 
     /// Total number of edges between information and check nodes
@@ -334,11 +331,8 @@ mod tests {
     fn total_message_count_matches_paper_magnitude() {
         // "about 300000 messages are processed and reordered in each of the
         // 30 iterations" — worst case across rates.
-        let max_edges = CodeParams::all(FrameSize::Normal)
-            .iter()
-            .map(|p| p.e_in() + p.e_pn())
-            .max()
-            .unwrap();
+        let max_edges =
+            CodeParams::all(FrameSize::Normal).iter().map(|p| p.e_in() + p.e_pn()).max().unwrap();
         assert!((280_000..320_000).contains(&max_edges), "{max_edges}");
     }
 }

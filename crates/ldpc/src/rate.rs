@@ -148,10 +148,7 @@ mod tests {
 
     #[test]
     fn parse_rejects_unknown_rate() {
-        assert!(matches!(
-            "7/8".parse::<CodeRate>(),
-            Err(CodeError::ParseRate(_))
-        ));
+        assert!(matches!("7/8".parse::<CodeRate>(), Err(CodeError::ParseRate(_))));
     }
 
     #[test]

@@ -84,7 +84,8 @@ impl AddressTable {
         // constant degree (Eq. 6 of the paper). `slots` lists residues with
         // remaining capacity, one occurrence per free slot.
         let per_class = (params.check_degree - 2) as u32;
-        let mut slots: Vec<u32> = (0..q).flat_map(|r| std::iter::repeat_n(r, per_class as usize)).collect();
+        let mut slots: Vec<u32> =
+            (0..q).flat_map(|r| std::iter::repeat_n(r, per_class as usize)).collect();
         let mut rows = Vec::with_capacity(params.groups());
 
         for g in 0..params.groups() {
@@ -195,9 +196,7 @@ impl AddressTable {
         assert!(m < params.k, "information bit {m} out of range");
         let n_check = params.n_check;
         let offset = params.q * (m % PARALLELISM);
-        self.rows[m / PARALLELISM]
-            .iter()
-            .map(move |&x| (x as usize + offset) % n_check)
+        self.rows[m / PARALLELISM].iter().map(move |&x| (x as usize + offset) % n_check)
     }
 
     /// Verifies that the table matches `params`.
@@ -336,10 +335,7 @@ mod tests {
         let t = AddressTable::generate(&p, TableOptions::default());
         let mut rows = t.rows().to_vec();
         rows[0].pop();
-        assert!(matches!(
-            AddressTable::from_rows(&p, rows),
-            Err(CodeError::TableShape { .. })
-        ));
+        assert!(matches!(AddressTable::from_rows(&p, rows), Err(CodeError::TableShape { .. })));
 
         let mut rows = t.rows().to_vec();
         rows[5][0] = p.n_check as u32; // out of range

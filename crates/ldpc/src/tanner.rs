@@ -49,7 +49,10 @@ impl TannerGraph {
     pub fn from_edges(n_vars: usize, n_checks: usize, edges: &[(u32, u32)]) -> Self {
         let mut counts = vec![0u32; n_checks + 1];
         for &(c, v) in edges {
-            assert!((c as usize) < n_checks && (v as usize) < n_vars, "edge ({c},{v}) out of range");
+            assert!(
+                (c as usize) < n_checks && (v as usize) < n_vars,
+                "edge ({c},{v}) out of range"
+            );
             counts[c as usize + 1] += 1;
         }
         for i in 1..=n_checks {
@@ -142,6 +145,52 @@ impl TannerGraph {
         self.check_ptr[c] as usize..self.check_ptr[c + 1] as usize
     }
 
+    /// Check-major CSR offsets: edges of check `c` are
+    /// `check_offsets()[c]..check_offsets()[c + 1]`. Length is
+    /// `check_count() + 1`.
+    ///
+    /// Message-passing inner loops stream this slice directly instead of
+    /// calling [`check_edges`](Self::check_edges) per node.
+    #[inline]
+    pub fn check_offsets(&self) -> &[u32] {
+        &self.check_ptr
+    }
+
+    /// Variable endpoint of every edge, indexed by edge id (check-major
+    /// order). Length is `edge_count()`.
+    ///
+    /// This is the scatter/gather table of the variable-node half-iteration:
+    /// iterating it in edge order visits each check's edges contiguously
+    /// while touching each variable's edges in ascending edge-id order —
+    /// the same per-variable summation order as
+    /// [`var_edges`](Self::var_edges).
+    #[inline]
+    pub fn edge_vars(&self) -> &[u32] {
+        &self.var_of_edge
+    }
+
+    /// Variable-major CSR offsets into [`var_edge_table`](Self::var_edge_table):
+    /// edges of variable `v` are `var_offsets()[v]..var_offsets()[v + 1]`.
+    /// Length is `var_count() + 1`.
+    #[inline]
+    pub fn var_offsets(&self) -> &[u32] {
+        &self.var_ptr
+    }
+
+    /// Edge ids grouped by variable (the var→edge gather table backing
+    /// [`var_edges`](Self::var_edges)). Within one variable the ids are
+    /// ascending. Length is `edge_count()`.
+    #[inline]
+    pub fn var_edge_table(&self) -> &[u32] {
+        &self.edge_of_var
+    }
+
+    /// Largest check-node degree (0 for a graph without checks). Decoders
+    /// size their per-check scratch storage from this.
+    pub fn max_check_degree(&self) -> usize {
+        (0..self.n_checks).map(|c| self.check_degree(c)).max().unwrap_or(0)
+    }
+
     /// Variable endpoint of edge `e`.
     #[inline]
     pub fn var_of_edge(&self, e: usize) -> usize {
@@ -180,14 +229,12 @@ impl TannerGraph {
     /// `true` if some length-4 cycle passes through variable `v` (two of its
     /// checks share another variable).
     pub fn has_4cycle_through(&self, v: usize) -> bool {
-        let checks: Vec<usize> = self
-            .var_edges(v)
-            .iter()
-            .map(|&e| self.check_of_edge(e as usize))
-            .collect();
+        let checks: Vec<usize> =
+            self.var_edges(v).iter().map(|&e| self.check_of_edge(e as usize)).collect();
         for (i, &c1) in checks.iter().enumerate() {
             for &c2 in &checks[i + 1..] {
-                let vars1: std::collections::HashSet<u32> = self.check_edges(c1)
+                let vars1: std::collections::HashSet<u32> = self
+                    .check_edges(c1)
                     .map(|e| self.var_of_edge[e])
                     .filter(|&u| u as usize != v)
                     .collect();
@@ -234,9 +281,7 @@ impl TannerGraph {
                     .map(|&e| (n_vars + self.check_of_edge(e as usize), e))
                     .collect()
             } else {
-                self.check_edges(u - n_vars)
-                    .map(|e| (self.var_of_edge(e), e as u32))
-                    .collect()
+                self.check_edges(u - n_vars).map(|e| (self.var_of_edge(e), e as u32)).collect()
             };
             for (w, e) in neighbors {
                 if e == entry_edge[u] {
@@ -364,11 +409,7 @@ mod tests {
     #[test]
     fn local_girth_finds_cycles_in_a_known_graph() {
         // A 6-cycle: v0-c0-v1-c1-v2-c2-v0.
-        let g = TannerGraph::from_edges(
-            3,
-            3,
-            &[(0, 0), (0, 1), (1, 1), (1, 2), (2, 2), (2, 0)],
-        );
+        let g = TannerGraph::from_edges(3, 3, &[(0, 0), (0, 1), (1, 1), (1, 2), (2, 2), (2, 0)]);
         assert_eq!(g.local_girth(0, 10), Some(6));
         assert_eq!(g.local_girth(0, 4), None);
         // A tree has no cycles at all.
@@ -380,15 +421,38 @@ mod tests {
     fn unconditioned_tables_contain_4cycles() {
         use crate::tables::TableOptions;
         let p = CodeParams::new(CodeRate::R9_10, FrameSize::Normal).unwrap();
-        let t = AddressTable::generate(
-            &p,
-            TableOptions { avoid_girth4: false, seed: 7 },
-        );
+        let t = AddressTable::generate(&p, TableOptions { avoid_girth4: false, seed: 7 });
         let g = TannerGraph::for_code(&p, &t);
-        let found = (0..g.var_count())
-            .step_by(431)
-            .any(|v| g.local_girth(v, 4) == Some(4));
+        let found = (0..g.var_count()).step_by(431).any(|v| g.local_girth(v, 4) == Some(4));
         assert!(found, "a dense unconditioned code should show sampled 4-cycles");
+    }
+
+    #[test]
+    fn flat_layout_slices_agree_with_accessors() {
+        let (_, g) = graph(CodeRate::R8_9);
+        let offsets = g.check_offsets();
+        assert_eq!(offsets.len(), g.check_count() + 1);
+        for c in (0..g.check_count()).step_by(1013) {
+            let range = g.check_edges(c);
+            assert_eq!(offsets[c] as usize, range.start);
+            assert_eq!(offsets[c + 1] as usize, range.end);
+        }
+        assert_eq!(g.edge_vars().len(), g.edge_count());
+        for e in (0..g.edge_count()).step_by(997) {
+            assert_eq!(g.edge_vars()[e] as usize, g.var_of_edge(e));
+        }
+        let var_offsets = g.var_offsets();
+        assert_eq!(var_offsets.len(), g.var_count() + 1);
+        for v in (0..g.var_count()).step_by(1009) {
+            let edges = &g.var_edge_table()[var_offsets[v] as usize..var_offsets[v + 1] as usize];
+            assert_eq!(edges, g.var_edges(v));
+            // Ascending ids per variable: scatter-add over edge order then
+            // sums each variable's messages in the same order var_edges does.
+            assert!(edges.windows(2).all(|w| w[0] < w[1]), "var {v}");
+        }
+        let max = g.max_check_degree();
+        assert!((0..g.check_count()).all(|c| g.check_degree(c) <= max));
+        assert!((0..g.check_count()).any(|c| g.check_degree(c) == max));
     }
 
     #[test]

@@ -38,12 +38,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let frame = system.transmit_frame(&mut rng, ebn0_db);
 
     // How many channel hard decisions are wrong before decoding?
-    let raw_errors = frame
-        .llrs
-        .iter()
-        .enumerate()
-        .filter(|&(i, &l)| (l < 0.0) != frame.codeword.get(i))
-        .count();
+    let raw_errors =
+        frame.llrs.iter().enumerate().filter(|&(i, &l)| (l < 0.0) != frame.codeword.get(i)).count();
     println!("Channel hard decisions wrong before decoding: {raw_errors} / {}", p.n);
 
     let mut decoder = system.make_decoder();

@@ -41,11 +41,8 @@ fn parity_chain_is_a_zigzag() {
     // Parity node j (variable K+j) connects exactly checks j and j+1.
     for j in [0usize, 1, p.n_check / 2, p.n_check - 2] {
         let v = p.k + j;
-        let checks: Vec<usize> = g
-            .var_edges(v)
-            .iter()
-            .map(|&e| g.check_of_edge(e as usize))
-            .collect();
+        let checks: Vec<usize> =
+            g.var_edges(v).iter().map(|&e| g.check_of_edge(e as usize)).collect();
         assert_eq!(checks.len(), 2, "PN {j}");
         assert!(checks.contains(&j) && checks.contains(&(j + 1)), "PN {j}: {checks:?}");
     }

@@ -40,11 +40,8 @@ fn every_short_rate_decodes_at_high_snr() {
 #[test]
 fn quantized_decoder_matches_float_at_operating_point() {
     let float_sys = system(CodeRate::R1_2, FrameSize::Short, DecoderKind::Zigzag);
-    let quant_sys = system(
-        CodeRate::R1_2,
-        FrameSize::Short,
-        DecoderKind::Quantized(Quantizer::paper_6bit()),
-    );
+    let quant_sys =
+        system(CodeRate::R1_2, FrameSize::Short, DecoderKind::Quantized(Quantizer::paper_6bit()));
     let mut rng = SmallRng::seed_from_u64(23);
     for _ in 0..3 {
         let frame = float_sys.transmit_frame(&mut rng, 3.0);

@@ -3,7 +3,7 @@
 //! configurations, early stop, and across rates — plus agreement with the
 //! algorithmic fixed-point decoder on decodable frames.
 
-use dvbs2::decoder::{Decoder, DecoderConfig, Quantizer, QuantizedZigzagDecoder};
+use dvbs2::decoder::{Decoder, DecoderConfig, QuantizedZigzagDecoder, Quantizer};
 use dvbs2::hardware::{
     optimize_schedule, AnnealOptions, CnSchedule, ConnectivityRom, CoreConfig, GoldenModel,
     HardwareDecoder, MemoryConfig, TestVectorSet,
@@ -37,7 +37,11 @@ fn timed_core_is_bit_exact_for_every_short_rate() {
         let mut golden = GoldenModel::new(&code, schedule, config.quantizer, 8, false);
         let (_, llrs) = noisy_channel(&code, 2.0, 100 + rate as u64);
         let channel = hw.quantize_channel(&llrs);
-        assert_eq!(hw.decode_quantized(&channel).result, golden.decode_quantized(&channel), "{rate}");
+        assert_eq!(
+            hw.decode_quantized(&channel).result,
+            golden.decode_quantized(&channel),
+            "{rate}"
+        );
     }
 }
 
@@ -51,8 +55,7 @@ fn timed_core_is_bit_exact_on_a_normal_frame() {
         AnnealOptions { moves: 300, ..AnnealOptions::default() },
     )
     .schedule;
-    let config =
-        CoreConfig { max_iterations: 30, early_stop: true, ..CoreConfig::default() };
+    let config = CoreConfig { max_iterations: 30, early_stop: true, ..CoreConfig::default() };
     let mut hw = HardwareDecoder::new(&code, schedule.clone(), config);
     let mut golden = GoldenModel::new(&code, schedule, config.quantizer, 30, true);
     let (cw, llrs) = noisy_channel(&code, 1.4, 77);
@@ -109,11 +112,8 @@ fn fewer_banks_cost_more_buffer_and_cycles() {
 fn hardware_core_agrees_with_algorithmic_decoder_on_decoded_frames() {
     let code = DvbS2Code::new(CodeRate::R1_2, FrameSize::Short).unwrap();
     let graph = Arc::new(code.tanner_graph());
-    let mut ideal = QuantizedZigzagDecoder::new(
-        graph,
-        Quantizer::paper_6bit(),
-        DecoderConfig::default(),
-    );
+    let mut ideal =
+        QuantizedZigzagDecoder::new(graph, Quantizer::paper_6bit(), DecoderConfig::default());
     let mut hw = HardwareDecoder::with_natural_schedule(
         &code,
         CoreConfig { early_stop: true, ..CoreConfig::default() },

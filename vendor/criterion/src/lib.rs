@@ -1,0 +1,232 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! subset it uses: [`Criterion`], [`BenchmarkGroup`], `criterion_group!` /
+//! `criterion_main!`, and [`black_box`].
+//!
+//! Measurement model: each benchmark is calibrated with a few probe runs,
+//! then timed over `sample_size` samples whose per-sample iteration count is
+//! sized so all samples together fill roughly `measurement_time`. The
+//! reported statistics are min / median / mean nanoseconds per iteration.
+//! Passing `--test` (as `cargo bench -- --test` does) runs every benchmark
+//! body exactly once as a smoke test, without timing.
+
+// Vendored stand-in: exempt from the workspace lint wall.
+#![allow(clippy::all)]
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Times one benchmark body for a caller-chosen number of iterations.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` `iters` times and records the total elapsed wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level harness state (run mode + defaults for new groups).
+pub struct Criterion {
+    test_mode: bool,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { test_mode: false, sample_size: 100, measurement_time: Duration::from_secs(5) }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line flags (`--test` switches to one-shot smoke mode;
+    /// everything else criterion accepts is ignored).
+    pub fn configure_from_args(mut self) -> Self {
+        self.test_mode = std::env::args().any(|a| a == "--test");
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            test_mode: self.test_mode,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            _criterion: self,
+        }
+    }
+
+    #[doc(hidden)]
+    pub fn final_summary(&self) {}
+}
+
+/// A named set of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    test_mode: bool,
+    sample_size: usize,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Runs one benchmark and prints its per-iteration statistics.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        if self.test_mode {
+            let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+            f(&mut b);
+            println!("{}/{}: ok (smoke test)", self.name, id);
+            return self;
+        }
+
+        // Calibration: grow the iteration count until one probe takes a
+        // measurable slice of time, so short bodies are not timer-noise.
+        let mut probe_iters: u64 = 1;
+        let per_iter = loop {
+            let mut b = Bencher { iters: probe_iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            if b.elapsed >= Duration::from_millis(2) || probe_iters >= 1 << 24 {
+                break b.elapsed.as_secs_f64() / probe_iters as f64;
+            }
+            probe_iters = probe_iters.saturating_mul(4);
+        };
+
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((budget / per_iter.max(1e-12)) as u64).max(1);
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { iters: iters_per_sample, elapsed: Duration::ZERO };
+            f(&mut b);
+            samples.push(b.elapsed.as_secs_f64() / iters_per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "{}/{}: min {} median {} mean {} ({} samples x {} iters)",
+            self.name,
+            id,
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(mean),
+            self.sample_size,
+            iters_per_sample,
+        );
+        self
+    }
+
+    /// Ends the group (upstream writes reports here; the stub only prints).
+    pub fn finish(self) {}
+}
+
+fn fmt_time(seconds: f64) -> String {
+    let ns = seconds * 1e9;
+    if ns < 1_000.0 {
+        format!("{ns:.1}ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2}us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2}ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2}s", seconds)
+    }
+}
+
+/// Declares a benchmark group runner, mirroring upstream's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring upstream's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut calls = 0u64;
+        let mut b = Bencher { iters: 17, elapsed: Duration::ZERO };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 17);
+        assert!(b.elapsed >= Duration::ZERO);
+    }
+
+    #[test]
+    fn group_runs_benchmarks_in_test_mode() {
+        let mut c = Criterion { test_mode: true, ..Criterion::default() };
+        let mut group = c.benchmark_group("g");
+        let mut calls = 0u64;
+        group.sample_size(10).measurement_time(Duration::from_millis(10));
+        group.bench_function("one_shot", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert_eq!(calls, 1, "--test mode runs the body exactly once");
+    }
+
+    #[test]
+    fn timed_mode_produces_samples() {
+        let mut c = Criterion {
+            test_mode: false,
+            sample_size: 3,
+            measurement_time: Duration::from_millis(6),
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3).measurement_time(Duration::from_millis(6));
+        group.bench_function("spin", |b| b.iter(|| black_box(3u64).wrapping_mul(5)));
+        group.finish();
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(fmt_time(5e-9).ends_with("ns"));
+        assert!(fmt_time(5e-6).ends_with("us"));
+        assert!(fmt_time(5e-3).ends_with("ms"));
+        assert!(fmt_time(5.0).ends_with('s'));
+    }
+}

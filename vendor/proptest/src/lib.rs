@@ -1,0 +1,197 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the subset it uses: the [`proptest!`] macro, `prop_assert!` /
+//! `prop_assert_eq!`, numeric range strategies, [`any`],
+//! `prop::sample::select` and `prop::collection::vec`.
+//!
+//! Differences from upstream, by design:
+//!
+//! * cases are generated from a deterministic per-test seed (hash of the
+//!   test's module path and name), so failures reproduce without a
+//!   persistence file;
+//! * there is **no shrinking** — a failing case reports its inputs as-is.
+
+// Vendored stand-in: exempt from the workspace lint wall.
+#![allow(clippy::all)]
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::…` namespace mirroring upstream's module layout.
+pub mod prop {
+    /// Strategies drawing from explicit value sets.
+    pub mod sample {
+        pub use crate::strategy::select;
+    }
+    /// Strategies producing collections.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+}
+
+pub use strategy::{any, Arbitrary, Strategy};
+pub use test_runner::{Config as ProptestConfig, TestCaseError, TestRng};
+
+/// The common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...)` runs the
+/// body for `Config::cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $config;
+                let mut __rng = $crate::test_runner::TestRng::for_test(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                // Bind each strategy once; the loop shadows the binding with
+                // a generated value, restoring the strategy every iteration.
+                $( let $arg = $strategy; )+
+                for __case in 0..__config.cases {
+                    $( let $arg = $crate::strategy::Strategy::generate(&$arg, &mut __rng); )+
+                    let __case_desc = format!("{:?}", ($(&$arg,)+));
+                    let __outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::core::result::Result::Ok(())
+                        })();
+                    if let ::core::result::Result::Err(e) = __outcome {
+                        panic!(
+                            "proptest '{}' failed at case {}/{} with inputs {}: {}",
+                            stringify!($name), __case + 1, __config.cases, __case_desc, e,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, reporting the failing
+/// inputs instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)*), __l, __r
+        );
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __l
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..10, y in -2i32..=2, z in 0.5..1.5f64) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2..=2).contains(&y));
+            prop_assert!((0.5..1.5).contains(&z));
+        }
+
+        #[test]
+        fn select_draws_from_the_set(v in prop::sample::select(vec![2u32, 4, 8])) {
+            prop_assert!(v == 2 || v == 4 || v == 8);
+        }
+
+        #[test]
+        fn collections_respect_size(v in prop::collection::vec(0u64..5, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 5));
+            return Ok(()); // early return must compile
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(seed in any::<u64>(), flag in any::<bool>()) {
+            let _ = (seed, flag);
+        }
+    }
+
+    #[test]
+    fn failing_case_reports_inputs() {
+        let result = std::panic::catch_unwind(|| {
+            // No #[test] attribute: nested functions are invoked manually.
+            proptest! {
+                fn always_fails(x in 0usize..10) {
+                    prop_assert!(x > 100, "x was {}", x);
+                }
+            }
+            always_fails();
+        });
+        let err = result.expect_err("must panic");
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("always_fails"), "{msg}");
+        assert!(msg.contains("x was"), "{msg}");
+    }
+}

@@ -1,0 +1,72 @@
+//! Deterministic small-state generators.
+
+use crate::{Rng, SeedableRng};
+
+/// SplitMix64 step — used to expand seeds into generator state.
+#[inline]
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A small, fast, non-cryptographic generator (xoshiro256++).
+///
+/// Statistically solid for simulation workloads; seeded through SplitMix64
+/// as the xoshiro authors recommend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = state;
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
+        SmallRng { s }
+    }
+}
+
+impl Rng for SmallRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Alias kept for code written against `rand`'s `StdRng`.
+pub type StdRng = SmallRng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_is_never_all_zero() {
+        // xoshiro256++ is ill-defined from an all-zero state; SplitMix64
+        // seeding never produces one.
+        for seed in 0..64 {
+            let rng = SmallRng::seed_from_u64(seed);
+            assert_ne!(rng.s, [0; 4], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn successive_outputs_are_not_constant() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let first = rng.next_u64();
+        assert!((0..100).any(|_| rng.next_u64() != first));
+    }
+}

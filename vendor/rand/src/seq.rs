@@ -1,0 +1,85 @@
+//! Sequence-related sampling helpers.
+
+/// Index sampling (`rand::seq::index`).
+pub mod index {
+    use crate::Rng;
+
+    /// A set of sampled indices.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct IndexVec(Vec<usize>);
+
+    impl IndexVec {
+        /// Number of sampled indices.
+        pub fn len(&self) -> usize {
+            self.0.len()
+        }
+
+        /// `true` when no indices were sampled.
+        pub fn is_empty(&self) -> bool {
+            self.0.is_empty()
+        }
+
+        /// Iterates over the sampled indices.
+        pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+            self.0.iter().copied()
+        }
+
+        /// Consumes into the underlying vector.
+        pub fn into_vec(self) -> Vec<usize> {
+            self.0
+        }
+    }
+
+    impl IntoIterator for IndexVec {
+        type Item = usize;
+        type IntoIter = std::vec::IntoIter<usize>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// Samples `amount` distinct indices from `0..length`, in random order
+    /// (partial Fisher–Yates shuffle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amount > length`.
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+        assert!(amount <= length, "cannot sample {amount} distinct indices from {length}");
+        let mut indices: Vec<usize> = (0..length).collect();
+        for i in 0..amount {
+            let j = rng.random_range(i..length);
+            indices.swap(i, j);
+        }
+        indices.truncate(amount);
+        IndexVec(indices)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::rngs::SmallRng;
+        use crate::SeedableRng;
+
+        #[test]
+        fn samples_are_distinct_and_in_range() {
+            let mut rng = SmallRng::seed_from_u64(5);
+            for amount in [0, 1, 7, 50, 100] {
+                let idx = sample(&mut rng, 100, amount);
+                assert_eq!(idx.len(), amount);
+                let mut seen = std::collections::HashSet::new();
+                for i in idx {
+                    assert!(i < 100);
+                    assert!(seen.insert(i), "duplicate index {i}");
+                }
+            }
+        }
+
+        #[test]
+        #[should_panic(expected = "cannot sample")]
+        fn oversampling_panics() {
+            let mut rng = SmallRng::seed_from_u64(1);
+            let _ = sample(&mut rng, 3, 4);
+        }
+    }
+}
