@@ -135,9 +135,9 @@ mod tests {
         for i in 0..a.len() {
             assert_eq!(ca.get(i), a.get(i));
         }
-        let mut ab = a.clone();
+        let mut ab = a;
         ab ^= &b;
-        let mut sum = ca.clone();
+        let mut sum = ca;
         sum ^= &enc.encode(&b).unwrap();
         assert_eq!(enc.encode(&ab).unwrap(), sum);
     }

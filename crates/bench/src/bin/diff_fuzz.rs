@@ -1,0 +1,140 @@
+//! Differential decode fuzzer: runs the `dvbs2::oracle` decoder matrix on
+//! generated cases and reports every contract violation, shrunk to a
+//! minimal reproducer.
+//!
+//! Run:  `cargo run --release -p dvbs2-bench --bin diff_fuzz -- --cases 500`
+//! Repro: `cargo run --release -p dvbs2-bench --bin diff_fuzz -- --repro 'seed=.. rate=.. ...'`
+//!
+//! Exits non-zero when any contract is violated.
+
+use dvbs2::ldpc::{CodeRate, FrameSize};
+use dvbs2::oracle::{self, CaseSpec, OracleConfig};
+
+struct Args {
+    cases: u64,
+    seed: u64,
+    threads: usize,
+    repro: Option<String>,
+    skip_faults: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        cases: 500,
+        seed: 0xD1FF,
+        threads: dvbs2::channel::default_threads(),
+        repro: None,
+        skip_faults: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value =
+            |name: &str| it.next().unwrap_or_else(|| usage(&format!("{name} needs a value")));
+        match flag.as_str() {
+            "--cases" => args.cases = value("--cases").parse().unwrap_or_else(|_| usage("--cases")),
+            "--seed" => {
+                let text = value("--seed");
+                let parsed = match text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+                    Some(hex) => u64::from_str_radix(hex, 16),
+                    None => text.parse(),
+                };
+                args.seed = parsed.unwrap_or_else(|_| usage("--seed"));
+            }
+            "--threads" => {
+                args.threads = value("--threads").parse().unwrap_or_else(|_| usage("--threads"));
+            }
+            "--repro" => args.repro = Some(value("--repro")),
+            "--skip-faults" => args.skip_faults = true,
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    args
+}
+
+fn usage(problem: &str) -> ! {
+    eprintln!("diff_fuzz: {problem}");
+    eprintln!(
+        "usage: diff_fuzz [--cases N] [--seed S] [--threads T] [--skip-faults] [--repro 'spec']"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = parse_args();
+
+    if let Some(spec_text) = &args.repro {
+        let case: CaseSpec = match spec_text.parse() {
+            Ok(case) => case,
+            Err(e) => usage(&e.to_string()),
+        };
+        println!("replaying {case}");
+        let violations = oracle::run_case(0, &case);
+        if violations.is_empty() {
+            println!("clean: no contract violated");
+            return;
+        }
+        for v in &violations {
+            println!("VIOLATION {v}");
+        }
+        std::process::exit(1);
+    }
+
+    let config = OracleConfig { master_seed: args.seed, cases: args.cases, threads: args.threads };
+    println!(
+        "differential oracle: {} cases, master seed {:#x}, {} threads",
+        config.cases, config.master_seed, config.threads
+    );
+    let report = oracle::run(&config);
+    println!(
+        "covered {} rates ({}), {} frame sizes",
+        report.rates_covered.len(),
+        report.rates_covered.iter().map(|r| r.to_string()).collect::<Vec<_>>().join(" "),
+        report.frames_covered.len(),
+    );
+
+    let mut failed = false;
+    if report.clean() {
+        println!("equivalence contracts: PASS ({} cases, 0 violations)", report.cases);
+    } else {
+        failed = true;
+        println!("equivalence contracts: FAIL ({} violations)", report.violations.len());
+        for v in &report.violations {
+            println!("\nVIOLATION {v}");
+            let contract = v.contract;
+            let shrunk = oracle::shrink_case(&v.case, |candidate| {
+                oracle::run_case(v.case_index, candidate)
+                    .iter()
+                    .any(|found| found.contract == contract)
+            });
+            println!("  shrunk repro: --repro '{shrunk}'");
+        }
+    }
+
+    if !args.skip_faults {
+        let points = [
+            (CodeRate::R1_2, FrameSize::Short),
+            (CodeRate::R2_3, FrameSize::Short),
+            (CodeRate::R1_2, FrameSize::Normal),
+        ];
+        let mut scenarios = 0;
+        let mut fault_violations = 0;
+        for (rate, frame) in points {
+            let fr = oracle::run_fault_suite(rate, frame, args.seed);
+            scenarios += fr.scenarios;
+            fault_violations += fr.violations.len();
+            for v in &fr.violations {
+                println!("FAULT VIOLATION ({rate}, {frame}): {v}");
+            }
+        }
+        if fault_violations == 0 {
+            println!("fault injection: PASS ({scenarios} scenarios, graceful degradation)");
+        } else {
+            failed = true;
+            println!("fault injection: FAIL ({fault_violations} violations)");
+        }
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -37,6 +37,6 @@ pub use capacity::{
 pub use interleave::BlockInterleaver;
 pub use llr::{bpsk_llr, db_to_linear, ebn0_to_esn0_db, linear_to_db, noise_sigma};
 pub use modem::Modulation;
-pub use sim::{
-    default_threads, mix_seed, monte_carlo, monte_carlo_frames, BerEstimate, FrameOutcome, StopRule,
-};
+#[allow(deprecated)]
+pub use sim::monte_carlo;
+pub use sim::{default_threads, mix_seed, monte_carlo_frames, BerEstimate, FrameOutcome, StopRule};

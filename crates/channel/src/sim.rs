@@ -109,6 +109,7 @@ impl BerEstimate {
 /// seeds from `thread_index` for reproducibility.
 ///
 /// ```
+/// # #![allow(deprecated)]
 /// use dvbs2_channel::{monte_carlo, FrameOutcome, StopRule};
 /// let est = monte_carlo(2, StopRule::frames(100), |_t| {
 ///     move || FrameOutcome { bit_errors: 1, info_bits: 100, frame_error: true, iterations: 5 }
@@ -120,6 +121,14 @@ impl BerEstimate {
 /// # Panics
 ///
 /// Panics if `threads == 0` or `stop.max_frames == 0`.
+#[deprecated(
+    since = "0.1.0",
+    note = "order-nondeterministic: the set of frames simulated (and hence the \
+            estimate) varies with thread count and OS scheduling, and the \
+            early-out can overshoot `target_frame_errors` by an unbounded \
+            number of in-flight frames. Use `monte_carlo_frames`, which is \
+            bit-reproducible for a given seed at any thread count."
+)]
 pub fn monte_carlo<W, F>(threads: usize, stop: StopRule, make_worker: W) -> BerEstimate
 where
     W: Fn(usize) -> F + Sync,
@@ -314,6 +323,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(deprecated)]
     fn exact_counts_with_frame_cap() {
         let est = monte_carlo(4, StopRule::frames(1000), |_| {
             move || FrameOutcome { bit_errors: 2, info_bits: 50, frame_error: false, iterations: 3 }
@@ -327,6 +337,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn early_stop_on_frame_errors() {
         let stop = StopRule { max_frames: 1_000_000, target_frame_errors: 50 };
         let est = monte_carlo(4, stop, |_| {
@@ -343,6 +354,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn single_thread_is_supported() {
         let est = monte_carlo(1, StopRule::frames(10), |_| {
             let mut count = 0usize;
@@ -379,6 +391,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "at least one thread")]
+    #[allow(deprecated)]
     fn zero_threads_panics() {
         let _ = monte_carlo(0, StopRule::frames(1), |_| move || FrameOutcome::default());
     }

@@ -403,6 +403,74 @@ mod tests {
         }
     }
 
+    /// Brute-force min-sum with the "first strict minimum" tie-break: the
+    /// retained minimum index is the first position whose magnitude is
+    /// strictly smaller than everything before it. Works for any degree >= 2.
+    fn first_strict_min_reference(ins: &[f64], outs: &mut [f64]) {
+        let mut min1 = f64::INFINITY;
+        let mut min2 = f64::INFINITY;
+        let mut min_idx = 0usize;
+        let mut neg = 0u32;
+        for (j, &x) in ins.iter().enumerate() {
+            let mag = x.abs();
+            if mag < min1 {
+                min2 = min1;
+                min1 = mag;
+                min_idx = j;
+            } else if mag < min2 {
+                min2 = mag;
+            }
+            neg += (x < 0.0) as u32;
+        }
+        for (j, (&x, o)) in ins.iter().zip(outs.iter_mut()).enumerate() {
+            let mag = if j == min_idx { min2 } else { min1 };
+            let flip = (neg - (x < 0.0) as u32) % 2 == 1;
+            *o = if flip { -mag } else { mag };
+        }
+    }
+
+    #[test]
+    fn min_sum_tie_break_keeps_first_strict_minimum() {
+        // Duplicate minima are the interesting case: coarse-grid magnitudes
+        // make almost every check see an exact tie, and the retained index
+        // must be the FIRST strict minimum in both the scalar rule and the
+        // blocked two-pass kernel (mask-blend index tracking).
+        let (_, graph) = small_code();
+        let blocked = BlockedChecks::new(&graph);
+        let edges = graph.edge_count();
+        let mut rng = crate::test_support::SplitMix64(23);
+        let totals: Vec<f64> = (0..graph.var_count())
+            .map(|_| {
+                let mag = (rng.next_u64() % 3 + 1) as f64 * 0.5;
+                if rng.next_bool() {
+                    -mag
+                } else {
+                    mag
+                }
+            })
+            .collect();
+        let rule = CheckRule::NormalizedMinSum(1.0);
+        let mut v2c_t = vec![0.0f64; edges];
+        let mut c2v_t = vec![0.0f64; edges];
+        blocked_min_sum_pass(&blocked, &rule, &totals, &mut v2c_t, &mut c2v_t, |x| x);
+
+        let edge_vars = graph.edge_vars();
+        for c in 0..graph.check_count() {
+            let range = graph.check_edges(c);
+            let ins: Vec<f64> =
+                edge_vars[range.clone()].iter().map(|&v| totals[v as usize]).collect();
+            let mut want = vec![0.0; ins.len()];
+            first_strict_min_reference(&ins, &mut want);
+            let mut scalar = vec![0.0; ins.len()];
+            rule.extrinsic_t(&ins, &mut scalar);
+            assert_eq!(scalar, want, "check {c}: scalar rule");
+            for (k, e) in range.enumerate() {
+                let slot = blocked.edge_to_slot[e] as usize;
+                assert_eq!(c2v_t[slot], want[k], "check {c} edge {e}: blocked kernel");
+            }
+        }
+    }
+
     #[test]
     fn f32_helpers_round_trip() {
         let llr = [1.5f64, -2.0, 0.25];

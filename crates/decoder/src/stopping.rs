@@ -44,7 +44,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(5);
         let cw = enc.encode(&enc.random_message(&mut rng)).unwrap();
         assert!(syndrome_ok(&graph, &cw));
-        let mut flipped = cw.clone();
+        let mut flipped = cw;
         flipped.toggle(1234);
         assert!(!syndrome_ok(&graph, &flipped));
     }

@@ -2,7 +2,7 @@
 
 #![allow(clippy::needless_range_loop)] // one index drives several parallel slices
 
-use dvbs2_decoder::{boxplus, boxplus_min, CheckRule, QBoxplus, Quantizer};
+use dvbs2_decoder::{boxplus, boxplus_min, CheckRule, QBoxplus, QCheckArithmetic, Quantizer};
 use proptest::prelude::*;
 
 fn finite_llr() -> impl Strategy<Value = f64> {
@@ -32,7 +32,64 @@ fn pairwise_fold(rule: &CheckRule, incoming: &[f64], skip: usize) -> f64 {
     }
 }
 
+/// Reference min-sum with the "first strict minimum" tie-break: the overall
+/// minimum index retained for the "exclude self" outputs is the first
+/// position strictly smaller than all earlier magnitudes. Duplicate minima
+/// make the choice observable: the edge at `min_idx` emits `min2` (equal in
+/// magnitude but possibly different in sign from what a last-minimum
+/// implementation would emit when signs differ between the tied inputs).
+fn first_strict_min(mags: &[i32]) -> (i32, i32, usize) {
+    let (mut min1, mut min2, mut min_idx) = (i32::MAX, i32::MAX, 0usize);
+    for (i, &m) in mags.iter().enumerate() {
+        if m < min1 {
+            min2 = min1;
+            min1 = m;
+            min_idx = i;
+        } else if m < min2 {
+            min2 = m;
+        }
+    }
+    (min1, min2, min_idx)
+}
+
 proptest! {
+    /// `QCheckArithmetic::MinSumShift` and the float `NormalizedMinSum` rule
+    /// implement the tie-break independently (integer loop vs masked blend in
+    /// the engine kernel behind `extrinsic_t`); on integer-valued inputs with
+    /// forced duplicate minima both must match the same brute-force
+    /// first-strict-minimum reference edge for edge.
+    #[test]
+    fn min_sum_tie_break_is_first_strict_minimum(
+        vals in prop::collection::vec(-3i32..=3, 3..12),
+        shift in 1u32..=3,
+    ) {
+        let mags: Vec<i32> = vals.iter().map(|v| v.abs()).collect();
+        let (min1, min2, min_idx) = first_strict_min(&mags);
+        let neg = vals.iter().filter(|&&v| v < 0).count();
+
+        // Integer path (alpha = 1 - 2^-shift as subtract-shifted-self).
+        let arith = QCheckArithmetic::min_sum_shift(Quantizer::paper_6bit(), shift);
+        let mut out = vec![0i32; vals.len()];
+        arith.extrinsic(&vals, &mut out);
+        for i in 0..vals.len() {
+            let mag = if i == min_idx { min2 } else { min1 };
+            let mag = mag - (mag >> shift);
+            let sign = if (neg - usize::from(vals[i] < 0)) % 2 == 1 { -1 } else { 1 };
+            prop_assert_eq!(out[i], sign * mag, "shift {} edge {}", shift, i);
+        }
+
+        // Float path on the same values (alpha = 1.0 keeps outputs exact).
+        let fvals: Vec<f64> = vals.iter().map(|&v| v as f64).collect();
+        let mut fout = vec![0.0f64; vals.len()];
+        CheckRule::NormalizedMinSum(1.0).extrinsic_t(&fvals, &mut fout);
+        for i in 0..vals.len() {
+            let mag = f64::from(if i == min_idx { min2 } else { min1 });
+            let flip = (neg - usize::from(fvals[i] < 0.0)) % 2 == 1;
+            let want = if flip { -mag } else { mag };
+            prop_assert_eq!(fout[i], want, "float edge {}", i);
+        }
+    }
+
     /// Boxplus is commutative.
     #[test]
     fn boxplus_commutative(a in finite_llr(), b in finite_llr()) {

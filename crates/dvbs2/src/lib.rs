@@ -41,6 +41,7 @@ pub use dvbs2_ldpc as ldpc;
 
 mod fec;
 pub mod framing;
+pub mod oracle;
 pub use fec::{FecChain, FecDecodeResult};
 
 /// The workspace's most commonly used items in one import.
@@ -49,9 +50,11 @@ pub mod prelude {
         DecoderKind, Dvbs2System, FecChain, FecDecodeResult, SystemConfig, TransmittedFrame,
     };
     pub use dvbs2_bch::{BchCode, BchDecoder, BchEncoder};
+    #[allow(deprecated)]
+    pub use dvbs2_channel::monte_carlo;
     pub use dvbs2_channel::{
-        mix_seed, monte_carlo, monte_carlo_frames, noise_sigma, shannon_limit_biawgn_db,
-        AwgnChannel, BerEstimate, FrameOutcome, Modulation, StopRule,
+        mix_seed, monte_carlo_frames, noise_sigma, shannon_limit_biawgn_db, AwgnChannel,
+        BerEstimate, FrameOutcome, Modulation, StopRule,
     };
     pub use dvbs2_decoder::{
         CheckRule, DecodeResult, Decoder, DecoderConfig, FloodingDecoder, LayeredDecoder,

@@ -1,0 +1,784 @@
+//! Differential decode oracle: cross-decoder equivalence fuzzing.
+//!
+//! The paper's evaluation rests on one invariant — the cycle-accurate core
+//! is bit-identical to the algorithmic decoders — and PR 1 added a second
+//! (f32) numeric path whose agreement was sampled, not enforced. This module
+//! turns the invariant into a standing oracle: a seeded case generator
+//! (rate × frame size × Eb/N0 × quantizer × arithmetic) runs one frame
+//! through the full decoder matrix and checks explicit pairwise contracts.
+//!
+//! # Equivalence classes
+//!
+//! | class | members | contract |
+//! |---|---|---|
+//! | timed/untimed | [`HardwareDecoder`] ↔ [`GoldenModel`] | full [`DecodeResult`] equality, bit for bit, converged or not |
+//! | fixed-point | golden ↔ [`QuantizedZigzagDecoder`] (LUT) | agreement on *decoded words* only — the parallel golden model deliberately deviates from the sequential zigzag at the 360 chain boundaries |
+//! | float schedules | flooding / zigzag / layered (f64) | all converged members produce the same codeword |
+//! | precision | engine f32 ↔ f64 (same schedule/rule) | both-converged ⇒ same codeword |
+//! | everyone | every decoder | `converged` ⇒ clean syndrome; iterations ≤ cap |
+//! | timing | hardware cycle stats | must reproduce the [`simulate_cn_phase`] memory model |
+//!
+//! Converged decoders from *different* classes must also agree on the
+//! decoded word: two distinct valid codewords would mean an undetected
+//! error, which at DVB-S2 minimum distances does not happen at the
+//! operating points the generator draws from.
+//!
+//! # Reproducing a failure
+//!
+//! Every violation carries the case's canonical one-line spec
+//! ([`CaseSpec`]'s `Display`/`FromStr` round-trip). Feed it back with
+//! `cargo run --release -p dvbs2-bench --bin diff_fuzz -- --repro '<spec>'`,
+//! or shrink it first with [`shrink_case`].
+
+use crate::{Dvbs2System, SystemConfig};
+use dvbs2_channel::mix_seed;
+use dvbs2_decoder::{
+    syndrome_ok, CheckRule, DecodeResult, Decoder, DecoderConfig, FloodingDecoder, LayeredDecoder,
+    Precision, QCheckArithmetic, QuantizedZigzagDecoder, Quantizer, ZigzagDecoder,
+};
+use dvbs2_hardware::{
+    simulate_cn_phase, AccessStats, CnSchedule, ConnectivityRom, CoreConfig, GoldenModel,
+    HardwareDecoder, MemoryConfig, RamFault,
+};
+use dvbs2_ldpc::{BitVec, CodeRate, DvbS2Code, FrameSize, TannerGraph};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::str::FromStr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Check-node arithmetic selector for the quantized decoders under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithmeticKind {
+    /// The paper's QBoxplus correction LUT.
+    Lut,
+    /// Shift-based normalized min-sum with the given shift (`alpha = 1 - 2^-shift`).
+    MinSumShift(u32),
+}
+
+impl ArithmeticKind {
+    fn build(self, quantizer: Quantizer) -> QCheckArithmetic {
+        match self {
+            ArithmeticKind::Lut => QCheckArithmetic::lut(quantizer),
+            ArithmeticKind::MinSumShift(shift) => QCheckArithmetic::min_sum_shift(quantizer, shift),
+        }
+    }
+}
+
+impl fmt::Display for ArithmeticKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArithmeticKind::Lut => write!(f, "lut"),
+            ArithmeticKind::MinSumShift(shift) => write!(f, "msshift{shift}"),
+        }
+    }
+}
+
+/// One generated differential test case: everything needed to reproduce a
+/// frame and the decoder matrix bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CaseSpec {
+    /// Per-case RNG seed (drives message bits and channel noise).
+    pub seed: u64,
+    /// Code rate.
+    pub rate: CodeRate,
+    /// Frame size.
+    pub frame: FrameSize,
+    /// Channel Eb/N0 in dB.
+    pub ebn0_db: f64,
+    /// Quantizer resolution in bits (5 or 6, the paper's two options).
+    pub quantizer_bits: u32,
+    /// Arithmetic for the min-sum quantized decoder under test.
+    pub arithmetic: ArithmeticKind,
+    /// Iteration cap for every decoder in the matrix.
+    pub max_iterations: usize,
+    /// Syndrome-based early termination for every decoder in the matrix.
+    pub early_stop: bool,
+}
+
+impl CaseSpec {
+    /// The case's quantizer.
+    pub fn quantizer(&self) -> Quantizer {
+        match self.quantizer_bits {
+            5 => Quantizer::paper_5bit(),
+            _ => Quantizer::paper_6bit(),
+        }
+    }
+
+    /// Deterministically generates case `index` of a run keyed by
+    /// `master_seed`. The distribution is chosen to exercise both
+    /// convergence regimes: Eb/N0 offsets from −0.4 dB (most frames fail)
+    /// to +1.6 dB (most frames decode) around a per-rate anchor near the
+    /// waterfall. Every eighth case uses a Normal frame at a reduced
+    /// iteration cap; the rest are Short frames.
+    pub fn generate(master_seed: u64, index: u64) -> CaseSpec {
+        let mut s = mix_seed(master_seed, index);
+        let mut next = move || {
+            // SplitMix64 output chain keyed off the mixed case seed.
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let frame = if index % 8 == 7 { FrameSize::Normal } else { FrameSize::Short };
+        let rate = loop {
+            let r = CodeRate::ALL[(next() % CodeRate::ALL.len() as u64) as usize];
+            // R 9/10 is defined only for Normal frames in the standard.
+            if frame == FrameSize::Normal || r != CodeRate::R9_10 {
+                break r;
+            }
+        };
+        let offset = [-0.4, 0.0, 0.6, 1.6][(next() % 4) as usize];
+        let max_iterations = match frame {
+            FrameSize::Short => 4 + (next() % 5) as usize, // 4..=8
+            FrameSize::Normal => 2 + (next() % 3) as usize, // 2..=4
+        };
+        CaseSpec {
+            seed: mix_seed(master_seed ^ 0x0DD5_B2C0_DEC0_DE00, index),
+            rate,
+            frame,
+            ebn0_db: anchor_ebn0_db(rate) + offset,
+            quantizer_bits: if next() % 4 == 0 { 5 } else { 6 },
+            arithmetic: ArithmeticKind::MinSumShift(1 + (next() % 3) as u32),
+            max_iterations,
+            early_stop: next() % 4 != 0,
+        }
+    }
+}
+
+impl fmt::Display for CaseSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let frame = match self.frame {
+            FrameSize::Normal => "normal",
+            FrameSize::Short => "short",
+        };
+        write!(
+            f,
+            // `{}` on f64 prints the shortest exactly-round-tripping form:
+            // the repro string must reproduce the noise realization bit for
+            // bit, so ebn0 cannot be rounded for display.
+            "seed={} rate={} frame={frame} ebn0={} q={} arith={} iters={} early={}",
+            self.seed,
+            self.rate,
+            self.ebn0_db,
+            self.quantizer_bits,
+            self.arithmetic,
+            self.max_iterations,
+            self.early_stop
+        )
+    }
+}
+
+/// Error parsing a [`CaseSpec`] repro string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCaseError(String);
+
+impl fmt::Display for ParseCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid case spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseCaseError {}
+
+impl FromStr for CaseSpec {
+    type Err = ParseCaseError;
+
+    /// Parses the `Display` form, e.g.
+    /// `seed=7 rate=2/3 frame=short ebn0=2.4 q=6 arith=msshift2 iters=6 early=true`.
+    fn from_str(text: &str) -> Result<Self, Self::Err> {
+        let err = |what: &str| ParseCaseError(format!("{what} in {text:?}"));
+        let mut fields: HashMap<&str, &str> = HashMap::new();
+        for token in text.split_whitespace() {
+            let (key, value) = token.split_once('=').ok_or_else(|| err("missing '='"))?;
+            fields.insert(key, value);
+        }
+        let get = |key: &str| fields.get(key).copied().ok_or_else(|| err(key));
+        let arith = match get("arith")? {
+            "lut" => ArithmeticKind::Lut,
+            other => match other.strip_prefix("msshift").and_then(|s| s.parse().ok()) {
+                Some(shift) => ArithmeticKind::MinSumShift(shift),
+                None => return Err(err("arith")),
+            },
+        };
+        Ok(CaseSpec {
+            seed: get("seed")?.parse().map_err(|_| err("seed"))?,
+            rate: get("rate")?.parse().map_err(|_| err("rate"))?,
+            frame: match get("frame")? {
+                "normal" => FrameSize::Normal,
+                "short" => FrameSize::Short,
+                _ => return Err(err("frame")),
+            },
+            ebn0_db: get("ebn0")?.parse().map_err(|_| err("ebn0"))?,
+            quantizer_bits: get("q")?.parse().map_err(|_| err("q"))?,
+            arithmetic: arith,
+            max_iterations: get("iters")?.parse().map_err(|_| err("iters"))?,
+            early_stop: get("early")?.parse().map_err(|_| err("early"))?,
+        })
+    }
+}
+
+/// Rough Eb/N0 (dB) of each rate's waterfall region — anchor for the
+/// generator's offsets, not a calibrated threshold.
+fn anchor_ebn0_db(rate: CodeRate) -> f64 {
+    match rate {
+        CodeRate::R1_4 => 0.8,
+        CodeRate::R1_3 => 0.9,
+        CodeRate::R2_5 => 1.0,
+        CodeRate::R1_2 => 1.4,
+        CodeRate::R3_5 => 1.9,
+        CodeRate::R2_3 => 2.4,
+        CodeRate::R3_4 => 2.8,
+        CodeRate::R4_5 => 3.2,
+        CodeRate::R5_6 => 3.5,
+        CodeRate::R8_9 => 4.2,
+        CodeRate::R9_10 => 4.4,
+    }
+}
+
+/// One violated contract, with enough context to reproduce it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Index of the case in its run (0-based).
+    pub case_index: u64,
+    /// The generating case (its `Display` form is the repro string).
+    pub case: CaseSpec,
+    /// Short identifier of the violated contract.
+    pub contract: &'static str,
+    /// Human-readable mismatch description.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "case {} [{}] {}: {}", self.case_index, self.contract, self.case, self.detail)
+    }
+}
+
+/// Options for an oracle run.
+#[derive(Debug, Clone, Copy)]
+pub struct OracleConfig {
+    /// Seed of the whole run (each case derives its own stream).
+    pub master_seed: u64,
+    /// Number of generated cases.
+    pub cases: u64,
+    /// Worker threads (cases are independent; results are deterministic
+    /// regardless of this value).
+    pub threads: usize,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig { master_seed: 0xD1FF, cases: 64, threads: dvbs2_channel::default_threads() }
+    }
+}
+
+/// Outcome of an oracle run.
+#[derive(Debug, Clone, Default)]
+pub struct OracleReport {
+    /// Cases executed.
+    pub cases: u64,
+    /// Distinct code rates covered.
+    pub rates_covered: Vec<CodeRate>,
+    /// Distinct frame sizes covered.
+    pub frames_covered: Vec<FrameSize>,
+    /// All contract violations, ordered by case index.
+    pub violations: Vec<Violation>,
+}
+
+impl OracleReport {
+    /// `true` when no contract was violated.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Immutable per-(rate, frame) machinery shared by all cases: building the
+/// code, graph, ROM and memory-model stats dominates a case's cost, so they
+/// are cached across the run.
+struct CaseContext {
+    system: Dvbs2System,
+    graph: Arc<TannerGraph>,
+    rom: ConnectivityRom,
+    schedule: CnSchedule,
+    /// Check-phase stats of one iteration under the natural schedule and
+    /// the default memory configuration.
+    check_phase: AccessStats,
+}
+
+impl CaseContext {
+    fn new(rate: CodeRate, frame: FrameSize) -> Self {
+        let system = Dvbs2System::new(SystemConfig { rate, frame, ..SystemConfig::default() })
+            .expect("generator only emits defined rate/frame combinations");
+        let graph = Arc::clone(system.graph());
+        let rom = ConnectivityRom::build(system.params(), system.code().table());
+        let schedule = CnSchedule::natural(&rom);
+        let check_phase =
+            simulate_cn_phase(MemoryConfig::default(), &schedule.read_sequence(), rom.row_len());
+        CaseContext { system, graph, rom, schedule, check_phase }
+    }
+
+    fn code(&self) -> &DvbS2Code {
+        self.system.code()
+    }
+}
+
+type ContextCache = Mutex<HashMap<((u32, u32), usize), Arc<CaseContext>>>;
+
+fn context_for(cache: &ContextCache, rate: CodeRate, frame: FrameSize) -> Arc<CaseContext> {
+    let key = (rate.fraction(), frame.codeword_len());
+    if let Some(ctx) = cache.lock().expect("no panics hold the lock").get(&key) {
+        return Arc::clone(ctx);
+    }
+    // Build outside the lock: Normal-frame contexts take a while and other
+    // workers should not serialize on them.
+    let built = Arc::new(CaseContext::new(rate, frame));
+    let mut map = cache.lock().expect("no panics hold the lock");
+    Arc::clone(map.entry(key).or_insert(built))
+}
+
+/// One decoder's outcome inside the matrix.
+struct MatrixEntry {
+    name: &'static str,
+    result: DecodeResult,
+}
+
+/// Runs the full decoder matrix on one generated case and returns any
+/// contract violations (empty = clean).
+pub fn run_case(case_index: u64, case: &CaseSpec) -> Vec<Violation> {
+    let cache = ContextCache::default();
+    run_case_with(case_index, case, &cache)
+}
+
+fn run_case_with(case_index: u64, case: &CaseSpec, cache: &ContextCache) -> Vec<Violation> {
+    let ctx = context_for(cache, case.rate, case.frame);
+    let mut violations = Vec::new();
+    let mut violate = |contract: &'static str, detail: String| {
+        violations.push(Violation { case_index, case: *case, contract, detail });
+    };
+
+    let mut rng = SmallRng::seed_from_u64(case.seed);
+    let frame = ctx.system.transmit_frame(&mut rng, case.ebn0_db);
+    let quantizer = case.quantizer();
+    let float_config = DecoderConfig {
+        max_iterations: case.max_iterations,
+        early_stop: case.early_stop,
+        rule: CheckRule::SumProduct,
+        precision: Precision::F64,
+    };
+
+    // --- the decoder matrix -------------------------------------------------
+    let mut entries: Vec<MatrixEntry> = Vec::new();
+    {
+        let g = |precision| float_config.with_precision(precision);
+        let mut push = |name: &'static str, result: DecodeResult| {
+            entries.push(MatrixEntry { name, result });
+        };
+        push(
+            "flooding-f64",
+            FloodingDecoder::new(Arc::clone(&ctx.graph), g(Precision::F64)).decode(&frame.llrs),
+        );
+        push(
+            "flooding-f32",
+            FloodingDecoder::new(Arc::clone(&ctx.graph), g(Precision::F32)).decode(&frame.llrs),
+        );
+        push(
+            "zigzag-f64",
+            ZigzagDecoder::new(Arc::clone(&ctx.graph), g(Precision::F64)).decode(&frame.llrs),
+        );
+        push(
+            "zigzag-f32",
+            ZigzagDecoder::new(Arc::clone(&ctx.graph), g(Precision::F32)).decode(&frame.llrs),
+        );
+        push(
+            "layered-f64",
+            LayeredDecoder::new(Arc::clone(&ctx.graph), g(Precision::F64)).decode(&frame.llrs),
+        );
+        // Min-sum engine kernel, both precisions (flooding routes min-sum
+        // rules through the blocked two-pass kernel).
+        let ms = float_config.with_rule(CheckRule::NormalizedMinSum(0.75));
+        push(
+            "flooding-ms-f64",
+            FloodingDecoder::new(Arc::clone(&ctx.graph), ms).decode(&frame.llrs),
+        );
+        push(
+            "flooding-ms-f32",
+            FloodingDecoder::new(Arc::clone(&ctx.graph), ms.with_precision(Precision::F32))
+                .decode(&frame.llrs),
+        );
+        // Fixed-point decoders.
+        push(
+            "qzigzag-lut",
+            QuantizedZigzagDecoder::new(Arc::clone(&ctx.graph), quantizer, float_config)
+                .decode(&frame.llrs),
+        );
+        push(
+            "qzigzag-minsum",
+            QuantizedZigzagDecoder::with_arithmetic(
+                Arc::clone(&ctx.graph),
+                case.arithmetic.build(quantizer),
+                float_config,
+            )
+            .decode(&frame.llrs),
+        );
+    }
+
+    // --- timed/untimed bit-exact class --------------------------------------
+    let core_config = CoreConfig {
+        quantizer,
+        max_iterations: case.max_iterations,
+        early_stop: case.early_stop,
+        ..CoreConfig::default()
+    };
+    let mut hw = HardwareDecoder::new(ctx.code(), ctx.schedule.clone(), core_config);
+    let mut golden = GoldenModel::new(
+        ctx.code(),
+        ctx.schedule.clone(),
+        quantizer,
+        case.max_iterations,
+        case.early_stop,
+    );
+    let channel = hw.quantize_channel(&frame.llrs);
+    let hw_out = hw.decode_quantized(&channel);
+    let golden_out = golden.decode_quantized(&channel);
+    if hw_out.result != golden_out {
+        violate(
+            "hw-golden-bitexact",
+            format!(
+                "hardware (converged={} iters={}) != golden (converged={} iters={}), {} differing bits",
+                hw_out.result.converged,
+                hw_out.result.iterations,
+                golden_out.converged,
+                golden_out.iterations,
+                count_diff(&hw_out.result.bits, &golden_out.bits),
+            ),
+        );
+    }
+    if case_index.is_multiple_of(16) {
+        // Determinism spot check: an identical rerun must be bit-identical.
+        let again = hw.decode_quantized(&channel);
+        if again.result != hw_out.result || again.cycles != hw_out.cycles {
+            violate("hw-determinism", "rerun of the same channel frame diverged".to_owned());
+        }
+    }
+    entries.push(MatrixEntry { name: "hardware", result: hw_out.result.clone() });
+
+    // --- per-decoder contracts ----------------------------------------------
+    for e in &entries {
+        if e.result.iterations > case.max_iterations {
+            violate(
+                "iteration-cap",
+                format!(
+                    "{}: {} iterations > cap {}",
+                    e.name, e.result.iterations, case.max_iterations
+                ),
+            );
+        }
+        if !case.early_stop && e.result.iterations != case.max_iterations {
+            violate(
+                "fixed-iterations",
+                format!(
+                    "{}: ran {} iterations with early_stop off (cap {})",
+                    e.name, e.result.iterations, case.max_iterations
+                ),
+            );
+        }
+        if e.result.converged && !syndrome_ok(&ctx.graph, &e.result.bits) {
+            violate("converged-syndrome", format!("{}: converged with a dirty syndrome", e.name));
+        }
+    }
+
+    // --- cross-decoder agreement on converged words -------------------------
+    if let Some(first) = entries.iter().find(|e| e.result.converged) {
+        for e in entries.iter().filter(|e| e.result.converged) {
+            if e.result.bits != first.result.bits {
+                violate(
+                    "converged-agreement",
+                    format!(
+                        "{} and {} both converged but differ in {} bits",
+                        first.name,
+                        e.name,
+                        count_diff(&first.result.bits, &e.result.bits),
+                    ),
+                );
+            }
+        }
+    }
+
+    // --- timing contracts ----------------------------------------------------
+    let cycles = &hw_out.cycles;
+    let n = ctx.system.params().n;
+    if cycles.io_cycles != n.div_ceil(core_config.p_io) {
+        violate(
+            "cycle-io",
+            format!("io_cycles {} != ceil({n}/{})", cycles.io_cycles, core_config.p_io),
+        );
+    }
+    if cycles.total_cycles
+        != cycles.io_cycles + cycles.info_phase_cycles + cycles.check_phase_cycles
+    {
+        violate("cycle-total", format!("total {} is not io+info+check", cycles.total_cycles));
+    }
+    let per_iter = ctx.check_phase.total_cycles;
+    if cycles.check_phase_cycles != cycles.iterations * per_iter {
+        violate(
+            "cycle-check-phase",
+            format!(
+                "check_phase_cycles {} != {} iterations x {per_iter} (simulate_cn_phase)",
+                cycles.check_phase_cycles, cycles.iterations
+            ),
+        );
+    }
+    if cycles.max_buffer < ctx.check_phase.max_buffer {
+        violate(
+            "cycle-buffer",
+            format!(
+                "max_buffer {} below the memory model's check-phase bound {}",
+                cycles.max_buffer, ctx.check_phase.max_buffer
+            ),
+        );
+    }
+
+    violations
+}
+
+fn count_diff(a: &BitVec, b: &BitVec) -> usize {
+    if a.len() != b.len() {
+        return a.len().max(b.len());
+    }
+    (0..a.len()).filter(|&i| a.get(i) != b.get(i)).count()
+}
+
+/// Runs `config.cases` generated cases across worker threads and collects
+/// every contract violation. Deterministic for a given `master_seed`
+/// regardless of `threads`.
+pub fn run(config: &OracleConfig) -> OracleReport {
+    let threads = config.threads.max(1);
+    let next = AtomicUsize::new(0);
+    let violations: Mutex<Vec<Violation>> = Mutex::new(Vec::new());
+    let cache = ContextCache::default();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed) as u64;
+                if index >= config.cases {
+                    break;
+                }
+                let case = CaseSpec::generate(config.master_seed, index);
+                let found = run_case_with(index, &case, &cache);
+                if !found.is_empty() {
+                    violations.lock().expect("no panics hold the lock").extend(found);
+                }
+            });
+        }
+    });
+    let mut violations = violations.into_inner().expect("all workers joined");
+    violations.sort_by_key(|v| v.case_index);
+
+    let mut rates_covered = Vec::new();
+    let mut frames_covered = Vec::new();
+    for index in 0..config.cases {
+        let case = CaseSpec::generate(config.master_seed, index);
+        if !rates_covered.contains(&case.rate) {
+            rates_covered.push(case.rate);
+        }
+        if !frames_covered.contains(&case.frame) {
+            frames_covered.push(case.frame);
+        }
+    }
+    OracleReport { cases: config.cases, rates_covered, frames_covered, violations }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+/// Outcome of the fault-injection sweep: decoders must degrade gracefully —
+/// wrong bits at worst, never a panic, a hang, or a `converged` flag on a
+/// dirty syndrome.
+#[derive(Debug, Clone, Default)]
+pub struct FaultReport {
+    /// Fault scenarios executed.
+    pub scenarios: usize,
+    /// Contract violations (panics are caught and reported here).
+    pub violations: Vec<Violation>,
+}
+
+impl FaultReport {
+    /// `true` when every scenario degraded gracefully.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Runs the fault-injection suite on one (rate, frame) point:
+///
+/// * stuck and bit-flipped RAM words in the hardware model;
+/// * an all-zero LLR frame (erased channel) through the whole matrix —
+///   degrades to the all-zero codeword, which is valid, so decoders
+///   legitimately report convergence;
+/// * all-saturated LLR frames with adversarial random signs (floats use
+///   large-but-finite magnitudes: infinities would turn check-node
+///   gathers into `inf - inf = NaN`);
+/// * a near-threshold noisy frame 0.4 dB below the rate's anchor.
+pub fn run_fault_suite(rate: CodeRate, frame: FrameSize, master_seed: u64) -> FaultReport {
+    let cache = ContextCache::default();
+    let ctx = context_for(&cache, rate, frame);
+    let mut report = FaultReport::default();
+    let quantizer = Quantizer::paper_6bit();
+    let core_config =
+        CoreConfig { quantizer, max_iterations: 6, early_stop: true, ..CoreConfig::default() };
+    let base = CaseSpec {
+        seed: master_seed,
+        rate,
+        frame,
+        ebn0_db: anchor_ebn0_db(rate),
+        quantizer_bits: 6,
+        arithmetic: ArithmeticKind::Lut,
+        max_iterations: core_config.max_iterations,
+        early_stop: true,
+    };
+    let mut violate = |index: usize, contract: &'static str, detail: String| {
+        report.violations.push(Violation {
+            case_index: index as u64,
+            case: base,
+            contract,
+            detail,
+        });
+    };
+
+    let n = ctx.system.params().n;
+    let mut rng = SmallRng::seed_from_u64(master_seed);
+    let noisy = ctx.system.transmit_frame(&mut rng, base.ebn0_db - 0.4);
+
+    // Stuck/flipped RAM words at several positions, on the near-threshold
+    // frame (the interesting regime: the fault competes with real noise).
+    let words = ctx.rom.words();
+    let faults = [
+        RamFault::StuckWord { word: 0, value: quantizer.max_mag() },
+        RamFault::StuckWord { word: words / 2, value: -quantizer.max_mag() },
+        RamFault::StuckWord { word: words - 1, value: 0 },
+        RamFault::FlippedBits { word: words / 3, mask: 0b1 },
+        RamFault::FlippedBits { word: 2 * words / 3, mask: 0b11111 },
+    ];
+    for (i, fault) in faults.into_iter().enumerate() {
+        report.scenarios += 1;
+        let mut hw = HardwareDecoder::new(ctx.code(), ctx.schedule.clone(), core_config);
+        hw.set_fault(Some(fault));
+        let outcome = catch_unwind(AssertUnwindSafe(|| hw.decode(&noisy.llrs)));
+        match outcome {
+            Err(_) => violate(i, "fault-panic", format!("{fault:?}: decode panicked")),
+            Ok(out) => {
+                if out.result.iterations > core_config.max_iterations {
+                    violate(i, "fault-hang", format!("{fault:?}: exceeded the iteration cap"));
+                }
+                if out.result.converged && !syndrome_ok(&ctx.graph, &out.result.bits) {
+                    violate(
+                        i,
+                        "fault-syndrome",
+                        format!("{fault:?}: converged with a dirty syndrome"),
+                    );
+                }
+            }
+        }
+    }
+
+    // Degenerate channel frames through the full matrix (no RAM fault).
+    let zeros = vec![0.0f64; n];
+    let mut saturated = vec![0.0f64; n];
+    for (i, llr) in saturated.iter_mut().enumerate() {
+        // Large but finite: +/-1e4 saturates every quantizer and drives the
+        // float decoders to their plateaus without producing inf - inf.
+        *llr = if mix_seed(master_seed, i as u64) & 1 == 0 { 1e4 } else { -1e4 };
+    }
+    for (name, llrs) in [("all-zero", &zeros), ("all-saturated", &saturated)] {
+        report.scenarios += 1;
+        let checked = catch_unwind(AssertUnwindSafe(|| {
+            let mut sub = Vec::new();
+            let float_config = DecoderConfig {
+                max_iterations: base.max_iterations,
+                early_stop: true,
+                rule: CheckRule::SumProduct,
+                precision: Precision::F64,
+            };
+            sub.push(FloodingDecoder::new(Arc::clone(&ctx.graph), float_config).decode(llrs));
+            sub.push(
+                ZigzagDecoder::new(
+                    Arc::clone(&ctx.graph),
+                    float_config.with_precision(Precision::F32),
+                )
+                .decode(llrs),
+            );
+            sub.push(LayeredDecoder::new(Arc::clone(&ctx.graph), float_config).decode(llrs));
+            sub.push(
+                QuantizedZigzagDecoder::new(Arc::clone(&ctx.graph), quantizer, float_config)
+                    .decode(llrs),
+            );
+            let mut hw = HardwareDecoder::new(ctx.code(), ctx.schedule.clone(), core_config);
+            sub.push(hw.decode(llrs).result);
+            sub
+        }));
+        match checked {
+            Err(_) => violate(10, "fault-panic", format!("{name} frame: a decoder panicked")),
+            Ok(results) => {
+                for r in results {
+                    if r.iterations > base.max_iterations {
+                        violate(10, "fault-hang", format!("{name}: exceeded the iteration cap"));
+                    }
+                    if r.converged && !syndrome_ok(&ctx.graph, &r.bits) {
+                        violate(
+                            10,
+                            "fault-syndrome",
+                            format!("{name}: converged with a dirty syndrome"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Failure shrinking
+// ---------------------------------------------------------------------------
+
+/// Greedily reduces a failing case to a minimal reproducer, preserving its
+/// identity (seed, rate, arithmetic — the parts that select *which* bug
+/// fires) while shrinking everything that only makes the report bigger:
+/// fewer iterations, Short instead of Normal frames, the default 6-bit
+/// quantizer, and fixed-iteration (`early_stop = false`) operation.
+///
+/// `still_fails` must return `true` when a candidate case still reproduces
+/// the original failure; the shrinker keeps the smallest candidate that does.
+pub fn shrink_case<F: FnMut(&CaseSpec) -> bool>(
+    failing: &CaseSpec,
+    mut still_fails: F,
+) -> CaseSpec {
+    let mut best = *failing;
+    loop {
+        let mut candidates: Vec<CaseSpec> = Vec::new();
+        if best.max_iterations > 1 {
+            candidates.push(CaseSpec { max_iterations: best.max_iterations / 2, ..best });
+            candidates.push(CaseSpec { max_iterations: best.max_iterations - 1, ..best });
+        }
+        if best.frame == FrameSize::Normal && best.rate != CodeRate::R9_10 {
+            candidates.push(CaseSpec { frame: FrameSize::Short, ..best });
+        }
+        if best.early_stop {
+            candidates.push(CaseSpec { early_stop: false, ..best });
+        }
+        if best.quantizer_bits != 6 {
+            candidates.push(CaseSpec { quantizer_bits: 6, ..best });
+        }
+        match candidates.into_iter().find(|c| still_fails(c)) {
+            Some(smaller) => best = smaller,
+            None => return best,
+        }
+    }
+}

@@ -118,13 +118,21 @@ impl GoldenModel {
             iterations += 1;
             self.information_phase(channel);
             self.check_phase(channel);
-            self.compute_totals(channel);
-            if self.early_stop && self.syndrome_clean() {
-                converged = true;
-                break;
+            // As in the timed core: the per-iteration totals sweep is only
+            // observable through the early-stop test, so without early
+            // stopping it runs once after the loop (bit-identical).
+            if self.early_stop {
+                self.compute_totals(channel);
+                if self.syndrome_clean() {
+                    converged = true;
+                    break;
+                }
             }
         }
         if !converged {
+            if !self.early_stop {
+                self.compute_totals(channel);
+            }
             converged = self.syndrome_clean();
         }
         DecodeResult { bits: hard_decisions_int(&self.totals), iterations, converged }

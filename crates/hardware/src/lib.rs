@@ -35,7 +35,7 @@ mod vhdl;
 
 pub use anneal::{optimize_schedule, AnnealOptions, AnnealResult};
 pub use area::{AreaModel, AreaReport, FuGateModel};
-pub use core::{CoreConfig, CycleBreakdown, HardwareDecoder, HwDecodeOutput};
+pub use core::{CoreConfig, CycleBreakdown, HardwareDecoder, HwDecodeOutput, RamFault};
 pub use functional_unit::FunctionalUnitArray;
 pub use golden::GoldenModel;
 pub use memory::{simulate_cn_phase, AccessStats, MemoryConfig};

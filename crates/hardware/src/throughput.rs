@@ -62,7 +62,7 @@ impl ThroughputModel {
     /// # }
     /// ```
     pub fn throughput_mbps(&self, params: &CodeParams) -> f64 {
-        params.k as f64 / self.cycles(&params.clone()) as f64 * self.clock_mhz
+        params.k as f64 / self.cycles(params) as f64 * self.clock_mhz
     }
 
     /// Coded (channel-symbol) throughput in Mbit/s.

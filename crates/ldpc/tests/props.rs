@@ -58,9 +58,9 @@ proptest! {
         let cb = enc.encode(&b).unwrap();
         prop_assert!(h.is_codeword(&ca));
         prop_assert!(h.is_codeword(&cb));
-        let mut ab = a.clone();
+        let mut ab = a;
         ab ^= &b;
-        let mut sum = ca.clone();
+        let mut sum = ca;
         sum ^= &cb;
         prop_assert_eq!(enc.encode(&ab).unwrap(), sum);
     }

@@ -1,0 +1,117 @@
+//! Bounded differential-oracle suite: a fixed-seed slice of the `diff_fuzz`
+//! sweep small enough for every CI run, plus unit coverage of the case
+//! generator, the repro-string round-trip, the fault-injection suite and
+//! the failure shrinker.
+
+use dvbs2::ldpc::{CodeRate, FrameSize};
+use dvbs2::oracle::{
+    run, run_case, run_fault_suite, shrink_case, ArithmeticKind, CaseSpec, OracleConfig,
+};
+
+#[test]
+fn bounded_sweep_is_clean() {
+    // A fixed 48-case budget keeps this under CI timescales while touching
+    // both frame sizes and most rates; the full 500-case budget runs in the
+    // dedicated diff_fuzz CI job.
+    let report = run(&OracleConfig { master_seed: 0xD1FF, cases: 48, threads: 4 });
+    assert_eq!(report.cases, 48);
+    assert!(report.rates_covered.len() >= 6, "rates: {:?}", report.rates_covered);
+    assert_eq!(report.frames_covered.len(), 2, "both frame sizes");
+    assert!(
+        report.clean(),
+        "contract violations:\n{}",
+        report.violations.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}
+
+#[test]
+fn generator_is_deterministic_and_varied() {
+    let a: Vec<CaseSpec> = (0..64).map(|i| CaseSpec::generate(7, i)).collect();
+    let b: Vec<CaseSpec> = (0..64).map(|i| CaseSpec::generate(7, i)).collect();
+    assert_eq!(a, b, "same master seed, same cases");
+    let c = CaseSpec::generate(8, 0);
+    assert_ne!(a[0], c, "different master seed, different cases");
+    // R 9/10 must only be drawn at Normal frames.
+    for case in &a {
+        assert!(
+            case.frame == FrameSize::Normal || case.rate != CodeRate::R9_10,
+            "{case}: R9/10 has no Short variant"
+        );
+    }
+    // Both convergence regimes appear.
+    assert!(a.iter().any(|case| case.early_stop) && a.iter().any(|case| !case.early_stop));
+}
+
+#[test]
+fn repro_string_round_trips() {
+    for index in 0..32 {
+        let case = CaseSpec::generate(0xABCD, index);
+        let text = case.to_string();
+        let parsed: CaseSpec = text.parse().unwrap_or_else(|e| panic!("{text}: {e}"));
+        assert_eq!(parsed, case, "{text}");
+    }
+    assert!("seed=1 rate=7/8 frame=short".parse::<CaseSpec>().is_err(), "unknown rate");
+    assert!("not a spec".parse::<CaseSpec>().is_err());
+}
+
+#[test]
+fn single_case_replay_is_clean_and_deterministic() {
+    let case = CaseSpec {
+        seed: 99,
+        rate: CodeRate::R1_2,
+        frame: FrameSize::Short,
+        ebn0_db: 2.2,
+        quantizer_bits: 6,
+        arithmetic: ArithmeticKind::MinSumShift(2),
+        max_iterations: 6,
+        early_stop: true,
+    };
+    assert!(run_case(0, &case).is_empty());
+    assert!(run_case(0, &case).is_empty(), "replay must be stable");
+}
+
+#[test]
+fn fault_suite_degrades_gracefully() {
+    let report = run_fault_suite(CodeRate::R1_2, FrameSize::Short, 0xFA);
+    assert!(report.scenarios >= 7, "scenarios: {}", report.scenarios);
+    assert!(
+        report.clean(),
+        "fault violations:\n{}",
+        report.violations.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}
+
+#[test]
+fn shrinker_minimizes_while_preserving_failure() {
+    let failing = CaseSpec {
+        seed: 5,
+        rate: CodeRate::R2_3,
+        frame: FrameSize::Normal,
+        ebn0_db: 2.4,
+        quantizer_bits: 5,
+        arithmetic: ArithmeticKind::MinSumShift(3),
+        max_iterations: 24,
+        early_stop: true,
+    };
+    // Synthetic predicate: the "bug" needs at least 3 iterations and the
+    // min-sum arithmetic; everything else is shrinkable noise.
+    let still_fails = |c: &CaseSpec| {
+        c.max_iterations >= 3 && matches!(c.arithmetic, ArithmeticKind::MinSumShift(_))
+    };
+    let shrunk = shrink_case(&failing, still_fails);
+    assert!(still_fails(&shrunk), "shrinking must preserve the failure");
+    assert_eq!(shrunk.max_iterations, 3, "iterations minimized");
+    assert_eq!(shrunk.frame, FrameSize::Short, "frame demoted");
+    assert_eq!(shrunk.quantizer_bits, 6, "quantizer normalized");
+    assert!(!shrunk.early_stop, "early stop removed");
+    assert_eq!((shrunk.seed, shrunk.rate), (failing.seed, failing.rate), "identity preserved");
+    assert_eq!(shrunk.arithmetic, failing.arithmetic);
+
+    // A predicate that always fails shrinks to the floor everywhere.
+    let floor = shrink_case(&failing, |_| true);
+    assert_eq!(floor.max_iterations, 1);
+
+    // A predicate nothing satisfies returns the original case untouched.
+    let untouched = shrink_case(&failing, |_| false);
+    assert_eq!(untouched, failing);
+}

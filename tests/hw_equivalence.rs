@@ -3,7 +3,7 @@
 //! configurations, early stop, and across rates — plus agreement with the
 //! algorithmic fixed-point decoder on decodable frames.
 
-use dvbs2::decoder::{Decoder, DecoderConfig, QuantizedZigzagDecoder, Quantizer};
+use dvbs2::decoder::{Decoder, DecoderConfig, QCheckArithmetic, QuantizedZigzagDecoder, Quantizer};
 use dvbs2::hardware::{
     optimize_schedule, AnnealOptions, CnSchedule, ConnectivityRom, CoreConfig, GoldenModel,
     HardwareDecoder, MemoryConfig, TestVectorSet,
@@ -124,6 +124,52 @@ fn hardware_core_agrees_with_algorithmic_decoder_on_decoded_frames() {
         let ideal_bits = ideal.decode(&llrs).bits;
         assert_eq!(hw_bits, cw, "seed {seed}");
         assert_eq!(ideal_bits, cw, "seed {seed}");
+    }
+}
+
+#[test]
+fn timed_core_is_bit_exact_at_r910_normal() {
+    // R 9/10 exists only at Normal frames (no Short variant in the
+    // standard), so the all-short-rates sweep above cannot cover the
+    // highest-rate, densest-row connectivity. Pin it here explicitly.
+    let code = DvbS2Code::new(CodeRate::R9_10, FrameSize::Normal).unwrap();
+    let rom = ConnectivityRom::build(code.params(), code.table());
+    let schedule = CnSchedule::natural(&rom);
+    let config = CoreConfig { max_iterations: 6, early_stop: true, ..CoreConfig::default() };
+    let mut hw = HardwareDecoder::new(&code, schedule.clone(), config);
+    let mut golden = GoldenModel::new(&code, schedule, config.quantizer, 6, true);
+    let (cw, llrs) = noisy_channel(&code, 4.6, 910);
+    let channel = hw.quantize_channel(&llrs);
+    let hw_out = hw.decode_quantized(&channel);
+    assert_eq!(hw_out.result, golden.decode_quantized(&channel));
+    assert!(hw_out.result.converged, "4.6 dB is comfortably above the R9/10 threshold");
+    assert_eq!(hw_out.result.bits, cw);
+}
+
+#[test]
+fn min_sum_arithmetic_agrees_with_hardware_on_decoded_frames() {
+    // The hardware functional units are LUT-only, so the min-sum-shift
+    // arithmetic has no timed twin; the contract is agreement on decoded
+    // words, not bit-exact messages (min-sum trades ~0.1-0.2 dB).
+    let code = DvbS2Code::new(CodeRate::R2_3, FrameSize::Short).unwrap();
+    let graph = Arc::new(code.tanner_graph());
+    let quantizer = Quantizer::paper_6bit();
+    let mut min_sum = QuantizedZigzagDecoder::with_arithmetic(
+        Arc::clone(&graph),
+        QCheckArithmetic::min_sum_shift(quantizer, 2),
+        DecoderConfig::default(),
+    );
+    let mut hw = HardwareDecoder::with_natural_schedule(
+        &code,
+        CoreConfig { early_stop: true, ..CoreConfig::default() },
+    );
+    for seed in 0..3 {
+        let (cw, llrs) = noisy_channel(&code, 4.4, 6600 + seed);
+        let hw_out = hw.decode(&llrs);
+        let ms_out = min_sum.decode(&llrs);
+        assert!(hw_out.result.converged && ms_out.converged, "seed {seed}");
+        assert_eq!(hw_out.result.bits, cw, "seed {seed}: LUT hardware");
+        assert_eq!(ms_out.bits, cw, "seed {seed}: min-sum-shift");
     }
 }
 

@@ -158,7 +158,7 @@ pub fn select<T: Clone + Debug>(values: Vec<T>) -> Select<T> {
     Select(values)
 }
 
-/// The strategy returned by [`vec`].
+/// The strategy returned by [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,
