@@ -27,6 +27,7 @@ mod interleave;
 mod llr;
 mod modem;
 mod sim;
+mod stream;
 
 pub use apsk::Constellation;
 pub use awgn::{AwgnChannel, GaussianSource};
@@ -37,6 +38,5 @@ pub use capacity::{
 pub use interleave::BlockInterleaver;
 pub use llr::{bpsk_llr, db_to_linear, ebn0_to_esn0_db, linear_to_db, noise_sigma};
 pub use modem::Modulation;
-#[allow(deprecated)]
-pub use sim::monte_carlo;
 pub use sim::{default_threads, mix_seed, monte_carlo_frames, BerEstimate, FrameOutcome, StopRule};
+pub use stream::{FrameStream, FrameTag, LlrFrame, LlrSource};

@@ -2,8 +2,9 @@
 //!
 //! The harness is decoder-agnostic: callers provide a factory that builds a
 //! per-thread frame simulator (encode → modulate → corrupt → decode →
-//! count errors). Results are exact counts, reproducible given per-thread
-//! seeds derived from the caller's seed.
+//! count errors). Frames are indexed globally and seeded per index (see
+//! [`mix_seed`]), so results are exact counts, bit-reproducible for a given
+//! seed at any thread count.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -100,75 +101,6 @@ impl BerEstimate {
             self.frame_errors += 1;
         }
     }
-}
-
-/// Runs frames across `threads` worker threads until the stop rule fires.
-///
-/// `make_worker(thread_index)` is called once inside each thread and must
-/// return a closure simulating one frame per call. Derive per-thread RNG
-/// seeds from `thread_index` for reproducibility.
-///
-/// ```
-/// # #![allow(deprecated)]
-/// use dvbs2_channel::{monte_carlo, FrameOutcome, StopRule};
-/// let est = monte_carlo(2, StopRule::frames(100), |_t| {
-///     move || FrameOutcome { bit_errors: 1, info_bits: 100, frame_error: true, iterations: 5 }
-/// });
-/// assert_eq!(est.frames, 100);
-/// assert!((est.ber() - 0.01).abs() < 1e-12);
-/// ```
-///
-/// # Panics
-///
-/// Panics if `threads == 0` or `stop.max_frames == 0`.
-#[deprecated(
-    since = "0.1.0",
-    note = "order-nondeterministic: the set of frames simulated (and hence the \
-            estimate) varies with thread count and OS scheduling, and the \
-            early-out can overshoot `target_frame_errors` by an unbounded \
-            number of in-flight frames. Use `monte_carlo_frames`, which is \
-            bit-reproducible for a given seed at any thread count."
-)]
-pub fn monte_carlo<W, F>(threads: usize, stop: StopRule, make_worker: W) -> BerEstimate
-where
-    W: Fn(usize) -> F + Sync,
-    F: FnMut() -> FrameOutcome,
-{
-    assert!(threads > 0, "need at least one thread");
-    assert!(stop.max_frames > 0, "max_frames must be positive");
-    let claimed = AtomicUsize::new(0);
-    let frame_errors = AtomicUsize::new(0);
-    let total = Mutex::new(BerEstimate::default());
-
-    std::thread::scope(|scope| {
-        for t in 0..threads {
-            let claimed = &claimed;
-            let frame_errors = &frame_errors;
-            let total = &total;
-            let make_worker = &make_worker;
-            scope.spawn(move || {
-                let mut simulate = make_worker(t);
-                let mut local = BerEstimate::default();
-                loop {
-                    if stop.target_frame_errors > 0
-                        && frame_errors.load(Ordering::Relaxed) >= stop.target_frame_errors
-                    {
-                        break;
-                    }
-                    if claimed.fetch_add(1, Ordering::Relaxed) >= stop.max_frames {
-                        break;
-                    }
-                    let outcome = simulate();
-                    if outcome.frame_error {
-                        frame_errors.fetch_add(1, Ordering::Relaxed);
-                    }
-                    local.record(outcome);
-                }
-                total.lock().expect("no panics hold the lock").merge(&local);
-            });
-        }
-    });
-    total.into_inner().expect("all workers joined")
 }
 
 /// Runs frames in fixed-size chunks across work-stealing worker threads,
@@ -323,10 +255,14 @@ mod tests {
     use super::*;
 
     #[test]
-    #[allow(deprecated)]
     fn exact_counts_with_frame_cap() {
-        let est = monte_carlo(4, StopRule::frames(1000), |_| {
-            move || FrameOutcome { bit_errors: 2, info_bits: 50, frame_error: false, iterations: 3 }
+        let est = monte_carlo_frames(4, StopRule::frames(1000), 16, |_| {
+            |_frame: u64| FrameOutcome {
+                bit_errors: 2,
+                info_bits: 50,
+                frame_error: false,
+                iterations: 3,
+            }
         });
         assert_eq!(est.frames, 1000);
         assert_eq!(est.bit_errors, 2000);
@@ -334,43 +270,6 @@ mod tests {
         assert_eq!(est.frame_errors, 0);
         assert!((est.avg_iterations() - 3.0).abs() < 1e-12);
         assert_eq!(est.fer(), 0.0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn early_stop_on_frame_errors() {
-        let stop = StopRule { max_frames: 1_000_000, target_frame_errors: 50 };
-        let est = monte_carlo(4, stop, |_| {
-            move || FrameOutcome {
-                bit_errors: 10,
-                info_bits: 100,
-                frame_error: true,
-                iterations: 1,
-            }
-        });
-        assert!(est.frame_errors >= 50);
-        // Overshoot bounded by in-flight frames.
-        assert!(est.frames < 50 + 4 * 16 + 64, "frames {}", est.frames);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn single_thread_is_supported() {
-        let est = monte_carlo(1, StopRule::frames(10), |_| {
-            let mut count = 0usize;
-            move || {
-                count += 1;
-                FrameOutcome {
-                    bit_errors: count % 2,
-                    info_bits: 10,
-                    frame_error: count % 2 == 1,
-                    iterations: count,
-                }
-            }
-        });
-        assert_eq!(est.frames, 10);
-        assert_eq!(est.frame_errors, 5);
-        assert_eq!(est.bit_errors, 5);
     }
 
     #[test]
@@ -391,9 +290,10 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "at least one thread")]
-    #[allow(deprecated)]
     fn zero_threads_panics() {
-        let _ = monte_carlo(0, StopRule::frames(1), |_| move || FrameOutcome::default());
+        let _ = monte_carlo_frames(0, StopRule::frames(1), 1, |_| {
+            |_frame: u64| FrameOutcome::default()
+        });
     }
 
     /// A deterministic per-frame outcome keyed on the global index.

@@ -66,6 +66,10 @@ impl Decoder for BitFlippingDecoder {
         DecodeResult { bits, iterations, converged }
     }
 
+    fn set_max_iterations(&mut self, max_iterations: usize) {
+        self.max_iterations = max_iterations;
+    }
+
     fn name(&self) -> &'static str {
         "bit flipping (Gallager-B)"
     }

@@ -32,12 +32,41 @@ pub enum Precision {
     F32,
 }
 
+/// Largest channel-LLR magnitude the float decoders accept.
+///
+/// Every float decoder sanitizes its input through the engine's
+/// `load_llrs` boundary: `NaN`
+/// becomes `0.0` (an erasure — no information) and anything beyond
+/// `±LLR_CLAMP` saturates to the clamp. Without this, an `inf` input makes
+/// the check-node gather compute `inf - inf = NaN`, which then poisons
+/// every message it touches. The clamp is far above any physical LLR
+/// (demappers top out around `1e3`) yet small enough that degree-sized sums
+/// of clamped values stay finite even in `f32`.
+pub const LLR_CLAMP: f64 = 1e12;
+
+/// Maps one raw channel LLR onto the decoders' finite domain: `NaN` → `0.0`
+/// (no information), `±inf` and oversized magnitudes → `±LLR_CLAMP`.
+/// Ordinary finite LLRs pass through unchanged, preserving the `f64` path's
+/// bit-compatibility contract.
+#[inline]
+pub(crate) fn sanitize_llr(x: f64) -> f64 {
+    if x.is_nan() {
+        0.0
+    } else {
+        x.clamp(-LLR_CLAMP, LLR_CLAMP)
+    }
+}
+
 /// Converts channel LLRs into the engine's message precision, reusing the
-/// destination buffer (no allocation once `dst` has been sized).
+/// destination buffer (no allocation once `dst` has been sized). This is
+/// the single ingestion boundary of every float decoder, so non-finite
+/// inputs are sanitized here — in the `f64` domain, *before* any `f32`
+/// narrowing (a large-but-finite `f64` like `1e300` would otherwise become
+/// `inf` in `f32`).
 #[inline]
 pub(crate) fn load_llrs<F: LlrFloat>(dst: &mut [F], src: &[f64]) {
     for (d, &s) in dst.iter_mut().zip(src) {
-        *d = F::from_f64(s);
+        *d = F::from_f64(sanitize_llr(s));
     }
 }
 
@@ -477,5 +506,19 @@ mod tests {
         let mut dst = [0.0f32; 3];
         load_llrs(&mut dst, &llr);
         assert_eq!(dst, [1.5f32, -2.0, 0.25]);
+    }
+
+    #[test]
+    fn load_llrs_sanitizes_non_finite_inputs() {
+        let raw = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 1e300, -1e300, 3.5, -0.25];
+        let mut f64_dst = [0.0f64; 7];
+        load_llrs(&mut f64_dst, &raw);
+        assert_eq!(f64_dst, [0.0, LLR_CLAMP, -LLR_CLAMP, LLR_CLAMP, -LLR_CLAMP, 3.5, -0.25]);
+        // Clamping happens in f64, so a huge finite f64 cannot sneak an inf
+        // through the f32 narrowing.
+        let mut f32_dst = [0.0f32; 7];
+        load_llrs(&mut f32_dst, &raw);
+        assert!(f32_dst.iter().all(|x| x.is_finite()));
+        assert_eq!(f32_dst[5], 3.5f32);
     }
 }

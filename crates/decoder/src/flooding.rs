@@ -57,7 +57,6 @@ struct Engine<F> {
     c2v: Vec<F>,
     totals: Vec<F>,
     totals_next: Vec<F>,
-    bits: BitVec,
 }
 
 impl<F: LlrFloat> Engine<F> {
@@ -70,18 +69,19 @@ impl<F: LlrFloat> Engine<F> {
             c2v: vec![F::ZERO; edges],
             totals: vec![F::ZERO; vars],
             totals_next: vec![F::ZERO; vars],
-            bits: BitVec::zeros(vars),
         }
     }
 
-    /// One full decode. Allocation-free except for the returned bit vector.
-    fn decode(
+    /// One full decode into `out`. Allocation-free once `out.bits` has the
+    /// codeword length (the first call sizes it).
+    fn decode_into(
         &mut self,
         graph: &TannerGraph,
         config: &DecoderConfig,
         blocked: &BlockedChecks,
         channel_llrs: &[f64],
-    ) -> DecodeResult {
+        out: &mut DecodeResult,
+    ) {
         load_llrs(&mut self.llr, channel_llrs);
         let edge_vars = graph.edge_vars();
 
@@ -157,8 +157,12 @@ impl<F: LlrFloat> Engine<F> {
         if !config.early_stop || !converged {
             converged = syndrome_ok_totals(graph, &self.totals);
         }
-        hard_decisions_into(&self.totals, &mut self.bits);
-        DecodeResult { bits: self.bits.clone(), iterations, converged }
+        if out.bits.len() != self.totals.len() {
+            out.bits = BitVec::zeros(self.totals.len());
+        }
+        hard_decisions_into(&self.totals, &mut out.bits);
+        out.iterations = iterations;
+        out.converged = converged;
     }
 }
 
@@ -181,11 +185,25 @@ impl FloodingDecoder {
 
 impl Decoder for FloodingDecoder {
     fn decode(&mut self, channel_llrs: &[f64]) -> DecodeResult {
+        let mut out = DecodeResult::default();
+        self.decode_into(channel_llrs, &mut out);
+        out
+    }
+
+    fn decode_into(&mut self, channel_llrs: &[f64], out: &mut DecodeResult) {
         assert_eq!(channel_llrs.len(), self.graph.var_count(), "LLR length mismatch");
         match &mut self.core {
-            Core::F64(e) => e.decode(&self.graph, &self.config, &self.blocked, channel_llrs),
-            Core::F32(e) => e.decode(&self.graph, &self.config, &self.blocked, channel_llrs),
+            Core::F64(e) => {
+                e.decode_into(&self.graph, &self.config, &self.blocked, channel_llrs, out)
+            }
+            Core::F32(e) => {
+                e.decode_into(&self.graph, &self.config, &self.blocked, channel_llrs, out)
+            }
         }
+    }
+
+    fn set_max_iterations(&mut self, max_iterations: usize) {
+        self.config.max_iterations = max_iterations;
     }
 
     fn name(&self) -> &'static str {

@@ -41,7 +41,6 @@ struct Engine<F> {
     totals: Vec<F>,
     scratch_in: Vec<F>,
     scratch_out: Vec<F>,
-    bits: BitVec,
 }
 
 impl<F: LlrFloat> Engine<F> {
@@ -54,17 +53,18 @@ impl<F: LlrFloat> Engine<F> {
             totals: vec![F::ZERO; vars],
             scratch_in: vec![F::ZERO; max_degree],
             scratch_out: vec![F::ZERO; max_degree],
-            bits: BitVec::zeros(vars),
         }
     }
 
-    /// One full decode. Allocation-free except for the returned bit vector.
-    fn decode(
+    /// One full decode into `out`. Allocation-free once `out.bits` has the
+    /// codeword length (the first call sizes it).
+    fn decode_into(
         &mut self,
         graph: &TannerGraph,
         config: &DecoderConfig,
         channel_llrs: &[f64],
-    ) -> DecodeResult {
+        out: &mut DecodeResult,
+    ) {
         load_llrs(&mut self.llr, channel_llrs);
         let offsets = graph.check_offsets();
         let edge_vars = graph.edge_vars();
@@ -98,8 +98,12 @@ impl<F: LlrFloat> Engine<F> {
         if !converged {
             converged = syndrome_ok_totals(graph, &self.totals);
         }
-        hard_decisions_into(&self.totals, &mut self.bits);
-        DecodeResult { bits: self.bits.clone(), iterations, converged }
+        if out.bits.len() != self.totals.len() {
+            out.bits = BitVec::zeros(self.totals.len());
+        }
+        hard_decisions_into(&self.totals, &mut out.bits);
+        out.iterations = iterations;
+        out.converged = converged;
     }
 }
 
@@ -121,11 +125,21 @@ impl LayeredDecoder {
 
 impl Decoder for LayeredDecoder {
     fn decode(&mut self, channel_llrs: &[f64]) -> DecodeResult {
+        let mut out = DecodeResult::default();
+        self.decode_into(channel_llrs, &mut out);
+        out
+    }
+
+    fn decode_into(&mut self, channel_llrs: &[f64], out: &mut DecodeResult) {
         assert_eq!(channel_llrs.len(), self.graph.var_count(), "LLR length mismatch");
         match &mut self.core {
-            Core::F64(e) => e.decode(&self.graph, &self.config, channel_llrs),
-            Core::F32(e) => e.decode(&self.graph, &self.config, channel_llrs),
+            Core::F64(e) => e.decode_into(&self.graph, &self.config, channel_llrs, out),
+            Core::F32(e) => e.decode_into(&self.graph, &self.config, channel_llrs, out),
         }
+    }
+
+    fn set_max_iterations(&mut self, max_iterations: usize) {
+        self.config.max_iterations = max_iterations;
     }
 
     fn name(&self) -> &'static str {

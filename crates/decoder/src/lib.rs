@@ -53,13 +53,13 @@ pub mod test_support;
 
 pub use bitflip::BitFlippingDecoder;
 pub use de::{Density, DensityEvolution};
-pub use engine::Precision;
+pub use engine::{Precision, LLR_CLAMP};
 pub use flooding::FloodingDecoder;
 pub use layered::LayeredDecoder;
 pub use llr_ops::{boxplus, boxplus_min, boxplus_t, CheckRule, LlrFloat};
 pub use qdecoder::QuantizedZigzagDecoder;
 pub use quant::{QBoxplus, QCheckArithmetic, Quantizer};
-pub use stopping::{hard_decisions, hard_decisions_int, syndrome_ok};
+pub use stopping::{hard_decisions, hard_decisions_int, hard_decisions_int_into, syndrome_ok};
 pub use threshold::{
     ga_converges, ga_threshold_ebn0_db, ga_threshold_sigma, phi, phi_inv, DegreeDistribution,
 };
@@ -125,7 +125,11 @@ impl DecoderConfig {
 }
 
 /// The outcome of decoding one frame.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The `Default` value (empty bits, zero iterations, not converged) is the
+/// natural starting point for [`Decoder::decode_into`], which sizes and
+/// fills the bit vector on first use and then reuses it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DecodeResult {
     /// Hard decisions for the full codeword (`N` bits).
     pub bits: BitVec,
@@ -160,6 +164,31 @@ pub trait Decoder {
     ///
     /// Implementations panic if `channel_llrs` has the wrong length.
     fn decode(&mut self, channel_llrs: &[f64]) -> DecodeResult;
+
+    /// Decodes one frame into a caller-owned result, reusing its buffers.
+    ///
+    /// Streaming callers decode frames back to back; the in-crate decoders
+    /// override this to write hard decisions directly into `out.bits`, so a
+    /// warm `decode_into` performs no allocation at all (the `alloc`
+    /// integration test enforces this). The default implementation simply
+    /// overwrites `out` with a fresh [`Decoder::decode`] result.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`Decoder::decode`].
+    fn decode_into(&mut self, channel_llrs: &[f64], out: &mut DecodeResult) {
+        *out = self.decode(channel_llrs);
+    }
+
+    /// Replaces the iteration cap for subsequent decodes.
+    ///
+    /// The streaming pipeline's admission control sheds load by lowering
+    /// the cap under pressure (trading error-rate margin for throughput,
+    /// the paper's Table 3 knob) instead of dropping frames. The default is
+    /// a no-op: a decoder that ignores the cap simply never sheds work.
+    fn set_max_iterations(&mut self, max_iterations: usize) {
+        let _ = max_iterations;
+    }
 
     /// A short human-readable identifier for reports.
     fn name(&self) -> &'static str;

@@ -11,12 +11,38 @@
 #![allow(clippy::needless_range_loop)] // one index drives several parallel slices
 
 use crate::quant::{QCheckArithmetic, Quantizer};
-use crate::stopping::{hard_decisions_int, syndrome_ok};
+use crate::stopping::{hard_decisions_int, hard_decisions_int_into, syndrome_ok};
 use crate::{DecodeResult, Decoder, DecoderConfig};
 use dvbs2_ldpc::{BitVec, TannerGraph};
 use std::sync::Arc;
 
 /// Quantized zigzag-schedule decoder.
+///
+/// # Chain-boundary semantics vs the hardware `GoldenModel`
+///
+/// This decoder runs the parity chain as **one** sequential zigzag over all
+/// `N − K` checks: the forward input of check `c` is check `c − 1`'s output
+/// from the *same* iteration, for every `c > 0`, and the backward messages
+/// come from the previous iteration. The hardware golden model
+/// (`dvbs2_hardware::GoldenModel`) instead runs **360 parallel sub-chains**
+/// (one per functional unit), which changes the message freshness at the
+/// `q = (N − K) / 360` sub-chain boundaries in two ways:
+///
+/// * the forward message *entering* a sub-chain's first check comes from the
+///   **previous iteration** (this decoder would use the same iteration's
+///   value from the preceding chain segment);
+/// * the backward boundary message is written while processing row `0` but
+///   read at row `q − 1` of the same sweep, making it **one iteration
+///   fresher** than this decoder's strictly previous-iteration backward
+///   update.
+///
+/// All non-boundary messages — `359/360` of the chain — are computed
+/// identically, so the two models agree on decoded words and differ only in
+/// rare per-frame iteration counts near threshold. The differential oracle
+/// therefore holds them to a decoded-word agreement contract, not message
+/// bit-exactness; the cycle-accurate `HardwareDecoder` *is* held bit-exact
+/// to `GoldenModel`. See `DESIGN.md` ("Chain-boundary semantics") for the
+/// derivation.
 #[derive(Debug, Clone)]
 pub struct QuantizedZigzagDecoder {
     graph: Arc<TannerGraph>,
@@ -30,6 +56,10 @@ pub struct QuantizedZigzagDecoder {
     totals: Vec<i32>,
     scratch_in: Vec<i32>,
     scratch_out: Vec<i32>,
+    /// Reused hard-decision scratch for the early-stop syndrome test.
+    decisions: BitVec,
+    /// Reused quantized-channel buffer for the float [`Decoder`] entry.
+    qchannel: Vec<i32>,
 }
 
 impl QuantizedZigzagDecoder {
@@ -74,6 +104,8 @@ impl QuantizedZigzagDecoder {
             totals: vec![0; graph.var_count()],
             scratch_in: vec![0; max_degree],
             scratch_out: vec![0; max_degree],
+            decisions: BitVec::zeros(graph.var_count()),
+            qchannel: Vec::new(),
             graph,
         }
     }
@@ -90,6 +122,19 @@ impl QuantizedZigzagDecoder {
     ///
     /// Panics if `channel.len() != graph.var_count()`.
     pub fn decode_quantized(&mut self, channel: &[i32]) -> DecodeResult {
+        let mut out = DecodeResult::default();
+        self.decode_quantized_into(channel, &mut out);
+        out
+    }
+
+    /// Decodes pre-quantized channel LLRs into a caller-owned result,
+    /// reusing its buffers (no allocation once `out.bits` has the codeword
+    /// length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel.len() != graph.var_count()`.
+    pub fn decode_quantized_into(&mut self, channel: &[i32], out: &mut DecodeResult) {
         let graph = Arc::clone(&self.graph);
         assert_eq!(channel.len(), graph.var_count(), "LLR length mismatch");
         let k = graph.info_len();
@@ -157,18 +202,30 @@ impl QuantizedZigzagDecoder {
                     + self.forward[j]
                     + if j + 1 < n_check { self.backward[j] } else { 0 };
             }
-            if self.early_stop && syndrome_ok(&graph, &hard_decisions_int(&self.totals)) {
-                converged = true;
-                break;
+            if self.early_stop {
+                hard_decisions_int_into(&self.totals, &mut self.decisions);
+                if syndrome_ok(&graph, &self.decisions) {
+                    converged = true;
+                    break;
+                }
             }
         }
-        if !converged {
-            converged = syndrome_ok(&graph, &hard_decisions_int(&self.totals));
+        if out.bits.len() != self.totals.len() {
+            out.bits = BitVec::zeros(self.totals.len());
         }
-        DecodeResult { bits: hard_decisions_int(&self.totals), iterations, converged }
+        hard_decisions_int_into(&self.totals, &mut out.bits);
+        if !converged {
+            converged = syndrome_ok(&graph, &out.bits);
+        }
+        out.iterations = iterations;
+        out.converged = converged;
     }
 
     /// Quantizes float channel LLRs.
+    ///
+    /// Non-finite inputs degrade gracefully through the quantizer's
+    /// saturation: `±inf` pins to the extreme level and `NaN` maps to `0`
+    /// (an erasure), matching the float decoders' sanitization policy.
     pub fn quantize_channel(&self, channel_llrs: &[f64]) -> Vec<i32> {
         let q = self.arithmetic.quantizer();
         channel_llrs.iter().map(|&l| q.quantize(l)).collect()
@@ -182,8 +239,24 @@ impl QuantizedZigzagDecoder {
 
 impl Decoder for QuantizedZigzagDecoder {
     fn decode(&mut self, channel_llrs: &[f64]) -> DecodeResult {
-        let q = self.quantize_channel(channel_llrs);
-        self.decode_quantized(&q)
+        let mut out = DecodeResult::default();
+        self.decode_into(channel_llrs, &mut out);
+        out
+    }
+
+    fn decode_into(&mut self, channel_llrs: &[f64], out: &mut DecodeResult) {
+        let q = *self.arithmetic.quantizer();
+        // The buffer is moved out so `decode_quantized_into(&mut self, ..)`
+        // can run while reading it, then moved back for reuse.
+        let mut qchannel = std::mem::take(&mut self.qchannel);
+        qchannel.clear();
+        qchannel.extend(channel_llrs.iter().map(|&l| q.quantize(l)));
+        self.decode_quantized_into(&qchannel, out);
+        self.qchannel = qchannel;
+    }
+
+    fn set_max_iterations(&mut self, max_iterations: usize) {
+        self.max_iterations = max_iterations;
     }
 
     fn name(&self) -> &'static str {

@@ -12,6 +12,19 @@ pub fn hard_decisions_int(totals: &[i32]) -> BitVec {
     totals.iter().map(|&t| t < 0).collect()
 }
 
+/// Writes integer-total hard decisions into a preallocated bit vector —
+/// the allocation-free form used by [`crate::Decoder::decode_into`].
+///
+/// # Panics
+///
+/// Panics if `out.len() != totals.len()`.
+pub fn hard_decisions_int_into(totals: &[i32], out: &mut BitVec) {
+    assert_eq!(out.len(), totals.len(), "length mismatch");
+    for (i, &t) in totals.iter().enumerate() {
+        out.set(i, t < 0);
+    }
+}
+
 /// `true` when every check equation is satisfied by `bits` — the early
 /// termination criterion a production decoder applies each iteration.
 ///
@@ -54,5 +67,13 @@ mod tests {
         let f = hard_decisions(&[3.0, -1.0]);
         let i = hard_decisions_int(&[3, -1]);
         assert_eq!(f, i);
+    }
+
+    #[test]
+    fn int_decisions_into_matches_allocating_form() {
+        let totals = [3, -1, 0, -7];
+        let mut out = BitVec::from_bools([true, true, true, true]);
+        hard_decisions_int_into(&totals, &mut out);
+        assert_eq!(out, hard_decisions_int(&totals));
     }
 }

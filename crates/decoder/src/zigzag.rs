@@ -53,7 +53,6 @@ struct Engine<F> {
     c2v: Vec<F>,
     totals: Vec<F>,
     totals_next: Vec<F>,
-    bits: BitVec,
 }
 
 impl<F: LlrFloat> Engine<F> {
@@ -66,17 +65,18 @@ impl<F: LlrFloat> Engine<F> {
             c2v: vec![F::ZERO; edges],
             totals: vec![F::ZERO; vars],
             totals_next: vec![F::ZERO; vars],
-            bits: BitVec::zeros(vars),
         }
     }
 
-    /// One full decode. Allocation-free except for the returned bit vector.
-    fn decode(
+    /// One full decode into `out`. Allocation-free once `out.bits` has the
+    /// codeword length (the first call sizes it).
+    fn decode_into(
         &mut self,
         graph: &TannerGraph,
         config: &DecoderConfig,
         channel_llrs: &[f64],
-    ) -> DecodeResult {
+        out: &mut DecodeResult,
+    ) {
         load_llrs(&mut self.llr, channel_llrs);
         let k = graph.info_len();
         let n_check = graph.check_count();
@@ -147,8 +147,12 @@ impl<F: LlrFloat> Engine<F> {
         if !converged {
             converged = syndrome_ok_totals(graph, &self.totals);
         }
-        hard_decisions_into(&self.totals, &mut self.bits);
-        DecodeResult { bits: self.bits.clone(), iterations, converged }
+        if out.bits.len() != self.totals.len() {
+            out.bits = BitVec::zeros(self.totals.len());
+        }
+        hard_decisions_into(&self.totals, &mut out.bits);
+        out.iterations = iterations;
+        out.converged = converged;
     }
 }
 
@@ -183,11 +187,21 @@ impl ZigzagDecoder {
 
 impl Decoder for ZigzagDecoder {
     fn decode(&mut self, channel_llrs: &[f64]) -> DecodeResult {
+        let mut out = DecodeResult::default();
+        self.decode_into(channel_llrs, &mut out);
+        out
+    }
+
+    fn decode_into(&mut self, channel_llrs: &[f64], out: &mut DecodeResult) {
         assert_eq!(channel_llrs.len(), self.graph.var_count(), "LLR length mismatch");
         match &mut self.core {
-            Core::F64(e) => e.decode(&self.graph, &self.config, channel_llrs),
-            Core::F32(e) => e.decode(&self.graph, &self.config, channel_llrs),
+            Core::F64(e) => e.decode_into(&self.graph, &self.config, channel_llrs, out),
+            Core::F32(e) => e.decode_into(&self.graph, &self.config, channel_llrs, out),
         }
+    }
+
+    fn set_max_iterations(&mut self, max_iterations: usize) {
+        self.config.max_iterations = max_iterations;
     }
 
     fn name(&self) -> &'static str {

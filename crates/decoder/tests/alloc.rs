@@ -9,7 +9,8 @@
 
 use dvbs2_decoder::test_support::{noisy_llrs, small_code};
 use dvbs2_decoder::{
-    CheckRule, Decoder, DecoderConfig, FloodingDecoder, LayeredDecoder, Precision, ZigzagDecoder,
+    CheckRule, DecodeResult, Decoder, DecoderConfig, FloodingDecoder, LayeredDecoder, Precision,
+    QuantizedZigzagDecoder, Quantizer, ZigzagDecoder,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -63,6 +64,54 @@ fn assert_single_allocation_per_decode(name: &str, decoder: &mut dyn Decoder, ll
         results.push(result); // keep results alive outside the measured window
     }
     drop(results);
+}
+
+/// Runs `decode_into` on three frames after a warm-up and asserts that the
+/// reused result makes warm decodes fully allocation-free — the contract
+/// the streaming pipeline's per-worker scratch relies on.
+fn assert_zero_allocation_decode_into(name: &str, decoder: &mut dyn Decoder, llrs: &[f64]) {
+    let mut out = DecodeResult::default();
+    decoder.decode_into(llrs, &mut out); // warm-up: sizes out.bits
+    let reference = out.clone();
+    for round in 0..3 {
+        let before_alloc = ALLOCATIONS.load(Ordering::SeqCst);
+        let before_dealloc = DEALLOCATIONS.load(Ordering::SeqCst);
+        decoder.decode_into(llrs, &mut out);
+        let allocated = ALLOCATIONS.load(Ordering::SeqCst) - before_alloc;
+        let deallocated = DEALLOCATIONS.load(Ordering::SeqCst) - before_dealloc;
+        assert_eq!(allocated, 0, "{name} round {round}: decode_into allocated {allocated}");
+        assert_eq!(deallocated, 0, "{name} round {round}: decode_into freed {deallocated}");
+    }
+    assert_eq!(out, reference, "{name}: decode_into must be deterministic across reuse");
+}
+
+#[test]
+fn decode_into_is_allocation_free_after_warm_up() {
+    let (code, graph) = small_code();
+    let graph = Arc::new(graph);
+    let (_, llrs) = noisy_llrs(&code, 1.4, 31);
+
+    let configs = [
+        ("sum-product f64", DecoderConfig::default()),
+        ("min-sum f64", DecoderConfig::default().with_rule(CheckRule::NormalizedMinSum(0.8))),
+        ("sum-product f32", DecoderConfig::default().with_precision(Precision::F32)),
+    ];
+    for (label, config) in configs {
+        let mut flooding = FloodingDecoder::new(Arc::clone(&graph), config);
+        assert_zero_allocation_decode_into(&format!("flooding {label}"), &mut flooding, &llrs);
+        let mut zigzag = ZigzagDecoder::new(Arc::clone(&graph), config);
+        assert_zero_allocation_decode_into(&format!("zigzag {label}"), &mut zigzag, &llrs);
+        let mut layered = LayeredDecoder::new(Arc::clone(&graph), config);
+        assert_zero_allocation_decode_into(&format!("layered {label}"), &mut layered, &llrs);
+    }
+    // The quantized decoder reuses both its channel buffer and its
+    // hard-decision scratch through the same entry point.
+    let mut quantized = QuantizedZigzagDecoder::new(
+        Arc::clone(&graph),
+        Quantizer::paper_6bit(),
+        DecoderConfig::default(),
+    );
+    assert_zero_allocation_decode_into("quantized 6-bit", &mut quantized, &llrs);
 }
 
 #[test]

@@ -35,8 +35,7 @@ pub struct FecDecodeResult {
 /// For Monte-Carlo error-rate runs over this chain, drive it from
 /// [`dvbs2_channel::monte_carlo_frames`] (or
 /// [`crate::Dvbs2System::simulate_ber`], which wraps it): the chunked API is
-/// bit-reproducible for a given seed at any thread count, unlike the
-/// deprecated order-nondeterministic `monte_carlo`.
+/// bit-reproducible for a given seed at any thread count.
 pub struct FecChain {
     config: SystemConfig,
     ldpc: DvbS2Code,

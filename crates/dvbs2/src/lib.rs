@@ -41,17 +41,18 @@ pub use dvbs2_ldpc as ldpc;
 
 mod fec;
 pub mod framing;
+mod modcod;
 pub mod oracle;
 pub use fec::{FecChain, FecDecodeResult};
+pub use modcod::{DecoderProfile, Modcod, ModcodEntry, ModcodTable};
 
 /// The workspace's most commonly used items in one import.
 pub mod prelude {
     pub use crate::{
-        DecoderKind, Dvbs2System, FecChain, FecDecodeResult, SystemConfig, TransmittedFrame,
+        DecoderKind, DecoderProfile, Dvbs2System, FecChain, FecDecodeResult, Modcod, ModcodEntry,
+        ModcodTable, SystemConfig, TransmittedFrame,
     };
     pub use dvbs2_bch::{BchCode, BchDecoder, BchEncoder};
-    #[allow(deprecated)]
-    pub use dvbs2_channel::monte_carlo;
     pub use dvbs2_channel::{
         mix_seed, monte_carlo_frames, noise_sigma, shannon_limit_biawgn_db, AwgnChannel,
         BerEstimate, FrameOutcome, Modulation, StopRule,
@@ -179,20 +180,26 @@ impl Dvbs2System {
     /// Creates a fresh decoder instance (one per thread; decoders own their
     /// scratch state).
     pub fn make_decoder(&self) -> Box<dyn Decoder + Send> {
+        self.make_decoder_for(self.config.decoder, self.config.decoder_config)
+    }
+
+    /// Creates a decoder of an explicit kind/config over this system's
+    /// graph, independent of the configured [`SystemConfig::decoder`] — the
+    /// MODCOD dispatch table uses this to attach per-MODCOD decoder
+    /// profiles to one shared code context.
+    pub fn make_decoder_for(
+        &self,
+        kind: DecoderKind,
+        config: DecoderConfig,
+    ) -> Box<dyn Decoder + Send> {
         let graph = Arc::clone(&self.graph);
-        match self.config.decoder {
-            DecoderKind::Flooding => {
-                Box::new(FloodingDecoder::new(graph, self.config.decoder_config))
-            }
-            DecoderKind::Zigzag => Box::new(ZigzagDecoder::new(graph, self.config.decoder_config)),
-            DecoderKind::Layered => {
-                Box::new(LayeredDecoder::new(graph, self.config.decoder_config))
-            }
-            DecoderKind::Quantized(q) => {
-                Box::new(QuantizedZigzagDecoder::new(graph, q, self.config.decoder_config))
-            }
+        match kind {
+            DecoderKind::Flooding => Box::new(FloodingDecoder::new(graph, config)),
+            DecoderKind::Zigzag => Box::new(ZigzagDecoder::new(graph, config)),
+            DecoderKind::Layered => Box::new(LayeredDecoder::new(graph, config)),
+            DecoderKind::Quantized(q) => Box::new(QuantizedZigzagDecoder::new(graph, q, config)),
             DecoderKind::BitFlipping => {
-                Box::new(dvbs2_decoder::BitFlippingDecoder::new(graph, self.config.decoder_config))
+                Box::new(dvbs2_decoder::BitFlippingDecoder::new(graph, config))
             }
         }
     }

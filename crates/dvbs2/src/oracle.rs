@@ -37,8 +37,8 @@ use dvbs2_decoder::{
     Precision, QCheckArithmetic, QuantizedZigzagDecoder, Quantizer, ZigzagDecoder,
 };
 use dvbs2_hardware::{
-    simulate_cn_phase, AccessStats, CnSchedule, ConnectivityRom, CoreConfig, GoldenModel,
-    HardwareDecoder, MemoryConfig, RamFault,
+    optimize_schedule, simulate_cn_phase, AccessStats, AnnealOptions, CnSchedule, ConnectivityRom,
+    CoreConfig, GoldenModel, HardwareDecoder, MemoryConfig, RamFault,
 };
 use dvbs2_ldpc::{BitVec, CodeRate, DvbS2Code, FrameSize, TannerGraph};
 use rand::rngs::SmallRng;
@@ -77,6 +77,27 @@ impl fmt::Display for ArithmeticKind {
     }
 }
 
+/// Which check-node processing order the timed decoders run under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ScheduleKind {
+    /// Row order as the connectivity ROM lists it.
+    #[default]
+    Natural,
+    /// The annealer's conflict-minimized order (Section 3.2), computed with
+    /// a fixed deterministic seed and a bounded move budget so cases stay
+    /// reproducible and cheap.
+    Annealed,
+}
+
+impl fmt::Display for ScheduleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleKind::Natural => write!(f, "natural"),
+            ScheduleKind::Annealed => write!(f, "annealed"),
+        }
+    }
+}
+
 /// One generated differential test case: everything needed to reproduce a
 /// frame and the decoder matrix bit for bit.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -97,6 +118,12 @@ pub struct CaseSpec {
     pub max_iterations: usize,
     /// Syndrome-based early termination for every decoder in the matrix.
     pub early_stop: bool,
+    /// Check-node schedule for the timed decoders (hardware and golden).
+    pub schedule: ScheduleKind,
+    /// Memory subsystem (banks × write ports × FU latency) of the timed
+    /// decoders; the cycle contracts are checked against this configuration,
+    /// not the paper default.
+    pub memory: MemoryConfig,
 }
 
 impl CaseSpec {
@@ -113,7 +140,12 @@ impl CaseSpec {
     /// convergence regimes: Eb/N0 offsets from −0.4 dB (most frames fail)
     /// to +1.6 dB (most frames decode) around a per-rate anchor near the
     /// waterfall. Every eighth case uses a Normal frame at a reduced
-    /// iteration cap; the rest are Short frames.
+    /// iteration cap; the rest are Short frames. Timed-decoder variation:
+    /// about a third of Short-frame cases run an annealed check-node
+    /// schedule (Normal frames keep the natural order — annealing them
+    /// would dominate a run's cost), and memory configurations are drawn
+    /// from a small set spanning starved (2 banks, 1 port) to generous
+    /// (8 banks) subsystems.
     pub fn generate(master_seed: u64, index: u64) -> CaseSpec {
         let mut s = mix_seed(master_seed, index);
         let mut next = move || {
@@ -137,6 +169,17 @@ impl CaseSpec {
             FrameSize::Short => 4 + (next() % 5) as usize, // 4..=8
             FrameSize::Normal => 2 + (next() % 3) as usize, // 2..=4
         };
+        let schedule = if frame == FrameSize::Short && next() % 3 == 0 {
+            ScheduleKind::Annealed
+        } else {
+            ScheduleKind::Natural
+        };
+        let memory = match next() % 4 {
+            0 => MemoryConfig { banks: 2, write_ports: 1, fu_latency: 3 },
+            1 => MemoryConfig { banks: 4, write_ports: 2, fu_latency: 8 },
+            2 => MemoryConfig { banks: 8, write_ports: 2, fu_latency: 4 },
+            _ => MemoryConfig::default(),
+        };
         CaseSpec {
             seed: mix_seed(master_seed ^ 0x0DD5_B2C0_DEC0_DE00, index),
             rate,
@@ -146,6 +189,8 @@ impl CaseSpec {
             arithmetic: ArithmeticKind::MinSumShift(1 + (next() % 3) as u32),
             max_iterations,
             early_stop: next() % 4 != 0,
+            schedule,
+            memory,
         }
     }
 }
@@ -161,14 +206,19 @@ impl fmt::Display for CaseSpec {
             // `{}` on f64 prints the shortest exactly-round-tripping form:
             // the repro string must reproduce the noise realization bit for
             // bit, so ebn0 cannot be rounded for display.
-            "seed={} rate={} frame={frame} ebn0={} q={} arith={} iters={} early={}",
+            "seed={} rate={} frame={frame} ebn0={} q={} arith={} iters={} early={} \
+             sched={} mem={}x{}x{}",
             self.seed,
             self.rate,
             self.ebn0_db,
             self.quantizer_bits,
             self.arithmetic,
             self.max_iterations,
-            self.early_stop
+            self.early_stop,
+            self.schedule,
+            self.memory.banks,
+            self.memory.write_ports,
+            self.memory.fu_latency,
         )
     }
 }
@@ -190,6 +240,10 @@ impl FromStr for CaseSpec {
 
     /// Parses the `Display` form, e.g.
     /// `seed=7 rate=2/3 frame=short ebn0=2.4 q=6 arith=msshift2 iters=6 early=true`.
+    ///
+    /// The `sched=` and `mem=BxPxL` keys are optional and default to the
+    /// natural schedule and the paper memory configuration, so repro
+    /// strings recorded before those dimensions existed still parse.
     fn from_str(text: &str) -> Result<Self, Self::Err> {
         let err = |what: &str| ParseCaseError(format!("{what} in {text:?}"));
         let mut fields: HashMap<&str, &str> = HashMap::new();
@@ -205,6 +259,25 @@ impl FromStr for CaseSpec {
                 None => return Err(err("arith")),
             },
         };
+        let schedule = match fields.get("sched").copied() {
+            None | Some("natural") => ScheduleKind::Natural,
+            Some("annealed") => ScheduleKind::Annealed,
+            Some(_) => return Err(err("sched")),
+        };
+        let memory = match fields.get("mem").copied() {
+            None => MemoryConfig::default(),
+            Some(spec) => {
+                let mut parts = spec.split('x').map(|p| p.parse::<usize>());
+                match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                    (Some(Ok(banks)), Some(Ok(write_ports)), Some(Ok(fu_latency)), None)
+                        if banks > 0 && write_ports > 0 =>
+                    {
+                        MemoryConfig { banks, write_ports, fu_latency }
+                    }
+                    _ => return Err(err("mem")),
+                }
+            }
+        };
         Ok(CaseSpec {
             seed: get("seed")?.parse().map_err(|_| err("seed"))?,
             rate: get("rate")?.parse().map_err(|_| err("rate"))?,
@@ -218,6 +291,8 @@ impl FromStr for CaseSpec {
             arithmetic: arith,
             max_iterations: get("iters")?.parse().map_err(|_| err("iters"))?,
             early_stop: get("early")?.parse().map_err(|_| err("early"))?,
+            schedule,
+            memory,
         })
     }
 }
@@ -297,47 +372,112 @@ impl OracleReport {
     }
 }
 
-/// Immutable per-(rate, frame) machinery shared by all cases: building the
-/// code, graph, ROM and memory-model stats dominates a case's cost, so they
-/// are cached across the run.
-struct CaseContext {
+/// Immutable per-(rate, frame) machinery: building the code, graph and ROM
+/// dominates a case's cost, so these are shared by every schedule/memory
+/// variant of the code point.
+struct CodeContext {
     system: Dvbs2System,
     graph: Arc<TannerGraph>,
     rom: ConnectivityRom,
-    schedule: CnSchedule,
-    /// Check-phase stats of one iteration under the natural schedule and
-    /// the default memory configuration.
-    check_phase: AccessStats,
 }
 
-impl CaseContext {
+impl CodeContext {
     fn new(rate: CodeRate, frame: FrameSize) -> Self {
         let system = Dvbs2System::new(SystemConfig { rate, frame, ..SystemConfig::default() })
             .expect("generator only emits defined rate/frame combinations");
         let graph = Arc::clone(system.graph());
         let rom = ConnectivityRom::build(system.params(), system.code().table());
-        let schedule = CnSchedule::natural(&rom);
-        let check_phase =
-            simulate_cn_phase(MemoryConfig::default(), &schedule.read_sequence(), rom.row_len());
-        CaseContext { system, graph, rom, schedule, check_phase }
-    }
-
-    fn code(&self) -> &DvbS2Code {
-        self.system.code()
+        CodeContext { system, graph, rom }
     }
 }
 
-type ContextCache = Mutex<HashMap<((u32, u32), usize), Arc<CaseContext>>>;
+/// Per-(rate, frame, schedule, memory) machinery layered over a shared
+/// [`CodeContext`]: the check-node schedule (annealing one is itself
+/// expensive) and the memory-model stats the timing contracts compare
+/// against, both under the case's [`MemoryConfig`].
+struct CaseContext {
+    code: Arc<CodeContext>,
+    schedule: CnSchedule,
+    /// Check-phase stats of one iteration under this context's schedule
+    /// and memory configuration.
+    check_phase: AccessStats,
+}
 
-fn context_for(cache: &ContextCache, rate: CodeRate, frame: FrameSize) -> Arc<CaseContext> {
-    let key = (rate.fraction(), frame.codeword_len());
-    if let Some(ctx) = cache.lock().expect("no panics hold the lock").get(&key) {
+impl CaseContext {
+    fn new(code: Arc<CodeContext>, kind: ScheduleKind, memory: MemoryConfig) -> Self {
+        let schedule = match kind {
+            ScheduleKind::Natural => CnSchedule::natural(&code.rom),
+            // Fixed seed + bounded move budget: deterministic for a given
+            // (rate, frame, memory) and cheap enough for fuzz runs while
+            // still reordering rows substantially.
+            ScheduleKind::Annealed => {
+                optimize_schedule(
+                    &code.rom,
+                    memory,
+                    AnnealOptions { moves: 600, ..AnnealOptions::default() },
+                )
+                .schedule
+            }
+        };
+        let check_phase = simulate_cn_phase(memory, &schedule.read_sequence(), code.rom.row_len());
+        CaseContext { code, schedule, check_phase }
+    }
+
+    fn system(&self) -> &Dvbs2System {
+        &self.code.system
+    }
+
+    fn graph(&self) -> &Arc<TannerGraph> {
+        &self.code.graph
+    }
+
+    fn code(&self) -> &DvbS2Code {
+        self.code.system.code()
+    }
+}
+
+type CodeKey = ((u32, u32), usize);
+type CaseKey = (CodeKey, ScheduleKind, (usize, usize, usize));
+
+/// Two-level cache: code contexts by (rate, frame), case contexts by
+/// (rate, frame, schedule, memory). A run mixing schedules and memory
+/// configurations builds each expensive code context exactly once.
+#[derive(Default)]
+struct ContextCache {
+    codes: Mutex<HashMap<CodeKey, Arc<CodeContext>>>,
+    cases: Mutex<HashMap<CaseKey, Arc<CaseContext>>>,
+}
+
+fn code_key(rate: CodeRate, frame: FrameSize) -> CodeKey {
+    (rate.fraction(), frame.codeword_len())
+}
+
+fn code_context_for(cache: &ContextCache, rate: CodeRate, frame: FrameSize) -> Arc<CodeContext> {
+    let key = code_key(rate, frame);
+    if let Some(ctx) = cache.codes.lock().expect("no panics hold the lock").get(&key) {
         return Arc::clone(ctx);
     }
     // Build outside the lock: Normal-frame contexts take a while and other
     // workers should not serialize on them.
-    let built = Arc::new(CaseContext::new(rate, frame));
-    let mut map = cache.lock().expect("no panics hold the lock");
+    let built = Arc::new(CodeContext::new(rate, frame));
+    let mut map = cache.codes.lock().expect("no panics hold the lock");
+    Arc::clone(map.entry(key).or_insert(built))
+}
+
+fn context_for(
+    cache: &ContextCache,
+    rate: CodeRate,
+    frame: FrameSize,
+    kind: ScheduleKind,
+    memory: MemoryConfig,
+) -> Arc<CaseContext> {
+    let key = (code_key(rate, frame), kind, (memory.banks, memory.write_ports, memory.fu_latency));
+    if let Some(ctx) = cache.cases.lock().expect("no panics hold the lock").get(&key) {
+        return Arc::clone(ctx);
+    }
+    let code = code_context_for(cache, rate, frame);
+    let built = Arc::new(CaseContext::new(code, kind, memory));
+    let mut map = cache.cases.lock().expect("no panics hold the lock");
     Arc::clone(map.entry(key).or_insert(built))
 }
 
@@ -355,14 +495,14 @@ pub fn run_case(case_index: u64, case: &CaseSpec) -> Vec<Violation> {
 }
 
 fn run_case_with(case_index: u64, case: &CaseSpec, cache: &ContextCache) -> Vec<Violation> {
-    let ctx = context_for(cache, case.rate, case.frame);
+    let ctx = context_for(cache, case.rate, case.frame, case.schedule, case.memory);
     let mut violations = Vec::new();
     let mut violate = |contract: &'static str, detail: String| {
         violations.push(Violation { case_index, case: *case, contract, detail });
     };
 
     let mut rng = SmallRng::seed_from_u64(case.seed);
-    let frame = ctx.system.transmit_frame(&mut rng, case.ebn0_db);
+    let frame = ctx.system().transmit_frame(&mut rng, case.ebn0_db);
     let quantizer = case.quantizer();
     let float_config = DecoderConfig {
         max_iterations: case.max_iterations,
@@ -380,46 +520,46 @@ fn run_case_with(case_index: u64, case: &CaseSpec, cache: &ContextCache) -> Vec<
         };
         push(
             "flooding-f64",
-            FloodingDecoder::new(Arc::clone(&ctx.graph), g(Precision::F64)).decode(&frame.llrs),
+            FloodingDecoder::new(Arc::clone(ctx.graph()), g(Precision::F64)).decode(&frame.llrs),
         );
         push(
             "flooding-f32",
-            FloodingDecoder::new(Arc::clone(&ctx.graph), g(Precision::F32)).decode(&frame.llrs),
+            FloodingDecoder::new(Arc::clone(ctx.graph()), g(Precision::F32)).decode(&frame.llrs),
         );
         push(
             "zigzag-f64",
-            ZigzagDecoder::new(Arc::clone(&ctx.graph), g(Precision::F64)).decode(&frame.llrs),
+            ZigzagDecoder::new(Arc::clone(ctx.graph()), g(Precision::F64)).decode(&frame.llrs),
         );
         push(
             "zigzag-f32",
-            ZigzagDecoder::new(Arc::clone(&ctx.graph), g(Precision::F32)).decode(&frame.llrs),
+            ZigzagDecoder::new(Arc::clone(ctx.graph()), g(Precision::F32)).decode(&frame.llrs),
         );
         push(
             "layered-f64",
-            LayeredDecoder::new(Arc::clone(&ctx.graph), g(Precision::F64)).decode(&frame.llrs),
+            LayeredDecoder::new(Arc::clone(ctx.graph()), g(Precision::F64)).decode(&frame.llrs),
         );
         // Min-sum engine kernel, both precisions (flooding routes min-sum
         // rules through the blocked two-pass kernel).
         let ms = float_config.with_rule(CheckRule::NormalizedMinSum(0.75));
         push(
             "flooding-ms-f64",
-            FloodingDecoder::new(Arc::clone(&ctx.graph), ms).decode(&frame.llrs),
+            FloodingDecoder::new(Arc::clone(ctx.graph()), ms).decode(&frame.llrs),
         );
         push(
             "flooding-ms-f32",
-            FloodingDecoder::new(Arc::clone(&ctx.graph), ms.with_precision(Precision::F32))
+            FloodingDecoder::new(Arc::clone(ctx.graph()), ms.with_precision(Precision::F32))
                 .decode(&frame.llrs),
         );
         // Fixed-point decoders.
         push(
             "qzigzag-lut",
-            QuantizedZigzagDecoder::new(Arc::clone(&ctx.graph), quantizer, float_config)
+            QuantizedZigzagDecoder::new(Arc::clone(ctx.graph()), quantizer, float_config)
                 .decode(&frame.llrs),
         );
         push(
             "qzigzag-minsum",
             QuantizedZigzagDecoder::with_arithmetic(
-                Arc::clone(&ctx.graph),
+                Arc::clone(ctx.graph()),
                 case.arithmetic.build(quantizer),
                 float_config,
             )
@@ -432,6 +572,7 @@ fn run_case_with(case_index: u64, case: &CaseSpec, cache: &ContextCache) -> Vec<
         quantizer,
         max_iterations: case.max_iterations,
         early_stop: case.early_stop,
+        memory: case.memory,
         ..CoreConfig::default()
     };
     let mut hw = HardwareDecoder::new(ctx.code(), ctx.schedule.clone(), core_config);
@@ -487,7 +628,7 @@ fn run_case_with(case_index: u64, case: &CaseSpec, cache: &ContextCache) -> Vec<
                 ),
             );
         }
-        if e.result.converged && !syndrome_ok(&ctx.graph, &e.result.bits) {
+        if e.result.converged && !syndrome_ok(ctx.graph(), &e.result.bits) {
             violate("converged-syndrome", format!("{}: converged with a dirty syndrome", e.name));
         }
     }
@@ -511,7 +652,7 @@ fn run_case_with(case_index: u64, case: &CaseSpec, cache: &ContextCache) -> Vec<
 
     // --- timing contracts ----------------------------------------------------
     let cycles = &hw_out.cycles;
-    let n = ctx.system.params().n;
+    let n = ctx.system().params().n;
     if cycles.io_cycles != n.div_ceil(core_config.p_io) {
         violate(
             "cycle-io",
@@ -627,7 +768,7 @@ impl FaultReport {
 /// * a near-threshold noisy frame 0.4 dB below the rate's anchor.
 pub fn run_fault_suite(rate: CodeRate, frame: FrameSize, master_seed: u64) -> FaultReport {
     let cache = ContextCache::default();
-    let ctx = context_for(&cache, rate, frame);
+    let ctx = context_for(&cache, rate, frame, ScheduleKind::Natural, MemoryConfig::default());
     let mut report = FaultReport::default();
     let quantizer = Quantizer::paper_6bit();
     let core_config =
@@ -641,6 +782,8 @@ pub fn run_fault_suite(rate: CodeRate, frame: FrameSize, master_seed: u64) -> Fa
         arithmetic: ArithmeticKind::Lut,
         max_iterations: core_config.max_iterations,
         early_stop: true,
+        schedule: ScheduleKind::Natural,
+        memory: MemoryConfig::default(),
     };
     let mut violate = |index: usize, contract: &'static str, detail: String| {
         report.violations.push(Violation {
@@ -651,13 +794,13 @@ pub fn run_fault_suite(rate: CodeRate, frame: FrameSize, master_seed: u64) -> Fa
         });
     };
 
-    let n = ctx.system.params().n;
+    let n = ctx.system().params().n;
     let mut rng = SmallRng::seed_from_u64(master_seed);
-    let noisy = ctx.system.transmit_frame(&mut rng, base.ebn0_db - 0.4);
+    let noisy = ctx.system().transmit_frame(&mut rng, base.ebn0_db - 0.4);
 
     // Stuck/flipped RAM words at several positions, on the near-threshold
     // frame (the interesting regime: the fault competes with real noise).
-    let words = ctx.rom.words();
+    let words = ctx.code.rom.words();
     let faults = [
         RamFault::StuckWord { word: 0, value: quantizer.max_mag() },
         RamFault::StuckWord { word: words / 2, value: -quantizer.max_mag() },
@@ -676,7 +819,7 @@ pub fn run_fault_suite(rate: CodeRate, frame: FrameSize, master_seed: u64) -> Fa
                 if out.result.iterations > core_config.max_iterations {
                     violate(i, "fault-hang", format!("{fault:?}: exceeded the iteration cap"));
                 }
-                if out.result.converged && !syndrome_ok(&ctx.graph, &out.result.bits) {
+                if out.result.converged && !syndrome_ok(ctx.graph(), &out.result.bits) {
                     violate(
                         i,
                         "fault-syndrome",
@@ -705,17 +848,17 @@ pub fn run_fault_suite(rate: CodeRate, frame: FrameSize, master_seed: u64) -> Fa
                 rule: CheckRule::SumProduct,
                 precision: Precision::F64,
             };
-            sub.push(FloodingDecoder::new(Arc::clone(&ctx.graph), float_config).decode(llrs));
+            sub.push(FloodingDecoder::new(Arc::clone(ctx.graph()), float_config).decode(llrs));
             sub.push(
                 ZigzagDecoder::new(
-                    Arc::clone(&ctx.graph),
+                    Arc::clone(ctx.graph()),
                     float_config.with_precision(Precision::F32),
                 )
                 .decode(llrs),
             );
-            sub.push(LayeredDecoder::new(Arc::clone(&ctx.graph), float_config).decode(llrs));
+            sub.push(LayeredDecoder::new(Arc::clone(ctx.graph()), float_config).decode(llrs));
             sub.push(
-                QuantizedZigzagDecoder::new(Arc::clone(&ctx.graph), quantizer, float_config)
+                QuantizedZigzagDecoder::new(Arc::clone(ctx.graph()), quantizer, float_config)
                     .decode(llrs),
             );
             let mut hw = HardwareDecoder::new(ctx.code(), ctx.schedule.clone(), core_config);
@@ -729,7 +872,7 @@ pub fn run_fault_suite(rate: CodeRate, frame: FrameSize, master_seed: u64) -> Fa
                     if r.iterations > base.max_iterations {
                         violate(10, "fault-hang", format!("{name}: exceeded the iteration cap"));
                     }
-                    if r.converged && !syndrome_ok(&ctx.graph, &r.bits) {
+                    if r.converged && !syndrome_ok(ctx.graph(), &r.bits) {
                         violate(
                             10,
                             "fault-syndrome",
@@ -752,7 +895,8 @@ pub fn run_fault_suite(rate: CodeRate, frame: FrameSize, master_seed: u64) -> Fa
 /// identity (seed, rate, arithmetic — the parts that select *which* bug
 /// fires) while shrinking everything that only makes the report bigger:
 /// fewer iterations, Short instead of Normal frames, the default 6-bit
-/// quantizer, and fixed-iteration (`early_stop = false`) operation.
+/// quantizer, fixed-iteration (`early_stop = false`) operation, the
+/// natural schedule, and the default memory configuration.
 ///
 /// `still_fails` must return `true` when a candidate case still reproduces
 /// the original failure; the shrinker keeps the smallest candidate that does.
@@ -775,6 +919,12 @@ pub fn shrink_case<F: FnMut(&CaseSpec) -> bool>(
         }
         if best.quantizer_bits != 6 {
             candidates.push(CaseSpec { quantizer_bits: 6, ..best });
+        }
+        if best.schedule != ScheduleKind::Natural {
+            candidates.push(CaseSpec { schedule: ScheduleKind::Natural, ..best });
+        }
+        if best.memory != MemoryConfig::default() {
+            candidates.push(CaseSpec { memory: MemoryConfig::default(), ..best });
         }
         match candidates.into_iter().find(|c| still_fails(c)) {
             Some(smaller) => best = smaller,

@@ -26,6 +26,39 @@ use dvbs2_decoder::{hard_decisions_int, DecodeResult, Quantizer};
 use dvbs2_ldpc::{CodeParams, DvbS2Code, PARALLELISM};
 
 /// The untimed functional model (see module docs).
+///
+/// # Chain-boundary semantics vs the sequential `QuantizedZigzagDecoder`
+///
+/// `dvbs2_decoder::QuantizedZigzagDecoder` sweeps the degree-2 parity chain
+/// as **one** sequence over all `N − K` checks: every check `c > 0` consumes
+/// check `c − 1`'s forward output from the *same* iteration, and all
+/// backward messages come from the *previous* iteration. This model executes
+/// the hardware's partitioning instead: the chain is cut into
+/// `PARALLELISM = 360` sub-chains of `q = (N − K) / 360` checks (functional
+/// unit `ℓ` owns lane `ℓ` of rows `0..q`, processed in ascending residue
+/// order). The arithmetic per check is identical; only the message
+/// *freshness at the 359 interior sub-chain boundaries* differs:
+///
+/// * **forward boundary, one iteration staler** — the forward message
+///   entering row `0` of lane `ℓ` is the row `q − 1` output of lane
+///   `ℓ − 1` *from the previous check phase* (each FU seeds its chain from
+///   stored state; the sequential decoder would use the current sweep's
+///   value);
+/// * **backward boundary, one iteration fresher** — the backward message a
+///   lane emits while processing row `0` is consumed by the preceding lane
+///   at row `q − 1` of the *same* check phase (row `0` executes before row
+///   `q − 1` in the ascending sweep; the sequential decoder's backward
+///   messages are uniformly one iteration old).
+///
+/// The other `(N − K) − 359` forward and backward updates are computed with
+/// identical operand values and identical saturating arithmetic. The
+/// deviations therefore perturb convergence only through a `359 / (N − K)`
+/// fraction of the chain (≈ 1% at Normal frames), which shifts rare
+/// per-frame iteration counts near threshold but not decoded words — the
+/// differential oracle enforces decoded-word agreement between the two
+/// models and *bit-exactness* between this model and the timed
+/// [`crate::HardwareDecoder`]. `DESIGN.md` ("Chain-boundary semantics")
+/// carries the worked example.
 #[derive(Debug, Clone)]
 pub struct GoldenModel {
     params: CodeParams,

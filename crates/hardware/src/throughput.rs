@@ -95,6 +95,26 @@ impl ThroughputModel {
     pub fn frame_time_us(&self, params: &CodeParams) -> f64 {
         self.cycles(params) as f64 / self.clock_mhz
     }
+
+    /// Inverts Eq. 8: the largest iteration cap (within `1..=
+    /// self.iterations`) whose modeled throughput still reaches
+    /// `target_mbps`, or `None` when even a single iteration cannot.
+    ///
+    /// This is the paper's Table 3 trade-off run backwards — given a demanded
+    /// service rate, how many iterations can the decoder afford? — and is
+    /// what the streaming pipeline's admission control uses to shed load by
+    /// lowering the cap before it would have to drop frames. Throughput is
+    /// monotonically decreasing in the iteration count, so the answer is the
+    /// first cap that fits, scanning downward from the configured maximum.
+    pub fn iterations_for_throughput(
+        &self,
+        params: &CodeParams,
+        target_mbps: f64,
+    ) -> Option<usize> {
+        (1..=self.iterations).rev().find(|&it| {
+            ThroughputModel { iterations: it, ..*self }.throughput_mbps(params) >= target_mbps
+        })
+    }
 }
 
 #[cfg(test)]
@@ -162,6 +182,26 @@ mod tests {
         let half = m.cycles_at_iterations(&p, 15.0);
         assert!((full - m.cycles(&p) as f64).abs() < 1e-9);
         assert!(half < full);
+    }
+
+    #[test]
+    fn iteration_budget_inverts_the_throughput_curve() {
+        let p = params(CodeRate::R1_2);
+        let m = model();
+        // At the paper's own operating point the full 30 iterations fit.
+        let t30 = m.throughput_mbps(&p);
+        assert_eq!(m.iterations_for_throughput(&p, t30), Some(30));
+        // Demanding more forces a lower cap, and the returned cap is the
+        // *largest* one that meets the target.
+        let cap = m.iterations_for_throughput(&p, 1.5 * t30).expect("reachable");
+        assert!(cap < 30, "cap {cap}");
+        assert!(ThroughputModel { iterations: cap, ..m }.throughput_mbps(&p) >= 1.5 * t30);
+        assert!(ThroughputModel { iterations: cap + 1, ..m }.throughput_mbps(&p) < 1.5 * t30);
+        // An impossible demand is reported, not silently clamped.
+        let ceiling = ThroughputModel { iterations: 1, ..m }.throughput_mbps(&p);
+        assert_eq!(m.iterations_for_throughput(&p, ceiling * 1.01), None);
+        // A trivial demand keeps the full budget.
+        assert_eq!(m.iterations_for_throughput(&p, 1.0), Some(30));
     }
 
     #[test]

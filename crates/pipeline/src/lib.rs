@@ -1,0 +1,65 @@
+//! Streaming decode pipeline: a bounded, instrumented multi-frame service
+//! layer over the DVB-S2 decoder matrix.
+//!
+//! The rest of the workspace decodes one frame at a time; a receiver
+//! decodes a *stream* — demapped soft-bit frames arriving continuously,
+//! each under its own MODCOD, with a service-rate obligation (the paper's
+//! 255 Mbit/s base-station requirement is a sustained number, not a
+//! single-frame one). This crate is that service layer:
+//!
+//! * [`DecodePipeline`] — ingress queue → worker pool → in-order egress,
+//!   every stage bounded, with per-worker decoder reuse via
+//!   [`Decoder::decode_into`](dvbs2_decoder::Decoder::decode_into);
+//! * [`BoundedQueue`] — the backpressuring stage connector;
+//! * [`AdmissionController`] — iteration-budget load shedding driven by
+//!   the hardware [`ThroughputModel`](dvbs2_hardware::ThroughputModel)
+//!   (the paper's Table 3 iterations-vs-throughput trade, run backwards);
+//! * [`PipelineStats`] — frames in/out/rejected/dropped, queue
+//!   watermarks, an iterations histogram, early-stop rate and ns/frame.
+//!
+//! # Example
+//!
+//! ```
+//! use dvbs2::channel::Modulation;
+//! use dvbs2::ldpc::{CodeRate, FrameSize};
+//! use dvbs2::{Modcod, ModcodTable};
+//! use dvbs2_pipeline::{DecodePipeline, PipelineConfig, SoftFrame};
+//!
+//! let table = ModcodTable::build(&[Modcod::new(
+//!     Modulation::Bpsk,
+//!     CodeRate::R1_2,
+//!     FrameSize::Short,
+//! )])
+//! .unwrap();
+//! let n = table.entry(0).frame_len();
+//! let pipeline = DecodePipeline::start(
+//!     table,
+//!     PipelineConfig { workers: 2, ..PipelineConfig::default() },
+//! );
+//! for i in 0..4u64 {
+//!     // A confidently-received all-zero codeword.
+//!     let frame = SoftFrame { modcod: 0, stream_index: i, llrs: vec![6.0; n] };
+//!     pipeline.submit(frame).unwrap();
+//! }
+//! for i in 0..4u64 {
+//!     let out = pipeline.next_decoded().unwrap();
+//!     assert_eq!(out.seq, i, "egress is in submission order");
+//!     assert!(out.converged);
+//! }
+//! let stats = pipeline.finish();
+//! assert_eq!(stats.submitted, 4);
+//! assert_eq!(stats.decoded, 4);
+//! assert_eq!(stats.rejected + stats.dropped, 0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod admission;
+mod queue;
+mod service;
+mod stats;
+
+pub use admission::{AdmissionController, AdmissionPolicy, DEMAND_MULTIPLIERS, OCCUPANCY_STEPS};
+pub use queue::BoundedQueue;
+pub use service::{DecodePipeline, DecodedFrame, PipelineConfig, SoftFrame, SubmitError};
+pub use stats::{PipelineStats, StatsCore, ITERATION_BUCKETS};

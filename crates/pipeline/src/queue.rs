@@ -1,0 +1,265 @@
+//! A bounded MPMC queue on `Mutex` + `Condvar` — the stage connector of
+//! the pipeline.
+//!
+//! The workspace deliberately hand-rolls this instead of pulling in a
+//! lock-free crate: the pipeline's frames are tens of kilobytes, so a
+//! decode dwarfs any queue operation, and a mutexed ring keeps the
+//! backpressure semantics (`try_push` returning the rejected item,
+//! blocking `push`/`pop`, close-and-drain shutdown) easy to verify.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    /// Deepest occupancy ever observed — the soak asserts boundedness
+    /// against this, catching a queue that silently grows past its cap.
+    high_watermark: usize,
+}
+
+/// A bounded multi-producer multi-consumer queue.
+///
+/// All operations are safe under any number of producer and consumer
+/// threads. After [`BoundedQueue::close`], pushes fail, and pops drain the
+/// remaining items before reporting exhaustion with `None`.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    /// Signalled when an item is pushed or the queue closes.
+    not_empty: Condvar,
+    /// Signalled when an item is popped or the queue closes.
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (a zero-capacity rendezvous is never
+    /// what a buffered pipeline stage wants).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a bounded queue needs room for at least one item");
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+                high_watermark: 0,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Attempts to push without blocking. Returns the item back to the
+    /// caller when the queue is full or closed — explicit backpressure,
+    /// not silent drop.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut inner = self.inner.lock().expect("no panics hold the queue lock");
+        if inner.closed || inner.items.len() >= self.capacity {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        inner.high_watermark = inner.high_watermark.max(inner.items.len());
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Pushes, blocking while the queue is full. Returns the item back
+    /// only if the queue closes while waiting.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut inner = self.inner.lock().expect("no panics hold the queue lock");
+        loop {
+            if inner.closed {
+                return Err(item);
+            }
+            if inner.items.len() < self.capacity {
+                inner.items.push_back(item);
+                inner.high_watermark = inner.high_watermark.max(inner.items.len());
+                drop(inner);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            inner = self.not_full.wait(inner).expect("no panics hold the queue lock");
+        }
+    }
+
+    /// Pops, blocking while the queue is empty. Returns `None` once the
+    /// queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("no panics hold the queue lock");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                drop(inner);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("no panics hold the queue lock");
+        }
+    }
+
+    /// Pops without blocking; `None` means empty right now (or drained).
+    pub fn try_pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("no panics hold the queue lock");
+        let item = inner.items.pop_front();
+        drop(inner);
+        if item.is_some() {
+            self.not_full.notify_one();
+        }
+        item
+    }
+
+    /// Closes the queue: subsequent pushes fail, blocked producers wake
+    /// with their item back, and consumers drain what remains.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().expect("no panics hold the queue lock");
+        inner.closed = true;
+        drop(inner);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Whether [`BoundedQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().expect("no panics hold the queue lock").closed
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("no panics hold the queue lock").items.len()
+    }
+
+    /// Whether the queue is empty right now.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The deepest occupancy ever reached.
+    pub fn high_watermark(&self) -> usize {
+        self.inner.lock().expect("no panics hold the queue lock").high_watermark
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn try_push_bounces_at_capacity_and_returns_the_item() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1), Ok(()));
+        assert_eq!(q.try_push(2), Ok(()));
+        assert_eq!(q.try_push(3), Err(3), "full queue returns the item");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.try_pop(), Some(1));
+        assert_eq!(q.try_push(3), Ok(()), "room frees after a pop");
+        assert_eq!(q.high_watermark(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_reports_exhaustion() {
+        let q = BoundedQueue::new(4);
+        q.push(10).unwrap();
+        q.push(11).unwrap();
+        q.close();
+        assert_eq!(q.try_push(12), Err(12), "closed queue rejects pushes");
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), Some(11));
+        assert_eq!(q.pop(), None, "drained and closed");
+        assert!(q.is_closed());
+    }
+
+    #[test]
+    fn blocking_push_waits_for_room_and_pop_waits_for_items() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(0).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(1).is_ok())
+        };
+        // The producer is blocked on the full queue until we pop.
+        assert_eq!(q.pop(), Some(0));
+        assert!(producer.join().unwrap());
+        assert_eq!(q.pop(), Some(1));
+
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        q.push(7).unwrap();
+        assert_eq!(consumer.join().unwrap(), Some(7));
+    }
+
+    #[test]
+    fn close_wakes_blocked_producers_and_consumers() {
+        let q = Arc::new(BoundedQueue::<u32>::new(1));
+        q.push(0).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(1))
+        };
+        let empty = Arc::new(BoundedQueue::<u32>::new(1));
+        let consumer = {
+            let empty = Arc::clone(&empty);
+            std::thread::spawn(move || empty.pop())
+        };
+        q.close();
+        empty.close();
+        assert_eq!(producer.join().unwrap(), Err(1), "woken producer gets its item back");
+        assert_eq!(consumer.join().unwrap(), None, "woken consumer sees exhaustion");
+    }
+
+    #[test]
+    fn many_producers_many_consumers_lose_nothing() {
+        let q = Arc::new(BoundedQueue::new(8));
+        let mut handles = Vec::new();
+        for p in 0..4u64 {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    q.push(p * 1000 + i).unwrap();
+                }
+            }));
+        }
+        let collectors: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u64> = collectors.into_iter().flat_map(|c| c.join().unwrap()).collect();
+        all.sort_unstable();
+        let expected: Vec<u64> =
+            (0..4u64).flat_map(|p| (0..100u64).map(move |i| p * 1000 + i)).collect();
+        assert_eq!(all, expected);
+        assert!(q.high_watermark() <= q.capacity());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn zero_capacity_is_rejected() {
+        let _ = BoundedQueue::<u8>::new(0);
+    }
+}

@@ -1,0 +1,479 @@
+//! The streaming decode service: ingress queue → worker pool → in-order
+//! egress, with backpressure and iteration-budget admission control.
+//!
+//! ```text
+//!  try_submit/submit          workers (N)                 next_decoded
+//!  ───────────────▶ ingress ═════════════▶ reorder ═▶ egress ───────────▶
+//!    (seq assigned)  bounded   decode_into   BTreeMap    bounded, in seq
+//! ```
+//!
+//! Design points, each load-bearing:
+//!
+//! * **Sequence numbers are claimed only when the ingress push succeeds** —
+//!   a rejected frame burns no sequence number, so the reorder buffer
+//!   never waits for a frame that does not exist.
+//! * **Backpressure is explicit.** [`DecodePipeline::try_submit`] hands the
+//!   frame back in [`SubmitError::Rejected`]; nothing is silently dropped.
+//!   An in-flight cap bounds total memory across all stages.
+//! * **Admission control sheds iterations before frames.** Under ingress
+//!   pressure the per-frame iteration cap steps down the
+//!   [`AdmissionController`] ladder (paper Table 3 run backwards) before
+//!   the queue ever rejects.
+//! * **Workers decode batches sized by early-termination behavior**: when
+//!   frames stop early (cheap), a worker grabs larger batches to amortize
+//!   queue traffic; when frames run to the cap (expensive), batches shrink
+//!   to keep latency and reorder depth down.
+//! * **Egress is in order.** Workers insert into a reorder buffer; whoever
+//!   completes the next-expected sequence drains the run to the egress
+//!   queue. A consumer sees frames in exact submission order.
+
+use crate::admission::{AdmissionController, AdmissionPolicy};
+use crate::queue::BoundedQueue;
+use crate::stats::{PipelineStats, StatsCore};
+use dvbs2::ModcodTable;
+use dvbs2_channel::LlrFrame;
+use dvbs2_decoder::{DecodeResult, Decoder};
+use dvbs2_hardware::{ThroughputModel, ST_0_13_UM};
+use dvbs2_ldpc::BitVec;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// One frame of demapped soft bits entering the pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoftFrame {
+    /// MODCOD slot into the pipeline's [`ModcodTable`].
+    pub modcod: usize,
+    /// Caller's stream position (carried through, not interpreted).
+    pub stream_index: u64,
+    /// Channel LLRs, length `N` of the slot's code.
+    pub llrs: Vec<f64>,
+}
+
+impl From<LlrFrame> for SoftFrame {
+    fn from(frame: LlrFrame) -> Self {
+        SoftFrame {
+            modcod: frame.tag.modcod,
+            stream_index: frame.tag.stream_index,
+            llrs: frame.llrs,
+        }
+    }
+}
+
+/// One decoded frame leaving the pipeline, in submission order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedFrame {
+    /// Pipeline sequence number (0-based submission order, gap-free).
+    pub seq: u64,
+    /// The submitter's stream position, carried through.
+    pub stream_index: u64,
+    /// MODCOD slot the frame decoded under.
+    pub modcod: usize,
+    /// Hard decisions for the full codeword (`N` bits).
+    pub bits: BitVec,
+    /// Information length `K` of the slot's code.
+    pub info_len: usize,
+    /// Iterations the decoder spent.
+    pub iterations: usize,
+    /// Whether the decoder converged to a codeword.
+    pub converged: bool,
+    /// The iteration cap this frame actually ran under (lower than the
+    /// slot's configured cap when admission control shed load).
+    pub iteration_cap: usize,
+}
+
+impl DecodedFrame {
+    /// The decoded BBFRAME: the systematic (information) prefix of the
+    /// codeword, which is what the outer BCH layer consumes.
+    pub fn bbframe(&self) -> BitVec {
+        (0..self.info_len).map(|i| self.bits.get(i)).collect()
+    }
+}
+
+/// Why a submission did not enter the pipeline. Every variant returns the
+/// frame so the caller can retry, requeue or count it.
+#[derive(Debug, PartialEq)]
+pub enum SubmitError {
+    /// Backpressure: the ingress queue or the in-flight budget is full.
+    Rejected(SoftFrame),
+    /// The frame's MODCOD slot is not in the table.
+    UnknownModcod(SoftFrame),
+    /// The frame's LLR length does not match its slot's codeword length.
+    WrongLength {
+        /// The rejected frame.
+        frame: SoftFrame,
+        /// The slot's expected codeword length.
+        expected: usize,
+    },
+    /// The pipeline is shutting down.
+    ShutDown(SoftFrame),
+}
+
+impl SubmitError {
+    /// Recovers the frame from any variant.
+    pub fn into_frame(self) -> SoftFrame {
+        match self {
+            SubmitError::Rejected(f) | SubmitError::UnknownModcod(f) | SubmitError::ShutDown(f) => {
+                f
+            }
+            SubmitError::WrongLength { frame, .. } => frame,
+        }
+    }
+}
+
+/// Service configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Worker threads decoding frames.
+    pub workers: usize,
+    /// Ingress queue capacity (frames).
+    pub ingress_capacity: usize,
+    /// Egress queue capacity (frames).
+    pub egress_capacity: usize,
+    /// Total frames allowed inside the pipeline at once (ingress + in
+    /// decode + reorder + egress). Bounds memory end to end.
+    pub max_in_flight: usize,
+    /// Load-shedding policy.
+    pub admission: AdmissionPolicy,
+    /// Hardware model the admission ladder is computed against.
+    pub throughput_model: ThroughputModel,
+    /// Smallest worker batch.
+    pub min_batch: usize,
+    /// Largest worker batch.
+    pub max_batch: usize,
+    /// Emit a stats log line every this many emitted frames (0 = never).
+    pub log_every: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            workers: dvbs2_channel::default_threads(),
+            ingress_capacity: 64,
+            egress_capacity: 64,
+            max_in_flight: 160,
+            admission: AdmissionPolicy::Off,
+            throughput_model: ThroughputModel::paper(&ST_0_13_UM),
+            min_batch: 1,
+            max_batch: 8,
+            log_every: 0,
+        }
+    }
+}
+
+struct WorkItem {
+    seq: u64,
+    frame: SoftFrame,
+}
+
+#[derive(Default)]
+struct Reorder {
+    next_emit: u64,
+    pending: BTreeMap<u64, DecodedFrame>,
+}
+
+struct SubmitState {
+    next_seq: u64,
+}
+
+struct Shared {
+    table: ModcodTable,
+    config: PipelineConfig,
+    stats: StatsCore,
+    admission: AdmissionController,
+    ingress: BoundedQueue<WorkItem>,
+    egress: BoundedQueue<DecodedFrame>,
+    reorder: Mutex<Reorder>,
+    submit: Mutex<SubmitState>,
+    /// Signalled whenever pipeline space frees (ingress pop or egress
+    /// consumption) or shutdown starts; blocking submitters wait here.
+    space: Condvar,
+    shutting_down: AtomicBool,
+    active_workers: AtomicUsize,
+}
+
+/// The streaming decode service. See the module docs for the stage graph.
+pub struct DecodePipeline {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl DecodePipeline {
+    /// Starts the worker pool over a MODCOD dispatch table.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a configuration that cannot run: zero workers, an empty
+    /// table, a zero batch, or `min_batch > max_batch`.
+    pub fn start(table: ModcodTable, config: PipelineConfig) -> Self {
+        assert!(config.workers > 0, "the pipeline needs at least one worker");
+        assert!(!table.is_empty(), "the MODCOD table must define at least one slot");
+        assert!(
+            config.min_batch >= 1 && config.min_batch <= config.max_batch,
+            "batch bounds must satisfy 1 <= min <= max"
+        );
+        assert!(config.max_in_flight >= 1, "the in-flight budget must admit a frame");
+        let admission =
+            AdmissionController::new(config.admission, &table, &config.throughput_model);
+        let shared = Arc::new(Shared {
+            admission,
+            stats: StatsCore::default(),
+            ingress: BoundedQueue::new(config.ingress_capacity),
+            egress: BoundedQueue::new(config.egress_capacity),
+            reorder: Mutex::new(Reorder::default()),
+            submit: Mutex::new(SubmitState { next_seq: 0 }),
+            space: Condvar::new(),
+            shutting_down: AtomicBool::new(false),
+            active_workers: AtomicUsize::new(config.workers),
+            table,
+            config,
+        });
+        let workers = (0..config.workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("decode-worker-{w}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning a decode worker")
+            })
+            .collect();
+        DecodePipeline { shared, workers }
+    }
+
+    fn validate(&self, frame: SoftFrame) -> Result<SoftFrame, SubmitError> {
+        let Some(entry) = self.shared.table.lookup(frame.modcod) else {
+            return Err(SubmitError::UnknownModcod(frame));
+        };
+        let expected = entry.frame_len();
+        if frame.llrs.len() != expected {
+            return Err(SubmitError::WrongLength { frame, expected });
+        }
+        Ok(frame)
+    }
+
+    /// Offers a frame without blocking. On success the frame's sequence
+    /// number (its position in the egress order) is returned; on
+    /// backpressure the frame comes back in [`SubmitError::Rejected`].
+    pub fn try_submit(&self, frame: SoftFrame) -> Result<u64, SubmitError> {
+        let shared = &*self.shared;
+        let frame = self.validate(frame)?;
+        shared.stats.offered.fetch_add(1, Ordering::Relaxed);
+        if shared.shutting_down.load(Ordering::Acquire) {
+            return Err(SubmitError::ShutDown(frame));
+        }
+        let mut sub = shared.submit.lock().expect("no panics hold the submit lock");
+        if shared.stats.in_flight.load(Ordering::Relaxed) >= shared.config.max_in_flight {
+            shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::Rejected(frame));
+        }
+        match shared.ingress.try_push(WorkItem { seq: sub.next_seq, frame }) {
+            Ok(()) => {
+                let seq = sub.next_seq;
+                sub.next_seq += 1;
+                shared.stats.in_flight.fetch_add(1, Ordering::Relaxed);
+                shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+                StatsCore::raise_watermark(&shared.stats.ingress_watermark, shared.ingress.len());
+                Ok(seq)
+            }
+            Err(item) => {
+                shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::Rejected(item.frame))
+            }
+        }
+    }
+
+    /// Submits a frame, blocking while the pipeline is full. Fails only
+    /// with [`SubmitError::ShutDown`] (or a validation error).
+    pub fn submit(&self, frame: SoftFrame) -> Result<u64, SubmitError> {
+        let shared = &*self.shared;
+        let mut frame = self.validate(frame)?;
+        shared.stats.offered.fetch_add(1, Ordering::Relaxed);
+        let mut sub = shared.submit.lock().expect("no panics hold the submit lock");
+        loop {
+            if shared.shutting_down.load(Ordering::Acquire) {
+                return Err(SubmitError::ShutDown(frame));
+            }
+            if shared.stats.in_flight.load(Ordering::Relaxed) < shared.config.max_in_flight {
+                match shared.ingress.try_push(WorkItem { seq: sub.next_seq, frame }) {
+                    Ok(()) => {
+                        let seq = sub.next_seq;
+                        sub.next_seq += 1;
+                        shared.stats.in_flight.fetch_add(1, Ordering::Relaxed);
+                        shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+                        StatsCore::raise_watermark(
+                            &shared.stats.ingress_watermark,
+                            shared.ingress.len(),
+                        );
+                        return Ok(seq);
+                    }
+                    Err(item) => frame = item.frame,
+                }
+            }
+            // The timeout guards against missed wakeups; correctness does
+            // not depend on it.
+            let (guard, _) = shared
+                .space
+                .wait_timeout(sub, Duration::from_millis(10))
+                .expect("no panics hold the submit lock");
+            sub = guard;
+        }
+    }
+
+    /// The next decoded frame in submission order, blocking until one is
+    /// ready. Returns `None` once the pipeline has shut down and every
+    /// frame has been consumed.
+    pub fn next_decoded(&self) -> Option<DecodedFrame> {
+        let frame = self.shared.egress.pop()?;
+        self.shared.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+        self.shared.space.notify_all();
+        Some(frame)
+    }
+
+    /// The next decoded frame if one is ready right now.
+    pub fn try_next_decoded(&self) -> Option<DecodedFrame> {
+        let frame = self.shared.egress.try_pop()?;
+        self.shared.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+        self.shared.space.notify_all();
+        Some(frame)
+    }
+
+    /// A consistent-at-quiescence snapshot of the pipeline counters.
+    pub fn stats(&self) -> PipelineStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// The dispatch table the pipeline serves.
+    pub fn table(&self) -> &ModcodTable {
+        &self.shared.table
+    }
+
+    /// Stops accepting frames, decodes everything already admitted, joins
+    /// the workers and returns the final counters. Frames still in the
+    /// egress queue remain consumable via [`DecodePipeline::next_decoded`]
+    /// until it reports `None`.
+    ///
+    /// A consumer must keep draining egress while `finish` runs (or the
+    /// egress queue must be large enough for the admitted residue):
+    /// workers block pushing to a full egress queue.
+    pub fn finish(mut self) -> PipelineStats {
+        self.shutdown();
+        self.shared.stats.snapshot()
+    }
+
+    fn shutdown(&mut self) {
+        self.shared.shutting_down.store(true, Ordering::Release);
+        self.shared.ingress.close();
+        self.shared.space.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for DecodePipeline {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Decodes batches until the ingress queue closes and drains; the last
+/// worker out accounts stuck frames and closes egress.
+fn worker_loop(shared: &Shared) {
+    let mut decoders: HashMap<usize, Box<dyn Decoder + Send>> = HashMap::new();
+    let mut scratch = DecodeResult::default();
+    let mut batch: Vec<WorkItem> = Vec::new();
+    let mut batch_size = shared.config.min_batch;
+
+    while let Some(first) = shared.ingress.pop() {
+        batch.push(first);
+        while batch.len() < batch_size {
+            match shared.ingress.try_pop() {
+                Some(item) => batch.push(item),
+                None => break,
+            }
+        }
+        shared.space.notify_all();
+
+        let mut iterations_spent = 0usize;
+        let mut cap_budget = 0usize;
+        for item in batch.drain(..) {
+            let slot = item.frame.modcod;
+            let entry = shared.table.entry(slot);
+            let decoder = decoders.entry(slot).or_insert_with(|| entry.make_decoder());
+            let occupancy = shared.ingress.len() as f64 / shared.ingress.capacity() as f64;
+            let cap = shared.admission.cap_for(slot, occupancy);
+            let base_cap = shared.admission.base_cap(slot);
+            decoder.set_max_iterations(cap);
+            let started = Instant::now();
+            decoder.decode_into(&item.frame.llrs, &mut scratch);
+            let ns = started.elapsed().as_nanos() as u64;
+            let early = scratch.converged && scratch.iterations < cap;
+            shared.stats.record_decode(scratch.iterations, early, cap < base_cap, ns);
+            iterations_spent += scratch.iterations;
+            cap_budget += cap;
+
+            let decoded = DecodedFrame {
+                seq: item.seq,
+                stream_index: item.frame.stream_index,
+                modcod: slot,
+                bits: scratch.bits.clone(),
+                info_len: entry.info_len(),
+                iterations: scratch.iterations,
+                converged: scratch.converged,
+                iteration_cap: cap,
+            };
+            emit_in_order(shared, decoded);
+        }
+
+        // Early-termination-aware batch sizing: when decodes finish well
+        // under their cap (early stops), frames are cheap — take bigger
+        // batches; when they run the budget out, shrink to keep the
+        // reorder window and latency small.
+        batch_size = if iterations_spent * 2 < cap_budget {
+            (batch_size * 2).min(shared.config.max_batch)
+        } else {
+            (batch_size / 2).max(shared.config.min_batch)
+        };
+    }
+
+    if shared.active_workers.fetch_sub(1, Ordering::AcqRel) == 1 {
+        // Last worker out: anything still in the reorder buffer is
+        // unreachable (a gap means a frame never completed) — account it
+        // as dropped rather than hanging the consumer.
+        let mut reorder = shared.reorder.lock().expect("no panics hold the reorder lock");
+        let stuck = reorder.pending.len() as u64;
+        if stuck > 0 {
+            shared.stats.dropped.fetch_add(stuck, Ordering::Relaxed);
+            reorder.pending.clear();
+        }
+        drop(reorder);
+        shared.egress.close();
+    }
+}
+
+/// Inserts a decoded frame and drains the in-order run to egress.
+fn emit_in_order(shared: &Shared, decoded: DecodedFrame) {
+    let mut reorder = shared.reorder.lock().expect("no panics hold the reorder lock");
+    reorder.pending.insert(decoded.seq, decoded);
+    StatsCore::raise_watermark(&shared.stats.reorder_watermark, reorder.pending.len());
+    while let Some(frame) = {
+        let next = reorder.next_emit;
+        reorder.pending.remove(&next)
+    } {
+        reorder.next_emit += 1;
+        // Blocking push while holding the reorder lock is safe: the
+        // consumer side never takes this lock, so egress keeps draining.
+        // Other workers queue behind the lock, which is exactly the
+        // backpressure we want when egress is full.
+        if shared.egress.push(frame).is_err() {
+            shared.stats.dropped.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        let emitted = shared.stats.emitted.fetch_add(1, Ordering::Relaxed) + 1;
+        let every = shared.config.log_every;
+        if every > 0 && emitted.is_multiple_of(every) {
+            eprintln!("{}", shared.stats.snapshot().log_line());
+        }
+    }
+}

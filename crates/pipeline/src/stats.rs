@@ -1,0 +1,243 @@
+//! Pipeline observability: lock-free counters, an iteration histogram and
+//! a consistent snapshot API.
+//!
+//! Counters are plain relaxed atomics — each is individually exact, and
+//! the invariants the soak asserts (`submitted == decoded + rejected`,
+//! histogram totals) hold exactly once the pipeline has quiesced, which is
+//! when the assertions run.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Number of buckets in the iterations histogram; iteration counts at or
+/// above the last bucket saturate into it.
+pub const ITERATION_BUCKETS: usize = 64;
+
+/// Shared counter block the pipeline stages update in place.
+#[derive(Debug)]
+pub struct StatsCore {
+    /// Frames offered via `try_submit`/`submit` (accepted or not).
+    pub offered: AtomicU64,
+    /// Frames accepted into the pipeline.
+    pub submitted: AtomicU64,
+    /// Frames bounced by backpressure (queue full or in-flight cap).
+    pub rejected: AtomicU64,
+    /// Frames a worker finished decoding.
+    pub decoded: AtomicU64,
+    /// Frames handed to the egress queue in order.
+    pub emitted: AtomicU64,
+    /// Frames dropped (shutdown with undrained queues). Zero in any
+    /// healthy run; the soak asserts it stays zero.
+    pub dropped: AtomicU64,
+    /// Decodes that stopped early on a clean syndrome.
+    pub early_stopped: AtomicU64,
+    /// Decodes that ran under a lowered iteration cap (admission control).
+    pub shed: AtomicU64,
+    /// Total decode iterations across all frames.
+    pub iterations_total: AtomicU64,
+    /// Total nanoseconds spent inside `decode_into` across all workers.
+    pub decode_ns: AtomicU64,
+    /// Iterations histogram: bucket `i` counts frames that took `i`
+    /// iterations (the last bucket saturates).
+    pub iteration_histogram: [AtomicU64; ITERATION_BUCKETS],
+    /// Deepest ingress-queue occupancy observed.
+    pub ingress_watermark: AtomicUsize,
+    /// Deepest reorder-buffer occupancy observed.
+    pub reorder_watermark: AtomicUsize,
+    /// Frames currently inside the pipeline (submitted, not yet consumed).
+    pub in_flight: AtomicUsize,
+}
+
+impl Default for StatsCore {
+    fn default() -> Self {
+        StatsCore {
+            offered: AtomicU64::new(0),
+            submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            decoded: AtomicU64::new(0),
+            emitted: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            early_stopped: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            iterations_total: AtomicU64::new(0),
+            decode_ns: AtomicU64::new(0),
+            iteration_histogram: std::array::from_fn(|_| AtomicU64::new(0)),
+            ingress_watermark: AtomicUsize::new(0),
+            reorder_watermark: AtomicUsize::new(0),
+            in_flight: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl StatsCore {
+    /// Records one finished decode.
+    pub fn record_decode(&self, iterations: usize, early_stopped: bool, shed: bool, ns: u64) {
+        self.decoded.fetch_add(1, Ordering::Relaxed);
+        self.iterations_total.fetch_add(iterations as u64, Ordering::Relaxed);
+        self.decode_ns.fetch_add(ns, Ordering::Relaxed);
+        let bucket = iterations.min(ITERATION_BUCKETS - 1);
+        self.iteration_histogram[bucket].fetch_add(1, Ordering::Relaxed);
+        if early_stopped {
+            self.early_stopped.fetch_add(1, Ordering::Relaxed);
+        }
+        if shed {
+            self.shed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Raises a watermark counter to at least `depth`.
+    pub fn raise_watermark(slot: &AtomicUsize, depth: usize) {
+        slot.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Takes a snapshot of every counter.
+    pub fn snapshot(&self) -> PipelineStats {
+        let mut iteration_histogram = [0u64; ITERATION_BUCKETS];
+        for (out, bucket) in iteration_histogram.iter_mut().zip(&self.iteration_histogram) {
+            *out = bucket.load(Ordering::Relaxed);
+        }
+        PipelineStats {
+            offered: self.offered.load(Ordering::Relaxed),
+            submitted: self.submitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            decoded: self.decoded.load(Ordering::Relaxed),
+            emitted: self.emitted.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            early_stopped: self.early_stopped.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            iterations_total: self.iterations_total.load(Ordering::Relaxed),
+            decode_ns: self.decode_ns.load(Ordering::Relaxed),
+            iteration_histogram,
+            ingress_watermark: self.ingress_watermark.load(Ordering::Relaxed),
+            reorder_watermark: self.reorder_watermark.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of the pipeline's counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Frames offered via `try_submit`/`submit` (accepted or not).
+    pub offered: u64,
+    /// Frames accepted into the pipeline.
+    pub submitted: u64,
+    /// Frames bounced by backpressure.
+    pub rejected: u64,
+    /// Frames decoded by the worker pool.
+    pub decoded: u64,
+    /// Frames emitted in order at egress.
+    pub emitted: u64,
+    /// Frames dropped (shutdown with undrained queues).
+    pub dropped: u64,
+    /// Decodes that stopped early on a clean syndrome.
+    pub early_stopped: u64,
+    /// Decodes run under a lowered (shed) iteration cap.
+    pub shed: u64,
+    /// Total decode iterations.
+    pub iterations_total: u64,
+    /// Total nanoseconds spent decoding.
+    pub decode_ns: u64,
+    /// Per-iteration-count frame histogram (last bucket saturates).
+    pub iteration_histogram: [u64; ITERATION_BUCKETS],
+    /// Deepest ingress occupancy observed.
+    pub ingress_watermark: usize,
+    /// Deepest reorder-buffer occupancy observed.
+    pub reorder_watermark: usize,
+    /// Frames inside the pipeline at snapshot time.
+    pub in_flight: usize,
+}
+
+impl PipelineStats {
+    /// Sum of the iteration histogram — equals `decoded` at quiescence.
+    pub fn histogram_total(&self) -> u64 {
+        self.iteration_histogram.iter().sum()
+    }
+
+    /// Mean iterations per decoded frame.
+    pub fn mean_iterations(&self) -> f64 {
+        if self.decoded == 0 {
+            0.0
+        } else {
+            self.iterations_total as f64 / self.decoded as f64
+        }
+    }
+
+    /// Fraction of decodes that terminated early.
+    pub fn early_stop_rate(&self) -> f64 {
+        if self.decoded == 0 {
+            0.0
+        } else {
+            self.early_stopped as f64 / self.decoded as f64
+        }
+    }
+
+    /// Mean decode wall time per frame in nanoseconds.
+    pub fn ns_per_frame(&self) -> f64 {
+        if self.decoded == 0 {
+            0.0
+        } else {
+            self.decode_ns as f64 / self.decoded as f64
+        }
+    }
+
+    /// One-line log form, suitable for the periodic progress line.
+    pub fn log_line(&self) -> String {
+        format!(
+            "pipeline: in={} out={} rej={} drop={} inflight={} it_mean={:.2} early={:.0}% \
+             ns/frame={:.0} wm_in={} wm_reorder={}",
+            self.submitted,
+            self.emitted,
+            self.rejected,
+            self.dropped,
+            self.in_flight,
+            self.mean_iterations(),
+            100.0 * self.early_stop_rate(),
+            self.ns_per_frame(),
+            self.ingress_watermark,
+            self.reorder_watermark,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_recorded_decodes() {
+        let core = StatsCore::default();
+        core.record_decode(5, true, false, 1_000);
+        core.record_decode(30, false, true, 3_000);
+        core.record_decode(500, false, false, 2_000); // saturates the histogram
+        let s = core.snapshot();
+        assert_eq!(s.decoded, 3);
+        assert_eq!(s.early_stopped, 1);
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.iterations_total, 535);
+        assert_eq!(s.decode_ns, 6_000);
+        assert_eq!(s.iteration_histogram[5], 1);
+        assert_eq!(s.iteration_histogram[30], 1);
+        assert_eq!(s.iteration_histogram[ITERATION_BUCKETS - 1], 1);
+        assert_eq!(s.histogram_total(), s.decoded);
+        assert!((s.mean_iterations() - 535.0 / 3.0).abs() < 1e-12);
+        assert!((s.ns_per_frame() - 2_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn watermarks_only_rise() {
+        let core = StatsCore::default();
+        StatsCore::raise_watermark(&core.ingress_watermark, 4);
+        StatsCore::raise_watermark(&core.ingress_watermark, 2);
+        StatsCore::raise_watermark(&core.ingress_watermark, 9);
+        assert_eq!(core.snapshot().ingress_watermark, 9);
+    }
+
+    #[test]
+    fn rates_are_defined_on_the_empty_pipeline() {
+        let s = StatsCore::default().snapshot();
+        assert_eq!(s.mean_iterations(), 0.0);
+        assert_eq!(s.early_stop_rate(), 0.0);
+        assert_eq!(s.ns_per_frame(), 0.0);
+        assert!(s.log_line().starts_with("pipeline: in=0"));
+    }
+}

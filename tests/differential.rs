@@ -3,9 +3,11 @@
 //! generator, the repro-string round-trip, the fault-injection suite and
 //! the failure shrinker.
 
+use dvbs2::hardware::MemoryConfig;
 use dvbs2::ldpc::{CodeRate, FrameSize};
 use dvbs2::oracle::{
     run, run_case, run_fault_suite, shrink_case, ArithmeticKind, CaseSpec, OracleConfig,
+    ScheduleKind,
 };
 
 #[test]
@@ -40,6 +42,20 @@ fn generator_is_deterministic_and_varied() {
     }
     // Both convergence regimes appear.
     assert!(a.iter().any(|case| case.early_stop) && a.iter().any(|case| !case.early_stop));
+    // Both schedule kinds and several memory configurations appear, but
+    // annealed schedules stay off the expensive Normal frames.
+    assert!(a.iter().any(|case| case.schedule == ScheduleKind::Annealed));
+    assert!(a.iter().any(|case| case.schedule == ScheduleKind::Natural));
+    for case in &a {
+        assert!(
+            case.frame == FrameSize::Short || case.schedule == ScheduleKind::Natural,
+            "{case}: annealing a Normal frame would dominate the run"
+        );
+    }
+    assert!(a.iter().any(|case| case.memory != MemoryConfig::default()));
+    assert!(
+        a.iter().map(|case| case.memory.banks).collect::<std::collections::HashSet<_>>().len() > 1
+    );
 }
 
 #[test]
@@ -52,6 +68,20 @@ fn repro_string_round_trips() {
     }
     assert!("seed=1 rate=7/8 frame=short".parse::<CaseSpec>().is_err(), "unknown rate");
     assert!("not a spec".parse::<CaseSpec>().is_err());
+
+    // Repro strings recorded before the schedule/memory dimensions existed
+    // must still parse, defaulting to the natural schedule and the paper
+    // memory configuration.
+    let legacy = "seed=7 rate=2/3 frame=short ebn0=2.4 q=6 arith=msshift2 iters=6 early=true";
+    let parsed: CaseSpec = legacy.parse().unwrap();
+    assert_eq!(parsed.schedule, ScheduleKind::Natural);
+    assert_eq!(parsed.memory, MemoryConfig::default());
+    let full = format!("{legacy} sched=annealed mem=2x1x3");
+    let parsed: CaseSpec = full.parse().unwrap();
+    assert_eq!(parsed.schedule, ScheduleKind::Annealed);
+    assert_eq!(parsed.memory, MemoryConfig { banks: 2, write_ports: 1, fu_latency: 3 });
+    assert!(format!("{legacy} sched=zigzag").parse::<CaseSpec>().is_err(), "unknown schedule");
+    assert!(format!("{legacy} mem=4x2").parse::<CaseSpec>().is_err(), "truncated memory");
 }
 
 #[test]
@@ -65,9 +95,23 @@ fn single_case_replay_is_clean_and_deterministic() {
         arithmetic: ArithmeticKind::MinSumShift(2),
         max_iterations: 6,
         early_stop: true,
+        schedule: ScheduleKind::Natural,
+        memory: MemoryConfig::default(),
     };
     assert!(run_case(0, &case).is_empty());
     assert!(run_case(0, &case).is_empty(), "replay must be stable");
+    // The timing contracts must also hold off the paper's operating point:
+    // an annealed schedule on a starved memory subsystem.
+    let stressed = CaseSpec {
+        schedule: ScheduleKind::Annealed,
+        memory: MemoryConfig { banks: 2, write_ports: 1, fu_latency: 3 },
+        ..case
+    };
+    assert!(
+        run_case(0, &stressed).is_empty(),
+        "annealed/starved case: {:?}",
+        run_case(0, &stressed)
+    );
 }
 
 #[test]
@@ -92,6 +136,8 @@ fn shrinker_minimizes_while_preserving_failure() {
         arithmetic: ArithmeticKind::MinSumShift(3),
         max_iterations: 24,
         early_stop: true,
+        schedule: ScheduleKind::Annealed,
+        memory: MemoryConfig { banks: 8, write_ports: 2, fu_latency: 4 },
     };
     // Synthetic predicate: the "bug" needs at least 3 iterations and the
     // min-sum arithmetic; everything else is shrinkable noise.
@@ -104,6 +150,8 @@ fn shrinker_minimizes_while_preserving_failure() {
     assert_eq!(shrunk.frame, FrameSize::Short, "frame demoted");
     assert_eq!(shrunk.quantizer_bits, 6, "quantizer normalized");
     assert!(!shrunk.early_stop, "early stop removed");
+    assert_eq!(shrunk.schedule, ScheduleKind::Natural, "schedule normalized");
+    assert_eq!(shrunk.memory, MemoryConfig::default(), "memory normalized");
     assert_eq!((shrunk.seed, shrunk.rate), (failing.seed, failing.rate), "identity preserved");
     assert_eq!(shrunk.arithmetic, failing.arithmetic);
 
