@@ -12,19 +12,23 @@ use dvbs2::oracle::{self, CaseSpec, OracleConfig};
 
 struct Args {
     cases: u64,
+    fault_cases: u64,
     seed: u64,
     threads: usize,
     repro: Option<String>,
     skip_faults: bool,
+    skip_partition: bool,
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
         cases: 500,
+        fault_cases: 500,
         seed: 0xD1FF,
         threads: dvbs2::channel::default_threads(),
         repro: None,
         skip_faults: false,
+        skip_partition: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -32,6 +36,10 @@ fn parse_args() -> Args {
             |name: &str| it.next().unwrap_or_else(|| usage(&format!("{name} needs a value")));
         match flag.as_str() {
             "--cases" => args.cases = value("--cases").parse().unwrap_or_else(|_| usage("--cases")),
+            "--fault-cases" => {
+                args.fault_cases =
+                    value("--fault-cases").parse().unwrap_or_else(|_| usage("--fault-cases"));
+            }
             "--seed" => {
                 let text = value("--seed");
                 let parsed = match text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
@@ -45,6 +53,7 @@ fn parse_args() -> Args {
             }
             "--repro" => args.repro = Some(value("--repro")),
             "--skip-faults" => args.skip_faults = true,
+            "--skip-partition" => args.skip_partition = true,
             other => usage(&format!("unknown flag {other}")),
         }
     }
@@ -54,7 +63,8 @@ fn parse_args() -> Args {
 fn usage(problem: &str) -> ! {
     eprintln!("diff_fuzz: {problem}");
     eprintln!(
-        "usage: diff_fuzz [--cases N] [--seed S] [--threads T] [--skip-faults] [--repro 'spec']"
+        "usage: diff_fuzz [--cases N] [--fault-cases N] [--seed S] [--threads T] \
+         [--skip-faults] [--skip-partition] [--repro 'spec']"
     );
     std::process::exit(2);
 }
@@ -107,6 +117,46 @@ fn main() {
                     .any(|found| found.contract == contract)
             });
             println!("  shrunk repro: --repro '{shrunk}'");
+        }
+    }
+
+    if args.fault_cases > 0 {
+        // Fault differential: every case carries a RAM fault, and the
+        // faulted core must stay bit-exact (decisions and per-iteration
+        // message digests) against the equally-faulted golden model.
+        let fault_config = OracleConfig {
+            master_seed: args.seed ^ 0xFA17,
+            cases: args.fault_cases,
+            threads: args.threads,
+        };
+        let fr = oracle::run_fault_differential(&fault_config);
+        if fr.clean() {
+            println!("fault differential: PASS ({} faulted cases, bit-exact)", fr.cases);
+        } else {
+            failed = true;
+            println!("fault differential: FAIL ({} violations)", fr.violations.len());
+            for v in &fr.violations {
+                println!("\nFAULT-DIFF VIOLATION {v}");
+                println!("  repro: --repro '{}'", v.case);
+            }
+        }
+    }
+
+    if !args.skip_partition {
+        // Boundary-exact mode across all 11 Normal-frame rates.
+        let pr = oracle::run_partition_sweep(args.seed, args.threads);
+        if pr.clean() {
+            println!(
+                "partition sweep: PASS ({} Normal-frame cases across {} rates, bit-exact)",
+                pr.cases,
+                pr.rates_covered.len()
+            );
+        } else {
+            failed = true;
+            println!("partition sweep: FAIL ({} violations)", pr.violations.len());
+            for v in &pr.violations {
+                println!("\nPARTITION VIOLATION {v}");
+            }
         }
     }
 

@@ -57,9 +57,11 @@ pub use engine::{Precision, LLR_CLAMP};
 pub use flooding::FloodingDecoder;
 pub use layered::LayeredDecoder;
 pub use llr_ops::{boxplus, boxplus_min, boxplus_t, CheckRule, LlrFloat};
-pub use qdecoder::QuantizedZigzagDecoder;
+pub use qdecoder::{ChainPartition, QuantizedZigzagDecoder};
 pub use quant::{QBoxplus, QCheckArithmetic, Quantizer};
-pub use stopping::{hard_decisions, hard_decisions_int, hard_decisions_int_into, syndrome_ok};
+pub use stopping::{
+    hard_decisions, hard_decisions_int, hard_decisions_int_into, syndrome_ok, syndrome_weight,
+};
 pub use threshold::{
     ga_converges, ga_threshold_ebn0_db, ga_threshold_sigma, phi, phi_inv, DegreeDistribution,
 };

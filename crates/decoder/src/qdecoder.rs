@@ -16,6 +16,52 @@ use crate::{DecodeResult, Decoder, DecoderConfig};
 use dvbs2_ldpc::{BitVec, TannerGraph};
 use std::sync::Arc;
 
+/// Hardware chain partitioning for [`QuantizedZigzagDecoder`]: cuts the
+/// degree-2 parity chain into `lanes` parallel sub-chains with exactly the
+/// boundary semantics of the hardware functional-unit array (forward
+/// boundary one iteration staler, backward boundary one iteration fresher),
+/// and optionally replays the hardware's per-check message input ordering.
+///
+/// With `lanes = 360` and an edge order derived from the core's connectivity
+/// ROM and check-node schedule (`dvbs2_hardware::hw_chain_partition`), the
+/// sequential software decoder becomes **bit-exact** against the hardware
+/// `GoldenModel` — decoded words, iteration counts and convergence flags —
+/// because the order-dependent quantized boxplus then sees identical
+/// operands in identical order at every check. With `lanes = 1` and no edge
+/// order it degenerates to the plain sequential zigzag.
+#[derive(Debug, Clone)]
+pub struct ChainPartition {
+    lanes: usize,
+    /// Flat check-major permutation: entry `c * d + i` is the position
+    /// (within check `c`'s information edges, graph order) of the `i`-th
+    /// message the hardware feeds its boxplus for that check. `None` keeps
+    /// the graph's own (ascending variable index) order.
+    edge_order: Option<Arc<[u32]>>,
+}
+
+impl ChainPartition {
+    /// Creates a partition of `lanes` sub-chains with an optional per-check
+    /// boxplus input ordering (see the type docs for the layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0`.
+    pub fn new(lanes: usize, edge_order: Option<Vec<u32>>) -> Self {
+        assert!(lanes > 0, "a partition needs at least one sub-chain");
+        ChainPartition { lanes, edge_order: edge_order.map(Arc::from) }
+    }
+
+    /// Number of parallel sub-chains.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// The flat per-check input ordering, if one was supplied.
+    pub fn edge_order(&self) -> Option<&[u32]> {
+        self.edge_order.as_deref()
+    }
+}
+
 /// Quantized zigzag-schedule decoder.
 ///
 /// # Chain-boundary semantics vs the hardware `GoldenModel`
@@ -37,22 +83,35 @@ use std::sync::Arc;
 ///   update.
 ///
 /// All non-boundary messages — `359/360` of the chain — are computed
-/// identically, so the two models agree on decoded words and differ only in
-/// rare per-frame iteration counts near threshold. The differential oracle
-/// therefore holds them to a decoded-word agreement contract, not message
-/// bit-exactness; the cycle-accurate `HardwareDecoder` *is* held bit-exact
-/// to `GoldenModel`. See `DESIGN.md` ("Chain-boundary semantics") for the
-/// derivation.
+/// identically, so in the default sequential mode the two models agree on
+/// decoded words and differ only in rare per-frame iteration counts near
+/// threshold, and the differential oracle holds that pair to a decoded-word
+/// agreement contract. In **hardware-partitioned mode**
+/// ([`QuantizedZigzagDecoder::with_partition`] with a [`ChainPartition`]
+/// built by `dvbs2_hardware::hw_chain_partition`) this decoder reproduces
+/// the hardware boundary semantics *and* the schedule's per-check input
+/// ordering, and the oracle tightens the contract to full bit-exactness
+/// against `GoldenModel` (the cycle-accurate `HardwareDecoder` is always
+/// held bit-exact to `GoldenModel`). See `DESIGN.md` ("Chain-boundary
+/// semantics") for the derivation.
 #[derive(Debug, Clone)]
 pub struct QuantizedZigzagDecoder {
     graph: Arc<TannerGraph>,
     arithmetic: QCheckArithmetic,
     max_iterations: usize,
     early_stop: bool,
+    /// Hardware-partitioned check sweep (`None` = plain sequential zigzag).
+    partition: Option<ChainPartition>,
     v2c: Vec<i32>,
     c2v: Vec<i32>,
     backward: Vec<i32>,
     forward: Vec<i32>,
+    /// Per-lane forward registers of the partitioned sweep.
+    fwd_regs: Vec<i32>,
+    /// Chain-boundary forward values from the previous iteration
+    /// (partitioned mode's analogue of the functional units' boundary
+    /// state).
+    boundary: Vec<i32>,
     totals: Vec<i32>,
     scratch_in: Vec<i32>,
     scratch_out: Vec<i32>,
@@ -97,10 +156,13 @@ impl QuantizedZigzagDecoder {
             arithmetic,
             max_iterations: config.max_iterations,
             early_stop: config.early_stop,
+            partition: None,
             v2c: vec![0; edges],
             c2v: vec![0; edges],
             backward: vec![0; n_check],
             forward: vec![0; n_check],
+            fwd_regs: Vec::new(),
+            boundary: Vec::new(),
             totals: vec![0; graph.var_count()],
             scratch_in: vec![0; max_degree],
             scratch_out: vec![0; max_degree],
@@ -108,6 +170,68 @@ impl QuantizedZigzagDecoder {
             qchannel: Vec::new(),
             graph,
         }
+    }
+
+    /// Creates a decoder that runs the check sweep in **hardware-partitioned
+    /// mode**: `partition.lanes()` parallel sub-chains with the functional
+    /// units' boundary freshness semantics, optionally replaying the
+    /// hardware's per-check boxplus input ordering. With the LUT arithmetic
+    /// and a partition from `dvbs2_hardware::hw_chain_partition`, decode
+    /// results are bit-exact against the hardware `GoldenModel`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is not an IRA graph, if `n_check` is not
+    /// divisible by `partition.lanes()`, or if the partition's edge order is
+    /// not a per-check permutation of the graph's information edges.
+    pub fn with_partition(
+        graph: Arc<TannerGraph>,
+        arithmetic: QCheckArithmetic,
+        config: DecoderConfig,
+        partition: ChainPartition,
+    ) -> Self {
+        let mut dec = Self::with_arithmetic(graph, arithmetic, config);
+        let n_check = dec.graph.check_count();
+        let lanes = partition.lanes();
+        assert!(
+            n_check.is_multiple_of(lanes),
+            "{n_check} checks cannot be cut into {lanes} equal sub-chains"
+        );
+        if let Some(order) = partition.edge_order() {
+            // Every check contributes exactly `check_degree - 2` information
+            // edges in an IRA graph (check 0 has one fewer *parity* edge,
+            // not fewer information edges).
+            let info_d = dec.graph.check_edges(0).len() - 1;
+            assert_eq!(
+                order.len(),
+                n_check * info_d,
+                "edge order must cover every check's information edges"
+            );
+            let mut seen = vec![false; info_d];
+            for c in 0..n_check {
+                let d = dec.graph.check_edges(c).len() - if c == 0 { 1 } else { 2 };
+                assert_eq!(d, info_d, "check {c}: non-uniform information degree");
+                seen.fill(false);
+                for &pos in &order[c * info_d..(c + 1) * info_d] {
+                    let pos = pos as usize;
+                    assert!(
+                        pos < info_d && !seen[pos],
+                        "check {c}: edge order is not a permutation"
+                    );
+                    seen[pos] = true;
+                }
+            }
+        }
+        dec.fwd_regs = vec![0; lanes];
+        dec.boundary = vec![0; lanes];
+        dec.partition = Some(partition);
+        dec
+    }
+
+    /// The hardware partition in use, if the decoder runs in partitioned
+    /// mode.
+    pub fn partition(&self) -> Option<&ChainPartition> {
+        self.partition.as_ref()
     }
 
     /// The message quantizer in use.
@@ -143,6 +267,8 @@ impl QuantizedZigzagDecoder {
 
         self.c2v.fill(0);
         self.backward.fill(0);
+        self.boundary.fill(0);
+        let partition = self.partition.clone();
         let mut iterations = 0;
         let mut converged = false;
 
@@ -159,38 +285,9 @@ impl QuantizedZigzagDecoder {
                 }
             }
 
-            // Sequential check sweep with immediate forward update.
-            let mut fwd_prev = 0i32;
-            for c in 0..n_check {
-                let range = graph.check_edges(c);
-                let info_d = range.len() - if c == 0 { 1 } else { 2 };
-                let start = range.start;
-                for i in 0..info_d {
-                    self.scratch_in[i] = self.v2c[start + i];
-                }
-                let mut d = info_d;
-                let left_pos = if c > 0 {
-                    self.scratch_in[d] = q.sat_add(channel[k + c - 1], fwd_prev);
-                    d += 1;
-                    Some(d - 1)
-                } else {
-                    None
-                };
-                self.scratch_in[d] =
-                    q.sat_add(channel[k + c], if c + 1 < n_check { self.backward[c] } else { 0 });
-                let right_pos = d;
-                d += 1;
-
-                self.arithmetic.extrinsic(&self.scratch_in[..d], &mut self.scratch_out[..d]);
-
-                for i in 0..info_d {
-                    self.c2v[start + i] = self.scratch_out[i];
-                }
-                if let Some(p) = left_pos {
-                    self.backward[c - 1] = self.scratch_out[p];
-                }
-                fwd_prev = self.scratch_out[right_pos];
-                self.forward[c] = fwd_prev;
+            match &partition {
+                None => self.sequential_check_sweep(&graph, channel, q, k, n_check),
+                Some(p) => self.partitioned_check_sweep(&graph, channel, q, k, n_check, p),
             }
 
             for v in 0..k {
@@ -219,6 +316,136 @@ impl QuantizedZigzagDecoder {
         }
         out.iterations = iterations;
         out.converged = converged;
+    }
+
+    /// Sequential check sweep with immediate forward update: the ideal
+    /// zigzag of the paper's Fig. 2b — one chain over all `N − K` checks.
+    fn sequential_check_sweep(
+        &mut self,
+        graph: &TannerGraph,
+        channel: &[i32],
+        q: Quantizer,
+        k: usize,
+        n_check: usize,
+    ) {
+        let mut fwd_prev = 0i32;
+        for c in 0..n_check {
+            let range = graph.check_edges(c);
+            let info_d = range.len() - if c == 0 { 1 } else { 2 };
+            let start = range.start;
+            for i in 0..info_d {
+                self.scratch_in[i] = self.v2c[start + i];
+            }
+            let mut d = info_d;
+            let left_pos = if c > 0 {
+                self.scratch_in[d] = q.sat_add(channel[k + c - 1], fwd_prev);
+                d += 1;
+                Some(d - 1)
+            } else {
+                None
+            };
+            self.scratch_in[d] =
+                q.sat_add(channel[k + c], if c + 1 < n_check { self.backward[c] } else { 0 });
+            let right_pos = d;
+            d += 1;
+
+            self.arithmetic.extrinsic(&self.scratch_in[..d], &mut self.scratch_out[..d]);
+
+            for i in 0..info_d {
+                self.c2v[start + i] = self.scratch_out[i];
+            }
+            if let Some(p) = left_pos {
+                self.backward[c - 1] = self.scratch_out[p];
+            }
+            fwd_prev = self.scratch_out[right_pos];
+            self.forward[c] = fwd_prev;
+        }
+    }
+
+    /// Hardware-partitioned check sweep: `lanes` parallel sub-chains of
+    /// `q_rows = n_check / lanes` checks each, swept in ascending residue
+    /// order exactly like the functional-unit array — lane `u` owns checks
+    /// `u·q_rows..(u+1)·q_rows`, its forward register is seeded from the
+    /// previous iteration's boundary state, and row-0 backward writes are
+    /// consumed at row `q_rows − 1` of the *same* sweep. With an edge order,
+    /// each check's boxplus inputs are gathered in the hardware schedule's
+    /// order instead of the graph's, which is what makes the order-dependent
+    /// quantized arithmetic bit-exact against the golden model.
+    fn partitioned_check_sweep(
+        &mut self,
+        graph: &TannerGraph,
+        channel: &[i32],
+        q: Quantizer,
+        k: usize,
+        n_check: usize,
+        partition: &ChainPartition,
+    ) {
+        let lanes = partition.lanes();
+        let q_rows = n_check / lanes;
+        let order = partition.edge_order();
+        // begin_check_phase: seed every lane's forward register from the
+        // previous iteration's boundary state.
+        self.fwd_regs.copy_from_slice(&self.boundary);
+        for r in 0..q_rows {
+            for u in 0..lanes {
+                let c = u * q_rows + r;
+                let range = graph.check_edges(c);
+                let info_d = range.len() - if c == 0 { 1 } else { 2 };
+                let start = range.start;
+                match order {
+                    Some(ord) => {
+                        let base = c * info_d;
+                        for i in 0..info_d {
+                            self.scratch_in[i] = self.v2c[start + ord[base + i] as usize];
+                        }
+                    }
+                    None => {
+                        for i in 0..info_d {
+                            self.scratch_in[i] = self.v2c[start + i];
+                        }
+                    }
+                }
+                let mut d = info_d;
+                let left_pos = if c > 0 {
+                    self.scratch_in[d] = q.sat_add(channel[k + c - 1], self.fwd_regs[u]);
+                    d += 1;
+                    Some(d - 1)
+                } else {
+                    None
+                };
+                self.scratch_in[d] =
+                    q.sat_add(channel[k + c], if c + 1 < n_check { self.backward[c] } else { 0 });
+                let right_pos = d;
+                d += 1;
+
+                self.arithmetic.extrinsic(&self.scratch_in[..d], &mut self.scratch_out[..d]);
+
+                match order {
+                    Some(ord) => {
+                        let base = c * info_d;
+                        for i in 0..info_d {
+                            self.c2v[start + ord[base + i] as usize] = self.scratch_out[i];
+                        }
+                    }
+                    None => {
+                        for i in 0..info_d {
+                            self.c2v[start + i] = self.scratch_out[i];
+                        }
+                    }
+                }
+                if let Some(p) = left_pos {
+                    self.backward[c - 1] = self.scratch_out[p];
+                }
+                self.fwd_regs[u] = self.scratch_out[right_pos];
+                self.forward[c] = self.fwd_regs[u];
+            }
+        }
+        // end_check_phase: store the boundary forwards for the next
+        // iteration; lane 0 has no predecessor chain.
+        for u in (1..lanes).rev() {
+            self.boundary[u] = self.fwd_regs[u - 1];
+        }
+        self.boundary[0] = 0;
     }
 
     /// Quantizes float channel LLRs.
@@ -349,6 +576,84 @@ mod tests {
         }
         // The exact rule converges at least as fast in aggregate.
         assert!(lut_iters <= ms_iters, "lut {lut_iters} vs min-sum {ms_iters}");
+    }
+
+    #[test]
+    fn single_lane_partition_matches_sequential() {
+        // One sub-chain with no reordering degenerates to the plain
+        // sequential zigzag: boundary[0] is pinned to 0, so the forward
+        // register threads through the whole chain exactly like fwd_prev.
+        let (code, graph) = small_code();
+        let graph = Arc::new(graph);
+        let q = Quantizer::paper_6bit();
+        let mut seq = QuantizedZigzagDecoder::new(Arc::clone(&graph), q, DecoderConfig::default());
+        let mut part = QuantizedZigzagDecoder::with_partition(
+            Arc::clone(&graph),
+            QCheckArithmetic::lut(q),
+            DecoderConfig::default(),
+            ChainPartition::new(1, None),
+        );
+        for seed in 0..3u64 {
+            let (_, llrs) = noisy_llrs(&code, 2.4, 4000 + seed);
+            let a = seq.decode(&llrs);
+            let b = part.decode(&llrs);
+            assert_eq!(a.bits, b.bits, "seed {seed}: decoded words differ");
+            assert_eq!(a.iterations, b.iterations, "seed {seed}: iteration counts differ");
+            assert_eq!(a.converged, b.converged, "seed {seed}: convergence flags differ");
+        }
+    }
+
+    #[test]
+    fn partitioned_mode_decodes_with_360_lanes() {
+        // Without an edge order the 360-lane sweep is not bit-exact to the
+        // sequential decoder, but it is still a valid decoder: it must
+        // correct a comfortably-above-threshold frame.
+        let (code, graph) = small_code();
+        let mut dec = QuantizedZigzagDecoder::with_partition(
+            Arc::new(graph),
+            QCheckArithmetic::lut(Quantizer::paper_6bit()),
+            DecoderConfig::default(),
+            ChainPartition::new(360, None),
+        );
+        let (cw, llrs) = noisy_llrs(&code, 3.2, 41);
+        let out = dec.decode(&llrs);
+        assert!(out.converged);
+        assert_eq!(out.bits, cw);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal sub-chains")]
+    fn partition_lanes_must_divide_check_count() {
+        let (_, graph) = small_code();
+        QuantizedZigzagDecoder::with_partition(
+            Arc::new(graph),
+            QCheckArithmetic::lut(Quantizer::paper_6bit()),
+            DecoderConfig::default(),
+            ChainPartition::new(7, None),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn partition_edge_order_must_be_a_permutation() {
+        let (_, graph) = small_code();
+        let info_d = graph.check_edges(0).len() - 1;
+        let n_check = graph.check_count();
+        // Position 0 repeated for every check: covers the length check but
+        // fails the per-check permutation test.
+        let order = vec![0u32; n_check * info_d];
+        QuantizedZigzagDecoder::with_partition(
+            Arc::new(graph),
+            QCheckArithmetic::lut(Quantizer::paper_6bit()),
+            DecoderConfig::default(),
+            ChainPartition::new(360, Some(order)),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sub-chain")]
+    fn partition_rejects_zero_lanes() {
+        ChainPartition::new(0, None);
     }
 
     #[test]

@@ -37,6 +37,22 @@ pub fn syndrome_ok(graph: &TannerGraph, bits: &BitVec) -> bool {
         .all(|c| graph.check_edges(c).filter(|&e| bits.get(graph.var_of_edge(e))).count() % 2 == 0)
 }
 
+/// Number of unsatisfied check equations — the syndrome weight a
+/// bit-flipping decoder drives toward zero. `syndrome_ok` is exactly
+/// `syndrome_weight == 0`.
+///
+/// # Panics
+///
+/// Panics if `bits.len() != graph.var_count()`.
+pub fn syndrome_weight(graph: &TannerGraph, bits: &BitVec) -> usize {
+    assert_eq!(bits.len(), graph.var_count(), "word length mismatch");
+    (0..graph.check_count())
+        .filter(|&c| {
+            graph.check_edges(c).filter(|&e| bits.get(graph.var_of_edge(e))).count() % 2 == 1
+        })
+        .count()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -59,6 +75,22 @@ mod tests {
         assert!(syndrome_ok(&graph, &cw));
         let mut flipped = cw;
         flipped.toggle(1234);
+        assert!(!syndrome_ok(&graph, &flipped));
+    }
+
+    #[test]
+    fn syndrome_weight_counts_unsatisfied_checks() {
+        let code = DvbS2Code::new(CodeRate::R1_2, FrameSize::Short).unwrap();
+        let graph = code.tanner_graph();
+        let enc = code.encoder().unwrap();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let cw = enc.encode(&enc.random_message(&mut rng)).unwrap();
+        assert_eq!(syndrome_weight(&graph, &cw), 0);
+        let mut flipped = cw;
+        flipped.toggle(100);
+        let w = syndrome_weight(&graph, &flipped);
+        // One flipped variable unsatisfies exactly its incident checks.
+        assert_eq!(w, graph.var_edges(100).len());
         assert!(!syndrome_ok(&graph, &flipped));
     }
 

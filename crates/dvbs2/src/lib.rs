@@ -219,9 +219,21 @@ impl Dvbs2System {
     /// For 8PSK the DVB-S2 block bit interleaver is applied before mapping
     /// and inverted on the received LLRs, as the standard specifies.
     pub fn transmit_frame<R: Rng + ?Sized>(&self, rng: &mut R, ebn0_db: f64) -> TransmittedFrame {
+        self.transmit_frame_with(rng, ebn0_db, self.config.modulation)
+    }
+
+    /// [`transmit_frame`](Self::transmit_frame) with an explicit modulation,
+    /// overriding the configured one — the differential oracle uses this to
+    /// fuzz modulations without rebuilding the (cache-shared) system.
+    pub fn transmit_frame_with<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        ebn0_db: f64,
+        modulation: Modulation,
+    ) -> TransmittedFrame {
         let msg = self.encoder.random_message(rng);
         let codeword = self.encoder.encode(&msg).expect("message has length K");
-        let interleaver = (self.config.modulation == Modulation::Psk8)
+        let interleaver = (modulation == Modulation::Psk8)
             .then(|| dvbs2_channel::BlockInterleaver::dvbs2_8psk(codeword.len()));
         let mapped: BitVec = match &interleaver {
             Some(il) => {
@@ -229,10 +241,11 @@ impl Dvbs2System {
             }
             None => codeword.clone(),
         };
-        let mut samples = self.config.modulation.modulate(&mapped);
-        let sigma = self.noise_sigma(ebn0_db);
+        let mut samples = modulation.modulate(&mapped);
+        let p = self.code.params();
+        let sigma = modulation.noise_sigma(ebn0_db, p.k as f64 / p.n as f64);
         AwgnChannel::new(sigma).corrupt(rng, &mut samples);
-        let llrs = self.config.modulation.demap(&samples, sigma);
+        let llrs = modulation.demap(&samples, sigma);
         let llrs = match &interleaver {
             Some(il) => il.deinterleave(&llrs),
             None => llrs,

@@ -11,12 +11,14 @@
 //!
 //! | class | members | contract |
 //! |---|---|---|
-//! | timed/untimed | [`HardwareDecoder`] ↔ [`GoldenModel`] | full [`DecodeResult`] equality, bit for bit, converged or not |
-//! | fixed-point | golden ↔ [`QuantizedZigzagDecoder`] (LUT) | agreement on *decoded words* only — the parallel golden model deliberately deviates from the sequential zigzag at the 360 chain boundaries |
+//! | timed/untimed | [`HardwareDecoder`] ↔ [`GoldenModel`] | full [`DecodeResult`] equality plus per-iteration message-digest equality, bit for bit, converged or not, **with or without an injected [`RamFault`]** (both models carry the same fault) |
+//! | boundary-exact | golden ↔ [`QuantizedZigzagDecoder`] in hardware-partitioned mode ([`hw_chain_partition`]) | full [`DecodeResult`] equality — the partition replays the 360 sub-chains and the schedule's per-check input order |
+//! | fixed-point | golden ↔ sequential [`QuantizedZigzagDecoder`] (LUT) | agreement on *decoded words* only — the parallel golden model deliberately deviates from the sequential zigzag at the 360 chain boundaries |
 //! | float schedules | flooding / zigzag / layered (f64) | all converged members produce the same codeword |
 //! | precision | engine f32 ↔ f64 (same schedule/rule) | both-converged ⇒ same codeword |
-//! | everyone | every decoder | `converged` ⇒ clean syndrome; iterations ≤ cap |
-//! | timing | hardware cycle stats | must reproduce the [`simulate_cn_phase`] memory model |
+//! | bit flipping | [`BitFlippingDecoder`] alone | iteration cap; converged ⇒ clean syndrome and syndrome weight not above the channel hard decisions' — *never* word agreement (see `run_case`) |
+//! | everyone | every soft decoder | `converged` ⇒ clean syndrome; iterations ≤ cap |
+//! | timing | hardware cycle stats | must reproduce the [`simulate_cn_phase`] memory model at the case's fuzzed `p_io` |
 //!
 //! Converged decoders from *different* classes must also agree on the
 //! decoded word: two distinct valid codewords would mean an undetected
@@ -31,14 +33,15 @@
 //! or shrink it first with [`shrink_case`].
 
 use crate::{Dvbs2System, SystemConfig};
-use dvbs2_channel::mix_seed;
+use dvbs2_channel::{mix_seed, Modulation};
 use dvbs2_decoder::{
-    syndrome_ok, CheckRule, DecodeResult, Decoder, DecoderConfig, FloodingDecoder, LayeredDecoder,
-    Precision, QCheckArithmetic, QuantizedZigzagDecoder, Quantizer, ZigzagDecoder,
+    syndrome_ok, syndrome_weight, BitFlippingDecoder, ChainPartition, CheckRule, DecodeResult,
+    Decoder, DecoderConfig, FloodingDecoder, LayeredDecoder, Precision, QCheckArithmetic,
+    QuantizedZigzagDecoder, Quantizer, ZigzagDecoder,
 };
 use dvbs2_hardware::{
-    optimize_schedule, simulate_cn_phase, AccessStats, AnnealOptions, CnSchedule, ConnectivityRom,
-    CoreConfig, GoldenModel, HardwareDecoder, MemoryConfig, RamFault,
+    hw_chain_partition, optimize_schedule, simulate_cn_phase, AccessStats, AnnealOptions,
+    CnSchedule, ConnectivityRom, CoreConfig, GoldenModel, HardwareDecoder, MemoryConfig, RamFault,
 };
 use dvbs2_ldpc::{BitVec, CodeRate, DvbS2Code, FrameSize, TannerGraph};
 use rand::rngs::SmallRng;
@@ -124,6 +127,19 @@ pub struct CaseSpec {
     /// decoders; the cycle contracts are checked against this configuration,
     /// not the paper default.
     pub memory: MemoryConfig,
+    /// I/O parallelism of the timed core — fuzzed so the
+    /// `io_cycles == ceil(n / p_io)` contract is exercised at more than the
+    /// paper's default of 10.
+    pub p_io: usize,
+    /// Channel modulation. 8PSK routes the frame through the DVB-S2 block
+    /// interleaver and the max-log demapper, so interleaved LLR ordering
+    /// reaches every decoder.
+    pub modulation: Modulation,
+    /// RAM defect injected into *both* the timed core and the golden model
+    /// (`None` = healthy RAM). The word address is reduced modulo the
+    /// code's RAM size at run time, so a spec stays valid when the shrinker
+    /// demotes the frame size.
+    pub fault: Option<RamFault>,
 }
 
 impl CaseSpec {
@@ -180,17 +196,41 @@ impl CaseSpec {
             2 => MemoryConfig { banks: 8, write_ports: 2, fu_latency: 4 },
             _ => MemoryConfig::default(),
         };
+        let quantizer_bits = if next() % 4 == 0 { 5 } else { 6 };
+        let arithmetic = ArithmeticKind::MinSumShift(1 + (next() % 3) as u32);
+        let early_stop = next() % 4 != 0;
+        // New dimensions draw strictly after the original ones, so a given
+        // (master_seed, index) keeps its pre-PR-4 rate/frame/memory/... .
+        let p_io = [4, 7, 16, 10][(next() % 4) as usize];
+        let modulation = if next() % 5 == 0 { Modulation::Psk8 } else { Modulation::Bpsk };
+        let fault = if next() % 4 == 0 {
+            let word = (next() % 1024) as usize;
+            if next() % 2 == 0 {
+                Some(RamFault::StuckWord { word, value: (next() % 63) as i32 - 31 })
+            } else {
+                Some(RamFault::FlippedBits { word, mask: 1 + (next() % 31) as i32 })
+            }
+        } else {
+            None
+        };
         CaseSpec {
             seed: mix_seed(master_seed ^ 0x0DD5_B2C0_DEC0_DE00, index),
             rate,
             frame,
-            ebn0_db: anchor_ebn0_db(rate) + offset,
-            quantizer_bits: if next() % 4 == 0 { 5 } else { 6 },
-            arithmetic: ArithmeticKind::MinSumShift(1 + (next() % 3) as u32),
+            // 8PSK packs three coded bits per symbol; its waterfall sits
+            // roughly 2 dB above the BPSK/QPSK anchor at these rates.
+            ebn0_db: anchor_ebn0_db(rate)
+                + offset
+                + if modulation == Modulation::Psk8 { 2.0 } else { 0.0 },
+            quantizer_bits,
+            arithmetic,
             max_iterations,
-            early_stop: next() % 4 != 0,
+            early_stop,
             schedule,
             memory,
+            p_io,
+            modulation,
+            fault,
         }
     }
 }
@@ -201,13 +241,18 @@ impl fmt::Display for CaseSpec {
             FrameSize::Normal => "normal",
             FrameSize::Short => "short",
         };
+        let modulation = match self.modulation {
+            Modulation::Bpsk => "bpsk",
+            Modulation::Qpsk => "qpsk",
+            Modulation::Psk8 => "8psk",
+        };
         write!(
             f,
             // `{}` on f64 prints the shortest exactly-round-tripping form:
             // the repro string must reproduce the noise realization bit for
             // bit, so ebn0 cannot be rounded for display.
             "seed={} rate={} frame={frame} ebn0={} q={} arith={} iters={} early={} \
-             sched={} mem={}x{}x{}",
+             sched={} mem={}x{}x{} pio={} mod={modulation}",
             self.seed,
             self.rate,
             self.ebn0_db,
@@ -219,7 +264,13 @@ impl fmt::Display for CaseSpec {
             self.memory.banks,
             self.memory.write_ports,
             self.memory.fu_latency,
-        )
+            self.p_io,
+        )?;
+        match self.fault {
+            None => Ok(()),
+            Some(RamFault::StuckWord { word, value }) => write!(f, " fault=stuck@{word}:{value}"),
+            Some(RamFault::FlippedBits { word, mask }) => write!(f, " fault=flip@{word}:{mask}"),
+        }
     }
 }
 
@@ -241,9 +292,12 @@ impl FromStr for CaseSpec {
     /// Parses the `Display` form, e.g.
     /// `seed=7 rate=2/3 frame=short ebn0=2.4 q=6 arith=msshift2 iters=6 early=true`.
     ///
-    /// The `sched=` and `mem=BxPxL` keys are optional and default to the
-    /// natural schedule and the paper memory configuration, so repro
+    /// The `sched=`, `mem=BxPxL`, `pio=`, `mod=` and `fault=` keys are
+    /// optional and default to the natural schedule, the paper memory
+    /// configuration, `p_io = 10`, BPSK, and a healthy RAM, so repro
     /// strings recorded before those dimensions existed still parse.
+    /// Faults spell as `fault=stuck@WORD:VALUE` or `fault=flip@WORD:MASK`
+    /// (`fault=none` is also accepted).
     fn from_str(text: &str) -> Result<Self, Self::Err> {
         let err = |what: &str| ParseCaseError(format!("{what} in {text:?}"));
         let mut fields: HashMap<&str, &str> = HashMap::new();
@@ -278,6 +332,35 @@ impl FromStr for CaseSpec {
                 }
             }
         };
+        let p_io = match fields.get("pio").copied() {
+            None => 10,
+            Some(spec) => match spec.parse::<usize>() {
+                Ok(p) if p > 0 => p,
+                _ => return Err(err("pio")),
+            },
+        };
+        let modulation = match fields.get("mod").copied() {
+            None | Some("bpsk") => Modulation::Bpsk,
+            Some("qpsk") => Modulation::Qpsk,
+            Some("8psk") => Modulation::Psk8,
+            Some(_) => return Err(err("mod")),
+        };
+        let fault = match fields.get("fault").copied() {
+            None | Some("none") => None,
+            Some(spec) => {
+                let parse = |body: &str| -> Option<(usize, i32)> {
+                    let (word, arg) = body.split_once(':')?;
+                    Some((word.parse().ok()?, arg.parse().ok()?))
+                };
+                if let Some((word, value)) = spec.strip_prefix("stuck@").and_then(parse) {
+                    Some(RamFault::StuckWord { word, value })
+                } else if let Some((word, mask)) = spec.strip_prefix("flip@").and_then(parse) {
+                    Some(RamFault::FlippedBits { word, mask })
+                } else {
+                    return Err(err("fault"));
+                }
+            }
+        };
         Ok(CaseSpec {
             seed: get("seed")?.parse().map_err(|_| err("seed"))?,
             rate: get("rate")?.parse().map_err(|_| err("rate"))?,
@@ -293,6 +376,9 @@ impl FromStr for CaseSpec {
             early_stop: get("early")?.parse().map_err(|_| err("early"))?,
             schedule,
             memory,
+            p_io,
+            modulation,
+            fault,
         })
     }
 }
@@ -401,6 +487,10 @@ struct CaseContext {
     /// Check-phase stats of one iteration under this context's schedule
     /// and memory configuration.
     check_phase: AccessStats,
+    /// Hardware chain partition for this schedule — lets the software
+    /// decoder replay the golden model bit for bit (`hw_chain_partition`
+    /// walks every check once, so it is cached with the schedule).
+    partition: ChainPartition,
 }
 
 impl CaseContext {
@@ -420,7 +510,8 @@ impl CaseContext {
             }
         };
         let check_phase = simulate_cn_phase(memory, &schedule.read_sequence(), code.rom.row_len());
-        CaseContext { code, schedule, check_phase }
+        let partition = hw_chain_partition(&code.rom, &schedule, &code.graph);
+        CaseContext { code, schedule, check_phase, partition }
     }
 
     fn system(&self) -> &Dvbs2System {
@@ -485,6 +576,19 @@ fn context_for(
 struct MatrixEntry {
     name: &'static str,
     result: DecodeResult,
+    /// Whether this entry joins the converged-word agreement pool. Faulted
+    /// timed decoders opt out: a corrupted RAM may legitimately settle on a
+    /// different valid codeword than the healthy decoders.
+    word_contract: bool,
+}
+
+/// Reduces a spec's fault word into the code's RAM so one repro string stays
+/// valid across frame sizes (the shrinker demotes Normal to Short).
+fn clamp_fault(fault: Option<RamFault>, words: usize) -> Option<RamFault> {
+    fault.map(|f| match f {
+        RamFault::StuckWord { word, value } => RamFault::StuckWord { word: word % words, value },
+        RamFault::FlippedBits { word, mask } => RamFault::FlippedBits { word: word % words, mask },
+    })
 }
 
 /// Runs the full decoder matrix on one generated case and returns any
@@ -502,7 +606,7 @@ fn run_case_with(case_index: u64, case: &CaseSpec, cache: &ContextCache) -> Vec<
     };
 
     let mut rng = SmallRng::seed_from_u64(case.seed);
-    let frame = ctx.system().transmit_frame(&mut rng, case.ebn0_db);
+    let frame = ctx.system().transmit_frame_with(&mut rng, case.ebn0_db, case.modulation);
     let quantizer = case.quantizer();
     let float_config = DecoderConfig {
         max_iterations: case.max_iterations,
@@ -516,7 +620,7 @@ fn run_case_with(case_index: u64, case: &CaseSpec, cache: &ContextCache) -> Vec<
     {
         let g = |precision| float_config.with_precision(precision);
         let mut push = |name: &'static str, result: DecodeResult| {
-            entries.push(MatrixEntry { name, result });
+            entries.push(MatrixEntry { name, result, word_contract: true });
         };
         push(
             "flooding-f64",
@@ -573,8 +677,9 @@ fn run_case_with(case_index: u64, case: &CaseSpec, cache: &ContextCache) -> Vec<
         max_iterations: case.max_iterations,
         early_stop: case.early_stop,
         memory: case.memory,
-        ..CoreConfig::default()
+        p_io: case.p_io,
     };
+    let fault = clamp_fault(case.fault, ctx.code.rom.words());
     let mut hw = HardwareDecoder::new(ctx.code(), ctx.schedule.clone(), core_config);
     let mut golden = GoldenModel::new(
         ctx.code(),
@@ -583,9 +688,13 @@ fn run_case_with(case_index: u64, case: &CaseSpec, cache: &ContextCache) -> Vec<
         case.max_iterations,
         case.early_stop,
     );
+    hw.set_fault(fault);
+    golden.set_fault(fault);
     let channel = hw.quantize_channel(&frame.llrs);
-    let hw_out = hw.decode_quantized(&channel);
-    let golden_out = golden.decode_quantized(&channel);
+    let mut hw_trace = Vec::new();
+    let mut golden_trace = Vec::new();
+    let hw_out = hw.decode_quantized_traced(&channel, &mut hw_trace);
+    let golden_out = golden.decode_quantized_traced(&channel, &mut golden_trace);
     if hw_out.result != golden_out {
         violate(
             "hw-golden-bitexact",
@@ -599,6 +708,16 @@ fn run_case_with(case_index: u64, case: &CaseSpec, cache: &ContextCache) -> Vec<
             ),
         );
     }
+    if hw_trace != golden_trace {
+        violate(
+            "hw-golden-trace",
+            format!(
+                "per-iteration message digests diverged at iteration {} of {}",
+                hw_trace.iter().zip(&golden_trace).position(|(a, b)| a != b).unwrap_or(0) + 1,
+                hw_trace.len().max(golden_trace.len()),
+            ),
+        );
+    }
     if case_index.is_multiple_of(16) {
         // Determinism spot check: an identical rerun must be bit-identical.
         let again = hw.decode_quantized(&channel);
@@ -606,7 +725,88 @@ fn run_case_with(case_index: u64, case: &CaseSpec, cache: &ContextCache) -> Vec<
             violate("hw-determinism", "rerun of the same channel frame diverged".to_owned());
         }
     }
-    entries.push(MatrixEntry { name: "hardware", result: hw_out.result.clone() });
+    // A faulted core opts out of the cross-decoder word pool: corrupted
+    // messages may legitimately converge to a different valid codeword.
+    entries.push(MatrixEntry {
+        name: "hardware",
+        result: hw_out.result.clone(),
+        word_contract: fault.is_none(),
+    });
+
+    // --- boundary-exact class: golden vs partitioned software decoder ------
+    // The partitioned software decoder has no RAM to corrupt, so the
+    // bit-exact comparison only holds against a healthy golden model.
+    if fault.is_none() {
+        let mut partitioned = QuantizedZigzagDecoder::with_partition(
+            Arc::clone(ctx.graph()),
+            QCheckArithmetic::lut(quantizer),
+            float_config,
+            ctx.partition.clone(),
+        );
+        let part_out = partitioned.decode_quantized(&channel);
+        if part_out != golden_out {
+            violate(
+                "golden-partitioned-bitexact",
+                format!(
+                    "partitioned qzigzag (converged={} iters={}) != golden (converged={} iters={}), {} differing bits",
+                    part_out.converged,
+                    part_out.iterations,
+                    golden_out.converged,
+                    golden_out.iterations,
+                    count_diff(&part_out.bits, &golden_out.bits),
+                ),
+            );
+        }
+        entries.push(MatrixEntry {
+            name: "qzigzag-partitioned",
+            result: part_out,
+            word_contract: true,
+        });
+    }
+
+    // --- bit flipping: explicit weaker contract -----------------------------
+    // Gallager-B is *deliberately* excluded from the converged-word pool:
+    // when it converges, its hard decisions form a valid codeword, but from
+    // a hard-decision channel several dB past its own threshold that
+    // codeword is regularly a *different* one than the soft decoders agree
+    // on (miscorrection), so word agreement would raise false alarms on
+    // correct behavior. It also early-stops unconditionally (there is no
+    // fixed-iteration mode to contract on). What it must guarantee: the cap
+    // is respected, and a converged word leaves no unsatisfied check —
+    // i.e. the syndrome weight never ends above the channel hard
+    // decisions' starting weight.
+    {
+        let mut bitflip = BitFlippingDecoder::new(Arc::clone(ctx.graph()), float_config);
+        let bf_out = bitflip.decode(&frame.llrs);
+        if bf_out.iterations > case.max_iterations {
+            violate(
+                "iteration-cap",
+                format!(
+                    "bit-flipping: {} iterations > cap {}",
+                    bf_out.iterations, case.max_iterations
+                ),
+            );
+        }
+        if bf_out.converged {
+            let start: BitVec = frame.llrs.iter().map(|&l| l < 0.0).collect();
+            let start_weight = syndrome_weight(ctx.graph(), &start);
+            let end_weight = syndrome_weight(ctx.graph(), &bf_out.bits);
+            if end_weight > start_weight {
+                violate(
+                    "bitflip-syndrome-weight",
+                    format!(
+                        "converged with syndrome weight {end_weight} above the channel's {start_weight}"
+                    ),
+                );
+            }
+            if end_weight != 0 {
+                violate(
+                    "converged-syndrome",
+                    format!("bit-flipping: converged with {end_weight} unsatisfied checks"),
+                );
+            }
+        }
+    }
 
     // --- per-decoder contracts ----------------------------------------------
     for e in &entries {
@@ -634,8 +834,8 @@ fn run_case_with(case_index: u64, case: &CaseSpec, cache: &ContextCache) -> Vec<
     }
 
     // --- cross-decoder agreement on converged words -------------------------
-    if let Some(first) = entries.iter().find(|e| e.result.converged) {
-        for e in entries.iter().filter(|e| e.result.converged) {
+    if let Some(first) = entries.iter().find(|e| e.word_contract && e.result.converged) {
+        for e in entries.iter().filter(|e| e.word_contract && e.result.converged) {
             if e.result.bits != first.result.bits {
                 violate(
                     "converged-agreement",
@@ -734,6 +934,235 @@ pub fn run(config: &OracleConfig) -> OracleReport {
     OracleReport { cases: config.cases, rates_covered, frames_covered, violations }
 }
 
+/// Forces a RAM fault onto a generated case: keeps the generator's fault
+/// when it drew one, otherwise derives a deterministic fault from the case
+/// seed. This is how the fault-differential sweep guarantees that *every*
+/// case exercises the corrupted write path.
+fn force_fault(mut case: CaseSpec) -> CaseSpec {
+    if case.fault.is_none() {
+        let x = mix_seed(case.seed, 0xFA07);
+        let word = (x % 1024) as usize;
+        case.fault = Some(if x & 1 == 0 {
+            RamFault::StuckWord { word, value: ((x >> 10) % 63) as i32 - 31 }
+        } else {
+            RamFault::FlippedBits { word, mask: 1 + ((x >> 10) % 31) as i32 }
+        });
+    }
+    case
+}
+
+/// One fault-differential case: the faulted timed core against the equally
+/// faulted golden model, bit for bit.
+fn run_fault_case(case_index: u64, case: &CaseSpec, cache: &ContextCache) -> Vec<Violation> {
+    let ctx = context_for(cache, case.rate, case.frame, case.schedule, case.memory);
+    let mut violations = Vec::new();
+    let mut violate = |contract: &'static str, detail: String| {
+        violations.push(Violation { case_index, case: *case, contract, detail });
+    };
+
+    let mut rng = SmallRng::seed_from_u64(case.seed);
+    let frame = ctx.system().transmit_frame_with(&mut rng, case.ebn0_db, case.modulation);
+    let quantizer = case.quantizer();
+    let core_config = CoreConfig {
+        quantizer,
+        max_iterations: case.max_iterations,
+        early_stop: case.early_stop,
+        memory: case.memory,
+        p_io: case.p_io,
+    };
+    let fault = clamp_fault(case.fault, ctx.code.rom.words());
+    let mut hw = HardwareDecoder::new(ctx.code(), ctx.schedule.clone(), core_config);
+    let mut golden = GoldenModel::new(
+        ctx.code(),
+        ctx.schedule.clone(),
+        quantizer,
+        case.max_iterations,
+        case.early_stop,
+    );
+    hw.set_fault(fault);
+    golden.set_fault(fault);
+    let channel = hw.quantize_channel(&frame.llrs);
+    let mut hw_trace = Vec::new();
+    let mut golden_trace = Vec::new();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let hw_out = hw.decode_quantized_traced(&channel, &mut hw_trace);
+        let golden_out = golden.decode_quantized_traced(&channel, &mut golden_trace);
+        (hw_out, golden_out)
+    }));
+    let (hw_out, golden_out) = match outcome {
+        Err(_) => {
+            violate("fault-panic", format!("{fault:?}: faulted decode panicked"));
+            return violations;
+        }
+        Ok(pair) => pair,
+    };
+    if hw_out.result != golden_out {
+        violate(
+            "hw-golden-bitexact",
+            format!(
+                "{fault:?}: hardware (converged={} iters={}) != golden (converged={} iters={}), {} differing bits",
+                hw_out.result.converged,
+                hw_out.result.iterations,
+                golden_out.converged,
+                golden_out.iterations,
+                count_diff(&hw_out.result.bits, &golden_out.bits),
+            ),
+        );
+    }
+    if hw_trace != golden_trace {
+        violate(
+            "hw-golden-trace",
+            format!(
+                "{fault:?}: message digests diverged at iteration {} of {}",
+                hw_trace.iter().zip(&golden_trace).position(|(a, b)| a != b).unwrap_or(0) + 1,
+                hw_trace.len().max(golden_trace.len()),
+            ),
+        );
+    }
+    // Graceful degradation still applies under the differential contract.
+    if hw_out.result.iterations > case.max_iterations {
+        violate("fault-hang", format!("{fault:?}: exceeded the iteration cap"));
+    }
+    if hw_out.result.converged && !syndrome_ok(ctx.graph(), &hw_out.result.bits) {
+        violate("fault-syndrome", format!("{fault:?}: converged with a dirty syndrome"));
+    }
+    violations
+}
+
+/// Runs `config.cases` generated cases with a RAM fault forced onto every
+/// one and checks the fault-differential contract: the faulted
+/// [`HardwareDecoder`] must be bit-exact — decisions *and* per-iteration
+/// message digests — against the equally-faulted [`GoldenModel`].
+/// Deterministic for a given `master_seed` regardless of `threads`.
+pub fn run_fault_differential(config: &OracleConfig) -> OracleReport {
+    let threads = config.threads.max(1);
+    let next = AtomicUsize::new(0);
+    let violations: Mutex<Vec<Violation>> = Mutex::new(Vec::new());
+    let cache = ContextCache::default();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed) as u64;
+                if index >= config.cases {
+                    break;
+                }
+                let case = force_fault(CaseSpec::generate(config.master_seed, index));
+                let found = run_fault_case(index, &case, &cache);
+                if !found.is_empty() {
+                    violations.lock().expect("no panics hold the lock").extend(found);
+                }
+            });
+        }
+    });
+    let mut violations = violations.into_inner().expect("all workers joined");
+    violations.sort_by_key(|v| v.case_index);
+
+    let mut rates_covered = Vec::new();
+    let mut frames_covered = Vec::new();
+    for index in 0..config.cases {
+        let case = CaseSpec::generate(config.master_seed, index);
+        if !rates_covered.contains(&case.rate) {
+            rates_covered.push(case.rate);
+        }
+        if !frames_covered.contains(&case.frame) {
+            frames_covered.push(case.frame);
+        }
+    }
+    OracleReport { cases: config.cases, rates_covered, frames_covered, violations }
+}
+
+/// Verifies the boundary-exact equivalence class across **all 11
+/// Normal-frame rates**: the LUT [`QuantizedZigzagDecoder`] in
+/// hardware-partitioned mode must reproduce the [`GoldenModel`]'s full
+/// [`DecodeResult`] — decoded word, iteration count and convergence flag —
+/// at two operating points per rate (early-stopping above the waterfall,
+/// fixed-iteration below it).
+pub fn run_partition_sweep(master_seed: u64, threads: usize) -> OracleReport {
+    const CONFIGS: [(f64, bool, usize); 2] = [(0.4, true, 8), (-0.4, false, 4)];
+    let total = (CodeRate::ALL.len() * CONFIGS.len()) as u64;
+    let threads = threads.max(1);
+    let next = AtomicUsize::new(0);
+    let violations: Mutex<Vec<Violation>> = Mutex::new(Vec::new());
+    let cache = ContextCache::default();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed) as u64;
+                if index >= total {
+                    break;
+                }
+                let rate = CodeRate::ALL[(index as usize) / CONFIGS.len()];
+                let (offset, early_stop, max_iterations) = CONFIGS[(index as usize) % CONFIGS.len()];
+                let case = CaseSpec {
+                    seed: mix_seed(master_seed, index),
+                    rate,
+                    frame: FrameSize::Normal,
+                    ebn0_db: anchor_ebn0_db(rate) + offset,
+                    quantizer_bits: 6,
+                    arithmetic: ArithmeticKind::Lut,
+                    max_iterations,
+                    early_stop,
+                    schedule: ScheduleKind::Natural,
+                    memory: MemoryConfig::default(),
+                    p_io: 10,
+                    modulation: Modulation::Bpsk,
+                    fault: None,
+                };
+                let ctx =
+                    context_for(&cache, case.rate, case.frame, case.schedule, case.memory);
+                let mut rng = SmallRng::seed_from_u64(case.seed);
+                let frame = ctx.system().transmit_frame(&mut rng, case.ebn0_db);
+                let quantizer = case.quantizer();
+                let mut golden = GoldenModel::new(
+                    ctx.code(),
+                    ctx.schedule.clone(),
+                    quantizer,
+                    case.max_iterations,
+                    case.early_stop,
+                );
+                let mut partitioned = QuantizedZigzagDecoder::with_partition(
+                    Arc::clone(ctx.graph()),
+                    QCheckArithmetic::lut(quantizer),
+                    DecoderConfig {
+                        max_iterations: case.max_iterations,
+                        early_stop: case.early_stop,
+                        rule: CheckRule::SumProduct,
+                        precision: Precision::F64,
+                    },
+                    ctx.partition.clone(),
+                );
+                let channel = golden.quantize_channel(&frame.llrs);
+                let golden_out = golden.decode_quantized(&channel);
+                let part_out = partitioned.decode_quantized(&channel);
+                if part_out != golden_out {
+                    let v = Violation {
+                        case_index: index,
+                        case,
+                        contract: "golden-partitioned-bitexact",
+                        detail: format!(
+                            "partitioned qzigzag (converged={} iters={}) != golden (converged={} iters={}), {} differing bits",
+                            part_out.converged,
+                            part_out.iterations,
+                            golden_out.converged,
+                            golden_out.iterations,
+                            count_diff(&part_out.bits, &golden_out.bits),
+                        ),
+                    };
+                    violations.lock().expect("no panics hold the lock").push(v);
+                }
+            });
+        }
+    });
+    let mut violations = violations.into_inner().expect("all workers joined");
+    violations.sort_by_key(|v| v.case_index);
+    OracleReport {
+        cases: total,
+        rates_covered: CodeRate::ALL.to_vec(),
+        frames_covered: vec![FrameSize::Normal],
+        violations,
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Fault injection
 // ---------------------------------------------------------------------------
@@ -784,6 +1213,9 @@ pub fn run_fault_suite(rate: CodeRate, frame: FrameSize, master_seed: u64) -> Fa
         early_stop: true,
         schedule: ScheduleKind::Natural,
         memory: MemoryConfig::default(),
+        p_io: 10,
+        modulation: Modulation::Bpsk,
+        fault: None,
     };
     let mut violate = |index: usize, contract: &'static str, detail: String| {
         report.violations.push(Violation {
@@ -896,7 +1328,9 @@ pub fn run_fault_suite(rate: CodeRate, frame: FrameSize, master_seed: u64) -> Fa
 /// fires) while shrinking everything that only makes the report bigger:
 /// fewer iterations, Short instead of Normal frames, the default 6-bit
 /// quantizer, fixed-iteration (`early_stop = false`) operation, the
-/// natural schedule, and the default memory configuration.
+/// natural schedule, the default memory configuration, the default
+/// `p_io = 10`, BPSK modulation, and a simpler (or absent) RAM fault —
+/// a stuck word shrinks toward value `0`, a flipped word toward mask `1`.
 ///
 /// `still_fails` must return `true` when a candidate case still reproduces
 /// the original failure; the shrinker keeps the smallest candidate that does.
@@ -925,6 +1359,33 @@ pub fn shrink_case<F: FnMut(&CaseSpec) -> bool>(
         }
         if best.memory != MemoryConfig::default() {
             candidates.push(CaseSpec { memory: MemoryConfig::default(), ..best });
+        }
+        if best.p_io != 10 {
+            candidates.push(CaseSpec { p_io: 10, ..best });
+        }
+        if best.modulation != Modulation::Bpsk {
+            candidates.push(CaseSpec { modulation: Modulation::Bpsk, ..best });
+        }
+        match best.fault {
+            None => {}
+            Some(RamFault::StuckWord { word, value }) => {
+                candidates.push(CaseSpec { fault: None, ..best });
+                if value != 0 {
+                    candidates.push(CaseSpec {
+                        fault: Some(RamFault::StuckWord { word, value: 0 }),
+                        ..best
+                    });
+                }
+            }
+            Some(RamFault::FlippedBits { word, mask }) => {
+                candidates.push(CaseSpec { fault: None, ..best });
+                if mask != 1 {
+                    candidates.push(CaseSpec {
+                        fault: Some(RamFault::FlippedBits { word, mask: 1 }),
+                        ..best
+                    });
+                }
+            }
         }
         match candidates.into_iter().find(|c| still_fails(c)) {
             Some(smaller) => best = smaller,

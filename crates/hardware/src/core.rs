@@ -117,7 +117,7 @@ impl RamFault {
     }
 
     /// Corrupts the stored lanes of the faulty word.
-    fn corrupt(&self, lanes: &mut [i32], max_mag: i32) {
+    pub(crate) fn corrupt(&self, lanes: &mut [i32], max_mag: i32) {
         match *self {
             RamFault::StuckWord { value, .. } => lanes.fill(value.clamp(-max_mag, max_mag)),
             RamFault::FlippedBits { mask, .. } => {
@@ -304,6 +304,32 @@ impl HardwareDecoder {
     /// error) if the memory schedule would ever read a word whose write-back
     /// is still in flight.
     pub fn decode_quantized(&mut self, channel: &[i32]) -> HwDecodeOutput {
+        self.decode_inner(channel, None)
+    }
+
+    /// Decodes one frame and records a per-iteration digest of the complete
+    /// message state after each check phase, in the same format as
+    /// [`crate::GoldenModel::decode_quantized_traced`]. The two traces must
+    /// be identical — with or without an injected [`RamFault`] — which is
+    /// the oracle's per-iteration-message bit-exactness contract.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`HardwareDecoder::decode_quantized`].
+    pub fn decode_quantized_traced(
+        &mut self,
+        channel: &[i32],
+        trace: &mut Vec<u64>,
+    ) -> HwDecodeOutput {
+        trace.clear();
+        self.decode_inner(channel, Some(trace))
+    }
+
+    fn decode_inner(
+        &mut self,
+        channel: &[i32],
+        mut trace: Option<&mut Vec<u64>>,
+    ) -> HwDecodeOutput {
         assert_eq!(channel.len(), self.params.n, "LLR length mismatch");
         self.ram.fill(0);
         if let Some(f) = self.fault {
@@ -329,6 +355,9 @@ impl HardwareDecoder {
             cycles.info_phase_cycles += info_cycles;
             cycles.check_phase_cycles += check_cycles;
             cycles.max_buffer = cycles.max_buffer.max(info_buf).max(check_buf);
+            if let Some(t) = trace.as_deref_mut() {
+                t.push(crate::golden::message_digest(&self.ram, &self.fu));
+            }
             // A full totals sweep (one pass over E_IN) is only observable
             // through the early-stop syndrome test; without early stopping
             // only the final totals matter, so the sweep runs once after the
@@ -649,6 +678,60 @@ mod tests {
         let code = short_code();
         let mut hw = core(&code, CoreConfig::default());
         hw.set_fault(Some(RamFault::StuckWord { word: usize::MAX, value: 0 }));
+    }
+
+    #[test]
+    fn faulted_core_is_bit_exact_against_faulted_golden_model() {
+        // The fault-differential contract: corruption at write-commit is a
+        // pure function of the written data, so an equally-faulted golden
+        // model must agree on every decision AND every per-iteration message
+        // digest — any divergence isolates a defect in the timing machinery.
+        let code = short_code();
+        let config = CoreConfig { max_iterations: 6, early_stop: true, ..CoreConfig::default() };
+        let mut hw = core(&code, config);
+        let rom = ConnectivityRom::build(code.params(), code.table());
+        let mut golden = GoldenModel::new(
+            &code,
+            CnSchedule::natural(&rom),
+            config.quantizer,
+            config.max_iterations,
+            config.early_stop,
+        );
+        let (_, llrs) = noisy_llrs(&code, 2.8, 4242);
+        let channel = hw.quantize_channel(&llrs);
+        for fault in [
+            None,
+            Some(RamFault::StuckWord { word: 3, value: 31 }),
+            Some(RamFault::StuckWord { word: 0, value: -31 }),
+            Some(RamFault::FlippedBits { word: 7, mask: 0b10101 }),
+            Some(RamFault::FlippedBits { word: 11, mask: 1 }),
+        ] {
+            hw.set_fault(fault);
+            golden.set_fault(fault);
+            let mut hw_trace = Vec::new();
+            let mut golden_trace = Vec::new();
+            let hw_out = hw.decode_quantized_traced(&channel, &mut hw_trace);
+            let golden_out = golden.decode_quantized_traced(&channel, &mut golden_trace);
+            assert_eq!(hw_out.result, golden_out, "{fault:?}: results diverged");
+            assert_eq!(hw_trace, golden_trace, "{fault:?}: message traces diverged");
+            assert_eq!(hw_trace.len(), hw_out.result.iterations, "{fault:?}: trace length");
+        }
+    }
+
+    #[test]
+    fn traced_decode_matches_untraced() {
+        let code = short_code();
+        let mut hw = core(&code, CoreConfig { max_iterations: 5, ..CoreConfig::default() });
+        let (_, llrs) = noisy_llrs(&code, 2.4, 57);
+        let channel = hw.quantize_channel(&llrs);
+        let plain = hw.decode_quantized(&channel);
+        let mut trace = Vec::new();
+        let traced = hw.decode_quantized_traced(&channel, &mut trace);
+        assert_eq!(plain, traced);
+        assert_eq!(trace.len(), traced.result.iterations);
+        // Messages evolve between iterations, so digests must not repeat on
+        // a frame that is still converging.
+        assert!(trace.windows(2).all(|w| w[0] != w[1]));
     }
 
     #[test]

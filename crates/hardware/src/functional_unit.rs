@@ -175,6 +175,13 @@ impl FunctionalUnitArray {
         self.boundary[0] = 0;
     }
 
+    /// The stored parity-message state `(backward, forward, boundary)` —
+    /// exposed so the traced decode entry points can fold the complete
+    /// message state into a per-iteration digest.
+    pub(crate) fn parity_state(&self) -> (&[i32], &[i32], &[i32]) {
+        (&self.backward, &self.forward, &self.boundary)
+    }
+
     /// Writes the parity a-posteriori totals into `totals[k..n]`.
     ///
     /// # Panics

@@ -18,6 +18,7 @@
 //!   at row `q-1`, so it is one iteration fresher than in the ideal
 //!   schedule.
 
+use crate::core::RamFault;
 use crate::functional_unit::FunctionalUnitArray;
 use crate::rom::ConnectivityRom;
 use crate::schedule::CnSchedule;
@@ -55,10 +56,14 @@ use dvbs2_ldpc::{CodeParams, DvbS2Code, PARALLELISM};
 /// deviations therefore perturb convergence only through a `359 / (N − K)`
 /// fraction of the chain (≈ 1% at Normal frames), which shifts rare
 /// per-frame iteration counts near threshold but not decoded words — the
-/// differential oracle enforces decoded-word agreement between the two
-/// models and *bit-exactness* between this model and the timed
-/// [`crate::HardwareDecoder`]. `DESIGN.md` ("Chain-boundary semantics")
-/// carries the worked example.
+/// differential oracle enforces decoded-word agreement between this model
+/// and the *sequential* `QuantizedZigzagDecoder`, and *bit-exactness* both
+/// against the timed [`crate::HardwareDecoder`] (decisions and
+/// per-iteration message digests, with or without an injected
+/// [`RamFault`]) and against the software decoder in hardware-partitioned
+/// mode ([`crate::hw_chain_partition`] replays this model's sub-chain
+/// boundaries and per-check input ordering exactly). `DESIGN.md`
+/// ("Chain-boundary semantics") carries the worked example.
 #[derive(Debug, Clone)]
 pub struct GoldenModel {
     params: CodeParams,
@@ -68,6 +73,11 @@ pub struct GoldenModel {
     shuffle: ShuffleNetwork,
     max_iterations: usize,
     early_stop: bool,
+    /// Modeled RAM defect, mirrored from [`crate::HardwareDecoder`]: the
+    /// corruption applies at the same logical point (each word write-back
+    /// plus the initial RAM contents), so a faulted timed core must stay
+    /// bit-exact against an equally-faulted golden model.
+    fault: Option<RamFault>,
     /// Message RAM, word-major: `ram[word * 360 + lane]`. Holds
     /// check-to-variable messages in information layout between iterations.
     ram: Vec<i32>,
@@ -99,6 +109,7 @@ impl GoldenModel {
             shuffle: ShuffleNetwork::new(PARALLELISM),
             max_iterations,
             early_stop,
+            fault: None,
             ram: vec![0; words * PARALLELISM],
             totals: vec![0; params.n],
             block_in: vec![0; max_block * PARALLELISM],
@@ -135,14 +146,65 @@ impl GoldenModel {
         llrs.iter().map(|&l| q.quantize(l)).collect()
     }
 
+    /// Injects (or clears) a modeled RAM defect, mirroring
+    /// [`crate::HardwareDecoder::set_fault`]: the corruption is applied at
+    /// exactly the same logical points (after every word write-back and on
+    /// the initial RAM contents), so the timed core and this model must stay
+    /// bit-exact under *identical* faults — the differential oracle's
+    /// fault-differential contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault's word address is outside the message RAM.
+    pub fn set_fault(&mut self, fault: Option<RamFault>) {
+        if let Some(f) = &fault {
+            assert!(f.word() < self.rom.words(), "fault word {} out of range", f.word());
+        }
+        self.fault = fault;
+    }
+
+    /// The injected RAM fault, if any.
+    pub fn fault(&self) -> Option<RamFault> {
+        self.fault
+    }
+
     /// Decodes one frame of quantized channel LLRs.
     ///
     /// # Panics
     ///
     /// Panics if `channel.len() != N`.
     pub fn decode_quantized(&mut self, channel: &[i32]) -> DecodeResult {
+        self.decode_inner(channel, None)
+    }
+
+    /// Decodes one frame and records a per-iteration digest of the complete
+    /// message state (RAM plus parity forward/backward/boundary messages)
+    /// after each check phase. The timed core's
+    /// [`crate::HardwareDecoder::decode_quantized_traced`] must produce an
+    /// identical trace — this is how the oracle enforces bit-exactness of
+    /// *per-iteration messages*, not just final decisions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel.len() != N`.
+    pub fn decode_quantized_traced(
+        &mut self,
+        channel: &[i32],
+        trace: &mut Vec<u64>,
+    ) -> DecodeResult {
+        trace.clear();
+        self.decode_inner(channel, Some(trace))
+    }
+
+    fn decode_inner(&mut self, channel: &[i32], mut trace: Option<&mut Vec<u64>>) -> DecodeResult {
         assert_eq!(channel.len(), self.params.n, "LLR length mismatch");
         self.ram.fill(0);
+        if let Some(f) = self.fault {
+            // A stuck cell is stuck from power-on, exactly as in the core.
+            let p = PARALLELISM;
+            let max_mag = self.fu.quantizer().max_mag();
+            f.corrupt(&mut self.ram[f.word() * p..(f.word() + 1) * p], max_mag);
+        }
         self.fu.reset();
         let mut iterations = 0;
         let mut converged = false;
@@ -151,6 +213,9 @@ impl GoldenModel {
             iterations += 1;
             self.information_phase(channel);
             self.check_phase(channel);
+            if let Some(t) = trace.as_deref_mut() {
+                t.push(message_digest(&self.ram, &self.fu));
+            }
             // As in the timed core: the per-iteration totals sweep is only
             // observable through the early-stop test, so without early
             // stopping it runs once after the loop (bit-identical).
@@ -175,6 +240,7 @@ impl GoldenModel {
     /// the entry's cyclic shift (leaving the RAM in check layout).
     fn information_phase(&mut self, channel: &[i32]) {
         let p = PARALLELISM;
+        let fault = self.fault.map(|f| (f, self.fu.quantizer().max_mag()));
         for g in 0..self.params.groups() {
             let base = self.rom.group_base(g);
             let d = self.params.group_degree(g);
@@ -190,6 +256,11 @@ impl GoldenModel {
                 let shift = self.rom.entry(base + i).shift as usize;
                 let word = &mut self.ram[(base + i) * p..(base + i + 1) * p];
                 self.shuffle.rotate(&self.block_out[i * p..(i + 1) * p], shift, word);
+                if let Some((f, max_mag)) = fault {
+                    if f.word() == base + i {
+                        f.corrupt(word, max_mag);
+                    }
+                }
             }
         }
     }
@@ -200,6 +271,7 @@ impl GoldenModel {
     fn check_phase(&mut self, channel: &[i32]) {
         let p = PARALLELISM;
         let row_len = self.rom.row_len();
+        let fault = self.fault.map(|f| (f, self.fu.quantizer().max_mag()));
         self.fu.begin_check_phase();
         for r in 0..self.params.q {
             for i in 0..row_len {
@@ -218,6 +290,11 @@ impl GoldenModel {
                 let inv = self.shuffle.inverse_shift(shift);
                 let word = &mut self.ram[w * p..(w + 1) * p];
                 self.shuffle.rotate(&self.block_out[i * p..(i + 1) * p], inv, word);
+                if let Some((f, max_mag)) = fault {
+                    if f.word() == w {
+                        f.corrupt(word, max_mag);
+                    }
+                }
             }
         }
         self.fu.end_check_phase();
@@ -287,6 +364,31 @@ pub(crate) fn syndrome_clean(params: &CodeParams, rom: &ConnectivityRom, totals:
         }
     }
     true
+}
+
+/// Folds one slice of message values into an FNV-1a-style digest. Collisions
+/// only matter against *accidental* divergence here (differential check, not
+/// an adversary), so hashing each i32 as one unit is plenty.
+fn fold_digest(mut h: u64, vals: &[i32]) -> u64 {
+    for &v in vals {
+        h ^= v as u32 as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Digest of the complete post-check-phase message state: the message RAM
+/// plus the functional units' backward/forward/boundary parity messages.
+/// Shared by the golden and timed models' traced decode entry points; equal
+/// digests every iteration is the oracle's definition of "bit-exact
+/// per-iteration messages".
+pub(crate) fn message_digest(ram: &[i32], fu: &FunctionalUnitArray) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325; // FNV-1a offset basis
+    h = fold_digest(h, ram);
+    let (backward, forward, boundary) = fu.parity_state();
+    h = fold_digest(h, backward);
+    h = fold_digest(h, forward);
+    fold_digest(h, boundary)
 }
 
 #[cfg(test)]
@@ -385,6 +487,37 @@ mod tests {
         let b = optimized.decode_quantized(&channel);
         assert_eq!(a.bits, cw);
         assert_eq!(b.bits, cw);
+    }
+
+    #[test]
+    fn injected_fault_changes_message_state() {
+        // A stuck word at full magnitude must perturb the message digests;
+        // clearing the fault restores the clean trajectory.
+        let code = short_code();
+        let mut m = model(&code);
+        let (_, llrs) = noisy_llrs(&code, 2.8, 606);
+        let channel = m.quantize_channel(&llrs);
+        let mut clean_trace = Vec::new();
+        let clean = m.decode_quantized_traced(&channel, &mut clean_trace);
+        m.set_fault(Some(crate::RamFault::StuckWord { word: 2, value: 31 }));
+        let mut fault_trace = Vec::new();
+        let faulted = m.decode_quantized_traced(&channel, &mut fault_trace);
+        assert_ne!(clean_trace.first(), fault_trace.first());
+        assert_eq!(m.fault(), Some(crate::RamFault::StuckWord { word: 2, value: 31 }));
+        let _ = faulted;
+        m.set_fault(None);
+        let mut again = Vec::new();
+        let re = m.decode_quantized_traced(&channel, &mut again);
+        assert_eq!(re, clean);
+        assert_eq!(again, clean_trace);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fault_word_must_be_in_ram() {
+        let code = short_code();
+        let mut m = model(&code);
+        m.set_fault(Some(crate::RamFault::StuckWord { word: usize::MAX, value: 0 }));
     }
 
     #[test]

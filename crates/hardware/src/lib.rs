@@ -24,6 +24,7 @@ mod core;
 mod functional_unit;
 mod golden;
 mod memory;
+mod partition;
 mod power;
 mod rom;
 mod schedule;
@@ -39,6 +40,7 @@ pub use core::{CoreConfig, CycleBreakdown, HardwareDecoder, HwDecodeOutput, RamF
 pub use functional_unit::FunctionalUnitArray;
 pub use golden::GoldenModel;
 pub use memory::{simulate_cn_phase, AccessStats, MemoryConfig};
+pub use partition::hw_chain_partition;
 pub use power::{EnergyCosts, EnergyModel, EnergyReport};
 pub use rom::{ConnectivityRom, RomEntry};
 pub use schedule::{CnSchedule, InvalidScheduleError};

@@ -1,0 +1,148 @@
+//! Bridge from the hardware connectivity (ROM + check-node schedule) to the
+//! software decoder's hardware-partitioned mode.
+//!
+//! The quantized boxplus is order-dependent in its low bits, so making
+//! [`dvbs2_decoder::QuantizedZigzagDecoder`] bit-exact against
+//! [`crate::GoldenModel`] needs more than the 360-sub-chain boundary
+//! semantics: every check must also feed its boxplus the *same operands in
+//! the same order* as the functional-unit array. The hardware order is the
+//! schedule's word order per residue row; the graph's order is ascending
+//! variable index. [`hw_chain_partition`] computes the per-check permutation
+//! between the two and packages it with `lanes = 360` as a
+//! [`ChainPartition`].
+
+use crate::rom::ConnectivityRom;
+use crate::schedule::CnSchedule;
+use dvbs2_decoder::ChainPartition;
+use dvbs2_ldpc::{TannerGraph, PARALLELISM};
+
+/// Builds the [`ChainPartition`] that makes the sequential software decoder
+/// replay the hardware exactly: 360 sub-chains plus, for every check, the
+/// schedule's message input order expressed as a permutation of the graph's
+/// information edges.
+///
+/// For check `j` (functional unit `u = j / q`, residue row `r = j % q`) the
+/// hardware reads the words of `schedule.row(r)` in order; entry `w`
+/// contributes the message of information node
+/// `m = group(w)·360 + ((u + 360 − shift(w)) mod 360)` to that check. The
+/// returned permutation records where each such `m` sits among check `j`'s
+/// graph edges (which are sorted by variable index).
+///
+/// # Panics
+///
+/// Panics if `graph` is not the Tanner graph of the code the ROM was built
+/// from, or if the schedule does not match the ROM.
+pub fn hw_chain_partition(
+    rom: &ConnectivityRom,
+    schedule: &CnSchedule,
+    graph: &TannerGraph,
+) -> ChainPartition {
+    schedule.validate(rom).expect("schedule must match the ROM");
+    let p = PARALLELISM;
+    let q_rows = rom.row_count();
+    let row_len = rom.row_len();
+    let n_check = graph.check_count();
+    assert_eq!(n_check, p * q_rows, "graph does not belong to the ROM's code");
+
+    let mut edge_order = vec![0u32; n_check * row_len];
+    let mut vars = vec![0usize; row_len];
+    for j in 0..n_check {
+        let u = j / q_rows;
+        let r = j % q_rows;
+        let start = graph.check_edges(j).start;
+        for (pos, slot) in vars.iter_mut().enumerate() {
+            *slot = graph.var_of_edge(start + pos);
+        }
+        for (i, &w) in schedule.row(r).iter().enumerate() {
+            let e = rom.entry(w as usize);
+            let t = (u + p - e.shift as usize) % p;
+            let m = e.group as usize * p + t;
+            let pos = vars.iter().position(|&v| v == m).unwrap_or_else(|| {
+                panic!("check {j}: schedule word {w} maps to variable {m}, not a graph neighbor")
+            });
+            edge_order[j * row_len + i] = pos as u32;
+        }
+    }
+    ChainPartition::new(p, Some(edge_order))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anneal::{optimize_schedule, AnnealOptions};
+    use crate::golden::GoldenModel;
+    use crate::memory::MemoryConfig;
+    use dvbs2_decoder::test_support::noisy_llrs;
+    use dvbs2_decoder::{DecoderConfig, QCheckArithmetic, QuantizedZigzagDecoder, Quantizer};
+    use dvbs2_ldpc::{CodeRate, DvbS2Code, FrameSize};
+    use std::sync::Arc;
+
+    fn partitioned_decoder(
+        code: &DvbS2Code,
+        schedule: &CnSchedule,
+        rom: &ConnectivityRom,
+        max_iterations: usize,
+        early_stop: bool,
+    ) -> QuantizedZigzagDecoder {
+        let graph = Arc::new(code.tanner_graph());
+        let partition = hw_chain_partition(rom, schedule, &graph);
+        QuantizedZigzagDecoder::with_partition(
+            graph,
+            QCheckArithmetic::lut(Quantizer::paper_6bit()),
+            DecoderConfig { max_iterations, early_stop, ..DecoderConfig::default() },
+            partition,
+        )
+    }
+
+    fn assert_bit_exact(code: &DvbS2Code, schedule: CnSchedule, rom: &ConnectivityRom) {
+        for &(max_iters, early_stop) in &[(30usize, true), (6usize, false)] {
+            let mut golden = GoldenModel::new(
+                code,
+                schedule.clone(),
+                Quantizer::paper_6bit(),
+                max_iters,
+                early_stop,
+            );
+            let mut sw = partitioned_decoder(code, &schedule, rom, max_iters, early_stop);
+            for seed in 0..3u64 {
+                let (_, llrs) = noisy_llrs(code, 2.6, 7100 + seed);
+                let channel = golden.quantize_channel(&llrs);
+                let g = golden.decode_quantized(&channel);
+                let s = sw.decode_quantized(&channel);
+                assert_eq!(g, s, "seed {seed} iters {max_iters} early_stop {early_stop}: diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_software_decoder_is_bit_exact_natural_schedule() {
+        let code = DvbS2Code::new(CodeRate::R1_2, FrameSize::Short).unwrap();
+        let rom = ConnectivityRom::build(code.params(), code.table());
+        assert_bit_exact(&code, CnSchedule::natural(&rom), &rom);
+    }
+
+    #[test]
+    fn partitioned_software_decoder_is_bit_exact_annealed_schedule() {
+        // An annealed schedule permutes word order within rows — exactly the
+        // order-dependence the edge permutation must absorb.
+        let code = DvbS2Code::new(CodeRate::R1_2, FrameSize::Short).unwrap();
+        let rom = ConnectivityRom::build(code.params(), code.table());
+        let annealed = optimize_schedule(
+            &rom,
+            MemoryConfig::default(),
+            AnnealOptions { moves: 300, ..AnnealOptions::default() },
+        )
+        .schedule;
+        assert_bit_exact(&code, annealed, &rom);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not belong")]
+    fn mismatched_graph_is_rejected() {
+        let code = DvbS2Code::new(CodeRate::R1_2, FrameSize::Short).unwrap();
+        let other = DvbS2Code::new(CodeRate::R2_3, FrameSize::Short).unwrap();
+        let rom = ConnectivityRom::build(code.params(), code.table());
+        let schedule = CnSchedule::natural(&rom);
+        hw_chain_partition(&rom, &schedule, &other.tanner_graph());
+    }
+}

@@ -3,11 +3,12 @@
 //! generator, the repro-string round-trip, the fault-injection suite and
 //! the failure shrinker.
 
-use dvbs2::hardware::MemoryConfig;
+use dvbs2::channel::Modulation;
+use dvbs2::hardware::{MemoryConfig, RamFault};
 use dvbs2::ldpc::{CodeRate, FrameSize};
 use dvbs2::oracle::{
-    run, run_case, run_fault_suite, shrink_case, ArithmeticKind, CaseSpec, OracleConfig,
-    ScheduleKind,
+    run, run_case, run_fault_differential, run_fault_suite, run_partition_sweep, shrink_case,
+    ArithmeticKind, CaseSpec, OracleConfig, ScheduleKind,
 };
 
 #[test]
@@ -56,6 +57,19 @@ fn generator_is_deterministic_and_varied() {
     assert!(
         a.iter().map(|case| case.memory.banks).collect::<std::collections::HashSet<_>>().len() > 1
     );
+    // The new dimensions are all exercised: several I/O widths (so the
+    // io_cycles contract sees more than the paper default), interleaved
+    // 8PSK frames, and injected RAM faults of both kinds.
+    assert!(
+        a.iter().map(|case| case.p_io).collect::<std::collections::HashSet<_>>().len() > 2,
+        "p_io must vary"
+    );
+    assert!(a.iter().any(|case| case.p_io == 10), "the paper default stays in the mix");
+    assert!(a.iter().any(|case| case.modulation == Modulation::Psk8));
+    assert!(a.iter().any(|case| case.modulation == Modulation::Bpsk));
+    assert!(a.iter().any(|case| matches!(case.fault, Some(RamFault::StuckWord { .. }))));
+    assert!(a.iter().any(|case| matches!(case.fault, Some(RamFault::FlippedBits { .. }))));
+    assert!(a.iter().any(|case| case.fault.is_none()));
 }
 
 #[test]
@@ -85,6 +99,88 @@ fn repro_string_round_trips() {
 }
 
 #[test]
+fn pre_pr4_repro_strings_still_parse() {
+    // Pin: every repro-string shape that existed before the fault/pio/mod
+    // dimensions must keep parsing, with the new fields at their defaults.
+    let shapes = [
+        "seed=7 rate=2/3 frame=short ebn0=2.4 q=6 arith=msshift2 iters=6 early=true",
+        "seed=7 rate=2/3 frame=short ebn0=2.4 q=6 arith=lut iters=6 early=false sched=annealed",
+        "seed=12 rate=1/4 frame=normal ebn0=0.8 q=5 arith=msshift1 iters=3 early=true \
+         sched=natural mem=2x1x3",
+        "seed=0 rate=9/10 frame=normal ebn0=4.4 q=6 arith=msshift3 iters=2 early=true \
+         sched=natural mem=8x2x4",
+    ];
+    for text in shapes {
+        let parsed: CaseSpec = text.parse().unwrap_or_else(|e| panic!("{text}: {e}"));
+        assert_eq!(parsed.p_io, 10, "{text}: p_io defaults to the paper value");
+        assert_eq!(parsed.modulation, Modulation::Bpsk, "{text}: modulation defaults to BPSK");
+        assert_eq!(parsed.fault, None, "{text}: no fault by default");
+    }
+}
+
+#[test]
+fn fault_and_pio_keys_round_trip() {
+    // Property-style round trip over the new keys: every generated case —
+    // and hand-built corner cases for both fault kinds — must survive
+    // Display -> FromStr unchanged.
+    let mut faulted = 0;
+    for index in 0..64 {
+        let case = CaseSpec::generate(0xFA17, index);
+        let text = case.to_string();
+        let parsed: CaseSpec = text.parse().unwrap_or_else(|e| panic!("{text}: {e}"));
+        assert_eq!(parsed, case, "{text}");
+        if case.fault.is_some() {
+            faulted += 1;
+            assert!(text.contains("fault="), "{text}: fault must be spelled out");
+        } else {
+            assert!(!text.contains("fault="), "{text}: healthy cases omit the key");
+        }
+    }
+    assert!(faulted > 4, "the generator must draw faults often enough to matter");
+
+    let base = CaseSpec {
+        seed: 3,
+        rate: CodeRate::R1_2,
+        frame: FrameSize::Short,
+        ebn0_db: 1.4,
+        quantizer_bits: 6,
+        arithmetic: ArithmeticKind::Lut,
+        max_iterations: 4,
+        early_stop: true,
+        schedule: ScheduleKind::Natural,
+        memory: MemoryConfig::default(),
+        p_io: 16,
+        modulation: Modulation::Psk8,
+        fault: Some(RamFault::StuckWord { word: 9, value: -31 }),
+    };
+    for fault in [
+        None,
+        Some(RamFault::StuckWord { word: 0, value: 0 }),
+        Some(RamFault::StuckWord { word: 123, value: 31 }),
+        Some(RamFault::FlippedBits { word: 7, mask: 1 }),
+        Some(RamFault::FlippedBits { word: 500, mask: 0b11111 }),
+    ] {
+        let case = CaseSpec { fault, ..base };
+        let text = case.to_string();
+        assert_eq!(text.parse::<CaseSpec>().unwrap(), case, "{text}");
+    }
+    // Explicit `fault=none` and the three modulation spellings parse too.
+    let legacy = "seed=7 rate=2/3 frame=short ebn0=2.4 q=6 arith=lut iters=6 early=true";
+    assert_eq!(format!("{legacy} fault=none").parse::<CaseSpec>().unwrap().fault, None);
+    for (name, modulation) in
+        [("bpsk", Modulation::Bpsk), ("qpsk", Modulation::Qpsk), ("8psk", Modulation::Psk8)]
+    {
+        let parsed = format!("{legacy} mod={name}").parse::<CaseSpec>().unwrap();
+        assert_eq!(parsed.modulation, modulation, "{name}");
+    }
+    // Malformed values are rejected, not defaulted.
+    assert!(format!("{legacy} pio=0").parse::<CaseSpec>().is_err(), "zero p_io");
+    assert!(format!("{legacy} mod=16qam").parse::<CaseSpec>().is_err(), "unknown modulation");
+    assert!(format!("{legacy} fault=stuck@3").parse::<CaseSpec>().is_err(), "missing value");
+    assert!(format!("{legacy} fault=melt@3:1").parse::<CaseSpec>().is_err(), "unknown kind");
+}
+
+#[test]
 fn single_case_replay_is_clean_and_deterministic() {
     let case = CaseSpec {
         seed: 99,
@@ -97,20 +193,58 @@ fn single_case_replay_is_clean_and_deterministic() {
         early_stop: true,
         schedule: ScheduleKind::Natural,
         memory: MemoryConfig::default(),
+        p_io: 10,
+        modulation: Modulation::Bpsk,
+        fault: None,
     };
     assert!(run_case(0, &case).is_empty());
     assert!(run_case(0, &case).is_empty(), "replay must be stable");
     // The timing contracts must also hold off the paper's operating point:
-    // an annealed schedule on a starved memory subsystem.
+    // an annealed schedule on a starved memory subsystem with a narrow I/O
+    // port, on an interleaved 8PSK frame.
     let stressed = CaseSpec {
         schedule: ScheduleKind::Annealed,
         memory: MemoryConfig { banks: 2, write_ports: 1, fu_latency: 3 },
+        p_io: 4,
+        modulation: Modulation::Psk8,
+        ebn0_db: case.ebn0_db + 2.0,
         ..case
     };
     assert!(
         run_case(0, &stressed).is_empty(),
         "annealed/starved case: {:?}",
         run_case(0, &stressed)
+    );
+    // And with a RAM fault: the faulted core must track the faulted golden
+    // model bit for bit while the healthy decoders keep their contracts.
+    let faulted = CaseSpec { fault: Some(RamFault::StuckWord { word: 5, value: 31 }), ..case };
+    assert!(run_case(0, &faulted).is_empty(), "faulted case: {:?}", run_case(0, &faulted));
+}
+
+#[test]
+fn bounded_fault_differential_is_clean() {
+    // Every case carries a RAM fault; the faulted core must stay bit-exact
+    // (decisions and message digests) against the equally-faulted golden
+    // model. The full >=500-case budget runs in the diff_fuzz CI job.
+    let report =
+        run_fault_differential(&OracleConfig { master_seed: 0xFA17, cases: 12, threads: 4 });
+    assert_eq!(report.cases, 12);
+    assert!(
+        report.clean(),
+        "fault-differential violations:\n{}",
+        report.violations.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}
+
+#[test]
+fn partition_sweep_covers_all_rates_bit_exactly() {
+    // The boundary-exact contract across all 11 Normal-frame rates.
+    let report = run_partition_sweep(0xB17, 4);
+    assert_eq!(report.rates_covered.len(), CodeRate::ALL.len());
+    assert!(
+        report.clean(),
+        "partition violations:\n{}",
+        report.violations.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("\n")
     );
 }
 
@@ -138,6 +272,9 @@ fn shrinker_minimizes_while_preserving_failure() {
         early_stop: true,
         schedule: ScheduleKind::Annealed,
         memory: MemoryConfig { banks: 8, write_ports: 2, fu_latency: 4 },
+        p_io: 16,
+        modulation: Modulation::Psk8,
+        fault: Some(RamFault::FlippedBits { word: 42, mask: 0b1101 }),
     };
     // Synthetic predicate: the "bug" needs at least 3 iterations and the
     // min-sum arithmetic; everything else is shrinkable noise.
@@ -152,12 +289,25 @@ fn shrinker_minimizes_while_preserving_failure() {
     assert!(!shrunk.early_stop, "early stop removed");
     assert_eq!(shrunk.schedule, ScheduleKind::Natural, "schedule normalized");
     assert_eq!(shrunk.memory, MemoryConfig::default(), "memory normalized");
+    assert_eq!(shrunk.p_io, 10, "I/O width normalized");
+    assert_eq!(shrunk.modulation, Modulation::Bpsk, "modulation normalized");
+    assert_eq!(shrunk.fault, None, "fault removed");
     assert_eq!((shrunk.seed, shrunk.rate), (failing.seed, failing.rate), "identity preserved");
     assert_eq!(shrunk.arithmetic, failing.arithmetic);
+
+    // A fault-dependent bug keeps a fault but simplifies it: the flipped
+    // mask shrinks to a single bit at the same word.
+    let fault_bug = |c: &CaseSpec| c.fault.is_some();
+    let kept = shrink_case(&failing, fault_bug);
+    assert_eq!(kept.fault, Some(RamFault::FlippedBits { word: 42, mask: 1 }));
+    let stuck = CaseSpec { fault: Some(RamFault::StuckWord { word: 9, value: -17 }), ..failing };
+    let kept = shrink_case(&stuck, fault_bug);
+    assert_eq!(kept.fault, Some(RamFault::StuckWord { word: 9, value: 0 }));
 
     // A predicate that always fails shrinks to the floor everywhere.
     let floor = shrink_case(&failing, |_| true);
     assert_eq!(floor.max_iterations, 1);
+    assert_eq!(floor.fault, None);
 
     // A predicate nothing satisfies returns the original case untouched.
     let untouched = shrink_case(&failing, |_| false);
