@@ -10,15 +10,21 @@
 //! (`--quick` shortens the per-variant measurement window.)
 
 use dvbs2::decoder::{
-    hard_decisions, syndrome_ok, CheckRule, DecodeResult, Decoder, DecoderConfig, FloodingDecoder,
-    Precision, ZigzagDecoder,
+    hard_decisions, syndrome_ok, BatchDecoder, CheckRule, DecodeResult, Decoder, DecoderConfig,
+    FloodingDecoder, Precision, QCheckArithmetic, QuantizedZigzagDecoder, Quantizer, ZigzagDecoder,
 };
+use dvbs2::hardware::{hw_chain_partition, CnSchedule, ConnectivityRom};
 use dvbs2::ldpc::{CodeRate, FrameSize, TannerGraph};
 use dvbs2::{Dvbs2System, SystemConfig};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// The sum-product throughput recorded by PR-4's `BENCH_decoder.json`
+/// (`flooding_sum_product_f32`, coded Mbit/s) — the fixed yardstick the
+/// table-driven boxplus lane is scored against.
+const PR4_SUM_PRODUCT_F32_MBPS: f64 = 0.140;
 
 /// The seed repository's min-sum check kernel, verbatim: branchy
 /// two-minima tracking and multiplicative sign application. Embedded so the
@@ -254,14 +260,107 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "zigzag_sum_product_f32",
             Box::new(ZigzagDecoder::new(Arc::clone(&graph), base.with_precision(Precision::F32))),
         ),
+        (
+            "flooding_table_sum_product_f32",
+            Box::new(FloodingDecoder::new(
+                Arc::clone(&graph),
+                base.with_rule(CheckRule::TableSumProduct).with_precision(Precision::F32),
+            )),
+        ),
     ];
+
+    // Hardware-partitioned quantized lanes: the natural schedule's chain
+    // partition (the same construction the differential oracle verifies
+    // bit-exact against the golden model), once through the reference
+    // LUT-indirection sweep and once through the permutation-baked fused
+    // planes. Same numerics, different memory layout — the pair isolates
+    // the fused layout's speedup.
+    let rom = ConnectivityRom::build(system.code().params(), system.code().table());
+    let schedule = CnSchedule::natural(&rom);
+    let partition = hw_chain_partition(&rom, &schedule, &graph);
+    variants.push((
+        "quantized_partitioned_indirect",
+        Box::new(QuantizedZigzagDecoder::with_partition_indirect(
+            Arc::clone(&graph),
+            QCheckArithmetic::lut(Quantizer::paper_6bit()),
+            base,
+            partition.clone(),
+        )),
+    ));
+    variants.push((
+        "quantized_partitioned_fused",
+        Box::new(QuantizedZigzagDecoder::with_partition(
+            Arc::clone(&graph),
+            QCheckArithmetic::lut(Quantizer::paper_6bit()),
+            base,
+            partition,
+        )),
+    ));
+
     let rows = measure_all(&mut variants, &frame.llrs, n, k, rounds, frames_per_window);
 
+    // Multi-frame batched lane: eight distinct noisy frames decoded per
+    // call through the frame-major interleaved planes. Same min-sum f32
+    // numerics as `flooding_min_sum_f32` (results are bit-identical per
+    // frame), so the ratio isolates the batching win.
+    const BATCH: usize = 8;
+    let batch_frames: Vec<Vec<f64>> =
+        (0..BATCH).map(|_| system.transmit_frame(&mut rng, 2.0).llrs).collect();
+    let batch_llrs: Vec<&[f64]> = batch_frames.iter().map(|f| f.as_slice()).collect();
+    let mut batched =
+        BatchDecoder::new(Arc::clone(&graph), min_sum.with_precision(Precision::F32), BATCH);
+    let batched_row = {
+        let warm = batched.decode_batch(&batch_llrs);
+        for r in &warm {
+            assert_eq!(r.iterations, 30, "batched lane: benchmark contract is 30 fixed iterations");
+        }
+        let mut best = f64::INFINITY;
+        let mut total_frames = 0usize;
+        let mut total_seconds = 0f64;
+        for _ in 0..rounds {
+            let start = Instant::now();
+            for _ in 0..frames_per_window {
+                std::hint::black_box(batched.decode_batch(std::hint::black_box(&batch_llrs)));
+            }
+            let seconds = start.elapsed().as_secs_f64();
+            best = best.min(seconds / (frames_per_window * BATCH) as f64);
+            total_frames += frames_per_window * BATCH;
+            total_seconds += seconds;
+        }
+        let m = Measurement {
+            name: "batched_min_sum_f32_x8",
+            coded_mbps: n as f64 / best / 1e6,
+            info_mbps: k as f64 / best / 1e6,
+            frames: total_frames,
+            seconds: total_seconds,
+        };
+        println!(
+            "{:<28} {:>8.2} Mbit/s coded  {:>8.2} Mbit/s info  (best of {} frames, {:.2} s)",
+            m.name, m.coded_mbps, m.info_mbps, m.frames, m.seconds
+        );
+        m
+    };
+
+    let mbps = |name: &str| {
+        rows.iter()
+            .chain(std::iter::once(&batched_row))
+            .find(|m| m.name == name)
+            .map(|m| m.coded_mbps)
+            .unwrap_or(0.0)
+    };
     let baseline_mbps = rows[0].coded_mbps;
-    let fast_mbps =
-        rows.iter().find(|m| m.name == "flooding_min_sum_f32").map(|m| m.coded_mbps).unwrap_or(0.0);
-    let speedup = fast_mbps / baseline_mbps;
+    let speedup = mbps("flooding_min_sum_f32") / baseline_mbps;
+    let speedup_table_vs_pr4 = mbps("flooding_table_sum_product_f32") / PR4_SUM_PRODUCT_F32_MBPS;
+    let speedup_fused_vs_indirect =
+        mbps("quantized_partitioned_fused") / mbps("quantized_partitioned_indirect");
+    let speedup_batched = batched_row.coded_mbps / mbps("flooding_min_sum_f32");
     println!("\nspeedup (flooding_min_sum_f32 vs seed): {speedup:.2}x");
+    println!(
+        "speedup (flooding_table_sum_product_f32 vs PR-4 sum-product {PR4_SUM_PRODUCT_F32_MBPS} \
+         Mbit/s): {speedup_table_vs_pr4:.2}x"
+    );
+    println!("speedup (quantized fused vs indirect partition): {speedup_fused_vs_indirect:.2}x");
+    println!("speedup (batched x{BATCH} vs single-frame min-sum f32): {speedup_batched:.2}x");
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -274,8 +373,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     json.push_str("  \"min_sum_alpha\": 0.8,\n");
     json.push_str("  \"units\": \"decoded Mbit/s; coded counts all N bits per frame, info counts the K systematic bits\",\n");
     json.push_str(&format!("  \"speedup_min_sum_f32_vs_seed\": {speedup:.3},\n"));
+    json.push_str(&format!("  \"pr4_sum_product_f32_mbps\": {PR4_SUM_PRODUCT_F32_MBPS:.3},\n"));
+    json.push_str(&format!("  \"speedup_sum_product_vs_pr4\": {speedup_table_vs_pr4:.3},\n"));
+    json.push_str(&format!(
+        "  \"speedup_quantized_fused_vs_indirect\": {speedup_fused_vs_indirect:.3},\n"
+    ));
+    json.push_str(&format!("  \"batch_frames\": {BATCH},\n"));
+    json.push_str(&format!("  \"speedup_batched_vs_single_min_sum_f32\": {speedup_batched:.3},\n"));
     json.push_str("  \"results\": [\n");
-    for (i, m) in rows.iter().enumerate() {
+    let all_rows: Vec<&Measurement> = rows.iter().chain(std::iter::once(&batched_row)).collect();
+    for (i, m) in all_rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"coded_mbps\": {:.3}, \"info_mbps\": {:.3}, \"frames\": {}, \"seconds\": {:.3}}}{}\n",
             m.name,
@@ -283,7 +390,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             m.info_mbps,
             m.frames,
             m.seconds,
-            if i + 1 < rows.len() { "," } else { "" }
+            if i + 1 < all_rows.len() { "," } else { "" }
         ));
     }
     json.push_str("  ]\n}\n");

@@ -143,13 +143,15 @@ fn main() {
     }
 
     if !args.skip_partition {
-        // Boundary-exact mode across all 11 Normal-frame rates.
+        // Boundary-exact mode across every defined rate/frame code point
+        // (11 Normal-frame rates + 10 Short-frame rates).
         let pr = oracle::run_partition_sweep(args.seed, args.threads);
         if pr.clean() {
             println!(
-                "partition sweep: PASS ({} Normal-frame cases across {} rates, bit-exact)",
+                "partition sweep: PASS ({} cases across {} rates x {} frame sizes, bit-exact)",
                 pr.cases,
-                pr.rates_covered.len()
+                pr.rates_covered.len(),
+                pr.frames_covered.len()
             );
         } else {
             failed = true;

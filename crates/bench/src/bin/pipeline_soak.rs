@@ -331,12 +331,16 @@ fn main() {
     let parity_info_mbps = info_megabits(&table, &stream) / parity.seconds;
     let parity_coded_mbps = coded_megabits(&stream) / parity.seconds;
     let speedup = reference_seconds / parity.seconds;
+    let speedup_note = if options.workers == 1 {
+        "single vCPU (no speedup comparison)".to_string()
+    } else {
+        format!("{speedup:.2}x vs single thread")
+    };
     println!(
-        "parity: {:.1} info Mbit/s ({:.1} coded), {:.2}x vs single thread, \
+        "parity: {:.1} info Mbit/s ({:.1} coded), {speedup_note}, \
          early-stop rate {:.0}%, mean {:.1} iterations",
         parity_info_mbps,
         parity_coded_mbps,
-        speedup,
         100.0 * parity.stats.early_stop_rate(),
         parity.stats.mean_iterations(),
     );
@@ -385,15 +389,21 @@ fn main() {
         "  \"units\": \"sustained decoded Mbit/s over the whole phase, \
          frame generation excluded\",\n",
     );
+    // On a single-vCPU host a parallel-vs-serial ratio only measures pipeline
+    // overhead, so flag the situation instead of recording a misleading number.
+    let speedup_field = if options.workers == 1 {
+        "\"single_vcpu\": true".to_string()
+    } else {
+        format!("\"speedup_vs_single_thread\": {speedup:.3}")
+    };
     json.push_str(&format!(
         "  \"parity\": {{\"frames\": {}, \"seconds\": {:.3}, \"info_mbps\": {:.3}, \
-         \"coded_mbps\": {:.3}, \"speedup_vs_single_thread\": {:.3}, \
+         \"coded_mbps\": {:.3}, {speedup_field}, \
          \"early_stop_rate\": {:.4}, \"mean_iterations\": {:.3}}},\n",
         options.frames,
         parity.seconds,
         parity_info_mbps,
         parity_coded_mbps,
-        speedup,
         parity.stats.early_stop_rate(),
         parity.stats.mean_iterations(),
     ));

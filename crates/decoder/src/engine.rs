@@ -14,7 +14,7 @@
 //! `TannerGraph::var_edges` yields — so a-posteriori totals are
 //! bit-identical to a per-variable gather.
 
-use crate::llr_ops::{CheckRule, LlrFloat};
+use crate::llr_ops::{boxplus_correction_table, boxplus_table_with, CheckRule, LlrFloat};
 use dvbs2_ldpc::TannerGraph;
 
 /// Message precision of a belief-propagation decoder.
@@ -328,6 +328,262 @@ pub(crate) fn blocked_min_sum_pass<F: LlrFloat>(
     }
 }
 
+/// Check-node half-iteration for the table-driven sum-product rule over the
+/// transposed planes: the prefix/suffix structure of the scalar
+/// `TableSumProduct` kernel run column by column, so the serial boxplus
+/// recurrences of a whole stripe of checks interleave. Check by check the
+/// chain of dependent table lookups is the bottleneck (each one must retire
+/// before the next starts); column by column every lane's chain advances one
+/// link per pass over a dense array, and the out-of-order core overlaps
+/// hundreds of them.
+///
+/// All accumulation runs in `f32` exactly like the scalar kernel, and the
+/// `c2v` plane doubles as the suffix store — `f32 -> F -> f32` round-trips
+/// are lossless in both precisions, so per check the operation sequence (and
+/// therefore the output, bit for bit) is identical to
+/// [`CheckRule::extrinsic_t`] on that check's messages.
+pub(crate) fn blocked_table_sum_product_pass<F: LlrFloat>(
+    blocked: &BlockedChecks,
+    totals: &[F],
+    v2c_t: &mut [F],
+    c2v_t: &mut [F],
+) {
+    let table = boxplus_correction_table();
+    let as32 = |x: F| x.to_f64() as f32;
+    let of32 = |x: f32| F::from_f64(x as f64);
+    let slot_vars = &blocked.slot_vars[..];
+    for class in &blocked.classes {
+        let d = class.degree;
+        let m = class.checks.len();
+        let base = class.slot_base;
+        if d < 3 {
+            // Degenerate checks take the rule's special-cased path.
+            let mut tmp_in = [F::ZERO; 2];
+            let mut tmp_out = [F::ZERO; 2];
+            for i in 0..m {
+                for (j, t) in tmp_in[..d].iter_mut().enumerate() {
+                    let s = base + j * m + i;
+                    *t = totals[slot_vars[s] as usize] - c2v_t[s];
+                }
+                CheckRule::TableSumProduct.extrinsic_t(&tmp_in[..d], &mut tmp_out[..d]);
+                for (j, (&inp, &out)) in tmp_in[..d].iter().zip(&tmp_out[..d]).enumerate() {
+                    let s = base + j * m + i;
+                    v2c_t[s] = inp;
+                    c2v_t[s] = out;
+                }
+            }
+            continue;
+        }
+        let mut i0 = 0;
+        while i0 < m {
+            let b = STRIPE.min(m - i0);
+            // Gather every column first: the suffix sweep below overwrites
+            // `c2v`, which the gather still reads.
+            for j in 0..d {
+                let col = base + j * m + i0;
+                let vars = &slot_vars[col..col + b];
+                for i in 0..b {
+                    v2c_t[col + i] = totals[vars[i] as usize] - c2v_t[col + i];
+                }
+            }
+            // Suffix sweep into the c2v plane:
+            // suffix[j] = in[j] ⊞ suffix[j+1], seeded with in[d-1] rounded
+            // once to f32 (column 0's suffix is never read, so it is never
+            // computed).
+            let tail = base + (d - 1) * m + i0;
+            for i in 0..b {
+                c2v_t[tail + i] = of32(as32(v2c_t[tail + i]));
+            }
+            for j in (1..d - 1).rev() {
+                let col = base + j * m + i0;
+                for i in 0..b {
+                    let s =
+                        boxplus_table_with(table, as32(v2c_t[col + i]), as32(c2v_t[col + m + i]));
+                    c2v_t[col + i] = of32(s);
+                }
+            }
+            // Forward sweep: out[j] = prefix[j-1] ⊞ suffix[j+1], reading
+            // each suffix column before the next iteration overwrites it.
+            let mut prefix = [0.0f32; STRIPE];
+            let col0 = base + i0;
+            for i in 0..b {
+                prefix[i] = as32(v2c_t[col0 + i]);
+            }
+            for i in 0..b {
+                c2v_t[col0 + i] = c2v_t[col0 + m + i];
+            }
+            for j in 1..d - 1 {
+                let col = base + j * m + i0;
+                for i in 0..b {
+                    let out = boxplus_table_with(table, prefix[i], as32(c2v_t[col + m + i]));
+                    prefix[i] = boxplus_table_with(table, prefix[i], as32(v2c_t[col + i]));
+                    c2v_t[col + i] = of32(out);
+                }
+            }
+            for i in 0..b {
+                c2v_t[tail + i] = of32(prefix[i]);
+            }
+            i0 += b;
+        }
+    }
+}
+
+/// Multi-frame check-node half-iteration over the transposed planes: the
+/// batched counterpart of [`blocked_min_sum_pass`].
+///
+/// Layout: every plane slot and every variable owns `batch` consecutive
+/// lanes, one per frame (`plane[slot * batch + frame]`,
+/// `totals[var * batch + frame]` — frame-major interleaving, the GPU
+/// multi-codeword trick). One `slot_vars` load then serves `batch` gathers
+/// from consecutive addresses, amortizing the only indexed access of the
+/// kernel across every frame in the batch; all other loops run over
+/// contiguous lane runs exactly like the single-frame kernel.
+///
+/// Stripes shrink from [`STRIPE`] checks to `STRIPE / batch` so the state
+/// arrays keep the same L1 footprint. Per (check, frame) lane the arithmetic
+/// is identical, in identical order, to [`blocked_min_sum_pass`] on that
+/// frame alone — striping groups lanes but never reorders a check's own
+/// recurrence — so batched decodes are bit-identical per frame to
+/// single-frame decodes at the same precision.
+///
+/// # Panics
+///
+/// Debug-asserts `1 <= batch <= STRIPE`.
+pub(crate) fn batched_min_sum_pass<F: LlrFloat>(
+    blocked: &BlockedChecks,
+    rule: &CheckRule,
+    batch: usize,
+    totals: &[F],
+    v2c_t: &mut [F],
+    c2v_t: &mut [F],
+    correct: impl Fn(F) -> F,
+) {
+    debug_assert!((1..=STRIPE).contains(&batch), "batch {batch} out of range");
+    let slot_vars = &blocked.slot_vars[..];
+    for class in &blocked.classes {
+        let d = class.degree;
+        let m = class.checks.len();
+        let base = class.slot_base;
+        if d < 3 {
+            // Degenerate checks take the rule's special-cased path, one
+            // (check, frame) lane at a time.
+            let mut tmp_in = [F::ZERO; 2];
+            let mut tmp_out = [F::ZERO; 2];
+            for i in 0..m {
+                for fb in 0..batch {
+                    for (j, t) in tmp_in[..d].iter_mut().enumerate() {
+                        let s = base + j * m + i;
+                        *t = totals[slot_vars[s] as usize * batch + fb] - c2v_t[s * batch + fb];
+                    }
+                    rule.extrinsic_t(&tmp_in[..d], &mut tmp_out[..d]);
+                    for (j, (&inp, &out)) in tmp_in[..d].iter().zip(&tmp_out[..d]).enumerate() {
+                        let s = base + j * m + i;
+                        v2c_t[s * batch + fb] = inp;
+                        c2v_t[s * batch + fb] = out;
+                    }
+                }
+            }
+            continue;
+        }
+        let checks_per_stripe = (STRIPE / batch).max(1);
+        let mut i0 = 0;
+        while i0 < m {
+            let bc = checks_per_stripe.min(m - i0);
+            let lanes = bc * batch;
+            let mut min1 = [F::INFINITY; STRIPE];
+            let mut min2 = [F::INFINITY; STRIPE];
+            let mut min_col = [0u32; STRIPE];
+            let mut negative_signs = [0u32; STRIPE];
+            for j in 0..d {
+                let col = base + j * m + i0;
+                let vars = &slot_vars[col..col + bc];
+                let pbase = col * batch;
+                let v2c_col = &mut v2c_t[pbase..pbase + lanes];
+                let c2v_col = &c2v_t[pbase..pbase + lanes];
+                let jj = j as u32;
+                for (i, &var) in vars.iter().enumerate() {
+                    let tb = var as usize * batch;
+                    let lb = i * batch;
+                    for fb in 0..batch {
+                        v2c_col[lb + fb] = totals[tb + fb] - c2v_col[lb + fb];
+                    }
+                }
+                for l in 0..lanes {
+                    let x = v2c_col[l];
+                    let mag = x.abs();
+                    let smaller = mag < min1[l];
+                    min2[l] = min2[l].min(min1[l].max(mag));
+                    min1[l] = min1[l].min(mag);
+                    let mask = (smaller as u32).wrapping_neg();
+                    min_col[l] = (jj & mask) | (min_col[l] & !mask);
+                    negative_signs[l] += x.is_negative() as u32;
+                }
+            }
+            for j in 0..d {
+                let col = base + j * m + i0;
+                let pbase = col * batch;
+                let v2c_col = &v2c_t[pbase..pbase + lanes];
+                let c2v_col = &mut c2v_t[pbase..pbase + lanes];
+                let jj = j as u32;
+                for l in 0..lanes {
+                    let mag = correct(F::select(min_col[l] == jj, min2[l], min1[l]));
+                    let flip = (negative_signs[l] + v2c_col[l].is_negative() as u32) & 1 == 1;
+                    c2v_col[l] = mag.flip_sign_if(flip);
+                }
+            }
+            i0 += bc;
+        }
+    }
+}
+
+/// Batched a-posteriori totals: per frame identical (bit-identical
+/// summation order) to [`accumulate_totals_slotted`] — ascending edge
+/// order, channel LLR added last — with every addition amortizing its
+/// `edge_vars`/`edge_to_slot` loads across the `batch` frame lanes.
+#[inline]
+pub(crate) fn batched_accumulate_totals_slotted<F: LlrFloat>(
+    edge_vars: &[u32],
+    edge_to_slot: &[u32],
+    batch: usize,
+    llr: &[F],
+    c2v_t: &[F],
+    totals: &mut [F],
+) {
+    totals.fill(F::ZERO);
+    for (&v, &slot) in edge_vars.iter().zip(edge_to_slot) {
+        let tb = v as usize * batch;
+        let sb = slot as usize * batch;
+        for fb in 0..batch {
+            totals[tb + fb] += c2v_t[sb + fb];
+        }
+    }
+    for (t, &l) in totals.iter_mut().zip(llr) {
+        *t = l + *t;
+    }
+}
+
+/// [`syndrome_ok_totals`] for one frame lane of a batched totals plane.
+pub(crate) fn syndrome_ok_totals_lane<F: LlrFloat>(
+    graph: &TannerGraph,
+    totals: &[F],
+    batch: usize,
+    frame: usize,
+) -> bool {
+    let offsets = graph.check_offsets();
+    let edge_vars = graph.edge_vars();
+    for c in 0..graph.check_count() {
+        let range = offsets[c] as usize..offsets[c + 1] as usize;
+        let mut parity = 0u32;
+        for &v in &edge_vars[range] {
+            parity ^= totals[v as usize * batch + frame].is_negative() as u32;
+        }
+        if parity != 0 {
+            return false;
+        }
+    }
+    true
+}
+
 /// `true` when the hard decisions implied by the totals' signs satisfy
 /// every check equation. Equivalent to `syndrome_ok(graph,
 /// &hard_decisions(totals))` but streams the check-major edge layout
@@ -498,6 +754,46 @@ mod tests {
                 assert_eq!(c2v_t[slot], want[k], "check {c} edge {e}: blocked kernel");
             }
         }
+    }
+
+    #[test]
+    fn blocked_table_pass_matches_scalar_kernel_per_check() {
+        // The column-major table-boxplus sweep must emit, check for check,
+        // exactly the scalar `extrinsic_t` outputs — same f32 accumulation,
+        // same operation order — in both plane precisions.
+        fn run<F: LlrFloat>(seed: u64) {
+            let (_, graph) = small_code();
+            let blocked = BlockedChecks::new(&graph);
+            let edges = graph.edge_count();
+            let mut rng = crate::test_support::SplitMix64(seed);
+            let totals: Vec<F> =
+                (0..graph.var_count()).map(|_| F::from_f64(8.0 * rng.next_f64() - 4.0)).collect();
+            let c2v_start: Vec<F> =
+                (0..edges).map(|_| F::from_f64(2.0 * rng.next_f64() - 1.0)).collect();
+            let mut v2c_t = vec![F::ZERO; edges];
+            let mut c2v_t = c2v_start.clone();
+            blocked_table_sum_product_pass(&blocked, &totals, &mut v2c_t, &mut c2v_t);
+
+            let edge_vars = graph.edge_vars();
+            for c in 0..graph.check_count() {
+                let range = graph.check_edges(c);
+                let ins: Vec<F> = range
+                    .clone()
+                    .map(|e| {
+                        totals[edge_vars[e] as usize] - c2v_start[blocked.edge_to_slot[e] as usize]
+                    })
+                    .collect();
+                let mut want = vec![F::ZERO; ins.len()];
+                CheckRule::TableSumProduct.extrinsic_t(&ins, &mut want);
+                for (k, e) in range.enumerate() {
+                    let slot = blocked.edge_to_slot[e] as usize;
+                    assert_eq!(v2c_t[slot], ins[k], "check {c} edge {e}: gather");
+                    assert_eq!(c2v_t[slot], want[k], "check {c} edge {e}: extrinsic");
+                }
+            }
+        }
+        run::<f32>(29);
+        run::<f64>(31);
     }
 
     #[test]

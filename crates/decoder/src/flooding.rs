@@ -13,8 +13,9 @@
 //! its contiguous slice of the planes — no per-check scratch copies.
 
 use crate::engine::{
-    accumulate_totals, accumulate_totals_slotted, blocked_min_sum_pass, fused_check_pass,
-    hard_decisions_into, load_llrs, syndrome_ok_totals, BlockedChecks, Precision,
+    accumulate_totals, accumulate_totals_slotted, blocked_min_sum_pass,
+    blocked_table_sum_product_pass, fused_check_pass, hard_decisions_into, load_llrs,
+    syndrome_ok_totals, BlockedChecks, Precision,
 };
 use crate::llr_ops::{CheckRule, LlrFloat};
 use crate::{DecodeResult, Decoder, DecoderConfig};
@@ -93,12 +94,12 @@ impl<F: LlrFloat> Engine<F> {
 
         for _ in 0..config.max_iterations {
             iterations += 1;
-            // Both half-iterations per pass. The min-sum rules run the
-            // column-major kernel over the transposed planes (dense,
-            // branchless, lane-parallel) followed by the edge-order totals
-            // accumulation through the slot permutation; sum-product
-            // streams check by check with the kernel fused between gather
-            // and scatter.
+            // Both half-iterations per pass. The min-sum and table
+            // sum-product rules run column-major kernels over the
+            // transposed planes (dense, branchless, lane-parallel) followed
+            // by the edge-order totals accumulation through the slot
+            // permutation; exact sum-product streams check by check with
+            // the kernel fused between gather and scatter.
             match config.rule {
                 CheckRule::SumProduct => {
                     fused_check_pass(
@@ -108,6 +109,26 @@ impl<F: LlrFloat> Engine<F> {
                         &self.totals,
                         &mut self.v2c,
                         &mut self.c2v,
+                        &mut self.totals_next,
+                    );
+                }
+                CheckRule::TableSumProduct => {
+                    // The table rule's serial boxplus chains go through the
+                    // column-major kernel (per check bit-identical to the
+                    // scalar `extrinsic_t`, see the kernel doc); totals then
+                    // accumulate in ascending edge order like the min-sum
+                    // rules.
+                    blocked_table_sum_product_pass(
+                        blocked,
+                        &self.totals,
+                        &mut self.v2c,
+                        &mut self.c2v,
+                    );
+                    accumulate_totals_slotted(
+                        edge_vars,
+                        blocked.edge_to_slot(),
+                        &self.llr,
+                        &self.c2v,
                         &mut self.totals_next,
                     );
                 }
@@ -209,6 +230,7 @@ impl Decoder for FloodingDecoder {
     fn name(&self) -> &'static str {
         match self.config.rule {
             CheckRule::SumProduct => "flooding sum-product",
+            CheckRule::TableSumProduct => "flooding table sum-product",
             CheckRule::NormalizedMinSum(_) => "flooding normalized min-sum",
             CheckRule::OffsetMinSum(_) => "flooding offset min-sum",
         }

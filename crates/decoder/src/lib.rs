@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+mod batch;
 mod bitflip;
 mod de;
 mod engine;
@@ -51,12 +52,13 @@ mod zigzag;
 #[doc(hidden)]
 pub mod test_support;
 
+pub use batch::BatchDecoder;
 pub use bitflip::BitFlippingDecoder;
 pub use de::{Density, DensityEvolution};
 pub use engine::{Precision, LLR_CLAMP};
 pub use flooding::FloodingDecoder;
 pub use layered::LayeredDecoder;
-pub use llr_ops::{boxplus, boxplus_min, boxplus_t, CheckRule, LlrFloat};
+pub use llr_ops::{boxplus, boxplus_min, boxplus_t, boxplus_table, CheckRule, LlrFloat};
 pub use qdecoder::{ChainPartition, QuantizedZigzagDecoder};
 pub use quant::{QBoxplus, QCheckArithmetic, Quantizer};
 pub use stopping::{

@@ -20,6 +20,7 @@
 
 use std::fmt::Debug;
 use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+use std::sync::OnceLock;
 
 /// Floating-point scalar usable as an LLR message (`f32` or `f64`).
 ///
@@ -177,6 +178,64 @@ pub fn boxplus_min(a: f64, b: f64) -> f64 {
     a.abs().min(b.abs()).copysign(a) * b.signum()
 }
 
+/// Entries in the Jacobian-log correction table.
+pub(crate) const BOXPLUS_TABLE_LEN: usize = 128;
+/// Table resolution: bins of `1/16` LLR, covering magnitudes `[0, 8)`.
+/// `ln(1 + e^{-8}) ≈ 3.4e-4`, well below the 6-bit quantizer step the
+/// hardware itself tolerates, so the tail is clamped to zero.
+const BOXPLUS_TABLE_BINS_PER_UNIT: f32 = 16.0;
+
+/// The correction table `c[i] ≈ ln(1 + e^{-x})`, sampled at bin midpoints.
+///
+/// Built once per process; 128 × 4 bytes = 512 B, so it lives in L1 for the
+/// whole decode. Entries are computed in `f64` and rounded once to `f32`.
+pub(crate) fn boxplus_correction_table() -> &'static [f32; BOXPLUS_TABLE_LEN] {
+    static TABLE: OnceLock<[f32; BOXPLUS_TABLE_LEN]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0.0f32; BOXPLUS_TABLE_LEN];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let x = (i as f64 + 0.5) / BOXPLUS_TABLE_BINS_PER_UNIT as f64;
+            *entry = (-x).exp().ln_1p() as f32;
+        }
+        table
+    })
+}
+
+/// `ln(1 + e^{-x})` looked up from the correction table (`x >= 0`).
+///
+/// Branchless: whether `x` lands in the table or in the clamped-to-zero
+/// tail is data-dependent and near-random on saturated messages, so an
+/// `if idx < LEN` here mispredicts on a large fraction of lookups. The
+/// wrapped load is masked to zero instead — bit-identical to the branchy
+/// form (out-of-range indices read a garbage entry that the multiply by
+/// `0.0` annihilates).
+#[inline]
+fn table_correction(table: &[f32; BOXPLUS_TABLE_LEN], x: f32) -> f32 {
+    let idx = (x * BOXPLUS_TABLE_BINS_PER_UNIT) as usize;
+    let in_range = (idx < BOXPLUS_TABLE_LEN) as u32 as f32;
+    table[idx % BOXPLUS_TABLE_LEN] * in_range
+}
+
+/// Table-driven pairwise boxplus: `max*` with both Jacobian-log correction
+/// terms read from `boxplus_correction_table` instead of evaluated with
+/// transcendentals.
+///
+/// The computation is performed entirely in `f32` — including when called
+/// from an `f64` decoder build — so the approximation is deterministic
+/// across message precisions (the table itself is the only rounding source).
+#[inline]
+pub fn boxplus_table(a: f32, b: f32) -> f32 {
+    let table = boxplus_correction_table();
+    boxplus_table_with(table, a, b)
+}
+
+/// [`boxplus_table`] with the table pointer hoisted out of the inner loop.
+#[inline]
+pub(crate) fn boxplus_table_with(table: &[f32; BOXPLUS_TABLE_LEN], a: f32, b: f32) -> f32 {
+    let sign_min = a.abs().min(b.abs()).copysign(a) * b.signum();
+    sign_min + table_correction(table, (a + b).abs()) - table_correction(table, (a - b).abs())
+}
+
 /// A check-node update rule: how the magnitudes of incoming messages
 /// combine. Decoders are generic over this to compare sum-product against
 /// min-sum variants (one of the ablations called out in DESIGN.md).
@@ -185,6 +244,12 @@ pub enum CheckRule {
     /// Exact sum-product (Eq. 5).
     #[default]
     SumProduct,
+    /// Sum-product with both Jacobian-log correction terms read from a
+    /// 128-entry table ([`boxplus_table`]) instead of computed with
+    /// `exp`/`ln_1p` — the throughput variant of [`CheckRule::SumProduct`]
+    /// (`CheckRule::SumProduct`). Always evaluated in `f32` internally, so
+    /// its output is identical in `f32` and `f64` decoder builds.
+    TableSumProduct,
     /// Min-sum with multiplicative normalization `alpha` in `(0, 1]`.
     NormalizedMinSum(f64),
     /// Min-sum with additive offset `beta >= 0` subtracted from magnitudes.
@@ -228,6 +293,7 @@ impl CheckRule {
             }
             _ => match self {
                 CheckRule::SumProduct => sum_product_extrinsic(incoming, out),
+                CheckRule::TableSumProduct => table_sum_product_extrinsic(incoming, out),
                 CheckRule::NormalizedMinSum(alpha) => {
                     let alpha = F::from_f64(*alpha);
                     min_sum_extrinsic(incoming, out, |m| m * alpha)
@@ -244,7 +310,9 @@ impl CheckRule {
     /// message (degree-2 check node).
     fn degrade<F: LlrFloat>(&self, x: F) -> F {
         match *self {
-            CheckRule::SumProduct => x,
+            // Degree-2 pass-through is exact under sum-product, so the
+            // table variant needs no correction either.
+            CheckRule::SumProduct | CheckRule::TableSumProduct => x,
             CheckRule::NormalizedMinSum(alpha) => x * F::from_f64(alpha),
             CheckRule::OffsetMinSum(beta) => (x.abs() - F::from_f64(beta)).max(F::ZERO).copysign(x),
         }
@@ -268,6 +336,34 @@ fn sum_product_extrinsic<F: LlrFloat>(incoming: &[F], out: &mut [F]) {
         out[i] = if i + 1 < d { boxplus_t(prefix, suffix) } else { prefix };
         prefix = boxplus_t(prefix, incoming[i]);
     }
+}
+
+/// Forward/backward table-driven sum-product extrinsic for `d >= 3`.
+///
+/// Same prefix/suffix structure as [`sum_product_extrinsic`], with every
+/// pairwise boxplus replaced by the table lookup. All arithmetic runs in
+/// `f32` regardless of `F`: inputs are rounded once on entry, so the `f64`
+/// instantiation produces bit-identical outputs to the `f32` one (for
+/// inputs exactly representable in `f32`, i.e. everything an `f32` decode
+/// would feed it).
+fn table_sum_product_extrinsic<F: LlrFloat>(incoming: &[F], out: &mut [F]) {
+    let table = boxplus_correction_table();
+    let d = incoming.len();
+    debug_assert!(d >= 3);
+    let mut suffix = [0.0f32; 64];
+    assert!(d <= suffix.len(), "check degree {d} exceeds kernel stack buffer");
+    // suffix[i] = incoming[i+1] ⊞ ... ⊞ incoming[d-1]
+    suffix[d - 1] = incoming[d - 1].to_f64() as f32;
+    for i in (0..d - 1).rev() {
+        suffix[i] = boxplus_table_with(table, incoming[i].to_f64() as f32, suffix[i + 1]);
+    }
+    let mut prefix = incoming[0].to_f64() as f32;
+    out[0] = F::from_f64(suffix[1] as f64);
+    for i in 1..d - 1 {
+        out[i] = F::from_f64(boxplus_table_with(table, prefix, suffix[i + 1]) as f64);
+        prefix = boxplus_table_with(table, prefix, incoming[i].to_f64() as f32);
+    }
+    out[d - 1] = F::from_f64(prefix as f64);
 }
 
 /// Two-minima min-sum extrinsic for `d >= 3` with a magnitude correction.
@@ -354,7 +450,11 @@ mod tests {
     fn reference_extrinsic(rule: &CheckRule, incoming: &[f64]) -> Vec<f64> {
         let fold = |vals: Vec<f64>| -> f64 {
             match rule {
-                CheckRule::SumProduct => vals.into_iter().reduce(boxplus).unwrap_or(0.0),
+                // The table rule's reference is the exact fold; tolerance is
+                // the caller's business.
+                CheckRule::SumProduct | CheckRule::TableSumProduct => {
+                    vals.into_iter().reduce(boxplus).unwrap_or(0.0)
+                }
                 CheckRule::NormalizedMinSum(alpha) => {
                     let sign: f64 =
                         vals.iter().map(|v| if *v < 0.0 { -1.0 } else { 1.0 }).product();
@@ -423,6 +523,50 @@ mod tests {
         let mut out = [123.0];
         CheckRule::SumProduct.extrinsic(&[5.0], &mut out);
         assert_eq!(out, [0.0]);
+    }
+
+    #[test]
+    fn table_boxplus_tracks_exact_boxplus() {
+        // Midpoint sampling bounds each correction term's error by half a
+        // bin width times the slope bound |d/dx ln(1+e^-x)| <= 1: two terms
+        // stay within ~0.07 of the transcendental form.
+        for &(a, b) in &[(0.3, 0.7), (-1.2, 2.5), (4.0, -4.0), (0.01, 8.0), (-3.0, -3.0)] {
+            let approx = boxplus_table(a as f32, b as f32) as f64;
+            assert!((approx - boxplus(a, b)).abs() < 0.07, "({a},{b}): {approx}");
+        }
+        // Tail clamp: far past the table the exact value is min-sum anyway.
+        assert!((boxplus_table(50.0, -60.0) as f64 + 50.0).abs() < 1e-3);
+        // Zero annihilates exactly (both corrections cancel).
+        assert_eq!(boxplus_table(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn table_sum_product_tracks_exact_extrinsic() {
+        let incoming = [1.5, -0.7, 2.2, 0.3, -4.0, 1.1];
+        let mut out = [0.0; 6];
+        CheckRule::TableSumProduct.extrinsic(&incoming, &mut out);
+        let want = reference_extrinsic(&CheckRule::SumProduct, &incoming);
+        for (o, w) in out.iter().zip(&want) {
+            // d-1 pairwise table ops, each within ~0.07.
+            assert!((o - w).abs() < 0.4, "{o} vs {w}");
+            assert_eq!(o.signum(), w.signum());
+        }
+    }
+
+    #[test]
+    fn table_sum_product_is_deterministic_across_precisions() {
+        // The kernel computes in f32 internally, so feeding it the same
+        // f32-representable values through the f32 and f64 instantiations
+        // must produce bit-identical outputs.
+        let incoming32: Vec<f32> = vec![1.5, -0.7, 2.2, 0.3, -4.0, 1.1, 0.0, -2.25];
+        let incoming64: Vec<f64> = incoming32.iter().map(|&x| x as f64).collect();
+        let mut out32 = vec![0.0f32; incoming32.len()];
+        let mut out64 = vec![0.0f64; incoming64.len()];
+        CheckRule::TableSumProduct.extrinsic_t(&incoming32, &mut out32);
+        CheckRule::TableSumProduct.extrinsic_t(&incoming64, &mut out64);
+        for (a, b) in out32.iter().zip(&out64) {
+            assert_eq!(*a as f64, *b, "f32/f64 table kernels diverged");
+        }
     }
 
     #[test]

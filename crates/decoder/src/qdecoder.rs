@@ -10,7 +10,7 @@
 
 #![allow(clippy::needless_range_loop)] // one index drives several parallel slices
 
-use crate::quant::{QCheckArithmetic, Quantizer};
+use crate::quant::{QBoxplus, QCheckArithmetic, Quantizer};
 use crate::stopping::{hard_decisions_int, hard_decisions_int_into, syndrome_ok};
 use crate::{DecodeResult, Decoder, DecoderConfig};
 use dvbs2_ldpc::{BitVec, TannerGraph};
@@ -62,6 +62,92 @@ impl ChainPartition {
     }
 }
 
+/// Construction-time fusion of a [`ChainPartition`] into dedicated message
+/// planes: the per-check schedule permutation is baked into the plane
+/// *layout* so the partitioned sweep and both variable-node passes run with
+/// zero extra indirection in their inner loops.
+///
+/// Layout: check `c` (lane `u = c / q_rows`, residue row `r = c % q_rows`)
+/// owns the fixed-stride plane row `r · lanes + u` — the rows are laid out
+/// in **sweep traversal order**, so the residue-major check sweep walks the
+/// planes strictly linearly. Within a row, positions `0..info_d` hold the
+/// check's information inputs already in hardware-schedule order (the
+/// permutation is applied once here, at build time), and the last two
+/// positions are written in place with the left/right parity-chain inputs
+/// each sweep. The variable-node side gathers and scatters through
+/// [`var_slots`](Self::var_slots), the per-variable list of absolute plane
+/// indices, computed once from the same permutation.
+#[derive(Debug, Clone)]
+struct FusedPlan {
+    lanes: usize,
+    q_rows: usize,
+    /// Plane row stride: `info_d + 2` (check 0 uses one slot fewer).
+    stride: usize,
+    /// Uniform per-check information degree.
+    info_d: usize,
+    /// For every information edge, in variable-major order (`v` ascending,
+    /// then that variable's edges in graph order): its absolute index into
+    /// the fused planes.
+    var_slots: Vec<u32>,
+}
+
+impl FusedPlan {
+    /// Bakes `partition`'s edge order (identity if `None`) into the fused
+    /// layout for `graph`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checks do not all have the same information degree —
+    /// the fixed-stride row layout (and the hardware's functional-unit
+    /// array) needs uniform rows. Every DVB-S2 code satisfies this.
+    fn build(graph: &TannerGraph, partition: &ChainPartition) -> FusedPlan {
+        let n_check = graph.check_count();
+        let k = graph.info_len();
+        let lanes = partition.lanes();
+        let q_rows = n_check / lanes;
+        let info_d = graph.check_edges(0).len() - 1;
+        for c in 1..n_check {
+            assert_eq!(
+                graph.check_edges(c).len() - 2,
+                info_d,
+                "check {c}: non-uniform information degree; fused layout needs uniform rows"
+            );
+        }
+        let stride = info_d + 2;
+        let order = partition.edge_order();
+        // Invert the per-check permutation into an edge -> plane-slot map,
+        // then flatten it variable-major for the VN-side passes. Information
+        // edges are the first `info_d` of each check's range (edges are
+        // sorted by variable index and information variables come first).
+        let mut edge_slot = vec![u32::MAX; graph.edge_count()];
+        for c in 0..n_check {
+            let start = graph.check_edges(c).start;
+            let base = ((c % q_rows) * lanes + c / q_rows) * stride;
+            for i in 0..info_d {
+                let e = match order {
+                    Some(ord) => start + ord[c * info_d + i] as usize,
+                    None => start + i,
+                };
+                edge_slot[e] = (base + i) as u32;
+            }
+        }
+        let mut var_slots = Vec::with_capacity(n_check * info_d);
+        for v in 0..k {
+            for &e in graph.var_edges(v) {
+                let slot = edge_slot[e as usize];
+                debug_assert_ne!(slot, u32::MAX, "information edge missing from fused layout");
+                var_slots.push(slot);
+            }
+        }
+        FusedPlan { lanes, q_rows, stride, info_d, var_slots }
+    }
+
+    /// Total fused-plane length.
+    fn plane_len(&self) -> usize {
+        self.lanes * self.q_rows * self.stride
+    }
+}
+
 /// Quantized zigzag-schedule decoder.
 ///
 /// # Chain-boundary semantics vs the hardware `GoldenModel`
@@ -102,6 +188,10 @@ pub struct QuantizedZigzagDecoder {
     early_stop: bool,
     /// Hardware-partitioned check sweep (`None` = plain sequential zigzag).
     partition: Option<ChainPartition>,
+    /// Permutation-baked plane layout for the partitioned sweep (`None` =
+    /// sequential mode, or the reference LUT-indirection sweep from
+    /// [`QuantizedZigzagDecoder::with_partition_indirect`]).
+    fused: Option<FusedPlan>,
     v2c: Vec<i32>,
     c2v: Vec<i32>,
     backward: Vec<i32>,
@@ -157,6 +247,7 @@ impl QuantizedZigzagDecoder {
             max_iterations: config.max_iterations,
             early_stop: config.early_stop,
             partition: None,
+            fused: None,
             v2c: vec![0; edges],
             c2v: vec![0; edges],
             backward: vec![0; n_check],
@@ -179,12 +270,47 @@ impl QuantizedZigzagDecoder {
     /// and a partition from `dvbs2_hardware::hw_chain_partition`, decode
     /// results are bit-exact against the hardware `GoldenModel`.
     ///
+    /// The partition is **fused at construction time**: the per-check
+    /// permutation is baked into dedicated message planes laid out in sweep
+    /// traversal order (see `FusedPlan`), so the hot loops carry no
+    /// per-edge order LUT. The decode results are bit-identical to the
+    /// reference LUT-indirection sweep, which remains available through
+    /// [`with_partition_indirect`](Self::with_partition_indirect).
+    ///
     /// # Panics
     ///
     /// Panics if the graph is not an IRA graph, if `n_check` is not
-    /// divisible by `partition.lanes()`, or if the partition's edge order is
-    /// not a per-check permutation of the graph's information edges.
+    /// divisible by `partition.lanes()`, if the partition's edge order is
+    /// not a per-check permutation of the graph's information edges, or if
+    /// the checks do not all have the same information degree.
     pub fn with_partition(
+        graph: Arc<TannerGraph>,
+        arithmetic: QCheckArithmetic,
+        config: DecoderConfig,
+        partition: ChainPartition,
+    ) -> Self {
+        let mut dec = Self::with_partition_indirect(graph, arithmetic, config, partition);
+        let plan = FusedPlan::build(&dec.graph, dec.partition.as_ref().unwrap());
+        // The fused planes replace the edge-indexed ones (they are a
+        // superset: every information edge gets a slot, plus two in-row
+        // parity positions per check).
+        dec.v2c = vec![0; plan.plane_len()];
+        dec.c2v = vec![0; plan.plane_len()];
+        dec.fused = Some(plan);
+        dec
+    }
+
+    /// [`with_partition`](Self::with_partition) without construction-time
+    /// fusion: the check sweep gathers and scatters through the per-check
+    /// edge-order LUT on every message. Decode results are bit-identical to
+    /// the fused mode; this reference path is kept for differential tests
+    /// and as the benchmark baseline the fused layout is measured against.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`with_partition`](Self::with_partition), minus the uniform
+    /// information-degree requirement.
+    pub fn with_partition_indirect(
         graph: Arc<TannerGraph>,
         arithmetic: QCheckArithmetic,
         config: DecoderConfig,
@@ -259,6 +385,47 @@ impl QuantizedZigzagDecoder {
     ///
     /// Panics if `channel.len() != graph.var_count()`.
     pub fn decode_quantized_into(&mut self, channel: &[i32], out: &mut DecodeResult) {
+        if self.fused.is_some() {
+            self.decode_fused_into(channel, out, None);
+        } else {
+            self.decode_unfused_into(channel, out, None);
+        }
+    }
+
+    /// [`decode_quantized`](Self::decode_quantized) that additionally pushes
+    /// one FNV-1a digest of the message state (information-edge c2v messages
+    /// in hardware input order, then the forward and backward chain
+    /// messages) per completed check sweep. The digest is computed over
+    /// canonical (layout-independent) message order, so fused and
+    /// LUT-indirection decoders over the same partition produce identical
+    /// digest sequences — the per-iteration half of the fused-vs-indirect
+    /// equivalence property.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel.len() != graph.var_count()`.
+    pub fn decode_quantized_traced(
+        &mut self,
+        channel: &[i32],
+        digests: &mut Vec<u64>,
+    ) -> DecodeResult {
+        digests.clear();
+        let mut out = DecodeResult::default();
+        if self.fused.is_some() {
+            self.decode_fused_into(channel, &mut out, Some(digests));
+        } else {
+            self.decode_unfused_into(channel, &mut out, Some(digests));
+        }
+        out
+    }
+
+    /// Sequential or LUT-indirection-partitioned decode (no fused plan).
+    fn decode_unfused_into(
+        &mut self,
+        channel: &[i32],
+        out: &mut DecodeResult,
+        mut trace: Option<&mut Vec<u64>>,
+    ) {
         let graph = Arc::clone(&self.graph);
         assert_eq!(channel.len(), graph.var_count(), "LLR length mismatch");
         let k = graph.info_len();
@@ -288,6 +455,9 @@ impl QuantizedZigzagDecoder {
             match &partition {
                 None => self.sequential_check_sweep(&graph, channel, q, k, n_check),
                 Some(p) => self.partitioned_check_sweep(&graph, channel, q, k, n_check, p),
+            }
+            if let Some(digests) = trace.as_deref_mut() {
+                digests.push(self.unfused_digest(&graph));
             }
 
             for v in 0..k {
@@ -448,6 +618,228 @@ impl QuantizedZigzagDecoder {
         self.boundary[0] = 0;
     }
 
+    /// Fused-plane partitioned decode: the hot path.
+    ///
+    /// Equivalent to [`decode_unfused_into`](Self::decode_unfused_into)
+    /// with a partition — bit-identical `DecodeResult`s — but restructured
+    /// around the permutation-baked [`FusedPlan`] layout:
+    ///
+    /// * the check sweep walks the planes strictly linearly (rows are in
+    ///   traversal order) and runs the boxplus kernel in place on each row —
+    ///   no order LUT, no scratch copies;
+    /// * the totals gather of iteration `t` and the variable-node pass of
+    ///   iteration `t + 1` read the same messages, so they are fused into a
+    ///   single pass at the top of the loop (integer addition is
+    ///   order-independent, so every value is identical to the two-pass
+    ///   formulation; parity totals are only materialized when the
+    ///   early-stop test or the final decision needs them).
+    fn decode_fused_into(
+        &mut self,
+        channel: &[i32],
+        out: &mut DecodeResult,
+        mut trace: Option<&mut Vec<u64>>,
+    ) {
+        let graph = Arc::clone(&self.graph);
+        assert_eq!(channel.len(), graph.var_count(), "LLR length mismatch");
+        let plan = self.fused.take().expect("fused plan present");
+        let k = graph.info_len();
+        let n_check = graph.check_count();
+        let q = *self.arithmetic.quantizer();
+        let (lanes, q_rows, stride, info_d) = (plan.lanes, plan.q_rows, plan.stride, plan.info_d);
+
+        self.c2v.fill(0);
+        self.backward.fill(0);
+        self.boundary.fill(0);
+        let mut iterations = 0;
+        let mut converged = false;
+
+        for it in 0..self.max_iterations {
+            // Fused totals + variable-node pass: one walk over `var_slots`
+            // computes iteration `it - 1`'s totals and iteration `it`'s
+            // saturated v2c messages (Eq. 4). On entry (`it == 0`) the c2v
+            // plane is all zero, so this degenerates to `totals = channel`.
+            let mut pos = 0usize;
+            for v in 0..k {
+                let n_e = graph.var_edges(v).len();
+                let slots = &plan.var_slots[pos..pos + n_e];
+                let mut sum = 0i32;
+                for &s in slots {
+                    sum += self.c2v[s as usize];
+                }
+                let total = channel[v] + sum;
+                self.totals[v] = total;
+                for &s in slots {
+                    let s = s as usize;
+                    self.v2c[s] = q.saturate(total - self.c2v[s]);
+                }
+                pos += n_e;
+            }
+            if self.early_stop && it > 0 {
+                for j in 0..n_check {
+                    self.totals[k + j] = channel[k + j]
+                        + self.forward[j]
+                        + if j + 1 < n_check { self.backward[j] } else { 0 };
+                }
+                hard_decisions_int_into(&self.totals, &mut self.decisions);
+                if syndrome_ok(&graph, &self.decisions) {
+                    converged = true;
+                    break;
+                }
+            }
+            iterations += 1;
+
+            // Check sweep: residue-major over the traversal-ordered rows,
+            // so the plane walk is strictly linear. Lane `u` owns checks
+            // `u*q_rows..(u+1)*q_rows`; its forward register is seeded from
+            // the previous iteration's boundary state, and row-0 backward
+            // writes are consumed at row `q_rows - 1` of the same sweep.
+            //
+            // All `lanes` checks of one residue row are mutually
+            // independent (forward registers are lane-local; every
+            // `backward` value read at row `r` was written at a different
+            // residue row), so the sweep runs them in blocks of
+            // [`FUSED_ROW_BLOCK`] adjacent rows: block-phased
+            // reads-then-writes preserve the sequential sweep's
+            // read-before-write order exactly, and the interleaved LUT
+            // kernel below turns one serial boxplus chain per check into
+            // `blk` chains advancing in lockstep — the chain's lookup
+            // latency is the sweep's bottleneck, not arithmetic throughput.
+            self.fwd_regs.copy_from_slice(&self.boundary);
+            for r in 0..q_rows {
+                let mut u0 = 0usize;
+                while u0 < lanes {
+                    let blk = FUSED_ROW_BLOCK.min(lanes - u0);
+                    let base = (r * lanes + u0) * stride;
+                    // Left/right parity-chain inputs, written in place
+                    // after the pre-permuted information inputs.
+                    for x in 0..blk {
+                        let u = u0 + x;
+                        let c = u * q_rows + r;
+                        let row = base + x * stride;
+                        if c > 0 {
+                            self.v2c[row + info_d] =
+                                q.sat_add(channel[k + c - 1], self.fwd_regs[u]);
+                            self.v2c[row + info_d + 1] = q.sat_add(
+                                channel[k + c],
+                                if c + 1 < n_check { self.backward[c] } else { 0 },
+                            );
+                        } else {
+                            self.v2c[row + info_d] = q.sat_add(channel[k], self.backward[0]);
+                        }
+                    }
+                    // Check 0's short row (no left parity input) keeps the
+                    // scalar path; every other LUT block runs interleaved.
+                    let interleaved = match &self.arithmetic {
+                        QCheckArithmetic::Lut(bp) if !(r == 0 && u0 == 0) => {
+                            lut_extrinsic_rows(
+                                bp,
+                                &self.v2c,
+                                &mut self.c2v,
+                                base,
+                                stride,
+                                info_d + 2,
+                                blk,
+                            );
+                            true
+                        }
+                        _ => false,
+                    };
+                    if !interleaved {
+                        for x in 0..blk {
+                            let c = (u0 + x) * q_rows + r;
+                            let row = base + x * stride;
+                            let d = if c > 0 { info_d + 2 } else { info_d + 1 };
+                            self.arithmetic
+                                .extrinsic(&self.v2c[row..row + d], &mut self.c2v[row..row + d]);
+                        }
+                    }
+                    for x in 0..blk {
+                        let u = u0 + x;
+                        let c = u * q_rows + r;
+                        let row = base + x * stride;
+                        if c > 0 {
+                            self.backward[c - 1] = self.c2v[row + info_d];
+                            self.fwd_regs[u] = self.c2v[row + info_d + 1];
+                        } else {
+                            self.fwd_regs[u] = self.c2v[row + info_d];
+                        }
+                        self.forward[c] = self.fwd_regs[u];
+                    }
+                    u0 += blk;
+                }
+            }
+            for u in (1..lanes).rev() {
+                self.boundary[u] = self.fwd_regs[u - 1];
+            }
+            self.boundary[0] = 0;
+            if let Some(digests) = trace.as_deref_mut() {
+                digests.push(fused_digest(&plan, &self.c2v, &self.forward, &self.backward));
+            }
+        }
+
+        if !converged {
+            // The loop ended right after a sweep: fold it into the totals.
+            let mut pos = 0usize;
+            for v in 0..k {
+                let n_e = graph.var_edges(v).len();
+                let mut sum = 0i32;
+                for &s in &plan.var_slots[pos..pos + n_e] {
+                    sum += self.c2v[s as usize];
+                }
+                self.totals[v] = channel[v] + sum;
+                pos += n_e;
+            }
+            for j in 0..n_check {
+                self.totals[k + j] = channel[k + j]
+                    + self.forward[j]
+                    + if j + 1 < n_check { self.backward[j] } else { 0 };
+            }
+        }
+        if out.bits.len() != self.totals.len() {
+            out.bits = BitVec::zeros(self.totals.len());
+        }
+        hard_decisions_int_into(&self.totals, &mut out.bits);
+        if !converged {
+            converged = syndrome_ok(&graph, &out.bits);
+        }
+        out.iterations = iterations;
+        out.converged = converged;
+        self.fused = Some(plan);
+    }
+
+    /// Canonical message digest for the sequential / LUT-indirection paths:
+    /// same stream as [`fused_digest`] (information c2v in hardware input
+    /// order per check, then forward, then backward).
+    fn unfused_digest(&self, graph: &TannerGraph) -> u64 {
+        let order = self.partition.as_ref().and_then(|p| p.edge_order());
+        let mut h = Fnv::new();
+        for c in 0..graph.check_count() {
+            let range = graph.check_edges(c);
+            let info_d = range.len() - if c == 0 { 1 } else { 2 };
+            let start = range.start;
+            match order {
+                Some(ord) => {
+                    let base = c * info_d;
+                    for i in 0..info_d {
+                        h.write_i32(self.c2v[start + ord[base + i] as usize]);
+                    }
+                }
+                None => {
+                    for i in 0..info_d {
+                        h.write_i32(self.c2v[start + i]);
+                    }
+                }
+            }
+        }
+        for &x in &self.forward {
+            h.write_i32(x);
+        }
+        for &x in &self.backward {
+            h.write_i32(x);
+        }
+        h.finish()
+    }
+
     /// Quantizes float channel LLRs.
     ///
     /// Non-finite inputs degrade gracefully through the quantizer's
@@ -461,6 +853,102 @@ impl QuantizedZigzagDecoder {
     /// Hard decisions of the last decode (full codeword).
     pub fn last_decisions(&self) -> BitVec {
         hard_decisions_int(&self.totals)
+    }
+}
+
+/// Rows per interleaved block of the fused check sweep: enough independent
+/// boxplus chains to cover the LUT combine's load-to-use latency, few
+/// enough that the block's prefix state and plane rows stay register- and
+/// L1-resident.
+const FUSED_ROW_BLOCK: usize = 8;
+
+/// [`QBoxplus::extrinsic`] over `rows <= FUSED_ROW_BLOCK` consecutive
+/// fused-plane rows of uniform degree `d`, advancing every row's
+/// prefix/suffix recurrence in lockstep. Per row the operation sequence is
+/// exactly the scalar kernel's (same combines, same order, suffix stored in
+/// the out plane), so the outputs are bit-identical — only the *scheduling*
+/// across independent rows changes.
+#[inline]
+fn lut_extrinsic_rows(
+    bp: &QBoxplus,
+    v2c: &[i32],
+    c2v: &mut [i32],
+    base: usize,
+    stride: usize,
+    d: usize,
+    rows: usize,
+) {
+    debug_assert!((1..=FUSED_ROW_BLOCK).contains(&rows) && d >= 3);
+    // Suffix sweep into the out plane (a row's position-0 suffix is never
+    // read, so it is never computed).
+    for x in 0..rows {
+        let rb = base + x * stride;
+        c2v[rb + d - 1] = v2c[rb + d - 1];
+    }
+    for i in (1..d - 1).rev() {
+        for x in 0..rows {
+            let rb = base + x * stride;
+            c2v[rb + i] = bp.combine(v2c[rb + i], c2v[rb + i + 1]);
+        }
+    }
+    let mut prefix = [0i32; FUSED_ROW_BLOCK];
+    for x in 0..rows {
+        let rb = base + x * stride;
+        prefix[x] = v2c[rb];
+        c2v[rb] = c2v[rb + 1];
+    }
+    for i in 1..d - 1 {
+        for x in 0..rows {
+            let rb = base + x * stride;
+            let out = bp.combine(prefix[x], c2v[rb + i + 1]);
+            prefix[x] = bp.combine(prefix[x], v2c[rb + i]);
+            c2v[rb + i] = out;
+        }
+    }
+    for x in 0..rows {
+        c2v[base + x * stride + d - 1] = prefix[x];
+    }
+}
+
+/// Canonical message digest of a fused-plane decode state: per check (in
+/// check order), the information c2v messages in hardware input order, then
+/// the forward and backward chain messages. Layout-independent — matches
+/// [`QuantizedZigzagDecoder::unfused_digest`] value-for-value.
+fn fused_digest(plan: &FusedPlan, c2v: &[i32], forward: &[i32], backward: &[i32]) -> u64 {
+    let mut h = Fnv::new();
+    for c in 0..plan.lanes * plan.q_rows {
+        let row = ((c % plan.q_rows) * plan.lanes + c / plan.q_rows) * plan.stride;
+        for &x in &c2v[row..row + plan.info_d] {
+            h.write_i32(x);
+        }
+    }
+    for &x in forward {
+        h.write_i32(x);
+    }
+    for &x in backward {
+        h.write_i32(x);
+    }
+    h.finish()
+}
+
+/// Minimal FNV-1a 64-bit hasher for the per-iteration message digests.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    #[inline]
+    fn write_i32(&mut self, x: i32) {
+        for b in x.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 
@@ -619,6 +1107,43 @@ mod tests {
         let out = dec.decode(&llrs);
         assert!(out.converged);
         assert_eq!(out.bits, cw);
+    }
+
+    #[test]
+    fn fused_partition_matches_indirect_partition() {
+        // The construction-time fused layout must reproduce the reference
+        // LUT-indirection sweep exactly: full DecodeResult plus the
+        // per-iteration message digests, under a non-trivial edge order.
+        let (code, graph) = small_code();
+        let graph = Arc::new(graph);
+        let q = Quantizer::paper_6bit();
+        let n_check = graph.check_count();
+        let info_d = graph.check_edges(0).len() - 1;
+        // Reversing each check's inputs exercises the order-dependence of
+        // the quantized boxplus without needing the hardware schedule.
+        let order: Vec<u32> = (0..n_check).flat_map(|_| (0..info_d as u32).rev()).collect();
+        let mut fused = QuantizedZigzagDecoder::with_partition(
+            Arc::clone(&graph),
+            QCheckArithmetic::lut(q),
+            DecoderConfig::default(),
+            ChainPartition::new(360, Some(order.clone())),
+        );
+        let mut indirect = QuantizedZigzagDecoder::with_partition_indirect(
+            Arc::clone(&graph),
+            QCheckArithmetic::lut(q),
+            DecoderConfig::default(),
+            ChainPartition::new(360, Some(order)),
+        );
+        let (mut da, mut db) = (Vec::new(), Vec::new());
+        for seed in 0..3u64 {
+            let (_, llrs) = noisy_llrs(&code, 2.4, 5000 + seed);
+            let channel = fused.quantize_channel(&llrs);
+            let a = fused.decode_quantized_traced(&channel, &mut da);
+            let b = indirect.decode_quantized_traced(&channel, &mut db);
+            assert_eq!(a, b, "seed {seed}: results diverged");
+            assert_eq!(da, db, "seed {seed}: per-iteration digests diverged");
+            assert_eq!(da.len(), a.iterations, "seed {seed}: one digest per sweep");
+        }
     }
 
     #[test]

@@ -207,6 +207,7 @@ impl Decoder for ZigzagDecoder {
     fn name(&self) -> &'static str {
         match self.config.rule {
             CheckRule::SumProduct => "zigzag sum-product",
+            CheckRule::TableSumProduct => "zigzag table sum-product",
             CheckRule::NormalizedMinSum(_) => "zigzag normalized min-sum",
             CheckRule::OffsetMinSum(_) => "zigzag offset min-sum",
         }

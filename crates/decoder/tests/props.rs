@@ -2,7 +2,9 @@
 
 #![allow(clippy::needless_range_loop)] // one index drives several parallel slices
 
-use dvbs2_decoder::{boxplus, boxplus_min, CheckRule, QBoxplus, QCheckArithmetic, Quantizer};
+use dvbs2_decoder::{
+    boxplus, boxplus_min, boxplus_table, CheckRule, QBoxplus, QCheckArithmetic, Quantizer,
+};
 use proptest::prelude::*;
 
 fn finite_llr() -> impl Strategy<Value = f64> {
@@ -28,6 +30,33 @@ fn pairwise_fold(rule: &CheckRule, incoming: &[f64], skip: usize) -> f64 {
         CheckRule::OffsetMinSum(beta) => {
             let m = others.reduce(boxplus_min).unwrap_or(0.0);
             (m.abs() - beta).max(0.0).copysign(m)
+        }
+        CheckRule::TableSumProduct => {
+            // The table kernel is *not* fold-order independent: corrections
+            // are read with truncating 1/16 bins, so reassociating the chain
+            // moves arguments across bin boundaries. The exact contract is
+            // the prefix/suffix decomposition: edge `i` emits
+            // `lfold(0..i) ⊞ rfold(i+1..d)` with the left fold accumulating
+            // as the first operand and the right fold as the second — the
+            // same operation sequences the O(d) kernel performs.
+            let d = incoming.len();
+            if d == 2 {
+                // Degenerate pass-through: no boxplus, no f32 round-trip.
+                return incoming[1 - skip];
+            }
+            let lfold = |r: std::ops::Range<usize>| {
+                incoming[r].iter().map(|&v| v as f32).reduce(boxplus_table)
+            };
+            let rfold = |r: std::ops::Range<usize>| {
+                incoming[r].iter().rev().map(|&v| v as f32).reduce(|acc, x| boxplus_table(x, acc))
+            };
+            let out = match (lfold(0..skip), rfold(skip + 1..d)) {
+                (Some(a), Some(b)) => boxplus_table(a, b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => 0.0,
+            };
+            out as f64
         }
     }
 }
@@ -172,6 +201,27 @@ proptest! {
             let want = pairwise_fold(&CheckRule::SumProduct, &incoming, i);
             prop_assert!(
                 (out[i] - want).abs() < 1e-9,
+                "degree {} edge {i}: kernel {} vs fold {want}",
+                incoming.len(),
+                out[i]
+            );
+        }
+    }
+
+    /// The table-driven sum-product kernel matches its prefix/suffix
+    /// reference *bit-exactly*: edge `i` is `lfold(0..i) ⊞ rfold(i+1..d)`
+    /// over [`boxplus_table`], recomputed naively per edge. The O(d) kernel
+    /// shares the folds across edges but performs the identical f32
+    /// operation sequences, so any divergence is a real kernel bug, not
+    /// rounding.
+    #[test]
+    fn table_sum_product_kernel_matches_prefix_suffix_fold(incoming in check_inputs()) {
+        let mut out = vec![0.0; incoming.len()];
+        CheckRule::TableSumProduct.extrinsic(&incoming, &mut out);
+        for i in 0..incoming.len() {
+            let want = pairwise_fold(&CheckRule::TableSumProduct, &incoming, i);
+            prop_assert!(
+                out[i] == want,
                 "degree {} edge {i}: kernel {} vs fold {want}",
                 incoming.len(),
                 out[i]

@@ -13,7 +13,7 @@
 
 use crate::{DecoderKind, Dvbs2System, SystemConfig};
 use dvbs2_channel::Modulation;
-use dvbs2_decoder::{Decoder, DecoderConfig, Precision, Quantizer};
+use dvbs2_decoder::{BatchDecoder, CheckRule, Decoder, DecoderConfig, Precision, Quantizer};
 use dvbs2_ldpc::{CodeError, CodeParams, CodeRate, FrameSize};
 use std::sync::Arc;
 
@@ -122,6 +122,27 @@ impl ModcodEntry {
     /// worker thread; decoders own their scratch state).
     pub fn make_decoder(&self) -> Box<dyn Decoder + Send> {
         self.system.make_decoder_for(self.profile.kind, self.profile.config)
+    }
+
+    /// Creates a multi-frame [`BatchDecoder`] for this slot, or `None` when
+    /// the profile cannot be batched.
+    ///
+    /// Batched decoding is available exactly when it is *transparent*: the
+    /// batched kernel replays the flooding schedule with a min-sum rule and
+    /// is bit-identical, frame for frame, to the profile's single-frame
+    /// decoder — so only `DecoderKind::Flooding` profiles with
+    /// `NormalizedMinSum`/`OffsetMinSum` rules qualify. Pipeline workers
+    /// probe this once per slot and fall back to [`Self::make_decoder`] on
+    /// `None`.
+    pub fn make_batch_decoder(&self, max_batch: usize) -> Option<BatchDecoder> {
+        let batchable = matches!(self.profile.kind, DecoderKind::Flooding)
+            && matches!(
+                self.profile.config.rule,
+                CheckRule::NormalizedMinSum(_) | CheckRule::OffsetMinSum(_)
+            );
+        batchable.then(|| {
+            BatchDecoder::new(Arc::clone(self.system.graph()), self.profile.config, max_batch)
+        })
     }
 }
 
@@ -248,6 +269,34 @@ mod tests {
             let out = dec.decode(&llrs);
             assert!(out.converged, "slot {slot} ({})", dec.name());
             assert!(out.bits.iter().all(|b| !b), "slot {slot}");
+        }
+    }
+
+    #[test]
+    fn batch_decoders_exist_exactly_for_batchable_profiles() {
+        // Default profiles never batch: flooding slots keep the exact
+        // sum-product rule, the rest are not flooding at all.
+        let t = table();
+        for slot in 0..t.len() {
+            assert!(t.entry(slot).make_batch_decoder(8).is_none(), "slot {slot}");
+        }
+        // A flooding + min-sum profile batches, and the batch decoder
+        // matches the slot's single-frame decoder on a clean frame.
+        let m = Modcod::new(Modulation::Bpsk, CodeRate::R1_2, FrameSize::Short);
+        let profile = DecoderProfile {
+            kind: DecoderKind::Flooding,
+            config: DecoderConfig::default()
+                .with_rule(CheckRule::NormalizedMinSum(0.8))
+                .with_precision(Precision::F32),
+        };
+        let t = ModcodTable::with_profiles(&[(m, profile)]).unwrap();
+        let entry = t.entry(0);
+        let mut batch = entry.make_batch_decoder(4).expect("flooding min-sum batches");
+        let llrs = vec![5.0; entry.frame_len()];
+        let single = entry.make_decoder().decode(&llrs);
+        let outs = batch.decode_batch(&[&llrs, &llrs, &llrs]);
+        for (i, out) in outs.iter().enumerate() {
+            assert_eq!(*out, single, "lane {i}");
         }
     }
 

@@ -202,7 +202,13 @@ impl CaseSpec {
         // New dimensions draw strictly after the original ones, so a given
         // (master_seed, index) keeps its pre-PR-4 rate/frame/memory/... .
         let p_io = [4, 7, 16, 10][(next() % 4) as usize];
-        let modulation = if next() % 5 == 0 { Modulation::Psk8 } else { Modulation::Bpsk };
+        // Exactly one draw keeps downstream dimensions aligned with runs
+        // recorded before QPSK joined the pool.
+        let modulation = match next() % 5 {
+            0 => Modulation::Psk8,
+            1 => Modulation::Qpsk,
+            _ => Modulation::Bpsk,
+        };
         let fault = if next() % 4 == 0 {
             let word = (next() % 1024) as usize;
             if next() % 2 == 0 {
@@ -1071,15 +1077,21 @@ pub fn run_fault_differential(config: &OracleConfig) -> OracleReport {
     OracleReport { cases: config.cases, rates_covered, frames_covered, violations }
 }
 
-/// Verifies the boundary-exact equivalence class across **all 11
-/// Normal-frame rates**: the LUT [`QuantizedZigzagDecoder`] in
-/// hardware-partitioned mode must reproduce the [`GoldenModel`]'s full
-/// [`DecodeResult`] — decoded word, iteration count and convergence flag —
-/// at two operating points per rate (early-stopping above the waterfall,
-/// fixed-iteration below it).
+/// Verifies the boundary-exact equivalence class across **every defined
+/// rate/frame code point** — all 11 Normal-frame rates plus the 10
+/// Short-frame rates (R 9/10 is Normal-only in the standard): the LUT
+/// [`QuantizedZigzagDecoder`] in hardware-partitioned mode must reproduce
+/// the [`GoldenModel`]'s full [`DecodeResult`] — decoded word, iteration
+/// count and convergence flag — at two operating points per code point
+/// (early-stopping above the waterfall, fixed-iteration below it).
 pub fn run_partition_sweep(master_seed: u64, threads: usize) -> OracleReport {
     const CONFIGS: [(f64, bool, usize); 2] = [(0.4, true, 8), (-0.4, false, 4)];
-    let total = (CodeRate::ALL.len() * CONFIGS.len()) as u64;
+    let mut points: Vec<(CodeRate, FrameSize)> =
+        CodeRate::ALL.iter().map(|&r| (r, FrameSize::Normal)).collect();
+    points.extend(
+        CodeRate::ALL.iter().filter(|&&r| r != CodeRate::R9_10).map(|&r| (r, FrameSize::Short)),
+    );
+    let total = (points.len() * CONFIGS.len()) as u64;
     let threads = threads.max(1);
     let next = AtomicUsize::new(0);
     let violations: Mutex<Vec<Violation>> = Mutex::new(Vec::new());
@@ -1091,12 +1103,12 @@ pub fn run_partition_sweep(master_seed: u64, threads: usize) -> OracleReport {
                 if index >= total {
                     break;
                 }
-                let rate = CodeRate::ALL[(index as usize) / CONFIGS.len()];
+                let (rate, frame) = points[(index as usize) / CONFIGS.len()];
                 let (offset, early_stop, max_iterations) = CONFIGS[(index as usize) % CONFIGS.len()];
                 let case = CaseSpec {
                     seed: mix_seed(master_seed, index),
                     rate,
-                    frame: FrameSize::Normal,
+                    frame,
                     ebn0_db: anchor_ebn0_db(rate) + offset,
                     quantizer_bits: 6,
                     arithmetic: ArithmeticKind::Lut,
@@ -1158,7 +1170,7 @@ pub fn run_partition_sweep(master_seed: u64, threads: usize) -> OracleReport {
     OracleReport {
         cases: total,
         rates_covered: CodeRate::ALL.to_vec(),
-        frames_covered: vec![FrameSize::Normal],
+        frames_covered: vec![FrameSize::Normal, FrameSize::Short],
         violations,
     }
 }
@@ -1391,5 +1403,65 @@ pub fn shrink_case<F: FnMut(&CaseSpec) -> bool>(
             Some(smaller) => best = smaller,
             None => return best,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_draws_every_modulation_with_the_right_anchor() {
+        let mut seen = [false; 3]; // [bpsk, qpsk, 8psk]
+        for index in 0..200u64 {
+            let case = CaseSpec::generate(0xC0FE, index);
+            match case.modulation {
+                Modulation::Bpsk => seen[0] = true,
+                Modulation::Qpsk => seen[1] = true,
+                Modulation::Psk8 => seen[2] = true,
+            }
+            // QPSK shares the BPSK anchor (per-dimension identical channel,
+            // so no dB shift); 8PSK keeps its +2 dB offset.
+            let delta = case.ebn0_db - anchor_ebn0_db(case.rate);
+            let offsets: &[f64] = match case.modulation {
+                Modulation::Psk8 => &[1.6, 2.0, 2.6, 3.6],
+                _ => &[-0.4, 0.0, 0.6, 1.6],
+            };
+            assert!(
+                offsets.iter().any(|&o| (delta - o).abs() < 1e-9),
+                "index {index}: {} offset {delta}",
+                case.modulation as u8,
+            );
+        }
+        assert!(seen.iter().all(|&s| s), "modulation coverage: {seen:?}");
+    }
+
+    #[test]
+    fn qpsk_cases_round_trip_through_their_repro_string() {
+        let case = CaseSpec { modulation: Modulation::Qpsk, ..CaseSpec::generate(7, 3) };
+        let parsed: CaseSpec = case.to_string().parse().unwrap();
+        assert_eq!(parsed, case);
+    }
+
+    #[test]
+    fn qpsk_demapper_path_matches_bpsk_per_dimension() {
+        // QPSK maps and demaps per real dimension exactly like BPSK (same
+        // ±1 samples, same noise sigma, same exact 2y/σ² LLR), so the same
+        // RNG stream must yield the identical transmitted frame — and that
+        // frame must decode through the standard chain.
+        let system = Dvbs2System::new(SystemConfig {
+            rate: CodeRate::R1_2,
+            frame: FrameSize::Short,
+            ..SystemConfig::default()
+        })
+        .unwrap();
+        let mk = |modulation| {
+            let mut rng = SmallRng::seed_from_u64(0x9A57);
+            system.transmit_frame_with(&mut rng, 3.0, modulation)
+        };
+        let qpsk = mk(Modulation::Qpsk);
+        assert_eq!(qpsk, mk(Modulation::Bpsk), "QPSK and BPSK paths must agree per dimension");
+        let out = system.make_decoder().decode(&qpsk.llrs);
+        assert_eq!(out.bits, qpsk.codeword, "QPSK frame must decode at 3 dB");
     }
 }

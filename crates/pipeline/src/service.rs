@@ -32,7 +32,7 @@ use crate::queue::BoundedQueue;
 use crate::stats::{PipelineStats, StatsCore};
 use dvbs2::ModcodTable;
 use dvbs2_channel::LlrFrame;
-use dvbs2_decoder::{DecodeResult, Decoder};
+use dvbs2_decoder::{BatchDecoder, DecodeResult, Decoder};
 use dvbs2_hardware::{ThroughputModel, ST_0_13_UM};
 use dvbs2_ldpc::BitVec;
 use std::collections::{BTreeMap, HashMap};
@@ -381,7 +381,11 @@ impl Drop for DecodePipeline {
 /// worker out accounts stuck frames and closes egress.
 fn worker_loop(shared: &Shared) {
     let mut decoders: HashMap<usize, Box<dyn Decoder + Send>> = HashMap::new();
+    // Batched decoders are probed lazily per slot; `None` is cached too, so
+    // unbatchable slots pay the profile check once, not per batch.
+    let mut batch_decoders: HashMap<usize, Option<BatchDecoder>> = HashMap::new();
     let mut scratch = DecodeResult::default();
+    let mut results: Vec<DecodeResult> = Vec::new();
     let mut batch: Vec<WorkItem> = Vec::new();
     let mut batch_size = shared.config.min_batch;
 
@@ -397,34 +401,91 @@ fn worker_loop(shared: &Shared) {
 
         let mut iterations_spent = 0usize;
         let mut cap_budget = 0usize;
-        for item in batch.drain(..) {
-            let slot = item.frame.modcod;
+        // Split the grabbed batch into runs of consecutive same-slot frames.
+        // A run of two or more on a batchable slot decodes in one fused
+        // multi-frame pass (bit-identical per frame to the single-frame
+        // decoder, so consumers cannot tell which path ran); everything
+        // else takes the per-frame path.
+        let mut start = 0;
+        while start < batch.len() {
+            let slot = batch[start].frame.modcod;
+            let mut end = start + 1;
+            while end < batch.len() && batch[end].frame.modcod == slot {
+                end += 1;
+            }
             let entry = shared.table.entry(slot);
-            let decoder = decoders.entry(slot).or_insert_with(|| entry.make_decoder());
-            let occupancy = shared.ingress.len() as f64 / shared.ingress.capacity() as f64;
-            let cap = shared.admission.cap_for(slot, occupancy);
-            let base_cap = shared.admission.base_cap(slot);
-            decoder.set_max_iterations(cap);
-            let started = Instant::now();
-            decoder.decode_into(&item.frame.llrs, &mut scratch);
-            let ns = started.elapsed().as_nanos() as u64;
-            let early = scratch.converged && scratch.iterations < cap;
-            shared.stats.record_decode(scratch.iterations, early, cap < base_cap, ns);
-            iterations_spent += scratch.iterations;
-            cap_budget += cap;
-
-            let decoded = DecodedFrame {
-                seq: item.seq,
-                stream_index: item.frame.stream_index,
-                modcod: slot,
-                bits: scratch.bits.clone(),
-                info_len: entry.info_len(),
-                iterations: scratch.iterations,
-                converged: scratch.converged,
-                iteration_cap: cap,
+            let batched = if end - start >= 2 {
+                batch_decoders
+                    .entry(slot)
+                    .or_insert_with(|| entry.make_batch_decoder(shared.config.max_batch.min(1024)))
+                    .as_mut()
+            } else {
+                None
             };
-            emit_in_order(shared, decoded);
+            if let Some(decoder) = batched {
+                // One admission decision per run: every frame in the run
+                // decodes under the same cap, sampled at run start.
+                let occupancy = shared.ingress.len() as f64 / shared.ingress.capacity() as f64;
+                let cap = shared.admission.cap_for(slot, occupancy);
+                let base_cap = shared.admission.base_cap(slot);
+                decoder.set_max_iterations(cap);
+                // `chunks` only matters if the configured batch exceeds the
+                // decoder's 1024-lane ceiling; normally one chunk = the run.
+                for run in batch[start..end].chunks(decoder.max_batch()) {
+                    let llrs: Vec<&[f64]> = run.iter().map(|it| it.frame.llrs.as_slice()).collect();
+                    results.resize(run.len(), DecodeResult::default());
+                    let started = Instant::now();
+                    decoder.decode_batch_into(&llrs, &mut results[..run.len()]);
+                    let ns = started.elapsed().as_nanos() as u64 / run.len() as u64;
+                    for (item, out) in run.iter().zip(&results) {
+                        let early = out.converged && out.iterations < cap;
+                        shared.stats.record_decode(out.iterations, early, cap < base_cap, ns);
+                        iterations_spent += out.iterations;
+                        cap_budget += cap;
+                        let decoded = DecodedFrame {
+                            seq: item.seq,
+                            stream_index: item.frame.stream_index,
+                            modcod: slot,
+                            bits: out.bits.clone(),
+                            info_len: entry.info_len(),
+                            iterations: out.iterations,
+                            converged: out.converged,
+                            iteration_cap: cap,
+                        };
+                        emit_in_order(shared, decoded);
+                    }
+                }
+            } else {
+                for item in &batch[start..end] {
+                    let decoder = decoders.entry(slot).or_insert_with(|| entry.make_decoder());
+                    let occupancy = shared.ingress.len() as f64 / shared.ingress.capacity() as f64;
+                    let cap = shared.admission.cap_for(slot, occupancy);
+                    let base_cap = shared.admission.base_cap(slot);
+                    decoder.set_max_iterations(cap);
+                    let started = Instant::now();
+                    decoder.decode_into(&item.frame.llrs, &mut scratch);
+                    let ns = started.elapsed().as_nanos() as u64;
+                    let early = scratch.converged && scratch.iterations < cap;
+                    shared.stats.record_decode(scratch.iterations, early, cap < base_cap, ns);
+                    iterations_spent += scratch.iterations;
+                    cap_budget += cap;
+
+                    let decoded = DecodedFrame {
+                        seq: item.seq,
+                        stream_index: item.frame.stream_index,
+                        modcod: slot,
+                        bits: scratch.bits.clone(),
+                        info_len: entry.info_len(),
+                        iterations: scratch.iterations,
+                        converged: scratch.converged,
+                        iteration_cap: cap,
+                    };
+                    emit_in_order(shared, decoded);
+                }
+            }
+            start = end;
         }
+        batch.clear();
 
         // Early-termination-aware batch sizing: when decodes finish well
         // under their cap (early stops), frames are cheap — take bigger
