@@ -10,8 +10,9 @@
 //! (`--quick` shortens the per-variant measurement window.)
 
 use dvbs2::decoder::{
-    hard_decisions, syndrome_ok, BatchDecoder, CheckRule, DecodeResult, Decoder, DecoderConfig,
-    FloodingDecoder, Precision, QCheckArithmetic, QuantizedZigzagDecoder, Quantizer, ZigzagDecoder,
+    detected_cpu_features, hard_decisions, syndrome_ok, CheckRule, DecodeResult, Decoder,
+    DecoderConfig, FloodingDecoder, Precision, QCheckArithmetic, QuantizedZigzagDecoder, Quantizer,
+    SimdTier, TileSchedule, TiledBatchDecoder, ZigzagDecoder,
 };
 use dvbs2::hardware::{hw_chain_partition, CnSchedule, ConnectivityRom};
 use dvbs2::ldpc::{CodeRate, FrameSize, TannerGraph};
@@ -299,51 +300,72 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let rows = measure_all(&mut variants, &frame.llrs, n, k, rounds, frames_per_window);
 
-    // Multi-frame batched lane: eight distinct noisy frames decoded per
-    // call through the frame-major interleaved planes. Same min-sum f32
-    // numerics as `flooding_min_sum_f32` (results are bit-identical per
-    // frame), so the ratio isolates the batching win.
+    // Multi-frame tiled batched lanes: eight distinct noisy frames decoded
+    // per call as cache-sized tiles, once per thread count. Same min-sum
+    // f32 numerics as `flooding_min_sum_f32` (results are bit-identical per
+    // frame), so the 1-thread ratio isolates the tiling win and the
+    // thread-count rows record per-core scaling — honestly including the
+    // case where the host has a single vCPU and the extra threads just
+    // contend.
     const BATCH: usize = 8;
+    const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+    const THREAD_NAMES: [&str; 3] = [
+        "batched_tiled_min_sum_f32_x8_t1",
+        "batched_tiled_min_sum_f32_x8_t2",
+        "batched_tiled_min_sum_f32_x8_t4",
+    ];
     let batch_frames: Vec<Vec<f64>> =
         (0..BATCH).map(|_| system.transmit_frame(&mut rng, 2.0).llrs).collect();
     let batch_llrs: Vec<&[f64]> = batch_frames.iter().map(|f| f.as_slice()).collect();
-    let mut batched =
-        BatchDecoder::new(Arc::clone(&graph), min_sum.with_precision(Precision::F32), BATCH);
-    let batched_row = {
-        let warm = batched.decode_batch(&batch_llrs);
-        for r in &warm {
-            assert_eq!(r.iterations, 30, "batched lane: benchmark contract is 30 fixed iterations");
-        }
-        let mut best = f64::INFINITY;
-        let mut total_frames = 0usize;
-        let mut total_seconds = 0f64;
-        for _ in 0..rounds {
-            let start = Instant::now();
-            for _ in 0..frames_per_window {
-                std::hint::black_box(batched.decode_batch(std::hint::black_box(&batch_llrs)));
+    let tiled_rows: Vec<Measurement> = THREAD_COUNTS
+        .iter()
+        .zip(THREAD_NAMES)
+        .map(|(&threads, name)| {
+            let mut batched = TiledBatchDecoder::new(
+                Arc::clone(&graph),
+                min_sum.with_precision(Precision::F32),
+                TileSchedule::Flooding,
+                BATCH,
+            )
+            .with_threads(threads);
+            let warm = batched.decode_batch(&batch_llrs);
+            for r in &warm {
+                assert_eq!(
+                    r.iterations, 30,
+                    "tiled lane: benchmark contract is 30 fixed iterations"
+                );
             }
-            let seconds = start.elapsed().as_secs_f64();
-            best = best.min(seconds / (frames_per_window * BATCH) as f64);
-            total_frames += frames_per_window * BATCH;
-            total_seconds += seconds;
-        }
-        let m = Measurement {
-            name: "batched_min_sum_f32_x8",
-            coded_mbps: n as f64 / best / 1e6,
-            info_mbps: k as f64 / best / 1e6,
-            frames: total_frames,
-            seconds: total_seconds,
-        };
-        println!(
-            "{:<28} {:>8.2} Mbit/s coded  {:>8.2} Mbit/s info  (best of {} frames, {:.2} s)",
-            m.name, m.coded_mbps, m.info_mbps, m.frames, m.seconds
-        );
-        m
-    };
+            let mut best = f64::INFINITY;
+            let mut total_frames = 0usize;
+            let mut total_seconds = 0f64;
+            for _ in 0..rounds {
+                let start = Instant::now();
+                for _ in 0..frames_per_window {
+                    std::hint::black_box(batched.decode_batch(std::hint::black_box(&batch_llrs)));
+                }
+                let seconds = start.elapsed().as_secs_f64();
+                best = best.min(seconds / (frames_per_window * BATCH) as f64);
+                total_frames += frames_per_window * BATCH;
+                total_seconds += seconds;
+            }
+            let m = Measurement {
+                name,
+                coded_mbps: n as f64 / best / 1e6,
+                info_mbps: k as f64 / best / 1e6,
+                frames: total_frames,
+                seconds: total_seconds,
+            };
+            println!(
+                "{:<28} {:>8.2} Mbit/s coded  {:>8.2} Mbit/s info  (best of {} frames, {:.2} s)",
+                m.name, m.coded_mbps, m.info_mbps, m.frames, m.seconds
+            );
+            m
+        })
+        .collect();
 
     let mbps = |name: &str| {
         rows.iter()
-            .chain(std::iter::once(&batched_row))
+            .chain(tiled_rows.iter())
             .find(|m| m.name == name)
             .map(|m| m.coded_mbps)
             .unwrap_or(0.0)
@@ -353,14 +375,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let speedup_table_vs_pr4 = mbps("flooding_table_sum_product_f32") / PR4_SUM_PRODUCT_F32_MBPS;
     let speedup_fused_vs_indirect =
         mbps("quantized_partitioned_fused") / mbps("quantized_partitioned_indirect");
-    let speedup_batched = batched_row.coded_mbps / mbps("flooding_min_sum_f32");
+    let speedup_batched = tiled_rows[0].coded_mbps / mbps("flooding_min_sum_f32");
+    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    let tier = SimdTier::resolve(None);
+    let features = detected_cpu_features();
     println!("\nspeedup (flooding_min_sum_f32 vs seed): {speedup:.2}x");
     println!(
         "speedup (flooding_table_sum_product_f32 vs PR-4 sum-product {PR4_SUM_PRODUCT_F32_MBPS} \
          Mbit/s): {speedup_table_vs_pr4:.2}x"
     );
     println!("speedup (quantized fused vs indirect partition): {speedup_fused_vs_indirect:.2}x");
-    println!("speedup (batched x{BATCH} vs single-frame min-sum f32): {speedup_batched:.2}x");
+    println!(
+        "speedup (tiled batched x{BATCH}, 1 thread, vs single-frame min-sum f32): \
+         {speedup_batched:.2}x"
+    );
+    for (m, &threads) in tiled_rows.iter().zip(THREAD_COUNTS.iter()) {
+        println!(
+            "tiled scaling: {threads} thread(s) -> {:.2} Mbit/s ({:.2}x of 1-thread)",
+            m.coded_mbps,
+            m.coded_mbps / tiled_rows[0].coded_mbps
+        );
+    }
+    println!("cpu: {cores} core(s), dispatch tier {}, features {:?}", tier.name(), features);
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -378,10 +414,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     json.push_str(&format!(
         "  \"speedup_quantized_fused_vs_indirect\": {speedup_fused_vs_indirect:.3},\n"
     ));
+    json.push_str(&format!(
+        "  \"cpu\": {{\"cores\": {cores}, \"single_vcpu\": {}, \"dispatch_tier\": \"{}\", \
+         \"features\": [{}]}},\n",
+        cores == 1,
+        tier.name(),
+        features.iter().map(|f| format!("\"{f}\"")).collect::<Vec<_>>().join(", ")
+    ));
     json.push_str(&format!("  \"batch_frames\": {BATCH},\n"));
     json.push_str(&format!("  \"speedup_batched_vs_single_min_sum_f32\": {speedup_batched:.3},\n"));
+    json.push_str("  \"tiled_thread_scaling\": [\n");
+    for (i, (m, &threads)) in tiled_rows.iter().zip(THREAD_COUNTS.iter()).enumerate() {
+        json.push_str(&format!(
+            "    {{\"threads\": {threads}, \"coded_mbps\": {:.3}, \"scaling_vs_1_thread\": \
+             {:.3}}}{}\n",
+            m.coded_mbps,
+            m.coded_mbps / tiled_rows[0].coded_mbps,
+            if i + 1 < tiled_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str("  \"results\": [\n");
-    let all_rows: Vec<&Measurement> = rows.iter().chain(std::iter::once(&batched_row)).collect();
+    let all_rows: Vec<&Measurement> = rows.iter().chain(tiled_rows.iter()).collect();
     for (i, m) in all_rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"coded_mbps\": {:.3}, \"info_mbps\": {:.3}, \"frames\": {}, \"seconds\": {:.3}}}{}\n",

@@ -16,6 +16,7 @@
 //! runs `--quick`).
 
 use dvbs2::channel::{mix_seed, FrameTag, LlrSource, Modulation};
+use dvbs2::decoder::{detected_cpu_features, SimdTier};
 use dvbs2::ldpc::{BitVec, CodeRate, FrameSize};
 use dvbs2::{Modcod, ModcodTable};
 use dvbs2_pipeline::{
@@ -345,6 +346,24 @@ fn main() {
         parity.stats.mean_iterations(),
     );
 
+    // ---- per-worker-count scaling over the same parity stream ------------
+    // Recorded honestly: on a single-vCPU host the extra workers only add
+    // contention, and the rows show it instead of a lone `workers: 1` entry
+    // masking the question.
+    let scaling_counts: [usize; 3] = [1, 2, 4];
+    let mut scaling_rows: Vec<(usize, f64, f64)> = Vec::new();
+    for &w in &scaling_counts {
+        let run = run_parity_phase(&table, &stream, w);
+        check_common(&format!("scaling-w{w}"), &run, options.frames, &mut violations);
+        let mbps = info_megabits(&table, &stream) / run.seconds;
+        scaling_rows.push((w, run.seconds, mbps));
+        println!(
+            "scaling: {w} worker(s) -> {:.1} info Mbit/s ({:.2}x of 1 worker)",
+            mbps,
+            mbps / scaling_rows[0].2
+        );
+    }
+
     // ---- phase 2: backpressure under pressure (harder frames, tiny
     // queues, adaptive admission) ------------------------------------------
     let mut source =
@@ -384,6 +403,16 @@ fn main() {
     json.push_str("  \"benchmark\": \"pipeline_soak\",\n");
     json.push_str(&format!("  \"seed\": {},\n", options.seed));
     json.push_str(&format!("  \"workers\": {},\n", options.workers));
+    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    let tier = SimdTier::resolve(None);
+    let features = detected_cpu_features();
+    json.push_str(&format!(
+        "  \"cpu\": {{\"cores\": {cores}, \"single_vcpu\": {}, \"dispatch_tier\": \"{}\", \
+         \"features\": [{}]}},\n",
+        cores == 1,
+        tier.name(),
+        features.iter().map(|f| format!("\"{f}\"")).collect::<Vec<_>>().join(", ")
+    ));
     json.push_str("  \"slots\": [\"1/2 short\", \"3/4 short\", \"8/9 short\"],\n");
     json.push_str(
         "  \"units\": \"sustained decoded Mbit/s over the whole phase, \
@@ -407,6 +436,16 @@ fn main() {
         parity.stats.early_stop_rate(),
         parity.stats.mean_iterations(),
     ));
+    json.push_str("  \"worker_scaling\": [\n");
+    for (i, &(w, seconds, mbps)) in scaling_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workers\": {w}, \"seconds\": {seconds:.3}, \"info_mbps\": {mbps:.3}, \
+             \"scaling_vs_1_worker\": {:.3}}}{}\n",
+            mbps / scaling_rows[0].2,
+            if i + 1 < scaling_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str(&format!(
         "  \"backpressure\": {{\"frames\": {}, \"seconds\": {:.3}, \"info_mbps\": {:.3}, \
          \"rejected\": {}, \"shed\": {}, \"dropped\": {}, \"ingress_watermark\": {}}}\n",

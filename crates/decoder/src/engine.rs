@@ -15,6 +15,7 @@
 //! bit-identical to a per-variable gather.
 
 use crate::llr_ops::{boxplus_correction_table, boxplus_table_with, CheckRule, LlrFloat};
+use crate::simd::SimdTier;
 use dvbs2_ldpc::TannerGraph;
 
 /// Message precision of a belief-propagation decoder.
@@ -204,7 +205,7 @@ impl BlockedChecks {
 /// A-posteriori totals from transposed-plane messages: identical to
 /// [`accumulate_totals`] — ascending edge order, channel LLR added last —
 /// reading each message through the edge→slot permutation.
-#[inline]
+#[inline(always)]
 pub(crate) fn accumulate_totals_slotted<F: LlrFloat>(
     edge_vars: &[u32],
     edge_to_slot: &[u32],
@@ -244,6 +245,7 @@ const STRIPE: usize = 1024;
 /// NOT accumulated here: scattering in column order would reorder each
 /// variable's sum; callers follow with [`accumulate_totals_slotted`],
 /// which adds in ascending edge order.
+#[inline(always)]
 pub(crate) fn blocked_min_sum_pass<F: LlrFloat>(
     blocked: &BlockedChecks,
     rule: &CheckRule,
@@ -449,6 +451,7 @@ pub(crate) fn blocked_table_sum_product_pass<F: LlrFloat>(
 /// # Panics
 ///
 /// Debug-asserts `1 <= batch <= STRIPE`.
+#[inline(always)]
 pub(crate) fn batched_min_sum_pass<F: LlrFloat>(
     blocked: &BlockedChecks,
     rule: &CheckRule,
@@ -540,7 +543,7 @@ pub(crate) fn batched_min_sum_pass<F: LlrFloat>(
 /// summation order) to [`accumulate_totals_slotted`] — ascending edge
 /// order, channel LLR added last — with every addition amortizing its
 /// `edge_vars`/`edge_to_slot` loads across the `batch` frame lanes.
-#[inline]
+#[inline(always)]
 pub(crate) fn batched_accumulate_totals_slotted<F: LlrFloat>(
     edge_vars: &[u32],
     edge_to_slot: &[u32],
@@ -561,6 +564,123 @@ pub(crate) fn batched_accumulate_totals_slotted<F: LlrFloat>(
         *t = l + *t;
     }
 }
+
+// ---------------------------------------------------------------------------
+// Runtime SIMD dispatch.
+//
+// Each `*_tier` function selects among clones of the kernel above it,
+// compiled with progressively wider `#[target_feature]` sets. The clones
+// call the `#[inline(always)]` base kernel, so the whole loop nest inherits
+// the wrapper's feature set and the auto-vectorizer emits 256-/512-bit code
+// without a compile-time `target-cpu` floor. The clones are the SAME Rust —
+// identical operation order, no contraction — so every tier is bit-identical
+// (pinned by `tests/tiled.rs`). Callers resolve a `SimdTier` once per
+// decoder via `SimdTier::resolve`, which guarantees the tier is supported,
+// making the `unsafe` target-feature calls sound.
+
+macro_rules! tier_kernel_clones {
+    ($(#[$doc:meta])* $dispatch:ident, $base:ident, $avx2:ident, $avx512:ident;
+     ($($arg:ident: $ty:ty),* $(,)?)) => {
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx2")]
+        unsafe fn $avx2<F: LlrFloat>($($arg: $ty,)* correct: impl Fn(F) -> F) {
+            $base($($arg,)* correct);
+        }
+
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx512f")]
+        unsafe fn $avx512<F: LlrFloat>($($arg: $ty,)* correct: impl Fn(F) -> F) {
+            $base($($arg,)* correct);
+        }
+
+        $(#[$doc])*
+        #[allow(clippy::too_many_arguments)]
+        pub(crate) fn $dispatch<F: LlrFloat>(
+            tier: SimdTier,
+            $($arg: $ty,)*
+            correct: impl Fn(F) -> F,
+        ) {
+            match tier {
+                #[cfg(target_arch = "x86_64")]
+                SimdTier::Avx2 => unsafe { $avx2($($arg,)* correct) },
+                #[cfg(target_arch = "x86_64")]
+                SimdTier::Avx512 => unsafe { $avx512($($arg,)* correct) },
+                _ => $base($($arg,)* correct),
+            }
+        }
+    };
+}
+
+macro_rules! tier_accumulate_clones {
+    ($(#[$doc:meta])* $dispatch:ident, $base:ident, $avx2:ident, $avx512:ident;
+     ($($arg:ident: $ty:ty),* $(,)?)) => {
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx2")]
+        unsafe fn $avx2<F: LlrFloat>($($arg: $ty),*) {
+            $base($($arg),*);
+        }
+
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx512f")]
+        unsafe fn $avx512<F: LlrFloat>($($arg: $ty),*) {
+            $base($($arg),*);
+        }
+
+        $(#[$doc])*
+        pub(crate) fn $dispatch<F: LlrFloat>(tier: SimdTier, $($arg: $ty),*) {
+            match tier {
+                #[cfg(target_arch = "x86_64")]
+                SimdTier::Avx2 => unsafe { $avx2($($arg),*) },
+                #[cfg(target_arch = "x86_64")]
+                SimdTier::Avx512 => unsafe { $avx512($($arg),*) },
+                _ => $base($($arg),*),
+            }
+        }
+    };
+}
+
+tier_kernel_clones!(
+    /// [`blocked_min_sum_pass`] dispatched onto the selected SIMD tier.
+    blocked_min_sum_pass_tier, blocked_min_sum_pass,
+    blocked_min_sum_pass_avx2, blocked_min_sum_pass_avx512;
+    (blocked: &BlockedChecks, rule: &CheckRule, totals: &[F], v2c_t: &mut [F], c2v_t: &mut [F])
+);
+
+tier_kernel_clones!(
+    /// [`batched_min_sum_pass`] dispatched onto the selected SIMD tier.
+    batched_min_sum_pass_tier, batched_min_sum_pass,
+    batched_min_sum_pass_avx2, batched_min_sum_pass_avx512;
+    (
+        blocked: &BlockedChecks,
+        rule: &CheckRule,
+        batch: usize,
+        totals: &[F],
+        v2c_t: &mut [F],
+        c2v_t: &mut [F],
+    )
+);
+
+tier_accumulate_clones!(
+    /// [`accumulate_totals_slotted`] dispatched onto the selected SIMD tier.
+    accumulate_totals_slotted_tier, accumulate_totals_slotted,
+    accumulate_totals_slotted_avx2, accumulate_totals_slotted_avx512;
+    (edge_vars: &[u32], edge_to_slot: &[u32], llr: &[F], c2v_t: &[F], totals: &mut [F])
+);
+
+tier_accumulate_clones!(
+    /// [`batched_accumulate_totals_slotted`] dispatched onto the selected
+    /// SIMD tier.
+    batched_accumulate_totals_slotted_tier, batched_accumulate_totals_slotted,
+    batched_accumulate_totals_slotted_avx2, batched_accumulate_totals_slotted_avx512;
+    (
+        edge_vars: &[u32],
+        edge_to_slot: &[u32],
+        batch: usize,
+        llr: &[F],
+        c2v_t: &[F],
+        totals: &mut [F],
+    )
+);
 
 /// [`syndrome_ok_totals`] for one frame lane of a batched totals plane.
 pub(crate) fn syndrome_ok_totals_lane<F: LlrFloat>(

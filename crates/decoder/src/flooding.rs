@@ -13,11 +13,12 @@
 //! its contiguous slice of the planes — no per-check scratch copies.
 
 use crate::engine::{
-    accumulate_totals, accumulate_totals_slotted, blocked_min_sum_pass,
-    blocked_table_sum_product_pass, fused_check_pass, hard_decisions_into, load_llrs,
-    syndrome_ok_totals, BlockedChecks, Precision,
+    accumulate_totals, accumulate_totals_slotted, accumulate_totals_slotted_tier,
+    blocked_min_sum_pass_tier, blocked_table_sum_product_pass, fused_check_pass,
+    hard_decisions_into, load_llrs, syndrome_ok_totals, BlockedChecks, Precision,
 };
 use crate::llr_ops::{CheckRule, LlrFloat};
+use crate::simd::SimdTier;
 use crate::{DecodeResult, Decoder, DecoderConfig};
 use dvbs2_ldpc::{BitVec, TannerGraph};
 use std::sync::Arc;
@@ -41,6 +42,8 @@ pub struct FloodingDecoder {
     graph: Arc<TannerGraph>,
     config: DecoderConfig,
     blocked: BlockedChecks,
+    /// Runtime dispatch tier, resolved once at construction.
+    tier: SimdTier,
     core: Core,
 }
 
@@ -80,6 +83,7 @@ impl<F: LlrFloat> Engine<F> {
         graph: &TannerGraph,
         config: &DecoderConfig,
         blocked: &BlockedChecks,
+        tier: SimdTier,
         channel_llrs: &[f64],
         out: &mut DecodeResult,
     ) {
@@ -134,7 +138,8 @@ impl<F: LlrFloat> Engine<F> {
                 }
                 CheckRule::NormalizedMinSum(alpha) => {
                     let alpha = F::from_f64(alpha);
-                    blocked_min_sum_pass(
+                    blocked_min_sum_pass_tier(
+                        tier,
                         blocked,
                         &config.rule,
                         &self.totals,
@@ -142,7 +147,8 @@ impl<F: LlrFloat> Engine<F> {
                         &mut self.c2v,
                         |m| m * alpha,
                     );
-                    accumulate_totals_slotted(
+                    accumulate_totals_slotted_tier(
+                        tier,
                         edge_vars,
                         blocked.edge_to_slot(),
                         &self.llr,
@@ -152,7 +158,8 @@ impl<F: LlrFloat> Engine<F> {
                 }
                 CheckRule::OffsetMinSum(beta) => {
                     let beta = F::from_f64(beta);
-                    blocked_min_sum_pass(
+                    blocked_min_sum_pass_tier(
+                        tier,
                         blocked,
                         &config.rule,
                         &self.totals,
@@ -160,7 +167,8 @@ impl<F: LlrFloat> Engine<F> {
                         &mut self.c2v,
                         |m| (m - beta).max(F::ZERO),
                     );
-                    accumulate_totals_slotted(
+                    accumulate_totals_slotted_tier(
+                        tier,
                         edge_vars,
                         blocked.edge_to_slot(),
                         &self.llr,
@@ -191,16 +199,22 @@ impl FloodingDecoder {
     /// Creates a decoder for `graph`.
     pub fn new(graph: Arc<TannerGraph>, config: DecoderConfig) -> Self {
         let blocked = BlockedChecks::new(&graph);
+        let tier = SimdTier::resolve(config.simd);
         let core = match config.precision {
             Precision::F64 => Core::F64(Engine::new(&graph)),
             Precision::F32 => Core::F32(Engine::new(&graph)),
         };
-        FloodingDecoder { graph, config, blocked, core }
+        FloodingDecoder { graph, config, blocked, tier, core }
     }
 
     /// The decoder configuration.
     pub fn config(&self) -> &DecoderConfig {
         &self.config
+    }
+
+    /// The SIMD dispatch tier the kernels run on.
+    pub fn simd_tier(&self) -> SimdTier {
+        self.tier
     }
 }
 
@@ -214,12 +228,22 @@ impl Decoder for FloodingDecoder {
     fn decode_into(&mut self, channel_llrs: &[f64], out: &mut DecodeResult) {
         assert_eq!(channel_llrs.len(), self.graph.var_count(), "LLR length mismatch");
         match &mut self.core {
-            Core::F64(e) => {
-                e.decode_into(&self.graph, &self.config, &self.blocked, channel_llrs, out)
-            }
-            Core::F32(e) => {
-                e.decode_into(&self.graph, &self.config, &self.blocked, channel_llrs, out)
-            }
+            Core::F64(e) => e.decode_into(
+                &self.graph,
+                &self.config,
+                &self.blocked,
+                self.tier,
+                channel_llrs,
+                out,
+            ),
+            Core::F32(e) => e.decode_into(
+                &self.graph,
+                &self.config,
+                &self.blocked,
+                self.tier,
+                channel_llrs,
+                out,
+            ),
         }
     }
 

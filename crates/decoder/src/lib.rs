@@ -36,7 +36,6 @@
 
 #![warn(missing_docs)]
 
-mod batch;
 mod bitflip;
 mod de;
 mod engine;
@@ -45,14 +44,15 @@ mod layered;
 mod llr_ops;
 mod qdecoder;
 mod quant;
+mod simd;
 mod stopping;
 mod threshold;
+mod tile;
 mod zigzag;
 
 #[doc(hidden)]
 pub mod test_support;
 
-pub use batch::BatchDecoder;
 pub use bitflip::BitFlippingDecoder;
 pub use de::{Density, DensityEvolution};
 pub use engine::{Precision, LLR_CLAMP};
@@ -61,12 +61,14 @@ pub use layered::LayeredDecoder;
 pub use llr_ops::{boxplus, boxplus_min, boxplus_t, boxplus_table, CheckRule, LlrFloat};
 pub use qdecoder::{ChainPartition, QuantizedZigzagDecoder};
 pub use quant::{QBoxplus, QCheckArithmetic, Quantizer};
+pub use simd::{detected_cpu_features, SimdTier};
 pub use stopping::{
     hard_decisions, hard_decisions_int, hard_decisions_int_into, syndrome_ok, syndrome_weight,
 };
 pub use threshold::{
     ga_converges, ga_threshold_ebn0_db, ga_threshold_sigma, phi, phi_inv, DegreeDistribution,
 };
+pub use tile::{TileGeometry, TileSchedule, TiledBatchDecoder, MAX_TILE_WIDTH};
 pub use zigzag::ZigzagDecoder;
 
 use dvbs2_ldpc::BitVec;
@@ -84,6 +86,12 @@ pub struct DecoderConfig {
     /// Message precision. `F64` (the default) is bit-compatible with the
     /// original double-precision decoders; `F32` is the fast path.
     pub precision: Precision,
+    /// Forced SIMD dispatch tier, or `None` (the default) to auto-detect
+    /// the widest tier the CPU supports. Every tier computes bit-identical
+    /// results; this knob exists for tests and benchmarks that pin a tier,
+    /// and is per-decoder so parallel tests never race on the process-wide
+    /// `DVBS2_SIMD` environment override.
+    pub simd: Option<SimdTier>,
 }
 
 impl Default for DecoderConfig {
@@ -93,6 +101,7 @@ impl Default for DecoderConfig {
             early_stop: true,
             rule: CheckRule::SumProduct,
             precision: Precision::F64,
+            simd: None,
         }
     }
 }
@@ -124,6 +133,13 @@ impl DecoderConfig {
     /// Returns the config with a different message precision.
     pub fn with_precision(mut self, precision: Precision) -> Self {
         self.precision = precision;
+        self
+    }
+
+    /// Returns the config pinned to a SIMD dispatch tier (`None` restores
+    /// auto-detection).
+    pub fn with_simd_tier(mut self, simd: Option<SimdTier>) -> Self {
+        self.simd = simd;
         self
     }
 }

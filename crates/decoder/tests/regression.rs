@@ -15,7 +15,7 @@
 use dvbs2_decoder::test_support::{noisy_llrs, small_code};
 use dvbs2_decoder::{
     hard_decisions, syndrome_ok, CheckRule, DecodeResult, Decoder, DecoderConfig, FloodingDecoder,
-    ZigzagDecoder,
+    LayeredDecoder, TileSchedule, TiledBatchDecoder, ZigzagDecoder,
 };
 use dvbs2_ldpc::TannerGraph;
 use std::sync::Arc;
@@ -210,6 +210,69 @@ impl SeedZigzag {
     }
 }
 
+/// A scalar reference for the layered schedule: the running-totals sweep
+/// with per-check scratch copies, written in the plain per-frame form the
+/// lane kernels were ported from. Pins the schedule's totals/early-stop
+/// behavior so the tiled lane port cannot drift.
+struct SeedLayered {
+    graph: Arc<TannerGraph>,
+    config: DecoderConfig,
+    c2v: Vec<f64>,
+    totals: Vec<f64>,
+    scratch_in: Vec<f64>,
+    scratch_out: Vec<f64>,
+}
+
+impl SeedLayered {
+    fn new(graph: Arc<TannerGraph>, config: DecoderConfig) -> Self {
+        let edges = graph.edge_count();
+        let vars = graph.var_count();
+        let max_degree = (0..graph.check_count()).map(|c| graph.check_degree(c)).max().unwrap_or(0);
+        SeedLayered {
+            graph,
+            config,
+            c2v: vec![0.0; edges],
+            totals: vec![0.0; vars],
+            scratch_in: vec![0.0; max_degree],
+            scratch_out: vec![0.0; max_degree],
+        }
+    }
+
+    fn decode(&mut self, channel_llrs: &[f64]) -> DecodeResult {
+        let graph = Arc::clone(&self.graph);
+        self.c2v.fill(0.0);
+        self.totals.copy_from_slice(channel_llrs);
+        let mut iterations = 0;
+        let mut converged = false;
+
+        for _ in 0..self.config.max_iterations {
+            iterations += 1;
+            for c in 0..graph.check_count() {
+                let range = graph.check_edges(c);
+                let d = range.len();
+                for (i, e) in range.clone().enumerate() {
+                    let v = graph.edge_vars()[e] as usize;
+                    self.scratch_in[i] = self.totals[v] - self.c2v[e];
+                }
+                self.config.rule.extrinsic(&self.scratch_in[..d], &mut self.scratch_out[..d]);
+                for (i, e) in range.enumerate() {
+                    let v = graph.edge_vars()[e] as usize;
+                    self.totals[v] += self.scratch_out[i] - self.c2v[e];
+                    self.c2v[e] = self.scratch_out[i];
+                }
+            }
+            if self.config.early_stop && syndrome_ok(&graph, &hard_decisions(&self.totals)) {
+                converged = true;
+                break;
+            }
+        }
+        if !converged {
+            converged = syndrome_ok(&graph, &hard_decisions(&self.totals));
+        }
+        DecodeResult { bits: hard_decisions(&self.totals), iterations, converged }
+    }
+}
+
 /// Frames spanning the interesting regimes on the N = 16200 rate-1/2 code:
 /// clean convergence, slow convergence near threshold, and undecodable.
 fn frame_seeds() -> Vec<(f64, u64)> {
@@ -228,8 +291,10 @@ fn assert_matches_seed(config: DecoderConfig) {
     let graph = Arc::new(graph);
     let mut new_flood = FloodingDecoder::new(Arc::clone(&graph), config);
     let mut new_zigzag = ZigzagDecoder::new(Arc::clone(&graph), config);
+    let mut new_layered = LayeredDecoder::new(Arc::clone(&graph), config);
     let mut seed_flood = SeedFlooding::new(Arc::clone(&graph), config);
     let mut seed_zigzag = SeedZigzag::new(Arc::clone(&graph), config);
+    let mut seed_layered = SeedLayered::new(Arc::clone(&graph), config);
 
     for (ebn0_db, seed) in frame_seeds() {
         let (_, llrs) = noisy_llrs(&code, ebn0_db, seed);
@@ -245,6 +310,43 @@ fn assert_matches_seed(config: DecoderConfig) {
             z_new, z_old,
             "zigzag diverged from seed at Eb/N0 {ebn0_db} dB, frame seed {seed}"
         );
+        let l_new = new_layered.decode(&llrs);
+        let l_old = seed_layered.decode(&llrs);
+        assert_eq!(
+            l_new, l_old,
+            "layered diverged from seed at Eb/N0 {ebn0_db} dB, frame seed {seed}"
+        );
+    }
+}
+
+/// The tiled batch decoder against the seed references directly: the whole
+/// regression frame set decoded as one ragged-tiled, two-thread batch per
+/// schedule must reproduce the seed decoders' results frame for frame —
+/// the migrated zigzag/layered lane kernels carry the same totals and
+/// early-stop behavior as the originals, with no single-frame decoder in
+/// the comparison chain.
+fn assert_tiled_matches_seed(config: DecoderConfig) {
+    let (code, graph) = small_code();
+    let graph = Arc::new(graph);
+    let frames: Vec<Vec<f64>> =
+        frame_seeds().iter().map(|&(db, s)| noisy_llrs(&code, db, s).1).collect();
+    let views: Vec<&[f64]> = frames.iter().map(|f| f.as_slice()).collect();
+    let mut seed_flood = SeedFlooding::new(Arc::clone(&graph), config);
+    let mut seed_zigzag = SeedZigzag::new(Arc::clone(&graph), config);
+    let mut seed_layered = SeedLayered::new(Arc::clone(&graph), config);
+    for schedule in [TileSchedule::Flooding, TileSchedule::Zigzag, TileSchedule::Layered] {
+        let mut tiled = TiledBatchDecoder::new(Arc::clone(&graph), config, schedule, views.len())
+            .with_tile_width(2)
+            .with_threads(2);
+        let got = tiled.decode_batch(&views);
+        for (i, llrs) in frames.iter().enumerate() {
+            let want = match schedule {
+                TileSchedule::Flooding => seed_flood.decode(llrs),
+                TileSchedule::Zigzag => seed_zigzag.decode(llrs),
+                TileSchedule::Layered => seed_layered.decode(llrs),
+            };
+            assert_eq!(got[i], want, "tiled {schedule:?} diverged from seed on frame {i}");
+        }
     }
 }
 
@@ -263,4 +365,20 @@ fn soa_engines_match_seed_without_early_stop() {
     // Exercises the fixed-iteration path (the benchmark configuration).
     let config = DecoderConfig::default().with_max_iterations(12).with_early_stop(false);
     assert_matches_seed(config);
+}
+
+#[test]
+fn tiled_engines_match_seed_min_sum() {
+    // f64 keeps the comparison bit-exact against the double-precision seed
+    // embeds; the tiled kernels are min-sum only.
+    assert_tiled_matches_seed(DecoderConfig::default().with_rule(CheckRule::NormalizedMinSum(0.8)));
+}
+
+#[test]
+fn tiled_engines_match_seed_without_early_stop() {
+    let config = DecoderConfig::default()
+        .with_rule(CheckRule::OffsetMinSum(0.15))
+        .with_max_iterations(12)
+        .with_early_stop(false);
+    assert_tiled_matches_seed(config);
 }

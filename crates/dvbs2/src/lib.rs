@@ -58,8 +58,9 @@ pub mod prelude {
         AwgnChannel, BerEstimate, FrameOutcome, Modulation, StopRule,
     };
     pub use dvbs2_decoder::{
-        BatchDecoder, CheckRule, DecodeResult, Decoder, DecoderConfig, FloodingDecoder,
-        LayeredDecoder, Precision, QuantizedZigzagDecoder, Quantizer, ZigzagDecoder,
+        CheckRule, DecodeResult, Decoder, DecoderConfig, FloodingDecoder, LayeredDecoder,
+        Precision, QuantizedZigzagDecoder, Quantizer, SimdTier, TileSchedule, TiledBatchDecoder,
+        ZigzagDecoder,
     };
     pub use dvbs2_hardware::{
         optimize_schedule, AnnealOptions, AreaModel, CnSchedule, ConnectivityRom, CoreConfig,
@@ -295,13 +296,14 @@ impl Dvbs2System {
     }
 
     /// [`simulate_ber`](Self::simulate_ber) with a multi-frame
-    /// [`BatchDecoder`](dvbs2_decoder::BatchDecoder): each work-stealing
-    /// chunk of `batch` frames is generated per-index (same RNG streams as
-    /// the per-frame path) and decoded in one fused pass over the adjacency.
+    /// [`TiledBatchDecoder`](dvbs2_decoder::TiledBatchDecoder): each
+    /// work-stealing chunk of `batch` frames is generated per-index (same
+    /// RNG streams as the per-frame path) and decoded as cache-sized tiles,
+    /// replaying the configured schedule (flooding, zigzag or layered).
     ///
-    /// Batched decodes are bit-identical frame for frame to single-frame
-    /// flooding decodes, so with `decoder: DecoderKind::Flooding`, a min-sum
-    /// rule and `batch == BER_CHUNK_FRAMES` this returns *exactly* the
+    /// Tiled decodes are bit-identical frame for frame to the matching
+    /// single-frame decoder, so with a min-sum rule and
+    /// `batch == BER_CHUNK_FRAMES` this returns *exactly* the
     /// [`simulate_ber`](Self::simulate_ber) estimate. Other batch sizes
     /// still count every frame identically; only the whole-chunk early-out
     /// granularity (and hence a `target_frame_errors` run's frame total)
@@ -309,8 +311,10 @@ impl Dvbs2System {
     ///
     /// # Panics
     ///
-    /// Panics if the configured rule is not a min-sum variant (the batched
-    /// kernel is min-sum only) or `batch` is 0 or above 1024.
+    /// Panics if the configured decoder kind is not a tiled schedule
+    /// (flooding, zigzag or layered), if the rule is not a min-sum variant
+    /// (the tiled kernels are min-sum only), or if `batch` is 0 or above
+    /// 1024.
     pub fn simulate_ber_batched(
         &self,
         ebn0_db: f64,
@@ -320,10 +324,17 @@ impl Dvbs2System {
     ) -> dvbs2_channel::BerEstimate {
         let k = self.params().k;
         let base = self.config.seed ^ ebn0_db.to_bits();
+        let schedule = match self.config.decoder {
+            DecoderKind::Flooding => dvbs2_decoder::TileSchedule::Flooding,
+            DecoderKind::Zigzag => dvbs2_decoder::TileSchedule::Zigzag,
+            DecoderKind::Layered => dvbs2_decoder::TileSchedule::Layered,
+            kind => panic!("decoder kind {kind:?} has no tiled batch schedule"),
+        };
         dvbs2_channel::monte_carlo_batches(threads, stop, batch, |_thread| {
-            let mut decoder = dvbs2_decoder::BatchDecoder::new(
+            let mut decoder = dvbs2_decoder::TiledBatchDecoder::new(
                 Arc::clone(&self.graph),
                 self.config.decoder_config,
+                schedule,
                 batch,
             );
             let mut results = Vec::new();
@@ -406,25 +417,28 @@ mod tests {
 
     #[test]
     fn batched_ber_matches_per_frame_ber() {
-        // Batched flooding min-sum decodes are bit-identical per frame, and
-        // batch == BER_CHUNK_FRAMES reproduces the chunk geometry, so the
-        // whole estimate — errors, iterations, early-out point — must match.
+        // Tiled min-sum decodes are bit-identical per frame for every
+        // schedule, and batch == BER_CHUNK_FRAMES reproduces the chunk
+        // geometry, so the whole estimate — errors, iterations, early-out
+        // point — must match.
         use dvbs2_decoder::{CheckRule, Precision};
-        let system = Dvbs2System::new(SystemConfig {
-            frame: FrameSize::Short,
-            decoder: DecoderKind::Flooding,
-            decoder_config: DecoderConfig::default()
-                .with_rule(CheckRule::NormalizedMinSum(0.8))
-                .with_precision(Precision::F32),
-            ..SystemConfig::default()
-        })
-        .unwrap();
-        let stop = StopRule { max_frames: 24, target_frame_errors: 2 };
-        let reference = system.simulate_ber(1.2, stop, 2);
-        for threads in [1, 4] {
-            let batched =
-                system.simulate_ber_batched(1.2, stop, threads, Dvbs2System::BER_CHUNK_FRAMES);
-            assert_eq!(batched, reference, "threads {threads}");
+        for kind in [DecoderKind::Flooding, DecoderKind::Zigzag, DecoderKind::Layered] {
+            let system = Dvbs2System::new(SystemConfig {
+                frame: FrameSize::Short,
+                decoder: kind,
+                decoder_config: DecoderConfig::default()
+                    .with_rule(CheckRule::NormalizedMinSum(0.8))
+                    .with_precision(Precision::F32),
+                ..SystemConfig::default()
+            })
+            .unwrap();
+            let stop = StopRule { max_frames: 24, target_frame_errors: 2 };
+            let reference = system.simulate_ber(1.2, stop, 2);
+            for threads in [1, 4] {
+                let batched =
+                    system.simulate_ber_batched(1.2, stop, threads, Dvbs2System::BER_CHUNK_FRAMES);
+                assert_eq!(batched, reference, "{kind:?} threads {threads}");
+            }
         }
     }
 

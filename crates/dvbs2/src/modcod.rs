@@ -13,7 +13,9 @@
 
 use crate::{DecoderKind, Dvbs2System, SystemConfig};
 use dvbs2_channel::Modulation;
-use dvbs2_decoder::{BatchDecoder, CheckRule, Decoder, DecoderConfig, Precision, Quantizer};
+use dvbs2_decoder::{
+    CheckRule, Decoder, DecoderConfig, Precision, Quantizer, TileSchedule, TiledBatchDecoder,
+};
 use dvbs2_ldpc::{CodeError, CodeParams, CodeRate, FrameSize};
 use std::sync::Arc;
 
@@ -124,24 +126,34 @@ impl ModcodEntry {
         self.system.make_decoder_for(self.profile.kind, self.profile.config)
     }
 
-    /// Creates a multi-frame [`BatchDecoder`] for this slot, or `None` when
-    /// the profile cannot be batched.
+    /// Creates a multi-frame [`TiledBatchDecoder`] for this slot, or `None`
+    /// when the profile cannot be batched.
     ///
     /// Batched decoding is available exactly when it is *transparent*: the
-    /// batched kernel replays the flooding schedule with a min-sum rule and
-    /// is bit-identical, frame for frame, to the profile's single-frame
-    /// decoder — so only `DecoderKind::Flooding` profiles with
+    /// tiled kernels replay the profile's own schedule (flooding, zigzag or
+    /// layered) with a min-sum rule and are bit-identical, frame for frame,
+    /// to the single-frame decoder — so exactly those three kinds with
     /// `NormalizedMinSum`/`OffsetMinSum` rules qualify. Pipeline workers
     /// probe this once per slot and fall back to [`Self::make_decoder`] on
     /// `None`.
-    pub fn make_batch_decoder(&self, max_batch: usize) -> Option<BatchDecoder> {
-        let batchable = matches!(self.profile.kind, DecoderKind::Flooding)
-            && matches!(
-                self.profile.config.rule,
-                CheckRule::NormalizedMinSum(_) | CheckRule::OffsetMinSum(_)
-            );
+    pub fn make_batch_decoder(&self, max_batch: usize) -> Option<TiledBatchDecoder> {
+        let schedule = match self.profile.kind {
+            DecoderKind::Flooding => TileSchedule::Flooding,
+            DecoderKind::Zigzag => TileSchedule::Zigzag,
+            DecoderKind::Layered => TileSchedule::Layered,
+            _ => return None,
+        };
+        let batchable = matches!(
+            self.profile.config.rule,
+            CheckRule::NormalizedMinSum(_) | CheckRule::OffsetMinSum(_)
+        );
         batchable.then(|| {
-            BatchDecoder::new(Arc::clone(self.system.graph()), self.profile.config, max_batch)
+            TiledBatchDecoder::new(
+                Arc::clone(self.system.graph()),
+                self.profile.config,
+                schedule,
+                max_batch,
+            )
         })
     }
 }
@@ -274,29 +286,38 @@ mod tests {
 
     #[test]
     fn batch_decoders_exist_exactly_for_batchable_profiles() {
-        // Default profiles never batch: flooding slots keep the exact
-        // sum-product rule, the rest are not flooding at all.
+        // Default profiles never batch: the floating-point slots keep the
+        // exact sum-product rule (not min-sum), and the quantized slot is
+        // not a tiled schedule at all.
         let t = table();
         for slot in 0..t.len() {
             assert!(t.entry(slot).make_batch_decoder(8).is_none(), "slot {slot}");
         }
-        // A flooding + min-sum profile batches, and the batch decoder
-        // matches the slot's single-frame decoder on a clean frame.
+        // Min-sum profiles batch for all three tiled schedules, and the
+        // batch decoder matches the slot's single-frame decoder on a clean
+        // frame.
         let m = Modcod::new(Modulation::Bpsk, CodeRate::R1_2, FrameSize::Short);
-        let profile = DecoderProfile {
-            kind: DecoderKind::Flooding,
-            config: DecoderConfig::default()
-                .with_rule(CheckRule::NormalizedMinSum(0.8))
-                .with_precision(Precision::F32),
-        };
-        let t = ModcodTable::with_profiles(&[(m, profile)]).unwrap();
-        let entry = t.entry(0);
-        let mut batch = entry.make_batch_decoder(4).expect("flooding min-sum batches");
-        let llrs = vec![5.0; entry.frame_len()];
-        let single = entry.make_decoder().decode(&llrs);
-        let outs = batch.decode_batch(&[&llrs, &llrs, &llrs]);
-        for (i, out) in outs.iter().enumerate() {
-            assert_eq!(*out, single, "lane {i}");
+        for (kind, schedule) in [
+            (DecoderKind::Flooding, TileSchedule::Flooding),
+            (DecoderKind::Zigzag, TileSchedule::Zigzag),
+            (DecoderKind::Layered, TileSchedule::Layered),
+        ] {
+            let profile = DecoderProfile {
+                kind,
+                config: DecoderConfig::default()
+                    .with_rule(CheckRule::NormalizedMinSum(0.8))
+                    .with_precision(Precision::F32),
+            };
+            let t = ModcodTable::with_profiles(&[(m, profile)]).unwrap();
+            let entry = t.entry(0);
+            let mut batch = entry.make_batch_decoder(4).expect("min-sum profiles batch");
+            assert_eq!(batch.schedule(), schedule);
+            let llrs = vec![5.0; entry.frame_len()];
+            let single = entry.make_decoder().decode(&llrs);
+            let outs = batch.decode_batch(&[&llrs, &llrs, &llrs]);
+            for (i, out) in outs.iter().enumerate() {
+                assert_eq!(*out, single, "{schedule:?} lane {i}");
+            }
         }
     }
 

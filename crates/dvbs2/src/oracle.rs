@@ -619,6 +619,7 @@ fn run_case_with(case_index: u64, case: &CaseSpec, cache: &ContextCache) -> Vec<
         early_stop: case.early_stop,
         rule: CheckRule::SumProduct,
         precision: Precision::F64,
+        simd: None,
     };
 
     // --- the decoder matrix -------------------------------------------------
@@ -1140,6 +1141,7 @@ pub fn run_partition_sweep(master_seed: u64, threads: usize) -> OracleReport {
                         early_stop: case.early_stop,
                         rule: CheckRule::SumProduct,
                         precision: Precision::F64,
+                        simd: None,
                     },
                     ctx.partition.clone(),
                 );
@@ -1291,6 +1293,7 @@ pub fn run_fault_suite(rate: CodeRate, frame: FrameSize, master_seed: u64) -> Fa
                 early_stop: true,
                 rule: CheckRule::SumProduct,
                 precision: Precision::F64,
+                simd: None,
             };
             sub.push(FloodingDecoder::new(Arc::clone(ctx.graph()), float_config).decode(llrs));
             sub.push(

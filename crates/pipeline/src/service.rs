@@ -32,7 +32,7 @@ use crate::queue::BoundedQueue;
 use crate::stats::{PipelineStats, StatsCore};
 use dvbs2::ModcodTable;
 use dvbs2_channel::LlrFrame;
-use dvbs2_decoder::{BatchDecoder, DecodeResult, Decoder};
+use dvbs2_decoder::{DecodeResult, Decoder, TiledBatchDecoder};
 use dvbs2_hardware::{ThroughputModel, ST_0_13_UM};
 use dvbs2_ldpc::BitVec;
 use std::collections::{BTreeMap, HashMap};
@@ -382,8 +382,10 @@ impl Drop for DecodePipeline {
 fn worker_loop(shared: &Shared) {
     let mut decoders: HashMap<usize, Box<dyn Decoder + Send>> = HashMap::new();
     // Batched decoders are probed lazily per slot; `None` is cached too, so
-    // unbatchable slots pay the profile check once, not per batch.
-    let mut batch_decoders: HashMap<usize, Option<BatchDecoder>> = HashMap::new();
+    // unbatchable slots pay the profile check once, not per batch. The tiled
+    // decoder stays single-threaded here — the pipeline's parallelism axis
+    // is its own worker pool, one `worker_loop` per thread.
+    let mut batch_decoders: HashMap<usize, Option<TiledBatchDecoder>> = HashMap::new();
     let mut scratch = DecodeResult::default();
     let mut results: Vec<DecodeResult> = Vec::new();
     let mut batch: Vec<WorkItem> = Vec::new();

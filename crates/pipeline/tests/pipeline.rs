@@ -157,7 +157,7 @@ fn multithreaded_decode_is_bit_identical_to_single_threaded() {
 fn batched_worker_path_is_bit_identical_to_per_frame_path() {
     // A single-slot table whose profile batches (flooding + min-sum): with
     // min_batch > 1 every worker grab forms a same-slot run of ≥ 2 frames
-    // and decodes it through the multi-frame BatchDecoder. The batched
+    // and decodes it through the multi-frame TiledBatchDecoder. The tiled
     // kernel is bit-identical per frame, so egress must match the
     // single-frame reference decoder exactly — bits, iterations and
     // convergence — proving consumers cannot tell which path ran.
