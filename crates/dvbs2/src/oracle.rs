@@ -41,9 +41,10 @@ use dvbs2_decoder::{
 };
 use dvbs2_hardware::{
     hw_chain_partition, optimize_schedule, simulate_cn_phase, AccessStats, AnnealOptions,
-    CnSchedule, ConnectivityRom, CoreConfig, GoldenModel, HardwareDecoder, MemoryConfig, RamFault,
+    CnSchedule, ConnectivityRom, CoreConfig, FaultActivation, FaultScenario, FuFault, GoldenModel,
+    HardwareDecoder, MemoryConfig, RamFault, TimedRamFault,
 };
-use dvbs2_ldpc::{BitVec, CodeRate, DvbS2Code, FrameSize, TannerGraph};
+use dvbs2_ldpc::{BitVec, CodeRate, DvbS2Code, FrameSize, TannerGraph, PARALLELISM};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -135,11 +136,14 @@ pub struct CaseSpec {
     /// interleaver and the max-log demapper, so interleaved LLR ordering
     /// reaches every decoder.
     pub modulation: Modulation,
-    /// RAM defect injected into *both* the timed core and the golden model
-    /// (`None` = healthy RAM). The word address is reduced modulo the
-    /// code's RAM size at run time, so a spec stays valid when the shrinker
-    /// demotes the frame size.
-    pub fault: Option<RamFault>,
+    /// Fault scenario injected into *both* the timed core and the golden
+    /// model (empty = healthy hardware): up to four concurrent RAM faults,
+    /// each permanent, iteration-windowed, or probabilistically active per
+    /// commit, plus an optional stuck FU output lane. Word addresses are
+    /// reduced modulo the code's RAM size (and FU units modulo 360) at run
+    /// time, so a spec stays valid when the shrinker demotes the frame
+    /// size.
+    pub fault: FaultScenario,
 }
 
 impl CaseSpec {
@@ -209,16 +213,54 @@ impl CaseSpec {
             1 => Modulation::Qpsk,
             _ => Modulation::Bpsk,
         };
-        let fault = if next() % 4 == 0 {
+        let mut fault = FaultScenario::none();
+        if next() % 4 == 0 {
             let word = (next() % 1024) as usize;
-            if next() % 2 == 0 {
-                Some(RamFault::StuckWord { word, value: (next() % 63) as i32 - 31 })
+            let primary = if next() % 2 == 0 {
+                RamFault::StuckWord { word, value: (next() % 63) as i32 - 31 }
             } else {
-                Some(RamFault::FlippedBits { word, mask: 1 + (next() % 31) as i32 })
+                RamFault::FlippedBits { word, mask: 1 + (next() % 31) as i32 }
+            };
+            // Scenario extensions draw strictly after the original fault
+            // draws, so a given (master_seed, index) keeps its pre-PR-7
+            // fault word and kind. Half the faulted cases stay permanent;
+            // the rest become iteration-windowed or per-commit random
+            // upsets.
+            let activation = match next() % 4 {
+                0 => {
+                    let from = (next() % 3) as u32;
+                    FaultActivation::Window { from, until: from + 1 + (next() % 4) as u32 }
+                }
+                1 => FaultActivation::Random {
+                    seed: next() as u32,
+                    per_mille: 50 + (next() % 451) as u32,
+                },
+                _ => FaultActivation::Permanent,
+            };
+            fault.push_ram(TimedRamFault { fault: primary, activation });
+            // A third of faulted cases carry a second, independent
+            // permanent defect to exercise multi-fault interaction.
+            if next() % 3 == 0 {
+                let word = (next() % 1024) as usize;
+                let second = if next() % 2 == 0 {
+                    RamFault::StuckWord { word, value: (next() % 63) as i32 - 31 }
+                } else {
+                    RamFault::FlippedBits { word, mask: 1 + (next() % 31) as i32 }
+                };
+                fault.push_ram(TimedRamFault::permanent(second));
             }
-        } else {
-            None
-        };
+        }
+        // Independent datapath-defect dimension: one in eight cases runs
+        // with a stuck sign or magnitude lane in one functional unit.
+        if next() % 8 == 0 {
+            let unit = (next() % PARALLELISM as u64) as usize;
+            let fu = if next() % 2 == 0 {
+                FuFault::StuckSign { unit, negative: next() % 2 == 0 }
+            } else {
+                FuFault::StuckMag { unit, value: (next() % 32) as i32 }
+            };
+            fault.set_fu(Some(fu));
+        }
         CaseSpec {
             seed: mix_seed(master_seed ^ 0x0DD5_B2C0_DEC0_DE00, index),
             rate,
@@ -272,11 +314,46 @@ impl fmt::Display for CaseSpec {
             self.memory.fu_latency,
             self.p_io,
         )?;
-        match self.fault {
-            None => Ok(()),
-            Some(RamFault::StuckWord { word, value }) => write!(f, " fault=stuck@{word}:{value}"),
-            Some(RamFault::FlippedBits { word, mask }) => write!(f, " fault=flip@{word}:{mask}"),
+        if self.fault.is_empty() {
+            return Ok(());
         }
+        // A single permanent RAM fault prints exactly as it did before the
+        // scenario grammar existed, so historical repro strings stay the
+        // canonical spelling of the cases they name.
+        write!(f, " fault=")?;
+        let mut first = true;
+        let mut sep = |f: &mut fmt::Formatter<'_>| {
+            if first {
+                first = false;
+                Ok(())
+            } else {
+                write!(f, ",")
+            }
+        };
+        for timed in self.fault.ram_faults() {
+            sep(f)?;
+            match timed.fault {
+                RamFault::StuckWord { word, value } => write!(f, "stuck@{word}:{value}")?,
+                RamFault::FlippedBits { word, mask } => write!(f, "flip@{word}:{mask}")?,
+            }
+            match timed.activation {
+                FaultActivation::Permanent => {}
+                FaultActivation::Window { from, until } => write!(f, "~{from}..{until}")?,
+                FaultActivation::Random { seed, per_mille } => {
+                    write!(f, "~p{per_mille}:{seed}")?;
+                }
+            }
+        }
+        if let Some(fu) = self.fault.fu_fault() {
+            sep(f)?;
+            match fu {
+                FuFault::StuckSign { unit, negative } => {
+                    write!(f, "fusign@{unit}:{}", if negative { '-' } else { '+' })?;
+                }
+                FuFault::StuckMag { unit, value } => write!(f, "fumag@{unit}:{value}")?,
+            }
+        }
+        Ok(())
     }
 }
 
@@ -300,10 +377,23 @@ impl FromStr for CaseSpec {
     ///
     /// The `sched=`, `mem=BxPxL`, `pio=`, `mod=` and `fault=` keys are
     /// optional and default to the natural schedule, the paper memory
-    /// configuration, `p_io = 10`, BPSK, and a healthy RAM, so repro
+    /// configuration, `p_io = 10`, BPSK, and healthy hardware, so repro
     /// strings recorded before those dimensions existed still parse.
-    /// Faults spell as `fault=stuck@WORD:VALUE` or `fault=flip@WORD:MASK`
-    /// (`fault=none` is also accepted).
+    ///
+    /// `fault=` takes a comma-separated list of fault atoms
+    /// (`fault=none` is also accepted):
+    ///
+    /// * `stuck@WORD:VALUE` / `flip@WORD:MASK` — a RAM defect, permanent
+    ///   unless followed by an activation suffix: `~FROM..UNTIL` confines
+    ///   it to a half-open iteration window, `~pPER_MILLE:SEED` makes each
+    ///   commit independently corrupt with probability `PER_MILLE/1000`;
+    /// * `fusign@UNIT:+` / `fusign@UNIT:-` — a functional unit whose
+    ///   output sign lane is stuck;
+    /// * `fumag@UNIT:VALUE` — a functional unit whose output magnitude
+    ///   lanes are stuck at `VALUE`.
+    ///
+    /// Pre-scenario strings (`fault=stuck@W:V`, `fault=flip@W:M`) are a
+    /// strict subset of this grammar and keep their exact meaning.
     fn from_str(text: &str) -> Result<Self, Self::Err> {
         let err = |what: &str| ParseCaseError(format!("{what} in {text:?}"));
         let mut fields: HashMap<&str, &str> = HashMap::new();
@@ -352,19 +442,70 @@ impl FromStr for CaseSpec {
             Some(_) => return Err(err("mod")),
         };
         let fault = match fields.get("fault").copied() {
-            None | Some("none") => None,
+            None | Some("none") => FaultScenario::none(),
             Some(spec) => {
-                let parse = |body: &str| -> Option<(usize, i32)> {
+                let parse_pair = |body: &str| -> Option<(usize, i32)> {
                     let (word, arg) = body.split_once(':')?;
                     Some((word.parse().ok()?, arg.parse().ok()?))
                 };
-                if let Some((word, value)) = spec.strip_prefix("stuck@").and_then(parse) {
-                    Some(RamFault::StuckWord { word, value })
-                } else if let Some((word, mask)) = spec.strip_prefix("flip@").and_then(parse) {
-                    Some(RamFault::FlippedBits { word, mask })
-                } else {
-                    return Err(err("fault"));
+                let parse_activation = |suffix: &str| -> Option<FaultActivation> {
+                    if let Some(body) = suffix.strip_prefix('p') {
+                        let (per_mille, seed) = body.split_once(':')?;
+                        Some(FaultActivation::Random {
+                            seed: seed.parse().ok()?,
+                            per_mille: per_mille.parse().ok()?,
+                        })
+                    } else {
+                        let (from, until) = suffix.split_once("..")?;
+                        Some(FaultActivation::Window {
+                            from: from.parse().ok()?,
+                            until: until.parse().ok()?,
+                        })
+                    }
+                };
+                let mut scenario = FaultScenario::none();
+                for atom in spec.split(',') {
+                    if let Some(body) = atom.strip_prefix("fusign@") {
+                        let fu = match body.split_once(':') {
+                            Some((unit, "+")) => FuFault::StuckSign {
+                                unit: unit.parse().map_err(|_| err("fault"))?,
+                                negative: false,
+                            },
+                            Some((unit, "-")) => FuFault::StuckSign {
+                                unit: unit.parse().map_err(|_| err("fault"))?,
+                                negative: true,
+                            },
+                            _ => return Err(err("fault")),
+                        };
+                        scenario.set_fu(Some(fu));
+                    } else if let Some((unit, value)) =
+                        atom.strip_prefix("fumag@").and_then(parse_pair)
+                    {
+                        scenario.set_fu(Some(FuFault::StuckMag { unit, value }));
+                    } else {
+                        let (base, activation) = match atom.split_once('~') {
+                            Some((base, suffix)) => {
+                                (base, parse_activation(suffix).ok_or_else(|| err("fault"))?)
+                            }
+                            None => (atom, FaultActivation::Permanent),
+                        };
+                        let ram = if let Some((word, value)) =
+                            base.strip_prefix("stuck@").and_then(parse_pair)
+                        {
+                            RamFault::StuckWord { word, value }
+                        } else if let Some((word, mask)) =
+                            base.strip_prefix("flip@").and_then(parse_pair)
+                        {
+                            RamFault::FlippedBits { word, mask }
+                        } else {
+                            return Err(err("fault"));
+                        };
+                        if !scenario.push_ram(TimedRamFault { fault: ram, activation }) {
+                            return Err(err("fault"));
+                        }
+                    }
                 }
+                scenario
             }
         };
         Ok(CaseSpec {
@@ -588,13 +729,33 @@ struct MatrixEntry {
     word_contract: bool,
 }
 
-/// Reduces a spec's fault word into the code's RAM so one repro string stays
-/// valid across frame sizes (the shrinker demotes Normal to Short).
-fn clamp_fault(fault: Option<RamFault>, words: usize) -> Option<RamFault> {
-    fault.map(|f| match f {
-        RamFault::StuckWord { word, value } => RamFault::StuckWord { word: word % words, value },
-        RamFault::FlippedBits { word, mask } => RamFault::FlippedBits { word: word % words, mask },
-    })
+/// Reduces a scenario's fault words into the code's RAM (and FU units into
+/// the 360-wide array) so one repro string stays valid across frame sizes
+/// (the shrinker demotes Normal to Short).
+fn clamp_fault(fault: FaultScenario, words: usize) -> FaultScenario {
+    let mut out = FaultScenario::none();
+    for timed in fault.ram_faults() {
+        let clamped = match timed.fault {
+            RamFault::StuckWord { word, value } => {
+                RamFault::StuckWord { word: word % words, value }
+            }
+            RamFault::FlippedBits { word, mask } => {
+                RamFault::FlippedBits { word: word % words, mask }
+            }
+        };
+        out.push_ram(TimedRamFault { fault: clamped, activation: timed.activation });
+    }
+    if let Some(fu) = fault.fu_fault() {
+        out.set_fu(Some(match fu {
+            FuFault::StuckSign { unit, negative } => {
+                FuFault::StuckSign { unit: unit % PARALLELISM, negative }
+            }
+            FuFault::StuckMag { unit, value } => {
+                FuFault::StuckMag { unit: unit % PARALLELISM, value }
+            }
+        }));
+    }
+    out
 }
 
 /// Runs the full decoder matrix on one generated case and returns any
@@ -695,8 +856,8 @@ fn run_case_with(case_index: u64, case: &CaseSpec, cache: &ContextCache) -> Vec<
         case.max_iterations,
         case.early_stop,
     );
-    hw.set_fault(fault);
-    golden.set_fault(fault);
+    hw.set_scenario(fault);
+    golden.set_scenario(fault);
     let channel = hw.quantize_channel(&frame.llrs);
     let mut hw_trace = Vec::new();
     let mut golden_trace = Vec::new();
@@ -737,13 +898,13 @@ fn run_case_with(case_index: u64, case: &CaseSpec, cache: &ContextCache) -> Vec<
     entries.push(MatrixEntry {
         name: "hardware",
         result: hw_out.result.clone(),
-        word_contract: fault.is_none(),
+        word_contract: fault.is_empty(),
     });
 
     // --- boundary-exact class: golden vs partitioned software decoder ------
     // The partitioned software decoder has no RAM to corrupt, so the
     // bit-exact comparison only holds against a healthy golden model.
-    if fault.is_none() {
+    if fault.is_empty() {
         let mut partitioned = QuantizedZigzagDecoder::with_partition(
             Arc::clone(ctx.graph()),
             QCheckArithmetic::lut(quantizer),
@@ -941,19 +1102,49 @@ pub fn run(config: &OracleConfig) -> OracleReport {
     OracleReport { cases: config.cases, rates_covered, frames_covered, violations }
 }
 
-/// Forces a RAM fault onto a generated case: keeps the generator's fault
-/// when it drew one, otherwise derives a deterministic fault from the case
-/// seed. This is how the fault-differential sweep guarantees that *every*
-/// case exercises the corrupted write path.
+/// Forces a fault scenario onto a generated case: keeps the generator's
+/// scenario when it drew one, otherwise derives a deterministic one from
+/// the case seed. This is how the fault-differential sweep guarantees that
+/// *every* case exercises the corrupted write path. Derived scenarios span
+/// the full dimension: permanent, windowed and random activations, a
+/// second concurrent defect, and stuck FU lanes.
 fn force_fault(mut case: CaseSpec) -> CaseSpec {
-    if case.fault.is_none() {
+    if case.fault.is_empty() {
         let x = mix_seed(case.seed, 0xFA07);
         let word = (x % 1024) as usize;
-        case.fault = Some(if x & 1 == 0 {
+        let primary = if x & 1 == 0 {
             RamFault::StuckWord { word, value: ((x >> 10) % 63) as i32 - 31 }
         } else {
             RamFault::FlippedBits { word, mask: 1 + ((x >> 10) % 31) as i32 }
-        });
+        };
+        let activation = match (x >> 16) % 4 {
+            0 => {
+                let from = ((x >> 18) % 3) as u32;
+                FaultActivation::Window { from, until: from + 1 + ((x >> 20) % 4) as u32 }
+            }
+            1 => FaultActivation::Random {
+                seed: (x >> 24) as u32,
+                per_mille: 50 + ((x >> 18) % 451) as u32,
+            },
+            _ => FaultActivation::Permanent,
+        };
+        case.fault.push_ram(TimedRamFault { fault: primary, activation });
+        if (x >> 5).is_multiple_of(3) {
+            let word = ((x >> 32) % 1024) as usize;
+            case.fault.push_ram(TimedRamFault::permanent(if (x >> 6) & 1 == 0 {
+                RamFault::StuckWord { word, value: ((x >> 42) % 63) as i32 - 31 }
+            } else {
+                RamFault::FlippedBits { word, mask: 1 + ((x >> 42) % 31) as i32 }
+            }));
+        }
+        if (x >> 7).is_multiple_of(4) {
+            let unit = ((x >> 48) % PARALLELISM as u64) as usize;
+            case.fault.set_fu(Some(if (x >> 8) & 1 == 0 {
+                FuFault::StuckSign { unit, negative: (x >> 9) & 1 == 0 }
+            } else {
+                FuFault::StuckMag { unit, value: ((x >> 56) % 32) as i32 }
+            }));
+        }
     }
     case
 }
@@ -986,8 +1177,8 @@ fn run_fault_case(case_index: u64, case: &CaseSpec, cache: &ContextCache) -> Vec
         case.max_iterations,
         case.early_stop,
     );
-    hw.set_fault(fault);
-    golden.set_fault(fault);
+    hw.set_scenario(fault);
+    golden.set_scenario(fault);
     let channel = hw.quantize_channel(&frame.llrs);
     let mut hw_trace = Vec::new();
     let mut golden_trace = Vec::new();
@@ -1036,8 +1227,8 @@ fn run_fault_case(case_index: u64, case: &CaseSpec, cache: &ContextCache) -> Vec
     violations
 }
 
-/// Runs `config.cases` generated cases with a RAM fault forced onto every
-/// one and checks the fault-differential contract: the faulted
+/// Runs `config.cases` generated cases with a fault scenario forced onto
+/// every one and checks the fault-differential contract: the faulted
 /// [`HardwareDecoder`] must be bit-exact — decisions *and* per-iteration
 /// message digests — against the equally-faulted [`GoldenModel`].
 /// Deterministic for a given `master_seed` regardless of `threads`.
@@ -1119,7 +1310,7 @@ pub fn run_partition_sweep(master_seed: u64, threads: usize) -> OracleReport {
                     memory: MemoryConfig::default(),
                     p_io: 10,
                     modulation: Modulation::Bpsk,
-                    fault: None,
+                    fault: FaultScenario::none(),
                 };
                 let ctx =
                     context_for(&cache, case.rate, case.frame, case.schedule, case.memory);
@@ -1201,7 +1392,9 @@ impl FaultReport {
 
 /// Runs the fault-injection suite on one (rate, frame) point:
 ///
-/// * stuck and bit-flipped RAM words in the hardware model;
+/// * stuck and bit-flipped RAM words in the hardware model, plus
+///   multi-word, iteration-windowed, per-commit-random, and stuck-FU-lane
+///   scenarios;
 /// * an all-zero LLR frame (erased channel) through the whole matrix —
 ///   degrades to the all-zero codeword, which is valid, so decoders
 ///   legitimately report convergence;
@@ -1229,7 +1422,7 @@ pub fn run_fault_suite(rate: CodeRate, frame: FrameSize, master_seed: u64) -> Fa
         memory: MemoryConfig::default(),
         p_io: 10,
         modulation: Modulation::Bpsk,
-        fault: None,
+        fault: FaultScenario::none(),
     };
     let mut violate = |index: usize, contract: &'static str, detail: String| {
         report.violations.push(Violation {
@@ -1244,20 +1437,44 @@ pub fn run_fault_suite(rate: CodeRate, frame: FrameSize, master_seed: u64) -> Fa
     let mut rng = SmallRng::seed_from_u64(master_seed);
     let noisy = ctx.system().transmit_frame(&mut rng, base.ebn0_db - 0.4);
 
-    // Stuck/flipped RAM words at several positions, on the near-threshold
-    // frame (the interesting regime: the fault competes with real noise).
+    // Fault scenarios on the near-threshold frame (the interesting regime:
+    // the fault competes with real noise): stuck/flipped RAM words at
+    // several positions, then multi-word, iteration-windowed, per-commit
+    // random, and stuck-FU-lane scenarios.
     let words = ctx.code.rom.words();
-    let faults = [
+    let singles = [
         RamFault::StuckWord { word: 0, value: quantizer.max_mag() },
         RamFault::StuckWord { word: words / 2, value: -quantizer.max_mag() },
         RamFault::StuckWord { word: words - 1, value: 0 },
         RamFault::FlippedBits { word: words / 3, mask: 0b1 },
         RamFault::FlippedBits { word: 2 * words / 3, mask: 0b11111 },
     ];
-    for (i, fault) in faults.into_iter().enumerate() {
+    let mut scenarios: Vec<FaultScenario> = singles.into_iter().map(FaultScenario::from).collect();
+    scenarios.push(
+        FaultScenario::single(RamFault::StuckWord { word: 0, value: quantizer.max_mag() })
+            .with_ram(TimedRamFault::permanent(RamFault::FlippedBits {
+                word: words / 2,
+                mask: 0b111,
+            })),
+    );
+    scenarios.push(FaultScenario::none().with_ram(TimedRamFault {
+        fault: RamFault::StuckWord { word: words / 4, value: -quantizer.max_mag() },
+        activation: FaultActivation::Window { from: 1, until: 3 },
+    }));
+    scenarios.push(FaultScenario::none().with_ram(TimedRamFault {
+        fault: RamFault::FlippedBits { word: words / 5, mask: 0b1111 },
+        activation: FaultActivation::Random { seed: master_seed as u32, per_mille: 250 },
+    }));
+    scenarios
+        .push(FaultScenario::none().with_fu(Some(FuFault::StuckSign { unit: 17, negative: true })));
+    scenarios.push(
+        FaultScenario::single(RamFault::FlippedBits { word: words / 7, mask: 0b10 })
+            .with_fu(Some(FuFault::StuckMag { unit: PARALLELISM - 1, value: 0 })),
+    );
+    for (i, fault) in scenarios.into_iter().enumerate() {
         report.scenarios += 1;
         let mut hw = HardwareDecoder::new(ctx.code(), ctx.schedule.clone(), core_config);
-        hw.set_fault(Some(fault));
+        hw.set_scenario(fault);
         let outcome = catch_unwind(AssertUnwindSafe(|| hw.decode(&noisy.llrs)));
         match outcome {
             Err(_) => violate(i, "fault-panic", format!("{fault:?}: decode panicked")),
@@ -1344,8 +1561,10 @@ pub fn run_fault_suite(rate: CodeRate, frame: FrameSize, master_seed: u64) -> Fa
 /// fewer iterations, Short instead of Normal frames, the default 6-bit
 /// quantizer, fixed-iteration (`early_stop = false`) operation, the
 /// natural schedule, the default memory configuration, the default
-/// `p_io = 10`, BPSK modulation, and a simpler (or absent) RAM fault —
-/// a stuck word shrinks toward value `0`, a flipped word toward mask `1`.
+/// `p_io = 10`, BPSK modulation, and a simpler (or absent) fault scenario —
+/// the FU fault drops first, then RAM faults drop one at a time,
+/// activations simplify toward permanent, a stuck word shrinks toward
+/// value `0`, and a flipped word toward mask `1`.
 ///
 /// `still_fails` must return `true` when a candidate case still reproduces
 /// the original failure; the shrinker keeps the smallest candidate that does.
@@ -1381,25 +1600,41 @@ pub fn shrink_case<F: FnMut(&CaseSpec) -> bool>(
         if best.modulation != Modulation::Bpsk {
             candidates.push(CaseSpec { modulation: Modulation::Bpsk, ..best });
         }
-        match best.fault {
-            None => {}
-            Some(RamFault::StuckWord { word, value }) => {
-                candidates.push(CaseSpec { fault: None, ..best });
-                if value != 0 {
-                    candidates.push(CaseSpec {
-                        fault: Some(RamFault::StuckWord { word, value: 0 }),
-                        ..best
-                    });
-                }
+        if best.fault.fu_fault().is_some() {
+            candidates.push(CaseSpec { fault: best.fault.with_fu(None), ..best });
+        }
+        let rams: Vec<TimedRamFault> = best.fault.ram_faults().copied().collect();
+        let rebuild = |rams: &[TimedRamFault]| {
+            let mut s = FaultScenario::none();
+            for t in rams {
+                s.push_ram(*t);
             }
-            Some(RamFault::FlippedBits { word, mask }) => {
-                candidates.push(CaseSpec { fault: None, ..best });
-                if mask != 1 {
-                    candidates.push(CaseSpec {
-                        fault: Some(RamFault::FlippedBits { word, mask: 1 }),
-                        ..best
-                    });
+            s.with_fu(best.fault.fu_fault())
+        };
+        for i in 0..rams.len() {
+            // Drop fault `i` entirely (one fault shrinks to no fault).
+            let mut fewer = rams.clone();
+            fewer.remove(i);
+            candidates.push(CaseSpec { fault: rebuild(&fewer), ..best });
+            // Simplify fault `i` in place: activation toward permanent,
+            // stuck value toward 0, flip mask toward 1.
+            if rams[i].activation != FaultActivation::Permanent {
+                let mut simpler = rams.clone();
+                simpler[i].activation = FaultActivation::Permanent;
+                candidates.push(CaseSpec { fault: rebuild(&simpler), ..best });
+            }
+            match rams[i].fault {
+                RamFault::StuckWord { word, value } if value != 0 => {
+                    let mut simpler = rams.clone();
+                    simpler[i].fault = RamFault::StuckWord { word, value: 0 };
+                    candidates.push(CaseSpec { fault: rebuild(&simpler), ..best });
                 }
+                RamFault::FlippedBits { word, mask } if mask != 1 => {
+                    let mut simpler = rams.clone();
+                    simpler[i].fault = RamFault::FlippedBits { word, mask: 1 };
+                    candidates.push(CaseSpec { fault: rebuild(&simpler), ..best });
+                }
+                _ => {}
             }
         }
         match candidates.into_iter().find(|c| still_fails(c)) {
@@ -1444,6 +1679,123 @@ mod tests {
         let case = CaseSpec { modulation: Modulation::Qpsk, ..CaseSpec::generate(7, 3) };
         let parsed: CaseSpec = case.to_string().parse().unwrap();
         assert_eq!(parsed, case);
+    }
+
+    #[test]
+    fn pre_scenario_fault_strings_parse_to_the_same_single_fault() {
+        // Backward-compatibility pin: every pre-scenario `fault=` spelling
+        // must parse to a scenario holding exactly that single permanent
+        // RAM fault — structurally equal to what the old `Option<RamFault>`
+        // API injected (`set_fault` is defined as that conversion, so
+        // structural equality pins behavioral identity) — and must print
+        // back byte-identically.
+        let base = CaseSpec { fault: FaultScenario::none(), ..CaseSpec::generate(7, 3) };
+        for (spec, fault) in [
+            ("stuck@421:-31", RamFault::StuckWord { word: 421, value: -31 }),
+            ("stuck@0:0", RamFault::StuckWord { word: 0, value: 0 }),
+            ("flip@97:31", RamFault::FlippedBits { word: 97, mask: 31 }),
+            ("flip@1023:1", RamFault::FlippedBits { word: 1023, mask: 1 }),
+        ] {
+            let text = format!("{base} fault={spec}");
+            let parsed: CaseSpec = text.parse().unwrap();
+            assert_eq!(parsed.fault.as_single_permanent(), Some(fault), "{spec}");
+            assert_eq!(parsed.fault, FaultScenario::from(fault), "{spec}");
+            assert_eq!(parsed.to_string(), text, "legacy spelling must stay canonical");
+        }
+        let healthy: CaseSpec = format!("{base} fault=none").parse().unwrap();
+        assert!(healthy.fault.is_empty());
+    }
+
+    #[test]
+    fn scenario_fault_strings_round_trip() {
+        let base = CaseSpec::generate(7, 3);
+        let scenarios = [
+            // Multi-fault with a window, plus a stuck FU sign lane.
+            FaultScenario::none()
+                .with_ram(TimedRamFault {
+                    fault: RamFault::StuckWord { word: 12, value: -3 },
+                    activation: FaultActivation::Window { from: 1, until: 4 },
+                })
+                .with_ram(TimedRamFault::permanent(RamFault::FlippedBits { word: 900, mask: 17 }))
+                .with_fu(Some(FuFault::StuckSign { unit: 359, negative: true })),
+            // Per-commit random upset.
+            FaultScenario::none().with_ram(TimedRamFault {
+                fault: RamFault::FlippedBits { word: 7, mask: 1 },
+                activation: FaultActivation::Random { seed: 77, per_mille: 333 },
+            }),
+            // FU-only scenarios.
+            FaultScenario::none().with_fu(Some(FuFault::StuckMag { unit: 0, value: 9 })),
+            FaultScenario::none().with_fu(Some(FuFault::StuckSign { unit: 17, negative: false })),
+            // A window that covers the power-on fill.
+            FaultScenario::none().with_ram(TimedRamFault {
+                fault: RamFault::StuckWord { word: 0, value: 31 },
+                activation: FaultActivation::Window { from: 0, until: 1 },
+            }),
+        ];
+        for scenario in scenarios {
+            let case = CaseSpec { fault: scenario, ..base };
+            let parsed: CaseSpec = case.to_string().parse().unwrap();
+            assert_eq!(parsed, case, "{case}");
+        }
+    }
+
+    #[test]
+    fn generated_fault_scenarios_round_trip_and_cover_the_dimension() {
+        let (mut multi, mut window, mut random, mut fu) = (false, false, false, false);
+        for index in 0..400u64 {
+            let case = CaseSpec::generate(0xFA01_7EE7, index);
+            let parsed: CaseSpec = case.to_string().parse().unwrap();
+            assert_eq!(parsed, case, "index {index}");
+            multi |= case.fault.ram_fault_count() > 1;
+            fu |= case.fault.fu_fault().is_some();
+            for t in case.fault.ram_faults() {
+                match t.activation {
+                    FaultActivation::Window { .. } => window = true,
+                    FaultActivation::Random { .. } => random = true,
+                    FaultActivation::Permanent => {}
+                }
+            }
+        }
+        assert!(
+            multi && window && random && fu,
+            "coverage: multi={multi} window={window} random={random} fu={fu}"
+        );
+    }
+
+    #[test]
+    fn forced_faults_are_never_empty_and_span_the_dimension() {
+        let (mut extended, mut fu) = (false, false);
+        for index in 0..200u64 {
+            let case = force_fault(CaseSpec::generate(0xD1FF, index));
+            assert!(!case.fault.is_empty(), "index {index}");
+            extended |= case.fault.as_single_permanent().is_none();
+            fu |= case.fault.fu_fault().is_some();
+        }
+        assert!(extended && fu, "forced coverage: extended={extended} fu={fu}");
+    }
+
+    #[test]
+    fn shrinker_reduces_a_scenario_one_dimension_at_a_time() {
+        // A failure that only needs one permanent stuck word must shrink a
+        // three-part scenario down to exactly that fault.
+        let start = CaseSpec {
+            fault: FaultScenario::none()
+                .with_ram(TimedRamFault {
+                    fault: RamFault::StuckWord { word: 5, value: -9 },
+                    activation: FaultActivation::Window { from: 0, until: 9 },
+                })
+                .with_ram(TimedRamFault::permanent(RamFault::FlippedBits { word: 80, mask: 6 }))
+                .with_fu(Some(FuFault::StuckMag { unit: 12, value: 3 })),
+            ..CaseSpec::generate(7, 3)
+        };
+        let shrunk = shrink_case(&start, |c| {
+            c.fault.ram_faults().any(|t| matches!(t.fault, RamFault::StuckWord { word: 5, .. }))
+        });
+        assert_eq!(shrunk.fault.fu_fault(), None, "FU fault must shrink away");
+        assert_eq!(shrunk.fault.ram_fault_count(), 1, "second RAM fault must shrink away");
+        let kept = shrunk.fault.ram_faults().next().unwrap();
+        assert_eq!(kept.activation, FaultActivation::Permanent, "activation must simplify");
+        assert_eq!(kept.fault, RamFault::StuckWord { word: 5, value: 0 }, "value must shrink");
     }
 
     #[test]

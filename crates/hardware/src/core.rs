@@ -8,6 +8,7 @@
 //! test suite and `tests/hw_equivalence.rs`), and its cycle counts are the
 //! measured side of the Eq. 8 throughput comparison.
 
+use crate::fault::{CommitPhase, CommitPoint, FaultScenario, RamFault};
 use crate::functional_unit::FunctionalUnitArray;
 use crate::golden::{compute_totals, syndrome_clean};
 use crate::memory::MemoryConfig;
@@ -79,56 +80,6 @@ pub struct HwDecodeOutput {
     pub cycles: CycleBreakdown,
 }
 
-/// A modeled defect in the message RAM, for fault-injection testing (the
-/// `dvbs2::oracle` differential suite asserts the core degrades gracefully —
-/// wrong bits at worst, never a panic or hang).
-///
-/// Faults act at write-commit time: whenever the memory subsystem commits a
-/// wide word to the RAM, the stored value is corrupted. The initial all-zero
-/// RAM contents are corrupted too (a stuck cell is stuck from power-on).
-/// Corrupted values are clamped into the quantizer's representable range, so
-/// the fault perturbs data without leaving the model's value domain.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum RamFault {
-    /// Every lane of wide word `word` reads back `value` regardless of what
-    /// was written (a stuck word line).
-    StuckWord {
-        /// Faulty wide-word address.
-        word: usize,
-        /// The value every lane is stuck at.
-        value: i32,
-    },
-    /// Every lane of wide word `word` has `mask` XORed onto it at each write
-    /// commit (bit flips on the write path).
-    FlippedBits {
-        /// Faulty wide-word address.
-        word: usize,
-        /// Bit mask XORed onto each lane's stored value.
-        mask: i32,
-    },
-}
-
-impl RamFault {
-    /// The faulty wide-word address.
-    pub fn word(&self) -> usize {
-        match *self {
-            RamFault::StuckWord { word, .. } | RamFault::FlippedBits { word, .. } => word,
-        }
-    }
-
-    /// Corrupts the stored lanes of the faulty word.
-    pub(crate) fn corrupt(&self, lanes: &mut [i32], max_mag: i32) {
-        match *self {
-            RamFault::StuckWord { value, .. } => lanes.fill(value.clamp(-max_mag, max_mag)),
-            RamFault::FlippedBits { mask, .. } => {
-                for lane in lanes {
-                    *lane = (*lane ^ mask).clamp(-max_mag, max_mag);
-                }
-            }
-        }
-    }
-}
-
 /// A write-back in flight: committed to the RAM only when the memory
 /// subsystem grants it a bank.
 #[derive(Debug, Clone)]
@@ -154,6 +105,7 @@ impl WriteQueue {
 
     /// One memory cycle: accept arrivals, issue up to `write_ports` writes
     /// to distinct banks not being read, commit them into `ram`.
+    #[allow(clippy::too_many_arguments)]
     fn step(
         &mut self,
         cycle: usize,
@@ -161,7 +113,9 @@ impl WriteQueue {
         memory: MemoryConfig,
         ram: &mut [i32],
         write_pending: &mut [bool],
-        fault: Option<(RamFault, i32)>,
+        scenario: &FaultScenario,
+        quantizer: &Quantizer,
+        point: CommitPoint,
     ) {
         while self.inflight.front().is_some_and(|w| w.arrival <= cycle) {
             let w = self.inflight.pop_front().expect("checked non-empty");
@@ -179,11 +133,7 @@ impl WriteQueue {
                 let p = w.data.len();
                 let lanes = &mut ram[word * p..(word + 1) * p];
                 lanes.copy_from_slice(&w.data);
-                if let Some((f, max_mag)) = fault {
-                    if f.word() == word {
-                        f.corrupt(lanes, max_mag);
-                    }
-                }
+                scenario.corrupt_word(word, lanes, quantizer, point);
                 write_pending[word] = false;
             } else {
                 idx += 1;
@@ -206,7 +156,7 @@ pub struct HardwareDecoder {
     fu: FunctionalUnitArray,
     shuffle: ShuffleNetwork,
     config: CoreConfig,
-    fault: Option<RamFault>,
+    scenario: FaultScenario,
     ram: Vec<i32>,
     write_pending: Vec<bool>,
     totals: Vec<i32>,
@@ -241,7 +191,7 @@ impl HardwareDecoder {
             rom,
             schedule,
             config,
-            fault: None,
+            scenario: FaultScenario::none(),
         }
     }
 
@@ -266,23 +216,40 @@ impl HardwareDecoder {
         &self.schedule
     }
 
-    /// Injects (or clears) a modeled RAM defect. Subsequent decodes run with
-    /// the fault active; decoding still terminates within the iteration cap
-    /// and never panics — only the decoded bits degrade.
+    /// Injects (or clears) a single permanently stuck/flipping RAM word —
+    /// the pre-scenario fault API, kept as a thin wrapper over
+    /// [`HardwareDecoder::set_scenario`].
     ///
     /// # Panics
     ///
     /// Panics if the fault's word address is outside the message RAM.
     pub fn set_fault(&mut self, fault: Option<RamFault>) {
-        if let Some(f) = &fault {
-            assert!(f.word() < self.rom.words(), "fault word {} out of range", f.word());
-        }
-        self.fault = fault;
+        self.set_scenario(fault.map(FaultScenario::from).unwrap_or_default());
     }
 
-    /// The injected RAM fault, if any.
+    /// Injects a complete [`FaultScenario`] (multiple RAM faults, transient
+    /// activations, FU datapath fault). Subsequent decodes run with the
+    /// scenario active; decoding still terminates within the iteration cap
+    /// and never panics — only the decoded bits degrade.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fault addresses memory or units outside the core.
+    pub fn set_scenario(&mut self, scenario: FaultScenario) {
+        scenario.validate(self.rom.words());
+        self.fu.set_fault(scenario.fu_fault());
+        self.scenario = scenario;
+    }
+
+    /// The injected RAM fault, if the active scenario is a single permanent
+    /// one (the only kind the pre-scenario API could express).
     pub fn fault(&self) -> Option<RamFault> {
-        self.fault
+        self.scenario.as_single_permanent()
+    }
+
+    /// The active fault scenario (empty when fault-free).
+    pub fn scenario(&self) -> &FaultScenario {
+        &self.scenario
     }
 
     /// Quantizes float channel LLRs with the core's quantizer.
@@ -332,13 +299,7 @@ impl HardwareDecoder {
     ) -> HwDecodeOutput {
         assert_eq!(channel.len(), self.params.n, "LLR length mismatch");
         self.ram.fill(0);
-        if let Some(f) = self.fault {
-            let p = PARALLELISM;
-            f.corrupt(
-                &mut self.ram[f.word() * p..(f.word() + 1) * p],
-                self.config.quantizer.max_mag(),
-            );
-        }
+        self.scenario.corrupt_power_on(&mut self.ram, &self.config.quantizer);
         self.write_pending.fill(false);
         self.fu.reset();
 
@@ -348,10 +309,10 @@ impl HardwareDecoder {
         };
         let mut converged = false;
 
-        for _ in 0..self.config.max_iterations {
+        for iteration in 0..self.config.max_iterations {
             cycles.iterations += 1;
-            let (info_cycles, info_buf) = self.information_phase_timed(channel);
-            let (check_cycles, check_buf) = self.check_phase_timed(channel);
+            let (info_cycles, info_buf) = self.information_phase_timed(channel, iteration as u32);
+            let (check_cycles, check_buf) = self.check_phase_timed(channel, iteration as u32);
             cycles.info_phase_cycles += info_cycles;
             cycles.check_phase_cycles += check_cycles;
             cycles.max_buffer = cycles.max_buffer.max(info_buf).max(check_buf);
@@ -406,8 +367,9 @@ impl HardwareDecoder {
     /// Timed information phase: sequential word reads (one per cycle), node
     /// outputs re-enter the RAM through the shuffle network and the write
     /// queue. Returns (cycles, max buffer occupancy).
-    fn information_phase_timed(&mut self, channel: &[i32]) -> (usize, usize) {
+    fn information_phase_timed(&mut self, channel: &[i32], iteration: u32) -> (usize, usize) {
         let p = PARALLELISM;
+        let point = CommitPoint { iteration, phase: CommitPhase::Info };
         let latency = self.config.memory.fu_latency;
         let mut queue = WriteQueue::default();
         let words = self.rom.words();
@@ -457,7 +419,9 @@ impl HardwareDecoder {
                 self.config.memory,
                 &mut self.ram,
                 &mut self.write_pending,
-                self.fault.map(|f| (f, self.config.quantizer.max_mag())),
+                &self.scenario,
+                &self.config.quantizer,
+                point,
             );
             cycle += 1;
         }
@@ -467,8 +431,9 @@ impl HardwareDecoder {
     /// Timed check phase: the annealed read sequence, FU pipeline, inverse
     /// shuffle on write-back, 4-bank conflict buffer. Returns
     /// (cycles, max buffer occupancy).
-    fn check_phase_timed(&mut self, channel: &[i32]) -> (usize, usize) {
+    fn check_phase_timed(&mut self, channel: &[i32], iteration: u32) -> (usize, usize) {
         let p = PARALLELISM;
+        let point = CommitPoint { iteration, phase: CommitPhase::Check };
         let row_len = self.rom.row_len();
         let latency = self.config.memory.fu_latency;
         let reads: Vec<u32> = self.schedule.read_sequence();
@@ -509,7 +474,9 @@ impl HardwareDecoder {
                 self.config.memory,
                 &mut self.ram,
                 &mut self.write_pending,
-                self.fault.map(|f| (f, self.config.quantizer.max_mag())),
+                &self.scenario,
+                &self.config.quantizer,
+                point,
             );
             cycle += 1;
         }
@@ -716,6 +683,82 @@ mod tests {
             assert_eq!(hw_trace, golden_trace, "{fault:?}: message traces diverged");
             assert_eq!(hw_trace.len(), hw_out.result.iterations, "{fault:?}: trace length");
         }
+    }
+
+    #[test]
+    fn faulted_scenarios_are_bit_exact_against_faulted_golden_model() {
+        // The scenario-level fault-differential contract: multi-word,
+        // transient (windowed and probabilistic) and FU datapath faults all
+        // key on logical commit coordinates, so an equally-faulted golden
+        // model must agree on every decision AND every per-iteration digest
+        // even though the timed core commits writes in bank-arbitrated
+        // order.
+        use crate::fault::{FaultActivation, FaultScenario, FuFault, TimedRamFault};
+        let code = short_code();
+        let config = CoreConfig { max_iterations: 6, early_stop: true, ..CoreConfig::default() };
+        let mut hw = core(&code, config);
+        let rom = ConnectivityRom::build(code.params(), code.table());
+        let mut golden = GoldenModel::new(
+            &code,
+            CnSchedule::natural(&rom),
+            config.quantizer,
+            config.max_iterations,
+            config.early_stop,
+        );
+        let (_, llrs) = noisy_llrs(&code, 2.8, 4242);
+        let channel = hw.quantize_channel(&llrs);
+        let scenarios = [
+            // Two concurrent permanent faults, one pair on the same word.
+            FaultScenario::single(RamFault::StuckWord { word: 3, value: 31 })
+                .with_ram(TimedRamFault::permanent(RamFault::FlippedBits { word: 3, mask: 1 }))
+                .with_ram(TimedRamFault::permanent(RamFault::StuckWord { word: 9, value: -31 })),
+            // A transient burst over iterations 1..3.
+            FaultScenario::none().with_ram(TimedRamFault {
+                fault: RamFault::FlippedBits { word: 5, mask: 0b111 },
+                activation: FaultActivation::Window { from: 1, until: 3 },
+            }),
+            // Seeded per-commit upsets at 20%.
+            FaultScenario::none().with_ram(TimedRamFault {
+                fault: RamFault::FlippedBits { word: 2, mask: 0b1010 },
+                activation: FaultActivation::Random { seed: 0xBEEF, per_mille: 200 },
+            }),
+            // FU datapath faults, alone and combined with a RAM fault.
+            FaultScenario::none().with_fu(Some(FuFault::StuckSign { unit: 17, negative: true })),
+            FaultScenario::single(RamFault::StuckWord { word: 1, value: 16 })
+                .with_fu(Some(FuFault::StuckMag { unit: 359, value: 31 })),
+        ];
+        for scenario in scenarios {
+            hw.set_scenario(scenario);
+            golden.set_scenario(scenario);
+            let mut hw_trace = Vec::new();
+            let mut golden_trace = Vec::new();
+            let hw_out = hw.decode_quantized_traced(&channel, &mut hw_trace);
+            let golden_out = golden.decode_quantized_traced(&channel, &mut golden_trace);
+            assert_eq!(hw_out.result, golden_out, "{scenario:?}: results diverged");
+            assert_eq!(hw_trace, golden_trace, "{scenario:?}: message traces diverged");
+        }
+        // Clearing the scenario restores fault-free behavior.
+        hw.set_scenario(FaultScenario::none());
+        golden.set_scenario(FaultScenario::none());
+        assert_eq!(hw.decode_quantized(&channel).result, golden.decode_quantized(&channel));
+    }
+
+    #[test]
+    fn transient_fault_outside_its_window_is_inert() {
+        // A burst confined to iterations past the cap must decode
+        // bit-identically to the fault-free core.
+        use crate::fault::{FaultActivation, FaultScenario, TimedRamFault};
+        let code = short_code();
+        let config = CoreConfig { max_iterations: 4, ..CoreConfig::default() };
+        let mut hw = core(&code, config);
+        let (_, llrs) = noisy_llrs(&code, 3.0, 808);
+        let channel = hw.quantize_channel(&llrs);
+        let clean = hw.decode_quantized(&channel);
+        hw.set_scenario(FaultScenario::none().with_ram(TimedRamFault {
+            fault: RamFault::StuckWord { word: 0, value: 31 },
+            activation: FaultActivation::Window { from: 10, until: 20 },
+        }));
+        assert_eq!(hw.decode_quantized(&channel), clean);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! cycle-accurate core drive this same arithmetic, so any mismatch between
 //! them isolates a defect in the memory/timing machinery.
 
+use crate::fault::FuFault;
 use dvbs2_decoder::{QBoxplus, Quantizer};
 use dvbs2_ldpc::{CodeParams, PARALLELISM};
 
@@ -18,6 +19,11 @@ use dvbs2_ldpc::{CodeParams, PARALLELISM};
 #[derive(Debug, Clone)]
 pub struct FunctionalUnitArray {
     boxplus: QBoxplus,
+    /// Modeled datapath defect: a stuck sign/magnitude lane in one unit's
+    /// output port, applied to every extrinsic output that unit produces.
+    /// Survives [`FunctionalUnitArray::reset`] — a hardware defect does not
+    /// heal between frames.
+    fault: Option<FuFault>,
     k: usize,
     n_check: usize,
     q_rows: usize,
@@ -40,6 +46,7 @@ impl FunctionalUnitArray {
     pub fn new(params: &CodeParams, quantizer: Quantizer) -> Self {
         FunctionalUnitArray {
             boxplus: QBoxplus::new(quantizer),
+            fault: None,
             k: params.k,
             n_check: params.n_check,
             q_rows: params.q,
@@ -56,6 +63,14 @@ impl FunctionalUnitArray {
     /// The message quantizer.
     pub fn quantizer(&self) -> &Quantizer {
         self.boxplus.quantizer()
+    }
+
+    /// Injects (or clears) a modeled datapath defect. Both the golden model
+    /// and the timed core share this array and drive it in the same logical
+    /// order, so a corrupted output is bit-exact across the two by
+    /// construction.
+    pub(crate) fn set_fault(&mut self, fault: Option<FuFault>) {
+        self.fault = fault;
     }
 
     /// Clears all stored messages (start of a new frame).
@@ -100,6 +115,12 @@ impl FunctionalUnitArray {
             }
             if let Some(ts) = totals.as_deref_mut() {
                 ts[t] = total;
+            }
+        }
+        if let Some(f) = self.fault {
+            let t = f.unit();
+            for i in 0..d {
+                block_out[i * p + t] = f.corrupt(block_out[i * p + t], q);
             }
         }
     }
@@ -154,6 +175,13 @@ impl FunctionalUnitArray {
             d += 1;
 
             self.boxplus.extrinsic(&self.scratch_in[..d], &mut self.scratch_out[..d]);
+            if let Some(f) = self.fault {
+                if f.unit() == u {
+                    for v in &mut self.scratch_out[..d] {
+                        *v = f.corrupt(*v, &q);
+                    }
+                }
+            }
 
             for i in 0..self.row_len {
                 block_out[i * p + u] = self.scratch_out[i];

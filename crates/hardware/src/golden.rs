@@ -18,7 +18,7 @@
 //!   at row `q-1`, so it is one iteration fresher than in the ideal
 //!   schedule.
 
-use crate::core::RamFault;
+use crate::fault::{CommitPhase, CommitPoint, FaultScenario, RamFault};
 use crate::functional_unit::FunctionalUnitArray;
 use crate::rom::ConnectivityRom;
 use crate::schedule::CnSchedule;
@@ -73,11 +73,12 @@ pub struct GoldenModel {
     shuffle: ShuffleNetwork,
     max_iterations: usize,
     early_stop: bool,
-    /// Modeled RAM defect, mirrored from [`crate::HardwareDecoder`]: the
-    /// corruption applies at the same logical point (each word write-back
-    /// plus the initial RAM contents), so a faulted timed core must stay
-    /// bit-exact against an equally-faulted golden model.
-    fault: Option<RamFault>,
+    /// Modeled fault scenario, mirrored from [`crate::HardwareDecoder`]: the
+    /// corruption applies at the same logical commit points (each word
+    /// write-back plus the initial RAM contents, keyed on iteration and
+    /// phase), so a faulted timed core must stay bit-exact against an
+    /// equally-faulted golden model.
+    scenario: FaultScenario,
     /// Message RAM, word-major: `ram[word * 360 + lane]`. Holds
     /// check-to-variable messages in information layout between iterations.
     ram: Vec<i32>,
@@ -109,7 +110,7 @@ impl GoldenModel {
             shuffle: ShuffleNetwork::new(PARALLELISM),
             max_iterations,
             early_stop,
-            fault: None,
+            scenario: FaultScenario::none(),
             ram: vec![0; words * PARALLELISM],
             totals: vec![0; params.n],
             block_in: vec![0; max_block * PARALLELISM],
@@ -146,26 +147,43 @@ impl GoldenModel {
         llrs.iter().map(|&l| q.quantize(l)).collect()
     }
 
-    /// Injects (or clears) a modeled RAM defect, mirroring
-    /// [`crate::HardwareDecoder::set_fault`]: the corruption is applied at
-    /// exactly the same logical points (after every word write-back and on
-    /// the initial RAM contents), so the timed core and this model must stay
-    /// bit-exact under *identical* faults — the differential oracle's
-    /// fault-differential contract.
+    /// Injects (or clears) a single permanently stuck/flipping RAM word —
+    /// the pre-scenario fault API, kept as a thin wrapper over
+    /// [`GoldenModel::set_scenario`].
     ///
     /// # Panics
     ///
     /// Panics if the fault's word address is outside the message RAM.
     pub fn set_fault(&mut self, fault: Option<RamFault>) {
-        if let Some(f) = &fault {
-            assert!(f.word() < self.rom.words(), "fault word {} out of range", f.word());
-        }
-        self.fault = fault;
+        self.set_scenario(fault.map(FaultScenario::from).unwrap_or_default());
     }
 
-    /// The injected RAM fault, if any.
+    /// Injects a complete [`FaultScenario`], mirroring
+    /// [`crate::HardwareDecoder::set_scenario`]: the corruption is applied
+    /// at exactly the same logical commit points (after every word
+    /// write-back and on the initial RAM contents, keyed on iteration and
+    /// phase — never physical cycles), so the timed core and this model must
+    /// stay bit-exact under *identical* scenarios — the differential
+    /// oracle's fault-differential contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fault addresses memory or units outside the model.
+    pub fn set_scenario(&mut self, scenario: FaultScenario) {
+        scenario.validate(self.rom.words());
+        self.fu.set_fault(scenario.fu_fault());
+        self.scenario = scenario;
+    }
+
+    /// The injected RAM fault, if the active scenario is a single permanent
+    /// one (the only kind the pre-scenario API could express).
     pub fn fault(&self) -> Option<RamFault> {
-        self.fault
+        self.scenario.as_single_permanent()
+    }
+
+    /// The active fault scenario (empty when fault-free).
+    pub fn scenario(&self) -> &FaultScenario {
+        &self.scenario
     }
 
     /// Decodes one frame of quantized channel LLRs.
@@ -199,20 +217,17 @@ impl GoldenModel {
     fn decode_inner(&mut self, channel: &[i32], mut trace: Option<&mut Vec<u64>>) -> DecodeResult {
         assert_eq!(channel.len(), self.params.n, "LLR length mismatch");
         self.ram.fill(0);
-        if let Some(f) = self.fault {
-            // A stuck cell is stuck from power-on, exactly as in the core.
-            let p = PARALLELISM;
-            let max_mag = self.fu.quantizer().max_mag();
-            f.corrupt(&mut self.ram[f.word() * p..(f.word() + 1) * p], max_mag);
-        }
+        // A stuck cell is stuck from power-on, exactly as in the core.
+        let quantizer = *self.fu.quantizer();
+        self.scenario.corrupt_power_on(&mut self.ram, &quantizer);
         self.fu.reset();
         let mut iterations = 0;
         let mut converged = false;
 
-        for _ in 0..self.max_iterations {
+        for iteration in 0..self.max_iterations {
             iterations += 1;
-            self.information_phase(channel);
-            self.check_phase(channel);
+            self.information_phase(channel, iteration as u32);
+            self.check_phase(channel, iteration as u32);
             if let Some(t) = trace.as_deref_mut() {
                 t.push(message_digest(&self.ram, &self.fu));
             }
@@ -238,9 +253,11 @@ impl GoldenModel {
 
     /// Variable-node half-iteration: sequential word reads, write-back with
     /// the entry's cyclic shift (leaving the RAM in check layout).
-    fn information_phase(&mut self, channel: &[i32]) {
+    fn information_phase(&mut self, channel: &[i32], iteration: u32) {
         let p = PARALLELISM;
-        let fault = self.fault.map(|f| (f, self.fu.quantizer().max_mag()));
+        let scenario = self.scenario;
+        let quantizer = *self.fu.quantizer();
+        let point = CommitPoint { iteration, phase: CommitPhase::Info };
         for g in 0..self.params.groups() {
             let base = self.rom.group_base(g);
             let d = self.params.group_degree(g);
@@ -256,11 +273,7 @@ impl GoldenModel {
                 let shift = self.rom.entry(base + i).shift as usize;
                 let word = &mut self.ram[(base + i) * p..(base + i + 1) * p];
                 self.shuffle.rotate(&self.block_out[i * p..(i + 1) * p], shift, word);
-                if let Some((f, max_mag)) = fault {
-                    if f.word() == base + i {
-                        f.corrupt(word, max_mag);
-                    }
-                }
+                scenario.corrupt_word(base + i, word, &quantizer, point);
             }
         }
     }
@@ -268,10 +281,12 @@ impl GoldenModel {
     /// Check-node half-iteration: ascending residue rows, 360 parallel
     /// zigzag chains, write-back with the inverse shift (returning the RAM
     /// to information layout).
-    fn check_phase(&mut self, channel: &[i32]) {
+    fn check_phase(&mut self, channel: &[i32], iteration: u32) {
         let p = PARALLELISM;
         let row_len = self.rom.row_len();
-        let fault = self.fault.map(|f| (f, self.fu.quantizer().max_mag()));
+        let scenario = self.scenario;
+        let quantizer = *self.fu.quantizer();
+        let point = CommitPoint { iteration, phase: CommitPhase::Check };
         self.fu.begin_check_phase();
         for r in 0..self.params.q {
             for i in 0..row_len {
@@ -290,11 +305,7 @@ impl GoldenModel {
                 let inv = self.shuffle.inverse_shift(shift);
                 let word = &mut self.ram[w * p..(w + 1) * p];
                 self.shuffle.rotate(&self.block_out[i * p..(i + 1) * p], inv, word);
-                if let Some((f, max_mag)) = fault {
-                    if f.word() == w {
-                        f.corrupt(word, max_mag);
-                    }
-                }
+                scenario.corrupt_word(w, word, &quantizer, point);
             }
         }
         self.fu.end_check_phase();

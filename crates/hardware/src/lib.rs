@@ -21,6 +21,7 @@
 mod anneal;
 mod area;
 mod core;
+mod fault;
 mod functional_unit;
 mod golden;
 mod memory;
@@ -36,7 +37,11 @@ mod vhdl;
 
 pub use anneal::{optimize_schedule, AnnealOptions, AnnealResult};
 pub use area::{AreaModel, AreaReport, FuGateModel};
-pub use core::{CoreConfig, CycleBreakdown, HardwareDecoder, HwDecodeOutput, RamFault};
+pub use core::{CoreConfig, CycleBreakdown, HardwareDecoder, HwDecodeOutput};
+pub use fault::{
+    CommitPhase, CommitPoint, FaultActivation, FaultScenario, FuFault, RamFault, TimedRamFault,
+    MAX_SCENARIO_FAULTS,
+};
 pub use functional_unit::FunctionalUnitArray;
 pub use golden::GoldenModel;
 pub use memory::{simulate_cn_phase, AccessStats, MemoryConfig};

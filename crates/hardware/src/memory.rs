@@ -15,6 +15,18 @@
 //!   distinct RAMs");
 //! * writes that cannot issue wait in the conflict buffer whose worst-case
 //!   occupancy the simulated annealer minimizes.
+//!
+//! # Relation to the fault model
+//!
+//! The [`crate::FaultScenario`] machinery corrupts wide words at their
+//! *logical* write commit — the [`crate::CommitPoint`] coordinate
+//! `(iteration, phase)` at which a word's value is architecturally
+//! updated — never at the physical cycle the write happens to issue in
+//! this model. Conflict-buffer residency shifts physical timing but not
+//! logical commit order, which is exactly why an equally-faulted
+//! cycle-accurate core and untimed golden model remain bit-exact: both
+//! see each fault at the same commit coordinates regardless of how long
+//! a write waited for a bank.
 
 /// Memory-subsystem parameters (paper values as defaults).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -14,8 +14,13 @@
 //! * [`AdmissionController`] — iteration-budget load shedding driven by
 //!   the hardware [`ThroughputModel`](dvbs2_hardware::ThroughputModel)
 //!   (the paper's Table 3 iterations-vs-throughput trade, run backwards);
+//! * [`QuarantinePolicy`] — syndrome-anomaly fault containment: a worker
+//!   whose decode statistics look like broken hardware (convergence
+//!   collapse plus abnormal residual syndrome weight) takes itself out of
+//!   rotation and re-probes with a known-answer vector until healthy;
 //! * [`PipelineStats`] — frames in/out/rejected/dropped, queue
-//!   watermarks, an iterations histogram, early-stop rate and ns/frame.
+//!   watermarks, an iterations histogram, early-stop rate, ns/frame and
+//!   the fault-containment counters.
 //!
 //! # Example
 //!
@@ -55,11 +60,13 @@
 #![warn(missing_docs)]
 
 mod admission;
+mod health;
 mod queue;
 mod service;
 mod stats;
 
 pub use admission::{AdmissionController, AdmissionPolicy, DEMAND_MULTIPLIERS, OCCUPANCY_STEPS};
+pub use health::{QuarantinePolicy, WorkerFaultInjection, WorkerHealth};
 pub use queue::BoundedQueue;
 pub use service::{DecodePipeline, DecodedFrame, PipelineConfig, SoftFrame, SubmitError};
 pub use stats::{PipelineStats, StatsCore, ITERATION_BUCKETS};

@@ -28,11 +28,12 @@
 //!   queue. A consumer sees frames in exact submission order.
 
 use crate::admission::{AdmissionController, AdmissionPolicy};
+use crate::health::{QuarantinePolicy, WorkerFaultInjection, WorkerHealth};
 use crate::queue::BoundedQueue;
 use crate::stats::{PipelineStats, StatsCore};
-use dvbs2::ModcodTable;
+use dvbs2::{ModcodEntry, ModcodTable};
 use dvbs2_channel::LlrFrame;
-use dvbs2_decoder::{DecodeResult, Decoder, TiledBatchDecoder};
+use dvbs2_decoder::{syndrome_weight, DecodeResult, Decoder, TiledBatchDecoder};
 use dvbs2_hardware::{ThroughputModel, ST_0_13_UM};
 use dvbs2_ldpc::BitVec;
 use std::collections::{BTreeMap, HashMap};
@@ -144,6 +145,11 @@ pub struct PipelineConfig {
     pub max_batch: usize,
     /// Emit a stats log line every this many emitted frames (0 = never).
     pub log_every: u64,
+    /// Syndrome-anomaly quarantine policy (disabled by default).
+    pub quarantine: QuarantinePolicy,
+    /// Test/bench hook: deterministically corrupt one worker's input
+    /// datapath (see [`WorkerFaultInjection`]). `None` in production.
+    pub fault_injection: Option<WorkerFaultInjection>,
 }
 
 impl Default for PipelineConfig {
@@ -158,6 +164,8 @@ impl Default for PipelineConfig {
             min_batch: 1,
             max_batch: 8,
             log_every: 0,
+            quarantine: QuarantinePolicy::default(),
+            fault_injection: None,
         }
     }
 }
@@ -234,7 +242,7 @@ impl DecodePipeline {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("decode-worker-{w}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, w))
                     .expect("spawning a decode worker")
             })
             .collect();
@@ -379,7 +387,24 @@ impl Drop for DecodePipeline {
 
 /// Decodes batches until the ingress queue closes and drains; the last
 /// worker out accounts stuck frames and closes egress.
-fn worker_loop(shared: &Shared) {
+///
+/// When the quarantine policy is enabled the worker also runs the
+/// syndrome-anomaly detector over its own decodes and takes itself out of
+/// rotation (stops consuming ingress; traffic implicitly re-routes to the
+/// other workers) when its statistics look like a hardware fault rather
+/// than a hard channel. Quarantine begins only on a batch boundary, after
+/// every grabbed frame has been emitted — no frame is dropped or
+/// reordered by the transition.
+fn worker_loop(shared: &Shared, worker: usize) {
+    let policy = shared.config.quarantine;
+    let injection = shared.config.fault_injection;
+    let mut health = WorkerHealth::new();
+    // Frames *and* probes this worker has decoded — the clock the fault
+    // injection window is defined over.
+    let mut decode_count: u64 = 0;
+    // The slot this worker most recently served: the known-answer probes
+    // run against it while quarantined.
+    let mut last_served: Option<(usize, Arc<ModcodEntry>)> = None;
     let mut decoders: HashMap<usize, Box<dyn Decoder + Send>> = HashMap::new();
     // Batched decoders are probed lazily per slot; `None` is cached too, so
     // unbatchable slots pay the profile check once, not per batch. The tiled
@@ -401,6 +426,15 @@ fn worker_loop(shared: &Shared) {
         }
         shared.space.notify_all();
 
+        for item in &mut batch {
+            if let Some(inj) = injection {
+                if inj.corrupts(worker, decode_count) {
+                    WorkerFaultInjection::corrupt_llrs(&mut item.frame.llrs);
+                }
+            }
+            decode_count += 1;
+        }
+
         let mut iterations_spent = 0usize;
         let mut cap_budget = 0usize;
         // Split the grabbed batch into runs of consecutive same-slot frames.
@@ -415,7 +449,32 @@ fn worker_loop(shared: &Shared) {
             while end < batch.len() && batch[end].frame.modcod == slot {
                 end += 1;
             }
-            let entry = shared.table.entry(slot);
+            // Defensive dispatch: submission validates slots against the
+            // table, so an undefined slot here means the item was corrupted
+            // in flight. Panicking would strand this worker's sequence
+            // numbers and hang the reorder stage for every consumer —
+            // instead emit non-converged placeholders so egress stays
+            // gap-free and in order.
+            let Some(entry) = shared.table.lookup(slot) else {
+                for item in &batch[start..end] {
+                    shared.stats.record_decode(0, false, false, 0);
+                    let n = item.frame.llrs.len();
+                    let decoded = DecodedFrame {
+                        seq: item.seq,
+                        stream_index: item.frame.stream_index,
+                        modcod: slot,
+                        bits: (0..n).map(|_| false).collect(),
+                        info_len: 0,
+                        iterations: 0,
+                        converged: false,
+                        iteration_cap: 0,
+                    };
+                    emit_in_order(shared, decoded);
+                }
+                start = end;
+                continue;
+            };
+            last_served = Some((slot, Arc::clone(entry)));
             let batched = if end - start >= 2 {
                 batch_decoders
                     .entry(slot)
@@ -442,6 +501,9 @@ fn worker_loop(shared: &Shared) {
                     for (item, out) in run.iter().zip(&results) {
                         let early = out.converged && out.iterations < cap;
                         shared.stats.record_decode(out.iterations, early, cap < base_cap, ns);
+                        if policy.enabled {
+                            health.observe(&policy, out.converged, residual_fraction(entry, out));
+                        }
                         iterations_spent += out.iterations;
                         cap_budget += cap;
                         let decoded = DecodedFrame {
@@ -469,6 +531,13 @@ fn worker_loop(shared: &Shared) {
                     let ns = started.elapsed().as_nanos() as u64;
                     let early = scratch.converged && scratch.iterations < cap;
                     shared.stats.record_decode(scratch.iterations, early, cap < base_cap, ns);
+                    if policy.enabled {
+                        health.observe(
+                            &policy,
+                            scratch.converged,
+                            residual_fraction(entry, &scratch),
+                        );
+                    }
                     iterations_spent += scratch.iterations;
                     cap_budget += cap;
 
@@ -498,6 +567,30 @@ fn worker_loop(shared: &Shared) {
         } else {
             (batch_size / 2).max(shared.config.min_batch)
         };
+
+        // Every grabbed frame has been emitted, so quarantining here drops
+        // and reorders nothing: this worker simply stops consuming ingress
+        // and the others absorb the traffic.
+        if policy.enabled && health.suspect(&policy) {
+            shared.stats.faults_suspected.fetch_add(1, Ordering::Relaxed);
+            if try_enter_quarantine(shared) {
+                let served = last_served.as_ref().expect("suspicion requires prior decodes");
+                let reinstated =
+                    quarantine(shared, worker, served, &mut decoders, &mut decode_count);
+                health.reset();
+                if !reinstated {
+                    // Shutdown arrived while quarantined; fall through to
+                    // the normal worker-exit accounting.
+                    break;
+                }
+            } else {
+                // This is the last healthy worker: degraded service beats
+                // no service, so keep decoding and make the verdict
+                // re-accumulate from fresh evidence instead of firing on
+                // every batch.
+                health.reset();
+            }
+        }
     }
 
     if shared.active_workers.fetch_sub(1, Ordering::AcqRel) == 1 {
@@ -513,6 +606,92 @@ fn worker_loop(shared: &Shared) {
         drop(reorder);
         shared.egress.close();
     }
+}
+
+/// The fraction of unsatisfied check equations left in a finished decode —
+/// the second axis of the fault signature. A converged frame satisfies
+/// every check by definition, so the syndrome is only counted on failures.
+fn residual_fraction(entry: &ModcodEntry, out: &DecodeResult) -> f64 {
+    if out.converged {
+        0.0
+    } else {
+        let graph = entry.system().graph();
+        syndrome_weight(graph, &out.bits) as f64 / graph.check_count() as f64
+    }
+}
+
+/// Atomically claims a quarantine slot, unless doing so would leave fewer
+/// than one healthy worker (a fleet must never quarantine itself whole).
+fn try_enter_quarantine(shared: &Shared) -> bool {
+    let quarantined = &shared.stats.quarantined_now;
+    loop {
+        let current = quarantined.load(Ordering::Relaxed);
+        if shared.config.workers - current <= 1 {
+            return false;
+        }
+        if quarantined
+            .compare_exchange(current, current + 1, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            return true;
+        }
+    }
+}
+
+/// The quarantine loop: out of rotation, re-probe with a known-answer test
+/// vector until [`QuarantinePolicy::probe_passes`] consecutive passes
+/// reinstate the worker. The known answer is the all-zero codeword received
+/// strongly — every slot's decoder converges on it in one iteration when
+/// healthy, and a corrupted datapath cannot fake all three of convergence,
+/// the all-zero word and the probe cadence. Returns `false` if shutdown
+/// arrived first (the worker then exits still quarantined).
+///
+/// Probes advance the worker's decode counter through the same fault
+/// injection hook as real frames, so a windowed (transient) fault heals
+/// under probing and a permanent one keeps failing — exactly the
+/// transient/hard distinction the detector exists to draw.
+fn quarantine(
+    shared: &Shared,
+    worker: usize,
+    served: &(usize, Arc<ModcodEntry>),
+    decoders: &mut HashMap<usize, Box<dyn Decoder + Send>>,
+    decode_count: &mut u64,
+) -> bool {
+    let policy = shared.config.quarantine;
+    shared.stats.quarantines.fetch_add(1, Ordering::Relaxed);
+    let (slot, entry) = served;
+    let n = entry.frame_len();
+    let decoder = decoders.entry(*slot).or_insert_with(|| entry.make_decoder());
+    decoder.set_max_iterations(shared.admission.base_cap(*slot));
+    let mut probe = DecodeResult::default();
+    let mut consecutive_passes = 0u32;
+    while !shared.shutting_down.load(Ordering::Acquire) {
+        std::thread::sleep(Duration::from_millis(policy.probe_interval_ms));
+        shared.stats.probes_run.fetch_add(1, Ordering::Relaxed);
+        let mut llrs = vec![6.0f64; n];
+        if let Some(inj) = shared.config.fault_injection {
+            if inj.corrupts(worker, *decode_count) {
+                WorkerFaultInjection::corrupt_llrs(&mut llrs);
+            }
+        }
+        *decode_count += 1;
+        // Probes are not frames: they bypass ingress/egress and the decode
+        // counters, so pipeline invariants (submitted == emitted + dropped)
+        // are untouched by however long quarantine lasts.
+        decoder.decode_into(&llrs, &mut probe);
+        if probe.converged && (0..n).all(|i| !probe.bits.get(i)) {
+            consecutive_passes += 1;
+            if consecutive_passes >= policy.probe_passes {
+                shared.stats.reinstatements.fetch_add(1, Ordering::Relaxed);
+                shared.stats.quarantined_now.fetch_sub(1, Ordering::Relaxed);
+                return true;
+            }
+        } else {
+            consecutive_passes = 0;
+            shared.stats.probes_failed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    false
 }
 
 /// Inserts a decoded frame and drains the in-order run to egress.

@@ -45,6 +45,20 @@ pub struct StatsCore {
     pub reorder_watermark: AtomicUsize,
     /// Frames currently inside the pipeline (submitted, not yet consumed).
     pub in_flight: AtomicUsize,
+    /// Times a worker's decode statistics crossed the anomaly thresholds.
+    pub faults_suspected: AtomicU64,
+    /// Times a worker entered quarantine (stopped taking traffic).
+    pub quarantines: AtomicU64,
+    /// Times a quarantined worker passed its known-answer probes and
+    /// returned to rotation.
+    pub reinstatements: AtomicU64,
+    /// Workers currently quarantined. Also the coordination point of the
+    /// never-quarantine-the-last-healthy-worker guard.
+    pub quarantined_now: AtomicUsize,
+    /// Known-answer probes run by quarantined workers.
+    pub probes_run: AtomicU64,
+    /// Known-answer probes that failed (wrong word or no convergence).
+    pub probes_failed: AtomicU64,
 }
 
 impl Default for StatsCore {
@@ -64,6 +78,12 @@ impl Default for StatsCore {
             ingress_watermark: AtomicUsize::new(0),
             reorder_watermark: AtomicUsize::new(0),
             in_flight: AtomicUsize::new(0),
+            faults_suspected: AtomicU64::new(0),
+            quarantines: AtomicU64::new(0),
+            reinstatements: AtomicU64::new(0),
+            quarantined_now: AtomicUsize::new(0),
+            probes_run: AtomicU64::new(0),
+            probes_failed: AtomicU64::new(0),
         }
     }
 }
@@ -110,6 +130,12 @@ impl StatsCore {
             ingress_watermark: self.ingress_watermark.load(Ordering::Relaxed),
             reorder_watermark: self.reorder_watermark.load(Ordering::Relaxed),
             in_flight: self.in_flight.load(Ordering::Relaxed),
+            faults_suspected: self.faults_suspected.load(Ordering::Relaxed),
+            quarantines: self.quarantines.load(Ordering::Relaxed),
+            reinstatements: self.reinstatements.load(Ordering::Relaxed),
+            quarantined_now: self.quarantined_now.load(Ordering::Relaxed),
+            probes_run: self.probes_run.load(Ordering::Relaxed),
+            probes_failed: self.probes_failed.load(Ordering::Relaxed),
         }
     }
 }
@@ -145,6 +171,18 @@ pub struct PipelineStats {
     pub reorder_watermark: usize,
     /// Frames inside the pipeline at snapshot time.
     pub in_flight: usize,
+    /// Anomaly-threshold crossings (suspected worker faults).
+    pub faults_suspected: u64,
+    /// Workers that entered quarantine.
+    pub quarantines: u64,
+    /// Quarantined workers reinstated after passing their probes.
+    pub reinstatements: u64,
+    /// Workers quarantined at snapshot time.
+    pub quarantined_now: usize,
+    /// Known-answer probes run.
+    pub probes_run: u64,
+    /// Known-answer probes failed.
+    pub probes_failed: u64,
 }
 
 impl PipelineStats {
@@ -184,7 +222,7 @@ impl PipelineStats {
     pub fn log_line(&self) -> String {
         format!(
             "pipeline: in={} out={} rej={} drop={} inflight={} it_mean={:.2} early={:.0}% \
-             ns/frame={:.0} wm_in={} wm_reorder={}",
+             ns/frame={:.0} wm_in={} wm_reorder={} quar={}",
             self.submitted,
             self.emitted,
             self.rejected,
@@ -195,6 +233,7 @@ impl PipelineStats {
             self.ns_per_frame(),
             self.ingress_watermark,
             self.reorder_watermark,
+            self.quarantined_now,
         )
     }
 }
@@ -230,6 +269,40 @@ mod tests {
         StatsCore::raise_watermark(&core.ingress_watermark, 2);
         StatsCore::raise_watermark(&core.ingress_watermark, 9);
         assert_eq!(core.snapshot().ingress_watermark, 9);
+    }
+
+    #[test]
+    fn watermark_never_under_reports_under_contention() {
+        // The watermark is a single `fetch_max`: one atomic read-modify-
+        // write, so no interleaving of concurrent raises can lose the
+        // maximum (a load-compare-store sequence could). Hammer it from
+        // several threads with interleaved rising/falling depths and
+        // assert the final value is exactly the global maximum, every run.
+        for round in 0..20usize {
+            let core = StatsCore::default();
+            let threads = 4usize;
+            let per_thread = 500usize;
+            let global_max = (threads - 1) * per_thread + (per_thread - 1);
+            std::thread::scope(|scope| {
+                for t in 0..threads {
+                    let slot = &core.reorder_watermark;
+                    scope.spawn(move || {
+                        for i in 0..per_thread {
+                            // Rising then falling within each thread, so
+                            // late *smaller* raises race against earlier
+                            // larger ones from other threads.
+                            StatsCore::raise_watermark(slot, t * per_thread + i);
+                            StatsCore::raise_watermark(slot, i / 2);
+                        }
+                    });
+                }
+            });
+            assert_eq!(
+                core.snapshot().reorder_watermark,
+                global_max,
+                "round {round}: watermark under-reported the deepest occupancy"
+            );
+        }
     }
 
     #[test]

@@ -6,7 +6,10 @@ use dvbs2::channel::{mix_seed, FrameTag, LlrSource, Modulation};
 use dvbs2::decoder::DecoderConfig;
 use dvbs2::ldpc::{BitVec, CodeRate, FrameSize};
 use dvbs2::{DecoderKind, DecoderProfile, Modcod, ModcodTable};
-use dvbs2_pipeline::{AdmissionPolicy, DecodePipeline, PipelineConfig, SoftFrame, SubmitError};
+use dvbs2_pipeline::{
+    AdmissionPolicy, DecodePipeline, PipelineConfig, QuarantinePolicy, SoftFrame, SubmitError,
+    WorkerFaultInjection,
+};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -366,6 +369,145 @@ fn adaptive_admission_sheds_iterations_before_frames() {
     assert_eq!(stats.dropped, 0);
     assert_eq!(stats.shed, shed_frames as u64);
     assert_eq!(stats.histogram_total(), stats.decoded);
+}
+
+/// A fast-reacting detector for tests: every constant tightened so the
+/// arc (observe → suspect → quarantine → probe) completes in milliseconds.
+fn test_quarantine_policy() -> QuarantinePolicy {
+    QuarantinePolicy {
+        enabled: true,
+        alpha: 0.5,
+        nonconv_threshold: 0.5,
+        syndrome_threshold: 0.01,
+        min_decodes: 3,
+        probe_passes: 2,
+        probe_interval_ms: 1,
+    }
+}
+
+/// Submits `frames` strongly-received all-zero codewords on slot 0 while a
+/// consumer drains egress, and returns (outputs, final stats).
+fn run_with_injection(
+    config: PipelineConfig,
+    frames: u64,
+) -> (Vec<dvbs2_pipeline::DecodedFrame>, dvbs2_pipeline::PipelineStats) {
+    let table = mixed_table(8);
+    let n = table.entry(0).frame_len();
+    let pipeline = DecodePipeline::start(table, config);
+    let outputs = std::thread::scope(|scope| {
+        let consumer = scope.spawn(|| {
+            let mut outputs = Vec::new();
+            while let Some(frame) = pipeline.next_decoded() {
+                outputs.push(frame);
+                if outputs.len() as u64 == frames {
+                    break;
+                }
+            }
+            outputs
+        });
+        for i in 0..frames {
+            pipeline.submit(SoftFrame { modcod: 0, stream_index: i, llrs: vec![6.0; n] }).unwrap();
+        }
+        consumer.join().unwrap()
+    });
+    (outputs, pipeline.finish())
+}
+
+#[test]
+fn faulted_worker_is_quarantined_without_dropping_or_reordering_frames() {
+    // Worker 0's input datapath is permanently corrupted: its frames stop
+    // converging with a large residual syndrome — the exact signature the
+    // detector looks for. The pipeline must contain the fault (quarantine
+    // the worker, serve the stream from the healthy ones) while keeping
+    // the egress contract: every frame emitted, in submission order.
+    const FRAMES: u64 = 400;
+    let (outputs, stats) = run_with_injection(
+        PipelineConfig {
+            workers: 3,
+            quarantine: test_quarantine_policy(),
+            fault_injection: Some(WorkerFaultInjection::permanent(0)),
+            ..PipelineConfig::default()
+        },
+        FRAMES,
+    );
+
+    assert_eq!(outputs.len() as u64, FRAMES);
+    for (i, out) in outputs.iter().enumerate() {
+        assert_eq!(out.seq, i as u64, "containment must not reorder egress");
+    }
+    assert_eq!(stats.decoded, FRAMES);
+    assert_eq!(stats.emitted, FRAMES);
+    assert_eq!(stats.dropped, 0, "containment must not drop frames");
+    assert!(stats.faults_suspected >= 1, "the fault signature must be noticed");
+    assert!(stats.quarantines >= 1, "the faulted worker must leave rotation");
+    assert_eq!(stats.quarantined_now, 1, "a permanent fault never probes clean");
+    assert!(stats.probes_run >= 1);
+    assert!(stats.probes_failed >= 1, "corrupted probes must fail the known-answer check");
+    assert_eq!(stats.reinstatements, 0);
+    let faulted = outputs.iter().filter(|o| !o.converged).count() as u64;
+    assert!(faulted >= 1, "the fault must have corrupted at least the warm-up frames");
+    assert!(
+        faulted <= FRAMES / 4,
+        "quarantine must bound the damage; {faulted} of {FRAMES} frames corrupted"
+    );
+}
+
+#[test]
+fn transient_fault_heals_through_probing_and_reinstates_the_worker() {
+    // Worker 0's first 8 decodes are corrupted, then the fault clears — a
+    // transient upset. Probes share the worker's decode counter, so the
+    // known-answer vector starts passing once the window expires and the
+    // worker must return to rotation.
+    const FRAMES: u64 = 400;
+    let (outputs, stats) = run_with_injection(
+        PipelineConfig {
+            workers: 2,
+            quarantine: test_quarantine_policy(),
+            fault_injection: Some(WorkerFaultInjection::window(0, 0, 8)),
+            ..PipelineConfig::default()
+        },
+        FRAMES,
+    );
+
+    assert_eq!(outputs.len() as u64, FRAMES);
+    for (i, out) in outputs.iter().enumerate() {
+        assert_eq!(out.seq, i as u64);
+    }
+    assert_eq!(stats.dropped, 0);
+    assert_eq!(stats.quarantines, 1, "the transient fires exactly one quarantine");
+    assert_eq!(stats.reinstatements, 1, "clean probes must reinstate the worker");
+    assert_eq!(stats.quarantined_now, 0, "nobody is left quarantined");
+    assert!(stats.probes_run >= 2, "reinstatement takes probe_passes consecutive passes");
+    let faulted = outputs.iter().filter(|o| !o.converged).count() as u64;
+    assert!(faulted <= 8, "only window-corrupted frames may fail");
+}
+
+#[test]
+fn last_healthy_worker_is_never_quarantined() {
+    // A single faulted worker is the whole pool: the detector keeps
+    // flagging it, but quarantining it would stop the stream entirely.
+    // Degraded service beats no service — every frame still flows.
+    const FRAMES: u64 = 30;
+    let (outputs, stats) = run_with_injection(
+        PipelineConfig {
+            workers: 1,
+            quarantine: QuarantinePolicy { min_decodes: 2, ..test_quarantine_policy() },
+            fault_injection: Some(WorkerFaultInjection::permanent(0)),
+            ..PipelineConfig::default()
+        },
+        FRAMES,
+    );
+
+    assert_eq!(outputs.len() as u64, FRAMES);
+    for (i, out) in outputs.iter().enumerate() {
+        assert_eq!(out.seq, i as u64);
+    }
+    assert_eq!(stats.decoded, FRAMES, "the degraded worker keeps serving");
+    assert_eq!(stats.dropped, 0);
+    assert!(stats.faults_suspected >= 1, "the signature is still reported");
+    assert_eq!(stats.quarantines, 0, "the last healthy worker must stay in rotation");
+    assert_eq!(stats.quarantined_now, 0);
+    assert_eq!(stats.probes_run, 0);
 }
 
 #[test]

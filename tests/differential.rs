@@ -4,7 +4,9 @@
 //! the failure shrinker.
 
 use dvbs2::channel::Modulation;
-use dvbs2::hardware::{MemoryConfig, RamFault};
+use dvbs2::hardware::{
+    FaultActivation, FaultScenario, FuFault, MemoryConfig, RamFault, TimedRamFault,
+};
 use dvbs2::ldpc::{CodeRate, FrameSize};
 use dvbs2::oracle::{
     run, run_case, run_fault_differential, run_fault_suite, run_partition_sweep, shrink_case,
@@ -67,9 +69,19 @@ fn generator_is_deterministic_and_varied() {
     assert!(a.iter().any(|case| case.p_io == 10), "the paper default stays in the mix");
     assert!(a.iter().any(|case| case.modulation == Modulation::Psk8));
     assert!(a.iter().any(|case| case.modulation == Modulation::Bpsk));
-    assert!(a.iter().any(|case| matches!(case.fault, Some(RamFault::StuckWord { .. }))));
-    assert!(a.iter().any(|case| matches!(case.fault, Some(RamFault::FlippedBits { .. }))));
-    assert!(a.iter().any(|case| case.fault.is_none()));
+    let ram_kind = |case: &CaseSpec, stuck: bool| {
+        case.fault.ram_faults().any(|t| matches!(t.fault, RamFault::StuckWord { .. }) == stuck)
+    };
+    assert!(a.iter().any(|case| ram_kind(case, true)));
+    assert!(a.iter().any(|case| ram_kind(case, false)));
+    assert!(a.iter().any(|case| case.fault.is_empty()));
+    // The PR-7 scenario dimensions all appear: non-permanent activations,
+    // multi-fault cases, and FU datapath faults.
+    assert!(a
+        .iter()
+        .any(|case| case.fault.ram_faults().any(|t| t.activation != FaultActivation::Permanent)));
+    assert!(a.iter().any(|case| case.fault.ram_fault_count() > 1));
+    assert!(a.iter().any(|case| case.fault.fu_fault().is_some()));
 }
 
 #[test]
@@ -114,7 +126,7 @@ fn pre_pr4_repro_strings_still_parse() {
         let parsed: CaseSpec = text.parse().unwrap_or_else(|e| panic!("{text}: {e}"));
         assert_eq!(parsed.p_io, 10, "{text}: p_io defaults to the paper value");
         assert_eq!(parsed.modulation, Modulation::Bpsk, "{text}: modulation defaults to BPSK");
-        assert_eq!(parsed.fault, None, "{text}: no fault by default");
+        assert!(parsed.fault.is_empty(), "{text}: no fault by default");
     }
 }
 
@@ -129,7 +141,7 @@ fn fault_and_pio_keys_round_trip() {
         let text = case.to_string();
         let parsed: CaseSpec = text.parse().unwrap_or_else(|e| panic!("{text}: {e}"));
         assert_eq!(parsed, case, "{text}");
-        if case.fault.is_some() {
+        if !case.fault.is_empty() {
             faulted += 1;
             assert!(text.contains("fault="), "{text}: fault must be spelled out");
         } else {
@@ -151,14 +163,28 @@ fn fault_and_pio_keys_round_trip() {
         memory: MemoryConfig::default(),
         p_io: 16,
         modulation: Modulation::Psk8,
-        fault: Some(RamFault::StuckWord { word: 9, value: -31 }),
+        fault: FaultScenario::single(RamFault::StuckWord { word: 9, value: -31 }),
     };
     for fault in [
-        None,
-        Some(RamFault::StuckWord { word: 0, value: 0 }),
-        Some(RamFault::StuckWord { word: 123, value: 31 }),
-        Some(RamFault::FlippedBits { word: 7, mask: 1 }),
-        Some(RamFault::FlippedBits { word: 500, mask: 0b11111 }),
+        FaultScenario::none(),
+        FaultScenario::single(RamFault::StuckWord { word: 0, value: 0 }),
+        FaultScenario::single(RamFault::StuckWord { word: 123, value: 31 }),
+        FaultScenario::single(RamFault::FlippedBits { word: 7, mask: 1 }),
+        FaultScenario::single(RamFault::FlippedBits { word: 500, mask: 0b11111 }),
+        // Extended PR-7 atoms: windowed and random activations, multi-fault
+        // scenarios, and FU faults must survive the round trip too.
+        FaultScenario::none().with_ram(TimedRamFault {
+            fault: RamFault::StuckWord { word: 11, value: -7 },
+            activation: FaultActivation::Window { from: 2, until: 5 },
+        }),
+        FaultScenario::none().with_ram(TimedRamFault {
+            fault: RamFault::FlippedBits { word: 3, mask: 0b101 },
+            activation: FaultActivation::Random { seed: 0xC0FFEE, per_mille: 250 },
+        }),
+        FaultScenario::single(RamFault::StuckWord { word: 1, value: 4 })
+            .with_ram(TimedRamFault::permanent(RamFault::FlippedBits { word: 90, mask: 2 }))
+            .with_fu(Some(FuFault::StuckSign { unit: 42, negative: true })),
+        FaultScenario::none().with_fu(Some(FuFault::StuckMag { unit: 359, value: 31 })),
     ] {
         let case = CaseSpec { fault, ..base };
         let text = case.to_string();
@@ -166,7 +192,7 @@ fn fault_and_pio_keys_round_trip() {
     }
     // Explicit `fault=none` and the three modulation spellings parse too.
     let legacy = "seed=7 rate=2/3 frame=short ebn0=2.4 q=6 arith=lut iters=6 early=true";
-    assert_eq!(format!("{legacy} fault=none").parse::<CaseSpec>().unwrap().fault, None);
+    assert!(format!("{legacy} fault=none").parse::<CaseSpec>().unwrap().fault.is_empty());
     for (name, modulation) in
         [("bpsk", Modulation::Bpsk), ("qpsk", Modulation::Qpsk), ("8psk", Modulation::Psk8)]
     {
@@ -195,7 +221,7 @@ fn single_case_replay_is_clean_and_deterministic() {
         memory: MemoryConfig::default(),
         p_io: 10,
         modulation: Modulation::Bpsk,
-        fault: None,
+        fault: FaultScenario::none(),
     };
     assert!(run_case(0, &case).is_empty());
     assert!(run_case(0, &case).is_empty(), "replay must be stable");
@@ -217,7 +243,10 @@ fn single_case_replay_is_clean_and_deterministic() {
     );
     // And with a RAM fault: the faulted core must track the faulted golden
     // model bit for bit while the healthy decoders keep their contracts.
-    let faulted = CaseSpec { fault: Some(RamFault::StuckWord { word: 5, value: 31 }), ..case };
+    let faulted = CaseSpec {
+        fault: FaultScenario::single(RamFault::StuckWord { word: 5, value: 31 }),
+        ..case
+    };
     assert!(run_case(0, &faulted).is_empty(), "faulted case: {:?}", run_case(0, &faulted));
 }
 
@@ -274,7 +303,8 @@ fn shrinker_minimizes_while_preserving_failure() {
         memory: MemoryConfig { banks: 8, write_ports: 2, fu_latency: 4 },
         p_io: 16,
         modulation: Modulation::Psk8,
-        fault: Some(RamFault::FlippedBits { word: 42, mask: 0b1101 }),
+        fault: FaultScenario::single(RamFault::FlippedBits { word: 42, mask: 0b1101 })
+            .with_fu(Some(FuFault::StuckSign { unit: 7, negative: false })),
     };
     // Synthetic predicate: the "bug" needs at least 3 iterations and the
     // min-sum arithmetic; everything else is shrinkable noise.
@@ -291,23 +321,31 @@ fn shrinker_minimizes_while_preserving_failure() {
     assert_eq!(shrunk.memory, MemoryConfig::default(), "memory normalized");
     assert_eq!(shrunk.p_io, 10, "I/O width normalized");
     assert_eq!(shrunk.modulation, Modulation::Bpsk, "modulation normalized");
-    assert_eq!(shrunk.fault, None, "fault removed");
+    assert!(shrunk.fault.is_empty(), "fault removed");
     assert_eq!((shrunk.seed, shrunk.rate), (failing.seed, failing.rate), "identity preserved");
     assert_eq!(shrunk.arithmetic, failing.arithmetic);
 
     // A fault-dependent bug keeps a fault but simplifies it: the flipped
     // mask shrinks to a single bit at the same word.
-    let fault_bug = |c: &CaseSpec| c.fault.is_some();
+    let fault_bug = |c: &CaseSpec| !c.fault.is_empty();
     let kept = shrink_case(&failing, fault_bug);
-    assert_eq!(kept.fault, Some(RamFault::FlippedBits { word: 42, mask: 1 }));
-    let stuck = CaseSpec { fault: Some(RamFault::StuckWord { word: 9, value: -17 }), ..failing };
+    assert_eq!(kept.fault, FaultScenario::single(RamFault::FlippedBits { word: 42, mask: 1 }));
+    let stuck = CaseSpec {
+        fault: FaultScenario::single(RamFault::StuckWord { word: 9, value: -17 }),
+        ..failing
+    };
     let kept = shrink_case(&stuck, fault_bug);
-    assert_eq!(kept.fault, Some(RamFault::StuckWord { word: 9, value: 0 }));
+    assert_eq!(kept.fault, FaultScenario::single(RamFault::StuckWord { word: 9, value: 0 }));
+    // A bug that needs the FU fault keeps it while the RAM fault is dropped.
+    let fu_bug = |c: &CaseSpec| c.fault.fu_fault().is_some();
+    let kept = shrink_case(&failing, fu_bug);
+    assert_eq!(kept.fault.ram_fault_count(), 0, "RAM fault dropped");
+    assert_eq!(kept.fault.fu_fault(), Some(FuFault::StuckSign { unit: 7, negative: false }));
 
     // A predicate that always fails shrinks to the floor everywhere.
     let floor = shrink_case(&failing, |_| true);
     assert_eq!(floor.max_iterations, 1);
-    assert_eq!(floor.fault, None);
+    assert!(floor.fault.is_empty());
 
     // A predicate nothing satisfies returns the original case untouched.
     let untouched = shrink_case(&failing, |_| false);
