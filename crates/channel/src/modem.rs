@@ -8,11 +8,20 @@
 //! included as the standard's next modulation step (used together with the
 //! [`crate::BlockInterleaver`]).
 
+use crate::apsk::Constellation;
 use crate::llr::{bpsk_llr, db_to_linear};
 use dvbs2_ldpc::BitVec;
 
 /// Gray ordering of 3-bit labels around the 8PSK circle.
 const GRAY8: [u8; 8] = [0b000, 0b001, 0b011, 0b010, 0b110, 0b111, 0b101, 0b100];
+
+/// Ring ratio of the [`Modulation::Apsk16`] constellation (the standard's
+/// value for rate 2/3, the ratio the workspace pins its 16APSK MODCODs to).
+pub const APSK16_GAMMA: f64 = 3.15;
+
+/// Ring ratios of the [`Modulation::Apsk32`] constellation (the standard's
+/// values for rate 3/4).
+pub const APSK32_GAMMA: (f64, f64) = (2.53, 4.30);
 
 /// Supported modulations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -25,6 +34,12 @@ pub enum Modulation {
     Qpsk,
     /// Gray-mapped 8PSK (unit-radius circle), max-log demapping.
     Psk8,
+    /// DVB-S2 16APSK (4+12 rings, ratio [`APSK16_GAMMA`]), max-log
+    /// demapping via [`Constellation::apsk16`].
+    Apsk16,
+    /// DVB-S2 32APSK (4+12+16 rings, ratios [`APSK32_GAMMA`]), max-log
+    /// demapping via [`Constellation::apsk32`].
+    Apsk32,
 }
 
 impl Modulation {
@@ -34,6 +49,18 @@ impl Modulation {
             Modulation::Bpsk => 1,
             Modulation::Qpsk => 2,
             Modulation::Psk8 => 3,
+            Modulation::Apsk16 => 4,
+            Modulation::Apsk32 => 5,
+        }
+    }
+
+    /// The APSK constellation backing this modulation, if it is one of the
+    /// ring modulations (PSK paths have dedicated closed-form demappers).
+    fn constellation(self) -> Option<Constellation> {
+        match self {
+            Modulation::Apsk16 => Some(Constellation::apsk16(APSK16_GAMMA)),
+            Modulation::Apsk32 => Some(Constellation::apsk32(APSK32_GAMMA.0, APSK32_GAMMA.1)),
+            _ => None,
         }
     }
 
@@ -49,20 +76,26 @@ impl Modulation {
         match self {
             // Unit amplitude per dimension: energy 1 per coded bit.
             Modulation::Bpsk | Modulation::Qpsk => (1.0 / (2.0 * rate * ebn0)).sqrt(),
-            // Unit-energy symbols carrying 3 coded bits.
-            Modulation::Psk8 => (1.0 / (6.0 * rate * ebn0)).sqrt(),
+            // Unit-energy symbols carrying `bits_per_symbol` coded bits.
+            Modulation::Psk8 | Modulation::Apsk16 | Modulation::Apsk32 => {
+                (1.0 / (2.0 * self.bits_per_symbol() as f64 * rate * ebn0)).sqrt()
+            }
         }
     }
 
     /// Maps a codeword to real-dimension samples.
     ///
-    /// BPSK/QPSK yield one `±1` sample per bit; 8PSK yields an (I, Q) pair
-    /// per 3 bits on the unit circle.
+    /// BPSK/QPSK yield one `±1` sample per bit; the symbol modulations
+    /// yield an (I, Q) pair per `bits_per_symbol` bits.
     ///
     /// # Panics
     ///
-    /// For 8PSK, panics unless the bit count is divisible by 3.
+    /// For symbol modulations, panics unless the bit count is divisible by
+    /// `bits_per_symbol`.
     pub fn modulate(self, bits: &BitVec) -> Vec<f64> {
+        if let Some(c) = self.constellation() {
+            return c.modulate(bits);
+        }
         match self {
             Modulation::Bpsk | Modulation::Qpsk => {
                 bits.iter().map(|b| if b { -1.0 } else { 1.0 }).collect()
@@ -80,6 +113,7 @@ impl Modulation {
                 }
                 out
             }
+            Modulation::Apsk16 | Modulation::Apsk32 => unreachable!("handled via constellation"),
         }
     }
 
@@ -92,14 +126,19 @@ impl Modulation {
 
     /// Demaps noisy samples into channel LLRs (positive favours bit 0).
     ///
-    /// BPSK/QPSK use the exact per-dimension LLR `2y/σ²`; 8PSK uses the
-    /// max-log approximation over the eight candidate symbols.
+    /// BPSK/QPSK use the exact per-dimension LLR `2y/σ²`; the symbol
+    /// modulations use the max-log approximation over their candidate
+    /// symbol sets.
     ///
     /// # Panics
     ///
-    /// Panics if `sigma` is not positive, or (8PSK) on an odd sample count.
+    /// Panics if `sigma` is not positive, or (symbol modulations) on an odd
+    /// sample count.
     pub fn demap(self, samples: &[f64], sigma: f64) -> Vec<f64> {
         assert!(sigma > 0.0, "sigma must be positive, got {sigma}");
+        if let Some(c) = self.constellation() {
+            return c.demap(samples, sigma);
+        }
         match self {
             Modulation::Bpsk | Modulation::Qpsk => {
                 samples.iter().map(|&y| bpsk_llr(y, 1.0, sigma)).collect()
@@ -130,6 +169,17 @@ impl Modulation {
                 }
                 out
             }
+            Modulation::Apsk16 | Modulation::Apsk32 => unreachable!("handled via constellation"),
+        }
+    }
+
+    /// The DVB-S2 block bit interleaver this modulation's frames pass
+    /// through before mapping (`None` for BPSK/QPSK, which the standard
+    /// maps directly): 3 columns for 8PSK, 4 for 16APSK, 5 for 32APSK.
+    pub fn interleaver(self, frame_len: usize) -> Option<crate::BlockInterleaver> {
+        match self {
+            Modulation::Bpsk | Modulation::Qpsk => None,
+            _ => Some(crate::BlockInterleaver::new(frame_len, self.bits_per_symbol())),
         }
     }
 }
@@ -172,6 +222,61 @@ mod tests {
         assert_eq!(Modulation::Bpsk.bits_per_symbol(), 1);
         assert_eq!(Modulation::Qpsk.bits_per_symbol(), 2);
         assert_eq!(Modulation::Psk8.bits_per_symbol(), 3);
+        assert_eq!(Modulation::Apsk16.bits_per_symbol(), 4);
+        assert_eq!(Modulation::Apsk32.bits_per_symbol(), 5);
+    }
+
+    #[test]
+    fn apsk_demap_recovers_hard_decisions_noiselessly() {
+        // 20 bits = lcm(4, 5): a whole number of symbols for both orders.
+        let bits: BitVec = (0..20).map(|i| (i * 7) % 3 == 0).collect();
+        for modem in [Modulation::Apsk16, Modulation::Apsk32] {
+            let s = modem.modulate(&bits);
+            assert_eq!(s.len(), bits.len() / modem.bits_per_symbol() * 2, "{modem:?}");
+            let llrs = modem.demap(&s, 0.08);
+            assert_eq!(llrs.len(), bits.len(), "{modem:?}");
+            for (i, &l) in llrs.iter().enumerate() {
+                assert_eq!(l < 0.0, bits.get(i), "{modem:?} bit {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn apsk_variants_match_their_constellations() {
+        // The enum paths are thin delegates: bit-identical to calling the
+        // underlying constellation directly.
+        let bits: BitVec = (0..40).map(|i| i % 3 == 1).collect();
+        let direct16 = Constellation::apsk16(APSK16_GAMMA);
+        let direct32 = Constellation::apsk32(APSK32_GAMMA.0, APSK32_GAMMA.1);
+        for (modem, c) in [(Modulation::Apsk16, direct16), (Modulation::Apsk32, direct32)] {
+            let samples = modem.modulate(&bits);
+            assert_eq!(samples, c.modulate(&bits));
+            assert_eq!(modem.demap(&samples, 0.3), c.demap(&samples, 0.3));
+            assert_eq!(modem.noise_sigma(2.0, 0.5), c.noise_sigma(2.0, 0.5));
+        }
+    }
+
+    #[test]
+    fn interleaver_columns_follow_the_standard() {
+        assert_eq!(Modulation::Bpsk.interleaver(16_200), None);
+        assert_eq!(Modulation::Qpsk.interleaver(16_200), None);
+        for (modem, columns) in
+            [(Modulation::Psk8, 3), (Modulation::Apsk16, 4), (Modulation::Apsk32, 5)]
+        {
+            for frame_len in [16_200usize, 64_800] {
+                let il = modem.interleaver(frame_len).expect("symbol modulations interleave");
+                assert_eq!(il.len(), frame_len);
+                // Consecutive output bits (one symbol) come from distant
+                // input positions: column stride = rows.
+                let rows = frame_len / columns;
+                let first_row: Vec<usize> = (0..columns)
+                    .map(|b| (0..frame_len).find(|&i| il.output_index(i) == b).unwrap())
+                    .collect();
+                for pair in first_row.windows(2) {
+                    assert_eq!(pair[1] - pair[0], rows, "{modem:?} {frame_len}");
+                }
+            }
+        }
     }
 
     #[test]

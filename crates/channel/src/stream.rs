@@ -89,6 +89,96 @@ impl<S: LlrSource> Iterator for FrameStream<S> {
     }
 }
 
+/// Identity of one logical stream inside a multi-tenant service: which
+/// tenant owns it and which of that tenant's streams it is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamKey {
+    /// Owning tenant (service-level admission budgets are per tenant).
+    pub tenant: u32,
+    /// Stream id within the tenant.
+    pub stream: u32,
+}
+
+impl StreamKey {
+    /// Convenience constructor.
+    pub fn new(tenant: u32, stream: u32) -> Self {
+        StreamKey { tenant, stream }
+    }
+}
+
+/// One demapped frame of a tenant-tagged stream: the owning stream, the
+/// frame's position *within that stream*, and the LLR payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaggedLlrFrame {
+    /// The stream this frame belongs to.
+    pub key: StreamKey,
+    /// 0-based, gap-free position within the stream.
+    pub seq: u64,
+    /// MODCOD slot of the frame.
+    pub modcod: usize,
+    /// Channel LLRs (codeword length).
+    pub llrs: Vec<f64>,
+}
+
+/// A deterministic bundle of per-stream [`LlrSource`]s — the many-client
+/// traffic shape a sharded decode service ingests.
+///
+/// Each inner source is addressed by the *per-stream* frame index, so frame
+/// `(key, seq)` has identical bits no matter how the streams' submissions
+/// interleave — the property that lets a sharded run be checked against a
+/// single-threaded per-stream reference decode.
+#[derive(Debug)]
+pub struct MultiStreamSource<S> {
+    streams: Vec<(StreamKey, S)>,
+}
+
+impl<S: LlrSource> MultiStreamSource<S> {
+    /// Bundles per-stream sources. Keys must be distinct.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty bundle or duplicate keys.
+    pub fn new(streams: Vec<(StreamKey, S)>) -> Self {
+        assert!(!streams.is_empty(), "a multi-stream source needs at least one stream");
+        let mut keys: Vec<StreamKey> = streams.iter().map(|(k, _)| *k).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), streams.len(), "stream keys must be distinct");
+        MultiStreamSource { streams }
+    }
+
+    /// Number of streams in the bundle.
+    pub fn len(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Whether the bundle is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.streams.is_empty()
+    }
+
+    /// The key of stream `index` (bundle order).
+    pub fn key(&self, index: usize) -> StreamKey {
+        self.streams[index].0
+    }
+
+    /// Materializes frame `seq` of stream `index` (bundle order).
+    pub fn frame(&mut self, index: usize, seq: u64) -> TaggedLlrFrame {
+        let (key, source) = &mut self.streams[index];
+        let inner = source.frame(seq);
+        TaggedLlrFrame { key: *key, seq, modcod: inner.tag.modcod, llrs: inner.llrs }
+    }
+
+    /// Frame `global_index` of the round-robin interleaving of every
+    /// stream: stream `global_index % len`, per-stream seq
+    /// `global_index / len` — a deterministic arrival order for open-loop
+    /// load generation.
+    pub fn round_robin(&mut self, global_index: u64) -> TaggedLlrFrame {
+        let n = self.streams.len() as u64;
+        self.frame((global_index % n) as usize, global_index / n)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,6 +213,39 @@ mod tests {
         assert_eq!(b.frame(0), f0);
         assert_eq!(b.frame(3), f3);
         assert_ne!(ToySource { seed: 8 }.frame(0), f0, "seed must matter");
+    }
+
+    #[test]
+    fn multi_stream_frames_are_deterministic_and_key_tagged() {
+        let mk = || {
+            MultiStreamSource::new(vec![
+                (StreamKey::new(0, 0), ToySource { seed: 3 }),
+                (StreamKey::new(0, 1), ToySource { seed: 4 }),
+                (StreamKey::new(1, 0), ToySource { seed: 5 }),
+            ])
+        };
+        let mut a = mk();
+        let mut b = mk();
+        // Generation order must not matter, and each stream keeps its own
+        // per-stream index space.
+        let f = a.frame(2, 7);
+        assert_eq!(f.key, StreamKey::new(1, 0));
+        assert_eq!(f.seq, 7);
+        assert_eq!(b.frame(2, 7), f);
+        assert_ne!(b.frame(1, 7).llrs, f.llrs, "streams draw independent content");
+        // Round-robin interleaving: global index 5 → stream 2, seq 1.
+        let rr = a.round_robin(5);
+        assert_eq!((rr.key, rr.seq), (StreamKey::new(1, 0), 1));
+        assert_eq!(rr, b.frame(2, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn multi_stream_rejects_duplicate_keys() {
+        let _ = MultiStreamSource::new(vec![
+            (StreamKey::new(0, 0), ToySource { seed: 1 }),
+            (StreamKey::new(0, 0), ToySource { seed: 2 }),
+        ]);
     }
 
     #[test]

@@ -44,13 +44,15 @@ pub mod framing;
 mod modcod;
 pub mod oracle;
 pub use fec::{FecChain, FecDecodeResult};
-pub use modcod::{DecoderProfile, Modcod, ModcodEntry, ModcodTable};
+pub use modcod::{
+    DecoderProfile, Modcod, ModcodEntry, ModcodRegistry, ModcodSnapshot, ModcodTable,
+};
 
 /// The workspace's most commonly used items in one import.
 pub mod prelude {
     pub use crate::{
         DecoderKind, DecoderProfile, Dvbs2System, FecChain, FecDecodeResult, Modcod, ModcodEntry,
-        ModcodTable, SystemConfig, TransmittedFrame,
+        ModcodRegistry, ModcodSnapshot, ModcodTable, SystemConfig, TransmittedFrame,
     };
     pub use dvbs2_bch::{BchCode, BchDecoder, BchEncoder};
     pub use dvbs2_channel::{
@@ -217,10 +219,29 @@ impl Dvbs2System {
 
     /// Encodes a random message and passes it through the channel.
     ///
-    /// For 8PSK the DVB-S2 block bit interleaver is applied before mapping
-    /// and inverted on the received LLRs, as the standard specifies.
+    /// For the symbol modulations (8PSK, 16APSK, 32APSK) the DVB-S2 block
+    /// bit interleaver is applied before mapping and inverted on the
+    /// received LLRs, as the standard specifies.
     pub fn transmit_frame<R: Rng + ?Sized>(&self, rng: &mut R, ebn0_db: f64) -> TransmittedFrame {
         self.transmit_frame_with(rng, ebn0_db, self.config.modulation)
+    }
+
+    /// [`transmit_frame`](Self::transmit_frame) for a *specific* message of
+    /// length `K` instead of a random one — the service tier's BBFRAME
+    /// round-trip uses this to carry assembled baseband frames through the
+    /// channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `message.len() == K`.
+    pub fn transmit_message<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        ebn0_db: f64,
+        message: &BitVec,
+    ) -> TransmittedFrame {
+        let codeword = self.encoder.encode(message).expect("message has length K");
+        self.transmit_codeword(rng, ebn0_db, self.config.modulation, codeword)
     }
 
     /// [`transmit_frame`](Self::transmit_frame) with an explicit modulation,
@@ -234,8 +255,17 @@ impl Dvbs2System {
     ) -> TransmittedFrame {
         let msg = self.encoder.random_message(rng);
         let codeword = self.encoder.encode(&msg).expect("message has length K");
-        let interleaver = (modulation == Modulation::Psk8)
-            .then(|| dvbs2_channel::BlockInterleaver::dvbs2_8psk(codeword.len()));
+        self.transmit_codeword(rng, ebn0_db, modulation, codeword)
+    }
+
+    fn transmit_codeword<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        ebn0_db: f64,
+        modulation: Modulation,
+        codeword: BitVec,
+    ) -> TransmittedFrame {
+        let interleaver = modulation.interleaver(codeword.len());
         let mapped: BitVec = match &interleaver {
             Some(il) => {
                 il.interleave(&codeword.iter().collect::<Vec<bool>>()).into_iter().collect()
@@ -395,6 +425,41 @@ mod tests {
             let out = system.make_decoder().decode(&frame.llrs);
             assert_eq!(out.bits, frame.codeword, "{kind:?}");
         }
+    }
+
+    #[test]
+    fn apsk_frames_decode_at_high_snr() {
+        // The interleaved APSK transmit paths feed decodable LLRs: at a
+        // comfortable Eb/N0 above each constellation's waterfall the
+        // decoder recovers the codeword exactly.
+        for (modulation, ebn0_db) in [(Modulation::Apsk16, 9.0), (Modulation::Apsk32, 12.0)] {
+            let system = Dvbs2System::new(SystemConfig {
+                frame: FrameSize::Short,
+                modulation,
+                ..SystemConfig::default()
+            })
+            .unwrap();
+            let mut rng = SmallRng::seed_from_u64(11);
+            let frame = system.transmit_frame(&mut rng, ebn0_db);
+            assert_eq!(frame.llrs.len(), system.params().n, "{modulation:?}");
+            let out = system.make_decoder().decode(&frame.llrs);
+            assert_eq!(out.bits, frame.codeword, "{modulation:?}");
+        }
+    }
+
+    #[test]
+    fn transmit_message_carries_the_chosen_payload() {
+        let system = short_system(DecoderKind::Zigzag);
+        let k = system.params().k;
+        let message: BitVec = (0..k).map(|i| i % 5 == 2).collect();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let frame = system.transmit_message(&mut rng, 3.5, &message);
+        // The systematic prefix of the codeword is the message itself.
+        for i in 0..k {
+            assert_eq!(frame.codeword.get(i), message.get(i), "bit {i}");
+        }
+        let out = system.make_decoder().decode(&frame.llrs);
+        assert_eq!(out.bits, frame.codeword);
     }
 
     #[test]

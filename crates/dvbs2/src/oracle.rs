@@ -207,10 +207,14 @@ impl CaseSpec {
         // (master_seed, index) keeps its pre-PR-4 rate/frame/memory/... .
         let p_io = [4, 7, 16, 10][(next() % 4) as usize];
         // Exactly one draw keeps downstream dimensions aligned with runs
-        // recorded before QPSK joined the pool.
+        // recorded before QPSK joined the pool; the APSK arms reuse the
+        // values that previously mapped to extra BPSK weight, so the fault
+        // draws below still see the same random stream.
         let modulation = match next() % 5 {
             0 => Modulation::Psk8,
             1 => Modulation::Qpsk,
+            2 => Modulation::Apsk16,
+            3 => Modulation::Apsk32,
             _ => Modulation::Bpsk,
         };
         let mut fault = FaultScenario::none();
@@ -265,11 +269,11 @@ impl CaseSpec {
             seed: mix_seed(master_seed ^ 0x0DD5_B2C0_DEC0_DE00, index),
             rate,
             frame,
-            // 8PSK packs three coded bits per symbol; its waterfall sits
-            // roughly 2 dB above the BPSK/QPSK anchor at these rates.
-            ebn0_db: anchor_ebn0_db(rate)
-                + offset
-                + if modulation == Modulation::Psk8 { 2.0 } else { 0.0 },
+            // Denser symbol modulations sit further up in Eb/N0: roughly
+            // +2 dB for 8PSK, +4.5 dB for 16APSK and +7 dB for 32APSK
+            // relative to the BPSK/QPSK anchor at these rates, keeping both
+            // convergence regimes populated for every constellation.
+            ebn0_db: anchor_ebn0_db(rate) + offset + modulation_offset_db(modulation),
             quantizer_bits,
             arithmetic,
             max_iterations,
@@ -293,6 +297,8 @@ impl fmt::Display for CaseSpec {
             Modulation::Bpsk => "bpsk",
             Modulation::Qpsk => "qpsk",
             Modulation::Psk8 => "8psk",
+            Modulation::Apsk16 => "16apsk",
+            Modulation::Apsk32 => "32apsk",
         };
         write!(
             f,
@@ -439,6 +445,8 @@ impl FromStr for CaseSpec {
             None | Some("bpsk") => Modulation::Bpsk,
             Some("qpsk") => Modulation::Qpsk,
             Some("8psk") => Modulation::Psk8,
+            Some("16apsk") => Modulation::Apsk16,
+            Some("32apsk") => Modulation::Apsk32,
             Some(_) => return Err(err("mod")),
         };
         let fault = match fields.get("fault").copied() {
@@ -532,6 +540,18 @@ impl FromStr for CaseSpec {
 
 /// Rough Eb/N0 (dB) of each rate's waterfall region — anchor for the
 /// generator's offsets, not a calibrated threshold.
+/// Generator Eb/N0 offset per modulation: denser constellations need more
+/// SNR to keep the decodes-mostly/fails-mostly mix the offsets produce on
+/// BPSK. QPSK shares the BPSK anchor (per-dimension identical channel).
+fn modulation_offset_db(modulation: Modulation) -> f64 {
+    match modulation {
+        Modulation::Bpsk | Modulation::Qpsk => 0.0,
+        Modulation::Psk8 => 2.0,
+        Modulation::Apsk16 => 4.5,
+        Modulation::Apsk32 => 7.0,
+    }
+}
+
 fn anchor_ebn0_db(rate: CodeRate) -> f64 {
     match rate {
         CodeRate::R1_4 => 0.8,
@@ -1650,21 +1670,22 @@ mod tests {
 
     #[test]
     fn generator_draws_every_modulation_with_the_right_anchor() {
-        let mut seen = [false; 3]; // [bpsk, qpsk, 8psk]
+        let mut seen = [false; 5]; // [bpsk, qpsk, 8psk, 16apsk, 32apsk]
         for index in 0..200u64 {
             let case = CaseSpec::generate(0xC0FE, index);
             match case.modulation {
                 Modulation::Bpsk => seen[0] = true,
                 Modulation::Qpsk => seen[1] = true,
                 Modulation::Psk8 => seen[2] = true,
+                Modulation::Apsk16 => seen[3] = true,
+                Modulation::Apsk32 => seen[4] = true,
             }
             // QPSK shares the BPSK anchor (per-dimension identical channel,
-            // so no dB shift); 8PSK keeps its +2 dB offset.
-            let delta = case.ebn0_db - anchor_ebn0_db(case.rate);
-            let offsets: &[f64] = match case.modulation {
-                Modulation::Psk8 => &[1.6, 2.0, 2.6, 3.6],
-                _ => &[-0.4, 0.0, 0.6, 1.6],
-            };
+            // so no dB shift); the symbol modulations keep their density
+            // offsets (+2 / +4.5 / +7 dB).
+            let delta =
+                case.ebn0_db - anchor_ebn0_db(case.rate) - modulation_offset_db(case.modulation);
+            let offsets: &[f64] = &[-0.4, 0.0, 0.6, 1.6];
             assert!(
                 offsets.iter().any(|&o| (delta - o).abs() < 1e-9),
                 "index {index}: {} offset {delta}",
@@ -1679,6 +1700,16 @@ mod tests {
         let case = CaseSpec { modulation: Modulation::Qpsk, ..CaseSpec::generate(7, 3) };
         let parsed: CaseSpec = case.to_string().parse().unwrap();
         assert_eq!(parsed, case);
+    }
+
+    #[test]
+    fn apsk_cases_round_trip_through_their_repro_string() {
+        for modulation in [Modulation::Apsk16, Modulation::Apsk32] {
+            let case = CaseSpec { modulation, ..CaseSpec::generate(7, 3) };
+            let parsed: CaseSpec = case.to_string().parse().unwrap();
+            assert_eq!(parsed, case);
+            assert!(case.to_string().contains("apsk"), "{case}");
+        }
     }
 
     #[test]

@@ -68,5 +68,10 @@ mod stats;
 pub use admission::{AdmissionController, AdmissionPolicy, DEMAND_MULTIPLIERS, OCCUPANCY_STEPS};
 pub use health::{QuarantinePolicy, WorkerFaultInjection, WorkerHealth};
 pub use queue::BoundedQueue;
-pub use service::{DecodePipeline, DecodedFrame, PipelineConfig, SoftFrame, SubmitError};
-pub use stats::{PipelineStats, StatsCore, ITERATION_BUCKETS};
+pub use service::{
+    DecodePipeline, DecodedFrame, PipelineConfig, PipelineHealth, SoftFrame, SubmitError,
+};
+pub use stats::{
+    histogram_quantile_index, latency_bucket, latency_bucket_floor_ns, PipelineStats, StatsCore,
+    ITERATION_BUCKETS, LATENCY_BUCKETS,
+};

@@ -63,7 +63,11 @@ impl From<LlrFrame> for SoftFrame {
 }
 
 /// One decoded frame leaving the pipeline, in submission order.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Equality compares the decoded payload and metadata but **not** the
+/// timestamps, so two decodes of the same frame on different pipelines
+/// compare equal (the property shard-invariance tests rely on).
+#[derive(Debug, Clone)]
 pub struct DecodedFrame {
     /// Pipeline sequence number (0-based submission order, gap-free).
     pub seq: u64,
@@ -82,13 +86,60 @@ pub struct DecodedFrame {
     /// The iteration cap this frame actually ran under (lower than the
     /// slot's configured cap when admission control shed load).
     pub iteration_cap: usize,
+    /// When the frame entered the ingress queue (sequence claimed).
+    pub accepted_at: Instant,
+    /// When the frame was handed to the egress queue in order.
+    pub emitted_at: Instant,
 }
+
+impl PartialEq for DecodedFrame {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+            && self.stream_index == other.stream_index
+            && self.modcod == other.modcod
+            && self.bits == other.bits
+            && self.info_len == other.info_len
+            && self.iterations == other.iterations
+            && self.converged == other.converged
+            && self.iteration_cap == other.iteration_cap
+    }
+}
+
+impl Eq for DecodedFrame {}
 
 impl DecodedFrame {
     /// The decoded BBFRAME: the systematic (information) prefix of the
     /// codeword, which is what the outer BCH layer consumes.
     pub fn bbframe(&self) -> BitVec {
         (0..self.info_len).map(|i| self.bits.get(i)).collect()
+    }
+
+    /// End-to-end pipeline residence time: ingress admission to in-order
+    /// egress.
+    pub fn latency(&self) -> Duration {
+        self.emitted_at.saturating_duration_since(self.accepted_at)
+    }
+}
+
+/// A point-in-time view of the worker fleet's health, exported so a
+/// multi-shard service tier can route traffic away from degraded shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineHealth {
+    /// Workers the pipeline was started with.
+    pub workers: usize,
+    /// Workers currently out of rotation in syndrome-anomaly quarantine.
+    pub quarantined_now: usize,
+    /// Cumulative fault suspicions raised by the anomaly detector.
+    pub faults_suspected: u64,
+    /// Cumulative reinstatements after known-answer probes passed.
+    pub reinstatements: u64,
+}
+
+impl PipelineHealth {
+    /// Whether any worker is currently quarantined — the signal a service
+    /// tier uses to migrate streams off this shard.
+    pub fn degraded(&self) -> bool {
+        self.quarantined_now > 0
     }
 }
 
@@ -172,6 +223,7 @@ impl Default for PipelineConfig {
 
 struct WorkItem {
     seq: u64,
+    accepted_at: Instant,
     frame: SoftFrame,
 }
 
@@ -275,7 +327,8 @@ impl DecodePipeline {
             shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(SubmitError::Rejected(frame));
         }
-        match shared.ingress.try_push(WorkItem { seq: sub.next_seq, frame }) {
+        let item = WorkItem { seq: sub.next_seq, accepted_at: Instant::now(), frame };
+        match shared.ingress.try_push(item) {
             Ok(()) => {
                 let seq = sub.next_seq;
                 sub.next_seq += 1;
@@ -303,7 +356,8 @@ impl DecodePipeline {
                 return Err(SubmitError::ShutDown(frame));
             }
             if shared.stats.in_flight.load(Ordering::Relaxed) < shared.config.max_in_flight {
-                match shared.ingress.try_push(WorkItem { seq: sub.next_seq, frame }) {
+                let item = WorkItem { seq: sub.next_seq, accepted_at: Instant::now(), frame };
+                match shared.ingress.try_push(item) {
                     Ok(()) => {
                         let seq = sub.next_seq;
                         sub.next_seq += 1;
@@ -351,9 +405,42 @@ impl DecodePipeline {
         self.shared.stats.snapshot()
     }
 
+    /// The current worker-fleet health, for shard-level routing decisions.
+    pub fn health(&self) -> PipelineHealth {
+        let stats = &self.shared.stats;
+        PipelineHealth {
+            workers: self.shared.config.workers,
+            quarantined_now: stats.quarantined_now.load(Ordering::Relaxed),
+            faults_suspected: stats.faults_suspected.load(Ordering::Relaxed),
+            reinstatements: stats.reinstatements.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting new frames without joining the workers: already
+    /// admitted frames keep decoding and draining to egress. Used by a
+    /// service tier to drain a shard before retiring it — call
+    /// [`DecodePipeline::finish`] (or drop) afterwards to join.
+    pub fn close_ingress(&self) {
+        self.shared.shutting_down.store(true, Ordering::Release);
+        self.shared.ingress.close();
+        self.shared.space.notify_all();
+    }
+
     /// The dispatch table the pipeline serves.
     pub fn table(&self) -> &ModcodTable {
         &self.shared.table
+    }
+
+    /// The configuration the pipeline was started with.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.shared.config
+    }
+
+    /// Frames currently inside the pipeline (ingress + decode + reorder +
+    /// egress). A single atomic load — cheap enough for per-frame routing
+    /// and SLA decisions in a front-end tier.
+    pub fn in_flight(&self) -> usize {
+        self.shared.stats.in_flight.load(Ordering::Relaxed)
     }
 
     /// Stops accepting frames, decodes everything already admitted, joins
@@ -468,6 +555,8 @@ fn worker_loop(shared: &Shared, worker: usize) {
                         iterations: 0,
                         converged: false,
                         iteration_cap: 0,
+                        accepted_at: item.accepted_at,
+                        emitted_at: item.accepted_at,
                     };
                     emit_in_order(shared, decoded);
                 }
@@ -515,6 +604,8 @@ fn worker_loop(shared: &Shared, worker: usize) {
                             iterations: out.iterations,
                             converged: out.converged,
                             iteration_cap: cap,
+                            accepted_at: item.accepted_at,
+                            emitted_at: item.accepted_at,
                         };
                         emit_in_order(shared, decoded);
                     }
@@ -550,6 +641,8 @@ fn worker_loop(shared: &Shared, worker: usize) {
                         iterations: scratch.iterations,
                         converged: scratch.converged,
                         iteration_cap: cap,
+                        accepted_at: item.accepted_at,
+                        emitted_at: item.accepted_at,
                     };
                     emit_in_order(shared, decoded);
                 }
@@ -699,11 +792,13 @@ fn emit_in_order(shared: &Shared, decoded: DecodedFrame) {
     let mut reorder = shared.reorder.lock().expect("no panics hold the reorder lock");
     reorder.pending.insert(decoded.seq, decoded);
     StatsCore::raise_watermark(&shared.stats.reorder_watermark, reorder.pending.len());
-    while let Some(frame) = {
+    while let Some(mut frame) = {
         let next = reorder.next_emit;
         reorder.pending.remove(&next)
     } {
         reorder.next_emit += 1;
+        frame.emitted_at = Instant::now();
+        shared.stats.record_latency(frame.latency().as_nanos() as u64);
         // Blocking push while holding the reorder lock is safe: the
         // consumer side never takes this lock, so egress keeps draining.
         // Other workers queue behind the lock, which is exactly the

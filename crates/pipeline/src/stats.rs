@@ -12,6 +12,53 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 /// above the last bucket saturate into it.
 pub const ITERATION_BUCKETS: usize = 64;
 
+/// Number of buckets in the end-to-end latency histogram: log-linear with
+/// 16 sub-buckets per power of two (≤ 6.25 % relative bucket width), exact
+/// below 16 ns, covering up to `2^39` ns (~9 minutes) before saturating.
+pub const LATENCY_BUCKETS: usize = 576;
+
+/// The latency histogram bucket a nanosecond value falls into.
+pub fn latency_bucket(ns: u64) -> usize {
+    if ns < 16 {
+        return ns as usize;
+    }
+    let exp = 63 - ns.leading_zeros() as u64; // >= 4
+    let sub = (ns >> (exp - 4)) - 16; // 0..16 within the power of two
+    (((exp - 3) * 16 + sub) as usize).min(LATENCY_BUCKETS - 1)
+}
+
+/// The smallest nanosecond value that lands in `bucket` — the conservative
+/// (lower-bound) representative a quantile report uses.
+pub fn latency_bucket_floor_ns(bucket: usize) -> u64 {
+    assert!(bucket < LATENCY_BUCKETS, "bucket {bucket} out of range");
+    if bucket < 16 {
+        return bucket as u64;
+    }
+    let exp = bucket as u64 / 16 + 3;
+    let sub = bucket as u64 % 16;
+    (16 + sub) << (exp - 4)
+}
+
+/// Nearest-rank quantile over a bucketed histogram: the index of the
+/// bucket holding the `ceil(q * total)`-th observation, or `None` when the
+/// histogram is empty.
+pub fn histogram_quantile_index(counts: &[u64], q: f64) -> Option<usize> {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return Some(i);
+        }
+    }
+    Some(counts.len() - 1)
+}
+
 /// Shared counter block the pipeline stages update in place.
 #[derive(Debug)]
 pub struct StatsCore {
@@ -59,6 +106,13 @@ pub struct StatsCore {
     pub probes_run: AtomicU64,
     /// Known-answer probes that failed (wrong word or no convergence).
     pub probes_failed: AtomicU64,
+    /// Total accepted→emitted nanoseconds across all emitted frames.
+    pub latency_ns_total: AtomicU64,
+    /// Worst accepted→emitted latency observed (nanoseconds).
+    pub latency_watermark_ns: AtomicU64,
+    /// Log-linear accepted→emitted latency histogram (see
+    /// [`latency_bucket`]).
+    pub latency_histogram: [AtomicU64; LATENCY_BUCKETS],
 }
 
 impl Default for StatsCore {
@@ -84,6 +138,9 @@ impl Default for StatsCore {
             quarantined_now: AtomicUsize::new(0),
             probes_run: AtomicU64::new(0),
             probes_failed: AtomicU64::new(0),
+            latency_ns_total: AtomicU64::new(0),
+            latency_watermark_ns: AtomicU64::new(0),
+            latency_histogram: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 }
@@ -109,10 +166,21 @@ impl StatsCore {
         slot.fetch_max(depth, Ordering::Relaxed);
     }
 
+    /// Records one frame's accepted→emitted latency.
+    pub fn record_latency(&self, ns: u64) {
+        self.latency_ns_total.fetch_add(ns, Ordering::Relaxed);
+        self.latency_watermark_ns.fetch_max(ns, Ordering::Relaxed);
+        self.latency_histogram[latency_bucket(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a snapshot of every counter.
     pub fn snapshot(&self) -> PipelineStats {
         let mut iteration_histogram = [0u64; ITERATION_BUCKETS];
         for (out, bucket) in iteration_histogram.iter_mut().zip(&self.iteration_histogram) {
+            *out = bucket.load(Ordering::Relaxed);
+        }
+        let mut latency_histogram = [0u64; LATENCY_BUCKETS];
+        for (out, bucket) in latency_histogram.iter_mut().zip(&self.latency_histogram) {
             *out = bucket.load(Ordering::Relaxed);
         }
         PipelineStats {
@@ -136,6 +204,9 @@ impl StatsCore {
             quarantined_now: self.quarantined_now.load(Ordering::Relaxed),
             probes_run: self.probes_run.load(Ordering::Relaxed),
             probes_failed: self.probes_failed.load(Ordering::Relaxed),
+            latency_ns_total: self.latency_ns_total.load(Ordering::Relaxed),
+            latency_watermark_ns: self.latency_watermark_ns.load(Ordering::Relaxed),
+            latency_histogram,
         }
     }
 }
@@ -183,6 +254,13 @@ pub struct PipelineStats {
     pub probes_run: u64,
     /// Known-answer probes failed.
     pub probes_failed: u64,
+    /// Total accepted→emitted nanoseconds across emitted frames.
+    pub latency_ns_total: u64,
+    /// Worst accepted→emitted latency observed (nanoseconds).
+    pub latency_watermark_ns: u64,
+    /// Log-linear accepted→emitted latency histogram (bucket geometry in
+    /// [`latency_bucket`] / [`latency_bucket_floor_ns`]).
+    pub latency_histogram: [u64; LATENCY_BUCKETS],
 }
 
 impl PipelineStats {
@@ -218,19 +296,52 @@ impl PipelineStats {
         }
     }
 
+    /// Exact iteration-count quantile (nearest rank): the iteration count
+    /// below which a fraction `q` of decoded frames fall. Exact because
+    /// every histogram bucket is one iteration wide (the last bucket
+    /// saturates, so a result of `ITERATION_BUCKETS - 1` means "at least").
+    /// Returns 0 when nothing has been decoded.
+    pub fn iteration_quantile(&self, q: f64) -> usize {
+        histogram_quantile_index(&self.iteration_histogram, q).unwrap_or(0)
+    }
+
+    /// Accepted→emitted latency quantile in nanoseconds (nearest rank over
+    /// the log-linear histogram, reported as the bucket's lower bound — a
+    /// conservative value within 6.25 % of the true quantile). Returns 0
+    /// before any frame has been emitted.
+    pub fn latency_quantile_ns(&self, q: f64) -> u64 {
+        histogram_quantile_index(&self.latency_histogram, q).map_or(0, latency_bucket_floor_ns)
+    }
+
+    /// Mean accepted→emitted latency per emitted frame in nanoseconds.
+    pub fn mean_latency_ns(&self) -> f64 {
+        if self.emitted == 0 {
+            0.0
+        } else {
+            self.latency_ns_total as f64 / self.emitted as f64
+        }
+    }
+
     /// One-line log form, suitable for the periodic progress line.
     pub fn log_line(&self) -> String {
+        let us = |ns: u64| ns as f64 / 1_000.0;
         format!(
-            "pipeline: in={} out={} rej={} drop={} inflight={} it_mean={:.2} early={:.0}% \
-             ns/frame={:.0} wm_in={} wm_reorder={} quar={}",
+            "pipeline: in={} out={} rej={} drop={} inflight={} it_mean={:.2} it_p99={} \
+             early={:.0}% ns/frame={:.0} lat_p50={:.0}us lat_p99={:.0}us lat_p999={:.0}us \
+             lat_max={:.0}us wm_in={} wm_reorder={} quar={}",
             self.submitted,
             self.emitted,
             self.rejected,
             self.dropped,
             self.in_flight,
             self.mean_iterations(),
+            self.iteration_quantile(0.99),
             100.0 * self.early_stop_rate(),
             self.ns_per_frame(),
+            us(self.latency_quantile_ns(0.50)),
+            us(self.latency_quantile_ns(0.99)),
+            us(self.latency_quantile_ns(0.999)),
+            us(self.latency_watermark_ns),
             self.ingress_watermark,
             self.reorder_watermark,
             self.quarantined_now,
@@ -303,6 +414,68 @@ mod tests {
                 "round {round}: watermark under-reported the deepest occupancy"
             );
         }
+    }
+
+    #[test]
+    fn latency_bucket_geometry_is_monotone_and_self_consistent() {
+        // Every bucket's floor maps back to that bucket, and bucket indexes
+        // never decrease as values grow.
+        for bucket in 0..LATENCY_BUCKETS {
+            let floor = latency_bucket_floor_ns(bucket);
+            assert_eq!(latency_bucket(floor), bucket, "floor of bucket {bucket}");
+        }
+        let mut last = 0usize;
+        for ns in [0u64, 1, 15, 16, 17, 31, 32, 1_000, 1_000_000, 1_000_000_000, u64::MAX] {
+            let b = latency_bucket(ns);
+            assert!(b >= last, "bucket regressed at {ns}");
+            last = b;
+        }
+        assert_eq!(latency_bucket(u64::MAX), LATENCY_BUCKETS - 1, "saturates");
+        // Relative bucket width stays within 1/16 above the linear range.
+        for bucket in 16..LATENCY_BUCKETS - 1 {
+            let floor = latency_bucket_floor_ns(bucket);
+            let next = latency_bucket_floor_ns(bucket + 1);
+            assert!((next - floor) as f64 / floor as f64 <= 1.0 / 16.0 + 1e-12, "bucket {bucket}");
+        }
+    }
+
+    #[test]
+    fn iteration_quantiles_are_exact_nearest_rank() {
+        let core = StatsCore::default();
+        // 90 one-iteration frames, 9 ten-iteration frames, 1 forty.
+        for _ in 0..90 {
+            core.record_decode(1, true, false, 0);
+        }
+        for _ in 0..9 {
+            core.record_decode(10, false, false, 0);
+        }
+        core.record_decode(40, false, false, 0);
+        let s = core.snapshot();
+        assert_eq!(s.iteration_quantile(0.50), 1);
+        assert_eq!(s.iteration_quantile(0.90), 1);
+        assert_eq!(s.iteration_quantile(0.99), 10);
+        assert_eq!(s.iteration_quantile(0.999), 40);
+        assert_eq!(s.iteration_quantile(1.0), 40);
+        assert_eq!(StatsCore::default().snapshot().iteration_quantile(0.5), 0, "empty");
+    }
+
+    #[test]
+    fn latency_quantiles_track_recorded_values() {
+        let core = StatsCore::default();
+        for _ in 0..99 {
+            core.record_latency(1_000);
+        }
+        core.record_latency(1_000_000);
+        // `emitted` drives the mean's denominator.
+        core.emitted.store(100, Ordering::Relaxed);
+        let s = core.snapshot();
+        let p50 = s.latency_quantile_ns(0.50);
+        assert!((992..=1_000).contains(&p50), "p50 {p50} within one bucket below 1000");
+        let p999 = s.latency_quantile_ns(0.999);
+        assert!(p999 > 900_000 && p999 <= 1_000_000, "p999 {p999}");
+        assert_eq!(s.latency_watermark_ns, 1_000_000);
+        assert!((s.mean_latency_ns() - 10_990.0).abs() < 1e-9);
+        assert!(s.log_line().contains("lat_p50="), "log line exposes latency");
     }
 
     #[test]

@@ -1,0 +1,715 @@
+//! The service tier proper: sharded routing, tenant admission, egress
+//! reordering, stream migration, hot reconfiguration and health
+//! monitoring.
+//!
+//! Ordering argument, in one place. Per-stream sequence numbers are
+//! assigned under the route lock and only on a successful shard admit, so
+//! they are gap-free and match the order frames entered *some* shard.
+//! Within one shard the pipeline's own reorder stage delivers frames in
+//! admit order. Across shards — after a migration or a rolling
+//! reconfiguration — the service-level egress stage holds each stream's
+//! frames in a per-stream reorder buffer keyed by that sequence number and
+//! releases them strictly in order. A frame admitted to any shard is
+//! always delivered (pipelines never drop admitted frames outside of
+//! teardown), so the buffer never waits on a hole that cannot fill.
+
+use crate::stats::{ServiceStats, ServiceStatsCore, TenantStats};
+use crate::tenant::{SlaClass, TenantPolicy, TenantState};
+use dvbs2::framing::{extract_bbframe, BbHeader, FramingError};
+use dvbs2::{ModcodRegistry, ModcodTable};
+use dvbs2_channel::StreamKey;
+use dvbs2_ldpc::BitVec;
+use dvbs2_pipeline::{
+    DecodePipeline, DecodedFrame, PipelineConfig, PipelineHealth, SoftFrame, SubmitError,
+    WorkerFaultInjection,
+};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+/// One frame of demapped soft bits entering the service tier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceFrame {
+    /// Which tenant/stream the frame belongs to (routing + ordering key).
+    pub key: StreamKey,
+    /// MODCOD slot into the currently installed table.
+    pub modcod: usize,
+    /// Channel LLRs, length `N` of the slot's code.
+    pub llrs: Vec<f64>,
+}
+
+/// One decoded frame leaving the service, in per-stream order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceOutput {
+    /// The stream the frame belongs to.
+    pub key: StreamKey,
+    /// Gap-free per-stream sequence number (0-based admission order).
+    pub stream_seq: u64,
+    /// Uid of the shard that decoded the frame.
+    pub shard: u64,
+    /// MODCOD-table epoch the decoding shard was built under.
+    pub epoch: u64,
+    /// End-to-end service latency (submit to in-order delivery), ns.
+    pub latency_ns: u64,
+    /// The decoded frame itself.
+    pub decoded: DecodedFrame,
+}
+
+impl ServiceOutput {
+    /// Demuxes the decoded BBFRAME: parses the 80-bit BBHEADER (CRC-8
+    /// checked) off the systematic prefix and returns it with the data
+    /// field. The service-egress half of
+    /// [`assemble_bbframe`](dvbs2::framing::assemble_bbframe).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FramingError`] when the header CRC fails or the declared
+    /// data-field length is impossible — expected on non-converged frames.
+    pub fn bbframe(&self) -> Result<(BbHeader, BitVec), FramingError> {
+        extract_bbframe(&self.decoded.bbframe())
+    }
+}
+
+/// Why a submission did not enter the service. Every variant returns the
+/// frame so the caller can retry, requeue or count it.
+#[derive(Debug, PartialEq)]
+pub enum ServiceError {
+    /// The frame's tenant has no registered [`TenantPolicy`].
+    UnknownTenant(ServiceFrame),
+    /// The tenant's in-service budget is exhausted.
+    OverBudget(ServiceFrame),
+    /// Latency-bound SLA shedding: the target shard has no queueing
+    /// headroom, so admitting would blow the latency bound.
+    Shed(ServiceFrame),
+    /// Hard backpressure from the target shard.
+    Backpressure(ServiceFrame),
+    /// The frame's MODCOD slot is not in the shard's table.
+    UnknownModcod(ServiceFrame),
+    /// The frame's LLR length does not match its slot's codeword length.
+    WrongLength {
+        /// The rejected frame.
+        frame: ServiceFrame,
+        /// The slot's expected codeword length.
+        expected: usize,
+    },
+    /// The service is shutting down (or has no routable shard left).
+    ShutDown(ServiceFrame),
+}
+
+impl ServiceError {
+    /// Recovers the frame from any variant.
+    pub fn into_frame(self) -> ServiceFrame {
+        match self {
+            ServiceError::UnknownTenant(f)
+            | ServiceError::OverBudget(f)
+            | ServiceError::Shed(f)
+            | ServiceError::Backpressure(f)
+            | ServiceError::UnknownModcod(f)
+            | ServiceError::ShutDown(f) => f,
+            ServiceError::WrongLength { frame, .. } => frame,
+        }
+    }
+}
+
+/// Test/bench hook: aim a [`WorkerFaultInjection`] at one initial shard
+/// (by start-up index), leaving the rest of the fleet healthy — the setup
+/// fault-migration scenarios need.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardFaultInjection {
+    /// Index of the shard (0-based, in start-up order) to inject into.
+    pub shard: usize,
+    /// The per-worker injection handed to that shard's pipeline.
+    pub injection: WorkerFaultInjection,
+}
+
+/// Service tier configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Independent pipeline shards behind the ingress.
+    pub shards: usize,
+    /// Configuration for each shard's pipeline (workers, queues,
+    /// admission ladder, quarantine policy — all per shard).
+    pub pipeline: PipelineConfig,
+    /// Registered tenants; frames from unregistered tenants are refused.
+    pub tenants: Vec<TenantPolicy>,
+    /// Shard-health poll interval for the fault-migration monitor, in
+    /// milliseconds. Zero disables the monitor.
+    pub health_poll_ms: u64,
+    /// Optional shard-targeted fault injection (tests/benches only).
+    pub fault_injection: Option<ShardFaultInjection>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: 2,
+            pipeline: PipelineConfig::default(),
+            tenants: Vec::new(),
+            health_poll_ms: 0,
+            fault_injection: None,
+        }
+    }
+}
+
+/// A point-in-time view of one shard, for operators and tests.
+#[derive(Debug, Clone)]
+pub struct ShardStatus {
+    /// Stable shard identifier (unique across the tier's lifetime).
+    pub uid: u64,
+    /// MODCOD-table epoch the shard was built under.
+    pub epoch: u64,
+    /// Streams currently routed to the shard.
+    pub streams: usize,
+    /// Whether the shard is draining toward retirement.
+    pub draining: bool,
+    /// Frames currently inside the shard's pipeline.
+    pub in_flight: usize,
+    /// The shard pipeline's worker-fleet health.
+    pub health: PipelineHealth,
+}
+
+struct Shard {
+    uid: u64,
+    epoch: u64,
+    pipeline: DecodePipeline,
+    /// MODCOD slots this shard has served — its decoder caches are warm
+    /// for these, so routing prefers affine shards.
+    affinity: Mutex<HashSet<usize>>,
+    /// Streams currently routed here (load-balancing signal only).
+    streams: AtomicUsize,
+    draining: AtomicBool,
+}
+
+struct StreamRoute {
+    shard_uid: u64,
+    /// Next per-stream sequence number; incremented only on a successful
+    /// shard admit, so the sequence is gap-free.
+    next_seq: u64,
+    /// Last MODCOD the stream submitted — the affinity hint a re-route
+    /// uses.
+    modcod: usize,
+}
+
+struct RouteState {
+    routes: HashMap<StreamKey, StreamRoute>,
+}
+
+struct FrameMeta {
+    key: StreamKey,
+    stream_seq: u64,
+    submitted_at: Instant,
+}
+
+#[derive(Default)]
+struct StreamEgress {
+    next_deliver: u64,
+    pending: BTreeMap<u64, ServiceOutput>,
+}
+
+struct EgressState {
+    streams: HashMap<StreamKey, StreamEgress>,
+    /// In-order outputs awaiting consumption. Unbounded, but transitively
+    /// bounded by the sum of tenant budgets: a frame only exists here
+    /// while its tenant budget unit is still claimed.
+    ready: VecDeque<ServiceOutput>,
+    open_collectors: usize,
+}
+
+struct Inner {
+    registry: ModcodRegistry,
+    config: ServiceConfig,
+    stats: ServiceStatsCore,
+    /// Immutable after start; per-tenant state is interior-atomic.
+    tenants: BTreeMap<u32, TenantState>,
+    route: Mutex<RouteState>,
+    shards: RwLock<Vec<Arc<Shard>>>,
+    /// Routing ticket → stream metadata for frames inside some shard.
+    meta: Mutex<HashMap<u64, FrameMeta>>,
+    egress: Mutex<EgressState>,
+    output_ready: Condvar,
+    shutting_down: AtomicBool,
+    next_shard_uid: AtomicU64,
+    next_ticket: AtomicU64,
+}
+
+/// The sharded decode front-end. See the crate docs for the design and
+/// the module docs for the ordering argument.
+pub struct ServiceTier {
+    inner: Arc<Inner>,
+    collectors: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    monitor: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl ServiceTier {
+    /// Starts the shard fleet over an initial MODCOD table.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero shards or duplicate tenant registrations (and
+    /// propagates [`DecodePipeline::start`]'s own config panics).
+    pub fn start(table: ModcodTable, config: ServiceConfig) -> Self {
+        assert!(config.shards > 0, "the service needs at least one shard");
+        let mut tenants = BTreeMap::new();
+        for policy in &config.tenants {
+            let dup = tenants.insert(policy.tenant, TenantState::new(*policy));
+            assert!(dup.is_none(), "tenant {} registered twice", policy.tenant);
+        }
+        let inner = Arc::new(Inner {
+            registry: ModcodRegistry::new(table),
+            stats: ServiceStatsCore::default(),
+            tenants,
+            route: Mutex::new(RouteState { routes: HashMap::new() }),
+            shards: RwLock::new(Vec::new()),
+            meta: Mutex::new(HashMap::new()),
+            egress: Mutex::new(EgressState {
+                streams: HashMap::new(),
+                ready: VecDeque::new(),
+                open_collectors: 0,
+            }),
+            output_ready: Condvar::new(),
+            shutting_down: AtomicBool::new(false),
+            next_shard_uid: AtomicU64::new(0),
+            next_ticket: AtomicU64::new(0),
+            config,
+        });
+        let tier = ServiceTier {
+            inner: Arc::clone(&inner),
+            collectors: Mutex::new(Vec::new()),
+            monitor: Mutex::new(None),
+        };
+        let snapshot = inner.registry.snapshot();
+        {
+            let mut shards = inner.shards.write().expect("no panics hold the shard lock");
+            for index in 0..inner.config.shards {
+                let fault =
+                    inner.config.fault_injection.filter(|f| f.shard == index).map(|f| f.injection);
+                shards.push(tier.spawn_shard(snapshot.epoch, (*snapshot.table).clone(), fault));
+            }
+        }
+        if inner.config.health_poll_ms > 0 {
+            let monitor_inner = Arc::clone(&inner);
+            let handle = std::thread::Builder::new()
+                .name("service-monitor".into())
+                .spawn(move || monitor_loop(&monitor_inner))
+                .expect("spawning the service monitor");
+            *tier.monitor.lock().expect("no panics hold the monitor handle") = Some(handle);
+        }
+        tier
+    }
+
+    /// Builds one shard pipeline and its collector thread.
+    fn spawn_shard(
+        &self,
+        epoch: u64,
+        table: ModcodTable,
+        fault: Option<WorkerFaultInjection>,
+    ) -> Arc<Shard> {
+        let inner = &self.inner;
+        let uid = inner.next_shard_uid.fetch_add(1, Ordering::Relaxed);
+        let mut pipeline_config = inner.config.pipeline;
+        pipeline_config.fault_injection = fault;
+        let shard = Arc::new(Shard {
+            uid,
+            epoch,
+            pipeline: DecodePipeline::start(table, pipeline_config),
+            affinity: Mutex::new(HashSet::new()),
+            streams: AtomicUsize::new(0),
+            draining: AtomicBool::new(false),
+        });
+        inner.egress.lock().expect("no panics hold the egress lock").open_collectors += 1;
+        let handle = {
+            let inner = Arc::clone(inner);
+            let shard = Arc::clone(&shard);
+            std::thread::Builder::new()
+                .name(format!("service-collector-{uid}"))
+                .spawn(move || collector_loop(&inner, &shard))
+                .expect("spawning a shard collector")
+        };
+        self.collectors.lock().expect("no panics hold the collector handles").push(handle);
+        shard
+    }
+
+    /// Offers a frame without blocking. On success the frame's per-stream
+    /// sequence number (its position in that stream's egress order) is
+    /// returned; every failure hands the frame back in a [`ServiceError`].
+    pub fn submit(&self, frame: ServiceFrame) -> Result<u64, ServiceError> {
+        let inner = &*self.inner;
+        if inner.shutting_down.load(Ordering::Acquire) {
+            return Err(ServiceError::ShutDown(frame));
+        }
+        let Some(tenant) = inner.tenants.get(&frame.key.tenant) else {
+            return Err(ServiceError::UnknownTenant(frame));
+        };
+        if !tenant.try_claim() {
+            tenant.rejected.fetch_add(1, Ordering::Relaxed);
+            inner.stats.rejected_budget.fetch_add(1, Ordering::Relaxed);
+            return Err(ServiceError::OverBudget(frame));
+        }
+        // Route lock held through the shard admit: per-stream sequence
+        // order and shard admit order stay identical.
+        let mut route = inner.route.lock().expect("no panics hold the route lock");
+        let shards = inner.shards.read().expect("no panics hold the shard lock");
+        let key = frame.key;
+        let existing = route.routes.get(&key).map(|r| r.shard_uid);
+        let sticky = existing.and_then(|uid| {
+            shards.iter().find(|s| s.uid == uid && !s.draining.load(Ordering::Relaxed)).cloned()
+        });
+        let (shard, migrated) = match sticky {
+            Some(shard) => (shard, false),
+            None => {
+                // First frame of the stream, or its shard is draining
+                // away: (re-)pick by affinity/hash. In-flight frames on
+                // the old shard still deliver; egress reordering keeps
+                // the stream in order across the move.
+                let Some(shard) = pick_shard(&shards, key, frame.modcod, None) else {
+                    tenant.release();
+                    return Err(ServiceError::ShutDown(frame));
+                };
+                (shard, existing.is_some())
+            }
+        };
+        if tenant.policy.sla == SlaClass::LatencyBound {
+            // Shed while the shard still has queueing headroom: an
+            // admitted latency-bound frame must never sit behind a deep
+            // backlog. Layered above the pipeline's Eq.-8 iteration
+            // ladder, which cheapens the frames that do get in.
+            let cap = shard.pipeline.config().max_in_flight;
+            if shard.pipeline.in_flight() * 2 >= cap {
+                tenant.release();
+                tenant.shed.fetch_add(1, Ordering::Relaxed);
+                inner.stats.shed_latency.fetch_add(1, Ordering::Relaxed);
+                return Err(ServiceError::Shed(frame));
+            }
+        }
+        let ticket = inner.next_ticket.fetch_add(1, Ordering::Relaxed);
+        let entry = route.routes.entry(key).or_insert_with(|| {
+            shard.streams.fetch_add(1, Ordering::Relaxed);
+            StreamRoute { shard_uid: shard.uid, next_seq: 0, modcod: frame.modcod }
+        });
+        let stream_seq = entry.next_seq;
+        // Metadata goes in before the admit so the collector can never
+        // see a ticket it cannot resolve.
+        inner
+            .meta
+            .lock()
+            .expect("no panics hold the meta lock")
+            .insert(ticket, FrameMeta { key, stream_seq, submitted_at: Instant::now() });
+        let soft = SoftFrame { modcod: frame.modcod, stream_index: ticket, llrs: frame.llrs };
+        match shard.pipeline.try_submit(soft) {
+            Ok(_) => {
+                entry.next_seq += 1;
+                if entry.shard_uid != shard.uid {
+                    entry.shard_uid = shard.uid;
+                    shard.streams.fetch_add(1, Ordering::Relaxed);
+                }
+                entry.modcod = frame.modcod;
+                if migrated {
+                    inner.stats.migrations.fetch_add(1, Ordering::Relaxed);
+                }
+                shard
+                    .affinity
+                    .lock()
+                    .expect("no panics hold the affinity lock")
+                    .insert(frame.modcod);
+                tenant.submitted.fetch_add(1, Ordering::Relaxed);
+                inner.stats.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(stream_seq)
+            }
+            Err(err) => {
+                inner.meta.lock().expect("no panics hold the meta lock").remove(&ticket);
+                tenant.release();
+                tenant.rejected.fetch_add(1, Ordering::Relaxed);
+                let rebuild = |f: SoftFrame| ServiceFrame { key, modcod: f.modcod, llrs: f.llrs };
+                Err(match err {
+                    SubmitError::Rejected(f) => {
+                        inner.stats.rejected_backpressure.fetch_add(1, Ordering::Relaxed);
+                        ServiceError::Backpressure(rebuild(f))
+                    }
+                    SubmitError::UnknownModcod(f) => ServiceError::UnknownModcod(rebuild(f)),
+                    SubmitError::WrongLength { frame, expected } => {
+                        ServiceError::WrongLength { frame: rebuild(frame), expected }
+                    }
+                    SubmitError::ShutDown(f) => ServiceError::ShutDown(rebuild(f)),
+                })
+            }
+        }
+    }
+
+    /// The next decoded frame in per-stream order, blocking until one is
+    /// ready. Returns `None` once every collector has shut down and the
+    /// ready queue is drained.
+    pub fn next_output(&self) -> Option<ServiceOutput> {
+        let inner = &*self.inner;
+        let mut egress = inner.egress.lock().expect("no panics hold the egress lock");
+        loop {
+            if let Some(out) = egress.ready.pop_front() {
+                drop(egress);
+                if let Some(tenant) = inner.tenants.get(&out.key.tenant) {
+                    tenant.release();
+                }
+                return Some(out);
+            }
+            if egress.open_collectors == 0 {
+                return None;
+            }
+            // The timeout guards against missed wakeups; correctness does
+            // not depend on it.
+            let (guard, _) = inner
+                .output_ready
+                .wait_timeout(egress, Duration::from_millis(10))
+                .expect("no panics hold the egress lock");
+            egress = guard;
+        }
+    }
+
+    /// The next decoded frame if one is ready right now.
+    pub fn try_next_output(&self) -> Option<ServiceOutput> {
+        let inner = &*self.inner;
+        let out = inner.egress.lock().expect("no panics hold the egress lock").ready.pop_front()?;
+        if let Some(tenant) = inner.tenants.get(&out.key.tenant) {
+            tenant.release();
+        }
+        Some(out)
+    }
+
+    /// Re-routes every stream currently on `shard_uid` to other healthy
+    /// shards (explicit operator migration). In-flight frames finish on
+    /// the old shard; per-stream order is preserved by the egress
+    /// reorder stage. Returns the number of streams moved — zero when no
+    /// alternative shard exists.
+    pub fn migrate_streams_off(&self, shard_uid: u64) -> usize {
+        self.inner.migrate_off(shard_uid, false)
+    }
+
+    /// Installs a new MODCOD table and rolls the shard fleet: the old
+    /// shards stop accepting frames and drain what they admitted, a fresh
+    /// fleet built from the new table takes over, and streams re-route
+    /// lazily on their next frame. No stream drops or reorders a frame
+    /// across the transition. Returns the new table epoch.
+    pub fn reconfigure(&self, table: ModcodTable) -> u64 {
+        let inner = &*self.inner;
+        let epoch = inner.registry.swap(table);
+        let snapshot = inner.registry.snapshot();
+        {
+            let mut shards = inner.shards.write().expect("no panics hold the shard lock");
+            for old in shards.iter() {
+                old.draining.store(true, Ordering::Relaxed);
+                // Closing ingress is safe before re-routing: the write
+                // lock excludes submitters, and once it drops they see
+                // the drained shard and re-pick.
+                old.pipeline.close_ingress();
+            }
+            // Tier-held references drop here; each collector keeps its
+            // shard alive until the drain completes.
+            shards.clear();
+            for _ in 0..inner.config.shards {
+                let shard = self.spawn_shard(snapshot.epoch, (*snapshot.table).clone(), None);
+                shards.push(shard);
+            }
+        }
+        inner.stats.reconfigs.fetch_add(1, Ordering::Relaxed);
+        epoch
+    }
+
+    /// The current MODCOD-table epoch.
+    pub fn epoch(&self) -> u64 {
+        self.inner.registry.epoch()
+    }
+
+    /// A point-in-time snapshot of the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        let inner = &*self.inner;
+        inner
+            .stats
+            .snapshot(inner.registry.epoch(), inner.tenants.values().map(TenantStats::from_state))
+    }
+
+    /// A point-in-time view of every active shard.
+    pub fn shards(&self) -> Vec<ShardStatus> {
+        self.inner
+            .shards
+            .read()
+            .expect("no panics hold the shard lock")
+            .iter()
+            .map(|s| ShardStatus {
+                uid: s.uid,
+                epoch: s.epoch,
+                streams: s.streams.load(Ordering::Relaxed),
+                draining: s.draining.load(Ordering::Relaxed),
+                in_flight: s.pipeline.in_flight(),
+                health: s.pipeline.health(),
+            })
+            .collect()
+    }
+
+    /// Stops accepting frames, drains every shard, joins the collectors
+    /// and the monitor, and returns the final counters. Outputs still in
+    /// the ready queue at that point are dropped with the tier — consume
+    /// them (via [`ServiceTier::next_output`]) before or while finishing.
+    pub fn finish(self) -> ServiceStats {
+        self.shutdown();
+        self.stats()
+    }
+
+    fn shutdown(&self) {
+        let inner = &*self.inner;
+        inner.shutting_down.store(true, Ordering::Release);
+        if let Some(handle) = self.monitor.lock().expect("no panics hold the monitor handle").take()
+        {
+            let _ = handle.join();
+        }
+        {
+            let shards = inner.shards.read().expect("no panics hold the shard lock");
+            for shard in shards.iter() {
+                shard.pipeline.close_ingress();
+            }
+        }
+        let handles: Vec<_> = self
+            .collectors
+            .lock()
+            .expect("no panics hold the collector handles")
+            .drain(..)
+            .collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServiceTier {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl Inner {
+    /// Re-routes every stream on `shard_uid`; `fault` tags the move as
+    /// health-driven in the counters.
+    fn migrate_off(&self, shard_uid: u64, fault: bool) -> usize {
+        let mut route = self.route.lock().expect("no panics hold the route lock");
+        let shards = self.shards.read().expect("no panics hold the shard lock");
+        let mut moved = 0;
+        for (key, entry) in route.routes.iter_mut() {
+            if entry.shard_uid != shard_uid {
+                continue;
+            }
+            let Some(target) = pick_shard(&shards, *key, entry.modcod, Some(shard_uid)) else {
+                break;
+            };
+            if let Some(old) = shards.iter().find(|s| s.uid == shard_uid) {
+                old.streams.fetch_sub(1, Ordering::Relaxed);
+            }
+            target.streams.fetch_add(1, Ordering::Relaxed);
+            entry.shard_uid = target.uid;
+            moved += 1;
+            self.stats.migrations.fetch_add(1, Ordering::Relaxed);
+            if fault {
+                self.stats.fault_migrations.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        moved
+    }
+}
+
+/// Chooses a shard for a stream. Candidates are the healthy, non-draining
+/// shards (falling back to degraded ones when nothing healthy remains —
+/// degraded service beats none). Among candidates: least routed streams
+/// first (load balance), then MODCOD affinity (warm decoder caches), then
+/// the `(tenant, stream, modcod)` hash breaks the remaining tie so equal
+/// shards see an even spread. Returns `None` only when every shard is
+/// draining.
+fn pick_shard(
+    shards: &[Arc<Shard>],
+    key: StreamKey,
+    modcod: usize,
+    exclude_uid: Option<u64>,
+) -> Option<Arc<Shard>> {
+    let open = |s: &&Arc<Shard>| !s.draining.load(Ordering::Relaxed) && Some(s.uid) != exclude_uid;
+    let healthy: Vec<&Arc<Shard>> =
+        shards.iter().filter(open).filter(|s| !s.pipeline.health().degraded()).collect();
+    let pool = if healthy.is_empty() { shards.iter().filter(open).collect() } else { healthy };
+    let min_streams = pool.iter().map(|s| s.streams.load(Ordering::Relaxed)).min()?;
+    let (affine, plain): (Vec<&Arc<Shard>>, Vec<&Arc<Shard>>) =
+        pool.into_iter().filter(|s| s.streams.load(Ordering::Relaxed) == min_streams).partition(
+            |s| s.affinity.lock().expect("no panics hold the affinity lock").contains(&modcod),
+        );
+    let candidates = if affine.is_empty() { plain } else { affine };
+    let mut hasher = DefaultHasher::new();
+    (key.tenant, key.stream, modcod).hash(&mut hasher);
+    Some(Arc::clone(candidates[hasher.finish() as usize % candidates.len()]))
+}
+
+/// Per-shard egress pump: resolves routing tickets back to streams and
+/// feeds the service-level per-stream reorder stage. Exits when the
+/// shard's pipeline closes its egress (drain complete).
+fn collector_loop(inner: &Inner, shard: &Shard) {
+    while let Some(decoded) = shard.pipeline.next_decoded() {
+        let ticket = decoded.stream_index;
+        let Some(meta) = inner.meta.lock().expect("no panics hold the meta lock").remove(&ticket)
+        else {
+            // Unresolvable ticket: an internal invariant broke. Count it
+            // loudly rather than hanging a stream's reorder buffer.
+            inner.stats.orphaned.fetch_add(1, Ordering::Relaxed);
+            continue;
+        };
+        let output = ServiceOutput {
+            key: meta.key,
+            stream_seq: meta.stream_seq,
+            shard: shard.uid,
+            epoch: shard.epoch,
+            latency_ns: meta.submitted_at.elapsed().as_nanos() as u64,
+            decoded,
+        };
+        let mut egress = inner.egress.lock().expect("no panics hold the egress lock");
+        let mut released = Vec::new();
+        {
+            let stream = egress.streams.entry(meta.key).or_default();
+            stream.pending.insert(output.stream_seq, output);
+            while let Some(next) = {
+                let seq = stream.next_deliver;
+                stream.pending.remove(&seq)
+            } {
+                stream.next_deliver += 1;
+                released.push(next);
+            }
+        }
+        for out in released {
+            inner.stats.record_latency(out.latency_ns);
+            inner.stats.delivered.fetch_add(1, Ordering::Relaxed);
+            if let Some(tenant) = inner.tenants.get(&out.key.tenant) {
+                tenant.delivered.fetch_add(1, Ordering::Relaxed);
+            }
+            egress.ready.push_back(out);
+        }
+        drop(egress);
+        inner.output_ready.notify_all();
+    }
+    let mut egress = inner.egress.lock().expect("no panics hold the egress lock");
+    egress.open_collectors -= 1;
+    drop(egress);
+    inner.output_ready.notify_all();
+}
+
+/// Health monitor: polls each shard's pipeline for syndrome-anomaly
+/// quarantines and migrates streams off degraded shards while healthy
+/// capacity exists.
+fn monitor_loop(inner: &Inner) {
+    let interval = Duration::from_millis(inner.config.health_poll_ms);
+    while !inner.shutting_down.load(Ordering::Acquire) {
+        std::thread::sleep(interval);
+        let degraded: Vec<u64> = {
+            let shards = inner.shards.read().expect("no panics hold the shard lock");
+            shards
+                .iter()
+                .filter(|s| !s.draining.load(Ordering::Relaxed) && s.pipeline.health().degraded())
+                .map(|s| s.uid)
+                .collect()
+        };
+        for uid in degraded {
+            inner.migrate_off(uid, true);
+        }
+    }
+}
