@@ -13,6 +13,7 @@ use dvbs2::oracle::{self, CaseSpec, OracleConfig};
 struct Args {
     cases: u64,
     fault_cases: u64,
+    fabric_cases: u64,
     seed: u64,
     threads: usize,
     repro: Option<String>,
@@ -24,6 +25,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         cases: 500,
         fault_cases: 500,
+        fabric_cases: 0,
         seed: 0xD1FF,
         threads: dvbs2::channel::default_threads(),
         repro: None,
@@ -39,6 +41,10 @@ fn parse_args() -> Args {
             "--fault-cases" => {
                 args.fault_cases =
                     value("--fault-cases").parse().unwrap_or_else(|_| usage("--fault-cases"));
+            }
+            "--fabric-cases" => {
+                args.fabric_cases =
+                    value("--fabric-cases").parse().unwrap_or_else(|_| usage("--fabric-cases"));
             }
             "--seed" => {
                 let text = value("--seed");
@@ -63,8 +69,8 @@ fn parse_args() -> Args {
 fn usage(problem: &str) -> ! {
     eprintln!("diff_fuzz: {problem}");
     eprintln!(
-        "usage: diff_fuzz [--cases N] [--fault-cases N] [--seed S] [--threads T] \
-         [--skip-faults] [--skip-partition] [--repro 'spec']"
+        "usage: diff_fuzz [--cases N] [--fault-cases N] [--fabric-cases N] [--seed S] \
+         [--threads T] [--skip-faults] [--skip-partition] [--repro 'spec']"
     );
     std::process::exit(2);
 }
@@ -138,6 +144,35 @@ fn main() {
             for v in &fr.violations {
                 println!("\nFAULT-DIFF VIOLATION {v}");
                 println!("  repro: --repro '{}'", v.case);
+            }
+        }
+    }
+
+    if args.fabric_cases > 0 {
+        // Fabric differential: every case runs the multi-core fabric
+        // cross-check (odd indices with a forced fault scenario on top);
+        // every frame must stay bit-exact against the single core and the
+        // cycle counts must decompose exactly.
+        let fabric_config = OracleConfig {
+            master_seed: args.seed ^ 0xFAB0,
+            cases: args.fabric_cases,
+            threads: args.threads,
+        };
+        let fr = oracle::run_fabric_sweep(&fabric_config);
+        if fr.clean() {
+            println!("fabric differential: PASS ({} multi-core cases, bit-exact)", fr.cases);
+        } else {
+            failed = true;
+            println!("fabric differential: FAIL ({} violations)", fr.violations.len());
+            for v in &fr.violations {
+                println!("\nFABRIC VIOLATION {v}");
+                let contract = v.contract;
+                let shrunk = oracle::shrink_case(&v.case, |candidate| {
+                    oracle::run_case(v.case_index, candidate)
+                        .iter()
+                        .any(|found| found.contract == contract)
+                });
+                println!("  shrunk repro: --repro '{shrunk}'");
             }
         }
     }

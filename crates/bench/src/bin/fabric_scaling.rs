@@ -1,0 +1,275 @@
+//! Fabric scaling sweep: the cycle-accurate multi-core [`DecoderFabric`]
+//! against the extended Eq. 8 [`FabricModel`], for P ∈ {1, 2, 4, 8, 16}
+//! cores across rate and frame-size points.
+//!
+//! For every point the sweep decodes one batch through the modeled
+//! interconnect (shared front-end bus, link latency 2, round-robin
+//! arbitration), records the measured makespan next to the calibrated
+//! model's prediction, and reports the contention counters (stall cycles,
+//! arbitration losses, queue high-water, bus utilization). A final section
+//! answers the ROADMAP question: what P — and what front-end width — would
+//! 10 Gbit/s take?
+//!
+//! Results land in `BENCH_fabric.json` at the repository root. Exits
+//! non-zero when the model misses a measured makespan by more than the
+//! gate, when throughput is not monotone in P, or when a fabric run breaks
+//! the serial bound.
+//!
+//! Run: `cargo run --release -p dvbs2-bench --bin fabric_scaling [--quick]`
+//! (`--quick` trims the point list and batch size for CI.)
+
+use dvbs2::hardware::{
+    Arbitration, CoreConfig, DecoderFabric, FabricConfig, FabricModel, ST_0_13_UM,
+};
+use dvbs2::ldpc::{CodeRate, DvbS2Code, FrameSize};
+use dvbs2::{Dvbs2System, SystemConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const CORES: [usize; 5] = [1, 2, 4, 8, 16];
+/// Accept up to this much relative error between the extended Eq. 8
+/// makespan and the cycle-accurate measurement. The model idealizes the
+/// wave structure (it has no per-frame arbitration jitter), so it is not
+/// exact under contention — but it must stay a *model*, not a guess.
+const MAKESPAN_GATE_PCT: f64 = 5.0;
+
+struct Row {
+    rate: CodeRate,
+    frame: FrameSize,
+    cores: usize,
+    frames: usize,
+    measured_makespan: u64,
+    predicted_makespan: f64,
+    err_pct: f64,
+    serial_cycles: u64,
+    stall_cycles: u64,
+    arbitration_losses: u64,
+    queue_high_water: usize,
+    bus_utilization: f64,
+    measured_mbps: f64,
+    model_mbps: f64,
+    io_ceiling_mbps: f64,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let points: &[(CodeRate, FrameSize)] = if quick {
+        &[(CodeRate::R1_2, FrameSize::Short), (CodeRate::R3_4, FrameSize::Short)]
+    } else {
+        &[
+            (CodeRate::R1_4, FrameSize::Short),
+            (CodeRate::R1_2, FrameSize::Short),
+            (CodeRate::R3_4, FrameSize::Short),
+            (CodeRate::R1_2, FrameSize::Normal),
+            (CodeRate::R9_10, FrameSize::Normal),
+        ]
+    };
+    let iterations = if quick { 3 } else { 8 };
+    let batch = if quick { 16 } else { 32 };
+    let clock = ST_0_13_UM.max_clock_mhz;
+
+    println!(
+        "fabric scaling: {} points x P in {CORES:?}, {batch}-frame batches, \
+         {iterations} iterations, link latency 2, round-robin bus, {clock} MHz\n",
+        points.len()
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut violations: Vec<String> = Vec::new();
+
+    for &(rate, frame) in points {
+        let code = DvbS2Code::new(rate, frame)?;
+        let params = *code.params();
+        let sys = Dvbs2System::new(SystemConfig { rate, frame, ..SystemConfig::default() })?;
+        let mut rng = SmallRng::seed_from_u64(0xFAB5 ^ rate as u64);
+        let core =
+            CoreConfig { max_iterations: iterations, early_stop: false, ..CoreConfig::default() };
+        // Fabric timing is data-independent, so the channel content only
+        // has to be realistic, not varied: one noisy frame per slot.
+        let frames: Vec<Vec<f64>> =
+            (0..batch).map(|_| sys.transmit_frame(&mut rng, 6.0).llrs).collect();
+
+        println!("{rate} {frame:?} ({} info bits, {} channel values):", params.k, params.n);
+        println!(
+            "  {:>3} {:>12} {:>12} {:>7} {:>8} {:>7} {:>5} {:>6} {:>10} {:>10}",
+            "P",
+            "measured",
+            "predicted",
+            "err%",
+            "stalls",
+            "arblos",
+            "hiwat",
+            "bus%",
+            "Mbit/s",
+            "model"
+        );
+
+        let mut last_mbps = 0.0;
+        for &cores in &CORES {
+            let config = FabricConfig {
+                cores,
+                core,
+                link_latency: 2,
+                arbitration: Arbitration::RoundRobin { start: 0 },
+                double_buffer: false,
+            };
+            let mut fabric = DecoderFabric::with_natural_schedule(&code, config);
+            let quantized: Vec<Vec<i32>> =
+                frames.iter().map(|llrs| fabric.quantize_channel(llrs)).collect();
+            let out = fabric.decode_quantized_batch(&quantized);
+
+            let model = FabricModel::paper(&ST_0_13_UM, cores)
+                .with_iterations(iterations)
+                .calibrated(&out.outputs[0].cycles);
+            let predicted = model.makespan_cycles(&params, batch);
+            let measured = out.stats.makespan_cycles;
+            let err_pct = (measured as f64 / predicted - 1.0) * 100.0;
+            let serial = DecoderFabric::serial_cycles(&out.outputs)
+                + out.outputs.len() as u64 * 2 * config.link_latency as u64;
+            let measured_mbps = out.stats.aggregate_throughput_mbps(clock, params.k);
+            let model_mbps = model.aggregate_mbps(&params);
+            let row = Row {
+                rate,
+                frame,
+                cores,
+                frames: batch,
+                measured_makespan: measured,
+                predicted_makespan: predicted,
+                err_pct,
+                serial_cycles: serial,
+                stall_cycles: out.stats.stall_cycles,
+                arbitration_losses: out.stats.arbitration_losses,
+                queue_high_water: out.stats.queue_high_water,
+                bus_utilization: out.stats.bus_utilization(),
+                measured_mbps,
+                model_mbps,
+                io_ceiling_mbps: model.io_ceiling_mbps(&params),
+            };
+            println!(
+                "  {:>3} {:>12} {:>12.0} {:>6.2}% {:>8} {:>7} {:>5} {:>5.1}% {:>10.1} {:>10.1}",
+                row.cores,
+                row.measured_makespan,
+                row.predicted_makespan,
+                row.err_pct,
+                row.stall_cycles,
+                row.arbitration_losses,
+                row.queue_high_water,
+                100.0 * row.bus_utilization,
+                row.measured_mbps,
+                row.model_mbps,
+            );
+
+            if row.err_pct.abs() > MAKESPAN_GATE_PCT {
+                violations.push(format!(
+                    "[{rate} {frame:?} P={cores}] model missed the makespan by {:.2}% \
+                     (measured {measured}, predicted {predicted:.0})",
+                    row.err_pct
+                ));
+            }
+            if measured > serial {
+                violations.push(format!(
+                    "[{rate} {frame:?} P={cores}] makespan {measured} above the serial \
+                     bound {serial}"
+                ));
+            }
+            if measured_mbps + 1e-9 < last_mbps {
+                violations.push(format!(
+                    "[{rate} {frame:?} P={cores}] throughput regressed: {measured_mbps:.1} \
+                     after {last_mbps:.1} Mbit/s"
+                ));
+            }
+            last_mbps = measured_mbps;
+            rows.push(row);
+        }
+        println!();
+    }
+
+    // The 10 Gbit/s question, answered on the calibrated R 1/2 Normal
+    // model: at the paper's P_IO = 10 front end the I/O ceiling sits far
+    // below 10 Gbit/s, so *no* core count suffices; the front end must
+    // widen first, and then the required core count is finite.
+    let target_mbps = 10_000.0;
+    let tp = dvbs2::ldpc::CodeParams::new(CodeRate::R1_2, FrameSize::Normal)?;
+    let base = FabricModel::paper(&ST_0_13_UM, 1);
+    let at_paper_width = base.cores_for_throughput(&tp, target_mbps);
+    let ceiling = base.io_ceiling_mbps(&tp);
+    // Size the front end for the target with 20% headroom: at exactly the
+    // ceiling the required core count diverges.
+    let wide_p_io = base
+        .p_io_for_throughput(&tp, target_mbps / 0.8)
+        .expect("positive target always yields a width");
+    let wide = base.with_p_io(wide_p_io);
+    let wide_cores = wide
+        .cores_for_throughput(&tp, target_mbps)
+        .expect("the widened front end puts the target below the ceiling");
+    println!("10 Gbit/s at R 1/2 Normal, 30 iterations:");
+    match at_paper_width {
+        None => {
+            println!("  P_IO = 10: unreachable at any core count (I/O ceiling {ceiling:.0} Mbit/s)")
+        }
+        Some(p) => println!("  P_IO = 10: {p} cores"),
+    }
+    println!(
+        "  P_IO = {wide_p_io}: {wide_cores} cores ({:.0} Mbit/s modeled, ceiling {:.0})",
+        wide.with_cores(wide_cores).aggregate_mbps(&tp),
+        wide.io_ceiling_mbps(&tp),
+    );
+    if at_paper_width.is_some() {
+        violations.push(format!(
+            "10 Gbit/s must be I/O-bound at P_IO = 10, got {at_paper_width:?} cores"
+        ));
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"bench\": \"fabric_scaling\", \"quick\": {quick}, \"clock_mhz\": {clock}, \
+         \"iterations\": {iterations}, \"link_latency\": 2,\n  \"rows\": [\n"
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"rate\": \"{}\", \"frame\": \"{:?}\", \"cores\": {}, \"frames\": {}, \
+             \"measured_makespan\": {}, \"predicted_makespan\": {:.1}, \"err_pct\": {:.3}, \
+             \"serial_cycles\": {}, \"stall_cycles\": {}, \"arbitration_losses\": {}, \
+             \"queue_high_water\": {}, \"bus_utilization\": {:.4}, \"measured_mbps\": {:.2}, \
+             \"model_mbps\": {:.2}, \"io_ceiling_mbps\": {:.2}}}{}\n",
+            r.rate,
+            r.frame,
+            r.cores,
+            r.frames,
+            r.measured_makespan,
+            r.predicted_makespan,
+            r.err_pct,
+            r.serial_cycles,
+            r.stall_cycles,
+            r.arbitration_losses,
+            r.queue_high_water,
+            r.bus_utilization,
+            r.measured_mbps,
+            r.model_mbps,
+            r.io_ceiling_mbps,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"ten_gbps\": {{\"rate\": \"1/2\", \"frame\": \"Normal\", \"target_mbps\": {target_mbps}, \
+         \"cores_at_p_io_10\": null, \"io_ceiling_at_p_io_10_mbps\": {ceiling:.1}, \
+         \"required_p_io\": {wide_p_io}, \"required_cores\": {wide_cores}}},\n"
+    ));
+    json.push_str(&format!("  \"violations\": {}\n}}\n", violations.len()));
+
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fabric.json");
+    std::fs::write(out_path, &json).expect("writing BENCH_fabric.json");
+    println!("\nwrote {}", out_path);
+
+    if violations.is_empty() {
+        println!("fabric scaling: PASS ({} rows)", rows.len());
+        Ok(())
+    } else {
+        println!("fabric scaling: FAIL ({} violations)", violations.len());
+        for v in &violations {
+            println!("  VIOLATION {v}");
+        }
+        std::process::exit(1);
+    }
+}

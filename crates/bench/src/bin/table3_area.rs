@@ -1,10 +1,12 @@
 //! Regenerates **Table 3** of the paper: the synthesis-area breakdown of
 //! the multi-rate decoder on the (calibrated) ST 0.13 µm node, side by side
-//! with the paper's published values.
+//! with the paper's published values — then extends it to the multi-core
+//! fabric (core replication plus the shared frame buffer, interconnect
+//! FIFOs, and bus arbitration) for P ∈ {1, 2, 4, 8, 16}.
 //!
 //! Run: `cargo run --release -p dvbs2-bench --bin table3_area`
 
-use dvbs2::hardware::{AreaModel, ST_0_13_UM};
+use dvbs2::hardware::{AreaModel, FabricConfig, ST_0_13_UM};
 use dvbs2::ldpc::FrameSize;
 
 /// The paper's Table 3 (channel-RAM row inferred as the remainder of the
@@ -45,4 +47,33 @@ fn main() {
     );
     println!("Sizing rationale: PN memories sized by R = 1/4 (largest parity set), IN message");
     println!("banks by R = 3/5 (most information edges), FU datapath by R = 2/3 / 9/10 degrees.");
+
+    // Fabric extension: what the modeled interconnect costs in silicon as
+    // the core count grows. The interconnect share stays small — area
+    // scales essentially linearly in P while the shared front end is
+    // amortized, which is why the throughput limit (see fabric_scaling) is
+    // the bus, not the floorplan.
+    println!(
+        "\nFabric area, Normal frames (cores + shared buffer + interconnect + arbitration):\n"
+    );
+    println!(
+        "{:>4} {:>12} {:>14} {:>14} {:>9}",
+        "P", "total [mm2]", "cores [mm2]", "fabric [mm2]", "overhead"
+    );
+    let single = AreaModel::paper().report(FrameSize::Normal).total_mm2();
+    for cores in [1usize, 2, 4, 8, 16] {
+        let config = FabricConfig { cores, ..FabricConfig::default() };
+        let report = AreaModel::paper().fabric_report(FrameSize::Normal, &config);
+        let total = report.total_mm2();
+        let core_area = single * cores as f64;
+        let fabric_area = total - core_area;
+        println!(
+            "{:>4} {:>12.2} {:>14.2} {:>14.2} {:>8.1}%",
+            cores,
+            total,
+            core_area,
+            fabric_area,
+            100.0 * fabric_area / total
+        );
+    }
 }

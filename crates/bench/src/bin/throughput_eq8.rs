@@ -1,11 +1,22 @@
 //! Regenerates the **Eq. 8 throughput result**: 255 Mbit/s at 270 MHz with
 //! 30 iterations for the rate-1/2 code, for every code rate — analytic
-//! model versus cycles measured on the cycle-accurate core (Figure 4).
+//! model versus cycles measured on the cycle-accurate core (Figure 4),
+//! plus the calibrated fabric model's zero-error cross-check.
+//!
+//! The flat `T_latency` of Eq. 8 is an approximation (the `err` column);
+//! [`FabricModel::calibrated`] replaces it with the measured per-iteration
+//! cost, after which the extended Eq. 8 must reproduce the core's cycle
+//! count *exactly* — any off-by-one in the fractional-cycle accounting is
+//! a hard failure here, and the single-core fabric's measured makespan
+//! must equal the model's frame count times that exact figure.
 //!
 //! Run: `cargo run --release -p dvbs2-bench --bin throughput_eq8 [--fast]`
 //! (`--fast` skips the cycle-accurate measurement and prints only Eq. 8.)
 
-use dvbs2::hardware::{CoreConfig, HardwareDecoder, ThroughputModel, ST_0_13_UM};
+use dvbs2::hardware::{
+    CoreConfig, DecoderFabric, FabricConfig, FabricModel, HardwareDecoder, ThroughputModel,
+    ST_0_13_UM,
+};
 use dvbs2::ldpc::{CodeRate, DvbS2Code, FrameSize};
 use dvbs2::{Dvbs2System, SystemConfig};
 use rand::rngs::SmallRng;
@@ -19,22 +30,52 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         model.clock_mhz, model.iterations, model.p, model.p_io
     );
     println!(
-        "{:>6} {:>10} {:>12} {:>10} {:>12} {:>10} {:>8}",
-        "rate", "Eq8 cycles", "Eq8 [Mbit/s]", "HW cycles", "HW [Mbit/s]", "err [%]", "buffer"
+        "{:>6} {:>10} {:>12} {:>10} {:>12} {:>10} {:>8} {:>11}",
+        "rate",
+        "Eq8 cycles",
+        "Eq8 [Mbit/s]",
+        "HW cycles",
+        "HW [Mbit/s]",
+        "err [%]",
+        "buffer",
+        "calibrated"
     );
 
+    let mut mismatches = 0usize;
     for rate in CodeRate::ALL {
         let code = DvbS2Code::new(rate, FrameSize::Normal)?;
         let p = *code.params();
         let analytic_cycles = model.cycles(&p);
         let analytic = model.throughput_mbps(&p);
 
+        // Rounding audit: every cycle-count path shares the same ceil on
+        // the I/O term and the same (exact — E_IN is a multiple of P)
+        // division in the half-iteration term, so the fractional-iteration
+        // path, the overlapped-I/O path, and the uncalibrated single-core
+        // fabric model must all agree with Eq. 8 at integral iterations.
+        assert_eq!(
+            model.cycles_at_iterations(&p, model.iterations as f64),
+            analytic_cycles as f64,
+            "{rate}: cycles_at_iterations diverges from Eq. 8 at integral iterations"
+        );
+        assert_eq!(
+            model.cycles_overlapped(&p),
+            (analytic_cycles - p.n.div_ceil(model.p_io)).max(p.n.div_ceil(model.p_io)),
+            "{rate}: cycles_overlapped must be max(decode, io) with the shared rounding"
+        );
+        assert_eq!(
+            FabricModel::single(&ST_0_13_UM).frame_cycles(&p),
+            analytic_cycles,
+            "{rate}: the uncalibrated single-core fabric model must reduce to Eq. 8"
+        );
+
         if fast {
             println!(
-                "{:>6} {:>10} {:>12.1} {:>10} {:>12} {:>10} {:>8}",
+                "{:>6} {:>10} {:>12.1} {:>10} {:>12} {:>10} {:>8} {:>11}",
                 rate.to_string(),
                 analytic_cycles,
                 analytic,
+                "-",
                 "-",
                 "-",
                 "-",
@@ -52,16 +93,63 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let out = hw.decode(&tx.llrs);
         let measured = out.cycles.throughput_mbps(model.clock_mhz, p.k);
         let err = (out.cycles.total_cycles as f64 / analytic_cycles as f64 - 1.0) * 100.0;
+
+        // Calibrated extended Eq. 8: must reproduce the measured total
+        // exactly — no rounding slack.
+        let calibrated = FabricModel::single(&ST_0_13_UM)
+            .with_iterations(out.cycles.iterations)
+            .calibrated(&out.cycles);
+        let cal_cycles = calibrated.frame_cycles(&p);
+        let exact = cal_cycles == out.cycles.total_cycles;
+        if !exact {
+            mismatches += 1;
+        }
         println!(
-            "{:>6} {:>10} {:>12.1} {:>10} {:>12.1} {:>10.2} {:>8}",
+            "{:>6} {:>10} {:>12.1} {:>10} {:>12.1} {:>10.2} {:>8} {:>11}",
             rate.to_string(),
             analytic_cycles,
             analytic,
             out.cycles.total_cycles,
             measured,
             err,
-            out.cycles.max_buffer
+            out.cycles.max_buffer,
+            if exact { "exact".to_string() } else { format!("{cal_cycles}!") },
         );
+    }
+
+    if !fast {
+        // Single-core fabric pin: a P = 1, zero-link fabric must take
+        // exactly `frames x total_cycles` for a batch — the fabric adds no
+        // hidden cycles and drops none.
+        let code = DvbS2Code::new(CodeRate::R1_2, FrameSize::Normal)?;
+        let sys =
+            Dvbs2System::new(SystemConfig { rate: CodeRate::R1_2, ..SystemConfig::default() })?;
+        let mut rng = SmallRng::seed_from_u64(0xE08);
+        let frames: Vec<Vec<f64>> =
+            (0..3).map(|_| sys.transmit_frame(&mut rng, 6.0).llrs).collect();
+        let mut fabric = DecoderFabric::with_natural_schedule(
+            &code,
+            FabricConfig::single(CoreConfig::default()),
+        );
+        let out = fabric.decode_batch(&frames);
+        let serial = DecoderFabric::serial_cycles(&out.outputs);
+        if out.stats.makespan_cycles == serial {
+            println!(
+                "\nP = 1 fabric makespan: exact ({} cycles for {} frames)",
+                out.stats.makespan_cycles,
+                out.outputs.len()
+            );
+        } else {
+            mismatches += 1;
+            println!(
+                "\nP = 1 fabric makespan MISMATCH: {} != serial {serial}",
+                out.stats.makespan_cycles
+            );
+        }
+        if mismatches > 0 {
+            println!("throughput_eq8: FAIL ({mismatches} calibrated-model mismatches)");
+            std::process::exit(1);
+        }
     }
     println!(
         "\nPaper: \"the decoder is capable to process all specified code rates ... with the \

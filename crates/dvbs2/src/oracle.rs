@@ -41,8 +41,9 @@ use dvbs2_decoder::{
 };
 use dvbs2_hardware::{
     hw_chain_partition, optimize_schedule, simulate_cn_phase, AccessStats, AnnealOptions,
-    CnSchedule, ConnectivityRom, CoreConfig, FaultActivation, FaultScenario, FuFault, GoldenModel,
-    HardwareDecoder, MemoryConfig, RamFault, TimedRamFault,
+    Arbitration, CnSchedule, ConnectivityRom, CoreConfig, DecoderFabric, FabricConfig,
+    FaultActivation, FaultScenario, FuFault, GoldenModel, HardwareDecoder, HwDecodeOutput,
+    MemoryConfig, RamFault, TimedRamFault,
 };
 use dvbs2_ldpc::{BitVec, CodeRate, DvbS2Code, FrameSize, TannerGraph, PARALLELISM};
 use rand::rngs::SmallRng;
@@ -144,6 +145,14 @@ pub struct CaseSpec {
     /// time, so a spec stays valid when the shrinker demotes the frame
     /// size.
     pub fault: FaultScenario,
+    /// Core count of the multi-core [`DecoderFabric`] cross-check (1 =
+    /// single core, fabric contracts skipped). When above 1, the case frame
+    /// plus `fabric - 1` derived frames run through a `fabric`-core fabric
+    /// with a modeled interconnect, and every frame must stay bit-exact —
+    /// results *and* per-iteration digests — against the single
+    /// [`HardwareDecoder`], with cycle counts that decompose exactly and
+    /// stay monotone-sane against the serial schedule.
+    pub fabric: usize,
 }
 
 impl CaseSpec {
@@ -265,6 +274,19 @@ impl CaseSpec {
             };
             fault.set_fu(Some(fu));
         }
+        // Fabric dimension, drawn strictly after every earlier dimension
+        // (append-only discipline, see the p_io comment above): about a
+        // quarter of cases re-run the frame through a multi-core
+        // DecoderFabric and cross-check it against the single core. Normal
+        // frames cap at two cores — each extra core is a whole extra
+        // Normal-frame decode plus its single-core reference.
+        let fabric = match next() % 8 {
+            0 => 2,
+            1 => 4,
+            2 => 3,
+            _ => 1,
+        };
+        let fabric = if frame == FrameSize::Normal { fabric.min(2) } else { fabric };
         CaseSpec {
             seed: mix_seed(master_seed ^ 0x0DD5_B2C0_DEC0_DE00, index),
             rate,
@@ -283,6 +305,7 @@ impl CaseSpec {
             p_io,
             modulation,
             fault,
+            fabric,
         }
     }
 }
@@ -320,6 +343,12 @@ impl fmt::Display for CaseSpec {
             self.memory.fu_latency,
             self.p_io,
         )?;
+        // `fabric=1` (the single core, no fabric cross-check) is omitted so
+        // repro strings recorded before the fabric dimension existed stay
+        // the canonical spelling of the cases they name.
+        if self.fabric > 1 {
+            write!(f, " fabric={}", self.fabric)?;
+        }
         if self.fault.is_empty() {
             return Ok(());
         }
@@ -381,10 +410,11 @@ impl FromStr for CaseSpec {
     /// Parses the `Display` form, e.g.
     /// `seed=7 rate=2/3 frame=short ebn0=2.4 q=6 arith=msshift2 iters=6 early=true`.
     ///
-    /// The `sched=`, `mem=BxPxL`, `pio=`, `mod=` and `fault=` keys are
-    /// optional and default to the natural schedule, the paper memory
-    /// configuration, `p_io = 10`, BPSK, and healthy hardware, so repro
-    /// strings recorded before those dimensions existed still parse.
+    /// The `sched=`, `mem=BxPxL`, `pio=`, `mod=`, `fabric=` and `fault=`
+    /// keys are optional and default to the natural schedule, the paper
+    /// memory configuration, `p_io = 10`, BPSK, a single core (no fabric
+    /// cross-check), and healthy hardware, so repro strings recorded before
+    /// those dimensions existed still parse.
     ///
     /// `fault=` takes a comma-separated list of fault atoms
     /// (`fault=none` is also accepted):
@@ -448,6 +478,13 @@ impl FromStr for CaseSpec {
             Some("16apsk") => Modulation::Apsk16,
             Some("32apsk") => Modulation::Apsk32,
             Some(_) => return Err(err("mod")),
+        };
+        let fabric = match fields.get("fabric").copied() {
+            None => 1,
+            Some(spec) => match spec.parse::<usize>() {
+                Ok(p) if p > 0 => p,
+                _ => return Err(err("fabric")),
+            },
         };
         let fault = match fields.get("fault").copied() {
             None | Some("none") => FaultScenario::none(),
@@ -534,6 +571,7 @@ impl FromStr for CaseSpec {
             p_io,
             modulation,
             fault,
+            fabric,
         })
     }
 }
@@ -1072,6 +1110,192 @@ fn run_case_with(case_index: u64, case: &CaseSpec, cache: &ContextCache) -> Vec<
         );
     }
 
+    // --- fabric class: multi-core fabric vs the single core ------------------
+    if case.fabric > 1 {
+        violations.extend(fabric_contracts(
+            case_index,
+            case,
+            &ctx,
+            core_config,
+            fault,
+            &mut rng,
+            &channel,
+            &mut hw,
+            &hw_out,
+            &hw_trace,
+            &golden_trace,
+        ));
+    }
+
+    violations
+}
+
+/// The fabric contract set for one case with `case.fabric > 1`: the case
+/// frame plus `fabric - 1` frames derived from the case's own RNG
+/// continuation run through a `fabric`-core [`DecoderFabric`] (modeled
+/// interconnect: link latency 2, round-robin bus). Timing and data are
+/// separated by construction, so every frame must be bit-exact — full
+/// output, cycle breakdown, and per-iteration digests — against a fresh
+/// single-core decode, and the measured cycles must decompose exactly and
+/// stay monotone-sane against the serial schedule.
+#[allow(clippy::too_many_arguments)] // one call site per driver; a struct would just rename the list
+fn fabric_contracts(
+    case_index: u64,
+    case: &CaseSpec,
+    ctx: &CaseContext,
+    core_config: CoreConfig,
+    fault: FaultScenario,
+    rng: &mut SmallRng,
+    channel: &[i32],
+    hw: &mut HardwareDecoder,
+    hw_out: &HwDecodeOutput,
+    hw_trace: &[u64],
+    golden_trace: &[u64],
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let mut violate = |contract: &'static str, detail: String| {
+        violations.push(Violation { case_index, case: *case, contract, detail });
+    };
+    let n = ctx.system().params().n;
+    let fabric_config = FabricConfig {
+        cores: case.fabric,
+        core: core_config,
+        link_latency: 2,
+        arbitration: Arbitration::RoundRobin { start: 0 },
+        double_buffer: false,
+    };
+    let link = fabric_config.link_latency as u64;
+    let mut fabric = DecoderFabric::new(ctx.code(), ctx.schedule.clone(), fabric_config);
+    fabric.set_scenario(fault);
+    let mut frames: Vec<Vec<i32>> = vec![channel.to_vec()];
+    for _ in 1..case.fabric {
+        let extra = ctx.system().transmit_frame_with(rng, case.ebn0_db, case.modulation);
+        frames.push(hw.quantize_channel(&extra.llrs));
+    }
+    let mut fabric_traces: Vec<Vec<u64>> = Vec::new();
+    let fab = fabric.decode_quantized_batch_traced(&frames, &mut fabric_traces);
+    for (i, channel) in frames.iter().enumerate() {
+        // Frame 0 already has its single-core reference (`hw_out`);
+        // the derived frames get a fresh one from the same decoder.
+        let mut single_trace = Vec::new();
+        let single = if i == 0 {
+            single_trace.extend_from_slice(hw_trace);
+            hw_out.clone()
+        } else {
+            hw.decode_quantized_traced(channel, &mut single_trace)
+        };
+        if fab.outputs[i] != single {
+            violate(
+                    "fabric-hw-bitexact",
+                    format!(
+                        "frame {i}: fabric (converged={} iters={} cycles={}) != single core (converged={} iters={} cycles={}), {} differing bits",
+                        fab.outputs[i].result.converged,
+                        fab.outputs[i].result.iterations,
+                        fab.outputs[i].cycles.total_cycles,
+                        single.result.converged,
+                        single.result.iterations,
+                        single.cycles.total_cycles,
+                        count_diff(&fab.outputs[i].result.bits, &single.result.bits),
+                    ),
+                );
+        }
+        if fabric_traces[i] != single_trace {
+            violate(
+                "fabric-hw-trace",
+                format!(
+                    "frame {i}: fabric digests diverged from the single core at iteration {} of {}",
+                    fabric_traces[i]
+                        .iter()
+                        .zip(single_trace.iter())
+                        .position(|(a, b)| a != b)
+                        .unwrap_or(0)
+                        + 1,
+                    fabric_traces[i].len().max(single_trace.len()),
+                ),
+            );
+        }
+    }
+    // Frame 0 must also line up with the untimed golden model's digests
+    // (transitively true when fabric == hw and hw == golden, but checked
+    // directly so a fabric divergence is attributed even when the
+    // hw-golden contract fails in the same case).
+    if fabric_traces[0] != golden_trace {
+        violate(
+            "fabric-golden-trace",
+            "fabric frame 0 digests diverged from the golden model".to_owned(),
+        );
+    }
+    // Cycle contracts: every span decomposes exactly into its parts,
+    // per-frame decode occupancy matches the core's own breakdown, and
+    // the makespan is monotone-sane — never slower than the serial
+    // schedule (plus per-frame link crossings), never faster than the
+    // shared bus allows.
+    for (tm, out) in fab.timings.iter().zip(&fab.outputs) {
+        let parts = tm.io_beats as u64
+            + tm.load_stall_cycles
+            + tm.input_wait_cycles
+            + tm.decode_cycles as u64
+            + 2 * link;
+        if tm.span_cycles() != parts {
+            violate(
+                "fabric-span-decomposition",
+                format!(
+                    "frame {}: span {} != io {} + stall {} + wait {} + decode {} + 2x link {link}",
+                    tm.frame,
+                    tm.span_cycles(),
+                    tm.io_beats,
+                    tm.load_stall_cycles,
+                    tm.input_wait_cycles,
+                    tm.decode_cycles,
+                ),
+            );
+        }
+        if tm.decode_cycles != out.cycles.info_phase_cycles + out.cycles.check_phase_cycles {
+            violate(
+                "fabric-decode-cycles",
+                format!(
+                    "frame {}: fabric decode occupancy {} != core info {} + check {}",
+                    tm.frame,
+                    tm.decode_cycles,
+                    out.cycles.info_phase_cycles,
+                    out.cycles.check_phase_cycles,
+                ),
+            );
+        }
+        if tm.io_beats != n.div_ceil(core_config.p_io) {
+            violate(
+                "fabric-io-beats",
+                format!("frame {}: {} beats != ceil({n}/{})", tm.frame, tm.io_beats, case.p_io),
+            );
+        }
+    }
+    let serial = DecoderFabric::serial_cycles(&fab.outputs) + fab.outputs.len() as u64 * 2 * link;
+    if fab.stats.makespan_cycles > serial {
+        violate(
+            "fabric-makespan-monotone",
+            format!(
+                "{} cores took {} cycles, above the serial bound {serial}",
+                case.fabric, fab.stats.makespan_cycles
+            ),
+        );
+    }
+    let total_beats = (frames.len() * n.div_ceil(core_config.p_io)) as u64;
+    if fab.stats.bus_busy_cycles != total_beats {
+        violate(
+            "fabric-bus-beats",
+            format!("bus busy {} cycles != {total_beats} frame beats", fab.stats.bus_busy_cycles),
+        );
+    }
+    if fab.stats.makespan_cycles < total_beats {
+        violate(
+            "fabric-makespan-bus-bound",
+            format!(
+                "makespan {} below the bus serialization floor {total_beats}",
+                fab.stats.makespan_cycles
+            ),
+        );
+    }
+
     violations
 }
 
@@ -1289,6 +1513,136 @@ pub fn run_fault_differential(config: &OracleConfig) -> OracleReport {
     OracleReport { cases: config.cases, rates_covered, frames_covered, violations }
 }
 
+/// Forces the fabric dimension onto a generated case: keeps the
+/// generator's core count when it drew one, otherwise derives a
+/// deterministic P ∈ {2, 3, 4} from the case seed. Normal frames demote to
+/// Short (re-homing the Normal-only R 9/10 onto R 8/9) so a ≥1000-case
+/// sweep stays affordable — the main oracle run covers Normal-frame
+/// fabrics organically.
+fn force_fabric(mut case: CaseSpec) -> CaseSpec {
+    if case.fabric < 2 {
+        case.fabric = 2 + (mix_seed(case.seed, 0xFAB0) % 3) as usize;
+    }
+    if case.frame == FrameSize::Normal {
+        case.frame = FrameSize::Short;
+        if case.rate == CodeRate::R9_10 {
+            case.rate = CodeRate::R8_9;
+        }
+    }
+    case
+}
+
+/// One fabric-differential case: the timed core and golden model must
+/// agree as usual, and the multi-core fabric must satisfy the full fabric
+/// contract set ([`fabric_contracts`]) on top.
+fn run_fabric_case(case_index: u64, case: &CaseSpec, cache: &ContextCache) -> Vec<Violation> {
+    let ctx = context_for(cache, case.rate, case.frame, case.schedule, case.memory);
+    let mut violations = Vec::new();
+
+    let mut rng = SmallRng::seed_from_u64(case.seed);
+    let frame = ctx.system().transmit_frame_with(&mut rng, case.ebn0_db, case.modulation);
+    let quantizer = case.quantizer();
+    let core_config = CoreConfig {
+        quantizer,
+        max_iterations: case.max_iterations,
+        early_stop: case.early_stop,
+        memory: case.memory,
+        p_io: case.p_io,
+    };
+    let fault = clamp_fault(case.fault, ctx.code.rom.words());
+    let mut hw = HardwareDecoder::new(ctx.code(), ctx.schedule.clone(), core_config);
+    let mut golden = GoldenModel::new(
+        ctx.code(),
+        ctx.schedule.clone(),
+        quantizer,
+        case.max_iterations,
+        case.early_stop,
+    );
+    hw.set_scenario(fault);
+    golden.set_scenario(fault);
+    let channel = hw.quantize_channel(&frame.llrs);
+    let mut hw_trace = Vec::new();
+    let mut golden_trace = Vec::new();
+    let hw_out = hw.decode_quantized_traced(&channel, &mut hw_trace);
+    let golden_out = golden.decode_quantized_traced(&channel, &mut golden_trace);
+    if hw_out.result != golden_out || hw_trace != golden_trace {
+        violations.push(Violation {
+            case_index,
+            case: *case,
+            contract: "hw-golden-bitexact",
+            detail: format!(
+                "single core diverged from golden before the fabric ran ({} differing bits)",
+                count_diff(&hw_out.result.bits, &golden_out.bits),
+            ),
+        });
+    }
+    violations.extend(fabric_contracts(
+        case_index,
+        case,
+        &ctx,
+        core_config,
+        fault,
+        &mut rng,
+        &channel,
+        &mut hw,
+        &hw_out,
+        &hw_trace,
+        &golden_trace,
+    ));
+    violations
+}
+
+/// Runs `config.cases` generated cases with the fabric dimension forced
+/// onto every one — odd indices additionally carry a forced fault
+/// scenario, so roughly half the sweep exercises the corrupted write path
+/// through the fabric — and checks the single-core differential plus the
+/// full fabric contract set. Deterministic for a given `master_seed`
+/// regardless of `threads`.
+pub fn run_fabric_sweep(config: &OracleConfig) -> OracleReport {
+    let threads = config.threads.max(1);
+    let next = AtomicUsize::new(0);
+    let violations: Mutex<Vec<Violation>> = Mutex::new(Vec::new());
+    let cache = ContextCache::default();
+    let case_for = |index: u64| {
+        let case = force_fabric(CaseSpec::generate(config.master_seed, index));
+        if index % 2 == 1 {
+            force_fault(case)
+        } else {
+            case
+        }
+    };
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed) as u64;
+                if index >= config.cases {
+                    break;
+                }
+                let case = case_for(index);
+                let found = run_fabric_case(index, &case, &cache);
+                if !found.is_empty() {
+                    violations.lock().expect("no panics hold the lock").extend(found);
+                }
+            });
+        }
+    });
+    let mut violations = violations.into_inner().expect("all workers joined");
+    violations.sort_by_key(|v| v.case_index);
+
+    let mut rates_covered = Vec::new();
+    let mut frames_covered = Vec::new();
+    for index in 0..config.cases {
+        let case = case_for(index);
+        if !rates_covered.contains(&case.rate) {
+            rates_covered.push(case.rate);
+        }
+        if !frames_covered.contains(&case.frame) {
+            frames_covered.push(case.frame);
+        }
+    }
+    OracleReport { cases: config.cases, rates_covered, frames_covered, violations }
+}
+
 /// Verifies the boundary-exact equivalence class across **every defined
 /// rate/frame code point** — all 11 Normal-frame rates plus the 10
 /// Short-frame rates (R 9/10 is Normal-only in the standard): the LUT
@@ -1331,6 +1685,7 @@ pub fn run_partition_sweep(master_seed: u64, threads: usize) -> OracleReport {
                     p_io: 10,
                     modulation: Modulation::Bpsk,
                     fault: FaultScenario::none(),
+                    fabric: 1,
                 };
                 let ctx =
                     context_for(&cache, case.rate, case.frame, case.schedule, case.memory);
@@ -1443,6 +1798,7 @@ pub fn run_fault_suite(rate: CodeRate, frame: FrameSize, master_seed: u64) -> Fa
         p_io: 10,
         modulation: Modulation::Bpsk,
         fault: FaultScenario::none(),
+        fabric: 1,
     };
     let mut violate = |index: usize, contract: &'static str, detail: String| {
         report.violations.push(Violation {
@@ -1619,6 +1975,13 @@ pub fn shrink_case<F: FnMut(&CaseSpec) -> bool>(
         }
         if best.modulation != Modulation::Bpsk {
             candidates.push(CaseSpec { modulation: Modulation::Bpsk, ..best });
+        }
+        if best.fabric > 1 {
+            // Prefer dropping the fabric dimension outright; otherwise
+            // shave one core at a time so a contention-dependent failure
+            // keeps the smallest fabric that still shows it.
+            candidates.push(CaseSpec { fabric: 1, ..best });
+            candidates.push(CaseSpec { fabric: best.fabric - 1, ..best });
         }
         if best.fault.fu_fault().is_some() {
             candidates.push(CaseSpec { fault: best.fault.with_fu(None), ..best });
@@ -1803,6 +2166,33 @@ mod tests {
             fu |= case.fault.fu_fault().is_some();
         }
         assert!(extended && fu, "forced coverage: extended={extended} fu={fu}");
+    }
+
+    #[test]
+    fn fabric_dimension_round_trips_and_is_forced_in_the_sweep() {
+        let mut multi = false;
+        for index in 0..200u64 {
+            let case = CaseSpec::generate(0xFAB, index);
+            let parsed: CaseSpec = case.to_string().parse().unwrap();
+            assert_eq!(parsed, case, "index {index}");
+            multi |= case.fabric > 1;
+            if case.fabric > 1 {
+                assert!(case.to_string().contains(" fabric="), "{case}");
+            } else {
+                assert!(!case.to_string().contains("fabric="), "{case}");
+            }
+            let forced = force_fabric(case);
+            assert!((2..=4).contains(&forced.fabric), "index {index}: P={}", forced.fabric);
+            assert_eq!(forced.frame, FrameSize::Short, "the sweep demotes Normal frames");
+            assert_ne!(forced.rate, CodeRate::R9_10, "R9/10 re-homes with the frame");
+        }
+        assert!(multi, "the generator must draw multi-core fabrics");
+        // Legacy strings parse with fabric defaulting to the single core;
+        // a zero core count is rejected, not defaulted.
+        let legacy = "seed=7 rate=2/3 frame=short ebn0=2.4 q=6 arith=lut iters=6 early=true";
+        assert_eq!(legacy.parse::<CaseSpec>().unwrap().fabric, 1);
+        assert_eq!(format!("{legacy} fabric=4").parse::<CaseSpec>().unwrap().fabric, 4);
+        assert!(format!("{legacy} fabric=0").parse::<CaseSpec>().is_err(), "zero cores");
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! * functional units: the [`FuGateModel`] gate count × 360;
 //! * control logic and the barrel-rotator shuffle network.
 
+use crate::fabric::FabricConfig;
 use crate::rom::ConnectivityRom;
 use crate::shuffle::ShuffleNetwork;
 use crate::tech::Technology;
@@ -212,6 +213,51 @@ impl AreaModel {
         ];
         AreaReport { items }
     }
+
+    /// Extends the Table 3 report to a P-core [`crate::DecoderFabric`]
+    /// (DESIGN.md §12): every per-core row replicates P times, and the
+    /// shared front end adds a double-buffered frame staging RAM, per-port
+    /// link FIFOs with the bus mux tree (priced with the same wiring factor
+    /// as the shuffle network — both are long-haul datapaths), and the
+    /// round-robin arbiter.
+    pub fn fabric_report(&self, frame: FrameSize, fabric: &FabricConfig) -> AreaReport {
+        let p = fabric.cores;
+        let w = self.message_bits;
+        let n = frame.codeword_len();
+        let base = self.report(frame);
+        let mut items: Vec<AreaItem> = base
+            .items
+            .iter()
+            .map(|i| AreaItem {
+                name: i.name,
+                mm2: i.mm2 * p as f64,
+                detail: format!("{p} cores x {}", i.detail),
+            })
+            .collect();
+        let staging_bits = 2 * n * w;
+        let flop_gates = 7;
+        let beat_bits = fabric.core.p_io * w;
+        let fifo_depth = fabric.link_latency.max(2);
+        let fifo_gates = p * fifo_depth * beat_bits * flop_gates;
+        let mux_gates = p * beat_bits * 3;
+        let arb_gates = 2_000 + 150 * p;
+        items.push(AreaItem {
+            name: "Shared frame buffer",
+            mm2: self.tech.sram_mm2(staging_bits),
+            detail: format!("{staging_bits} bits (2 x {n} x {w}b staging)"),
+        });
+        items.push(AreaItem {
+            name: "Interconnect FIFOs & links",
+            mm2: self.tech.logic_mm2(fifo_gates + mux_gates) * self.tech.shuffle_wiring_factor,
+            detail: format!("{p} ports x {fifo_depth} beats x {beat_bits}b + bus muxing"),
+        });
+        items.push(AreaItem {
+            name: "Bus arbitration & control",
+            mm2: self.tech.logic_mm2(arb_gates),
+            detail: format!("{arb_gates} gates ({p}-way round-robin)"),
+        });
+        AreaReport { items }
+    }
 }
 
 #[cfg(test)]
@@ -263,6 +309,37 @@ mod tests {
         let normal = AreaModel::paper().report(FrameSize::Normal);
         let short = AreaModel::paper().report(FrameSize::Short);
         assert!(short.total_mm2() < normal.total_mm2());
+    }
+
+    #[test]
+    fn fabric_report_scales_cores_and_prices_the_interconnect() {
+        let model = AreaModel::paper();
+        let base = model.report(FrameSize::Normal).total_mm2();
+        let single = model
+            .fabric_report(FrameSize::Normal, &FabricConfig::single(Default::default()))
+            .total_mm2();
+        // One core plus front end: a small constant over the bare core
+        // (dominated by the double-buffered frame staging RAM, ~2x the
+        // channel LLR RAM).
+        assert!(single > base && single < base + 5.0, "single-core fabric {single} vs {base}");
+        let mut last = 0.0;
+        for cores in [1, 2, 4, 8, 16] {
+            let cfg = FabricConfig { cores, ..FabricConfig::default() };
+            let report = model.fabric_report(FrameSize::Normal, &cfg);
+            let total = report.total_mm2();
+            assert!(total > last, "area must grow with cores");
+            // Core area dominates: the interconnect is an overhead, not the
+            // point of the design.
+            let interconnect = report.component_mm2("Interconnect FIFOs & links").unwrap()
+                + report.component_mm2("Bus arbitration & control").unwrap()
+                + report.component_mm2("Shared frame buffer").unwrap();
+            assert!(
+                interconnect < 0.20 * total,
+                "interconnect {interconnect} out of {total} at P={cores}"
+            );
+            assert!(total >= cores as f64 * base, "P cores cannot shrink below P cores");
+            last = total;
+        }
     }
 
     #[test]

@@ -21,6 +21,7 @@
 mod anneal;
 mod area;
 mod core;
+mod fabric;
 mod fault;
 mod functional_unit;
 mod golden;
@@ -38,6 +39,9 @@ mod vhdl;
 pub use anneal::{optimize_schedule, AnnealOptions, AnnealResult};
 pub use area::{AreaModel, AreaReport, FuGateModel};
 pub use core::{CoreConfig, CycleBreakdown, HardwareDecoder, HwDecodeOutput};
+pub use fabric::{
+    Arbitration, DecoderFabric, FabricConfig, FabricOutput, FabricStats, FrameTiming,
+};
 pub use fault::{
     CommitPhase, CommitPoint, FaultActivation, FaultScenario, FuFault, RamFault, TimedRamFault,
     MAX_SCENARIO_FAULTS,
@@ -52,5 +56,5 @@ pub use schedule::{CnSchedule, InvalidScheduleError};
 pub use shuffle::ShuffleNetwork;
 pub use tech::{Technology, ST_0_13_UM};
 pub use testvec::{ParseVectorError, TestVectorSet, VectorFrame};
-pub use throughput::ThroughputModel;
+pub use throughput::{FabricModel, ThroughputModel};
 pub use vhdl::VhdlGenerator;

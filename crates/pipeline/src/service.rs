@@ -141,6 +141,13 @@ impl PipelineHealth {
     pub fn degraded(&self) -> bool {
         self.quarantined_now > 0
     }
+
+    /// Workers currently in rotation: started minus quarantined. The
+    /// quarantine gate never takes the last worker, so this only reaches
+    /// zero if the pipeline was somehow started with none.
+    pub fn healthy_workers(&self) -> usize {
+        self.workers.saturating_sub(self.quarantined_now)
+    }
 }
 
 /// Why a submission did not enter the pipeline. Every variant returns the

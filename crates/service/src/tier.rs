@@ -614,28 +614,52 @@ impl Inner {
     }
 }
 
-/// Chooses a shard for a stream. Candidates are the healthy, non-draining
-/// shards (falling back to degraded ones when nothing healthy remains —
-/// degraded service beats none). Among candidates: least routed streams
-/// first (load balance), then MODCOD affinity (warm decoder caches), then
-/// the `(tenant, stream, modcod)` hash breaks the remaining tie so equal
-/// shards see an even spread. Returns `None` only when every shard is
-/// draining.
+/// Chooses a shard for a stream. Candidates are the non-draining shards;
+/// each is scored by its *effective marginal load* — the per-healthy-worker
+/// load after accepting the stream, `(streams + 1) / healthy_workers`,
+/// using the pipeline's live quarantine verdicts. A shard with one of four
+/// workers quarantined costs 4/3 as much per stream as a healthy peer, so
+/// it keeps taking a proportional share of traffic instead of falling off
+/// the old binary healthy/degraded cliff — and it resumes its full share
+/// the moment the probe reinstates the worker, with no routing-table
+/// event. Costs compare by integer cross-multiplication (no floats on the
+/// routing path); a shard with zero healthy workers costs infinity and is
+/// only chosen when every candidate is in that state. Among equal-cost
+/// shards: MODCOD affinity first (warm decoder caches), then the
+/// `(tenant, stream, modcod)` hash breaks the tie so equal shards see an
+/// even spread. Returns `None` only when every shard is draining.
 fn pick_shard(
     shards: &[Arc<Shard>],
     key: StreamKey,
     modcod: usize,
     exclude_uid: Option<u64>,
 ) -> Option<Arc<Shard>> {
-    let open = |s: &&Arc<Shard>| !s.draining.load(Ordering::Relaxed) && Some(s.uid) != exclude_uid;
-    let healthy: Vec<&Arc<Shard>> =
-        shards.iter().filter(open).filter(|s| !s.pipeline.health().degraded()).collect();
-    let pool = if healthy.is_empty() { shards.iter().filter(open).collect() } else { healthy };
-    let min_streams = pool.iter().map(|s| s.streams.load(Ordering::Relaxed)).min()?;
+    let open: Vec<&Arc<Shard>> = shards
+        .iter()
+        .filter(|s| !s.draining.load(Ordering::Relaxed) && Some(s.uid) != exclude_uid)
+        .collect();
+    // Cost is the ratio streams/healthy; `le` compares a/b <= c/d as
+    // a*d <= c*b, with x/0 treated as +infinity.
+    let costs: Vec<(u64, u64)> = open
+        .iter()
+        .map(|s| {
+            (
+                s.streams.load(Ordering::Relaxed) as u64 + 1,
+                s.pipeline.health().healthy_workers() as u64,
+            )
+        })
+        .collect();
+    let le = |a: (u64, u64), b: (u64, u64)| match (a.1, b.1) {
+        (0, 0) => true,
+        (0, _) => false,
+        (_, 0) => true,
+        _ => a.0 * b.1 <= b.0 * a.1,
+    };
+    let best = costs.iter().copied().reduce(|a, b| if le(a, b) { a } else { b })?;
     let (affine, plain): (Vec<&Arc<Shard>>, Vec<&Arc<Shard>>) =
-        pool.into_iter().filter(|s| s.streams.load(Ordering::Relaxed) == min_streams).partition(
-            |s| s.affinity.lock().expect("no panics hold the affinity lock").contains(&modcod),
-        );
+        open.iter().zip(&costs).filter(|&(_, &c)| le(c, best)).map(|(s, _)| *s).partition(|s| {
+            s.affinity.lock().expect("no panics hold the affinity lock").contains(&modcod)
+        });
     let candidates = if affine.is_empty() { plain } else { affine };
     let mut hasher = DefaultHasher::new();
     (key.tenant, key.stream, modcod).hash(&mut hasher);

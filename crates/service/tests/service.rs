@@ -363,6 +363,111 @@ fn degraded_shard_sheds_its_streams_to_healthy_shards() {
 }
 
 #[test]
+fn reinstated_shard_resumes_its_full_routing_share() {
+    // Shard 0's worker 0 takes a transient upset (its first 8 decodes are
+    // corrupted, then the fault clears). The shard's pipeline quarantines
+    // the worker, and the continuous routing weight — marginal load
+    // `(streams + 1) / healthy_workers` — steers new admissions toward the
+    // fully-healthy shard while shard 0 runs at half strength. Once the
+    // known-answer probes reinstate the worker, the weight recovers with
+    // no routing-table event, and newly admitted streams must spread
+    // evenly across both shards again.
+    const FRAMES_PER_STREAM: u64 = 80;
+    const NEW_STREAMS: u32 = 16;
+    let table = short_table(&[CodeRate::R1_2]);
+    let n = table.entry(0).frame_len();
+    let phase1: Vec<StreamKey> = (0..2).map(|s| StreamKey::new(1, s)).collect();
+    let phase2: Vec<StreamKey> = (0..NEW_STREAMS).map(|s| StreamKey::new(1, 100 + s)).collect();
+    let total = phase1.len() * FRAMES_PER_STREAM as usize + phase2.len();
+    let tier = ServiceTier::start(
+        table,
+        ServiceConfig {
+            shards: 2,
+            pipeline: PipelineConfig {
+                workers: 2,
+                quarantine: QuarantinePolicy {
+                    enabled: true,
+                    alpha: 0.5,
+                    nonconv_threshold: 0.5,
+                    syndrome_threshold: 0.01,
+                    min_decodes: 3,
+                    probe_passes: 2,
+                    probe_interval_ms: 1,
+                },
+                ..PipelineConfig::default()
+            },
+            tenants: vec![TenantPolicy::throughput_bound(1, 128)],
+            health_poll_ms: 2,
+            fault_injection: Some(ShardFaultInjection {
+                shard: 0,
+                injection: WorkerFaultInjection::window(0, 0, 8),
+            }),
+        },
+    );
+
+    // Phase 1: open-loop traffic on two streams (one lands on each shard).
+    // The backlog keeps both workers of each shard decoding, so shard 0's
+    // worker 0 accumulates corrupted decodes while its fault window is
+    // active.
+    let phase1_total = phase1.len() * FRAMES_PER_STREAM as usize;
+    let mut outputs = run_with_consumer(&tier, phase1_total, || {
+        for _ in 0..FRAMES_PER_STREAM {
+            for key in &phase1 {
+                submit_retrying(&tier, ServiceFrame { key: *key, modcod: 0, llrs: vec![6.0; n] });
+            }
+        }
+    });
+
+    // Wait for the quarantine -> probe -> reinstate arc to complete. The
+    // `reinstatements` counter is cumulative, so this observation cannot
+    // race with the heal. Probes run on their own timer — no traffic is
+    // needed to drive them.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    loop {
+        let shards = tier.shards();
+        if shards.iter().any(|s| s.health.reinstatements >= 1 && s.health.quarantined_now == 0) {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "the transient fault never healed: {shards:?}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+
+    // Phase 2: admit fresh streams against the healed fleet.
+    let before: HashMap<u64, usize> = tier.shards().iter().map(|s| (s.uid, s.streams)).collect();
+    outputs.extend(run_with_consumer(&tier, phase2.len(), || {
+        for key in &phase2 {
+            submit_retrying(&tier, ServiceFrame { key: *key, modcod: 0, llrs: vec![6.0; n] });
+        }
+    }));
+    let after = tier.shards();
+    assert_eq!(after.len(), 2);
+    let counts: Vec<usize> = after.iter().map(|s| s.streams).collect();
+    assert!(
+        counts[0].abs_diff(counts[1]) <= 1,
+        "reinstatement must restore even stream spread, got {counts:?}"
+    );
+    for status in &after {
+        assert!(
+            status.streams > before[&status.uid],
+            "shard {} took no new streams after reinstatement: {before:?} -> {after:?}",
+            status.uid
+        );
+    }
+
+    assert_eq!(outputs.len(), total, "healing must not drop frames");
+    let mut expected: HashMap<StreamKey, u64> =
+        phase1.iter().map(|&k| (k, FRAMES_PER_STREAM)).collect();
+    expected.extend(phase2.iter().map(|&k| (k, 1)));
+    assert_per_stream_order(&outputs, &expected);
+    let stats = tier.finish();
+    assert_eq!(stats.delivered, total as u64);
+    assert_eq!(stats.orphaned, 0);
+}
+
+#[test]
 fn bbframe_demux_round_trips_through_the_service() {
     let table = short_table(&[CodeRate::R1_2]);
     let entry = table.entry(0);

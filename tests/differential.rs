@@ -9,8 +9,8 @@ use dvbs2::hardware::{
 };
 use dvbs2::ldpc::{CodeRate, FrameSize};
 use dvbs2::oracle::{
-    run, run_case, run_fault_differential, run_fault_suite, run_partition_sweep, shrink_case,
-    ArithmeticKind, CaseSpec, OracleConfig, ScheduleKind,
+    run, run_case, run_fabric_sweep, run_fault_differential, run_fault_suite, run_partition_sweep,
+    shrink_case, ArithmeticKind, CaseSpec, OracleConfig, ScheduleKind,
 };
 
 #[test]
@@ -82,6 +82,16 @@ fn generator_is_deterministic_and_varied() {
         .any(|case| case.fault.ram_faults().any(|t| t.activation != FaultActivation::Permanent)));
     assert!(a.iter().any(|case| case.fault.ram_fault_count() > 1));
     assert!(a.iter().any(|case| case.fault.fu_fault().is_some()));
+    // The fabric dimension is drawn often enough to matter, single-core
+    // cases stay in the mix, and Normal frames cap at two cores.
+    assert!(a.iter().any(|case| case.fabric > 1), "multi-core fabric cases must appear");
+    assert!(a.iter().any(|case| case.fabric == 1), "single-core cases must stay in the mix");
+    for case in &a {
+        assert!(
+            case.frame == FrameSize::Short || case.fabric <= 2,
+            "{case}: Normal-frame fabrics cap at two cores"
+        );
+    }
 }
 
 #[test]
@@ -164,6 +174,7 @@ fn fault_and_pio_keys_round_trip() {
         p_io: 16,
         modulation: Modulation::Psk8,
         fault: FaultScenario::single(RamFault::StuckWord { word: 9, value: -31 }),
+        fabric: 1,
     };
     for fault in [
         FaultScenario::none(),
@@ -222,6 +233,7 @@ fn single_case_replay_is_clean_and_deterministic() {
         p_io: 10,
         modulation: Modulation::Bpsk,
         fault: FaultScenario::none(),
+        fabric: 1,
     };
     assert!(run_case(0, &case).is_empty());
     assert!(run_case(0, &case).is_empty(), "replay must be stable");
@@ -248,6 +260,31 @@ fn single_case_replay_is_clean_and_deterministic() {
         ..case
     };
     assert!(run_case(0, &faulted).is_empty(), "faulted case: {:?}", run_case(0, &faulted));
+    // And through a three-core fabric: every frame must stay bit-exact
+    // against the single core, faulted or not, and the cycle contracts
+    // must hold under bus contention.
+    let fabric = CaseSpec { fabric: 3, ..case };
+    assert!(run_case(0, &fabric).is_empty(), "fabric case: {:?}", run_case(0, &fabric));
+    let fabric_faulted = CaseSpec { fabric: 3, ..faulted };
+    assert!(
+        run_case(0, &fabric_faulted).is_empty(),
+        "faulted fabric case: {:?}",
+        run_case(0, &fabric_faulted)
+    );
+}
+
+#[test]
+fn bounded_fabric_sweep_is_clean() {
+    // Every case runs the multi-core fabric cross-check (odd indices with a
+    // forced fault scenario on top); the full >=1000-case budget runs in
+    // the fabric-scaling CI job.
+    let report = run_fabric_sweep(&OracleConfig { master_seed: 0xFAB, cases: 12, threads: 4 });
+    assert_eq!(report.cases, 12);
+    assert!(
+        report.clean(),
+        "fabric-sweep violations:\n{}",
+        report.violations.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("\n")
+    );
 }
 
 #[test]
@@ -305,6 +342,7 @@ fn shrinker_minimizes_while_preserving_failure() {
         modulation: Modulation::Psk8,
         fault: FaultScenario::single(RamFault::FlippedBits { word: 42, mask: 0b1101 })
             .with_fu(Some(FuFault::StuckSign { unit: 7, negative: false })),
+        fabric: 4,
     };
     // Synthetic predicate: the "bug" needs at least 3 iterations and the
     // min-sum arithmetic; everything else is shrinkable noise.
@@ -322,6 +360,7 @@ fn shrinker_minimizes_while_preserving_failure() {
     assert_eq!(shrunk.p_io, 10, "I/O width normalized");
     assert_eq!(shrunk.modulation, Modulation::Bpsk, "modulation normalized");
     assert!(shrunk.fault.is_empty(), "fault removed");
+    assert_eq!(shrunk.fabric, 1, "fabric dimension dropped");
     assert_eq!((shrunk.seed, shrunk.rate), (failing.seed, failing.rate), "identity preserved");
     assert_eq!(shrunk.arithmetic, failing.arithmetic);
 
