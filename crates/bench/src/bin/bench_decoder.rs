@@ -273,9 +273,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Hardware-partitioned quantized lanes: the natural schedule's chain
     // partition (the same construction the differential oracle verifies
     // bit-exact against the golden model), once through the reference
-    // LUT-indirection sweep and once through the permutation-baked fused
-    // planes. Same numerics, different memory layout — the pair isolates
-    // the fused layout's speedup.
+    // LUT-indirection sweep, once through the permutation-baked scalar
+    // fused planes, and once through the sub-chain-major SIMD lane planes.
+    // Same numerics throughout (all three are bit-exact), different memory
+    // layout and kernels — the chain isolates each layer's speedup.
     let rom = ConnectivityRom::build(system.code().params(), system.code().table());
     let schedule = CnSchedule::natural(&rom);
     let partition = hw_chain_partition(&rom, &schedule, &graph);
@@ -290,13 +291,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ));
     variants.push((
         "quantized_partitioned_fused",
-        Box::new(QuantizedZigzagDecoder::with_partition(
+        Box::new(QuantizedZigzagDecoder::with_partition_fused(
             Arc::clone(&graph),
             QCheckArithmetic::lut(Quantizer::paper_6bit()),
             base,
-            partition,
+            partition.clone(),
         )),
     ));
+    let simd_lanes = QuantizedZigzagDecoder::with_partition(
+        Arc::clone(&graph),
+        QCheckArithmetic::lut(Quantizer::paper_6bit()),
+        base,
+        partition,
+    );
+    let quantized_simd_tier =
+        simd_lanes.simd_tier().expect("the 360-lane hardware partition must be SIMD-plan eligible");
+    variants.push(("quantized_partitioned_simd", Box::new(simd_lanes)));
 
     let rows = measure_all(&mut variants, &frame.llrs, n, k, rounds, frames_per_window);
 
@@ -375,6 +385,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let speedup_table_vs_pr4 = mbps("flooding_table_sum_product_f32") / PR4_SUM_PRODUCT_F32_MBPS;
     let speedup_fused_vs_indirect =
         mbps("quantized_partitioned_fused") / mbps("quantized_partitioned_indirect");
+    let speedup_quantized_simd_vs_fused =
+        mbps("quantized_partitioned_simd") / mbps("quantized_partitioned_fused");
     let speedup_batched = tiled_rows[0].coded_mbps / mbps("flooding_min_sum_f32");
     let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
     let tier = SimdTier::resolve(None);
@@ -385,6 +397,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          Mbit/s): {speedup_table_vs_pr4:.2}x"
     );
     println!("speedup (quantized fused vs indirect partition): {speedup_fused_vs_indirect:.2}x");
+    println!(
+        "speedup (quantized {} lanes vs scalar fused): {speedup_quantized_simd_vs_fused:.2}x",
+        quantized_simd_tier.name()
+    );
     println!(
         "speedup (tiled batched x{BATCH}, 1 thread, vs single-frame min-sum f32): \
          {speedup_batched:.2}x"
@@ -413,6 +429,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     json.push_str(&format!("  \"speedup_sum_product_vs_pr4\": {speedup_table_vs_pr4:.3},\n"));
     json.push_str(&format!(
         "  \"speedup_quantized_fused_vs_indirect\": {speedup_fused_vs_indirect:.3},\n"
+    ));
+    json.push_str(&format!("  \"quantized_simd_tier\": \"{}\",\n", quantized_simd_tier.name()));
+    json.push_str(&format!(
+        "  \"speedup_quantized_simd_vs_fused\": {speedup_quantized_simd_vs_fused:.3},\n"
     ));
     json.push_str(&format!(
         "  \"cpu\": {{\"cores\": {cores}, \"single_vcpu\": {}, \"dispatch_tier\": \"{}\", \
@@ -452,5 +472,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_decoder.json");
     std::fs::write(out_path, &json)?;
     println!("wrote {out_path}");
+
+    // Regression gate: the SIMD lane planes must never lose to the scalar
+    // fused sweep they are dispatched above. (The ≥3x target is a release
+    // goal on AVX-512 hosts; the CI floor is monotonicity, so a 1-vCPU
+    // scalar-only runner still gates honestly.)
+    if speedup_quantized_simd_vs_fused < 1.0 {
+        eprintln!(
+            "FAIL: quantized_partitioned_simd ({:.3}x) is slower than the scalar fused sweep",
+            speedup_quantized_simd_vs_fused
+        );
+        std::process::exit(1);
+    }
     Ok(())
 }

@@ -7,8 +7,15 @@
 //!
 //! Exits non-zero when any contract is violated.
 
+use dvbs2::decoder::SimdTier;
 use dvbs2::ldpc::{CodeRate, FrameSize};
 use dvbs2::oracle::{self, CaseSpec, OracleConfig};
+
+/// The SIMD dispatch tiers the sweeps fan the quantized lane path across
+/// on this host, e.g. `"scalar+avx2+avx512"`.
+fn tier_names() -> String {
+    SimdTier::available().iter().map(|t| t.name()).collect::<Vec<_>>().join("+")
+}
 
 struct Args {
     cases: u64,
@@ -137,7 +144,11 @@ fn main() {
         };
         let fr = oracle::run_fault_differential(&fault_config);
         if fr.clean() {
-            println!("fault differential: PASS ({} faulted cases, bit-exact)", fr.cases);
+            println!(
+                "fault differential: PASS ({} faulted cases, bit-exact; sw lane tiers {})",
+                fr.cases,
+                tier_names()
+            );
         } else {
             failed = true;
             println!("fault differential: FAIL ({} violations)", fr.violations.len());
@@ -183,10 +194,12 @@ fn main() {
         let pr = oracle::run_partition_sweep(args.seed, args.threads);
         if pr.clean() {
             println!(
-                "partition sweep: PASS ({} cases across {} rates x {} frame sizes, bit-exact)",
+                "partition sweep: PASS ({} cases across {} rates x {} frame sizes, \
+                 bit-exact at tiers {})",
                 pr.cases,
                 pr.rates_covered.len(),
-                pr.frames_covered.len()
+                pr.frames_covered.len(),
+                tier_names()
             );
         } else {
             failed = true;

@@ -18,13 +18,17 @@
 //! Run: `cargo run --release -p dvbs2-bench --bin fabric_scaling [--quick]`
 //! (`--quick` trims the point list and batch size for CI.)
 
+use dvbs2::decoder::{DecoderConfig, QCheckArithmetic, QuantizedZigzagDecoder, Quantizer};
 use dvbs2::hardware::{
-    Arbitration, CoreConfig, DecoderFabric, FabricConfig, FabricModel, ST_0_13_UM,
+    hw_chain_partition, Arbitration, CnSchedule, ConnectivityRom, CoreConfig, DecoderFabric,
+    FabricConfig, FabricModel, ST_0_13_UM,
 };
 use dvbs2::ldpc::{CodeRate, DvbS2Code, FrameSize};
 use dvbs2::{Dvbs2System, SystemConfig};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Instant;
 
 const CORES: [usize; 5] = [1, 2, 4, 8, 16];
 /// Accept up to this much relative error between the extended Eq. 8
@@ -220,11 +224,62 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ));
     }
 
+    // Software lane-path reference: the differential sweeps that verify
+    // this fabric bit-exact now run the quantized datapath through the
+    // sub-chain-major SIMD planes. Measure that kernel's per-iteration
+    // cost on the reference point (R 1/2 Normal, the same partition the
+    // oracle pins against the golden model) and record it next to the
+    // hardware calibration, so the model context names the software that
+    // cross-checked it and sweep-turnaround changes stay visible across
+    // kernel swaps.
+    let ref_code = DvbS2Code::new(CodeRate::R1_2, FrameSize::Normal)?;
+    let ref_graph = Arc::new(ref_code.tanner_graph());
+    let ref_rom = ConnectivityRom::build(ref_code.params(), ref_code.table());
+    let ref_schedule = CnSchedule::natural(&ref_rom);
+    let ref_partition = hw_chain_partition(&ref_rom, &ref_schedule, &ref_graph);
+    let sw_iterations = 30usize;
+    let mut sw = QuantizedZigzagDecoder::with_partition(
+        Arc::clone(&ref_graph),
+        QCheckArithmetic::lut(Quantizer::paper_6bit()),
+        DecoderConfig::default().with_max_iterations(sw_iterations).with_early_stop(false),
+        ref_partition,
+    );
+    let sw_tier = sw.simd_tier().map_or("fused-scalar", |t| t.name());
+    let ref_sys = Dvbs2System::new(SystemConfig {
+        rate: CodeRate::R1_2,
+        frame: FrameSize::Normal,
+        ..SystemConfig::default()
+    })?;
+    let mut ref_rng = SmallRng::seed_from_u64(0x51D0);
+    let ref_channel = sw.quantize_channel(&ref_sys.transmit_frame(&mut ref_rng, 2.0).llrs);
+    let sw_reps = if quick { 2 } else { 4 };
+    let mut sw_best = f64::INFINITY;
+    for _ in 0..sw_reps {
+        let t = Instant::now();
+        std::hint::black_box(sw.decode_quantized(std::hint::black_box(&ref_channel)));
+        sw_best = sw_best.min(t.elapsed().as_secs_f64());
+    }
+    let sw_frame_ms = sw_best * 1e3;
+    let sw_per_iteration_us = sw_best / sw_iterations as f64 * 1e6;
+    let sw_info_mbps = ref_code.params().k as f64 / sw_best / 1e6;
+    println!(
+        "\nsw lane reference (R 1/2 Normal, {sw_iterations} fixed iterations, tier {sw_tier}): \
+         {sw_frame_ms:.2} ms/frame, {sw_per_iteration_us:.1} us/iteration, \
+         {sw_info_mbps:.2} Mbit/s info"
+    );
+
     let mut json = String::from("{\n");
     json.push_str(&format!(
         "  \"bench\": \"fabric_scaling\", \"quick\": {quick}, \"clock_mhz\": {clock}, \
-         \"iterations\": {iterations}, \"link_latency\": 2,\n  \"rows\": [\n"
+         \"iterations\": {iterations}, \"link_latency\": 2,\n"
     ));
+    json.push_str(&format!(
+        "  \"sw_lane_reference\": {{\"rate\": \"1/2\", \"frame\": \"Normal\", \
+         \"tier\": \"{sw_tier}\", \"iterations\": {sw_iterations}, \
+         \"frame_ms\": {sw_frame_ms:.3}, \"per_iteration_us\": {sw_per_iteration_us:.2}, \
+         \"info_mbps\": {sw_info_mbps:.3}}},\n"
+    ));
+    json.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"rate\": \"{}\", \"frame\": \"{:?}\", \"cores\": {}, \"frames\": {}, \

@@ -43,6 +43,7 @@ mod flooding;
 mod layered;
 mod llr_ops;
 mod qdecoder;
+mod qsimd;
 mod quant;
 mod simd;
 mod stopping;

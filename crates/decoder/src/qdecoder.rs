@@ -10,7 +10,9 @@
 
 #![allow(clippy::needless_range_loop)] // one index drives several parallel slices
 
+use crate::qsimd::SimdQuant;
 use crate::quant::{QBoxplus, QCheckArithmetic, Quantizer};
+use crate::simd::SimdTier;
 use crate::stopping::{hard_decisions_int, hard_decisions_int_into, syndrome_ok};
 use crate::{DecodeResult, Decoder, DecoderConfig};
 use dvbs2_ldpc::{BitVec, TannerGraph};
@@ -192,6 +194,10 @@ pub struct QuantizedZigzagDecoder {
     /// sequential mode, or the reference LUT-indirection sweep from
     /// [`QuantizedZigzagDecoder::with_partition_indirect`]).
     fused: Option<FusedPlan>,
+    /// Sub-chain-major SIMD lane plan (`None` = scalar paths only; built by
+    /// [`QuantizedZigzagDecoder::with_partition`] when the partition and
+    /// arithmetic are lane-expressible).
+    simd: Option<Box<SimdQuant>>,
     v2c: Vec<i32>,
     c2v: Vec<i32>,
     backward: Vec<i32>,
@@ -248,6 +254,7 @@ impl QuantizedZigzagDecoder {
             early_stop: config.early_stop,
             partition: None,
             fused: None,
+            simd: None,
             v2c: vec![0; edges],
             c2v: vec![0; edges],
             backward: vec![0; n_check],
@@ -270,20 +277,53 @@ impl QuantizedZigzagDecoder {
     /// and a partition from `dvbs2_hardware::hw_chain_partition`, decode
     /// results are bit-exact against the hardware `GoldenModel`.
     ///
-    /// The partition is **fused at construction time**: the per-check
-    /// permutation is baked into dedicated message planes laid out in sweep
-    /// traversal order (see `FusedPlan`), so the hot loops carry no
-    /// per-edge order LUT. The decode results are bit-identical to the
-    /// reference LUT-indirection sweep, which remains available through
+    /// This is the hot path: the sub-chains are mapped onto SIMD lanes
+    /// (sub-chain-major SoA `i16` planes, the software image of the paper's
+    /// M = 360 functional-unit array) with scalar/AVX2/AVX-512 clones
+    /// dispatched per `config.simd` / `DVBS2_SIMD` — see
+    /// [`simd_tier`](Self::simd_tier). Combinations the lanes cannot
+    /// express exactly fall back to the scalar fused sweep of
+    /// [`with_partition_fused`](Self::with_partition_fused); both are
+    /// bit-identical to the reference LUT-indirection sweep of
     /// [`with_partition_indirect`](Self::with_partition_indirect).
     ///
     /// # Panics
     ///
     /// Panics if the graph is not an IRA graph, if `n_check` is not
     /// divisible by `partition.lanes()`, if the partition's edge order is
-    /// not a per-check permutation of the graph's information edges, or if
-    /// the checks do not all have the same information degree.
+    /// not a per-check permutation of the graph's information edges, if
+    /// the checks do not all have the same information degree, or if
+    /// `config.simd` forces a tier this CPU does not support.
     pub fn with_partition(
+        graph: Arc<TannerGraph>,
+        arithmetic: QCheckArithmetic,
+        config: DecoderConfig,
+        partition: ChainPartition,
+    ) -> Self {
+        let tier = SimdTier::resolve(config.simd);
+        let mut dec = Self::with_partition_fused(graph, arithmetic, config, partition);
+        dec.simd = SimdQuant::try_build(
+            &dec.graph,
+            dec.partition.as_ref().unwrap(),
+            &dec.arithmetic,
+            tier,
+        )
+        .map(Box::new);
+        dec
+    }
+
+    /// [`with_partition`](Self::with_partition) pinned to the **scalar
+    /// fused** sweep — no SIMD lane plan is built, every decode runs the
+    /// permutation-baked `FusedPlan` path. This is the differential
+    /// reference the lane kernels are held bit-exact against, and the
+    /// benchmark baseline `speedup_quantized_simd_vs_fused` is measured
+    /// from.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`with_partition`](Self::with_partition), minus the SIMD
+    /// tier resolution (`config.simd` is ignored).
+    pub fn with_partition_fused(
         graph: Arc<TannerGraph>,
         arithmetic: QCheckArithmetic,
         config: DecoderConfig,
@@ -360,6 +400,14 @@ impl QuantizedZigzagDecoder {
         self.partition.as_ref()
     }
 
+    /// The SIMD dispatch tier the lane-parallel check sweep runs, or
+    /// `None` when decodes take a scalar path (sequential mode,
+    /// LUT-indirection mode, [`with_partition_fused`](Self::with_partition_fused),
+    /// or a partition/arithmetic the lanes cannot express exactly).
+    pub fn simd_tier(&self) -> Option<SimdTier> {
+        self.simd.as_ref().map(|s| s.tier())
+    }
+
     /// The message quantizer in use.
     pub fn quantizer(&self) -> &Quantizer {
         self.arithmetic.quantizer()
@@ -385,6 +433,9 @@ impl QuantizedZigzagDecoder {
     ///
     /// Panics if `channel.len() != graph.var_count()`.
     pub fn decode_quantized_into(&mut self, channel: &[i32], out: &mut DecodeResult) {
+        if self.simd.is_some() && self.decode_simd_into(channel, out, None) {
+            return;
+        }
         if self.fused.is_some() {
             self.decode_fused_into(channel, out, None);
         } else {
@@ -411,12 +462,44 @@ impl QuantizedZigzagDecoder {
     ) -> DecodeResult {
         digests.clear();
         let mut out = DecodeResult::default();
+        if self.simd.is_some() && self.decode_simd_into(channel, &mut out, Some(digests)) {
+            return out;
+        }
+        digests.clear();
         if self.fused.is_some() {
             self.decode_fused_into(channel, &mut out, Some(digests));
         } else {
             self.decode_unfused_into(channel, &mut out, Some(digests));
         }
         out
+    }
+
+    /// SIMD lane decode. Returns `false` (state untouched) when the
+    /// channel is not expressible in the i16 lane domain; the caller then
+    /// runs the scalar fused path.
+    fn decode_simd_into(
+        &mut self,
+        channel: &[i32],
+        out: &mut DecodeResult,
+        trace: Option<&mut Vec<u64>>,
+    ) -> bool {
+        let graph = Arc::clone(&self.graph);
+        // The plan is moved out so its `&mut self`-shaped decode can run
+        // against the decoder's shared scratch, then moved back.
+        let mut simd = self.simd.take().expect("SIMD plan present");
+        let ok = simd.decode_into(
+            &graph,
+            &self.arithmetic,
+            self.max_iterations,
+            self.early_stop,
+            channel,
+            &mut self.totals,
+            &mut self.decisions,
+            out,
+            trace,
+        );
+        self.simd = Some(simd);
+        ok
     }
 
     /// Sequential or LUT-indirection-partitioned decode (no fused plan).
@@ -931,23 +1014,25 @@ fn fused_digest(plan: &FusedPlan, c2v: &[i32], forward: &[i32], backward: &[i32]
     h.finish()
 }
 
-/// Minimal FNV-1a 64-bit hasher for the per-iteration message digests.
-struct Fnv(u64);
+/// Minimal FNV-1a 64-bit hasher for the per-iteration message digests
+/// (shared with the SIMD lane path in `qsimd`, whose digests must match
+/// this module's value for value).
+pub(crate) struct Fnv(u64);
 
 impl Fnv {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Fnv(0xcbf2_9ce4_8422_2325)
     }
 
     #[inline]
-    fn write_i32(&mut self, x: i32) {
+    pub(crate) fn write_i32(&mut self, x: i32) {
         for b in x.to_le_bytes() {
             self.0 ^= b as u64;
             self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
         }
     }
 
-    fn finish(&self) -> u64 {
+    pub(crate) fn finish(&self) -> u64 {
         self.0
     }
 }

@@ -1,0 +1,944 @@
+//! 360-lane SIMD functional-unit planes for the quantized datapath.
+//!
+//! The paper's architecture decodes each check row with M = 360 parallel
+//! functional units working the 360 parity sub-chains in lockstep. The
+//! fused scalar path (`QuantizedZigzagDecoder::with_partition_fused`)
+//! reproduces that datapath check-by-check; this module reproduces its
+//! *parallelism*: the planes are transposed **sub-chain-major** so that the
+//! 360 FUs of one schedule row become 360 adjacent `i16` SIMD lanes, and
+//! one vector op advances every sub-chain by one message — exactly the
+//! hardware's row-lockstep, expressed as data parallelism.
+//!
+//! # Layout
+//!
+//! The fused plan stores check `c` (lane `u = c / q_rows`, residue row
+//! `r = c % q_rows`) as a contiguous `stride`-long row at
+//! `((r * lanes + u) * stride)`. Here the same messages live at
+//!
+//! ```text
+//! slot(c, i) = (r * stride + i) * lanes + u
+//! ```
+//!
+//! so position `i` of residue row `r` is a dense `[i16; lanes]` vector
+//! across all sub-chains — a structure-of-arrays transpose of the fused
+//! layout with identical total size. The forward/backward chain state and
+//! the parity channel are transposed the same way (`fwd[r * lanes + u]`),
+//! which turns every chain coupling of the sweep into a contiguous vector
+//! copy:
+//!
+//! * the **left** parity input of row `r > 0` is `pchan[r-1] ⊞ fwd_regs`,
+//!   lane-aligned; at `r == 0` the sub-chain boundary shifts the read one
+//!   lane down (lane `u` continues lane `u - 1`'s chain segment);
+//! * the **backward** output of row `r > 0` lands at row `r - 1` as one
+//!   contiguous copy; at `r == 0` it lands at row `q_rows - 1` shifted one
+//!   lane, reproducing the hardware's "one iteration fresher" backward
+//!   boundary. The very last check's backward slot
+//!   (`bwd[(q_rows-1)*lanes + lanes-1]`) is never written and stays zero,
+//!   so the uniform `pchan ⊞ bwd` right-input vector needs no end-of-chain
+//!   special case.
+//!
+//! Check 0 (row 0, lane 0) has no left parity input; the vector kernel
+//! runs it with a zero placeholder and a scalar fix-up recomputes its row
+//! with [`QCheckArithmetic::extrinsic`] — the same function the fused path
+//! calls for that check — before write-back reads it.
+//!
+//! # Bit-exactness
+//!
+//! Every kernel computes the *same dataflow* as its scalar counterpart —
+//! same combine association order for the LUT rule, same first-strict-min
+//! / second-min recurrence for min-sum, integer adds reassociated only
+//! where addition is exactly commutative — so results are bit-identical to
+//! the fused path (and therefore to `GoldenModel`) by determinism, not by
+//! tolerance. The LUT correction gather is replaced by a threshold
+//! decomposition ([`QBoxplus::corr_thresholds`]) that is *verified* against
+//! the table at construction; any arithmetic the lanes cannot express
+//! exactly (≥ 16-bit quantizers, non-decomposable tables, `q_rows < 2`)
+//! falls back to the scalar fused path.
+//!
+//! The scalar/AVX2/AVX-512 `#[target_feature]` clones follow the
+//! `tile.rs` dispatch pattern; the AVX-512 clone additionally enables
+//! AVX-512BW/VL (512-bit `i16` ops) and is only selected when the CPU
+//! reports them, else the AVX2 clone runs — bit-identical either way.
+
+use crate::qdecoder::{ChainPartition, Fnv};
+use crate::quant::QCheckArithmetic;
+use crate::simd::SimdTier;
+use crate::stopping::{hard_decisions_int_into, syndrome_ok};
+use crate::DecodeResult;
+use dvbs2_ldpc::{BitVec, TannerGraph};
+
+/// Correction-step thresholds the gather-free LUT kernel carries. The
+/// table contributes `round(ln 2 / step)` thresholds; every configuration
+/// with a step coarse enough for real quantizers fits (the paper's 6-bit
+/// table needs 3). Larger tables fall back to the scalar fused path.
+const MAX_CORR_THRESHOLDS: usize = 4;
+
+/// Lane-parallel check-node arithmetic, specialized at construction.
+#[derive(Debug, Clone)]
+enum LaneKernel {
+    /// Threshold-decomposed correction LUT: `corr(z) = Σ [z <= t]` over the
+    /// (construction-verified) thresholds; unused slots hold `-1`, which no
+    /// `z >= 0` satisfies.
+    Lut { thresholds: [i16; MAX_CORR_THRESHOLDS] },
+    /// Shift-based normalized min-sum.
+    MinSum { shift: u32 },
+}
+
+/// Sub-chain-major SoA plan + state for the SIMD quantized decode.
+///
+/// Built by [`SimdQuant::try_build`] when the partition/arithmetic pair is
+/// lane-expressible; owned by `QuantizedZigzagDecoder` alongside (not
+/// instead of) the scalar `FusedPlan`, which remains the fallback and the
+/// differential reference.
+#[derive(Debug, Clone)]
+pub(crate) struct SimdQuant {
+    tier: SimdTier,
+    lanes: usize,
+    q_rows: usize,
+    stride: usize,
+    info_d: usize,
+    max_mag: i16,
+    kernel: LaneKernel,
+    /// Per-variable absolute plane slots (variable-major, graph edge
+    /// order) — the generic variable-node fallback for synthetic edge
+    /// orders that are not lane rotations.
+    var_slots: Vec<u32>,
+    /// Rotation-structured variable-node plan: real DVB-S2 codes are
+    /// quasi-cyclic with lifting 360, so the `lanes` variables of one
+    /// (row, position) plane vector are one 360-block rotated by a
+    /// constant offset. Verified against the graph at build time.
+    rot: Option<Vec<RotEntry>>,
+    // --- i16 message state, all lane-major ---
+    v2c: Vec<i16>,
+    c2v: Vec<i16>,
+    fwd: Vec<i16>,
+    bwd: Vec<i16>,
+    fwd_regs: Vec<i16>,
+    boundary: Vec<i16>,
+    /// Parity channel transposed to `pchan[r * lanes + u]`, saturated into
+    /// the lane domain (decode falls back if any value is out of range).
+    pchan: Vec<i16>,
+    // --- lane-wide kernel scratch (LUT prefix / min-sum state) ---
+    scr1: Vec<i16>,
+    scr2: Vec<i16>,
+    scr3: Vec<i16>,
+    scr4: Vec<i16>,
+    // --- check-0 scalar fix-up scratch ---
+    fix_in: Vec<i32>,
+    fix_out: Vec<i32>,
+}
+
+/// One (row, position) plane vector of the rotation VN plan: the `lanes`
+/// messages at plane offset `base` belong to variables
+/// `block + (u + off) % lanes`.
+#[derive(Debug, Clone, Copy)]
+struct RotEntry {
+    base: u32,
+    block: u32,
+    off: u32,
+}
+
+impl SimdQuant {
+    /// Builds the lane plan for a graph/partition/arithmetic triple, or
+    /// returns `None` when the combination is not exactly expressible in
+    /// saturating `i16` lanes (the caller keeps the scalar fused path).
+    ///
+    /// Assumes the partition has already been validated by
+    /// `QuantizedZigzagDecoder::with_partition` (divisibility, permutation,
+    /// uniform information degree).
+    pub(crate) fn try_build(
+        graph: &TannerGraph,
+        partition: &ChainPartition,
+        arithmetic: &QCheckArithmetic,
+        tier: SimdTier,
+    ) -> Option<SimdQuant> {
+        let n_check = graph.check_count();
+        let k = graph.info_len();
+        let lanes = partition.lanes();
+        let q_rows = n_check / lanes;
+        // Row 0's shifted backward writes must land in a *different*
+        // residue row than the one being read, which needs at least two
+        // rows per sub-chain (every real rate point has >= 5).
+        if q_rows < 2 {
+            return None;
+        }
+        let max_mag_wide = arithmetic.quantizer().max_mag();
+        // The combine kernel forms |a ± b| in i16, so 2·max_mag must fit.
+        if 2 * max_mag_wide > i16::MAX as i32 {
+            return None;
+        }
+        let max_mag = max_mag_wide as i16;
+        let kernel = match arithmetic {
+            QCheckArithmetic::Lut(bp) => {
+                let th = bp.corr_thresholds()?;
+                if th.len() > MAX_CORR_THRESHOLDS {
+                    return None;
+                }
+                let mut thresholds = [-1i16; MAX_CORR_THRESHOLDS];
+                for (slot, &t) in thresholds.iter_mut().zip(&th) {
+                    // Thresholds live on the reachable index range
+                    // |a ± b| <= 2·max_mag, which fits i16 per the gate
+                    // above.
+                    *slot = t as i16;
+                }
+                LaneKernel::Lut { thresholds }
+            }
+            QCheckArithmetic::MinSumShift { shift, .. } => LaneKernel::MinSum { shift: *shift },
+        };
+        let info_d = graph.check_edges(0).len() - 1;
+        let stride = info_d + 2;
+
+        // Bake the schedule permutation into the lane-major slot map, then
+        // flatten it variable-major for the VN side — the same two steps as
+        // `FusedPlan::build`, differing only in the slot formula.
+        let order = partition.edge_order();
+        let mut edge_slot = vec![u32::MAX; graph.edge_count()];
+        for c in 0..n_check {
+            let (u, r) = (c / q_rows, c % q_rows);
+            let start = graph.check_edges(c).start;
+            for i in 0..info_d {
+                let e = match order {
+                    Some(ord) => start + ord[c * info_d + i] as usize,
+                    None => start + i,
+                };
+                edge_slot[e] = ((r * stride + i) * lanes + u) as u32;
+            }
+        }
+        let mut var_slots = Vec::with_capacity(n_check * info_d);
+        for v in 0..k {
+            for &e in graph.var_edges(v) {
+                let slot = edge_slot[e as usize];
+                debug_assert_ne!(slot, u32::MAX, "information edge missing from lane layout");
+                var_slots.push(slot);
+            }
+        }
+        let rot = build_rotation(graph, &edge_slot, lanes, q_rows, stride, info_d);
+
+        let plane = q_rows * stride * lanes;
+        Some(SimdQuant {
+            tier,
+            lanes,
+            q_rows,
+            stride,
+            info_d,
+            max_mag,
+            kernel,
+            var_slots,
+            rot,
+            v2c: vec![0; plane],
+            c2v: vec![0; plane],
+            fwd: vec![0; n_check],
+            bwd: vec![0; n_check],
+            fwd_regs: vec![0; lanes],
+            boundary: vec![0; lanes],
+            pchan: vec![0; n_check],
+            scr1: vec![0; lanes],
+            scr2: vec![0; lanes],
+            scr3: vec![0; lanes],
+            scr4: vec![0; lanes],
+            fix_in: vec![0; stride],
+            fix_out: vec![0; stride],
+        })
+    }
+
+    /// The dispatch tier this plan runs.
+    pub(crate) fn tier(&self) -> SimdTier {
+        self.tier
+    }
+
+    /// Lane-parallel decode, mirroring `decode_fused_into` step for step
+    /// (same early-stop placement, same iteration accounting, same digest
+    /// points). Returns `false` — with the decoder state untouched — when
+    /// the channel's parity values exceed the quantizer rail, in which case
+    /// the caller must run the scalar fused path (whose wide sat-adds
+    /// handle out-of-range inputs).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn decode_into(
+        &mut self,
+        graph: &TannerGraph,
+        arithmetic: &QCheckArithmetic,
+        max_iterations: usize,
+        early_stop: bool,
+        channel: &[i32],
+        totals: &mut [i32],
+        decisions: &mut BitVec,
+        out: &mut DecodeResult,
+        mut trace: Option<&mut Vec<u64>>,
+    ) -> bool {
+        assert_eq!(channel.len(), graph.var_count(), "LLR length mismatch");
+        let k = graph.info_len();
+        let (lanes, q_rows) = (self.lanes, self.q_rows);
+        let max_mag = self.max_mag;
+        if channel[k..].iter().any(|&x| x.unsigned_abs() > max_mag as u32) {
+            return false;
+        }
+
+        // Transpose the parity channel lane-major once per decode.
+        for u in 0..lanes {
+            let col = &channel[k + u * q_rows..k + (u + 1) * q_rows];
+            for (r, &x) in col.iter().enumerate() {
+                self.pchan[r * lanes + u] = x as i16;
+            }
+        }
+        self.c2v.fill(0);
+        self.bwd.fill(0);
+        self.boundary.fill(0);
+        let mut iterations = 0;
+        let mut converged = false;
+
+        for it in 0..max_iterations {
+            // Fused totals + variable-node pass (identical values to the
+            // scalar fused pass: integer addition is order-independent).
+            self.vn_pass(graph, channel, k, totals);
+            if early_stop && it > 0 {
+                self.parity_totals(channel, k, totals);
+                hard_decisions_int_into(totals, decisions);
+                if syndrome_ok(graph, decisions) {
+                    converged = true;
+                    break;
+                }
+            }
+            iterations += 1;
+
+            check_sweep_tier(
+                self.tier,
+                lanes,
+                q_rows,
+                self.stride,
+                self.info_d,
+                max_mag,
+                &self.kernel,
+                arithmetic,
+                &self.pchan,
+                &mut self.v2c,
+                &mut self.c2v,
+                &mut self.fwd,
+                &mut self.bwd,
+                &mut self.fwd_regs,
+                &mut self.boundary,
+                &mut self.scr1,
+                &mut self.scr2,
+                &mut self.scr3,
+                &mut self.scr4,
+                &mut self.fix_in,
+                &mut self.fix_out,
+            );
+            if let Some(digests) = trace.as_deref_mut() {
+                digests.push(self.digest());
+            }
+        }
+
+        if !converged {
+            // The loop ended right after a sweep: fold it into the totals.
+            self.vn_pass(graph, channel, k, totals);
+            self.parity_totals(channel, k, totals);
+        }
+        if out.bits.len() != totals.len() {
+            out.bits = BitVec::zeros(totals.len());
+        }
+        hard_decisions_int_into(totals, &mut out.bits);
+        if !converged {
+            converged = syndrome_ok(graph, &out.bits);
+        }
+        out.iterations = iterations;
+        out.converged = converged;
+        true
+    }
+
+    /// Totals + saturated v2c for the information side, dispatched through
+    /// the rotation plan when the graph's QC structure allows.
+    fn vn_pass(&mut self, graph: &TannerGraph, channel: &[i32], k: usize, totals: &mut [i32]) {
+        match &self.rot {
+            Some(rot) => vn_pass_rot_tier(
+                self.tier,
+                rot,
+                self.lanes,
+                self.max_mag,
+                channel,
+                k,
+                &self.c2v,
+                &mut self.v2c,
+                totals,
+            ),
+            None => vn_pass_generic(
+                graph,
+                &self.var_slots,
+                self.max_mag,
+                channel,
+                &self.c2v,
+                &mut self.v2c,
+                totals,
+            ),
+        }
+    }
+
+    /// Parity-side totals from the lane-major chain state. The last
+    /// check's backward slot is pinned zero, standing in for the scalar
+    /// path's end-of-chain conditional.
+    fn parity_totals(&self, channel: &[i32], k: usize, totals: &mut [i32]) {
+        let (lanes, q_rows) = (self.lanes, self.q_rows);
+        for u in 0..lanes {
+            for r in 0..q_rows {
+                let j = u * q_rows + r;
+                let s = r * lanes + u;
+                totals[k + j] = channel[k + j] + self.fwd[s] as i32 + self.bwd[s] as i32;
+            }
+        }
+    }
+
+    /// Canonical message digest — value-for-value the stream of
+    /// `fused_digest` / `unfused_digest`: per check (check order) the
+    /// information c2v messages in hardware input order, then the forward,
+    /// then the backward chain messages.
+    fn digest(&self) -> u64 {
+        let (lanes, q_rows, stride, info_d) = (self.lanes, self.q_rows, self.stride, self.info_d);
+        let mut h = Fnv::new();
+        for c in 0..lanes * q_rows {
+            let base = (c % q_rows) * stride * lanes + c / q_rows;
+            for i in 0..info_d {
+                h.write_i32(self.c2v[base + i * lanes] as i32);
+            }
+        }
+        for c in 0..lanes * q_rows {
+            h.write_i32(self.fwd[(c % q_rows) * lanes + c / q_rows] as i32);
+        }
+        for c in 0..lanes * q_rows {
+            h.write_i32(self.bwd[(c % q_rows) * lanes + c / q_rows] as i32);
+        }
+        h.finish()
+    }
+}
+
+/// Detects the quasi-cyclic rotation structure of every (row, position)
+/// plane vector: real hardware partitions map the 360 lanes of a position
+/// onto one 360-variable block rotated by the schedule shift. Synthetic
+/// edge orders (tests) that break the pattern get `None` and take the
+/// variable-major generic pass instead.
+fn build_rotation(
+    graph: &TannerGraph,
+    edge_slot: &[u32],
+    lanes: usize,
+    q_rows: usize,
+    stride: usize,
+    info_d: usize,
+) -> Option<Vec<RotEntry>> {
+    let k = graph.info_len();
+    let mut slot_var = vec![u32::MAX; q_rows * stride * lanes];
+    for c in 0..graph.check_count() {
+        let range = graph.check_edges(c);
+        for e in range.start..range.start + info_d {
+            slot_var[edge_slot[e] as usize] = graph.var_of_edge(e) as u32;
+        }
+    }
+    let mut rot = Vec::with_capacity(q_rows * info_d);
+    for r in 0..q_rows {
+        for i in 0..info_d {
+            let base = (r * stride + i) * lanes;
+            let v0 = slot_var[base] as usize;
+            if v0 >= k {
+                return None;
+            }
+            let off = v0 % lanes;
+            let block = v0 - off;
+            if block + lanes > k {
+                return None;
+            }
+            for u in 0..lanes {
+                if slot_var[base + u] as usize != block + (u + off) % lanes {
+                    return None;
+                }
+            }
+            rot.push(RotEntry { base: base as u32, block: block as u32, off: off as u32 });
+        }
+    }
+    Some(rot)
+}
+
+/// Saturating add in the quantizer's lane domain (sums fit i16 for every
+/// eligible `max_mag`).
+#[inline(always)]
+fn sat_add_i16(a: i16, b: i16, max_mag: i16) -> i16 {
+    (a + b).clamp(-max_mag, max_mag)
+}
+
+/// One lane-wide boxplus combine via the threshold-decomposed correction:
+/// bit-identical to `QBoxplus::combine` (same branchless sign/magnitude
+/// fold; `corr[zp] - corr[zm]` becomes a handful of broadcast compares).
+#[inline(always)]
+fn combine_one(x: i16, y: i16, th: [i16; MAX_CORR_THRESHOLDS], max_mag: i16) -> i16 {
+    let sign: i16 = if (x ^ y) < 0 { -1 } else { 1 };
+    let mag = x.abs().min(y.abs());
+    let zp = (x + y).abs();
+    let zm = (x - y).abs();
+    let mut c = 0i16;
+    for &t in &th {
+        c += (zp <= t) as i16 - (zm <= t) as i16;
+    }
+    sign * (mag + sign * c).clamp(0, max_mag)
+}
+
+#[inline(always)]
+fn lane_combine(
+    a: &[i16],
+    b: &[i16],
+    out: &mut [i16],
+    th: [i16; MAX_CORR_THRESHOLDS],
+    max_mag: i16,
+) {
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = combine_one(x, y, th, max_mag);
+    }
+}
+
+#[inline(always)]
+fn lane_combine_acc(acc: &mut [i16], b: &[i16], th: [i16; MAX_CORR_THRESHOLDS], max_mag: i16) {
+    for (a, &y) in acc.iter_mut().zip(b) {
+        *a = combine_one(*a, y, th, max_mag);
+    }
+}
+
+/// LUT extrinsic over one residue row: `d` lane vectors, suffix sweep then
+/// prefix sweep with exactly `QBoxplus::extrinsic`'s association order per
+/// lane (`combine` is a pure function, so identical dataflow means
+/// identical values regardless of lane organization).
+#[inline(always)]
+fn lane_lut_extrinsic(
+    v2c: &[i16],
+    c2v: &mut [i16],
+    lanes: usize,
+    d: usize,
+    th: [i16; MAX_CORR_THRESHOLDS],
+    max_mag: i16,
+    prefix: &mut [i16],
+) {
+    c2v[(d - 1) * lanes..d * lanes].copy_from_slice(&v2c[(d - 1) * lanes..d * lanes]);
+    for i in (1..d - 1).rev() {
+        let (head, tail) = c2v.split_at_mut((i + 1) * lanes);
+        lane_combine(
+            &v2c[i * lanes..(i + 1) * lanes],
+            &tail[..lanes],
+            &mut head[i * lanes..],
+            th,
+            max_mag,
+        );
+    }
+    prefix.copy_from_slice(&v2c[..lanes]);
+    {
+        let (head, tail) = c2v.split_at_mut(lanes);
+        head.copy_from_slice(&tail[..lanes]);
+    }
+    for i in 1..d - 1 {
+        let (head, tail) = c2v.split_at_mut((i + 1) * lanes);
+        lane_combine(prefix, &tail[..lanes], &mut head[i * lanes..], th, max_mag);
+        lane_combine_acc(prefix, &v2c[i * lanes..(i + 1) * lanes], th, max_mag);
+    }
+    c2v[(d - 1) * lanes..d * lanes].copy_from_slice(prefix);
+}
+
+/// Min-sum extrinsic over one residue row: per-lane two-minima recurrence
+/// with the scalar rule's first-strict-min index semantics and
+/// negative-sign parity, then the subtract-shifted-self normalization.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn lane_min_sum_extrinsic(
+    v2c: &[i16],
+    c2v: &mut [i16],
+    lanes: usize,
+    d: usize,
+    shift: u32,
+    min1: &mut [i16],
+    min2: &mut [i16],
+    min_col: &mut [i16],
+    neg_par: &mut [i16],
+) {
+    for (u, &x) in v2c[..lanes].iter().enumerate() {
+        min1[u] = x.abs();
+        min2[u] = i16::MAX;
+        min_col[u] = 0;
+        neg_par[u] = (x < 0) as i16;
+    }
+    for i in 1..d {
+        let col = &v2c[i * lanes..(i + 1) * lanes];
+        let ii = i as i16;
+        for (u, &x) in col.iter().enumerate() {
+            let mag = x.abs();
+            let smaller = mag < min1[u];
+            min2[u] = min2[u].min(min1[u].max(mag));
+            min_col[u] = if smaller { ii } else { min_col[u] };
+            min1[u] = min1[u].min(mag);
+            neg_par[u] ^= (x < 0) as i16;
+        }
+    }
+    for i in 0..d {
+        let ii = i as i16;
+        let vcol = &v2c[i * lanes..(i + 1) * lanes];
+        let ocol = &mut c2v[i * lanes..(i + 1) * lanes];
+        for (u, (o, &x)) in ocol.iter_mut().zip(vcol).enumerate() {
+            let mag = if min_col[u] == ii { min2[u] } else { min1[u] };
+            let norm = mag - (mag >> shift);
+            *o = if (neg_par[u] ^ (x < 0) as i16) != 0 { -norm } else { norm };
+        }
+    }
+}
+
+/// Rotation-structured variable-node pass: totals (i32, overflow-safe for
+/// any degree) then saturated v2c, each (row, position) vector as two
+/// contiguous slices split at the rotation seam.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn vn_pass_rot(
+    rot: &[RotEntry],
+    lanes: usize,
+    max_mag: i16,
+    channel: &[i32],
+    k: usize,
+    c2v: &[i16],
+    v2c: &mut [i16],
+    totals: &mut [i32],
+) {
+    totals[..k].copy_from_slice(&channel[..k]);
+    for e in rot {
+        let (base, block, off) = (e.base as usize, e.block as usize, e.off as usize);
+        let split = lanes - off;
+        let src = &c2v[base..base + lanes];
+        let dst = &mut totals[block..block + lanes];
+        for (d, &s) in dst[off..].iter_mut().zip(&src[..split]) {
+            *d += s as i32;
+        }
+        for (d, &s) in dst[..off].iter_mut().zip(&src[split..]) {
+            *d += s as i32;
+        }
+    }
+    let (lo, hi) = (-(max_mag as i32), max_mag as i32);
+    for e in rot {
+        let (base, block, off) = (e.base as usize, e.block as usize, e.off as usize);
+        let split = lanes - off;
+        let t = &totals[block..block + lanes];
+        let c = &c2v[base..base + lanes];
+        let v = &mut v2c[base..base + lanes];
+        for u in 0..split {
+            v[u] = (t[off + u] - c[u] as i32).clamp(lo, hi) as i16;
+        }
+        for u in 0..off {
+            v[split + u] = (t[u] - c[split + u] as i32).clamp(lo, hi) as i16;
+        }
+    }
+}
+
+/// Variable-major VN pass for non-rotation (synthetic) slot maps — the
+/// fused pass's walk over `var_slots`, in the i16 lane domain.
+fn vn_pass_generic(
+    graph: &TannerGraph,
+    var_slots: &[u32],
+    max_mag: i16,
+    channel: &[i32],
+    c2v: &[i16],
+    v2c: &mut [i16],
+    totals: &mut [i32],
+) {
+    let (lo, hi) = (-(max_mag as i32), max_mag as i32);
+    let mut pos = 0usize;
+    for v in 0..graph.info_len() {
+        let n_e = graph.var_edges(v).len();
+        let slots = &var_slots[pos..pos + n_e];
+        let mut sum = 0i32;
+        for &s in slots {
+            sum += c2v[s as usize] as i32;
+        }
+        let total = channel[v] + sum;
+        totals[v] = total;
+        for &s in slots {
+            let s = s as usize;
+            v2c[s] = (total - c2v[s] as i32).clamp(lo, hi) as i16;
+        }
+        pos += n_e;
+    }
+}
+
+/// Lane-major check sweep: per residue row, phase 1 builds the parity-chain
+/// input vectors, phase 2 runs the lane extrinsic kernel, phase 3 copies
+/// the chain outputs forward/backward. Phasing whole rows is exact: within
+/// a row every read targets row `r` state while every write targets row
+/// `r - 1` (or, at `r == 0`, row `q_rows - 1` shifted one lane), so no
+/// value is consumed in the sweep order the scalar path wouldn't produce.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn check_sweep(
+    lanes: usize,
+    q_rows: usize,
+    stride: usize,
+    info_d: usize,
+    max_mag: i16,
+    kernel: &LaneKernel,
+    arithmetic: &QCheckArithmetic,
+    pchan: &[i16],
+    v2c: &mut [i16],
+    c2v: &mut [i16],
+    fwd: &mut [i16],
+    bwd: &mut [i16],
+    fwd_regs: &mut [i16],
+    boundary: &mut [i16],
+    scr1: &mut [i16],
+    scr2: &mut [i16],
+    scr3: &mut [i16],
+    scr4: &mut [i16],
+    fix_in: &mut [i32],
+    fix_out: &mut [i32],
+) {
+    fwd_regs.copy_from_slice(boundary);
+    for r in 0..q_rows {
+        let row = r * stride * lanes;
+        let vl = row + info_d * lanes;
+        let vr = vl + lanes;
+        // Right parity inputs: uniform across all lanes (the global last
+        // check's backward slot is pinned zero).
+        {
+            let pc = &pchan[r * lanes..(r + 1) * lanes];
+            let bw = &bwd[r * lanes..(r + 1) * lanes];
+            for ((o, &p), &b) in v2c[vr..vr + lanes].iter_mut().zip(pc).zip(bw) {
+                *o = sat_add_i16(p, b, max_mag);
+            }
+        }
+        // Left parity inputs: lane-aligned for r > 0, shifted one lane at
+        // the sub-chain boundary row.
+        if r > 0 {
+            let pc = &pchan[(r - 1) * lanes..r * lanes];
+            for ((o, &p), &f) in v2c[vl..vl + lanes].iter_mut().zip(pc).zip(fwd_regs.iter()) {
+                *o = sat_add_i16(p, f, max_mag);
+            }
+        } else {
+            // Check 0 (lane 0) has no left input; a zero placeholder keeps
+            // the lane kernel in range and its row is rebuilt below.
+            v2c[vl] = 0;
+            let pc = &pchan[(q_rows - 1) * lanes..];
+            for ((o, &p), &f) in
+                v2c[vl + 1..vl + lanes].iter_mut().zip(&pc[..lanes - 1]).zip(fwd_regs[1..].iter())
+            {
+                *o = sat_add_i16(p, f, max_mag);
+            }
+        }
+        match kernel {
+            LaneKernel::Lut { thresholds } => lane_lut_extrinsic(
+                &v2c[row..row + stride * lanes],
+                &mut c2v[row..row + stride * lanes],
+                lanes,
+                stride,
+                *thresholds,
+                max_mag,
+                scr1,
+            ),
+            LaneKernel::MinSum { shift } => lane_min_sum_extrinsic(
+                &v2c[row..row + stride * lanes],
+                &mut c2v[row..row + stride * lanes],
+                lanes,
+                stride,
+                *shift,
+                scr1,
+                scr2,
+                scr3,
+                scr4,
+            ),
+        }
+        if r == 0 {
+            // Check 0: degree `info_d + 1` with the right parity input
+            // last — recompute through the scalar arithmetic (the same
+            // call the fused path makes for its short row) and store the
+            // forward output at the left slot so write-back below reads
+            // it uniformly. The kernel's garbage at (info_d + 1, lane 0)
+            // is never read.
+            let d0 = info_d + 1;
+            for i in 0..info_d {
+                fix_in[i] = v2c[row + i * lanes] as i32;
+            }
+            fix_in[info_d] = v2c[vr] as i32;
+            arithmetic.extrinsic(&fix_in[..d0], &mut fix_out[..d0]);
+            for i in 0..info_d {
+                c2v[row + i * lanes] = fix_out[i] as i16;
+            }
+            c2v[vl] = fix_out[info_d] as i16;
+        }
+        // Write-back: backward outputs (left slot) to the previous row,
+        // forward outputs (right slot) into the lane registers.
+        if r > 0 {
+            bwd[(r - 1) * lanes..r * lanes].copy_from_slice(&c2v[vl..vl + lanes]);
+            fwd_regs.copy_from_slice(&c2v[vr..vr + lanes]);
+        } else {
+            bwd[(q_rows - 1) * lanes..][..lanes - 1].copy_from_slice(&c2v[vl + 1..vl + lanes]);
+            fwd_regs[1..].copy_from_slice(&c2v[vr + 1..vr + lanes]);
+            fwd_regs[0] = c2v[vl];
+        }
+        fwd[r * lanes..(r + 1) * lanes].copy_from_slice(fwd_regs);
+    }
+    for u in (1..lanes).rev() {
+        boundary[u] = fwd_regs[u - 1];
+    }
+    boundary[0] = 0;
+}
+
+// Runtime SIMD dispatch — the `tile.rs` clone pattern, extended for the
+// integer lanes: the AVX-512 clone also enables BW/VL (512-bit i16 ops)
+// and is gated on the CPU actually reporting them, falling back to the
+// AVX2 clone (bit-identical) on F-only parts.
+macro_rules! qtier_clones {
+    ($dispatch:ident, $base:ident, $avx2:ident, $avx512:ident;
+     ($($arg:ident: $ty:ty),* $(,)?)) => {
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx2")]
+        #[allow(clippy::too_many_arguments)]
+        unsafe fn $avx2($($arg: $ty),*) {
+            $base($($arg),*);
+        }
+
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx512f,avx512bw,avx512vl")]
+        #[allow(clippy::too_many_arguments)]
+        unsafe fn $avx512($($arg: $ty),*) {
+            $base($($arg),*);
+        }
+
+        #[allow(clippy::too_many_arguments)]
+        fn $dispatch(tier: SimdTier, $($arg: $ty),*) {
+            match tier {
+                #[cfg(target_arch = "x86_64")]
+                SimdTier::Avx2 => unsafe { $avx2($($arg),*) },
+                #[cfg(target_arch = "x86_64")]
+                SimdTier::Avx512 if SimdTier::wide_i16_available() => {
+                    unsafe { $avx512($($arg),*) }
+                }
+                #[cfg(target_arch = "x86_64")]
+                SimdTier::Avx512 => unsafe { $avx2($($arg),*) },
+                _ => $base($($arg),*),
+            }
+        }
+    };
+}
+
+qtier_clones!(
+    vn_pass_rot_tier, vn_pass_rot, vn_pass_rot_avx2, vn_pass_rot_avx512;
+    (
+        rot: &[RotEntry],
+        lanes: usize,
+        max_mag: i16,
+        channel: &[i32],
+        k: usize,
+        c2v: &[i16],
+        v2c: &mut [i16],
+        totals: &mut [i32],
+    )
+);
+
+qtier_clones!(
+    check_sweep_tier, check_sweep, check_sweep_avx2, check_sweep_avx512;
+    (
+        lanes: usize,
+        q_rows: usize,
+        stride: usize,
+        info_d: usize,
+        max_mag: i16,
+        kernel: &LaneKernel,
+        arithmetic: &QCheckArithmetic,
+        pchan: &[i16],
+        v2c: &mut [i16],
+        c2v: &mut [i16],
+        fwd: &mut [i16],
+        bwd: &mut [i16],
+        fwd_regs: &mut [i16],
+        boundary: &mut [i16],
+        scr1: &mut [i16],
+        scr2: &mut [i16],
+        scr3: &mut [i16],
+        scr4: &mut [i16],
+        fix_in: &mut [i32],
+        fix_out: &mut [i32],
+    )
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quant::{QBoxplus, Quantizer};
+
+    #[test]
+    fn lane_combine_matches_scalar_combine_exhaustively() {
+        for q in [Quantizer::paper_6bit(), Quantizer::paper_5bit()] {
+            let bp = QBoxplus::new(q);
+            let th_vec = bp.corr_thresholds().unwrap();
+            let mut th = [-1i16; MAX_CORR_THRESHOLDS];
+            for (slot, &t) in th.iter_mut().zip(&th_vec) {
+                *slot = t as i16;
+            }
+            let m = q.max_mag();
+            for a in -m..=m {
+                for b in -m..=m {
+                    assert_eq!(
+                        combine_one(a as i16, b as i16, th, m as i16) as i32,
+                        bp.combine(a, b),
+                        "bits={} a={a} b={b}",
+                        q.bits()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_sum_lane_kernel_matches_scalar_rule() {
+        use crate::quant::QCheckArithmetic;
+        let q = Quantizer::paper_6bit();
+        let arith = QCheckArithmetic::min_sum_shift(q, 2);
+        let lanes = 5;
+        let d = 6;
+        // Deterministic pseudo-random in-range messages, including rails
+        // and repeated minima (the first-strict-min tiebreak).
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as i32 % 63 - 31).clamp(-31, 31)
+        };
+        let v2c: Vec<i16> = (0..lanes * d).map(|_| next() as i16).collect();
+        let mut c2v = vec![0i16; lanes * d];
+        let mut s1 = vec![0i16; lanes];
+        let mut s2 = vec![0i16; lanes];
+        let mut s3 = vec![0i16; lanes];
+        let mut s4 = vec![0i16; lanes];
+        lane_min_sum_extrinsic(&v2c, &mut c2v, lanes, d, 2, &mut s1, &mut s2, &mut s3, &mut s4);
+        for u in 0..lanes {
+            let ins: Vec<i32> = (0..d).map(|i| v2c[i * lanes + u] as i32).collect();
+            let mut outs = vec![0i32; d];
+            arith.extrinsic(&ins, &mut outs);
+            for i in 0..d {
+                assert_eq!(c2v[i * lanes + u] as i32, outs[i], "lane {u} pos {i} ins {ins:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn lut_lane_kernel_matches_scalar_extrinsic() {
+        let q = Quantizer::paper_6bit();
+        let bp = QBoxplus::new(q);
+        let th_vec = bp.corr_thresholds().unwrap();
+        let mut th = [-1i16; MAX_CORR_THRESHOLDS];
+        for (slot, &t) in th.iter_mut().zip(&th_vec) {
+            *slot = t as i16;
+        }
+        let lanes = 7;
+        let d = 5;
+        let mut state = 0xD1B54A32D192ED03u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as i32 % 63 - 31).clamp(-31, 31)
+        };
+        let v2c: Vec<i16> = (0..lanes * d).map(|_| next() as i16).collect();
+        let mut c2v = vec![0i16; lanes * d];
+        let mut prefix = vec![0i16; lanes];
+        lane_lut_extrinsic(&v2c, &mut c2v, lanes, d, th, 31, &mut prefix);
+        for u in 0..lanes {
+            let ins: Vec<i32> = (0..d).map(|i| v2c[i * lanes + u] as i32).collect();
+            let mut outs = vec![0i32; d];
+            bp.extrinsic(&ins, &mut outs);
+            for i in 0..d {
+                assert_eq!(c2v[i * lanes + u] as i32, outs[i], "lane {u} pos {i} ins {ins:?}");
+            }
+        }
+    }
+}

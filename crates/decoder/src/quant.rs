@@ -129,6 +129,35 @@ impl QBoxplus {
         &self.quantizer
     }
 
+    /// Decomposes the correction table over the reachable index range
+    /// (`|a ± b| <= 2·max_mag` for in-range messages) into unit-step
+    /// thresholds: `corr(z) == #{t in thresholds : z <= t}` for every
+    /// reachable `z`.
+    ///
+    /// The `ln(1 + e^{-z·step})` table is non-increasing, so after rounding
+    /// it is exactly a sum of indicator steps; the lane-parallel SIMD kernel
+    /// evaluates the correction as a handful of broadcast compares instead
+    /// of a per-lane gather. Returns `None` when the table is not
+    /// representable this way — it always is for tables built by
+    /// [`QBoxplus::new`], but the decomposition is verified here rather
+    /// than assumed, so a future table change degrades to the scalar path
+    /// instead of silently decoding wrong.
+    pub(crate) fn corr_thresholds(&self) -> Option<Vec<i32>> {
+        let reach = 2 * self.quantizer.max_mag() as usize;
+        let corr = self.corr.get(..=reach)?;
+        let mut thresholds = Vec::new();
+        for v in 1..=corr[0] {
+            thresholds.push(corr.iter().rposition(|&c| c >= v)? as i32);
+        }
+        for (z, &c) in corr.iter().enumerate() {
+            let rebuilt = thresholds.iter().filter(|&&t| z as i32 <= t).count() as i32;
+            if rebuilt != c {
+                return None;
+            }
+        }
+        Some(thresholds)
+    }
+
     /// Integer boxplus of two messages.
     ///
     /// Branchless formulation of `sign·mag + corr(|a+b|) − corr(|a−b|)`
@@ -382,5 +411,23 @@ mod tests {
     #[should_panic(expected = "bits must be in 2..=16")]
     fn rejects_one_bit() {
         let _ = Quantizer::new(1, 0.5);
+    }
+
+    #[test]
+    fn corr_threshold_decomposition_reconstructs_table() {
+        for q in [Quantizer::paper_6bit(), Quantizer::paper_5bit(), Quantizer::new(8, 0.1)] {
+            let bp = QBoxplus::new(q);
+            let th = bp.corr_thresholds().expect("ln_1p tables always decompose");
+            // corr(0) = round(ln 2 / step) thresholds, one per unit step.
+            assert_eq!(th.len(), ((2f64).ln() / q.step()).round() as usize);
+            for z in 0..=2 * q.max_mag() {
+                let rebuilt = th.iter().filter(|&&t| z <= t).count() as i32;
+                assert_eq!(rebuilt, bp.corr[z as usize], "bits={} z={z}", q.bits());
+            }
+            // Thresholds are strictly decreasing back toward zero.
+            for w in th.windows(2) {
+                assert!(w[0] > w[1]);
+            }
+        }
     }
 }

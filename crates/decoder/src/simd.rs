@@ -122,6 +122,25 @@ impl SimdTier {
         Self::ALL.into_iter().filter(|t| t.is_available()).collect()
     }
 
+    /// Whether the 512-bit **integer-lane** kernels can run: 512-bit `i16`
+    /// min/max/abs/compare need AVX-512BW (and VL for the mixed-width
+    /// remainders) on top of the AVX-512F that [`SimdTier::Avx512`] gates
+    /// on. True on every AVX-512 server core since Skylake-SP; the
+    /// quantized dispatch falls back to the AVX2 clone — still bit
+    /// identical — on the rare F-only parts, keeping the float kernels'
+    /// tier semantics unchanged.
+    pub(crate) fn wide_i16_available() -> bool {
+        #[cfg(target_arch = "x86_64")]
+        {
+            std::arch::is_x86_feature_detected!("avx512bw")
+                && std::arch::is_x86_feature_detected!("avx512vl")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    }
+
     /// Stable lower-case identifier (what benchmark reports emit).
     pub fn name(self) -> &'static str {
         match self {

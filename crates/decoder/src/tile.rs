@@ -230,21 +230,12 @@ impl<F: LlrFloat> LanePlanes<F> {
         frames: &[&[f64]],
         out: &mut [DecodeResult],
     ) {
-        match config.rule {
-            CheckRule::NormalizedMinSum(alpha) => {
-                let alpha = F::from_f64(alpha);
-                self.decode_tile_with(graph, config, schedule, blocked, tier, frames, out, |m| {
-                    m * alpha
-                });
-            }
-            CheckRule::OffsetMinSum(beta) => {
-                let beta = F::from_f64(beta);
-                self.decode_tile_with(graph, config, schedule, blocked, tier, frames, out, |m| {
-                    (m - beta).max(F::ZERO)
-                });
-            }
-            rule => unreachable!("TiledBatchDecoder constructed with non-min-sum rule {rule:?}"),
-        }
+        let correct = config.rule.min_sum_correct::<F>().unwrap_or_else(|| {
+            unreachable!("TiledBatchDecoder constructed with non-min-sum rule {:?}", config.rule)
+        });
+        self.decode_tile_with(graph, config, schedule, blocked, tier, frames, out, move |m| {
+            correct.apply(m)
+        });
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -421,7 +412,7 @@ fn latch_converged<F: LlrFloat>(
 /// `accumulate_totals`: zero-seeded scatter-add in ascending edge order
 /// over the edge-major lane planes, channel LLR added last.
 #[inline(always)]
-fn lane_accumulate_totals<F: LlrFloat>(
+pub(crate) fn lane_accumulate_totals<F: LlrFloat>(
     edge_vars: &[u32],
     w: usize,
     llr: &[F],
@@ -669,7 +660,7 @@ macro_rules! sweep_tier_clones {
         }
 
         #[allow(clippy::too_many_arguments)]
-        fn $dispatch<F: LlrFloat>(
+        pub(crate) fn $dispatch<F: LlrFloat>(
             tier: SimdTier,
             $($arg: $ty,)*
             correct: impl Fn(F) -> F + Copy,

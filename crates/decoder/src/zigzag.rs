@@ -23,6 +23,8 @@ use crate::engine::{
     accumulate_totals, hard_decisions_into, load_llrs, syndrome_ok_totals, Precision,
 };
 use crate::llr_ops::{CheckRule, LlrFloat};
+use crate::simd::SimdTier;
+use crate::tile::{lane_accumulate_totals, zigzag_lane_sweep_tier};
 use crate::{DecodeResult, Decoder, DecoderConfig};
 use dvbs2_ldpc::{BitVec, TannerGraph};
 use std::sync::Arc;
@@ -32,10 +34,19 @@ use std::sync::Arc;
 /// Requires a graph built by [`TannerGraph::for_code`]: variables
 /// `info_len()..var_count()` must form the accumulator chain, and each
 /// check's parity edges must come last in its edge range.
+///
+/// The min-sum rules run through the blocked edge-major lane sweep of
+/// the `tile` module at width 1 — the same `#[target_feature]`-dispatched
+/// kernel family the tiled batch decoder uses, so single-frame and tiled
+/// decodes share one code path (and the per-lane operation order keeps the
+/// results bit-identical to the historical scalar sweep, pinned by the
+/// seed-embedded regression suite). The exact sum-product rules keep the
+/// scalar check-by-check sweep.
 #[derive(Debug, Clone)]
 pub struct ZigzagDecoder {
     graph: Arc<TannerGraph>,
     config: DecoderConfig,
+    tier: SimdTier,
     core: Core,
 }
 
@@ -71,6 +82,70 @@ impl<F: LlrFloat> Engine<F> {
     /// One full decode into `out`. Allocation-free once `out.bits` has the
     /// codeword length (the first call sizes it).
     fn decode_into(
+        &mut self,
+        graph: &TannerGraph,
+        config: &DecoderConfig,
+        tier: SimdTier,
+        channel_llrs: &[f64],
+        out: &mut DecodeResult,
+    ) {
+        // The min-sum rules route through the tiled decoder's lane sweep at
+        // width 1; the exact sum-product rules stream check by check.
+        match config.rule.min_sum_correct::<F>() {
+            Some(correct) => {
+                self.decode_lanes(graph, config, tier, channel_llrs, out, move |m| {
+                    correct.apply(m)
+                });
+            }
+            None => self.decode_scalar(graph, config, channel_llrs, out),
+        }
+    }
+
+    /// Min-sum decode through [`zigzag_lane_sweep_tier`] with one frame
+    /// lane: the message planes are edge-major with `w = 1`, so the lane
+    /// kernels read them exactly like this engine's flat layout.
+    fn decode_lanes(
+        &mut self,
+        graph: &TannerGraph,
+        config: &DecoderConfig,
+        tier: SimdTier,
+        channel_llrs: &[f64],
+        out: &mut DecodeResult,
+        correct: impl Fn(F) -> F + Copy,
+    ) {
+        load_llrs(&mut self.llr, channel_llrs);
+        self.c2v.fill(F::ZERO);
+        // First-iteration gather sources: totals = llr plus all-zero
+        // messages (bit-identical to `accumulate_totals` at width 1).
+        lane_accumulate_totals(graph.edge_vars(), 1, &self.llr, &self.c2v, &mut self.totals);
+        let mut iterations = 0;
+        let mut converged = false;
+
+        for _ in 0..config.max_iterations {
+            iterations += 1;
+            zigzag_lane_sweep_tier(
+                tier,
+                graph,
+                &config.rule,
+                1,
+                &self.llr,
+                &self.totals,
+                &mut self.v2c,
+                &mut self.c2v,
+                &mut self.totals_next,
+                correct,
+            );
+            std::mem::swap(&mut self.totals, &mut self.totals_next);
+            if config.early_stop && syndrome_ok_totals(graph, &self.totals) {
+                converged = true;
+                break;
+            }
+        }
+        self.finish(graph, iterations, converged, out);
+    }
+
+    /// The original scalar sweep (sum-product rules).
+    fn decode_scalar(
         &mut self,
         graph: &TannerGraph,
         config: &DecoderConfig,
@@ -144,6 +219,18 @@ impl<F: LlrFloat> Engine<F> {
                 break;
             }
         }
+        self.finish(graph, iterations, converged, out);
+    }
+
+    /// Post-loop epilogue shared by both paths: final syndrome check when
+    /// the loop ran to the cap, then hard decisions into `out`.
+    fn finish(
+        &mut self,
+        graph: &TannerGraph,
+        iterations: usize,
+        mut converged: bool,
+        out: &mut DecodeResult,
+    ) {
         if !converged {
             converged = syndrome_ok_totals(graph, &self.totals);
         }
@@ -161,7 +248,8 @@ impl ZigzagDecoder {
     ///
     /// # Panics
     ///
-    /// Panics if the graph has no parity chain (`info_len == var_count`).
+    /// Panics if the graph has no parity chain (`info_len == var_count`),
+    /// or if `config.simd` forces a SIMD tier this CPU does not support.
     pub fn new(graph: Arc<TannerGraph>, config: DecoderConfig) -> Self {
         assert!(
             graph.info_len() < graph.var_count(),
@@ -172,16 +260,23 @@ impl ZigzagDecoder {
             graph.check_count(),
             "IRA structure requires one parity variable per check"
         );
+        let tier = SimdTier::resolve(config.simd);
         let core = match config.precision {
             Precision::F64 => Core::F64(Engine::new(&graph)),
             Precision::F32 => Core::F32(Engine::new(&graph)),
         };
-        ZigzagDecoder { graph, config, core }
+        ZigzagDecoder { graph, config, tier, core }
     }
 
     /// The decoder configuration.
     pub fn config(&self) -> &DecoderConfig {
         &self.config
+    }
+
+    /// The SIMD dispatch tier the min-sum lane sweep runs on (the exact
+    /// sum-product rules are scalar regardless).
+    pub fn simd_tier(&self) -> SimdTier {
+        self.tier
     }
 }
 
@@ -195,8 +290,8 @@ impl Decoder for ZigzagDecoder {
     fn decode_into(&mut self, channel_llrs: &[f64], out: &mut DecodeResult) {
         assert_eq!(channel_llrs.len(), self.graph.var_count(), "LLR length mismatch");
         match &mut self.core {
-            Core::F64(e) => e.decode_into(&self.graph, &self.config, channel_llrs, out),
-            Core::F32(e) => e.decode_into(&self.graph, &self.config, channel_llrs, out),
+            Core::F64(e) => e.decode_into(&self.graph, &self.config, self.tier, channel_llrs, out),
+            Core::F32(e) => e.decode_into(&self.graph, &self.config, self.tier, channel_llrs, out),
         }
     }
 
@@ -305,6 +400,36 @@ mod tests {
             let out = fast.decode(&llrs);
             assert!(out.converged, "seed {seed}");
             assert_eq!(out.bits, cw, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn min_sum_is_bit_identical_across_simd_tiers() {
+        // The lane-sweep routing dispatches per tier; every tier must give
+        // the full scalar-tier DecodeResult bit for bit.
+        let (code, graph) = small_code();
+        let graph = Arc::new(graph);
+        for rule in [CheckRule::NormalizedMinSum(0.8), CheckRule::OffsetMinSum(0.15)] {
+            for precision in [Precision::F64, Precision::F32] {
+                let cfg = DecoderConfig::default().with_rule(rule).with_precision(precision);
+                let mut reference = ZigzagDecoder::new(
+                    Arc::clone(&graph),
+                    cfg.with_simd_tier(Some(SimdTier::Scalar)),
+                );
+                for tier in SimdTier::available() {
+                    let mut dec =
+                        ZigzagDecoder::new(Arc::clone(&graph), cfg.with_simd_tier(Some(tier)));
+                    assert_eq!(dec.simd_tier(), tier);
+                    for seed in 0..3 {
+                        let (_, llrs) = noisy_llrs(&code, 2.6, 300 + seed);
+                        assert_eq!(
+                            dec.decode(&llrs),
+                            reference.decode(&llrs),
+                            "{rule:?} {precision:?} {tier:?} seed {seed}"
+                        );
+                    }
+                }
+            }
         }
     }
 

@@ -37,7 +37,7 @@ use dvbs2_channel::{mix_seed, Modulation};
 use dvbs2_decoder::{
     syndrome_ok, syndrome_weight, BitFlippingDecoder, ChainPartition, CheckRule, DecodeResult,
     Decoder, DecoderConfig, FloodingDecoder, LayeredDecoder, Precision, QCheckArithmetic,
-    QuantizedZigzagDecoder, Quantizer, ZigzagDecoder,
+    QuantizedZigzagDecoder, Quantizer, SimdTier, ZigzagDecoder,
 };
 use dvbs2_hardware::{
     hw_chain_partition, optimize_schedule, simulate_cn_phase, AccessStats, AnnealOptions,
@@ -153,6 +153,13 @@ pub struct CaseSpec {
     /// [`HardwareDecoder`], with cycle counts that decompose exactly and
     /// stay monotone-sane against the serial schedule.
     pub fabric: usize,
+    /// SIMD dispatch tier forced on the software quantized lane decoder
+    /// (`None` = auto-detect, the legacy behaviour). The generator never
+    /// draws this dimension — the partition and fault sweeps fan every case
+    /// out across *all* available tiers themselves — but a violation found
+    /// at a specific tier records it here so the repro string replays the
+    /// exact kernel that diverged.
+    pub simd: Option<SimdTier>,
 }
 
 impl CaseSpec {
@@ -306,6 +313,9 @@ impl CaseSpec {
             modulation,
             fault,
             fabric,
+            // Never drawn (append-only RNG discipline): the sweeps fan each
+            // case across every available tier instead of sampling one.
+            simd: None,
         }
     }
 }
@@ -348,6 +358,12 @@ impl fmt::Display for CaseSpec {
         // the canonical spelling of the cases they name.
         if self.fabric > 1 {
             write!(f, " fabric={}", self.fabric)?;
+        }
+        // `simd=` is omitted when the tier is auto-detected, so repro
+        // strings recorded before the SIMD dimension existed stay the
+        // canonical spelling of the cases they name.
+        if let Some(tier) = self.simd {
+            write!(f, " simd={}", tier.name())?;
         }
         if self.fault.is_empty() {
             return Ok(());
@@ -410,11 +426,14 @@ impl FromStr for CaseSpec {
     /// Parses the `Display` form, e.g.
     /// `seed=7 rate=2/3 frame=short ebn0=2.4 q=6 arith=msshift2 iters=6 early=true`.
     ///
-    /// The `sched=`, `mem=BxPxL`, `pio=`, `mod=`, `fabric=` and `fault=`
-    /// keys are optional and default to the natural schedule, the paper
-    /// memory configuration, `p_io = 10`, BPSK, a single core (no fabric
-    /// cross-check), and healthy hardware, so repro strings recorded before
-    /// those dimensions existed still parse.
+    /// The `sched=`, `mem=BxPxL`, `pio=`, `mod=`, `fabric=`, `simd=` and
+    /// `fault=` keys are optional and default to the natural schedule, the
+    /// paper memory configuration, `p_io = 10`, BPSK, a single core (no
+    /// fabric cross-check), an auto-detected SIMD tier, and healthy
+    /// hardware, so repro strings recorded before those dimensions existed
+    /// still parse. `simd=scalar|avx2|avx512` forces that dispatch tier on
+    /// the software quantized lane decoder (replay panics if the host CPU
+    /// lacks it, like `DVBS2_SIMD`).
     ///
     /// `fault=` takes a comma-separated list of fault atoms
     /// (`fault=none` is also accepted):
@@ -485,6 +504,13 @@ impl FromStr for CaseSpec {
                 Ok(p) if p > 0 => p,
                 _ => return Err(err("fabric")),
             },
+        };
+        let simd = match fields.get("simd").copied() {
+            None => None,
+            Some("scalar") => Some(SimdTier::Scalar),
+            Some("avx2") => Some(SimdTier::Avx2),
+            Some("avx512") => Some(SimdTier::Avx512),
+            Some(_) => return Err(err("simd")),
         };
         let fault = match fields.get("fault").copied() {
             None | Some("none") => FaultScenario::none(),
@@ -572,6 +598,7 @@ impl FromStr for CaseSpec {
             modulation,
             fault,
             fabric,
+            simd,
         })
     }
 }
@@ -838,7 +865,7 @@ fn run_case_with(case_index: u64, case: &CaseSpec, cache: &ContextCache) -> Vec<
         early_stop: case.early_stop,
         rule: CheckRule::SumProduct,
         precision: Precision::F64,
-        simd: None,
+        simd: case.simd,
     };
 
     // --- the decoder matrix -------------------------------------------------
@@ -1468,6 +1495,61 @@ fn run_fault_case(case_index: u64, case: &CaseSpec, cache: &ContextCache) -> Vec
     if hw_out.result.converged && !syndrome_ok(ctx.graph(), &hw_out.result.bits) {
         violate("fault-syndrome", format!("{fault:?}: converged with a dirty syndrome"));
     }
+
+    // --- software lane-path differential -------------------------------------
+    // The partitioned software decoder has no RAM to corrupt, so the faulted
+    // golden model is not its reference — but the fault sweep's config space
+    // (arithmetic × quantizer × iteration caps × channel realizations) is
+    // exactly where the SIMD lane kernels must stay transparent. Pin the
+    // lane path against the scalar fused sweep at every available dispatch
+    // tier, results and per-iteration digests.
+    let sw_config = DecoderConfig {
+        max_iterations: case.max_iterations,
+        early_stop: case.early_stop,
+        rule: CheckRule::SumProduct,
+        precision: Precision::F64,
+        simd: None,
+    };
+    let mut fused = QuantizedZigzagDecoder::with_partition_fused(
+        Arc::clone(ctx.graph()),
+        case.arithmetic.build(quantizer),
+        sw_config,
+        ctx.partition.clone(),
+    );
+    let mut fused_trace = Vec::new();
+    let fused_out = fused.decode_quantized_traced(&channel, &mut fused_trace);
+    for tier in SimdTier::available() {
+        let mut lane = QuantizedZigzagDecoder::with_partition(
+            Arc::clone(ctx.graph()),
+            case.arithmetic.build(quantizer),
+            sw_config.with_simd_tier(Some(tier)),
+            ctx.partition.clone(),
+        );
+        let mut lane_trace = Vec::new();
+        let lane_out = lane.decode_quantized_traced(&channel, &mut lane_trace);
+        if lane_out != fused_out || lane_trace != fused_trace {
+            let mut vcase = *case;
+            vcase.simd = Some(tier);
+            violations.push(Violation {
+                case_index,
+                case: vcase,
+                contract: "simd-fused-bitexact",
+                detail: format!(
+                    "{} lane path (converged={} iters={}) != scalar fused \
+                     (converged={} iters={}), {} differing bits, digests diverged at \
+                     iteration {} of {}",
+                    tier.name(),
+                    lane_out.converged,
+                    lane_out.iterations,
+                    fused_out.converged,
+                    fused_out.iterations,
+                    count_diff(&lane_out.bits, &fused_out.bits),
+                    lane_trace.iter().zip(&fused_trace).position(|(a, b)| a != b).unwrap_or(0) + 1,
+                    lane_trace.len().max(fused_trace.len()),
+                ),
+            });
+        }
+    }
     violations
 }
 
@@ -1649,7 +1731,11 @@ pub fn run_fabric_sweep(config: &OracleConfig) -> OracleReport {
 /// [`QuantizedZigzagDecoder`] in hardware-partitioned mode must reproduce
 /// the [`GoldenModel`]'s full [`DecodeResult`] — decoded word, iteration
 /// count and convergence flag — at two operating points per code point
-/// (early-stopping above the waterfall, fixed-iteration below it).
+/// (early-stopping above the waterfall, fixed-iteration below it). Each
+/// point additionally runs the SIMD lane path at **every available dispatch
+/// tier**, which must match the golden result and the scalar fused sweep's
+/// per-iteration message digests; violations record the tier in the repro
+/// string.
 pub fn run_partition_sweep(master_seed: u64, threads: usize) -> OracleReport {
     const CONFIGS: [(f64, bool, usize); 2] = [(0.4, true, 8), (-0.4, false, 4)];
     let mut points: Vec<(CodeRate, FrameSize)> =
@@ -1686,6 +1772,7 @@ pub fn run_partition_sweep(master_seed: u64, threads: usize) -> OracleReport {
                     modulation: Modulation::Bpsk,
                     fault: FaultScenario::none(),
                     fabric: 1,
+                    simd: None,
                 };
                 let ctx =
                     context_for(&cache, case.rate, case.frame, case.schedule, case.memory);
@@ -1699,33 +1786,79 @@ pub fn run_partition_sweep(master_seed: u64, threads: usize) -> OracleReport {
                     case.max_iterations,
                     case.early_stop,
                 );
-                let mut partitioned = QuantizedZigzagDecoder::with_partition(
+                let sw_config = DecoderConfig {
+                    max_iterations: case.max_iterations,
+                    early_stop: case.early_stop,
+                    rule: CheckRule::SumProduct,
+                    precision: Precision::F64,
+                    simd: None,
+                };
+                // Scalar fused sweep: the boundary-exact reference for both
+                // the golden comparison and the per-tier digest comparison
+                // (golden traces hash hardware RAM state, a different format,
+                // so lane digests are pinned against the fused sweep's).
+                let mut fused = QuantizedZigzagDecoder::with_partition_fused(
                     Arc::clone(ctx.graph()),
                     QCheckArithmetic::lut(quantizer),
-                    DecoderConfig {
-                        max_iterations: case.max_iterations,
-                        early_stop: case.early_stop,
-                        rule: CheckRule::SumProduct,
-                        precision: Precision::F64,
-                        simd: None,
-                    },
+                    sw_config,
                     ctx.partition.clone(),
                 );
                 let channel = golden.quantize_channel(&frame.llrs);
                 let golden_out = golden.decode_quantized(&channel);
-                let part_out = partitioned.decode_quantized(&channel);
-                if part_out != golden_out {
+                let mut fused_trace = Vec::new();
+                let fused_out = fused.decode_quantized_traced(&channel, &mut fused_trace);
+                if fused_out != golden_out {
                     let v = Violation {
                         case_index: index,
                         case,
                         contract: "golden-partitioned-bitexact",
                         detail: format!(
                             "partitioned qzigzag (converged={} iters={}) != golden (converged={} iters={}), {} differing bits",
-                            part_out.converged,
-                            part_out.iterations,
+                            fused_out.converged,
+                            fused_out.iterations,
                             golden_out.converged,
                             golden_out.iterations,
-                            count_diff(&part_out.bits, &golden_out.bits),
+                            count_diff(&fused_out.bits, &golden_out.bits),
+                        ),
+                    };
+                    violations.lock().expect("no panics hold the lock").push(v);
+                }
+                // Every available SIMD dispatch tier must reproduce the
+                // golden DecodeResult *and* the fused sweep's per-iteration
+                // message digests; a divergence records the tier in the
+                // repro string.
+                for tier in SimdTier::available() {
+                    let mut lane = QuantizedZigzagDecoder::with_partition(
+                        Arc::clone(ctx.graph()),
+                        QCheckArithmetic::lut(quantizer),
+                        sw_config.with_simd_tier(Some(tier)),
+                        ctx.partition.clone(),
+                    );
+                    let mut lane_trace = Vec::new();
+                    let lane_out = lane.decode_quantized_traced(&channel, &mut lane_trace);
+                    if lane_out == golden_out && lane_out == fused_out && lane_trace == fused_trace
+                    {
+                        continue;
+                    }
+                    let v = Violation {
+                        case_index: index,
+                        case: CaseSpec { simd: Some(tier), ..case },
+                        contract: "simd-partitioned-bitexact",
+                        detail: format!(
+                            "{} lane path (converged={} iters={}) != golden (converged={} iters={}) / fused, {} differing bits vs golden, digests diverged at iteration {} of {}",
+                            tier.name(),
+                            lane_out.converged,
+                            lane_out.iterations,
+                            golden_out.converged,
+                            golden_out.iterations,
+                            count_diff(&lane_out.bits, &golden_out.bits),
+                            lane_trace
+                                .iter()
+                                .zip(&fused_trace)
+                                .position(|(a, b)| a != b)
+                                .unwrap_or(0)
+                                + 1,
+                            lane_trace.len().max(fused_trace.len()),
                         ),
                     };
                     violations.lock().expect("no panics hold the lock").push(v);
@@ -1799,6 +1932,7 @@ pub fn run_fault_suite(rate: CodeRate, frame: FrameSize, master_seed: u64) -> Fa
         modulation: Modulation::Bpsk,
         fault: FaultScenario::none(),
         fabric: 1,
+        simd: None,
     };
     let mut violate = |index: usize, contract: &'static str, detail: String| {
         report.violations.push(Violation {
@@ -1982,6 +2116,11 @@ pub fn shrink_case<F: FnMut(&CaseSpec) -> bool>(
             // keeps the smallest fabric that still shows it.
             candidates.push(CaseSpec { fabric: 1, ..best });
             candidates.push(CaseSpec { fabric: best.fabric - 1, ..best });
+        }
+        if best.simd.is_some() {
+            // A failure that survives at the auto-detected tier is not
+            // kernel-specific; drop the forced tier from the repro string.
+            candidates.push(CaseSpec { simd: None, ..best });
         }
         if best.fault.fu_fault().is_some() {
             candidates.push(CaseSpec { fault: best.fault.with_fu(None), ..best });
@@ -2193,6 +2332,36 @@ mod tests {
         assert_eq!(legacy.parse::<CaseSpec>().unwrap().fabric, 1);
         assert_eq!(format!("{legacy} fabric=4").parse::<CaseSpec>().unwrap().fabric, 4);
         assert!(format!("{legacy} fabric=0").parse::<CaseSpec>().is_err(), "zero cores");
+    }
+
+    #[test]
+    fn simd_dimension_round_trips_and_defaults_to_auto() {
+        // The generator never draws the dimension (append-only RNG
+        // discipline: adding `simd=` must not shift any existing stream),
+        // so a generated case omits the key and its string stays the
+        // pre-SIMD canonical spelling.
+        let case = CaseSpec::generate(0x51D, 11);
+        assert_eq!(case.simd, None);
+        assert!(!case.to_string().contains("simd="), "{case}");
+        // A forced tier prints, round-trips, and shrinks back to auto.
+        for (tier, name) in
+            [(SimdTier::Scalar, "scalar"), (SimdTier::Avx2, "avx2"), (SimdTier::Avx512, "avx512")]
+        {
+            let forced = CaseSpec { simd: Some(tier), ..case };
+            assert!(forced.to_string().contains(&format!(" simd={name}")), "{forced}");
+            let parsed: CaseSpec = forced.to_string().parse().unwrap();
+            assert_eq!(parsed, forced);
+            assert_eq!(shrink_case(&forced, |_| true).simd, None, "tier must shrink away");
+        }
+        // Legacy strings parse with the tier defaulting to auto-detect;
+        // an unknown tier is rejected, not defaulted.
+        let legacy = "seed=7 rate=2/3 frame=short ebn0=2.4 q=6 arith=lut iters=6 early=true";
+        assert_eq!(legacy.parse::<CaseSpec>().unwrap().simd, None);
+        assert_eq!(
+            format!("{legacy} simd=avx2").parse::<CaseSpec>().unwrap().simd,
+            Some(SimdTier::Avx2)
+        );
+        assert!(format!("{legacy} simd=sse2").parse::<CaseSpec>().is_err(), "unknown tier");
     }
 
     #[test]

@@ -73,7 +73,9 @@ mod tests {
     use crate::golden::GoldenModel;
     use crate::memory::MemoryConfig;
     use dvbs2_decoder::test_support::noisy_llrs;
-    use dvbs2_decoder::{DecoderConfig, QCheckArithmetic, QuantizedZigzagDecoder, Quantizer};
+    use dvbs2_decoder::{
+        DecoderConfig, QCheckArithmetic, QuantizedZigzagDecoder, Quantizer, SimdTier,
+    };
     use dvbs2_ldpc::{CodeRate, DvbS2Code, FrameSize};
     use std::sync::Arc;
 
@@ -177,6 +179,57 @@ mod tests {
                 assert_eq!(f, i, "{tag} seed {seed}: results diverged");
                 assert_eq!(df, di, "{tag} seed {seed}: digests diverged");
                 assert_eq!(df.len(), f.iterations, "{tag} seed {seed}: one digest per sweep");
+            }
+        }
+    }
+
+    #[test]
+    fn simd_lane_planes_are_bit_exact_at_every_tier() {
+        // The sub-chain-major SIMD planes must replay the functional-unit
+        // array exactly at every dispatch tier this host can run: the full
+        // golden DecodeResult, plus per-iteration FNV message digests
+        // against the scalar fused sweep — under both the natural and an
+        // annealed schedule.
+        let code = DvbS2Code::new(CodeRate::R1_2, FrameSize::Short).unwrap();
+        let rom = ConnectivityRom::build(code.params(), code.table());
+        let annealed = optimize_schedule(
+            &rom,
+            MemoryConfig::default(),
+            AnnealOptions { moves: 300, ..AnnealOptions::default() },
+        )
+        .schedule;
+        let graph = Arc::new(code.tanner_graph());
+        for (tag, schedule) in [("natural", CnSchedule::natural(&rom)), ("annealed", annealed)] {
+            let partition = hw_chain_partition(&rom, &schedule, &graph);
+            let arith = QCheckArithmetic::lut(Quantizer::paper_6bit());
+            let mut golden =
+                GoldenModel::new(&code, schedule.clone(), Quantizer::paper_6bit(), 10, true);
+            let config = DecoderConfig::default().with_max_iterations(10);
+            let mut fused = QuantizedZigzagDecoder::with_partition_fused(
+                Arc::clone(&graph),
+                arith.clone(),
+                config,
+                partition.clone(),
+            );
+            for tier in SimdTier::available() {
+                let mut lanes = QuantizedZigzagDecoder::with_partition(
+                    Arc::clone(&graph),
+                    arith.clone(),
+                    config.with_simd_tier(Some(tier)),
+                    partition.clone(),
+                );
+                assert_eq!(lanes.simd_tier(), Some(tier), "{tag}: plan must build");
+                let (mut dl, mut df) = (Vec::new(), Vec::new());
+                for seed in 0..2u64 {
+                    let (_, llrs) = noisy_llrs(&code, 2.4, 8600 + seed);
+                    let channel = lanes.quantize_channel(&llrs);
+                    let g = golden.decode_quantized(&channel);
+                    let l = lanes.decode_quantized_traced(&channel, &mut dl);
+                    let f = fused.decode_quantized_traced(&channel, &mut df);
+                    assert_eq!(l, g, "{tag} {tier:?} seed {seed}: diverged from golden");
+                    assert_eq!(l, f, "{tag} {tier:?} seed {seed}: diverged from fused");
+                    assert_eq!(dl, df, "{tag} {tier:?} seed {seed}: digests diverged");
+                }
             }
         }
     }

@@ -175,6 +175,7 @@ fn fault_and_pio_keys_round_trip() {
         modulation: Modulation::Psk8,
         fault: FaultScenario::single(RamFault::StuckWord { word: 9, value: -31 }),
         fabric: 1,
+        simd: None,
     };
     for fault in [
         FaultScenario::none(),
@@ -234,6 +235,7 @@ fn single_case_replay_is_clean_and_deterministic() {
         modulation: Modulation::Bpsk,
         fault: FaultScenario::none(),
         fabric: 1,
+        simd: None,
     };
     assert!(run_case(0, &case).is_empty());
     assert!(run_case(0, &case).is_empty(), "replay must be stable");
@@ -343,6 +345,7 @@ fn shrinker_minimizes_while_preserving_failure() {
         fault: FaultScenario::single(RamFault::FlippedBits { word: 42, mask: 0b1101 })
             .with_fu(Some(FuFault::StuckSign { unit: 7, negative: false })),
         fabric: 4,
+        simd: None,
     };
     // Synthetic predicate: the "bug" needs at least 3 iterations and the
     // min-sum arithmetic; everything else is shrinkable noise.
